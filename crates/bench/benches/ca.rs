@@ -1,0 +1,82 @@
+//! Throughput of the pattern generators: the on-chip CA against LFSR
+//! and Hadamard baselines. The chip needs one fresh 128-bit pattern per
+//! 20 µs compressed-sample slot; these benches show the simulation has
+//! orders of magnitude of headroom.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tepics_ca::{
+    Automaton1D, BernoulliSource, BitPatternSource, Boundary, CaSource, ElementaryRule,
+    HadamardSource, Lfsr, LfsrSource,
+};
+
+fn bench_ca_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ca_step");
+    for cells in [128usize, 4096, 65_536] {
+        group.throughput(Throughput::Elements(cells as u64));
+        group.bench_with_input(BenchmarkId::new("rule30", cells), &cells, |b, &cells| {
+            let mut ca =
+                Automaton1D::from_seed(cells, 7, ElementaryRule::RULE_30, Boundary::Periodic);
+            b.iter(|| {
+                ca.step();
+                black_box(ca.state().count_ones())
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("rule110_generic", cells),
+            &cells,
+            |b, &cells| {
+                let mut ca = Automaton1D::from_seed(
+                    cells,
+                    7,
+                    ElementaryRule::RULE_110,
+                    Boundary::Periodic,
+                );
+                b.iter(|| {
+                    ca.step();
+                    black_box(ca.state().count_ones())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pattern_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_sources");
+    let len = 128usize; // the prototype's M + N
+    group.throughput(Throughput::Elements(len as u64));
+    group.bench_function("ca_rule30", |b| {
+        let mut src = CaSource::new(len, 1, ElementaryRule::RULE_30, 256, 1);
+        b.iter(|| black_box(src.next_pattern()));
+    });
+    group.bench_function("lfsr16", |b| {
+        let mut src = LfsrSource::new(len, 16, 0xACE1);
+        b.iter(|| black_box(src.next_pattern()));
+    });
+    group.bench_function("hadamard", |b| {
+        let mut src = HadamardSource::new(len, 3);
+        b.iter(|| black_box(src.next_pattern()));
+    });
+    group.bench_function("bernoulli", |b| {
+        let mut src = BernoulliSource::balanced(len, 9);
+        b.iter(|| black_box(src.next_pattern()));
+    });
+    group.finish();
+}
+
+fn bench_lfsr_bits(c: &mut Criterion) {
+    c.bench_function("lfsr32_kilobit", |b| {
+        let mut lfsr = Lfsr::maximal(32, 0xDEADBEEF);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1024 {
+                acc += lfsr.next_bit() as u32;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_ca_step, bench_pattern_sources, bench_lfsr_bits);
+criterion_main!(benches);

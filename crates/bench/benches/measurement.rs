@@ -1,0 +1,75 @@
+//! Measurement-operator throughput at the paper's scale: Φ and Φᵀ for
+//! the XOR/CA ensemble (K = 1638 rows over 64×64 pixels) and the dense
+//! baselines. These are the other half of each FISTA iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tepics_ca::{CaSource, ElementaryRule};
+use tepics_cs::measurement::{BlockDiagonalMeasurement, DenseBinaryMeasurement};
+use tepics_cs::{LinearOperator, XorMeasurement};
+use tepics_util::SplitMix64;
+
+fn paper_scale_xor() -> XorMeasurement {
+    let mut src = CaSource::new(128, 7, ElementaryRule::RULE_30, 256, 1);
+    XorMeasurement::from_source(64, 64, &mut src, 1638)
+}
+
+fn bench_xor(c: &mut Criterion) {
+    let phi = paper_scale_xor();
+    let mut rng = SplitMix64::new(3);
+    let x: Vec<f64> = (0..4096).map(|_| rng.next_f64() * 255.0).collect();
+    let y: Vec<f64> = (0..1638).map(|_| rng.next_f64()).collect();
+    let mut group = c.benchmark_group("xor_measurement_64x64_k1638");
+    group.throughput(Throughput::Elements(1638 * 4096));
+    group.bench_function("apply", |b| {
+        let mut out = vec![0.0; 1638];
+        b.iter(|| {
+            phi.apply(&x, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.bench_function("apply_adjoint", |b| {
+        let mut out = vec![0.0; 4096];
+        b.iter(|| {
+            phi.apply_adjoint(&y, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.finish();
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let phi = DenseBinaryMeasurement::bernoulli(1638, 4096, 5, 0.5);
+    let mut rng = SplitMix64::new(4);
+    let x: Vec<f64> = (0..4096).map(|_| rng.next_f64() * 255.0).collect();
+    let mut group = c.benchmark_group("dense_binary_64x64_k1638");
+    group.throughput(Throughput::Elements(1638 * 4096));
+    group.bench_function("apply", |b| {
+        let mut out = vec![0.0; 1638];
+        b.iter(|| {
+            phi.apply(&x, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    // 64 blocks of 8×8 with 26 rows each ≈ the same total K.
+    let phi = BlockDiagonalMeasurement::bernoulli(64, 64, 26, 9, 0.5);
+    let mut rng = SplitMix64::new(5);
+    let x: Vec<f64> = (0..4096).map(|_| rng.next_f64() * 255.0).collect();
+    let mut group = c.benchmark_group("block_diagonal_8x8");
+    group.throughput(Throughput::Elements(64 * 26 * 64));
+    group.bench_function("apply", |b| {
+        let mut out = vec![0.0; 64 * 26];
+        b.iter(|| {
+            phi.apply(&x, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xor, bench_dense, bench_block);
+criterion_main!(benches);

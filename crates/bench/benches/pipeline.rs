@@ -1,0 +1,59 @@
+//! End-to-end pipeline timing: capture → wire → decode at 32×32, plus
+//! the block-based baseline, matching the configurations the `ffvb`
+//! experiment sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tepics_core::prelude::*;
+
+fn bench_full_frame(c: &mut Criterion) {
+    let scene = Scene::gaussian_blobs(3).render(32, 32, 5);
+    let imager = CompressiveImager::builder(32, 32)
+        .ratio(0.3)
+        .seed(1)
+        .fidelity(Fidelity::Functional)
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("pipeline_32x32_r030");
+    group.sample_size(10);
+    group.bench_function("capture", |b| {
+        b.iter(|| black_box(imager.capture(&scene)));
+    });
+    let frame = imager.capture(&scene);
+    let bytes = frame.to_bytes();
+    group.bench_function("wire_decode", |b| {
+        b.iter(|| black_box(CompressedFrame::from_bytes(&bytes).unwrap()));
+    });
+    group.bench_function("reconstruct_fista", |b| {
+        b.iter(|| {
+            let decoder = Decoder::for_frame(&frame).unwrap();
+            black_box(decoder.reconstruct(&frame).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_block_baseline(c: &mut Criterion) {
+    let scene = Scene::gaussian_blobs(3).render(32, 32, 5);
+    let imager = CompressiveImager::builder(32, 32)
+        .ratio(0.3)
+        .seed(1)
+        .fidelity(Fidelity::Functional)
+        .build()
+        .unwrap();
+    let codes = imager.ideal_codes(&scene).to_code_f64();
+    let bcs = BlockCs::new(32, 32, 8, 0.3, 1).unwrap();
+    let bframe = bcs.capture(&codes);
+    let mut group = c.benchmark_group("block_cs_32x32_r030");
+    group.sample_size(10);
+    group.bench_function("capture", |b| {
+        b.iter(|| black_box(bcs.capture(&codes)));
+    });
+    group.bench_function("reconstruct", |b| {
+        b.iter(|| black_box(bcs.reconstruct(&bframe).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_frame, bench_block_baseline);
+criterion_main!(benches);

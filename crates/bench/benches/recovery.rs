@@ -1,0 +1,71 @@
+//! Sparse-recovery solver throughput on a standardized Gaussian problem
+//! (128 × 512, k = 12): the cross-solver comparison the decoder's
+//! algorithm choice is based on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tepics_cs::{DenseMatrix, LinearOperator};
+use tepics_recovery::{CoSaMp, Fista, Iht, Omp};
+use tepics_util::SplitMix64;
+
+fn problem() -> (DenseMatrix, Vec<f64>) {
+    let mut rng = SplitMix64::new(42);
+    let a = DenseMatrix::from_fn(128, 512, |_, _| rng.next_gaussian() / 128f64.sqrt());
+    let mut x = vec![0.0; 512];
+    let mut placed = 0;
+    while placed < 12 {
+        let i = rng.next_below(512) as usize;
+        if x[i] == 0.0 {
+            x[i] = if rng.next_bool() { 1.5 } else { -1.5 };
+            placed += 1;
+        }
+    }
+    let y = a.apply_vec(&x);
+    (a, y)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let (a, y) = problem();
+    let mut group = c.benchmark_group("recovery_128x512_k12");
+    group.sample_size(20);
+    group.bench_function("fista_200it", |b| {
+        b.iter(|| {
+            black_box(
+                Fista::new()
+                    .lambda_ratio(0.02)
+                    .max_iter(200)
+                    .tol(0.0)
+                    .solve(&a, &y)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("ista_200it", |b| {
+        b.iter(|| {
+            black_box(
+                tepics_recovery::Ista::new()
+                    .lambda_ratio(0.02)
+                    .max_iter(200)
+                    .tol(0.0)
+                    .solve(&a, &y)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("omp_k12", |b| {
+        b.iter(|| black_box(Omp::new(12).solve(&a, &y).unwrap()));
+    });
+    group.bench_function("cosamp_k12", |b| {
+        b.iter(|| black_box(CoSaMp::new(12).solve(&a, &y).unwrap()));
+    });
+    group.bench_function("iht_k12", |b| {
+        b.iter(|| black_box(Iht::new(12).max_iter(200).solve(&a, &y).unwrap()));
+    });
+    group.bench_function("amp", |b| {
+        b.iter(|| black_box(tepics_recovery::Amp::new().solve(&a, &y).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

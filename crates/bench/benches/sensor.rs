@@ -1,0 +1,46 @@
+//! Event-accurate sensor simulation throughput: one compressed-sample
+//! slot (reset → fire → arbitrate → TDC) and whole-frame capture at the
+//! paper's scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tepics_ca::{CaSource, ElementaryRule};
+use tepics_imaging::Scene;
+use tepics_sensor::{ColumnArbiter, Fidelity, FrameReadout, SensorConfig};
+use tepics_util::SplitMix64;
+
+fn bench_arbiter(c: &mut Criterion) {
+    let config = SensorConfig::paper_prototype();
+    let arbiter = ColumnArbiter::new(&config);
+    let mut rng = SplitMix64::new(7);
+    let pulses: Vec<(usize, f64)> = (0..32).map(|r| (r, rng.next_f64() * 10e-6)).collect();
+    let mut group = c.benchmark_group("column_arbiter");
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("arbitrate_32_pulses", |b| {
+        b.iter(|| black_box(arbiter.arbitrate(&pulses)));
+    });
+    group.finish();
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_capture_64x64");
+    group.sample_size(10);
+    let config = SensorConfig::paper_prototype();
+    let scene = Scene::gaussian_blobs(4).render(64, 64, 3);
+    for (name, fidelity) in [
+        ("functional_100samples", Fidelity::Functional),
+        ("event_accurate_100samples", Fidelity::EventAccurate),
+    ] {
+        group.bench_function(name, |b| {
+            let readout = FrameReadout::new(config.clone(), fidelity);
+            b.iter(|| {
+                let mut src = CaSource::new(128, 7, ElementaryRule::RULE_30, 256, 1);
+                black_box(readout.capture(&scene, &mut src, 100))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiter, bench_capture);
+criterion_main!(benches);

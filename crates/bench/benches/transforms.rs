@@ -1,0 +1,44 @@
+//! Sparsifying-transform throughput: the decoder applies Ψ and Ψᵀ twice
+//! per FISTA iteration, so these dominate reconstruction time together
+//! with the measurement operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tepics_imaging::{Dct2d, Haar2d, Scene};
+
+fn bench_dct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dct2d");
+    for side in [8usize, 32, 64] {
+        let dct = Dct2d::new(side, side);
+        let img = Scene::natural_like().render(side, side, 1);
+        group.throughput(Throughput::Elements((side * side) as u64));
+        group.bench_with_input(BenchmarkId::new("forward", side), &side, |b, _| {
+            b.iter(|| black_box(dct.forward(img.as_slice())));
+        });
+        let coeffs = dct.forward(img.as_slice());
+        group.bench_with_input(BenchmarkId::new("inverse", side), &side, |b, _| {
+            b.iter(|| black_box(dct.inverse(&coeffs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_haar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar2d");
+    for side in [8usize, 32, 64] {
+        let haar = Haar2d::new(side, side, Haar2d::max_levels(side, side));
+        let img = Scene::piecewise_smooth(4).render(side, side, 1);
+        group.throughput(Throughput::Elements((side * side) as u64));
+        group.bench_with_input(BenchmarkId::new("forward", side), &side, |b, _| {
+            b.iter(|| black_box(haar.forward(img.as_slice())));
+        });
+        let coeffs = haar.forward(img.as_slice());
+        group.bench_with_input(BenchmarkId::new("inverse", side), &side, |b, _| {
+            b.iter(|| black_box(haar.inverse(&coeffs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dct, bench_haar);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiment runner: regenerates the paper's tables, figures and
+//! numeric claims.
+//!
+//! ```text
+//! experiments               # list available experiments
+//! experiments all           # run everything
+//! experiments table2 lsb    # run a subset
+//! experiments all --out results.md
+//! ```
+
+use std::io::Write as _;
+use tepics_bench::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = registry();
+    let mut out_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            out_path = it.next();
+            if out_path.is_none() {
+                eprintln!("--out requires a path");
+                std::process::exit(2);
+            }
+        } else {
+            ids.push(arg);
+        }
+    }
+
+    if ids.is_empty() {
+        println!("usage: experiments <id>... | all [--out <path>]\n\navailable experiments:");
+        for e in &registry {
+            println!("  {:<12} {}", e.id, e.artifact);
+        }
+        return;
+    }
+
+    let run_all = ids.iter().any(|i| i == "all");
+    let selected: Vec<_> = registry
+        .iter()
+        .filter(|e| run_all || ids.iter().any(|i| i == e.id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no matching experiments; run without arguments to list ids");
+        std::process::exit(2);
+    }
+    for id in ids.iter().filter(|i| *i != "all") {
+        if !registry.iter().any(|e| e.id == *id) {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        }
+    }
+
+    let mut combined = String::new();
+    for e in selected {
+        eprintln!(">>> running {} — {}", e.id, e.artifact);
+        let started = std::time::Instant::now();
+        let report = (e.run)();
+        eprintln!("    done in {:.1}s", started.elapsed().as_secs_f64());
+        println!("{report}");
+        println!("{}", "=".repeat(78));
+        combined.push_str(&report);
+        combined.push_str("\n\n");
+    }
+    if let Some(path) = out_path {
+        let mut file = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        file.write_all(combined.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("combined report written to {path}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Sect. III.A / ref. \[10\] (Jen 1990): Rule 30 "displays aperiodic
+//! (class III) behavior" — the property that makes it a usable on-chip
+//! randomness source where additive rules and bare LFSRs fail.
+
+use crate::report::{section, Table};
+use tepics_ca::analysis::{
+    analyze_sequence, cell_time_series, find_cycle, render_space_time,
+};
+use tepics_ca::{Automaton1D, Boundary, ElementaryRule, Lfsr};
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::from("# Rule 30 aperiodicity — class III diagnostics\n");
+
+    out.push_str(&section("State-cycle length on small rings (centered-one seed)"));
+    let mut t = Table::new(&["cells", "Rule 30", "Rule 45", "Rule 90", "Rule 110", "LFSR (2^w−1)"]);
+    for cells in [8usize, 12, 16, 20] {
+        let mut row = vec![cells.to_string()];
+        for rule in [30u8, 45, 90, 110] {
+            let ca = Automaton1D::centered_one(cells, ElementaryRule::new(rule), Boundary::Periodic);
+            let cycle = find_cycle(&ca, 3_000_000);
+            row.push(match cycle {
+                Some(info) => info.period.to_string(),
+                None => ">3e6".into(),
+            });
+        }
+        row.push(((1u64 << cells) - 1).to_string());
+        t.row_owned(row);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nRule 30 cycles grow rapidly with ring size (class III); Rule 90\n\
+         stays short (additive), Rule 110 intermediate. An LFSR of equal\n\
+         state reaches 2^w − 1 by construction but is *linear* — see below.\n",
+    );
+
+    out.push_str(&section("Nilpotency of Rule 90 on power-of-two rings"));
+    let mut ca = Automaton1D::from_seed(64, 0xBEEF, ElementaryRule::RULE_90, Boundary::Periodic);
+    let mut died_at = None;
+    for step in 0..=64 {
+        if ca.state().count_ones() == 0 {
+            died_at = Some(step);
+            break;
+        }
+        ca.step();
+    }
+    out.push_str(&format!(
+        "Rule 90 on a 64-cell ring from a random seed reaches the all-zero\n\
+         state after {} steps (T^64 = 0 over GF(2)); Rule 30 from the same\n\
+         seed is still alive after 10,000 steps: {}.\n",
+        died_at.map_or("?".into(), |s: usize| s.to_string()),
+        {
+            let mut r30 =
+                Automaton1D::from_seed(64, 0xBEEF, ElementaryRule::RULE_30, Boundary::Periodic);
+            r30.step_n(10_000);
+            if r30.state().count_ones() > 0 { "alive" } else { "dead" }
+        }
+    ));
+
+    out.push_str(&section("Sequence quality of the selection bit stream (1024 steps)"));
+    let mut t = Table::new(&[
+        "generator",
+        "balance",
+        "entropy (8-bit blocks)",
+        "max |autocorr| lag≤32",
+        "linear complexity",
+    ]);
+    let sequences: Vec<(&str, Vec<bool>)> = vec![
+        (
+            "Rule 30 center cell (129 ring)",
+            cell_time_series(
+                Automaton1D::centered_one(129, ElementaryRule::RULE_30, Boundary::Periodic),
+                64,
+                1024,
+            ),
+        ),
+        (
+            "Rule 45 center cell",
+            cell_time_series(
+                Automaton1D::centered_one(129, ElementaryRule::RULE_45, Boundary::Periodic),
+                64,
+                1024,
+            ),
+        ),
+        (
+            "Rule 110 center cell",
+            cell_time_series(
+                Automaton1D::centered_one(129, ElementaryRule::RULE_110, Boundary::Periodic),
+                64,
+                1024,
+            ),
+        ),
+        ("LFSR-16 output", {
+            let mut l = Lfsr::maximal(16, 0xACE1);
+            (0..1024).map(|_| l.next_bool()).collect()
+        }),
+        ("SplitMix64 reference", {
+            let mut rng = tepics_util::SplitMix64::new(7);
+            (0..1024).map(|_| rng.next_bool()).collect()
+        }),
+    ];
+    for (name, seq) in sequences {
+        let rep = analyze_sequence(&seq);
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{:.3}", rep.balance),
+            format!("{:.2} / 8", rep.entropy8),
+            format!("{:.3}", rep.max_autocorr),
+            rep.linear_complexity.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nBerlekamp–Massey separates the generators sharply: the LFSR's\n\
+         linear complexity equals its register width (16) — an adversary or\n\
+         an unlucky image can align with its linear structure — while Rule\n\
+         30's center column sits near the n/2 value of a truly random\n\
+         sequence, matching ref. [10]'s aperiodicity result.\n",
+    );
+
+    out.push_str(&section("Space–time diagram (Rule 30, centered seed)"));
+    let mut ca = Automaton1D::centered_one(65, ElementaryRule::RULE_30, Boundary::Fixed(false));
+    out.push_str(&render_space_time(&ca.space_time(24)));
+    out
+}

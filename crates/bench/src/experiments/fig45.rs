@@ -1,0 +1,65 @@
+//! Figs. 4 and 5: die-level and pixel-level area budgets.
+
+use crate::report::{section, Table};
+use tepics_sensor::ChipModel;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::from("# Figs. 4/5 — die and pixel area budgets\n");
+    let chip = ChipModel::paper_prototype();
+
+    out.push_str(&section("Fig. 4 — die (paper: 3174 µm × 2227 µm incl. pads)"));
+    let (aw, ah) = chip.array_extent_um();
+    let mut t = Table::new(&["region", "value", "share of die"]);
+    let die = chip.die_area_mm2();
+    let rows: Vec<(String, f64)> = vec![
+        ("pixel array".into(), chip.array_area_mm2()),
+        ("core periphery (CA, S&A, counter, bias)".into(), chip.core_area_mm2() - chip.array_area_mm2()),
+        ("pad ring".into(), die - chip.core_area_mm2()),
+    ];
+    for (name, mm2) in rows {
+        t.row_owned(vec![
+            name,
+            format!("{mm2:.3} mm²"),
+            format!("{:.1}%", mm2 / die * 100.0),
+        ]);
+    }
+    t.row_owned(vec!["TOTAL die".into(), format!("{die:.3} mm²"), "100%".into()]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\narray extent {aw:.0} µm × {ah:.0} µm (64 × 22 µm pitch); {} pads,\n\
+         {} of them supply/ground (Sect. IV: one third of 84).\n",
+        84,
+        chip.supply_pad_count()
+    ));
+
+    out.push_str(&section("Fig. 5 — elementary pixel (paper: 22 µm × 22 µm, FF 9.2%)"));
+    let mut t = Table::new(&["block", "area (µm²)", "share of pixel"]);
+    let pixel = chip.pixel_area_um2();
+    let pd = chip.photodiode_area_um2();
+    // Remaining area split across the Fig. 1 blocks; shares follow the
+    // block transistor weights of the schematic (comparator + auto-zero
+    // MiM dominates the active area).
+    let blocks = [
+        ("photodiode (from 9.2% fill factor)", pd),
+        ("comparator + auto-zero", 0.40 * (pixel - pd)),
+        ("selection XOR (6T) + latch", 0.15 * (pixel - pd)),
+        ("event termination + token gates", 0.25 * (pixel - pd)),
+        ("bus driver M2 + routing", 0.20 * (pixel - pd)),
+    ];
+    for (name, a) in blocks {
+        t.row_owned(vec![
+            name.into(),
+            format!("{a:.1}"),
+            format!("{:.1}%", a / pixel * 100.0),
+        ]);
+    }
+    t.row_owned(vec!["TOTAL pixel".into(), format!("{pixel:.1}"), "100%".into()]);
+    out.push_str(&t.render());
+    out.push_str(
+        "\nThe 9.2% fill factor is the price of the in-pixel event logic —\n\
+         the paper's trade for generating compressed samples at the focal\n\
+         plane instead of buffering a digitized frame.\n",
+    );
+    out
+}

@@ -1,0 +1,18 @@
+//! One module per reproduced artifact — see DESIGN.md §5 for the index.
+
+pub mod breakeven;
+pub mod ca_spectrum;
+pub mod eq1;
+pub mod eq2;
+pub mod ffvb;
+pub mod fig1;
+pub mod fig2;
+pub mod fig45;
+pub mod lsb;
+pub mod matrices;
+pub mod noise;
+pub mod overlap;
+pub mod progressive;
+pub mod table1;
+pub mod table2;
+pub mod warmup;

@@ -1,0 +1,123 @@
+//! Sensor non-idealities: why the prototype auto-zeroes its comparators
+//! (Sect. IV: "In order to reduce the influence of the offset of the
+//! comparator, an auto-zeroing scheme has been implemented").
+//!
+//! The experiment sweeps the three analog error sources the behavioral
+//! model exposes — comparator offset (with and without auto-zero),
+//! flip-time jitter, and photoresponse non-uniformity — and reports the
+//! end-to-end reconstruction cost of each.
+
+use crate::report::{section, Table};
+use tepics_core::prelude::*;
+use tepics_imaging::psnr;
+
+fn psnr_with(
+    configure: impl FnOnce(&mut tepics_sensor::SensorConfigBuilder),
+    scene: &ImageF64,
+) -> f64 {
+    let mut builder = SensorConfig::builder(32, 32);
+    configure(&mut builder);
+    let config = builder.build().unwrap();
+    let imager = CompressiveImager::builder(32, 32)
+        .sensor_config(config)
+        .ratio(0.38)
+        .seed(0x0FF5E7)
+        .build()
+        .unwrap();
+    let frame = imager.capture(scene);
+    let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+    // Grade against the *noiseless* ideal codes: every analog error
+    // counts as reconstruction error.
+    let clean = CompressiveImager::builder(32, 32)
+        .ratio(0.38)
+        .seed(0x0FF5E7)
+        .build()
+        .unwrap();
+    let truth = clean.ideal_codes(scene).to_code_f64();
+    psnr(&truth, recon.code_image(), 255.0)
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::from("# Sensor non-idealities — the case for auto-zeroing\n");
+    let scene = Scene::gaussian_blobs(3).render(32, 32, 40);
+
+    out.push_str(&section("Comparator offset at the default 1.5 V integration swing"));
+    let mut t = Table::new(&["offset σ (mV)", "scenario", "PSNR (dB)"]);
+    for (mv, label) in [
+        (0.0, "ideal comparators"),
+        (2.0, "with auto-zero (residual)"),
+        (8.0, "weak auto-zero"),
+        (25.0, "no auto-zero (raw offset)"),
+    ] {
+        let db = psnr_with(|b| {
+            b.offset_sigma_volts(mv * 1e-3);
+        }, &scene);
+        t.row_owned(vec![format!("{mv:.0}"), label.into(), format!("{db:.1}")]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str(&section(
+        "…and at a narrowed swing (V_ref = 2.5 V, ΔV = 0.3 V — the adaptive-exposure regime)",
+    ));
+    let mut t = Table::new(&["offset σ (mV)", "σ / ΔV", "PSNR (dB)"]);
+    for mv in [0.0, 2.0, 8.0, 25.0] {
+        let db = psnr_with(|b| {
+            // Narrow swing: rescale currents so the code range is kept.
+            b.v_ref(2.5)
+                .i_dark(2.14e-9 / 5.0)
+                .i_scale(42.9e-9 / 5.0)
+                .offset_sigma_volts(mv * 1e-3);
+        }, &scene);
+        t.row_owned(vec![
+            format!("{mv:.0}"),
+            format!("{:.1}%", mv * 1e-3 / 0.3 * 100.0),
+            format!("{db:.1}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nAt the generous default swing a raw 25 mV offset is only 1.7% of ΔV\n\
+         and costs under 1 dB. The auto-zero capacitor earns its area when\n\
+         the on-line V_ref adaptation of Sect. II.A *narrows* the swing for\n\
+         low light: the same 25 mV is then 8.3% of ΔV and the fixed-pattern\n\
+         error dominates — exactly the operating regime the prototype's\n\
+         MiM auto-zero protects.\n",
+    );
+
+    out.push_str(&section("Temporal jitter on the flip time"));
+    let mut t = Table::new(&["jitter σ (ns)", "σ in LSB (41.7 ns clock)", "PSNR (dB)"]);
+    for ns in [0.0, 5.0, 20.0, 80.0] {
+        let db = psnr_with(|b| {
+            b.jitter_sigma(ns * 1e-9);
+        }, &scene);
+        t.row_owned(vec![
+            format!("{ns:.0}"),
+            format!("{:.2}", ns / 41.7),
+            format!("{db:.1}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nJitter is temporal and zero-mean: it averages across the K\n\
+         measurements each pixel participates in, so the pipeline tolerates\n\
+         sub-LSB jitter almost for free.\n",
+    );
+
+    out.push_str(&section("Photoresponse non-uniformity (gain FPN)"));
+    let mut t = Table::new(&["gain σ", "PSNR (dB)"]);
+    for sigma in [0.0, 0.005, 0.02, 0.05] {
+        let db = psnr_with(|b| {
+            b.fpn_gain_sigma(sigma);
+        }, &scene);
+        t.row_owned(vec![format!("{:.1}%", sigma * 100.0), format!("{db:.1}")]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nGain FPN enters multiplicatively before the reciprocal transfer;\n\
+         like offset it is frozen per pixel and does not average out. The\n\
+         behavioral model makes all three knobs orthogonal so silicon-\n\
+         calibration studies can be rehearsed in simulation.\n",
+    );
+    out
+}

@@ -1,0 +1,52 @@
+//! Sect. III.B: "compressed samples are generated sequentially" — which
+//! means a receiver can reconstruct at *any prefix* of the stream. This
+//! experiment traces quality vs received samples, the property that
+//! makes the architecture graceful on lossy/starved links (and the
+//! reason the surveillance example can drop the stream mid-frame).
+
+use crate::report::{section, Table};
+use tepics_core::pipeline::progressive_psnr;
+use tepics_core::prelude::*;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::from("# Progressive reconstruction — quality vs received samples\n");
+    let side = 32;
+    let imager = CompressiveImager::builder(side, side)
+        .ratio(0.4)
+        .seed(0x960)
+        .fidelity(Fidelity::Functional)
+        .build()
+        .unwrap();
+    let total = imager.sample_count();
+    let checkpoints: Vec<usize> = [0.125, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|f| ((f * total as f64) as usize).max(1))
+        .collect();
+
+    for (name, scene_kind) in Scene::evaluation_suite().into_iter().take(3) {
+        let scene = scene_kind.render(side, side, 123);
+        out.push_str(&section(&format!("Scene: {name} (of {total} samples total)")));
+        let curve = progressive_psnr(&imager, &scene, &checkpoints).unwrap();
+        let mut t = Table::new(&["received K", "effective R", "PSNR (dB)"]);
+        for (k, db) in curve {
+            t.row_owned(vec![
+                k.to_string(),
+                format!("{:.3}", k as f64 / (side * side) as f64),
+                format!("{db:.1}"),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    out.push_str(&section("Reading"));
+    out.push_str(
+        "Each prefix of the sample stream is itself a valid compressed\n\
+         frame (the CA replay simply stops earlier), so quality degrades\n\
+         gracefully with truncation instead of failing — a raster readout\n\
+         cut at 50% loses the bottom half of the image; this architecture\n\
+         loses ~a few dB uniformly. The curve is the receiver-side twin of\n\
+         Eq. (2): time, samples and quality are interchangeable.\n",
+    );
+    out
+}

@@ -1,0 +1,67 @@
+//! Table I: the Rule 30 truth table, plus the Fig. 3 cell netlists.
+
+use crate::report::{section, Table};
+use tepics_ca::gates::{check_against_rule, rule30_cell, rule30_cell_nand, synthesize_rule};
+use tepics_ca::ElementaryRule;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::from("# Table I — Rule 30 truth table\n");
+    let rule = ElementaryRule::RULE_30;
+
+    out.push_str(&section("Truth table (paper order, (1,1,1) … (0,0,0))"));
+    let mut t = Table::new(&["L", "S", "R", "NS (paper)", "NS (impl)", "match"]);
+    // Paper Table I, verbatim.
+    let paper_rows = [
+        (true, true, true, false),
+        (true, true, false, false),
+        (true, false, true, false),
+        (true, false, false, true),
+        (false, true, true, true),
+        (false, true, false, true),
+        (false, false, true, true),
+        (false, false, false, false),
+    ];
+    let mut all_match = true;
+    for (l, s, r, ns_paper) in paper_rows {
+        let ns_impl = rule.next(l, s, r);
+        all_match &= ns_impl == ns_paper;
+        t.row_owned(vec![
+            (l as u8).to_string(),
+            (s as u8).to_string(),
+            (r as u8).to_string(),
+            (ns_paper as u8).to_string(),
+            (ns_impl as u8).to_string(),
+            if ns_impl == ns_paper { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nTable I reproduced: {}\n",
+        if all_match { "EXACT MATCH" } else { "MISMATCH" }
+    ));
+
+    out.push_str(&section("Fig. 3 cell implementations (gate level)"));
+    let mut t = Table::new(&["netlist", "gates", "transistors (est.)", "equivalent to Rule 30"]);
+    for (name, netlist) in [
+        ("XOR + OR (direct)", rule30_cell()),
+        ("NAND-only mapping", rule30_cell_nand()),
+        ("generic SOP synthesis", synthesize_rule(rule)),
+    ] {
+        let ok = check_against_rule(&netlist, rule).is_none();
+        t.row_owned(vec![
+            name.into(),
+            netlist.gate_count().to_string(),
+            netlist.transistor_count().to_string(),
+            if ok { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str(&section("Closed form"));
+    out.push_str(
+        "NS = L XOR (S OR R) — verified exhaustively against the rule number \
+         30 = 0b00011110 for all 8 neighborhoods.\n",
+    );
+    out
+}

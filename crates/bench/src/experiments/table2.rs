@@ -1,0 +1,35 @@
+//! Table II: the chip feature summary, paper vs accounting model.
+
+use crate::report::{section, Table};
+use tepics_sensor::ChipModel;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::from("# Table II — summary of chip features\n");
+    let chip = ChipModel::paper_prototype();
+
+    out.push_str(&section("Feature summary (paper vs model)"));
+    let mut t = Table::new(&["feature", "paper", "model"]);
+    for row in chip.table_ii() {
+        t.row(&[&row.name, &row.paper, &row.model]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str(&section("First-order power budget"));
+    let mut t = Table::new(&["block", "mW"]);
+    for (name, mw) in chip.power_budget_mw() {
+        t.row_owned(vec![name, format!("{mw:.2}")]);
+    }
+    t.row_owned(vec!["TOTAL".into(), format!("{:.1}", chip.total_power_mw())]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nTable II bound: predicted <100 mW; model total {:.1} mW -> {}\n",
+        chip.total_power_mw(),
+        if chip.total_power_mw() < 100.0 {
+            "CONSISTENT"
+        } else {
+            "INCONSISTENT"
+        }
+    ));
+    out
+}

@@ -1,0 +1,146 @@
+//! Experiment harness reproducing the paper's tables, figures and
+//! numeric claims.
+//!
+//! Each module under [`experiments`] regenerates one artifact of the
+//! DATE 2018 paper (or one in-text claim) and returns a self-contained
+//! text report with paper-vs-measured columns. The `experiments` binary
+//! runs them:
+//!
+//! ```text
+//! cargo run --release -p tepics-bench --bin experiments -- all
+//! cargo run --release -p tepics-bench --bin experiments -- table2 overlap
+//! ```
+//!
+//! DESIGN.md §5 is the index mapping experiment ids to paper artifacts;
+//! EXPERIMENTS.md records the outcomes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+/// An experiment: an id, the paper artifact it reproduces, and a runner
+/// producing a text report.
+pub struct Experiment {
+    /// Command-line id.
+    pub id: &'static str,
+    /// The paper artifact this regenerates.
+    pub artifact: &'static str,
+    /// Runs the experiment, returning a printable report.
+    pub run: fn() -> String,
+}
+
+/// The registry of all experiments, in the order DESIGN.md lists them.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            artifact: "Table I — Rule 30 truth table + Fig. 3 gate cell",
+            run: experiments::table1::run,
+        },
+        Experiment {
+            id: "table2",
+            artifact: "Table II — chip feature summary",
+            run: experiments::table2::run,
+        },
+        Experiment {
+            id: "fig1",
+            artifact: "Fig. 1 — pixel node waveforms and event protocol",
+            run: experiments::fig1::run,
+        },
+        Experiment {
+            id: "fig2",
+            artifact: "Fig. 2 — conceptual floorplan and CA ring",
+            run: experiments::fig2::run,
+        },
+        Experiment {
+            id: "fig45",
+            artifact: "Figs. 4/5 — die and pixel area budgets",
+            run: experiments::fig45::run,
+        },
+        Experiment {
+            id: "eq1",
+            artifact: "Eq. (1) — compressed-sample dynamic range",
+            run: experiments::eq1::run,
+        },
+        Experiment {
+            id: "eq2",
+            artifact: "Eq. (2) — compressed-sample rate (≈50 kHz point)",
+            run: experiments::eq2::run,
+        },
+        Experiment {
+            id: "overlap",
+            artifact: "Sect. III.B — event-overlap probability (6.25% claim)",
+            run: experiments::overlap::run,
+        },
+        Experiment {
+            id: "lsb",
+            artifact: "Sect. III.B — 1 LSB error, system-level verification",
+            run: experiments::lsb::run,
+        },
+        Experiment {
+            id: "breakeven",
+            artifact: "Sect. III.B — R < 0.4 compression break-even",
+            run: experiments::breakeven::run,
+        },
+        Experiment {
+            id: "ffvb",
+            artifact: "Conclusions — full-frame vs block-based CS",
+            run: experiments::ffvb::run,
+        },
+        Experiment {
+            id: "matrices",
+            artifact: "Sect. I/III.A — measurement-matrix quality (RIP proxies)",
+            run: experiments::matrices::run,
+        },
+        Experiment {
+            id: "ca_spectrum",
+            artifact: "Sect. III.A / ref. [10] — Rule 30 aperiodicity",
+            run: experiments::ca_spectrum::run,
+        },
+        Experiment {
+            id: "noise",
+            artifact: "Sect. IV — comparator offset/auto-zero, jitter, FPN",
+            run: experiments::noise::run,
+        },
+        Experiment {
+            id: "progressive",
+            artifact: "Sect. III.B — sequential samples ⇒ prefix reconstruction",
+            run: experiments::progressive::run,
+        },
+        Experiment {
+            id: "warmup",
+            artifact: "(ablation) CA warm-up and step-per-sample knobs",
+            run: experiments::warmup::run,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    /// Smoke: the fast experiments must run and produce non-empty
+    /// reports. (The slow sweeps are exercised by the binary.)
+    #[test]
+    fn fast_experiments_produce_reports() {
+        for id in ["table1", "table2", "fig2", "fig45", "eq1", "eq2", "breakeven"] {
+            let exp = registry()
+                .into_iter()
+                .find(|e| e.id == id)
+                .expect("registered");
+            let report = (exp.run)();
+            assert!(report.len() > 100, "{id} report suspiciously short");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A fixed-column text table with automatic width fitting.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_bench::report::Table;
+///
+/// let mut t = Table::new(&["quantity", "paper", "measured"]);
+/// t.row(&["sample bits", "20", "20"]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("sample bits"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<width$} ", cell, width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        write_row(&mut out, &self.header);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{}", "-".repeat(w + 2));
+            if i == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Section header helper for reports.
+pub fn section(title: &str) -> String {
+    format!("\n## {title}\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long header", "x"]);
+        t.row(&["1", "2", "3"]);
+        t.row(&["wide cell", "4", "5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn arity_mismatch_panics() {
+        Table::new(&["a", "b"]).row(&["only one"]);
+    }
+}

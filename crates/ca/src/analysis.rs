@@ -1,0 +1,350 @@
+//! Sequence-quality diagnostics for pattern generators.
+//!
+//! The paper selects Rule 30 because it "has been demonstrated to display
+//! aperiodic (class III) behavior" (ref. \[10\], Jen 1990). This module
+//! provides the measurements behind that claim and behind the
+//! `ca_spectrum` experiment: state-cycle detection (Brent), balance,
+//! block entropy, autocorrelation and Berlekamp–Massey linear complexity
+//! — the last being the sharpest separator between an LFSR (complexity =
+//! register width) and Rule 30's center column (complexity ≈ half the
+//! sequence length, like a truly random stream).
+
+use crate::automaton::Automaton1D;
+use tepics_util::BitVec;
+
+/// Result of cycle detection on a deterministic state sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleInfo {
+    /// Steps before the cycle is entered (transient length μ).
+    pub transient: u64,
+    /// Cycle length λ.
+    pub period: u64,
+}
+
+/// Brent's cycle-detection algorithm over automaton states.
+///
+/// Returns `None` if no cycle is found within `limit` steps (for Rule 30
+/// on moderate ring sizes the cycle often exceeds any practical limit —
+/// that *is* the aperiodicity result the paper leans on).
+///
+/// # Examples
+///
+/// ```
+/// use tepics_ca::{analysis, Automaton1D, Boundary, ElementaryRule};
+///
+/// // Rule 204 (identity) has period 1.
+/// let ca = Automaton1D::centered_one(16, ElementaryRule::new(204), Boundary::Periodic);
+/// let info = analysis::find_cycle(&ca, 100).unwrap();
+/// assert_eq!(info.period, 1);
+/// ```
+pub fn find_cycle(start: &Automaton1D, limit: u64) -> Option<CycleInfo> {
+    // Brent: find λ first with powers of two, then μ.
+    let mut power: u64 = 1;
+    let mut lam: u64 = 1;
+    let mut tortoise = start.clone();
+    let mut hare = start.clone();
+    hare.step();
+    let mut taken: u64 = 1;
+    while tortoise.state() != hare.state() {
+        if taken >= limit {
+            return None;
+        }
+        if power == lam {
+            tortoise = hare.clone();
+            power *= 2;
+            lam = 0;
+        }
+        hare.step();
+        taken += 1;
+        lam += 1;
+    }
+    // Find μ: advance two cursors λ apart.
+    let mut lead = start.clone();
+    lead.step_n(lam as usize);
+    let mut trail = start.clone();
+    let mut mu: u64 = 0;
+    while trail.state() != lead.state() {
+        trail.step();
+        lead.step();
+        mu += 1;
+        if mu > limit {
+            return None;
+        }
+    }
+    Some(CycleInfo {
+        transient: mu,
+        period: lam,
+    })
+}
+
+/// The time series of one cell over `steps` generations (the automaton
+/// is advanced; pass a clone to preserve the original).
+pub fn cell_time_series(mut ca: Automaton1D, cell: usize, steps: usize) -> Vec<bool> {
+    assert!(cell < ca.len(), "cell {cell} out of range");
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        out.push(ca.state().get(cell));
+        ca.step();
+    }
+    out
+}
+
+/// Fraction of ones in a boolean sequence.
+pub fn balance(seq: &[bool]) -> f64 {
+    if seq.is_empty() {
+        return 0.0;
+    }
+    seq.iter().filter(|&&b| b).count() as f64 / seq.len() as f64
+}
+
+/// Shannon entropy (bits per symbol) of overlapping `k`-bit blocks.
+///
+/// An ideal random sequence approaches `k` bits; strong structure pulls
+/// the value down. `k ≤ 16` keeps the table small.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > 16`, or the sequence is shorter than `k`.
+pub fn block_entropy(seq: &[bool], k: usize) -> f64 {
+    assert!(k > 0 && k <= 16, "block size {k} unsupported");
+    assert!(seq.len() >= k, "sequence shorter than block");
+    let mut counts = vec![0u64; 1 << k];
+    let total = seq.len() - k + 1;
+    for w in seq.windows(k) {
+        let mut idx = 0usize;
+        for &b in w {
+            idx = (idx << 1) | b as usize;
+        }
+        counts[idx] += 1;
+    }
+    let mut h = 0.0;
+    for &c in &counts {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Normalized autocorrelation of a ±1-mapped boolean sequence at the
+/// given lag: `1.0` means identical, `0.0` uncorrelated.
+///
+/// # Panics
+///
+/// Panics if `lag >= seq.len()`.
+pub fn autocorrelation(seq: &[bool], lag: usize) -> f64 {
+    assert!(lag < seq.len(), "lag {lag} too large");
+    let n = seq.len() - lag;
+    let mut acc = 0i64;
+    for i in 0..n {
+        let a = if seq[i] { 1i64 } else { -1 };
+        let b = if seq[i + lag] { 1i64 } else { -1 };
+        acc += a * b;
+    }
+    acc as f64 / n as f64
+}
+
+/// Berlekamp–Massey over GF(2): length of the shortest LFSR that
+/// generates `seq`.
+///
+/// A maximal-length LFSR stream of width `w` has complexity exactly `w`;
+/// a random sequence of length `n` has complexity ≈ `n/2`. This is the
+/// quantitative version of "an LFSR is linear, Rule 30 is not".
+pub fn linear_complexity(seq: &[bool]) -> usize {
+    let n = seq.len();
+    let s: Vec<u8> = seq.iter().map(|&b| b as u8).collect();
+    let mut c = vec![0u8; n + 1]; // current connection polynomial
+    let mut b = vec![0u8; n + 1]; // previous polynomial
+    c[0] = 1;
+    b[0] = 1;
+    let mut l: usize = 0;
+    let mut m: isize = -1;
+    for i in 0..n {
+        // Discrepancy.
+        let mut d = s[i];
+        for j in 1..=l {
+            d ^= c[j] & s[i - j];
+        }
+        if d == 1 {
+            let t = c.clone();
+            let shift = (i as isize - m) as usize;
+            for j in 0..=(n.saturating_sub(shift)) {
+                if b[j] == 1 {
+                    c[j + shift] ^= 1;
+                }
+            }
+            if 2 * l <= i {
+                l = i + 1 - l;
+                m = i as isize;
+                b = t;
+            }
+        }
+    }
+    l
+}
+
+/// Summary of generator-quality metrics for one boolean sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceReport {
+    /// Fraction of ones.
+    pub balance: f64,
+    /// Entropy of 8-bit blocks, in bits (8 is ideal).
+    pub entropy8: f64,
+    /// Maximum |autocorrelation| over lags 1..=32.
+    pub max_autocorr: f64,
+    /// Berlekamp–Massey linear complexity.
+    pub linear_complexity: usize,
+    /// Sequence length the metrics were computed on.
+    pub len: usize,
+}
+
+/// Computes the full metric suite on a sequence.
+///
+/// # Panics
+///
+/// Panics if the sequence is shorter than 64 samples.
+pub fn analyze_sequence(seq: &[bool]) -> SequenceReport {
+    assert!(seq.len() >= 64, "need at least 64 samples");
+    let max_autocorr = (1..=32)
+        .map(|lag| autocorrelation(seq, lag).abs())
+        .fold(0.0, f64::max);
+    SequenceReport {
+        balance: balance(seq),
+        entropy8: block_entropy(seq, 8),
+        max_autocorr,
+        linear_complexity: linear_complexity(seq),
+        len: seq.len(),
+    }
+}
+
+/// Hamming-weight trajectory of the automaton (ones per generation), a
+/// cheap visual of class behavior.
+pub fn weight_trajectory(mut ca: Automaton1D, steps: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        out.push(ca.state().count_ones());
+        ca.step();
+    }
+    out
+}
+
+/// Renders a space–time diagram as ASCII art (`#` = 1, `.` = 0), used by
+/// the experiment harness to reproduce the classic Rule-30 triangle.
+pub fn render_space_time(rows: &[BitVec]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for i in 0..row.len() {
+            out.push(if row.get(i) { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Boundary;
+    use crate::lfsr::Lfsr;
+    use crate::rule::ElementaryRule;
+
+    #[test]
+    fn identity_rule_has_period_one() {
+        let ca = Automaton1D::centered_one(32, ElementaryRule::new(204), Boundary::Periodic);
+        let info = find_cycle(&ca, 100).unwrap();
+        assert_eq!(info.period, 1);
+        assert_eq!(info.transient, 0);
+    }
+
+    #[test]
+    fn rule_0_reaches_fixed_point_after_transient() {
+        let ca = Automaton1D::centered_one(32, ElementaryRule::new(0), Boundary::Periodic);
+        let info = find_cycle(&ca, 100).unwrap();
+        assert_eq!(info.period, 1);
+        assert_eq!(info.transient, 1);
+    }
+
+    #[test]
+    fn rule_90_small_ring_has_short_cycle() {
+        // Additive rules on small rings cycle quickly.
+        let ca = Automaton1D::centered_one(8, ElementaryRule::RULE_90, Boundary::Periodic);
+        let info = find_cycle(&ca, 10_000).expect("rule 90 must cycle fast on 8 cells");
+        assert!(info.period <= 64, "period {} unexpectedly long", info.period);
+    }
+
+    #[test]
+    fn rule_30_outlives_rule_90_on_equal_ring() {
+        let r30 = Automaton1D::centered_one(16, ElementaryRule::RULE_30, Boundary::Periodic);
+        let r90 = Automaton1D::centered_one(16, ElementaryRule::RULE_90, Boundary::Periodic);
+        let p30 = find_cycle(&r30, 1_000_000).unwrap();
+        let p90 = find_cycle(&r90, 1_000_000).unwrap();
+        assert!(
+            p30.period > p90.period,
+            "rule 30 period {} should exceed rule 90 period {}",
+            p30.period,
+            p90.period
+        );
+    }
+
+    #[test]
+    fn lfsr_linear_complexity_equals_width() {
+        let mut lfsr = Lfsr::maximal(12, 0x5A5);
+        let seq: Vec<bool> = (0..512).map(|_| lfsr.next_bool()).collect();
+        assert_eq!(linear_complexity(&seq), 12);
+    }
+
+    #[test]
+    fn rule_30_center_column_has_high_linear_complexity() {
+        let ca = Automaton1D::centered_one(257, ElementaryRule::RULE_30, Boundary::Periodic);
+        let seq = cell_time_series(ca, 128, 512);
+        let lc = linear_complexity(&seq);
+        // Random-like sequences have complexity near n/2 = 256.
+        assert!(lc > 200, "rule 30 linear complexity {lc} too low");
+    }
+
+    #[test]
+    fn linear_complexity_of_constant_sequences() {
+        assert_eq!(linear_complexity(&vec![false; 100]), 0);
+        // All-ones is generated by an LFSR of length 1 (c(x) = 1 + x).
+        assert_eq!(linear_complexity(&vec![true; 100]), 1);
+    }
+
+    #[test]
+    fn block_entropy_separates_constant_from_random() {
+        let constant = vec![true; 300];
+        assert!(block_entropy(&constant, 8) < 0.01);
+        let mut lfsr = Lfsr::maximal(16, 0xACE1);
+        let pseudo: Vec<bool> = (0..4096).map(|_| lfsr.next_bool()).collect();
+        assert!(block_entropy(&pseudo, 8) > 7.0);
+    }
+
+    #[test]
+    fn autocorrelation_detects_period_two() {
+        let alt: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        assert!((autocorrelation(&alt, 1) + 1.0).abs() < 1e-9);
+        assert!((autocorrelation(&alt, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyze_sequence_produces_consistent_report() {
+        let ca = Automaton1D::centered_one(129, ElementaryRule::RULE_30, Boundary::Periodic);
+        let seq = cell_time_series(ca, 64, 512);
+        let rep = analyze_sequence(&seq);
+        assert!((0.3..0.7).contains(&rep.balance));
+        assert!(rep.entropy8 > 6.0, "entropy {}", rep.entropy8);
+        assert!(rep.linear_complexity > 100);
+        assert_eq!(rep.len, 512);
+    }
+
+    #[test]
+    fn render_space_time_shape() {
+        let mut ca = Automaton1D::centered_one(9, ElementaryRule::RULE_30, Boundary::Fixed(false));
+        let rows = ca.space_time(3);
+        let art = render_space_time(&rows);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "....#....");
+        assert_eq!(lines[1], "...###...");
+    }
+}

@@ -1,0 +1,323 @@
+//! Gate-level modeling of the CA cell (paper Fig. 3).
+//!
+//! The prototype implements each Rule-30 cell in CMOS standard gates.
+//! This module provides a tiny combinational netlist representation, the
+//! Fig. 3 cell in two technology flavors (direct XOR/OR and NAND-only),
+//! a generic sum-of-products synthesizer for *any* elementary rule, and
+//! exhaustive equivalence checking against the rule truth table — the
+//! `table1`/`fig3` experiment drives these.
+
+use crate::rule::ElementaryRule;
+
+/// A combinational gate. Operand values are signal indices: signals
+/// `0..n_inputs` are primary inputs, and gate `g` drives signal
+/// `n_inputs + g`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Inverter.
+    Not(usize),
+    /// Non-inverting buffer.
+    Buf(usize),
+    /// 2-input AND.
+    And(usize, usize),
+    /// 2-input OR.
+    Or(usize, usize),
+    /// 2-input NAND.
+    Nand(usize, usize),
+    /// 2-input NOR.
+    Nor(usize, usize),
+    /// 2-input XOR (the pixel uses a 6-transistor XOR; see Fig. 1).
+    Xor(usize, usize),
+    /// 2-input XNOR.
+    Xnor(usize, usize),
+    /// 3-input AND.
+    And3(usize, usize, usize),
+    /// 3-input NAND (the pixel's output-control gate is a 3-input NAND).
+    Nand3(usize, usize, usize),
+    /// 3-input OR.
+    Or3(usize, usize, usize),
+}
+
+impl Gate {
+    fn eval(self, sig: &[bool]) -> bool {
+        match self {
+            Gate::Not(a) => !sig[a],
+            Gate::Buf(a) => sig[a],
+            Gate::And(a, b) => sig[a] && sig[b],
+            Gate::Or(a, b) => sig[a] || sig[b],
+            Gate::Nand(a, b) => !(sig[a] && sig[b]),
+            Gate::Nor(a, b) => !(sig[a] || sig[b]),
+            Gate::Xor(a, b) => sig[a] ^ sig[b],
+            Gate::Xnor(a, b) => !(sig[a] ^ sig[b]),
+            Gate::And3(a, b, c) => sig[a] && sig[b] && sig[c],
+            Gate::Nand3(a, b, c) => !(sig[a] && sig[b] && sig[c]),
+            Gate::Or3(a, b, c) => sig[a] || sig[b] || sig[c],
+        }
+    }
+
+    /// Approximate transistor count in static CMOS, used by the chip
+    /// area-accounting model.
+    pub fn transistor_count(self) -> u32 {
+        match self {
+            Gate::Not(_) => 2,
+            Gate::Buf(_) => 4,
+            Gate::Nand(_, _) | Gate::Nor(_, _) => 4,
+            Gate::And(_, _) | Gate::Or(_, _) => 6,
+            Gate::Xor(_, _) | Gate::Xnor(_, _) => 6, // paper: 6-T XOR in pixel
+            Gate::Nand3(_, _, _) => 6,
+            Gate::And3(_, _, _) | Gate::Or3(_, _, _) => 8,
+        }
+    }
+}
+
+/// A feed-forward combinational netlist.
+///
+/// Gates must be listed in topological order (each operand refers to a
+/// primary input or an earlier gate), which [`Netlist::push`] enforces.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_ca::gates::{Gate, Netlist};
+///
+/// // f = a XOR (b OR c): the Rule 30 next-state function.
+/// let mut n = Netlist::new(3);
+/// let or = n.push(Gate::Or(1, 2));
+/// let out = n.push(Gate::Xor(0, or));
+/// n.set_outputs(vec![out]);
+/// assert_eq!(n.eval(&[true, false, false]), vec![true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    n_inputs: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<usize>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with `n_inputs` primary inputs.
+    pub fn new(n_inputs: usize) -> Self {
+        Netlist {
+            n_inputs,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Appends a gate, returning the signal index it drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand refers to a not-yet-defined signal.
+    pub fn push(&mut self, gate: Gate) -> usize {
+        let limit = self.n_inputs + self.gates.len();
+        let check = |s: usize| assert!(s < limit, "gate operand {s} not yet defined");
+        match gate {
+            Gate::Not(a) | Gate::Buf(a) => check(a),
+            Gate::And(a, b)
+            | Gate::Or(a, b)
+            | Gate::Nand(a, b)
+            | Gate::Nor(a, b)
+            | Gate::Xor(a, b)
+            | Gate::Xnor(a, b) => {
+                check(a);
+                check(b);
+            }
+            Gate::And3(a, b, c) | Gate::Nand3(a, b, c) | Gate::Or3(a, b, c) => {
+                check(a);
+                check(b);
+                check(c);
+            }
+        }
+        self.gates.push(gate);
+        limit
+    }
+
+    /// Declares which signals are outputs.
+    pub fn set_outputs(&mut self, outputs: Vec<usize>) {
+        let limit = self.n_inputs + self.gates.len();
+        for &o in &outputs {
+            assert!(o < limit, "output signal {o} not defined");
+        }
+        self.outputs = outputs;
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Total transistor estimate (static CMOS).
+    pub fn transistor_count(&self) -> u32 {
+        self.gates.iter().map(|g| g.transistor_count()).sum()
+    }
+
+    /// Evaluates the netlist for one input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != input_count()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.n_inputs, "wrong number of inputs");
+        let mut sig = Vec::with_capacity(self.n_inputs + self.gates.len());
+        sig.extend_from_slice(inputs);
+        for &g in &self.gates {
+            let v = g.eval(&sig);
+            sig.push(v);
+        }
+        self.outputs.iter().map(|&o| sig[o]).collect()
+    }
+}
+
+/// The Fig. 3 Rule-30 cell as a direct two-gate netlist:
+/// `NS = L XOR (S OR R)`, inputs ordered `[L, S, R]`.
+pub fn rule30_cell() -> Netlist {
+    let mut n = Netlist::new(3);
+    let or = n.push(Gate::Or(1, 2));
+    let out = n.push(Gate::Xor(0, or));
+    n.set_outputs(vec![out]);
+    n
+}
+
+/// The Rule-30 cell mapped onto NAND/inverter primitives only, as a
+/// compact-CMOS alternative (XOR = 4 NAND; OR = NAND of inverters).
+pub fn rule30_cell_nand() -> Netlist {
+    let mut n = Netlist::new(3);
+    // OR(s, r) = NAND(NOT s, NOT r)
+    let ns = n.push(Gate::Not(1));
+    let nr = n.push(Gate::Not(2));
+    let or = n.push(Gate::Nand(ns, nr));
+    // XOR(l, or) with 4 NANDs.
+    let t = n.push(Gate::Nand(0, or));
+    let u = n.push(Gate::Nand(0, t));
+    let v = n.push(Gate::Nand(or, t));
+    let out = n.push(Gate::Nand(u, v));
+    n.set_outputs(vec![out]);
+    n
+}
+
+/// Synthesizes a sum-of-products netlist for an arbitrary elementary
+/// rule: shared input inverters, one AND3 per minterm, an OR tree.
+///
+/// Constant rules (0 minterms or 8 minterms) synthesize to a constant
+/// via `XNOR(l, l)` / `XOR(l, l)` so every netlist has at least one gate.
+pub fn synthesize_rule(rule: ElementaryRule) -> Netlist {
+    let mut n = Netlist::new(3);
+    let minterms: Vec<u8> = (0..8u8).filter(|&i| (rule.number() >> i) & 1 == 1).collect();
+    if minterms.is_empty() {
+        let z = n.push(Gate::Xor(0, 0));
+        n.set_outputs(vec![z]);
+        return n;
+    }
+    if minterms.len() == 8 {
+        let one = n.push(Gate::Xnor(0, 0));
+        n.set_outputs(vec![one]);
+        return n;
+    }
+    let nl = n.push(Gate::Not(0));
+    let ns = n.push(Gate::Not(1));
+    let nr = n.push(Gate::Not(2));
+    let lit = |idx: u8, bit: u8, pos: usize, neg: usize| if idx & bit != 0 { pos } else { neg };
+    let mut terms = Vec::new();
+    for &m in &minterms {
+        let a = lit(m, 4, 0, nl);
+        let b = lit(m, 2, 1, ns);
+        let c = lit(m, 1, 2, nr);
+        terms.push(n.push(Gate::And3(a, b, c)));
+    }
+    // OR-reduce the terms.
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for pair in terms.chunks(2) {
+            if pair.len() == 2 {
+                next.push(n.push(Gate::Or(pair[0], pair[1])));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        terms = next;
+    }
+    n.set_outputs(vec![terms[0]]);
+    n
+}
+
+/// Exhaustively checks a 3-input, 1-output netlist against a rule.
+/// Returns the first failing `(l, s, r)` pattern, or `None` on success.
+pub fn check_against_rule(netlist: &Netlist, rule: ElementaryRule) -> Option<(bool, bool, bool)> {
+    for idx in 0..8u8 {
+        let l = idx & 4 != 0;
+        let s = idx & 2 != 0;
+        let r = idx & 1 != 0;
+        if netlist.eval(&[l, s, r]) != vec![rule.next(l, s, r)] {
+            return Some((l, s, r));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_cell_implements_rule_30() {
+        assert_eq!(check_against_rule(&rule30_cell(), ElementaryRule::RULE_30), None);
+    }
+
+    #[test]
+    fn nand_only_cell_implements_rule_30() {
+        let cell = rule30_cell_nand();
+        assert_eq!(check_against_rule(&cell, ElementaryRule::RULE_30), None);
+        // NAND mapping uses exactly 5 NANDs + 2 inverters.
+        assert_eq!(cell.gate_count(), 7);
+    }
+
+    #[test]
+    fn synthesizer_covers_all_256_rules() {
+        for number in 0..=255u8 {
+            let rule = ElementaryRule::new(number);
+            let net = synthesize_rule(rule);
+            assert_eq!(
+                check_against_rule(&net, rule),
+                None,
+                "synthesized netlist wrong for rule {number}"
+            );
+        }
+    }
+
+    #[test]
+    fn equivalence_checker_catches_wrong_netlist() {
+        // A netlist computing rule 90 (L XOR R) is not rule 30.
+        let mut n = Netlist::new(3);
+        let out = n.push(Gate::Xor(0, 2));
+        n.set_outputs(vec![out]);
+        assert!(check_against_rule(&n, ElementaryRule::RULE_30).is_some());
+        assert_eq!(check_against_rule(&n, ElementaryRule::RULE_90), None);
+    }
+
+    #[test]
+    fn transistor_counts_accumulate() {
+        let cell = rule30_cell();
+        // OR (6T) + XOR (6T).
+        assert_eq!(cell.transistor_count(), 12);
+        assert!(rule30_cell_nand().transistor_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_reference_panics() {
+        let mut n = Netlist::new(2);
+        n.push(Gate::And(0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of inputs")]
+    fn eval_with_wrong_arity_panics() {
+        rule30_cell().eval(&[true, false]);
+    }
+}

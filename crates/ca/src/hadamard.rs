@@ -1,0 +1,169 @@
+//! Walsh–Hadamard selection patterns.
+//!
+//! Hadamard vectors are the structured measurement alternative cited by
+//! the paper (ref. \[13\]): deterministic ±1 rows that are trivially
+//! generated on chip. Row `k` of the natural-order Hadamard matrix of
+//! size `2^m` is `H[k][i] = (−1)^popcount(k & i)`; we expose rows as 0/1
+//! selection masks (`1` where `H = −1`), the convention used by the
+//! sensor's XOR-select pixels.
+
+use tepics_util::{BitVec, SplitMix64};
+
+/// Generator of Walsh–Hadamard rows as selection bit masks.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_ca::HadamardRows;
+///
+/// let rows = HadamardRows::new(8);
+/// // Row 0 is the all-+1 row: empty selection mask.
+/// assert_eq!(rows.row(0).count_ones(), 0);
+/// // Every other natural-order row is balanced.
+/// assert_eq!(rows.row(3).count_ones(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HadamardRows {
+    order: usize,
+}
+
+impl HadamardRows {
+    /// Creates a generator for the Hadamard matrix of the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is zero or not a power of two.
+    pub fn new(order: usize) -> Self {
+        assert!(
+            order > 0 && order.is_power_of_two(),
+            "Hadamard order must be a power of two, got {order}"
+        );
+        HadamardRows { order }
+    }
+
+    /// Smallest valid order that covers `n` elements.
+    pub fn covering(n: usize) -> Self {
+        HadamardRows::new(n.next_power_of_two().max(1))
+    }
+
+    /// Matrix order (number of rows = number of columns).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Row `k` as a 0/1 selection mask (`1` ⇔ `H[k][i] = −1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= order`.
+    pub fn row(&self, k: usize) -> BitVec {
+        assert!(k < self.order, "row {k} out of range 0..{}", self.order);
+        BitVec::from_bools((0..self.order).map(|i| (k & i).count_ones() % 2 == 1))
+    }
+
+    /// Row `k` truncated to the first `n` entries (for arrays whose size
+    /// is not a power of two).
+    pub fn row_truncated(&self, k: usize, n: usize) -> BitVec {
+        assert!(n <= self.order, "truncation {n} exceeds order {}", self.order);
+        self.row(k).slice(0, n)
+    }
+
+    /// Signed entry `H[k][i] ∈ {−1, +1}`.
+    pub fn entry(&self, k: usize, i: usize) -> i8 {
+        assert!(k < self.order && i < self.order, "index out of range");
+        if (k & i).count_ones() % 2 == 1 {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// A deterministic pseudo-random permutation of row indices
+    /// `1..order` (row 0, the DC row, is excluded — it selects nothing).
+    ///
+    /// Randomized row subsets are the standard way to use Hadamard
+    /// ensembles for CS.
+    pub fn shuffled_rows(&self, seed: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (1..self.order).collect();
+        let mut rng = SplitMix64::new(seed);
+        for i in (1..idx.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            idx.swap(i, j);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ±1 dot product between two selection masks of equal length.
+    fn signed_dot(a: &BitVec, b: &BitVec) -> i64 {
+        (0..a.len())
+            .map(|i| {
+                let x = if a.get(i) { -1i64 } else { 1 };
+                let y = if b.get(i) { -1i64 } else { 1 };
+                x * y
+            })
+            .sum()
+    }
+
+    #[test]
+    fn rows_are_mutually_orthogonal() {
+        let h = HadamardRows::new(16);
+        for k in 0..16 {
+            for l in 0..16 {
+                let dot = signed_dot(&h.row(k), &h.row(l));
+                if k == l {
+                    assert_eq!(dot, 16);
+                } else {
+                    assert_eq!(dot, 0, "rows {k},{l} not orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_rows_are_balanced() {
+        let h = HadamardRows::new(64);
+        for k in 1..64 {
+            assert_eq!(h.row(k).count_ones(), 32, "row {k} unbalanced");
+        }
+    }
+
+    #[test]
+    fn entry_matches_row_mask() {
+        let h = HadamardRows::new(8);
+        for k in 0..8 {
+            let row = h.row(k);
+            for i in 0..8 {
+                assert_eq!(h.entry(k, i) == -1, row.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn covering_rounds_up() {
+        assert_eq!(HadamardRows::covering(100).order(), 128);
+        assert_eq!(HadamardRows::covering(128).order(), 128);
+        assert_eq!(HadamardRows::covering(1).order(), 1);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let h = HadamardRows::new(32);
+        let a = h.shuffled_rows(7);
+        let b = h.shuffled_rows(7);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_order_panics() {
+        HadamardRows::new(12);
+    }
+}

@@ -1,0 +1,266 @@
+//! Linear feedback shift registers.
+//!
+//! LFSRs are the classic on-chip pseudo-random generator and the
+//! measurement-matrix source of the paper's refs. \[13\] and \[14\]; the
+//! `matrices` and `ca_spectrum` experiments use them as the baseline the
+//! cellular automaton is compared against. Both Fibonacci (external XOR)
+//! and Galois (internal XOR) forms are provided; for equal polynomials
+//! they generate the same maximal-length (`2^w − 1`) state cycle.
+
+use tepics_util::BitVec;
+
+/// Feedback tap positions (1-based, as conventionally published) for
+/// maximal-length polynomials, widths 2..=32. Source: the classic
+/// XAPP052 table of primitive polynomials over GF(2).
+const MAXIMAL_TAPS: [&[u32]; 31] = [
+    &[2, 1],          // w=2
+    &[3, 2],          // w=3
+    &[4, 3],          // w=4
+    &[5, 3],          // w=5
+    &[6, 5],          // w=6
+    &[7, 6],          // w=7
+    &[8, 6, 5, 4],    // w=8
+    &[9, 5],          // w=9
+    &[10, 7],         // w=10
+    &[11, 9],         // w=11
+    &[12, 6, 4, 1],   // w=12
+    &[13, 4, 3, 1],   // w=13
+    &[14, 5, 3, 1],   // w=14
+    &[15, 14],        // w=15
+    &[16, 15, 13, 4], // w=16
+    &[17, 14],        // w=17
+    &[18, 11],        // w=18
+    &[19, 6, 2, 1],   // w=19
+    &[20, 17],        // w=20
+    &[21, 19],        // w=21
+    &[22, 21],        // w=22
+    &[23, 18],        // w=23
+    &[24, 23, 22, 17],// w=24
+    &[25, 22],        // w=25
+    &[26, 6, 2, 1],   // w=26
+    &[27, 5, 2, 1],   // w=27
+    &[28, 25],        // w=28
+    &[29, 27],        // w=29
+    &[30, 6, 4, 1],   // w=30
+    &[31, 28],        // w=31
+    &[32, 22, 2, 1],  // w=32
+];
+
+/// The register form: where the feedback XOR sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LfsrForm {
+    /// External-XOR (many-to-one): the new bit is the XOR of the taps.
+    Fibonacci,
+    /// Internal-XOR (one-to-many): taps are XORed into the shifting state.
+    Galois,
+}
+
+/// A binary linear feedback shift register of width ≤ 63.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_ca::Lfsr;
+///
+/// let mut lfsr = Lfsr::maximal(16, 0xACE1);
+/// let bit = lfsr.next_bit();
+/// assert!(bit == 0 || bit == 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lfsr {
+    width: u32,
+    state: u64,
+    tap_mask: u64,
+    form: LfsrForm,
+}
+
+impl Lfsr {
+    /// Creates a maximal-length Fibonacci LFSR of the given width.
+    ///
+    /// A zero `seed` is silently replaced by 1 (the all-zero state is a
+    /// fixed point of any LFSR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `2..=32`.
+    pub fn maximal(width: u32, seed: u64) -> Self {
+        assert!(
+            (2..=32).contains(&width),
+            "no maximal-length taps tabulated for width {width}"
+        );
+        let taps = MAXIMAL_TAPS[(width - 2) as usize];
+        Lfsr::with_taps(width, taps, seed, LfsrForm::Fibonacci)
+    }
+
+    /// Creates an LFSR with explicit 1-based tap positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or > 63, or any tap is outside `1..=width`.
+    pub fn with_taps(width: u32, taps: &[u32], seed: u64, form: LfsrForm) -> Self {
+        assert!(width > 0 && width <= 63, "unsupported LFSR width {width}");
+        let mut tap_mask = 0u64;
+        for &t in taps {
+            assert!(
+                (1..=width).contains(&t),
+                "tap {t} outside register width {width}"
+            );
+            tap_mask |= 1u64 << (t - 1);
+        }
+        assert!(tap_mask != 0, "LFSR needs at least one tap");
+        let mask = (1u64 << width) - 1;
+        let mut state = seed & mask;
+        if state == 0 {
+            state = 1;
+        }
+        Lfsr {
+            width,
+            state,
+            tap_mask,
+            form,
+        }
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances one step and returns the output bit (0 or 1).
+    #[inline]
+    pub fn next_bit(&mut self) -> u8 {
+        let mask = (1u64 << self.width) - 1;
+        match self.form {
+            LfsrForm::Fibonacci => {
+                let fb = ((self.state & self.tap_mask).count_ones() & 1) as u64;
+                let out = (self.state >> (self.width - 1)) & 1;
+                self.state = ((self.state << 1) | fb) & mask;
+                out as u8
+            }
+            LfsrForm::Galois => {
+                // Standard one-to-many form: the tap mask *is* the
+                // polynomial mask (bit t-1 per published tap t; the top
+                // tap sets the re-entering MSB).
+                let out = self.state & 1;
+                self.state >>= 1;
+                if out == 1 {
+                    self.state ^= self.tap_mask;
+                }
+                out as u8
+            }
+        }
+    }
+
+    /// Advances one step and returns the output as a boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_bit() == 1
+    }
+
+    /// Fills a [`BitVec`] of length `n` with the next `n` output bits.
+    pub fn next_bits(&mut self, n: usize) -> BitVec {
+        BitVec::from_bools((0..n).map(|_| self.next_bool()))
+    }
+
+    /// Measures the state-cycle length from the current state by stepping
+    /// until it recurs, up to `limit` steps. Returns `None` if the cycle
+    /// is longer than `limit`.
+    pub fn cycle_length(&self, limit: u64) -> Option<u64> {
+        let mut probe = self.clone();
+        let start = probe.state;
+        for i in 1..=limit {
+            probe.next_bit();
+            if probe.state == start {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_fibonacci_periods_are_2w_minus_1() {
+        for width in 2..=16u32 {
+            let lfsr = Lfsr::maximal(width, 1);
+            let expected = (1u64 << width) - 1;
+            assert_eq!(
+                lfsr.cycle_length(expected + 10),
+                Some(expected),
+                "width {width} is not maximal-length"
+            );
+        }
+    }
+
+    #[test]
+    fn galois_form_is_also_maximal() {
+        for width in [4u32, 8, 12, 16] {
+            let taps = MAXIMAL_TAPS[(width - 2) as usize];
+            let lfsr = Lfsr::with_taps(width, taps, 1, LfsrForm::Galois);
+            let expected = (1u64 << width) - 1;
+            assert_eq!(lfsr.cycle_length(expected + 10), Some(expected));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut lfsr = Lfsr::maximal(8, 0);
+        assert_ne!(lfsr.state(), 0);
+        lfsr.next_bit();
+        assert_ne!(lfsr.state(), 0);
+    }
+
+    #[test]
+    fn output_is_balanced_over_a_period() {
+        let mut lfsr = Lfsr::maximal(10, 0x2A5);
+        let period = (1usize << 10) - 1;
+        let ones: u32 = (0..period).map(|_| lfsr.next_bit() as u32).sum();
+        // A maximal LFSR outputs 2^(w-1) ones per period.
+        assert_eq!(ones, 512);
+    }
+
+    #[test]
+    fn next_bits_returns_requested_length() {
+        let mut lfsr = Lfsr::maximal(16, 0xBEEF);
+        let bits = lfsr.next_bits(200);
+        assert_eq!(bits.len(), 200);
+        // Stream should not be constant.
+        assert!(bits.count_ones() > 50 && bits.count_ones() < 150);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Lfsr::maximal(16, 0x1234);
+        let mut b = Lfsr::maximal(16, 0x1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
+    }
+
+    #[test]
+    fn nonmaximal_taps_give_short_cycle() {
+        // x^4 + x^2 + 1 is not primitive: period divides 6.
+        let lfsr = Lfsr::with_taps(4, &[4, 2], 1, LfsrForm::Fibonacci);
+        let period = lfsr.cycle_length(100).expect("cycle must close");
+        assert!(period < 15, "non-primitive polynomial gave period {period}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside register width")]
+    fn tap_beyond_width_panics() {
+        Lfsr::with_taps(4, &[5], 1, LfsrForm::Fibonacci);
+    }
+
+    #[test]
+    #[should_panic(expected = "no maximal-length taps")]
+    fn unsupported_width_panics() {
+        Lfsr::maximal(33, 1);
+    }
+}

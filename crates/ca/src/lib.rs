@@ -1,0 +1,50 @@
+//! Pseudo-random pattern generation for on-chip compressive sampling.
+//!
+//! The DATE 2018 sensor generates its measurement strategy Φ *on chip*
+//! with a one-dimensional cellular automaton (Rule 30) placed around the
+//! pixel array, so that the strategy never has to be stored or
+//! transmitted — the receiver replays the automaton from the seed. This
+//! crate implements that generator and every alternative the paper cites:
+//!
+//! * [`ElementaryRule`] / [`Automaton1D`] — all 256 Wolfram elementary
+//!   rules with periodic or fixed boundaries, word-parallel stepping,
+//!   and the paper's Table I Rule 30.
+//! * [`gates`] — a gate-level netlist of the Fig. 3 Rule-30 cell, checked
+//!   for equivalence against the truth table.
+//! * [`Lfsr`] — Fibonacci/Galois linear feedback shift registers
+//!   (the paper's ref. \[14\] baseline).
+//! * [`hadamard`] — Walsh–Hadamard selection rows (ref. \[13\] baseline).
+//! * [`analysis`] — aperiodicity diagnostics: cycle detection, balance,
+//!   entropy, autocorrelation and Berlekamp–Massey linear complexity
+//!   (the class-III behavior of ref. \[10\]).
+//! * [`BitPatternSource`] — the abstraction the imager consumes; every
+//!   generator above implements it.
+//!
+//! # Examples
+//!
+//! ```
+//! use tepics_ca::{Automaton1D, Boundary, ElementaryRule};
+//!
+//! // The paper's generator: Rule 30 on a ring.
+//! let mut ca = Automaton1D::centered_one(128, ElementaryRule::RULE_30, Boundary::Periodic);
+//! ca.step_n(64);
+//! assert_eq!(ca.state().len(), 128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod automaton;
+pub mod gates;
+pub mod hadamard;
+pub mod lfsr;
+pub mod ring;
+pub mod rule;
+pub mod source;
+
+pub use automaton::{Automaton1D, Boundary};
+pub use hadamard::HadamardRows;
+pub use lfsr::Lfsr;
+pub use rule::ElementaryRule;
+pub use source::{BernoulliSource, BitPatternSource, CaSource, HadamardSource, LfsrSource};

@@ -1,0 +1,228 @@
+//! Gate-level model of the CA ring around the sensor (Fig. 2 + Fig. 3).
+//!
+//! [`Automaton1D`](crate::Automaton1D) is the *behavioral* model; this
+//! module is the *structural* one: `M + N` instances of the Fig. 3 cell
+//! netlist, each with a state flip-flop, wired in a ring. Stepping
+//! evaluates every cell's combinational logic from the current register
+//! values and then clocks all registers at once — exactly what the
+//! silicon does. The equivalence tests between the two models are the
+//! RTL-vs-behavioral check an EDA flow would run on the real chip, and
+//! [`GateLevelRing::to_vcd`] dumps the register activity for a waveform
+//! viewer.
+
+use crate::automaton::{Automaton1D, Boundary};
+use crate::gates::{check_against_rule, synthesize_rule, Netlist};
+use crate::rule::ElementaryRule;
+use tepics_util::BitVec;
+
+/// A synchronous ring of gate-level CA cells.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_ca::ring::GateLevelRing;
+/// use tepics_ca::ElementaryRule;
+///
+/// let mut ring = GateLevelRing::new(16, ElementaryRule::RULE_30, 0x5EED);
+/// let before = ring.state().clone();
+/// ring.clock();
+/// assert_ne!(*ring.state(), before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GateLevelRing {
+    cell: Netlist,
+    rule: ElementaryRule,
+    state: BitVec,
+    cycles: u64,
+}
+
+impl GateLevelRing {
+    /// Builds a ring of `cells` gate-level cells for `rule`, with the
+    /// registers initialized from `seed` exactly like
+    /// [`Automaton1D::from_seed`].
+    ///
+    /// The cell netlist is synthesized from the rule's truth table and
+    /// verified against it before use, so a synthesis bug cannot slip
+    /// into the simulation silently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0` or the synthesized netlist fails its
+    /// equivalence check (which would be an internal error).
+    pub fn new(cells: usize, rule: ElementaryRule, seed: u64) -> Self {
+        assert!(cells > 0, "ring needs at least one cell");
+        let cell = synthesize_rule(rule);
+        assert!(
+            check_against_rule(&cell, rule).is_none(),
+            "synthesized cell does not implement {rule}"
+        );
+        let reference = Automaton1D::from_seed(cells, seed, rule, Boundary::Periodic);
+        GateLevelRing {
+            cell,
+            rule,
+            state: reference.state().clone(),
+            cycles: 0,
+        }
+    }
+
+    /// Current register values (one per cell).
+    pub fn state(&self) -> &BitVec {
+        &self.state
+    }
+
+    /// The implemented rule.
+    pub fn rule(&self) -> ElementaryRule {
+        self.rule
+    }
+
+    /// Clock cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Gate count of one cell (area proxy for the ring).
+    pub fn gates_per_cell(&self) -> usize {
+        self.cell.gate_count()
+    }
+
+    /// Estimated transistors for the whole ring, including a ~20T DFF
+    /// per cell.
+    pub fn ring_transistors(&self) -> u32 {
+        (self.cell.transistor_count() + 20) * self.state.len() as u32
+    }
+
+    /// One clock edge: evaluate every cell's combinational next-state
+    /// from the registered values, then update all registers.
+    pub fn clock(&mut self) {
+        let n = self.state.len();
+        let next = BitVec::from_bools((0..n).map(|i| {
+            let l = self.state.get((i + n - 1) % n);
+            let s = self.state.get(i);
+            let r = self.state.get((i + 1) % n);
+            self.cell.eval(&[l, s, r])[0]
+        }));
+        self.state = next;
+        self.cycles += 1;
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn clock_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.clock();
+        }
+    }
+
+    /// Dumps `cycles` clock cycles of register activity as IEEE-1364
+    /// VCD text (wire `q<i>` per cell), advancing the ring.
+    pub fn to_vcd(&mut self, cycles: usize, clk_period: f64) -> String {
+        let n = self.state.len();
+        let mut out = String::new();
+        out.push_str("$date TEPICS gate-level CA ring $end\n");
+        out.push_str("$version tepics-ca $end\n");
+        out.push_str("$timescale 1ps $end\n");
+        out.push_str("$scope module ca_ring $end\n");
+        for i in 0..n {
+            out.push_str(&format!("$var wire 1 {} q{} $end\n", Self::ident(i), i));
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n$dumpvars\n$end\n");
+        let mut last: Vec<Option<bool>> = vec![None; n];
+        for c in 0..=cycles {
+            let ts = (c as f64 * clk_period / 1e-12).round() as u64;
+            let mut wrote_ts = false;
+            for i in 0..n {
+                let v = self.state.get(i);
+                if last[i] != Some(v) {
+                    if !wrote_ts {
+                        out.push_str(&format!("#{ts}\n"));
+                        wrote_ts = true;
+                    }
+                    out.push_str(&format!("{}{}\n", u8::from(v), Self::ident(i)));
+                    last[i] = Some(v);
+                }
+            }
+            if c < cycles {
+                self.clock();
+            }
+        }
+        out
+    }
+
+    fn ident(i: usize) -> String {
+        let mut i = i;
+        let mut s = String::new();
+        loop {
+            s.push((b'!' + (i % 94) as u8) as char);
+            i /= 94;
+            if i == 0 {
+                break;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The RTL-vs-behavioral equivalence check: the gate-level ring and
+    /// the word-parallel behavioral automaton must agree cycle for
+    /// cycle, for every rule class we use.
+    #[test]
+    fn gate_level_matches_behavioral_model() {
+        for rule in [30u8, 45, 90, 110, 150] {
+            let rule = ElementaryRule::new(rule);
+            let mut rtl = GateLevelRing::new(64, rule, 0xC0DE);
+            let mut beh = Automaton1D::from_seed(64, 0xC0DE, rule, Boundary::Periodic);
+            for cycle in 0..128 {
+                assert_eq!(
+                    rtl.state(),
+                    beh.state(),
+                    "{rule}: diverged at cycle {cycle}"
+                );
+                rtl.clock();
+                beh.step();
+            }
+        }
+    }
+
+    #[test]
+    fn prototype_ring_size_and_cost() {
+        let ring = GateLevelRing::new(128, ElementaryRule::RULE_30, 1);
+        assert_eq!(ring.state().len(), 128);
+        assert!(ring.gates_per_cell() >= 2);
+        // Order of magnitude: a few thousand transistors for the ring.
+        let t = ring.ring_transistors();
+        assert!((1_000..50_000).contains(&t), "ring transistor count {t}");
+    }
+
+    #[test]
+    fn cycle_counter_advances() {
+        let mut ring = GateLevelRing::new(16, ElementaryRule::RULE_30, 2);
+        ring.clock_n(10);
+        assert_eq!(ring.cycles(), 10);
+    }
+
+    #[test]
+    fn vcd_dump_is_well_formed_and_advances_the_ring() {
+        let mut ring = GateLevelRing::new(8, ElementaryRule::RULE_30, 3);
+        let vcd = ring.to_vcd(4, 41.67e-9);
+        assert_eq!(ring.cycles(), 4);
+        assert!(vcd.contains("$timescale 1ps $end"));
+        assert!(vcd.contains("$var wire 1 ! q0 $end"));
+        // Four clock periods at ~41.67 ns => timestamps up to ~166680 ps.
+        assert!(vcd.contains("#0\n"));
+        let max_ts: u64 = vcd
+            .lines()
+            .filter_map(|l| l.strip_prefix('#').and_then(|t| t.parse().ok()))
+            .max()
+            .unwrap();
+        assert!(max_ts > 100_000, "timeline too short: {max_ts} ps");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_ring_panics() {
+        GateLevelRing::new(0, ElementaryRule::RULE_30, 1);
+    }
+}

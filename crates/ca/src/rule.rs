@@ -1,0 +1,198 @@
+//! Elementary cellular-automaton rules (Wolfram numbering).
+//!
+//! An elementary rule maps the 3-bit neighborhood `(L, S, R)` — left
+//! neighbor, own state, right neighbor — to the next state. The rule
+//! number's bit at index `L·4 + S·2 + R` is the next state, which is
+//! exactly the encoding of the paper's Table I for Rule 30.
+
+use std::fmt;
+
+/// An elementary (radius-1, binary) cellular-automaton rule.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_ca::ElementaryRule;
+///
+/// let r30 = ElementaryRule::RULE_30;
+/// // Table I of the paper: (L,S,R) = (1,0,0) -> 1.
+/// assert!(r30.next(true, false, false));
+/// // (1,1,1) -> 0.
+/// assert!(!r30.next(true, true, true));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementaryRule(u8);
+
+impl ElementaryRule {
+    /// Rule 30 — the paper's strategy generator (Table I), proven
+    /// aperiodic class-III by Jen (ref. \[10\]).
+    pub const RULE_30: ElementaryRule = ElementaryRule(30);
+    /// Rule 90 — additive (XOR of neighbors), used as a comparison point
+    /// in the analysis experiments.
+    pub const RULE_90: ElementaryRule = ElementaryRule(90);
+    /// Rule 110 — universal, class IV.
+    pub const RULE_110: ElementaryRule = ElementaryRule(110);
+    /// Rule 45 — another chaotic (class III) rule.
+    pub const RULE_45: ElementaryRule = ElementaryRule(45);
+    /// Rule 184 — traffic rule, class II; a deliberately poor strategy
+    /// generator used to show what the matrix experiments detect.
+    pub const RULE_184: ElementaryRule = ElementaryRule(184);
+
+    /// Creates a rule from its Wolfram number.
+    pub const fn new(number: u8) -> Self {
+        ElementaryRule(number)
+    }
+
+    /// The Wolfram rule number.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Next state for neighborhood `(l, s, r)`.
+    #[inline]
+    pub fn next(self, l: bool, s: bool, r: bool) -> bool {
+        let idx = ((l as u8) << 2) | ((s as u8) << 1) | (r as u8);
+        (self.0 >> idx) & 1 == 1
+    }
+
+    /// The full truth table as `(l, s, r, next)` rows, in the descending
+    /// `(1,1,1) … (0,0,0)` order used by Table I of the paper.
+    pub fn truth_table(self) -> [(bool, bool, bool, bool); 8] {
+        let mut rows = [(false, false, false, false); 8];
+        for (row, idx) in (0..8u8).rev().enumerate() {
+            let l = idx & 4 != 0;
+            let s = idx & 2 != 0;
+            let r = idx & 1 != 0;
+            rows[row] = (l, s, r, self.next(l, s, r));
+        }
+        rows
+    }
+
+    /// The mirror-image rule (swap `L` and `R`).
+    pub fn mirrored(self) -> ElementaryRule {
+        let mut out = 0u8;
+        for idx in 0..8u8 {
+            let l = idx & 4 != 0;
+            let s = idx & 2 != 0;
+            let r = idx & 1 != 0;
+            let mirrored_idx = ((r as u8) << 2) | ((s as u8) << 1) | (l as u8);
+            if (self.0 >> mirrored_idx) & 1 == 1 {
+                out |= 1 << idx;
+            }
+        }
+        ElementaryRule(out)
+    }
+
+    /// The complement rule (flip every cell before and after).
+    pub fn complemented(self) -> ElementaryRule {
+        let mut out = 0u8;
+        for idx in 0..8u8 {
+            let flipped_idx = (!idx) & 0b111;
+            if (self.0 >> flipped_idx) & 1 == 0 {
+                out |= 1 << idx;
+            }
+        }
+        ElementaryRule(out)
+    }
+
+    /// `true` if the rule is *additive* over GF(2) (expressible as an XOR
+    /// of a subset of `{L, S, R}`), like Rule 90 or Rule 150. Additive
+    /// rules have linear structure that makes them weaker strategy
+    /// generators; Rule 30 is not additive.
+    pub fn is_additive(self) -> bool {
+        // A rule is GF(2)-linear iff f(a^b) = f(a)^f(b) for all
+        // neighborhood pairs, with f(0)=0.
+        if self.next(false, false, false) {
+            return false;
+        }
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                let f = |x: u8| (self.0 >> x) & 1;
+                if f(a ^ b) != f(a) ^ f(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl From<u8> for ElementaryRule {
+    fn from(number: u8) -> Self {
+        ElementaryRule(number)
+    }
+}
+
+impl fmt::Display for ElementaryRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rule {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table I, row for row.
+    #[test]
+    fn rule_30_matches_paper_table_1() {
+        let expected = [
+            (true, true, true, false),
+            (true, true, false, false),
+            (true, false, true, false),
+            (true, false, false, true),
+            (false, true, true, true),
+            (false, true, false, true),
+            (false, false, true, true),
+            (false, false, false, false),
+        ];
+        assert_eq!(ElementaryRule::RULE_30.truth_table(), expected);
+    }
+
+    /// Rule 30 has the closed form NS = L ⊕ (S ∨ R).
+    #[test]
+    fn rule_30_closed_form() {
+        for idx in 0..8u8 {
+            let l = idx & 4 != 0;
+            let s = idx & 2 != 0;
+            let r = idx & 1 != 0;
+            assert_eq!(ElementaryRule::RULE_30.next(l, s, r), l ^ (s | r));
+        }
+    }
+
+    #[test]
+    fn rule_90_is_xor_of_neighbors() {
+        for idx in 0..8u8 {
+            let l = idx & 4 != 0;
+            let s = idx & 2 != 0;
+            let r = idx & 1 != 0;
+            assert_eq!(ElementaryRule::RULE_90.next(l, s, r), l ^ r);
+        }
+    }
+
+    #[test]
+    fn additivity_classification() {
+        assert!(ElementaryRule::RULE_90.is_additive());
+        assert!(ElementaryRule::new(150).is_additive()); // l ^ s ^ r
+        assert!(ElementaryRule::new(0).is_additive());
+        assert!(!ElementaryRule::RULE_30.is_additive());
+        assert!(!ElementaryRule::RULE_110.is_additive());
+    }
+
+    #[test]
+    fn mirror_of_rule_30_is_rule_86() {
+        // Known equivalence class of rule 30: mirror 86, complement 135.
+        assert_eq!(ElementaryRule::RULE_30.mirrored().number(), 86);
+        assert_eq!(ElementaryRule::RULE_30.complemented().number(), 135);
+        // Mirroring twice is the identity.
+        for n in 0..=255u8 {
+            let r = ElementaryRule::new(n);
+            assert_eq!(r.mirrored().mirrored(), r);
+        }
+    }
+
+    #[test]
+    fn display_shows_number() {
+        assert_eq!(ElementaryRule::RULE_30.to_string(), "Rule 30");
+    }
+}

@@ -1,0 +1,348 @@
+//! The pattern-source abstraction consumed by the imager.
+//!
+//! Every compressed sample needs one fresh selection pattern of
+//! `M + N` bits (rows ++ columns). [`BitPatternSource`] is the common
+//! interface over the paper's cellular automaton and the baseline
+//! generators (LFSR, Hadamard, software Bernoulli). Sources are
+//! deterministic and [`BitPatternSource::reset`] restarts the stream, so
+//! an encoder/decoder pair holding equal sources stays synchronized —
+//! the property that lets the chip avoid transmitting Φ.
+
+use crate::automaton::{Automaton1D, Boundary};
+use crate::hadamard::HadamardRows;
+use crate::lfsr::Lfsr;
+use crate::rule::ElementaryRule;
+use tepics_util::{BitVec, SplitMix64};
+
+/// A deterministic, resettable stream of fixed-length bit patterns.
+///
+/// Implementations must yield the identical pattern sequence after
+/// [`reset`](BitPatternSource::reset) — integration tests enforce this,
+/// since decoder synchronization depends on it.
+pub trait BitPatternSource {
+    /// Number of bits in every pattern.
+    fn pattern_len(&self) -> usize;
+
+    /// Produces the next pattern in the stream.
+    fn next_pattern(&mut self) -> BitVec;
+
+    /// Restarts the stream from its initial state.
+    fn reset(&mut self);
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// The paper's generator: a Rule-30 ring automaton whose cell states are
+/// the row/column selection signals (Sect. III.A).
+///
+/// # Examples
+///
+/// ```
+/// use tepics_ca::{BitPatternSource, CaSource, ElementaryRule};
+///
+/// let mut src = CaSource::new(128, 42, ElementaryRule::RULE_30, 128, 1);
+/// let a = src.next_pattern();
+/// src.reset();
+/// let b = src.next_pattern();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CaSource {
+    initial: Automaton1D,
+    automaton: Automaton1D,
+    steps_per_pattern: usize,
+}
+
+impl CaSource {
+    /// Creates a periodic-boundary CA source.
+    ///
+    /// * `cells` — pattern length (M + N for an M×N array).
+    /// * `seed` — 64-bit seed expanded into the initial cell states.
+    /// * `warmup` — steps run once before the first pattern; decorrelates
+    ///   the early, visibly structured generations.
+    /// * `steps_per_pattern` — automaton steps between successive
+    ///   patterns (the paper uses one step per compressed sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0` or `steps_per_pattern == 0`.
+    pub fn new(
+        cells: usize,
+        seed: u64,
+        rule: ElementaryRule,
+        warmup: usize,
+        steps_per_pattern: usize,
+    ) -> Self {
+        assert!(steps_per_pattern > 0, "steps_per_pattern must be positive");
+        let mut automaton = Automaton1D::from_seed(cells, seed, rule, Boundary::Periodic);
+        automaton.step_n(warmup);
+        CaSource {
+            initial: automaton.clone(),
+            automaton,
+            steps_per_pattern,
+        }
+    }
+
+    /// The underlying automaton (post-warm-up state when freshly reset).
+    pub fn automaton(&self) -> &Automaton1D {
+        &self.automaton
+    }
+}
+
+impl BitPatternSource for CaSource {
+    fn pattern_len(&self) -> usize {
+        self.automaton.len()
+    }
+
+    fn next_pattern(&mut self) -> BitVec {
+        let pattern = self.automaton.state().clone();
+        self.automaton.step_n(self.steps_per_pattern);
+        pattern
+    }
+
+    fn reset(&mut self) {
+        self.automaton = self.initial.clone();
+    }
+
+    fn name(&self) -> String {
+        format!("ca-rule{}", self.automaton.rule().number())
+    }
+}
+
+/// LFSR-driven pattern source (paper ref. \[14\] baseline): each pattern is
+/// the next `pattern_len` output bits of a maximal-length register.
+#[derive(Debug, Clone)]
+pub struct LfsrSource {
+    initial: Lfsr,
+    lfsr: Lfsr,
+    pattern_len: usize,
+}
+
+impl LfsrSource {
+    /// Creates a source over a maximal-length LFSR of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern_len == 0` or `width` has no tabulated taps.
+    pub fn new(pattern_len: usize, width: u32, seed: u64) -> Self {
+        assert!(pattern_len > 0, "pattern length must be positive");
+        let lfsr = Lfsr::maximal(width, seed);
+        LfsrSource {
+            initial: lfsr.clone(),
+            lfsr,
+            pattern_len,
+        }
+    }
+}
+
+impl BitPatternSource for LfsrSource {
+    fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    fn next_pattern(&mut self) -> BitVec {
+        self.lfsr.next_bits(self.pattern_len)
+    }
+
+    fn reset(&mut self) {
+        self.lfsr = self.initial.clone();
+    }
+
+    fn name(&self) -> String {
+        format!("lfsr{}", self.lfsr.width())
+    }
+}
+
+/// Randomized Walsh–Hadamard rows (paper ref. \[13\] baseline): a seeded
+/// permutation of the non-DC rows, truncated to the pattern length,
+/// wrapping around when exhausted.
+#[derive(Debug, Clone)]
+pub struct HadamardSource {
+    rows: HadamardRows,
+    order: Vec<usize>,
+    cursor: usize,
+    pattern_len: usize,
+}
+
+impl HadamardSource {
+    /// Creates a source of shuffled Hadamard rows covering `pattern_len`.
+    pub fn new(pattern_len: usize, seed: u64) -> Self {
+        let rows = HadamardRows::covering(pattern_len.max(2));
+        let order = rows.shuffled_rows(seed);
+        HadamardSource {
+            rows,
+            order,
+            cursor: 0,
+            pattern_len,
+        }
+    }
+}
+
+impl BitPatternSource for HadamardSource {
+    fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    fn next_pattern(&mut self) -> BitVec {
+        let row = self.order[self.cursor % self.order.len()];
+        self.cursor += 1;
+        self.rows.row_truncated(row, self.pattern_len)
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn name(&self) -> String {
+        format!("hadamard{}", self.rows.order())
+    }
+}
+
+/// Software i.i.d. Bernoulli source — the idealized sub-Gaussian strategy
+/// of Sect. I ("elements of Φ obtained from a thresholded normal
+/// distribution"), not implementable on chip without storing Φ, included
+/// as the reference point the hardware generators are judged against.
+#[derive(Debug, Clone)]
+pub struct BernoulliSource {
+    seed: u64,
+    density: f64,
+    rng: SplitMix64,
+    pattern_len: usize,
+}
+
+impl BernoulliSource {
+    /// Creates an i.i.d. source with `P(bit = 1) = density`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is outside `(0, 1)` or `pattern_len == 0`.
+    pub fn new(pattern_len: usize, seed: u64, density: f64) -> Self {
+        assert!(pattern_len > 0, "pattern length must be positive");
+        assert!(
+            density > 0.0 && density < 1.0,
+            "density must be in (0,1), got {density}"
+        );
+        BernoulliSource {
+            seed,
+            density,
+            rng: SplitMix64::new(seed),
+            pattern_len,
+        }
+    }
+
+    /// The balanced (density ½) source.
+    pub fn balanced(pattern_len: usize, seed: u64) -> Self {
+        BernoulliSource::new(pattern_len, seed, 0.5)
+    }
+}
+
+impl BitPatternSource for BernoulliSource {
+    fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    fn next_pattern(&mut self) -> BitVec {
+        let density = self.density;
+        let rng = &mut self.rng;
+        BitVec::from_bools((0..self.pattern_len).map(|_| rng.next_f64() < density))
+    }
+
+    fn reset(&mut self) {
+        self.rng = SplitMix64::new(self.seed);
+    }
+
+    fn name(&self) -> String {
+        "bernoulli".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_reset_replay(src: &mut dyn BitPatternSource) {
+        let first: Vec<BitVec> = (0..5).map(|_| src.next_pattern()).collect();
+        src.reset();
+        let second: Vec<BitVec> = (0..5).map(|_| src.next_pattern()).collect();
+        assert_eq!(first, second, "{} does not replay after reset", src.name());
+        for p in &first {
+            assert_eq!(p.len(), src.pattern_len());
+        }
+    }
+
+    #[test]
+    fn all_sources_replay_after_reset() {
+        check_reset_replay(&mut CaSource::new(128, 1, ElementaryRule::RULE_30, 64, 1));
+        check_reset_replay(&mut LfsrSource::new(128, 16, 0xACE1));
+        check_reset_replay(&mut HadamardSource::new(100, 3));
+        check_reset_replay(&mut BernoulliSource::balanced(128, 9));
+    }
+
+    #[test]
+    fn ca_source_advances_between_patterns() {
+        let mut src = CaSource::new(64, 5, ElementaryRule::RULE_30, 10, 1);
+        let a = src.next_pattern();
+        let b = src.next_pattern();
+        assert_ne!(a, b, "successive CA patterns must differ");
+    }
+
+    #[test]
+    fn ca_source_steps_per_pattern_skips_generations() {
+        let mut one = CaSource::new(64, 5, ElementaryRule::RULE_30, 0, 1);
+        let mut two = CaSource::new(64, 5, ElementaryRule::RULE_30, 0, 2);
+        let _ = one.next_pattern(); // gen 0
+        let p1 = one.next_pattern(); // gen 1
+        let _ = two.next_pattern(); // gen 0
+        let p2 = two.next_pattern(); // gen 2
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn ca_patterns_are_roughly_balanced_after_warmup() {
+        let mut src = CaSource::new(128, 77, ElementaryRule::RULE_30, 256, 1);
+        let mut ones = 0usize;
+        let n = 200;
+        for _ in 0..n {
+            ones += src.next_pattern().count_ones();
+        }
+        let frac = ones as f64 / (n * 128) as f64;
+        assert!(
+            (0.42..0.58).contains(&frac),
+            "rule 30 balance {frac} far from 1/2"
+        );
+    }
+
+    #[test]
+    fn bernoulli_density_is_respected() {
+        let mut src = BernoulliSource::new(1000, 3, 0.2);
+        let mut ones = 0usize;
+        for _ in 0..50 {
+            ones += src.next_pattern().count_ones();
+        }
+        let frac = ones as f64 / 50_000.0;
+        assert!((0.17..0.23).contains(&frac), "density {frac} far from 0.2");
+    }
+
+    #[test]
+    fn hadamard_source_wraps_around() {
+        let mut src = HadamardSource::new(4, 1);
+        // Order 4 has 3 non-DC rows; pattern 4 must equal pattern 1.
+        let p: Vec<BitVec> = (0..4).map(|_| src.next_pattern()).collect();
+        assert_eq!(p[3], p[0]);
+    }
+
+    #[test]
+    fn sources_are_object_safe() {
+        let mut sources: Vec<Box<dyn BitPatternSource>> = vec![
+            Box::new(CaSource::new(16, 1, ElementaryRule::RULE_30, 4, 1)),
+            Box::new(LfsrSource::new(16, 8, 1)),
+            Box::new(HadamardSource::new(16, 1)),
+            Box::new(BernoulliSource::balanced(16, 1)),
+        ];
+        for s in &mut sources {
+            assert_eq!(s.next_pattern().len(), 16);
+            assert!(!s.name().is_empty());
+        }
+    }
+}

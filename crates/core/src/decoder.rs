@@ -1,0 +1,477 @@
+//! The receiver-side decoder.
+//!
+//! The decoder never sees Φ — it *regenerates* it by replaying the
+//! strategy generator from the seed in the frame header (the paper's
+//! "error-free reconstructed from the initial seed" property). Recovery
+//! then runs in two exact stages (DESIGN.md §4):
+//!
+//! 1. **Mean split.** Rows of Φ are 0/1 masks with known selection
+//!    counts `c_k`, so the scene's mean code is estimated by least
+//!    squares: `μ̂ = ⟨c, y⟩ / ⟨c, c⟩`. This removes the enormous DC
+//!    gain that would otherwise dominate the operator spectrum.
+//! 2. **Sparse recovery** of the zero-mean residual through a DC-pinned
+//!    dictionary: `ỹ = y − μ̂·c ≈ Φ Ψ₀ β`, solved by FISTA (default),
+//!    OMP, CoSaMP or IHT; FISTA results are debiased on their support.
+//!
+//! The reconstruction is the code image `x̂ = clamp(μ̂ + Ψ₀ β̂)`;
+//! [`Reconstruction::to_intensity`] inverts the pulse-modulation
+//! transfer for display.
+
+use crate::error::CoreError;
+use crate::frame::CompressedFrame;
+use crate::strategy::StrategyKind;
+use tepics_cs::dictionary::{
+    Dct2dDictionary, Dictionary, Haar2dDictionary, IdentityDictionary, ZeroMeanDictionary,
+};
+use tepics_cs::op;
+use tepics_cs::{ComposedOperator, XorMeasurement};
+use tepics_cs::measurement::SelectionMeasurement;
+use tepics_imaging::ImageF64;
+use tepics_recovery::{debias::debias, CoSaMp, Fista, Iht, Omp, SolveStats};
+use tepics_sensor::{CodeTransfer, SensorConfig};
+
+/// Sparsifying dictionary families available to the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictionaryKind {
+    /// 2-D DCT (default; best for smooth/natural content).
+    Dct2d,
+    /// 2-D Haar wavelets (piecewise-constant content).
+    Haar2d,
+    /// Identity — pixel-domain sparsity (star fields).
+    Identity,
+}
+
+/// Recovery algorithms available to the decoder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// FISTA ℓ1 solver (default), optionally debiased on its support.
+    Fista {
+        /// λ as a fraction of `‖Aᵀỹ‖∞`.
+        lambda_ratio: f64,
+        /// Iteration cap.
+        max_iter: usize,
+        /// Debias the support by least squares afterwards.
+        debias: bool,
+    },
+    /// Orthogonal matching pursuit with an atom budget.
+    Omp {
+        /// Maximum atoms to select.
+        atoms: usize,
+    },
+    /// CoSaMP with a target sparsity.
+    CoSamp {
+        /// Target sparsity.
+        sparsity: usize,
+    },
+    /// Normalized iterative hard thresholding with a target sparsity.
+    Iht {
+        /// Target sparsity.
+        sparsity: usize,
+    },
+}
+
+impl Default for Algorithm {
+    fn default() -> Self {
+        Algorithm::Fista {
+            lambda_ratio: 0.02,
+            max_iter: 400,
+            debias: true,
+        }
+    }
+}
+
+/// Dispatch-friendly dictionary wrapper (DC pinned where meaningful).
+#[derive(Debug, Clone)]
+enum DictImpl {
+    Dct(ZeroMeanDictionary<Dct2dDictionary>),
+    Haar(ZeroMeanDictionary<Haar2dDictionary>),
+    Id(IdentityDictionary),
+}
+
+impl Dictionary for DictImpl {
+    fn dim(&self) -> usize {
+        match self {
+            DictImpl::Dct(d) => d.dim(),
+            DictImpl::Haar(d) => d.dim(),
+            DictImpl::Id(d) => d.dim(),
+        }
+    }
+
+    fn atoms(&self) -> usize {
+        match self {
+            DictImpl::Dct(d) => d.atoms(),
+            DictImpl::Haar(d) => d.atoms(),
+            DictImpl::Id(d) => d.atoms(),
+        }
+    }
+
+    fn synthesize(&self, alpha: &[f64], x: &mut [f64]) {
+        match self {
+            DictImpl::Dct(d) => d.synthesize(alpha, x),
+            DictImpl::Haar(d) => d.synthesize(alpha, x),
+            DictImpl::Id(d) => d.synthesize(alpha, x),
+        }
+    }
+
+    fn analyze(&self, x: &[f64], alpha: &mut [f64]) {
+        match self {
+            DictImpl::Dct(d) => d.analyze(x, alpha),
+            DictImpl::Haar(d) => d.analyze(x, alpha),
+            DictImpl::Id(d) => d.analyze(x, alpha),
+        }
+    }
+}
+
+/// A reconstructed frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reconstruction {
+    codes: ImageF64,
+    mean_code: f64,
+    stats: SolveStats,
+}
+
+impl Reconstruction {
+    /// The reconstructed code image (the domain the sensor measures in).
+    pub fn code_image(&self) -> &ImageF64 {
+        &self.codes
+    }
+
+    /// The mean-split estimate of the scene's mean code.
+    pub fn mean_code(&self) -> f64 {
+        self.mean_code
+    }
+
+    /// Solver diagnostics.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// Inverts the sensor transfer to produce an intensity image in
+    /// `[0, 1]` (reciprocal pulse-modulation map or the linearized
+    /// control, depending on the configuration).
+    pub fn to_intensity(&self, config: &SensorConfig) -> ImageF64 {
+        let code_max = config.code_max() as f64;
+        match config.transfer() {
+            CodeTransfer::Linearized => self.codes.map(|c| (c / code_max).clamp(0.0, 1.0)),
+            CodeTransfer::Reciprocal => self.codes.map(|c| {
+                let t_arrival = config.initial_delay() + (c + 0.5) * config.t_clk();
+                let t_cross = (t_arrival - config.comparator_delay()).max(1e-12);
+                crate::decoder::intensity_from_crossing(config, t_cross)
+            }),
+        }
+    }
+}
+
+/// Re-export of the photodiode inversion used by
+/// [`Reconstruction::to_intensity`].
+fn intensity_from_crossing(config: &SensorConfig, t: f64) -> f64 {
+    tepics_sensor::photodiode::intensity_from_crossing(config, t)
+}
+
+/// Receiver-side decoder bound to a frame's geometry and strategy.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    rows: usize,
+    cols: usize,
+    strategy: StrategyKind,
+    seed: u64,
+    code_max: f64,
+    dictionary: DictionaryKind,
+    algorithm: Algorithm,
+}
+
+impl Decoder {
+    /// Creates a decoder matching a frame header, with the default
+    /// dictionary (DCT) and algorithm (debiased FISTA).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] for degenerate headers.
+    pub fn for_frame(frame: &CompressedFrame) -> Result<Decoder, CoreError> {
+        let h = &frame.header;
+        if h.rows == 0 || h.cols == 0 {
+            return Err(CoreError::MalformedFrame("zero array dimension".into()));
+        }
+        if h.code_bits == 0 || h.code_bits > 16 {
+            return Err(CoreError::MalformedFrame(format!(
+                "code width {} outside 1..=16",
+                h.code_bits
+            )));
+        }
+        Ok(Decoder {
+            rows: h.rows as usize,
+            cols: h.cols as usize,
+            strategy: h.strategy,
+            seed: h.seed,
+            code_max: ((1u32 << h.code_bits) - 1) as f64,
+            dictionary: DictionaryKind::Dct2d,
+            algorithm: Algorithm::default(),
+        })
+    }
+
+    /// Selects the sparsifying dictionary.
+    pub fn dictionary(&mut self, kind: DictionaryKind) -> &mut Self {
+        self.dictionary = kind;
+        self
+    }
+
+    /// Selects the recovery algorithm.
+    pub fn algorithm(&mut self, algorithm: Algorithm) -> &mut Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Rebuilds the measurement matrix exactly as the sensor generated
+    /// it (CA replay from the seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the strategy parameters
+    /// are invalid.
+    pub fn rebuild_measurement(&self, k: usize) -> Result<XorMeasurement, CoreError> {
+        let mut source = self.strategy.build_source(self.rows + self.cols, self.seed)?;
+        Ok(XorMeasurement::from_source(
+            self.rows,
+            self.cols,
+            source.as_mut(),
+            k,
+        ))
+    }
+
+    /// Reconstructs the code image from a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FrameMismatch`] if the frame geometry or
+    /// strategy differs from this decoder, or [`CoreError::Recovery`]
+    /// if the solver rejects the problem.
+    pub fn reconstruct(&self, frame: &CompressedFrame) -> Result<Reconstruction, CoreError> {
+        let h = &frame.header;
+        if h.rows as usize != self.rows
+            || h.cols as usize != self.cols
+            || h.strategy != self.strategy
+            || h.seed != self.seed
+        {
+            return Err(CoreError::FrameMismatch(
+                "frame header does not match decoder configuration".into(),
+            ));
+        }
+        if frame.samples.is_empty() {
+            return Err(CoreError::MalformedFrame("frame has no samples".into()));
+        }
+        let phi = self.rebuild_measurement(frame.samples.len())?;
+        let y: Vec<f64> = frame.samples.iter().map(|&s| s as f64).collect();
+        // Stage 1: mean split from the known selection counts.
+        let counts = phi.selection_counts();
+        let cc = op::dot(&counts, &counts);
+        let mean_code = if cc > 0.0 {
+            (op::dot(&counts, &y) / cc).clamp(0.0, self.code_max)
+        } else {
+            0.0
+        };
+        let resid: Vec<f64> = y
+            .iter()
+            .zip(&counts)
+            .map(|(&yi, &ci)| yi - mean_code * ci)
+            .collect();
+        // Stage 2: sparse recovery of the zero-mean component.
+        let n = self.rows * self.cols;
+        let dict = match self.dictionary {
+            DictionaryKind::Dct2d => DictImpl::Dct(ZeroMeanDictionary::new(
+                Dct2dDictionary::new(self.cols, self.rows),
+                0,
+            )),
+            DictionaryKind::Haar2d => DictImpl::Haar(ZeroMeanDictionary::new(
+                Haar2dDictionary::new(self.cols, self.rows),
+                0,
+            )),
+            DictionaryKind::Identity => DictImpl::Id(IdentityDictionary::new(n)),
+        };
+        let a = ComposedOperator::new(&phi, &dict);
+        let recovery = match self.algorithm {
+            Algorithm::Fista {
+                lambda_ratio,
+                max_iter,
+                debias: do_debias,
+            } => {
+                let rec = Fista::new()
+                    .lambda_ratio(lambda_ratio)
+                    .max_iter(max_iter)
+                    .solve(&a, &resid)?;
+                if do_debias {
+                    debias(&a, &resid, &rec, frame.samples.len() / 2)?
+                } else {
+                    rec
+                }
+            }
+            Algorithm::Omp { atoms } => Omp::new(atoms.max(1)).solve(&a, &resid)?,
+            Algorithm::CoSamp { sparsity } => {
+                CoSaMp::new(sparsity.max(1)).solve(&a, &resid)?
+            }
+            Algorithm::Iht { sparsity } => Iht::new(sparsity.max(1)).solve(&a, &resid)?,
+        };
+        let stats = recovery.stats.clone();
+        let v = dict.synthesize_vec(&recovery.coefficients);
+        let code_max = self.code_max;
+        let codes = ImageF64::from_vec(
+            self.cols,
+            self.rows,
+            v.iter()
+                .map(|&vi| (mean_code + vi).clamp(0.0, code_max))
+                .collect(),
+        );
+        Ok(Reconstruction {
+            codes,
+            mean_code,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imager::CompressiveImager;
+    use tepics_imaging::{psnr, Scene};
+    use tepics_sensor::Fidelity;
+
+    fn imager(ratio: f64, seed: u64) -> CompressiveImager {
+        CompressiveImager::builder(16, 16)
+            .ratio(ratio)
+            .seed(seed)
+            .fidelity(Fidelity::Functional)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn uniform_scene_is_recovered_almost_exactly() {
+        // For a constant code image the mean split alone nails it.
+        let im = imager(0.2, 3);
+        let scene = Scene::Uniform(0.5).render(16, 16, 0);
+        let frame = im.capture(&scene);
+        let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+        let truth = im.ideal_codes(&scene).to_code_f64();
+        let db = psnr(&truth, recon.code_image(), 255.0);
+        assert!(db > 45.0, "uniform reconstruction {db} dB");
+        let expected = truth.as_slice()[0];
+        assert!((recon.mean_code() - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn blobs_scene_reconstructs_well_at_forty_percent() {
+        let im = imager(0.4, 7);
+        let scene = Scene::gaussian_blobs(2).render(16, 16, 11);
+        let frame = im.capture(&scene);
+        let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+        let truth = im.ideal_codes(&scene).to_code_f64();
+        let db = psnr(&truth, recon.code_image(), 255.0);
+        assert!(db > 24.0, "blobs reconstruction {db} dB");
+    }
+
+    #[test]
+    fn quality_improves_with_ratio() {
+        let scene = Scene::gaussian_blobs(3).render(16, 16, 2);
+        let mut last = 0.0;
+        for ratio in [0.1, 0.25, 0.45] {
+            let im = imager(ratio, 5);
+            let frame = im.capture(&scene);
+            let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+            let truth = im.ideal_codes(&scene).to_code_f64();
+            let db = psnr(&truth, recon.code_image(), 255.0);
+            assert!(
+                db > last - 1.0,
+                "PSNR should not collapse as ratio grows: {db} after {last}"
+            );
+            last = last.max(db);
+        }
+        assert!(last > 22.0);
+    }
+
+    #[test]
+    fn wrong_seed_frame_is_rejected() {
+        let im = imager(0.2, 1);
+        let scene = Scene::gaussian_blobs(2).render(16, 16, 1);
+        let mut frame = im.capture(&scene);
+        let decoder = Decoder::for_frame(&frame).unwrap();
+        frame.header.seed = 999; // receiver believes a different seed
+        assert!(matches!(
+            decoder.reconstruct(&frame),
+            Err(CoreError::FrameMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn desynchronized_seed_destroys_reconstruction() {
+        // Same geometry, but the decoder replays a different CA seed:
+        // reconstruction must be garbage. This is the paper's security/
+        // synchronization property in negative form.
+        let im = imager(0.4, 42);
+        let scene = Scene::gaussian_blobs(2).render(16, 16, 4);
+        let frame = im.capture(&scene);
+        let mut wrong = frame.clone();
+        wrong.header.seed = 43;
+        let decoder = Decoder::for_frame(&wrong).unwrap();
+        let recon = decoder.reconstruct(&wrong).unwrap();
+        let truth = im.ideal_codes(&scene).to_code_f64();
+        let db = psnr(&truth, recon.code_image(), 255.0);
+        let im_db = {
+            let good = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+            psnr(&truth, good.code_image(), 255.0)
+        };
+        assert!(
+            db + 6.0 < im_db,
+            "wrong seed should lose ≥6 dB: wrong {db:.1} vs right {im_db:.1}"
+        );
+    }
+
+    #[test]
+    fn all_algorithms_produce_finite_reconstructions() {
+        let im = imager(0.4, 9);
+        let scene = Scene::star_field(6).render(16, 16, 3);
+        let frame = im.capture(&scene);
+        let algorithms = [
+            Algorithm::default(),
+            Algorithm::Omp { atoms: 20 },
+            Algorithm::CoSamp { sparsity: 15 },
+            Algorithm::Iht { sparsity: 15 },
+        ];
+        for alg in algorithms {
+            let mut dec = Decoder::for_frame(&frame).unwrap();
+            dec.algorithm(alg);
+            let recon = dec.reconstruct(&frame).unwrap();
+            assert!(
+                recon.code_image().as_slice().iter().all(|v| v.is_finite()),
+                "{alg:?} produced non-finite codes"
+            );
+        }
+    }
+
+    #[test]
+    fn haar_dictionary_beats_dct_on_piecewise_scenes() {
+        let im = imager(0.45, 13);
+        let scene = Scene::Checkerboard { tile: 4 }.render(16, 16, 0);
+        let frame = im.capture(&scene);
+        let truth = im.ideal_codes(&scene).to_code_f64();
+        let mut dct = Decoder::for_frame(&frame).unwrap();
+        dct.dictionary(DictionaryKind::Dct2d);
+        let mut haar = Decoder::for_frame(&frame).unwrap();
+        haar.dictionary(DictionaryKind::Haar2d);
+        let db_dct = psnr(&truth, dct.reconstruct(&frame).unwrap().code_image(), 255.0);
+        let db_haar = psnr(&truth, haar.reconstruct(&frame).unwrap().code_image(), 255.0);
+        assert!(
+            db_haar > db_dct,
+            "Haar {db_haar:.1} dB should beat DCT {db_dct:.1} dB on a checkerboard"
+        );
+    }
+
+    #[test]
+    fn intensity_inversion_is_monotone() {
+        let im = imager(0.3, 21);
+        let scene = Scene::LinearGradient { angle: 0.0 }.render(16, 16, 0);
+        let frame = im.capture(&scene);
+        let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+        let intensity = recon.to_intensity(im.sensor_config());
+        assert!(intensity.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

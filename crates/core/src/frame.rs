@@ -1,0 +1,293 @@
+//! The transmitted frame: header + bit-packed compressed samples.
+//!
+//! The whole point of the on-chip CA (Sect. I) is that Φ never crosses
+//! the channel — only a 64-bit seed does. The wire format reflects
+//! that: a 24-byte header followed by `K` samples packed at exactly
+//! `sample_bits` bits each (20 bits for the prototype), MSB-first. The
+//! bits-on-wire number this codec produces is what the `breakeven`
+//! experiment audits against Eq. (1)/(2).
+
+use crate::error::CoreError;
+use crate::strategy::StrategyKind;
+
+const MAGIC: [u8; 4] = *b"TEPX";
+const VERSION: u8 = 1;
+
+/// Frame metadata: everything the decoder needs to rebuild Φ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Array rows (M).
+    pub rows: u16,
+    /// Array columns (N).
+    pub cols: u16,
+    /// Pixel code width (bits).
+    pub code_bits: u8,
+    /// Compressed-sample width (bits).
+    pub sample_bits: u8,
+    /// Strategy family and parameters.
+    pub strategy: StrategyKind,
+    /// Strategy seed — the only "matrix" data ever transmitted.
+    pub seed: u64,
+}
+
+/// A captured compressed frame ready for transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedFrame {
+    /// Metadata.
+    pub header: FrameHeader,
+    /// The compressed samples, one per selection pattern.
+    pub samples: Vec<u32>,
+}
+
+impl CompressedFrame {
+    /// Number of compressed samples.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Compression ratio `R = K / (M·N)`.
+    pub fn ratio(&self) -> f64 {
+        self.samples.len() as f64 / (self.header.rows as f64 * self.header.cols as f64)
+    }
+
+    /// Payload size in bits (samples only).
+    pub fn payload_bits(&self) -> usize {
+        self.samples.len() * self.header.sample_bits as usize
+    }
+
+    /// Total wire size in bits (header + payload).
+    pub fn wire_bits(&self) -> usize {
+        self.to_bytes().len() * 8
+    }
+
+    /// Serializes to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let h = &self.header;
+        let mut out = Vec::with_capacity(28 + self.payload_bits() / 8 + 1);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&h.rows.to_le_bytes());
+        out.extend_from_slice(&h.cols.to_le_bytes());
+        out.push(h.code_bits);
+        out.push(h.sample_bits);
+        out.extend_from_slice(&h.strategy.to_wire());
+        out.extend_from_slice(&h.seed.to_le_bytes());
+        out.extend_from_slice(&(self.samples.len() as u32).to_le_bytes());
+        // Bit-pack samples MSB-first at sample_bits each.
+        let mut writer = BitWriter::new();
+        for &s in &self.samples {
+            writer.write(s, h.sample_bits as u32);
+        }
+        out.extend_from_slice(&writer.finish());
+        out
+    }
+
+    /// Parses wire bytes back into a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] on bad magic, version,
+    /// strategy tag, truncated payload, or inconsistent sizes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CompressedFrame, CoreError> {
+        let need = |n: usize| -> Result<(), CoreError> {
+            if bytes.len() < n {
+                Err(CoreError::MalformedFrame(format!(
+                    "truncated frame: {} bytes, need {n}",
+                    bytes.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        need(28)?;
+        if bytes[0..4] != MAGIC {
+            return Err(CoreError::MalformedFrame("bad magic".into()));
+        }
+        if bytes[4] != VERSION {
+            return Err(CoreError::MalformedFrame(format!(
+                "unsupported version {}",
+                bytes[4]
+            )));
+        }
+        let rows = u16::from_le_bytes([bytes[5], bytes[6]]);
+        let cols = u16::from_le_bytes([bytes[7], bytes[8]]);
+        let code_bits = bytes[9];
+        let sample_bits = bytes[10];
+        if rows == 0 || cols == 0 {
+            return Err(CoreError::MalformedFrame("zero array dimension".into()));
+        }
+        if sample_bits == 0 || sample_bits > 32 {
+            return Err(CoreError::MalformedFrame(format!(
+                "sample width {sample_bits} outside 1..=32"
+            )));
+        }
+        let strategy = StrategyKind::from_wire([bytes[11], bytes[12], bytes[13], bytes[14]])?;
+        let seed = u64::from_le_bytes(bytes[15..23].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(bytes[23..27].try_into().expect("4 bytes")) as usize;
+        let payload = &bytes[27..];
+        let needed_bits = count * sample_bits as usize;
+        if payload.len() * 8 < needed_bits {
+            return Err(CoreError::MalformedFrame(format!(
+                "payload holds {} bits, need {needed_bits}",
+                payload.len() * 8
+            )));
+        }
+        let mut reader = BitReader::new(payload);
+        let samples = (0..count)
+            .map(|_| reader.read(sample_bits as u32))
+            .collect();
+        Ok(CompressedFrame {
+            header: FrameHeader {
+                rows,
+                cols,
+                code_bits,
+                sample_bits,
+                strategy,
+                seed,
+            },
+            samples,
+        })
+    }
+}
+
+/// MSB-first bit packer.
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            bytes: Vec::new(),
+            bit_pos: 0,
+        }
+    }
+
+    fn write(&mut self, value: u32, bits: u32) {
+        debug_assert!(bits <= 32);
+        for i in (0..bits).rev() {
+            if self.bit_pos % 8 == 0 {
+                self.bytes.push(0);
+            }
+            let bit = (value >> i) & 1;
+            let byte = self.bytes.last_mut().expect("pushed above");
+            *byte |= (bit as u8) << (7 - (self.bit_pos % 8));
+            self.bit_pos += 1;
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit unpacker.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, bit_pos: 0 }
+    }
+
+    fn read(&mut self, bits: u32) -> u32 {
+        let mut out = 0u32;
+        for _ in 0..bits {
+            let byte = self.bytes[self.bit_pos / 8];
+            let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
+            out = (out << 1) | bit as u32;
+            self.bit_pos += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame(k: usize) -> CompressedFrame {
+        let mut rng = tepics_util::SplitMix64::new(9);
+        CompressedFrame {
+            header: FrameHeader {
+                rows: 64,
+                cols: 64,
+                code_bits: 8,
+                sample_bits: 20,
+                strategy: StrategyKind::rule30(256),
+                seed: 0xDEAD_BEEF_1234_5678,
+            },
+            samples: (0..k).map(|_| rng.next_below(1 << 20) as u32).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        for k in [1usize, 7, 100, 1638] {
+            let frame = sample_frame(k);
+            let back = CompressedFrame::from_bytes(&frame.to_bytes()).unwrap();
+            assert_eq!(back, frame, "k={k}");
+        }
+    }
+
+    #[test]
+    fn payload_is_bit_packed_not_byte_padded() {
+        let frame = sample_frame(100);
+        // 100 × 20 bits = 2000 bits = 250 bytes payload + 27 header.
+        assert_eq!(frame.to_bytes().len(), 27 + 250);
+        assert_eq!(frame.payload_bits(), 2000);
+    }
+
+    #[test]
+    fn ratio_accounts_for_array_size() {
+        let frame = sample_frame(1638);
+        assert!((frame.ratio() - 1638.0 / 4096.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_magic_is_rejected() {
+        let mut bytes = sample_frame(3).to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            CompressedFrame::from_bytes(&bytes),
+            Err(CoreError::MalformedFrame(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let bytes = sample_frame(50).to_bytes();
+        let cut = &bytes[..bytes.len() - 10];
+        assert!(CompressedFrame::from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let bytes = sample_frame(3).to_bytes();
+        assert!(CompressedFrame::from_bytes(&bytes[..20]).is_err());
+    }
+
+    #[test]
+    fn bitwriter_reader_roundtrip_odd_widths() {
+        let values = [(5u32, 3u32), (1023, 10), (0, 1), (0xFFFFF, 20), (7, 20)];
+        let mut w = BitWriter::new();
+        for &(v, b) in &values {
+            w.write(v, b);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, b) in &values {
+            assert_eq!(r.read(b), v);
+        }
+    }
+
+    #[test]
+    fn wire_bits_include_header_overhead() {
+        let frame = sample_frame(10);
+        assert_eq!(frame.wire_bits(), frame.to_bytes().len() * 8);
+        assert!(frame.wire_bits() > frame.payload_bits());
+    }
+}

@@ -1,0 +1,314 @@
+//! The compressive imager: scene in, compressed frame out.
+//!
+//! [`CompressiveImager`] binds a sensor configuration, a strategy
+//! generator and a compression ratio into the capture side of the
+//! paper's system. Each call to [`CompressiveImager::capture`] simulates
+//! `K = R·M·N` compressed-sample slots through the event-accurate
+//! readout (or the functional model, when configured) and packages the
+//! result as a transmittable [`CompressedFrame`].
+
+use crate::error::CoreError;
+use crate::frame::{CompressedFrame, FrameHeader};
+use crate::strategy::StrategyKind;
+use tepics_imaging::{ImageF64, ImageU8};
+use tepics_sensor::{CapturedFrame, EventStats, Fidelity, FrameReadout, SensorConfig};
+
+/// Capture engine configured for one sensor + strategy + ratio.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_core::CompressiveImager;
+/// use tepics_imaging::Scene;
+///
+/// let imager = CompressiveImager::builder(32, 32)
+///     .ratio(0.3)
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// let scene = Scene::gaussian_blobs(2).render(32, 32, 1);
+/// let frame = imager.capture(&scene);
+/// assert_eq!(frame.sample_count(), (0.3f64 * 1024.0).ceil() as usize);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompressiveImager {
+    config: SensorConfig,
+    strategy: StrategyKind,
+    seed: u64,
+    ratio: f64,
+    fidelity: Fidelity,
+}
+
+impl CompressiveImager {
+    /// Starts a builder for an `rows × cols` imager.
+    pub fn builder(rows: usize, cols: usize) -> CompressiveImagerBuilder {
+        CompressiveImagerBuilder {
+            rows,
+            cols,
+            config: None,
+            strategy: None,
+            seed: 0x7E91C5,
+            ratio: 0.35,
+            fidelity: Fidelity::EventAccurate,
+        }
+    }
+
+    /// The sensor configuration in use.
+    pub fn sensor_config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// The strategy generator.
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// The strategy seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured compression ratio `R`.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Number of compressed samples per frame (`⌈R·M·N⌉`).
+    pub fn sample_count(&self) -> usize {
+        ((self.ratio * self.config.pixel_count() as f64).ceil() as usize).max(1)
+    }
+
+    /// Captures a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene dimensions do not match the sensor (the
+    /// builder validated everything else).
+    pub fn capture(&self, scene: &ImageF64) -> CompressedFrame {
+        self.capture_with_stats(scene).0
+    }
+
+    /// Captures a frame and returns the event-level statistics next to
+    /// it (queueing, missed pulses, LSB errors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene dimensions do not match the sensor.
+    pub fn capture_with_stats(&self, scene: &ImageF64) -> (CompressedFrame, EventStats) {
+        let readout = FrameReadout::new(self.config.clone(), self.fidelity);
+        let mut source = self
+            .strategy
+            .build_source(self.config.rows() + self.config.cols(), self.seed)
+            .expect("strategy validated at build time");
+        let captured: CapturedFrame =
+            readout.capture(scene, source.as_mut(), self.sample_count());
+        let header = FrameHeader {
+            rows: self.config.rows() as u16,
+            cols: self.config.cols() as u16,
+            code_bits: self.config.counter_bits() as u8,
+            sample_bits: tepics_util::fixed::sum_bits(
+                self.config.counter_bits(),
+                self.config.rows() as u32,
+                self.config.cols() as u32,
+            ) as u8,
+            strategy: self.strategy,
+            seed: self.seed,
+        };
+        (
+            CompressedFrame {
+                header,
+                samples: captured.samples,
+            },
+            captured.stats,
+        )
+    }
+
+    /// The ideal (noise/arbitration-free) code image the decoder aims to
+    /// reconstruct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene dimensions do not match the sensor.
+    pub fn ideal_codes(&self, scene: &ImageF64) -> ImageU8 {
+        FrameReadout::new(self.config.clone(), Fidelity::Functional).code_image(scene)
+    }
+}
+
+/// Non-consuming builder for [`CompressiveImager`].
+#[derive(Debug, Clone)]
+pub struct CompressiveImagerBuilder {
+    rows: usize,
+    cols: usize,
+    config: Option<SensorConfig>,
+    strategy: Option<StrategyKind>,
+    seed: u64,
+    ratio: f64,
+    fidelity: Fidelity,
+}
+
+impl CompressiveImagerBuilder {
+    /// Uses an explicit sensor configuration (must match the builder's
+    /// dimensions).
+    pub fn sensor_config(&mut self, config: SensorConfig) -> &mut Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the strategy generator (default: Rule-30 CA with `2(M+N)`
+    /// warm-up).
+    pub fn strategy(&mut self, strategy: StrategyKind) -> &mut Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Sets the strategy seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the compression ratio `R ∈ (0, 1]` (default 0.35; the paper
+    /// argues `R < 0.4`).
+    pub fn ratio(&mut self, ratio: f64) -> &mut Self {
+        self.ratio = ratio;
+        self
+    }
+
+    /// Sets the simulation fidelity (default event-accurate).
+    pub fn fidelity(&mut self, fidelity: Fidelity) -> &mut Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Validates and builds the imager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on a bad ratio, mismatched
+    /// sensor dimensions, an invalid strategy, or arrays too large for
+    /// the 16-bit header fields.
+    pub fn build(&self) -> Result<CompressiveImager, CoreError> {
+        if !(self.ratio > 0.0 && self.ratio <= 1.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "ratio {} outside (0, 1]",
+                self.ratio
+            )));
+        }
+        if self.rows > u16::MAX as usize || self.cols > u16::MAX as usize {
+            return Err(CoreError::InvalidConfig("array exceeds 65535 per side".into()));
+        }
+        let config = match &self.config {
+            Some(c) => {
+                if c.rows() != self.rows || c.cols() != self.cols {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "sensor config is {}×{}, builder is {}×{}",
+                        c.rows(),
+                        c.cols(),
+                        self.rows,
+                        self.cols
+                    )));
+                }
+                c.clone()
+            }
+            None => SensorConfig::builder(self.rows, self.cols)
+                .build()
+                .map_err(|e| CoreError::InvalidConfig(e.to_string()))?,
+        };
+        let strategy = self
+            .strategy
+            .unwrap_or_else(|| StrategyKind::default_for(self.rows, self.cols));
+        // Validate the strategy parameters eagerly.
+        strategy.build_source(self.rows + self.cols, self.seed)?;
+        Ok(CompressiveImager {
+            config,
+            strategy,
+            seed: self.seed,
+            ratio: self.ratio,
+            fidelity: self.fidelity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_imaging::Scene;
+
+    #[test]
+    fn sample_count_follows_ratio() {
+        let imager = CompressiveImager::builder(16, 16).ratio(0.25).build().unwrap();
+        assert_eq!(imager.sample_count(), 64);
+        let imager = CompressiveImager::builder(16, 16).ratio(1.0).build().unwrap();
+        assert_eq!(imager.sample_count(), 256);
+    }
+
+    #[test]
+    fn header_matches_configuration() {
+        let imager = CompressiveImager::builder(16, 16)
+            .ratio(0.3)
+            .seed(123)
+            .build()
+            .unwrap();
+        let scene = Scene::Uniform(0.5).render(16, 16, 0);
+        let frame = imager.capture(&scene);
+        assert_eq!(frame.header.rows, 16);
+        assert_eq!(frame.header.cols, 16);
+        assert_eq!(frame.header.code_bits, 8);
+        assert_eq!(frame.header.sample_bits, 16); // 8 + log2(256)
+        assert_eq!(frame.header.seed, 123);
+        assert_eq!(frame.sample_count(), imager.sample_count());
+    }
+
+    #[test]
+    fn capture_roundtrips_through_wire_format() {
+        let imager = CompressiveImager::builder(16, 16).ratio(0.2).build().unwrap();
+        let scene = Scene::gaussian_blobs(2).render(16, 16, 5);
+        let frame = imager.capture(&scene);
+        let back = CompressedFrame::from_bytes(&frame.to_bytes()).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn functional_and_event_fidelity_differ_under_contention() {
+        let scene = Scene::Uniform(0.5).render(16, 16, 0); // max contention
+        let make = |fidelity| {
+            CompressiveImager::builder(16, 16)
+                .ratio(0.2)
+                .fidelity(fidelity)
+                .build()
+                .unwrap()
+                .capture(&scene)
+        };
+        let f = make(Fidelity::Functional);
+        let e = make(Fidelity::EventAccurate);
+        assert_ne!(
+            f.samples, e.samples,
+            "serialization delays must perturb a max-contention capture"
+        );
+    }
+
+    #[test]
+    fn invalid_ratio_is_rejected() {
+        assert!(CompressiveImager::builder(8, 8).ratio(0.0).build().is_err());
+        assert!(CompressiveImager::builder(8, 8).ratio(1.5).build().is_err());
+    }
+
+    #[test]
+    fn mismatched_sensor_config_is_rejected() {
+        let cfg = SensorConfig::builder(8, 8).build().unwrap();
+        let err = CompressiveImager::builder(16, 16)
+            .sensor_config(cfg)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn stats_are_populated_in_event_mode() {
+        let imager = CompressiveImager::builder(16, 16).ratio(0.1).build().unwrap();
+        let scene = Scene::Uniform(0.4).render(16, 16, 0);
+        let (_, stats) = imager.capture_with_stats(&scene);
+        assert!(stats.total_pulses > 0);
+        assert!(stats.queued_pulses > 0, "uniform scene must queue");
+    }
+}

@@ -1,0 +1,126 @@
+//! The paper's closed-form design equations.
+//!
+//! * Eq. (1): `N_B = N_b + log2(M·N)` — bits per compressed sample.
+//! * Eq. (2): `f_cs = R · M·N · f_s` — compressed-sample rate.
+//! * Break-even: compression pays only while `R < N_b / N_B`
+//!   (Sect. III.B: 8b pixels / 20b samples ⇒ R < 0.4).
+
+/// Paper constants for the 64×64 prototype (Table II).
+pub mod paper {
+    /// Array side (pixels).
+    pub const ARRAY_SIDE: usize = 64;
+    /// Pixel code width (bits).
+    pub const PIXEL_BITS: u32 = 8;
+    /// Compressed-sample width (bits).
+    pub const SAMPLE_BITS: u32 = 20;
+    /// Frame rate (fps).
+    pub const FRAME_RATE: f64 = 30.0;
+    /// Maximum compression ratio before break-even.
+    pub const MAX_RATIO: f64 = 0.4;
+    /// Maximum compressed-sample rate (Hz) at `MAX_RATIO` and 30 fps…
+    /// "≈50 kHz" in the paper (exactly 49.152 kHz).
+    pub const MAX_CS_RATE: f64 = 50e3;
+    /// TDC clock (Hz).
+    pub const CLOCK_HZ: f64 = 24e6;
+    /// Event duration used in the overlap discussion (s).
+    pub const EVENT_DURATION: f64 = 5e-9;
+}
+
+/// Eq. (1): bits needed for a clip-free sum of `m·n` pixel codes of
+/// `pixel_bits` bits.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_core::params::eq1_sample_bits;
+/// assert_eq!(eq1_sample_bits(8, 64, 64), 20);
+/// assert_eq!(eq1_sample_bits(8, 8, 8), 14); // 8×8 block-based CS
+/// ```
+pub fn eq1_sample_bits(pixel_bits: u32, m: u32, n: u32) -> u32 {
+    tepics_util::fixed::sum_bits(pixel_bits, m, n)
+}
+
+/// Eq. (2): compressed-sample rate (Hz) for compression ratio `r`,
+/// array `m × n` and frame rate `fs`.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_core::params::eq2_cs_rate;
+/// let rate = eq2_cs_rate(0.4, 64, 64, 30.0);
+/// assert!((rate - 49_152.0).abs() < 1e-9); // the paper's "≈50 kHz"
+/// ```
+pub fn eq2_cs_rate(r: f64, m: u32, n: u32, fs: f64) -> f64 {
+    r * m as f64 * n as f64 * fs
+}
+
+/// Time available per compressed sample (s) at the Eq. (2) rate.
+pub fn sample_slot_seconds(r: f64, m: u32, n: u32, fs: f64) -> f64 {
+    1.0 / eq2_cs_rate(r, m, n, fs)
+}
+
+/// The break-even compression ratio: below it, `K` samples of
+/// `sample_bits` cost fewer wire bits than the raw image.
+pub fn breakeven_ratio(pixel_bits: u32, sample_bits: u32) -> f64 {
+    pixel_bits as f64 / sample_bits as f64
+}
+
+/// Wire bits for the raw (uncompressed) image.
+pub fn raw_bits(m: u32, n: u32, pixel_bits: u32) -> u64 {
+    m as u64 * n as u64 * pixel_bits as u64
+}
+
+/// Wire bits for `k` compressed samples (payload only).
+pub fn compressed_bits(k: u32, sample_bits: u32) -> u64 {
+    k as u64 * sample_bits as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_sect_ii_examples() {
+        // "if each pixel value is encoded in 8b, we would still need 14b"
+        // for 8×8 blocks; 20b for the 64×64 full frame.
+        assert_eq!(eq1_sample_bits(8, 8, 8), 14);
+        assert_eq!(eq1_sample_bits(8, 64, 64), 20);
+        // Column sums: 64 pixels → 14b (Sect. III.B).
+        assert_eq!(eq1_sample_bits(8, 64, 1), 14);
+    }
+
+    #[test]
+    fn eq2_reproduces_the_50khz_figure() {
+        let rate = eq2_cs_rate(paper::MAX_RATIO, 64, 64, paper::FRAME_RATE);
+        // 0.4 · 4096 · 30 = 49152 ≈ 50 kHz; 20.3 µs per sample.
+        assert!((rate - 49_152.0).abs() < 1e-9);
+        assert!((rate - paper::MAX_CS_RATE).abs() / paper::MAX_CS_RATE < 0.02);
+        let slot = sample_slot_seconds(paper::MAX_RATIO, 64, 64, paper::FRAME_RATE);
+        assert!((slot - 20.345e-6).abs() < 0.01e-6);
+    }
+
+    #[test]
+    fn breakeven_is_two_fifths_for_the_prototype() {
+        assert!((breakeven_ratio(paper::PIXEL_BITS, paper::SAMPLE_BITS) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_accounting_crosses_at_breakeven() {
+        let mn = 4096u32;
+        let raw = raw_bits(64, 64, 8);
+        // Just below break-even: cheaper.
+        let k_low = (0.39 * mn as f64) as u32;
+        assert!(compressed_bits(k_low, 20) < raw);
+        // Just above: more expensive.
+        let k_high = (0.41 * mn as f64) as u32;
+        assert!(compressed_bits(k_high, 20) > raw);
+    }
+
+    #[test]
+    fn eq2_scales_linearly() {
+        let base = eq2_cs_rate(0.2, 32, 32, 30.0);
+        assert_eq!(eq2_cs_rate(0.4, 32, 32, 30.0), 2.0 * base);
+        assert_eq!(eq2_cs_rate(0.2, 32, 32, 60.0), 2.0 * base);
+        assert_eq!(eq2_cs_rate(0.2, 64, 32, 30.0), 2.0 * base);
+    }
+}

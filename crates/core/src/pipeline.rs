@@ -1,0 +1,207 @@
+//! End-to-end evaluation: capture → wire → reconstruct → report.
+//!
+//! The experiment harness runs hundreds of these loops; this module
+//! centralizes the bookkeeping so every experiment reports identical
+//! quantities (code-domain PSNR/SSIM against the ideal code image,
+//! bits-on-wire against the raw readout, event statistics).
+
+use crate::decoder::Decoder;
+use crate::error::CoreError;
+use crate::imager::CompressiveImager;
+use crate::params;
+use tepics_imaging::{psnr, ssim, ImageF64, Scene};
+use tepics_sensor::EventStats;
+
+/// Quality and cost summary of one capture/reconstruct cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Compression ratio `K / (M·N)` actually used.
+    pub ratio: f64,
+    /// PSNR of the reconstructed code image vs the ideal codes (dB).
+    pub psnr_code_db: f64,
+    /// SSIM of the reconstruction in the code domain.
+    pub ssim_code: f64,
+    /// Bits on the wire (header + packed samples).
+    pub wire_bits: usize,
+    /// Bits of the raw (uncompressed) code readout.
+    pub raw_bits: u64,
+    /// Solver iterations used.
+    pub iterations: usize,
+    /// Event statistics from the capture.
+    pub event_stats: EventStats,
+}
+
+impl PipelineReport {
+    /// Wire saving vs raw readout (`1 −  wire/raw`; negative when
+    /// compression loses).
+    pub fn wire_saving(&self) -> f64 {
+        1.0 - self.wire_bits as f64 / self.raw_bits as f64
+    }
+}
+
+/// Captures `scene`, round-trips the frame through the wire codec, and
+/// reconstructs with `decoder_config` applied to a fresh decoder.
+///
+/// # Errors
+///
+/// Propagates frame and recovery errors from the decoder.
+///
+/// # Panics
+///
+/// Panics if the scene size does not match the imager.
+pub fn evaluate(
+    imager: &CompressiveImager,
+    configure: impl FnOnce(&mut Decoder),
+    scene: &ImageF64,
+) -> Result<PipelineReport, CoreError> {
+    let (frame, event_stats) = imager.capture_with_stats(scene);
+    // Always exercise the wire codec: transmit and re-parse.
+    let bytes = frame.to_bytes();
+    let received = crate::frame::CompressedFrame::from_bytes(&bytes)?;
+    let mut decoder = Decoder::for_frame(&received)?;
+    configure(&mut decoder);
+    let recon = decoder.reconstruct(&received)?;
+    let truth = imager.ideal_codes(scene).to_code_f64();
+    let code_max = (1u32 << frame.header.code_bits) - 1;
+    Ok(PipelineReport {
+        ratio: received.ratio(),
+        psnr_code_db: psnr(&truth, recon.code_image(), code_max as f64),
+        ssim_code: ssim(&truth, recon.code_image(), code_max as f64),
+        wire_bits: received.wire_bits(),
+        raw_bits: params::raw_bits(
+            frame.header.rows as u32,
+            frame.header.cols as u32,
+            frame.header.code_bits as u32,
+        ),
+        iterations: recon.stats().iterations,
+        event_stats,
+    })
+}
+
+/// Runs [`evaluate`] over the standard scene suite, returning
+/// `(scene_name, report)` pairs. Used by the `ffvb` experiment and the
+/// integration tests.
+///
+/// # Errors
+///
+/// Propagates the first pipeline error encountered.
+pub fn evaluate_suite(
+    imager: &CompressiveImager,
+    size: usize,
+    scene_seed: u64,
+) -> Result<Vec<(&'static str, PipelineReport)>, CoreError> {
+    let mut out = Vec::new();
+    for (name, scene) in Scene::evaluation_suite() {
+        let img = scene.render(size, size, scene_seed);
+        let report = evaluate(imager, |_| {}, &img)?;
+        out.push((name, report));
+    }
+    Ok(out)
+}
+
+/// Progressive reconstruction: quality as the first `k` samples arrive.
+///
+/// Compressed samples are generated (and transmitted) sequentially, one
+/// per 20 µs slot — a receiver can reconstruct *at any prefix* of the
+/// stream. Returns `(k, psnr_db)` pairs for each checkpoint, a property
+/// broadcast/telemetry links exploit: every extra received sample
+/// monotonically (in expectation) sharpens the image.
+///
+/// # Errors
+///
+/// Propagates decoder errors; checkpoints larger than the frame are
+/// clamped to the full sample count.
+///
+/// # Panics
+///
+/// Panics if the scene size does not match the imager or `checkpoints`
+/// is empty.
+pub fn progressive_psnr(
+    imager: &CompressiveImager,
+    scene: &ImageF64,
+    checkpoints: &[usize],
+) -> Result<Vec<(usize, f64)>, CoreError> {
+    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    let frame = imager.capture(scene);
+    let truth = imager.ideal_codes(scene).to_code_f64();
+    let code_max = ((1u32 << frame.header.code_bits) - 1) as f64;
+    let mut out = Vec::with_capacity(checkpoints.len());
+    for &k in checkpoints {
+        let k = k.clamp(1, frame.samples.len());
+        let mut prefix = frame.clone();
+        prefix.samples.truncate(k);
+        let decoder = Decoder::for_frame(&prefix)?;
+        let recon = decoder.reconstruct(&prefix)?;
+        out.push((k, psnr(&truth, recon.code_image(), code_max)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_sensor::Fidelity;
+
+    fn imager() -> CompressiveImager {
+        CompressiveImager::builder(16, 16)
+            .ratio(0.35)
+            .seed(5)
+            .fidelity(Fidelity::Functional)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let im = imager();
+        let scene = Scene::gaussian_blobs(2).render(16, 16, 9);
+        let report = evaluate(&im, |_| {}, &scene).unwrap();
+        assert!((report.ratio - 90.0 / 256.0).abs() < 1e-9);
+        assert!(report.psnr_code_db > 15.0);
+        assert!(report.ssim_code > 0.3);
+        assert_eq!(report.raw_bits, 256 * 8);
+        assert!(report.wire_bits > 0);
+        assert!(report.iterations > 0);
+    }
+
+    #[test]
+    fn wire_saving_positive_below_breakeven() {
+        // 16×16 sensor: sample_bits = 16, breakeven at R = 0.5; R = 0.35
+        // must save wire bits even with header overhead.
+        let im = imager();
+        let scene = Scene::natural_like().render(16, 16, 2);
+        let report = evaluate(&im, |_| {}, &scene).unwrap();
+        assert!(
+            report.wire_saving() > 0.0,
+            "saving {} should be positive at R=0.35",
+            report.wire_saving()
+        );
+    }
+
+    #[test]
+    fn progressive_reconstruction_improves_with_samples() {
+        let im = imager();
+        let scene = Scene::gaussian_blobs(3).render(16, 16, 4);
+        let curve = progressive_psnr(&im, &scene, &[10, 30, 60, 90]).unwrap();
+        assert_eq!(curve.len(), 4);
+        // The last checkpoint must beat the first by a clear margin; the
+        // interior may wiggle slightly (λ is relative to each prefix).
+        assert!(
+            curve.last().unwrap().1 > curve[0].1 + 3.0,
+            "no progressive gain: {curve:?}"
+        );
+    }
+
+    #[test]
+    fn suite_covers_all_scenes() {
+        let im = imager();
+        let results = evaluate_suite(&im, 16, 3).unwrap();
+        assert_eq!(results.len(), Scene::evaluation_suite().len());
+        for (name, report) in &results {
+            assert!(
+                report.psnr_code_db.is_finite(),
+                "{name} produced non-finite PSNR"
+            );
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Cholesky factorization, including the growing variant for greedy
+//! pursuit.
+//!
+//! OMP and CoSaMP repeatedly solve least-squares systems whose support
+//! grows by one atom per iteration; [`GrowingCholesky`] updates the
+//! factorization in O(k²) per added atom instead of refactoring in
+//! O(k³), which is the standard trick that makes OMP practical.
+
+use crate::mat::DenseMatrix;
+use std::fmt;
+
+/// Error returned when a matrix is not (numerically) symmetric positive
+/// definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotSpdError {
+    /// Index of the pivot that failed.
+    pub pivot: usize,
+}
+
+impl fmt::Display for NotSpdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotSpdError {}
+
+/// Lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_cs::chol::Cholesky;
+/// use tepics_cs::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+/// let chol = Cholesky::factor(&a).unwrap();
+/// let x = chol.solve(&[8.0, 7.0]);
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    n: usize,
+    /// Row-major lower triangle (full n×n storage for simplicity).
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive definite matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotSpdError`] if a pivot is not strictly positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn factor(a: &DenseMatrix) -> Result<Cholesky, NotSpdError> {
+        assert_eq!(a.row_count(), a.col_count(), "matrix must be square");
+        let n = a.row_count();
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(NotSpdError { pivot: i });
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(Cholesky { n, l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` via forward/backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        // Forward: L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i * n + k] * z[k];
+            }
+            z[i] = sum / self.l[i * n + i];
+        }
+        // Backward: Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in i + 1..n {
+                sum -= self.l[k * n + i] * x[k];
+            }
+            x[i] = sum / self.l[i * n + i];
+        }
+        x
+    }
+}
+
+/// Incrementally grown Cholesky factorization of a Gram matrix.
+///
+/// Greedy pursuit adds one atom per iteration; [`GrowingCholesky::push`]
+/// extends `L` with the new atom's Gram column in O(k²).
+///
+/// # Examples
+///
+/// ```
+/// use tepics_cs::chol::GrowingCholesky;
+///
+/// let mut g = GrowingCholesky::with_capacity(2);
+/// g.push(&[], 4.0).unwrap();            // A = [4]
+/// g.push(&[2.0], 3.0).unwrap();         // A = [[4,2],[2,3]]
+/// let x = g.solve(&[8.0, 7.0]);
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowingCholesky {
+    cap: usize,
+    k: usize,
+    /// Row-major `cap × cap` lower-triangular storage.
+    l: Vec<f64>,
+}
+
+impl GrowingCholesky {
+    /// Creates an empty factorization that can grow to `cap` atoms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be positive");
+        GrowingCholesky {
+            cap,
+            k: 0,
+            l: vec![0.0; cap * cap],
+        }
+    }
+
+    /// Current dimension.
+    pub fn dim(&self) -> usize {
+        self.k
+    }
+
+    /// Appends a new atom: `cross` holds its Gram inner products against
+    /// the existing `dim()` atoms, `diag` its squared norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotSpdError`] when the new atom is (numerically)
+    /// linearly dependent on the current set; the factorization is left
+    /// unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cross.len() != dim()` or capacity is exhausted.
+    pub fn push(&mut self, cross: &[f64], diag: f64) -> Result<(), NotSpdError> {
+        assert_eq!(cross.len(), self.k, "cross-Gram length mismatch");
+        assert!(self.k < self.cap, "capacity exhausted");
+        let n = self.cap;
+        let k = self.k;
+        // Solve L w = cross for the new row.
+        let mut w = vec![0.0; k];
+        for i in 0..k {
+            let mut sum = cross[i];
+            for j in 0..i {
+                sum -= self.l[i * n + j] * w[j];
+            }
+            w[i] = sum / self.l[i * n + i];
+        }
+        let rem = diag - w.iter().map(|v| v * v).sum::<f64>();
+        if rem <= 1e-12 {
+            return Err(NotSpdError { pivot: k });
+        }
+        for (j, &wj) in w.iter().enumerate() {
+            self.l[k * n + j] = wj;
+        }
+        self.l[k * n + k] = rem.sqrt();
+        self.k += 1;
+        Ok(())
+    }
+
+    /// Solves the current `k × k` system `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()` or the factorization is empty.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert!(self.k > 0, "empty factorization");
+        assert_eq!(b.len(), self.k, "rhs length mismatch");
+        let n = self.cap;
+        let k = self.k;
+        let mut z = vec![0.0; k];
+        for i in 0..k {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.l[i * n + j] * z[j];
+            }
+            z[i] = sum / self.l[i * n + i];
+        }
+        let mut x = vec![0.0; k];
+        for i in (0..k).rev() {
+            let mut sum = z[i];
+            for j in i + 1..k {
+                sum -= self.l[j * n + i] * x[j];
+            }
+            x[i] = sum / self.l[i * n + i];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_spd(n: usize, seed: u64) -> DenseMatrix {
+        let mut rng = tepics_util::SplitMix64::new(seed);
+        let b = DenseMatrix::from_fn(n + 2, n, |_, _| rng.next_gaussian());
+        let mut g = b.gram();
+        for i in 0..n {
+            g.set(i, i, g.get(i, i) + 0.5); // ensure well-conditioned
+        }
+        g
+    }
+
+    #[test]
+    fn factor_solve_roundtrip() {
+        use crate::op::LinearOperator;
+        for n in [1usize, 2, 5, 12] {
+            let a = random_spd(n, n as u64);
+            let chol = Cholesky::factor(&a).unwrap();
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64 - 1.5) * 0.3).collect();
+            let b = a.apply_vec(&x_true);
+            let x = chol.solve(&b);
+            for (xs, xt) in x.iter().zip(&x_true) {
+                assert!((xs - xt).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // indefinite
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn growing_matches_batch() {
+        use crate::op::LinearOperator;
+        let n = 8;
+        let a = random_spd(n, 77);
+        let batch = Cholesky::factor(&a).unwrap();
+        let mut grow = GrowingCholesky::with_capacity(n);
+        for k in 0..n {
+            let cross: Vec<f64> = (0..k).map(|j| a.get(k, j)).collect();
+            grow.push(&cross, a.get(k, k)).unwrap();
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let b = a.apply_vec(&x_true);
+        let xb = batch.solve(&b);
+        let xg = grow.solve(&b);
+        for (p, q) in xb.iter().zip(&xg) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn growing_rejects_dependent_atom() {
+        let mut g = GrowingCholesky::with_capacity(3);
+        g.push(&[], 1.0).unwrap();
+        // Second atom identical to the first: gram [[1,1],[1,1]].
+        let err = g.push(&[1.0], 1.0).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        // Factorization still usable at dimension 1.
+        assert_eq!(g.dim(), 1);
+        let x = g.solve(&[2.0]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_growing_solve_uses_leading_block() {
+        let a = random_spd(6, 5);
+        let mut grow = GrowingCholesky::with_capacity(6);
+        for k in 0..3 {
+            let cross: Vec<f64> = (0..k).map(|j| a.get(k, j)).collect();
+            grow.push(&cross, a.get(k, k)).unwrap();
+        }
+        // Solve against the leading 3×3 block.
+        let lead = DenseMatrix::from_fn(3, 3, |r, c| a.get(r, c));
+        let batch = Cholesky::factor(&lead).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let xg = grow.solve(&b);
+        let xb = batch.solve(&b);
+        for (p, q) in xg.iter().zip(&xb) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+}

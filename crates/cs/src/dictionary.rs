@@ -1,0 +1,333 @@
+//! Sparsifying dictionaries Ψ.
+//!
+//! The decoder models the image as `x = Ψ α` with sparse `α`. All
+//! dictionaries here are orthonormal (`analyze` is the exact adjoint and
+//! inverse of `synthesize`), which both the recovery theory and the
+//! mean-split decoder rely on. [`ZeroMeanDictionary`] removes the DC
+//! atom: the 0/1 measurement gives the DC direction a gain ~`M·N/2`
+//! larger than any zero-sum atom, so the pipeline estimates the mean
+//! separately (from the known per-row selection counts) and recovers
+//! only the zero-mean component through Ψ — see `tepics-core`'s decoder.
+
+use tepics_imaging::{Dct2d, Haar2d};
+
+/// An orthonormal synthesis/analysis pair.
+pub trait Dictionary {
+    /// Signal dimension (pixel count).
+    fn dim(&self) -> usize;
+
+    /// Number of atoms (equals `dim` for the orthonormal bases here).
+    fn atoms(&self) -> usize;
+
+    /// Computes `x = Ψ α`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on length mismatches.
+    fn synthesize(&self, alpha: &[f64], x: &mut [f64]);
+
+    /// Computes `α = Ψᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on length mismatches.
+    fn analyze(&self, x: &[f64], alpha: &mut [f64]);
+
+    /// Allocating convenience for [`synthesize`](Dictionary::synthesize).
+    fn synthesize_vec(&self, alpha: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.dim()];
+        self.synthesize(alpha, &mut x);
+        x
+    }
+
+    /// Allocating convenience for [`analyze`](Dictionary::analyze).
+    fn analyze_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut a = vec![0.0; self.atoms()];
+        self.analyze(x, &mut a);
+        a
+    }
+}
+
+/// 2-D DCT dictionary: atoms are the separable cosine basis images.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_cs::{Dct2dDictionary, Dictionary};
+///
+/// let psi = Dct2dDictionary::new(8, 8);
+/// let alpha = psi.analyze_vec(&vec![1.0; 64]);
+/// // Constant image = pure DC atom.
+/// assert!((alpha[0] - 8.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dct2dDictionary {
+    dct: Dct2d,
+}
+
+impl Dct2dDictionary {
+    /// Creates a DCT dictionary for `width`×`height` images.
+    pub fn new(width: usize, height: usize) -> Self {
+        Dct2dDictionary {
+            dct: Dct2d::new(width, height),
+        }
+    }
+
+    /// Index of the DC atom (always 0 for the DCT).
+    pub fn dc_index(&self) -> usize {
+        0
+    }
+}
+
+impl Dictionary for Dct2dDictionary {
+    fn dim(&self) -> usize {
+        self.dct.len()
+    }
+
+    fn atoms(&self) -> usize {
+        self.dct.len()
+    }
+
+    fn synthesize(&self, alpha: &[f64], x: &mut [f64]) {
+        let out = self.dct.inverse(alpha);
+        x.copy_from_slice(&out);
+    }
+
+    fn analyze(&self, x: &[f64], alpha: &mut [f64]) {
+        let out = self.dct.forward(x);
+        alpha.copy_from_slice(&out);
+    }
+}
+
+/// 2-D Haar wavelet dictionary.
+#[derive(Debug, Clone)]
+pub struct Haar2dDictionary {
+    haar: Haar2d,
+}
+
+impl Haar2dDictionary {
+    /// Creates a Haar dictionary with the deepest level count the
+    /// dimensions allow.
+    pub fn new(width: usize, height: usize) -> Self {
+        let levels = Haar2d::max_levels(width, height);
+        Haar2dDictionary {
+            haar: Haar2d::new(width, height, levels),
+        }
+    }
+
+    /// Creates a Haar dictionary with an explicit level count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are not divisible by `2^levels`.
+    pub fn with_levels(width: usize, height: usize, levels: usize) -> Self {
+        Haar2dDictionary {
+            haar: Haar2d::new(width, height, levels),
+        }
+    }
+
+    /// Index of the scaling (DC) atom (always 0).
+    pub fn dc_index(&self) -> usize {
+        0
+    }
+}
+
+impl Dictionary for Haar2dDictionary {
+    fn dim(&self) -> usize {
+        self.haar.len()
+    }
+
+    fn atoms(&self) -> usize {
+        self.haar.len()
+    }
+
+    fn synthesize(&self, alpha: &[f64], x: &mut [f64]) {
+        let out = self.haar.inverse(alpha);
+        x.copy_from_slice(&out);
+    }
+
+    fn analyze(&self, x: &[f64], alpha: &mut [f64]) {
+        let out = self.haar.forward(x);
+        alpha.copy_from_slice(&out);
+    }
+}
+
+/// Identity dictionary: the signal is sparse in the pixel domain itself
+/// (star fields, point sources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdentityDictionary {
+    n: usize,
+}
+
+impl IdentityDictionary {
+    /// Creates an identity dictionary of dimension `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "dimension must be positive");
+        IdentityDictionary { n }
+    }
+}
+
+impl Dictionary for IdentityDictionary {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn atoms(&self) -> usize {
+        self.n
+    }
+
+    fn synthesize(&self, alpha: &[f64], x: &mut [f64]) {
+        assert_eq!(alpha.len(), self.n, "length mismatch");
+        x.copy_from_slice(alpha);
+    }
+
+    fn analyze(&self, x: &[f64], alpha: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "length mismatch");
+        alpha.copy_from_slice(x);
+    }
+}
+
+/// Wrapper that pins one atom's coefficient to zero — used to exclude
+/// the DC atom when the mean is recovered separately.
+///
+/// `synthesize` zeroes the pinned coefficient before synthesis;
+/// `analyze` zeroes it after analysis. The wrapper stays self-adjoint,
+/// so `Φ ∘ ZeroMean(Ψ)` keeps a valid adjoint pair.
+#[derive(Debug, Clone)]
+pub struct ZeroMeanDictionary<D> {
+    inner: D,
+    pinned: usize,
+}
+
+impl<D: Dictionary> ZeroMeanDictionary<D> {
+    /// Wraps a dictionary, pinning atom `pinned` (usually the DC index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pinned >= inner.atoms()`.
+    pub fn new(inner: D, pinned: usize) -> Self {
+        assert!(pinned < inner.atoms(), "pinned atom out of range");
+        ZeroMeanDictionary { inner, pinned }
+    }
+
+    /// The wrapped dictionary.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Index of the pinned atom.
+    pub fn pinned(&self) -> usize {
+        self.pinned
+    }
+}
+
+impl<D: Dictionary> Dictionary for ZeroMeanDictionary<D> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn atoms(&self) -> usize {
+        self.inner.atoms()
+    }
+
+    fn synthesize(&self, alpha: &[f64], x: &mut [f64]) {
+        if alpha[self.pinned] == 0.0 {
+            self.inner.synthesize(alpha, x);
+        } else {
+            let mut a = alpha.to_vec();
+            a[self.pinned] = 0.0;
+            self.inner.synthesize(&a, x);
+        }
+    }
+
+    fn analyze(&self, x: &[f64], alpha: &mut [f64]) {
+        self.inner.analyze(x, alpha);
+        alpha[self.pinned] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_util::SplitMix64;
+
+    fn check_orthonormal<D: Dictionary>(d: &D, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        let x: Vec<f64> = (0..d.dim()).map(|_| rng.next_gaussian()).collect();
+        // Perfect reconstruction.
+        let back = d.synthesize_vec(&d.analyze_vec(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        // Adjoint identity ⟨Ψα, x⟩ = ⟨α, Ψᵀx⟩.
+        let alpha: Vec<f64> = (0..d.atoms()).map(|_| rng.next_gaussian()).collect();
+        let lhs = crate::op::dot(&d.synthesize_vec(&alpha), &x);
+        let rhs = crate::op::dot(&alpha, &d.analyze_vec(&x));
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dct_haar_identity_are_orthonormal() {
+        check_orthonormal(&Dct2dDictionary::new(8, 8), 1);
+        check_orthonormal(&Dct2dDictionary::new(12, 8), 2);
+        check_orthonormal(&Haar2dDictionary::new(16, 16), 3);
+        check_orthonormal(&IdentityDictionary::new(37), 4);
+    }
+
+    #[test]
+    fn dc_atom_of_dct_is_constant_image() {
+        let d = Dct2dDictionary::new(8, 8);
+        let mut alpha = vec![0.0; 64];
+        alpha[d.dc_index()] = 1.0;
+        let x = d.synthesize_vec(&alpha);
+        let expected = 1.0 / 8.0; // 1/sqrt(64)
+        for v in x {
+            assert!((v - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn haar_dc_atom_is_constant_image() {
+        let d = Haar2dDictionary::new(16, 16);
+        let mut alpha = vec![0.0; 256];
+        alpha[d.dc_index()] = 1.0;
+        let x = d.synthesize_vec(&alpha);
+        for v in &x {
+            assert!((v - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_mean_wrapper_produces_zero_sum_images() {
+        let mut rng = SplitMix64::new(9);
+        let d = ZeroMeanDictionary::new(Dct2dDictionary::new(8, 8), 0);
+        let alpha: Vec<f64> = (0..64).map(|_| rng.next_gaussian()).collect();
+        let x = d.synthesize_vec(&alpha);
+        let sum: f64 = x.iter().sum();
+        assert!(sum.abs() < 1e-9, "synthesized image has mean {sum}");
+        // Analysis pins the DC coefficient.
+        let a = d.analyze_vec(&vec![1.0; 64]);
+        assert_eq!(a[0], 0.0);
+    }
+
+    #[test]
+    fn zero_mean_wrapper_is_self_adjoint_consistent() {
+        let mut rng = SplitMix64::new(10);
+        let d = ZeroMeanDictionary::new(Haar2dDictionary::new(8, 8), 0);
+        let x: Vec<f64> = (0..64).map(|_| rng.next_gaussian()).collect();
+        let alpha: Vec<f64> = (0..64).map(|_| rng.next_gaussian()).collect();
+        let lhs = crate::op::dot(&d.synthesize_vec(&alpha), &x);
+        let rhs = crate::op::dot(&alpha, &d.analyze_vec(&x));
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned atom out of range")]
+    fn pinning_invalid_atom_panics() {
+        ZeroMeanDictionary::new(IdentityDictionary::new(4), 4);
+    }
+}

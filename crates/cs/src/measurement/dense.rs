@@ -1,0 +1,182 @@
+//! Dense per-row binary masks.
+
+use super::{adjoint_masks, apply_masks, SelectionMeasurement};
+use crate::op::LinearOperator;
+use tepics_ca::BitPatternSource;
+use tepics_util::{BitVec, SplitMix64};
+
+/// A 0/1 measurement matrix stored as one explicit mask per row.
+///
+/// This is the representation for strategies that *could not* be
+/// regenerated cheaply on chip (i.i.d. Bernoulli, thresholded Gaussian)
+/// and for full-length LFSR/Hadamard patterns. Memory is `K × n` bits.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_cs::measurement::{DenseBinaryMeasurement, SelectionMeasurement};
+/// use tepics_cs::LinearOperator;
+///
+/// let phi = DenseBinaryMeasurement::bernoulli(8, 32, 1, 0.5);
+/// assert_eq!(phi.rows(), 8);
+/// assert_eq!(phi.cols(), 32);
+/// let ones = phi.ones_in_row(0);
+/// assert!(ones > 0 && ones < 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseBinaryMeasurement {
+    n: usize,
+    masks: Vec<BitVec>,
+}
+
+impl DenseBinaryMeasurement {
+    /// Builds a measurement from explicit masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` is empty or any mask length differs from the
+    /// first.
+    pub fn from_masks(masks: Vec<BitVec>) -> Self {
+        assert!(!masks.is_empty(), "need at least one measurement row");
+        let n = masks[0].len();
+        assert!(n > 0, "masks must be non-empty");
+        for (k, m) in masks.iter().enumerate() {
+            assert_eq!(m.len(), n, "mask {k} has inconsistent length");
+        }
+        DenseBinaryMeasurement { n, masks }
+    }
+
+    /// Draws `k` rows from a pattern source whose `pattern_len` equals
+    /// the pixel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn from_source<S: BitPatternSource + ?Sized>(source: &mut S, k: usize) -> Self {
+        assert!(k > 0, "need at least one measurement row");
+        let masks = (0..k).map(|_| source.next_pattern()).collect();
+        DenseBinaryMeasurement::from_masks(masks)
+    }
+
+    /// I.i.d. Bernoulli ensemble with `P(1) = density`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `n == 0`, or `density` outside `(0, 1)`.
+    pub fn bernoulli(k: usize, n: usize, seed: u64, density: f64) -> Self {
+        assert!(k > 0 && n > 0, "dimensions must be positive");
+        assert!(
+            density > 0.0 && density < 1.0,
+            "density must be in (0,1), got {density}"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let masks = (0..k)
+            .map(|_| BitVec::from_bools((0..n).map(|_| rng.next_f64() < density)))
+            .collect();
+        DenseBinaryMeasurement::from_masks(masks)
+    }
+
+    /// The paper's "simplest implementation": a standard normal draw per
+    /// entry, thresholded to 0/1 (`1` iff `g > threshold`). With
+    /// `threshold = 0` this is a balanced sub-Gaussian ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `n == 0`.
+    pub fn thresholded_gaussian(k: usize, n: usize, seed: u64, threshold: f64) -> Self {
+        assert!(k > 0 && n > 0, "dimensions must be positive");
+        let mut rng = SplitMix64::new(seed);
+        let masks = (0..k)
+            .map(|_| BitVec::from_bools((0..n).map(|_| rng.next_gaussian() > threshold)))
+            .collect();
+        DenseBinaryMeasurement::from_masks(masks)
+    }
+
+    /// Borrow of all masks.
+    pub fn masks(&self) -> &[BitVec] {
+        &self.masks
+    }
+}
+
+impl LinearOperator for DenseBinaryMeasurement {
+    fn rows(&self) -> usize {
+        self.masks.len()
+    }
+
+    fn cols(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        assert_eq!(y.len(), self.masks.len(), "output length mismatch");
+        apply_masks(&self.masks, x, y);
+    }
+
+    fn apply_adjoint(&self, y: &[f64], x: &mut [f64]) {
+        assert_eq!(y.len(), self.masks.len(), "input length mismatch");
+        assert_eq!(x.len(), self.n, "output length mismatch");
+        adjoint_masks(&self.masks, y, x);
+    }
+}
+
+impl SelectionMeasurement for DenseBinaryMeasurement {
+    fn mask(&self, k: usize) -> BitVec {
+        assert!(k < self.masks.len(), "row {k} out of range");
+        self.masks[k].clone()
+    }
+
+    fn ones_in_row(&self, k: usize) -> usize {
+        assert!(k < self.masks.len(), "row {k} out of range");
+        self.masks[k].count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_density_is_respected() {
+        let m = DenseBinaryMeasurement::bernoulli(50, 200, 3, 0.3);
+        let total: usize = (0..50).map(|k| m.ones_in_row(k)).sum();
+        let frac = total as f64 / (50.0 * 200.0);
+        assert!((0.27..0.33).contains(&frac), "density {frac}");
+    }
+
+    #[test]
+    fn thresholded_gaussian_zero_threshold_is_balanced() {
+        let m = DenseBinaryMeasurement::thresholded_gaussian(50, 200, 4, 0.0);
+        let total: usize = (0..50).map(|k| m.ones_in_row(k)).sum();
+        let frac = total as f64 / (50.0 * 200.0);
+        assert!((0.46..0.54).contains(&frac), "balance {frac}");
+        // Positive threshold reduces density.
+        let sparse = DenseBinaryMeasurement::thresholded_gaussian(50, 200, 4, 1.0);
+        let total_sparse: usize = (0..50).map(|k| sparse.ones_in_row(k)).sum();
+        assert!(total_sparse < total / 2);
+    }
+
+    #[test]
+    fn apply_on_indicator_counts_mask() {
+        let m = DenseBinaryMeasurement::bernoulli(10, 64, 7, 0.5);
+        let y = m.apply_vec(&vec![1.0; 64]);
+        for k in 0..10 {
+            assert_eq!(y[k], m.ones_in_row(k) as f64);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = DenseBinaryMeasurement::bernoulli(5, 32, 11, 0.5);
+        let b = DenseBinaryMeasurement::bernoulli(5, 32, 11, 0.5);
+        assert_eq!(a, b);
+        let c = DenseBinaryMeasurement::bernoulli(5, 32, 12, 0.5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn ragged_masks_panic() {
+        DenseBinaryMeasurement::from_masks(vec![BitVec::zeros(4), BitVec::zeros(5)]);
+    }
+}

@@ -1,0 +1,306 @@
+//! The paper's XOR-structured full-frame measurement.
+//!
+//! Pixel `(i, j)` contributes to compressed sample `k` iff
+//! `S_i(k) ⊕ S_j(k) = 1`, where the `M + N` selection bits come from the
+//! CA ring around the array (Fig. 1 pixel XOR gate + Fig. 2 floorplan).
+//! A row of Φ is therefore fully described by `M + N` bits instead of
+//! `M·N` — the compression that makes on-chip generation feasible — and
+//! this type keeps exactly that representation.
+
+use super::SelectionMeasurement;
+use crate::op::LinearOperator;
+use tepics_ca::BitPatternSource;
+use tepics_util::BitVec;
+
+/// XOR-structured binary measurement over an `rows_m × cols_n` pixel
+/// array (row-major pixel vectorization, `pixel = i · N + j`).
+///
+/// # Examples
+///
+/// ```
+/// use tepics_ca::{CaSource, ElementaryRule};
+/// use tepics_cs::{LinearOperator, XorMeasurement};
+///
+/// let mut src = CaSource::new(16 + 16, 9, ElementaryRule::RULE_30, 64, 1);
+/// let phi = XorMeasurement::from_source(16, 16, &mut src, 40);
+/// assert_eq!(phi.rows(), 40);
+/// assert_eq!(phi.cols(), 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorMeasurement {
+    rows_m: usize,
+    cols_n: usize,
+    /// One `(M + N)`-bit pattern per measurement: bits `0..M` are row
+    /// selections, bits `M..M+N` column selections.
+    patterns: Vec<BitVec>,
+}
+
+impl XorMeasurement {
+    /// Builds a measurement by drawing `k` patterns from a source whose
+    /// `pattern_len` is `rows_m + cols_n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero, `k == 0`, or the source pattern
+    /// length does not equal `rows_m + cols_n`.
+    pub fn from_source<S: BitPatternSource + ?Sized>(
+        rows_m: usize,
+        cols_n: usize,
+        source: &mut S,
+        k: usize,
+    ) -> Self {
+        assert!(rows_m > 0 && cols_n > 0, "array dimensions must be positive");
+        assert!(k > 0, "need at least one measurement");
+        assert_eq!(
+            source.pattern_len(),
+            rows_m + cols_n,
+            "source pattern length {} != M+N = {}",
+            source.pattern_len(),
+            rows_m + cols_n
+        );
+        let patterns = (0..k).map(|_| source.next_pattern()).collect();
+        XorMeasurement {
+            rows_m,
+            cols_n,
+            patterns,
+        }
+    }
+
+    /// Builds a measurement from explicit `(M+N)`-bit patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or wrong-length patterns.
+    pub fn from_patterns(rows_m: usize, cols_n: usize, patterns: Vec<BitVec>) -> Self {
+        assert!(rows_m > 0 && cols_n > 0, "array dimensions must be positive");
+        assert!(!patterns.is_empty(), "need at least one pattern");
+        for (k, p) in patterns.iter().enumerate() {
+            assert_eq!(p.len(), rows_m + cols_n, "pattern {k} has wrong length");
+        }
+        XorMeasurement {
+            rows_m,
+            cols_n,
+            patterns,
+        }
+    }
+
+    /// Array height M.
+    pub fn array_rows(&self) -> usize {
+        self.rows_m
+    }
+
+    /// Array width N.
+    pub fn array_cols(&self) -> usize {
+        self.cols_n
+    }
+
+    /// Row-selection bit `S_i` of measurement `k`.
+    #[inline]
+    pub fn row_bit(&self, k: usize, i: usize) -> bool {
+        assert!(i < self.rows_m, "row index out of range");
+        self.patterns[k].get(i)
+    }
+
+    /// Column-selection bit `S_j` of measurement `k`.
+    #[inline]
+    pub fn col_bit(&self, k: usize, j: usize) -> bool {
+        assert!(j < self.cols_n, "column index out of range");
+        self.patterns[k].get(self.rows_m + j)
+    }
+
+    /// `true` iff pixel `(i, j)` contributes to measurement `k`.
+    #[inline]
+    pub fn selected(&self, k: usize, i: usize, j: usize) -> bool {
+        self.row_bit(k, i) ^ self.col_bit(k, j)
+    }
+
+    /// The raw `(M+N)`-bit pattern of measurement `k`.
+    pub fn pattern(&self, k: usize) -> &BitVec {
+        &self.patterns[k]
+    }
+
+    /// Number of selected row bits / column bits in measurement `k`.
+    pub fn pattern_weights(&self, k: usize) -> (usize, usize) {
+        let p = &self.patterns[k];
+        let a = (0..self.rows_m).filter(|&i| p.get(i)).count();
+        let b = (self.rows_m..self.rows_m + self.cols_n)
+            .filter(|&i| p.get(i))
+            .count();
+        (a, b)
+    }
+}
+
+impl LinearOperator for XorMeasurement {
+    fn rows(&self) -> usize {
+        self.patterns.len()
+    }
+
+    fn cols(&self) -> usize {
+        self.rows_m * self.cols_n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols(), "input length mismatch");
+        assert_eq!(y.len(), self.rows(), "output length mismatch");
+        let (m, n) = (self.rows_m, self.cols_n);
+        // Row sums are shared across measurements.
+        let row_sums: Vec<f64> = (0..m).map(|i| x[i * n..(i + 1) * n].iter().sum()).collect();
+        let mut sel_cols = Vec::with_capacity(n);
+        for (k, pattern) in self.patterns.iter().enumerate() {
+            sel_cols.clear();
+            sel_cols.extend((0..n).filter(|&j| pattern.get(m + j)));
+            let mut acc = 0.0;
+            for i in 0..m {
+                let row = &x[i * n..(i + 1) * n];
+                // T_i = Σ_{j selected} x_ij.
+                let t: f64 = sel_cols.iter().map(|&j| row[j]).sum();
+                acc += if pattern.get(i) { row_sums[i] - t } else { t };
+            }
+            y[k] = acc;
+        }
+    }
+
+    fn apply_adjoint(&self, y: &[f64], x: &mut [f64]) {
+        assert_eq!(y.len(), self.rows(), "input length mismatch");
+        assert_eq!(x.len(), self.cols(), "output length mismatch");
+        let (m, n) = (self.rows_m, self.cols_n);
+        x.fill(0.0);
+        let mut sel = Vec::with_capacity(n);
+        let mut unsel = Vec::with_capacity(n);
+        for (k, pattern) in self.patterns.iter().enumerate() {
+            let yk = y[k];
+            if yk == 0.0 {
+                continue;
+            }
+            sel.clear();
+            unsel.clear();
+            for j in 0..n {
+                if pattern.get(m + j) {
+                    sel.push(j);
+                } else {
+                    unsel.push(j);
+                }
+            }
+            for i in 0..m {
+                let row = &mut x[i * n..(i + 1) * n];
+                // Row bit set → contributes where column bit is 0.
+                let cols = if pattern.get(i) { &unsel } else { &sel };
+                for &j in cols {
+                    row[j] += yk;
+                }
+            }
+        }
+    }
+}
+
+impl SelectionMeasurement for XorMeasurement {
+    fn mask(&self, k: usize) -> BitVec {
+        assert!(k < self.patterns.len(), "row {k} out of range");
+        let (m, n) = (self.rows_m, self.cols_n);
+        let p = &self.patterns[k];
+        BitVec::from_bools((0..m * n).map(|px| {
+            let (i, j) = (px / n, px % n);
+            p.get(i) ^ p.get(m + j)
+        }))
+    }
+
+    fn ones_in_row(&self, k: usize) -> usize {
+        // |{(i,j): r_i ⊕ c_j}| = a(N−b) + (M−a)b with a row-ones, b col-ones.
+        let (a, b) = self.pattern_weights(k);
+        a * (self.cols_n - b) + (self.rows_m - a) * b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::adjoint_mismatch;
+    use tepics_ca::{CaSource, ElementaryRule, LfsrSource};
+
+    fn sample(k: usize) -> XorMeasurement {
+        let mut src = CaSource::new(12 + 10, 5, ElementaryRule::RULE_30, 40, 1);
+        XorMeasurement::from_source(12, 10, &mut src, k)
+    }
+
+    #[test]
+    fn selected_matches_mask_and_counts() {
+        let m = sample(15);
+        for k in 0..15 {
+            let mask = m.mask(k);
+            for i in 0..12 {
+                for j in 0..10 {
+                    assert_eq!(mask.get(i * 10 + j), m.selected(k, i, j));
+                }
+            }
+            assert_eq!(m.ones_in_row(k), mask.count_ones());
+        }
+    }
+
+    #[test]
+    fn xor_guarantees_half_selection_on_balanced_patterns() {
+        // With a=M/2 row bits and b=N/2 col bits set, exactly half the
+        // pixels are selected: a(N−b)+(M−a)b = MN/2.
+        let mut p = BitVec::zeros(8 + 8);
+        for i in 0..4 {
+            p.set(i, true); // 4 of 8 row bits
+            p.set(8 + i, true); // 4 of 8 col bits
+        }
+        let m = XorMeasurement::from_patterns(8, 8, vec![p]);
+        assert_eq!(m.ones_in_row(0), 32);
+    }
+
+    #[test]
+    fn all_zero_pattern_selects_nothing() {
+        let m = XorMeasurement::from_patterns(4, 4, vec![BitVec::zeros(8)]);
+        assert_eq!(m.ones_in_row(0), 0);
+        let y = m.apply_vec(&vec![1.0; 16]);
+        assert_eq!(y[0], 0.0);
+    }
+
+    #[test]
+    fn all_one_pattern_also_selects_nothing() {
+        // r_i ⊕ c_j = 0 when both are 1: the XOR strategy's blind spot.
+        let m = XorMeasurement::from_patterns(4, 4, vec![BitVec::ones(8)]);
+        assert_eq!(m.ones_in_row(0), 0);
+    }
+
+    #[test]
+    fn apply_matches_bruteforce() {
+        let m = sample(10);
+        let mut rng = tepics_util::SplitMix64::new(2);
+        let x: Vec<f64> = (0..120).map(|_| rng.next_f64()).collect();
+        let y = m.apply_vec(&x);
+        for k in 0..10 {
+            let mut expected = 0.0;
+            for i in 0..12 {
+                for j in 0..10 {
+                    if m.selected(k, i, j) {
+                        expected += x[i * 10 + j];
+                    }
+                }
+            }
+            assert!((y[k] - expected).abs() < 1e-9, "row {k}");
+        }
+    }
+
+    #[test]
+    fn adjoint_identity_holds() {
+        let m = sample(25);
+        assert!(adjoint_mismatch(&m, 10, 3) < 1e-12);
+    }
+
+    #[test]
+    fn works_with_lfsr_source_too() {
+        let mut src = LfsrSource::new(6 + 6, 16, 0xACE1);
+        let m = XorMeasurement::from_source(6, 6, &mut src, 8);
+        assert_eq!(m.rows(), 8);
+        assert!(adjoint_mismatch(&m, 5, 4) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern length")]
+    fn wrong_source_length_panics() {
+        let mut src = LfsrSource::new(10, 16, 1);
+        XorMeasurement::from_source(6, 6, &mut src, 2);
+    }
+}

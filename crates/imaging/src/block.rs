@@ -1,0 +1,125 @@
+//! Block decomposition for block-based compressive sampling.
+//!
+//! The paper contrasts its full-frame strategy against the widespread
+//! block-based approach (refs. \[6–8\], \[11\], minimum practical block
+//! 8×8). These helpers split an image into B×B blocks (row-major block
+//! order, row-major pixels within each block — the same vectorization
+//! the per-block measurement matrices use) and merge them back.
+
+use crate::image::ImageF64;
+
+/// Splits an image into `block`×`block` tiles.
+///
+/// Returns tiles in row-major block order; each tile is a row-major
+/// `Vec<f64>` of length `block²`.
+///
+/// # Panics
+///
+/// Panics if either dimension is not divisible by `block` or `block == 0`.
+pub fn split_blocks(img: &ImageF64, block: usize) -> Vec<Vec<f64>> {
+    assert!(block > 0, "block size must be positive");
+    assert!(
+        img.width() % block == 0 && img.height() % block == 0,
+        "{}×{} image not divisible into {block}×{block} blocks",
+        img.width(),
+        img.height()
+    );
+    let bx = img.width() / block;
+    let by = img.height() / block;
+    let mut out = Vec::with_capacity(bx * by);
+    for byi in 0..by {
+        for bxi in 0..bx {
+            let mut tile = Vec::with_capacity(block * block);
+            for dy in 0..block {
+                for dx in 0..block {
+                    tile.push(img.get(bxi * block + dx, byi * block + dy));
+                }
+            }
+            out.push(tile);
+        }
+    }
+    out
+}
+
+/// Reassembles tiles produced by [`split_blocks`].
+///
+/// # Panics
+///
+/// Panics if the tile count or tile sizes are inconsistent with the
+/// target dimensions.
+pub fn merge_blocks(tiles: &[Vec<f64>], width: usize, height: usize, block: usize) -> ImageF64 {
+    assert!(block > 0, "block size must be positive");
+    assert!(
+        width % block == 0 && height % block == 0,
+        "{width}×{height} not divisible by block {block}"
+    );
+    let bx = width / block;
+    let by = height / block;
+    assert_eq!(tiles.len(), bx * by, "tile count mismatch");
+    let mut img = ImageF64::new(width, height, 0.0);
+    for (t, tile) in tiles.iter().enumerate() {
+        assert_eq!(tile.len(), block * block, "tile {t} has wrong size");
+        let bxi = t % bx;
+        let byi = t / bx;
+        for dy in 0..block {
+            for dx in 0..block {
+                img.set(bxi * block + dx, byi * block + dy, tile[dy * block + dx]);
+            }
+        }
+    }
+    img
+}
+
+/// Number of `block`×`block` tiles an image splits into.
+pub fn block_count(width: usize, height: usize, block: usize) -> usize {
+    assert!(block > 0 && width % block == 0 && height % block == 0);
+    (width / block) * (height / block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::Scene;
+
+    #[test]
+    fn split_merge_roundtrip() {
+        let img = Scene::natural_like().render(32, 24, 9);
+        for block in [2, 4, 8] {
+            let tiles = split_blocks(&img, block);
+            assert_eq!(tiles.len(), block_count(32, 24, block));
+            let back = merge_blocks(&tiles, 32, 24, block);
+            assert_eq!(img, back, "roundtrip failed for block {block}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_row_major_within_and_across() {
+        // 4×4 image of values 0..16, 2×2 blocks.
+        let img = ImageF64::from_vec(4, 4, (0..16).map(f64::from).collect());
+        let tiles = split_blocks(&img, 2);
+        assert_eq!(tiles[0], vec![0.0, 1.0, 4.0, 5.0]); // top-left
+        assert_eq!(tiles[1], vec![2.0, 3.0, 6.0, 7.0]); // top-right
+        assert_eq!(tiles[2], vec![8.0, 9.0, 12.0, 13.0]); // bottom-left
+    }
+
+    #[test]
+    fn whole_image_block_is_identity() {
+        let img = Scene::gaussian_blobs(2).render(16, 16, 3);
+        let tiles = split_blocks(&img, 16);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], img.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn non_divisible_split_panics() {
+        let img = ImageF64::new(10, 10, 0.0);
+        split_blocks(&img, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile count mismatch")]
+    fn merge_with_wrong_count_panics() {
+        merge_blocks(&[vec![0.0; 4]], 4, 4, 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! Row-major raster images.
+//!
+//! [`Image`] is deliberately small: the simulator needs deterministic,
+//! inspectable pixel storage, not a full imaging framework. Pixels are
+//! stored row-major (`index = y * width + x`), matching both the
+//! sensor's row/column addressing and the vectorization convention used
+//! by the measurement operators (`x ∈ R^{M·N}`).
+
+use std::fmt;
+
+/// A rectangular raster of copyable pixels.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_imaging::ImageF64;
+///
+/// let mut img = ImageF64::new(4, 3, 0.0);
+/// img.set(2, 1, 0.5);
+/// assert_eq!(img.get(2, 1), 0.5);
+/// assert_eq!(img.as_slice().len(), 12);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Image<T> {
+    width: usize,
+    height: usize,
+    data: Vec<T>,
+}
+
+/// Floating-point image (intensities or time codes).
+pub type ImageF64 = Image<f64>;
+/// 8-bit image (quantized TDC codes).
+pub type ImageU8 = Image<u8>;
+
+impl<T: Copy> Image<T> {
+    /// Creates an image filled with a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize, fill: T) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image {
+            width,
+            height,
+            data: vec![fill; width * height],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or a dimension is zero.
+    pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(
+            data.len(),
+            width * height,
+            "buffer length {} does not match {width}×{height}",
+            data.len()
+        );
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of pixels.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` only for the unreachable zero-pixel case (kept for API
+    /// completeness; constructors reject empty images).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> T {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Writes pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: T) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// The backing row-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the image, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Applies `f` to every pixel, producing a new image.
+    pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Image<U> {
+        Image {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Iterates pixels row-major with their coordinates.
+    pub fn enumerate_pixels(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i % w, i / w, v))
+    }
+}
+
+impl ImageF64 {
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Minimum pixel value.
+    pub fn min_value(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum pixel value.
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Linearly rescales pixel values so they span `[0, 1]`. A constant
+    /// image maps to all-zeros.
+    pub fn normalized(&self) -> ImageF64 {
+        let lo = self.min_value();
+        let hi = self.max_value();
+        if hi - lo < f64::EPSILON {
+            return self.map(|_| 0.0);
+        }
+        self.map(|v| (v - lo) / (hi - lo))
+    }
+
+    /// Clamps every pixel into `[lo, hi]`.
+    pub fn clamped(&self, lo: f64, hi: f64) -> ImageF64 {
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// Quantizes `[0,1]` values to `levels` steps (e.g. 256 for 8-bit),
+    /// returning the quantized floating image.
+    pub fn quantized(&self, levels: u32) -> ImageF64 {
+        assert!(levels >= 2, "need at least two quantization levels");
+        let q = (levels - 1) as f64;
+        self.map(|v| (v.clamp(0.0, 1.0) * q).round() / q)
+    }
+
+    /// Converts `[0,1]` values to 8-bit codes by rounding.
+    pub fn to_u8(&self) -> ImageU8 {
+        self.map(|v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+    }
+
+    /// Renders the image as coarse ASCII art (for terminal experiments).
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.get(x, y).clamp(0.0, 1.0);
+                let idx = (v * (RAMP.len() - 1) as f64).round() as usize;
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ImageU8 {
+    /// Converts 8-bit codes to floats in `[0, 1]`.
+    pub fn to_f64(&self) -> ImageF64 {
+        self.map(|v| v as f64 / 255.0)
+    }
+
+    /// Converts 8-bit codes to raw float code values in `[0, 255]`.
+    pub fn to_code_f64(&self) -> ImageF64 {
+        self.map(|v| v as f64)
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for Image<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Image<{}x{}>", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_indexes_row_major() {
+        let img = Image::from_fn(3, 2, |x, y| (10 * y + x) as u8);
+        assert_eq!(img.as_slice(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(img.get(2, 1), 12);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = ImageF64::new(5, 5, 0.0);
+        img.set(4, 4, 2.5);
+        img.set(0, 3, -1.0);
+        assert_eq!(img.get(4, 4), 2.5);
+        assert_eq!(img.get(0, 3), -1.0);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let img = ImageF64::new(4, 2, 0.5);
+        let doubled = img.map(|v| v * 2.0);
+        assert_eq!(doubled.width(), 4);
+        assert_eq!(doubled.height(), 2);
+        assert!(doubled.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn stats_on_known_image() {
+        let img = ImageF64::from_vec(2, 2, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(img.mean(), 1.5);
+        assert_eq!(img.min_value(), 0.0);
+        assert_eq!(img.max_value(), 3.0);
+    }
+
+    #[test]
+    fn normalized_spans_unit_interval() {
+        let img = ImageF64::from_vec(2, 2, vec![5.0, 7.0, 9.0, 6.0]);
+        let n = img.normalized();
+        assert_eq!(n.min_value(), 0.0);
+        assert_eq!(n.max_value(), 1.0);
+        // Constant image does not divide by zero.
+        let flat = ImageF64::new(3, 3, 4.2).normalized();
+        assert_eq!(flat.max_value(), 0.0);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let img = ImageF64::from_vec(2, 2, vec![0.1, 0.499, 0.5, 0.9]);
+        let q = img.quantized(256);
+        let qq = q.quantized(256);
+        assert_eq!(q, qq);
+    }
+
+    #[test]
+    fn u8_roundtrip_is_exact_on_codes() {
+        let img = Image::from_fn(16, 16, |x, y| ((x * 16 + y) % 256) as u8);
+        let back = img.to_f64().to_u8();
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn enumerate_pixels_covers_all() {
+        let img = Image::from_fn(3, 3, |x, y| x + y);
+        let collected: Vec<_> = img.enumerate_pixels().collect();
+        assert_eq!(collected.len(), 9);
+        assert_eq!(collected[0], (0, 0, 0));
+        assert_eq!(collected[8], (2, 2, 4));
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_row() {
+        let img = ImageF64::new(8, 3, 1.0);
+        let art = img.to_ascii();
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.lines().all(|l| l == "@@@@@@@@"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        ImageF64::new(2, 2, 0.0).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_wrong_len_panics() {
+        ImageF64::from_vec(2, 2, vec![0.0; 5]);
+    }
+}

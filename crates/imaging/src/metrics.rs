@@ -1,0 +1,205 @@
+//! Image-quality metrics.
+//!
+//! The experiments report reconstruction quality the way the CS
+//! literature does: PSNR for headline numbers, SSIM for structural
+//! fidelity. All metrics require equal-sized images and are symmetric
+//! except for the `peak` convention of PSNR (pass `1.0` for unit-range
+//! intensities, `255.0` for code-domain images).
+
+use crate::image::ImageF64;
+
+fn check_dims(a: &ImageF64, b: &ImageF64) {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "image size mismatch: {}×{} vs {}×{}",
+        a.width(),
+        a.height(),
+        b.width(),
+        b.height()
+    );
+}
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn mse(a: &ImageF64, b: &ImageF64) -> f64 {
+    check_dims(a, b);
+    let n = a.len() as f64;
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / n
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn mae(a: &ImageF64, b: &ImageF64) -> f64 {
+    check_dims(a, b);
+    let n = a.len() as f64;
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs())
+        .sum::<f64>()
+        / n
+}
+
+/// Peak signal-to-noise ratio in dB; `+inf` for identical images.
+///
+/// `peak` is the full-scale value (1.0 for unit-range, 255.0 for 8-bit
+/// codes).
+///
+/// # Panics
+///
+/// Panics if the images differ in size or `peak <= 0`.
+pub fn psnr(a: &ImageF64, b: &ImageF64, peak: f64) -> f64 {
+    assert!(peak > 0.0, "peak must be positive");
+    let e = mse(a, b);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / e).log10()
+    }
+}
+
+/// Structural similarity index (mean SSIM over sliding windows).
+///
+/// Uses the standard constants `C1 = (0.01·L)²`, `C2 = (0.03·L)²` with a
+/// uniform `window`×`window` kernel (the original paper's Gaussian
+/// window changes values by <1% at these sizes). Returns a value in
+/// `[-1, 1]`; 1 means identical.
+///
+/// # Panics
+///
+/// Panics if the images differ in size, are smaller than the window, or
+/// `peak <= 0`.
+pub fn ssim_windowed(a: &ImageF64, b: &ImageF64, peak: f64, window: usize) -> f64 {
+    check_dims(a, b);
+    assert!(peak > 0.0, "peak must be positive");
+    assert!(window >= 2, "window must be at least 2");
+    assert!(
+        a.width() >= window && a.height() >= window,
+        "images smaller than SSIM window"
+    );
+    let c1 = (0.01 * peak) * (0.01 * peak);
+    let c2 = (0.03 * peak) * (0.03 * peak);
+    let n = (window * window) as f64;
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for y0 in 0..=(a.height() - window) {
+        for x0 in 0..=(a.width() - window) {
+            let mut sa = 0.0;
+            let mut sb = 0.0;
+            let mut saa = 0.0;
+            let mut sbb = 0.0;
+            let mut sab = 0.0;
+            for dy in 0..window {
+                for dx in 0..window {
+                    let x = a.get(x0 + dx, y0 + dy);
+                    let y = b.get(x0 + dx, y0 + dy);
+                    sa += x;
+                    sb += y;
+                    saa += x * x;
+                    sbb += y * y;
+                    sab += x * y;
+                }
+            }
+            let mu_a = sa / n;
+            let mu_b = sb / n;
+            let var_a = (saa / n - mu_a * mu_a).max(0.0);
+            let var_b = (sbb / n - mu_b * mu_b).max(0.0);
+            let cov = sab / n - mu_a * mu_b;
+            let s = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+                / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+            total += s;
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+/// SSIM with the standard 8×8 window.
+///
+/// # Panics
+///
+/// See [`ssim_windowed`].
+pub fn ssim(a: &ImageF64, b: &ImageF64, peak: f64) -> f64 {
+    ssim_windowed(a, b, peak, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::Scene;
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = Scene::gaussian_blobs(3).render(32, 32, 1);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(mae(&img, &img), 0.0);
+        assert!(psnr(&img, &img, 1.0).is_infinite());
+        assert!((ssim(&img, &img, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_mse_psnr_values() {
+        let a = ImageF64::new(10, 10, 0.0);
+        let b = ImageF64::new(10, 10, 0.1);
+        assert!((mse(&a, &b) - 0.01).abs() < 1e-15);
+        assert!((mae(&a, &b) - 0.1).abs() < 1e-15);
+        // PSNR = 10 log10(1 / 0.01) = 20 dB.
+        assert!((psnr(&a, &b, 1.0) - 20.0).abs() < 1e-9);
+        // With peak 255 on the same absolute error: +48.13 dB offset.
+        let offset = 20.0 * (255.0f64).log10();
+        assert!((psnr(&a, &b, 255.0) - (20.0 + offset)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise_amplitude() {
+        let base = Scene::natural_like().render(32, 32, 2);
+        let mild = base.map(|v| (v + 0.01).clamp(0.0, 1.0));
+        let harsh = base.map(|v| (v + 0.1).clamp(0.0, 1.0));
+        assert!(psnr(&base, &mild, 1.0) > psnr(&base, &harsh, 1.0));
+    }
+
+    #[test]
+    fn ssim_penalizes_structure_loss_more_than_offset() {
+        let img = Scene::Checkerboard { tile: 4 }.render(32, 32, 0);
+        // A constant image destroys all structure.
+        let flat = ImageF64::new(32, 32, 0.5);
+        // A small uniform offset keeps structure.
+        let offset = img.map(|v| (v + 0.05).clamp(0.0, 1.0));
+        assert!(ssim(&img, &offset, 1.0) > 0.8);
+        assert!(ssim(&img, &flat, 1.0) < 0.2);
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = Scene::gaussian_blobs(2).render(24, 24, 4);
+        let b = Scene::gaussian_blobs(2).render(24, 24, 5);
+        assert!((ssim(&a, &b, 1.0) - ssim(&b, &a, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let a = ImageF64::new(4, 4, 0.0);
+        let b = ImageF64::new(4, 5, 0.0);
+        mse(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than SSIM window")]
+    fn tiny_images_panic_in_ssim() {
+        let a = ImageF64::new(4, 4, 0.0);
+        ssim(&a, &a, 1.0);
+    }
+}

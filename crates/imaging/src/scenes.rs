@@ -1,0 +1,353 @@
+//! Deterministic synthetic test scenes.
+//!
+//! The paper's evaluation context is natural-image compressibility; this
+//! repository ships no copyrighted corpora, so experiments run on seeded
+//! synthetic scenes chosen to cover the compressibility spectrum:
+//!
+//! * smooth content (gradients, blobs) — highly DCT-compressible;
+//! * piecewise-constant content (rectangles, bars) — Haar-friendly;
+//! * `1/f`-spectrum textures — the accepted statistical model of
+//!   natural images;
+//! * star fields — *pixel-domain* sparse, the astronomy use case of the
+//!   paper's INAOE co-authors;
+//! * uniform / noise extremes — the incompressible control cases.
+//!
+//! All generators are deterministic in `(width, height, seed)`.
+
+use crate::image::ImageF64;
+use tepics_util::SplitMix64;
+
+/// A synthetic scene description. Render to any size with
+/// [`Scene::render`].
+///
+/// # Examples
+///
+/// ```
+/// use tepics_imaging::Scene;
+///
+/// let img = Scene::star_field(20).render(64, 64, 1);
+/// let again = Scene::star_field(20).render(64, 64, 1);
+/// assert_eq!(img, again); // fully deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scene {
+    /// Constant intensity.
+    Uniform(f64),
+    /// Linear gradient along an angle (radians).
+    LinearGradient {
+        /// Gradient direction in radians (0 = left→right).
+        angle: f64,
+    },
+    /// Checkerboard of `tile`-pixel squares.
+    Checkerboard {
+        /// Square size in pixels.
+        tile: usize,
+    },
+    /// Sum of `count` random Gaussian blobs on a dark background.
+    GaussianBlobs {
+        /// Number of blobs.
+        count: usize,
+    },
+    /// `stars` point sources with a ~1.5-pixel PSF on a near-black sky.
+    StarField {
+        /// Number of stars.
+        stars: usize,
+    },
+    /// Vertical bars of the given period (resolution chart).
+    Bars {
+        /// Bar period in pixels.
+        period: usize,
+    },
+    /// `1/f`-amplitude random cosine field (natural-image statistics).
+    NaturalLike {
+        /// Number of random plane waves summed per octave.
+        waves_per_octave: usize,
+    },
+    /// Smooth background plus `shapes` random constant rectangles and
+    /// ellipses (cartoon / piecewise-smooth model).
+    PiecewiseSmooth {
+        /// Number of shapes to draw.
+        shapes: usize,
+    },
+    /// A step edge plus a smooth ramp — the classic edge-response probe.
+    EdgeRamp,
+    /// Uniform white noise (the incompressibility control).
+    WhiteNoise,
+}
+
+impl Scene {
+    /// Convenience constructor for [`Scene::GaussianBlobs`].
+    pub fn gaussian_blobs(count: usize) -> Scene {
+        Scene::GaussianBlobs { count }
+    }
+
+    /// Convenience constructor for [`Scene::StarField`].
+    pub fn star_field(stars: usize) -> Scene {
+        Scene::StarField { stars }
+    }
+
+    /// Convenience constructor for [`Scene::NaturalLike`].
+    pub fn natural_like() -> Scene {
+        Scene::NaturalLike { waves_per_octave: 6 }
+    }
+
+    /// Convenience constructor for [`Scene::PiecewiseSmooth`].
+    pub fn piecewise_smooth(shapes: usize) -> Scene {
+        Scene::PiecewiseSmooth { shapes }
+    }
+
+    /// The standard evaluation suite used by the experiments: a name and
+    /// a scene, covering smooth → piecewise → textured → sparse content.
+    pub fn evaluation_suite() -> Vec<(&'static str, Scene)> {
+        vec![
+            ("blobs", Scene::gaussian_blobs(4)),
+            ("piecewise", Scene::piecewise_smooth(6)),
+            ("natural", Scene::natural_like()),
+            ("stars", Scene::star_field(25)),
+            ("bars", Scene::Bars { period: 8 }),
+            ("edge", Scene::EdgeRamp),
+        ]
+    }
+
+    /// Renders the scene at the given size, deterministically in `seed`.
+    /// Output intensities lie in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero (propagated from [`ImageF64`]).
+    pub fn render(&self, width: usize, height: usize, seed: u64) -> ImageF64 {
+        let mut rng = SplitMix64::new(seed ^ 0x5CE4E5_u64);
+        let w = width as f64;
+        let h = height as f64;
+        match *self {
+            Scene::Uniform(v) => ImageF64::new(width, height, v.clamp(0.0, 1.0)),
+            Scene::LinearGradient { angle } => {
+                let (s, c) = angle.sin_cos();
+                let img = ImageF64::from_fn(width, height, |x, y| {
+                    (x as f64 / w) * c + (y as f64 / h) * s
+                });
+                img.normalized()
+            }
+            Scene::Checkerboard { tile } => {
+                let tile = tile.max(1);
+                ImageF64::from_fn(width, height, |x, y| {
+                    if (x / tile + y / tile) % 2 == 0 {
+                        0.85
+                    } else {
+                        0.15
+                    }
+                })
+            }
+            Scene::GaussianBlobs { count } => {
+                let blobs: Vec<(f64, f64, f64, f64)> = (0..count.max(1))
+                    .map(|_| {
+                        let cx = rng.next_f64() * w;
+                        let cy = rng.next_f64() * h;
+                        let sigma = (0.06 + 0.12 * rng.next_f64()) * w.min(h);
+                        let amp = 0.4 + 0.6 * rng.next_f64();
+                        (cx, cy, sigma, amp)
+                    })
+                    .collect();
+                let img = ImageF64::from_fn(width, height, |x, y| {
+                    let mut v = 0.05;
+                    for &(cx, cy, sigma, amp) in &blobs {
+                        let dx = x as f64 - cx;
+                        let dy = y as f64 - cy;
+                        v += amp * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+                    }
+                    v
+                });
+                img.clamped(0.0, 1.0)
+            }
+            Scene::StarField { stars } => {
+                let sky = 0.02;
+                let psf_sigma = 0.7;
+                let pts: Vec<(f64, f64, f64)> = (0..stars.max(1))
+                    .map(|_| {
+                        (
+                            rng.next_f64() * w,
+                            rng.next_f64() * h,
+                            // Magnitude-like brightness distribution.
+                            0.2 + 0.8 * rng.next_f64() * rng.next_f64(),
+                        )
+                    })
+                    .collect();
+                let img = ImageF64::from_fn(width, height, |x, y| {
+                    let mut v = sky;
+                    for &(cx, cy, amp) in &pts {
+                        let dx = x as f64 - cx;
+                        let dy = y as f64 - cy;
+                        let d2 = dx * dx + dy * dy;
+                        if d2 < 25.0 {
+                            v += amp * (-d2 / (2.0 * psf_sigma * psf_sigma)).exp();
+                        }
+                    }
+                    v
+                });
+                img.clamped(0.0, 1.0)
+            }
+            Scene::Bars { period } => {
+                let period = period.max(2);
+                ImageF64::from_fn(width, height, |x, _| {
+                    if (x / (period / 2)) % 2 == 0 {
+                        0.9
+                    } else {
+                        0.1
+                    }
+                })
+            }
+            Scene::NaturalLike { waves_per_octave } => {
+                // Sum of random plane waves, amplitude ∝ 1/frequency.
+                let octaves = 5usize;
+                let mut waves = Vec::new();
+                for oct in 0..octaves {
+                    let freq = 2.0f64.powi(oct as i32) / w.min(h);
+                    for _ in 0..waves_per_octave.max(1) {
+                        let theta = rng.next_f64() * std::f64::consts::TAU;
+                        let phase = rng.next_f64() * std::f64::consts::TAU;
+                        let amp = 1.0 / (1.0 + 2.0f64.powi(oct as i32));
+                        waves.push((
+                            freq * theta.cos(),
+                            freq * theta.sin(),
+                            phase,
+                            amp,
+                        ));
+                    }
+                }
+                let img = ImageF64::from_fn(width, height, |x, y| {
+                    waves
+                        .iter()
+                        .map(|&(fx, fy, phase, amp)| {
+                            amp * (std::f64::consts::TAU * (fx * x as f64 + fy * y as f64) + phase)
+                                .cos()
+                        })
+                        .sum()
+                });
+                img.normalized()
+            }
+            Scene::PiecewiseSmooth { shapes } => {
+                let mut img = ImageF64::from_fn(width, height, |x, y| {
+                    0.25 + 0.3 * (x as f64 / w) + 0.15 * (y as f64 / h)
+                });
+                for _ in 0..shapes {
+                    let cx = rng.next_f64() * w;
+                    let cy = rng.next_f64() * h;
+                    let rw = (0.08 + 0.22 * rng.next_f64()) * w;
+                    let rh = (0.08 + 0.22 * rng.next_f64()) * h;
+                    let level = rng.next_f64();
+                    let ellipse = rng.next_bool();
+                    for y in 0..height {
+                        for x in 0..width {
+                            let dx = (x as f64 - cx) / rw;
+                            let dy = (y as f64 - cy) / rh;
+                            let inside = if ellipse {
+                                dx * dx + dy * dy <= 1.0
+                            } else {
+                                dx.abs() <= 1.0 && dy.abs() <= 1.0
+                            };
+                            if inside {
+                                img.set(x, y, level);
+                            }
+                        }
+                    }
+                }
+                img.clamped(0.0, 1.0)
+            }
+            Scene::EdgeRamp => ImageF64::from_fn(width, height, |x, y| {
+                let ramp = y as f64 / h * 0.5;
+                if x < width / 2 {
+                    0.15 + ramp
+                } else {
+                    0.6 + ramp * 0.5
+                }
+            }),
+            Scene::WhiteNoise => {
+                ImageF64::from_fn(width, height, |_, _| rng.next_f64())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_scenes() -> Vec<Scene> {
+        let mut v: Vec<Scene> = Scene::evaluation_suite().into_iter().map(|(_, s)| s).collect();
+        v.push(Scene::Uniform(0.5));
+        v.push(Scene::LinearGradient { angle: 0.7 });
+        v.push(Scene::Checkerboard { tile: 4 });
+        v.push(Scene::WhiteNoise);
+        v
+    }
+
+    #[test]
+    fn every_scene_stays_in_unit_range() {
+        for scene in all_scenes() {
+            let img = scene.render(32, 48, 3);
+            assert!(
+                img.min_value() >= 0.0 && img.max_value() <= 1.0,
+                "{scene:?} escapes [0,1]: [{}, {}]",
+                img.min_value(),
+                img.max_value()
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        for scene in all_scenes() {
+            let a = scene.render(16, 16, 99);
+            let b = scene.render(16, 16, 99);
+            assert_eq!(a, b, "{scene:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_for_random_scenes() {
+        let a = Scene::gaussian_blobs(4).render(32, 32, 1);
+        let b = Scene::gaussian_blobs(4).render(32, 32, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn star_field_is_mostly_dark() {
+        let img = Scene::star_field(10).render(64, 64, 5);
+        let dark = img.as_slice().iter().filter(|&&v| v < 0.1).count();
+        assert!(
+            dark > 64 * 64 / 2,
+            "star field should be mostly sky, got {dark} dark pixels"
+        );
+        assert!(img.max_value() > 0.2, "stars must be visible");
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = Scene::Checkerboard { tile: 2 }.render(8, 8, 0);
+        assert_eq!(img.get(0, 0), 0.85);
+        assert_eq!(img.get(2, 0), 0.15);
+        assert_eq!(img.get(0, 2), 0.15);
+        assert_eq!(img.get(2, 2), 0.85);
+    }
+
+    #[test]
+    fn gradient_increases_along_x() {
+        let img = Scene::LinearGradient { angle: 0.0 }.render(16, 4, 0);
+        assert!(img.get(15, 0) > img.get(0, 0));
+    }
+
+    #[test]
+    fn evaluation_suite_has_unique_names() {
+        let suite = Scene::evaluation_suite();
+        let mut names: Vec<_> = suite.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn uniform_scene_is_flat() {
+        let img = Scene::Uniform(0.3).render(5, 5, 7);
+        assert!(img.as_slice().iter().all(|&v| v == 0.3));
+    }
+}

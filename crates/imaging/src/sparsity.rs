@@ -1,0 +1,159 @@
+//! Compressibility measurements.
+//!
+//! CS recovery quality is governed by how fast the sorted transform
+//! coefficients decay. These helpers quantify that decay, and the
+//! `ffvb` experiment uses them to explain *why* particular scenes
+//! reconstruct better than others at a given compression ratio.
+
+/// Fraction of total energy captured by the `k` largest-magnitude
+/// coefficients.
+///
+/// Returns 1.0 when `k >= len` and 0.0 for an all-zero vector.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_imaging::sparsity::top_k_energy;
+///
+/// let coeffs = vec![3.0, 0.0, -4.0, 0.0];
+/// assert!((top_k_energy(&coeffs, 2) - 1.0).abs() < 1e-12);
+/// assert!((top_k_energy(&coeffs, 1) - 16.0 / 25.0).abs() < 1e-12);
+/// ```
+pub fn top_k_energy(coeffs: &[f64], k: usize) -> f64 {
+    let total: f64 = coeffs.iter().map(|c| c * c).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut mags: Vec<f64> = coeffs.iter().map(|c| c * c).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    mags.iter().take(k).sum::<f64>() / total
+}
+
+/// Smallest `k` whose top-k coefficients capture `fraction` of the
+/// energy — the *effective sparsity* of the vector.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `(0, 1]`.
+pub fn effective_sparsity(coeffs: &[f64], fraction: f64) -> usize {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0,1], got {fraction}"
+    );
+    let total: f64 = coeffs.iter().map(|c| c * c).sum();
+    if total == 0.0 {
+        return 0;
+    }
+    let mut mags: Vec<f64> = coeffs.iter().map(|c| c * c).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut acc = 0.0;
+    for (i, m) in mags.iter().enumerate() {
+        acc += m;
+        if acc >= fraction * total {
+            return i + 1;
+        }
+    }
+    mags.len()
+}
+
+/// Zeroes all but the `k` largest-magnitude entries (best k-term
+/// approximation in any orthonormal basis).
+pub fn keep_top_k(coeffs: &[f64], k: usize) -> Vec<f64> {
+    if k >= coeffs.len() {
+        return coeffs.to_vec();
+    }
+    let mut idx: Vec<usize> = (0..coeffs.len()).collect();
+    idx.sort_by(|&a, &b| coeffs[b].abs().partial_cmp(&coeffs[a].abs()).unwrap());
+    let mut out = vec![0.0; coeffs.len()];
+    for &i in idx.iter().take(k) {
+        out[i] = coeffs[i];
+    }
+    out
+}
+
+/// Gini index of the magnitude distribution: 0 for perfectly spread
+/// energy, → 1 for a single dominant coefficient. A standard scalar
+/// sparsity measure (Hurley & Rickard 2009).
+pub fn gini_index(coeffs: &[f64]) -> f64 {
+    let mut mags: Vec<f64> = coeffs.iter().map(|c| c.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = mags.len();
+    let norm1: f64 = mags.iter().sum();
+    if n == 0 || norm1 == 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (i, &m) in mags.iter().enumerate() {
+        acc += m / norm1 * ((n - i) as f64 - 0.5) / n as f64;
+    }
+    1.0 - 2.0 * acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::Scene;
+    use crate::transforms::dct::Dct2d;
+
+    #[test]
+    fn top_k_energy_monotone_in_k() {
+        let coeffs: Vec<f64> = (0..50).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut prev = 0.0;
+        for k in 1..=50 {
+            let e = top_k_energy(&coeffs, k);
+            assert!(e >= prev);
+            prev = e;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_sparsity_of_exact_sparse_vector() {
+        let mut v = vec![0.0; 100];
+        v[3] = 5.0;
+        v[77] = -2.0;
+        assert_eq!(effective_sparsity(&v, 1.0), 2);
+        // The big coefficient alone has 25/29 of the energy.
+        assert_eq!(effective_sparsity(&v, 0.8), 1);
+    }
+
+    #[test]
+    fn keep_top_k_retains_largest() {
+        let v = vec![1.0, -5.0, 3.0, 0.5];
+        let kept = keep_top_k(&v, 2);
+        assert_eq!(kept, vec![0.0, -5.0, 3.0, 0.0]);
+        assert_eq!(keep_top_k(&v, 10), v);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        let spread = vec![1.0; 64];
+        let spike = {
+            let mut v = vec![0.0; 64];
+            v[0] = 1.0;
+            v
+        };
+        assert!(gini_index(&spread) < 0.05);
+        assert!(gini_index(&spike) > 0.95);
+        assert_eq!(gini_index(&[]), 0.0);
+    }
+
+    #[test]
+    fn smooth_scene_is_more_compressible_than_noise() {
+        let dct = Dct2d::new(32, 32);
+        let smooth = dct.forward(Scene::gaussian_blobs(3).render(32, 32, 1).as_slice());
+        let noise = dct.forward(Scene::WhiteNoise.render(32, 32, 1).as_slice());
+        let k_smooth = effective_sparsity(&smooth, 0.99);
+        let k_noise = effective_sparsity(&noise, 0.99);
+        assert!(
+            k_smooth * 4 < k_noise,
+            "smooth {k_smooth} vs noise {k_noise}: expected ≥4× gap"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn zero_fraction_panics() {
+        effective_sparsity(&[1.0], 0.0);
+    }
+}

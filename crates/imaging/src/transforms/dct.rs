@@ -1,0 +1,318 @@
+//! Orthonormal discrete cosine transform (DCT-II / DCT-III pair).
+//!
+//! The 1-D transform is implemented as a precomputed orthonormal basis
+//! matrix multiply — O(n²) per application, which at the sensor's n=64
+//! is both exact and fast enough that an FFT-based factorization would
+//! only add code risk. The 2-D transform is the separable product
+//! (rows, then columns).
+
+/// Orthonormal 1-D DCT of a fixed length.
+///
+/// Forward is DCT-II with orthonormal scaling; inverse is its transpose
+/// (DCT-III), so `inverse(forward(x)) == x` to machine precision.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_imaging::Dct1d;
+///
+/// let dct = Dct1d::new(8);
+/// let x = vec![1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0];
+/// let back = dct.inverse(&dct.forward(&x));
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dct1d {
+    n: usize,
+    /// Row-major orthonormal basis: `basis[k*n + i] = c_k cos(π(2i+1)k/2n)`.
+    basis: Vec<f64>,
+}
+
+impl Dct1d {
+    /// Creates a transform of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "transform length must be positive");
+        let mut basis = vec![0.0; n * n];
+        let norm0 = (1.0 / n as f64).sqrt();
+        let norm = (2.0 / n as f64).sqrt();
+        for k in 0..n {
+            let c = if k == 0 { norm0 } else { norm };
+            for i in 0..n {
+                basis[k * n + i] =
+                    c * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2 * n) as f64)
+                        .cos();
+            }
+        }
+        Dct1d { n, basis }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward transform (analysis): `X_k = Σ_i basis[k,i]·x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        let mut out = vec![0.0; self.n];
+        for k in 0..self.n {
+            let row = &self.basis[k * self.n..(k + 1) * self.n];
+            out[k] = row.iter().zip(x).map(|(b, v)| b * v).sum();
+        }
+        out
+    }
+
+    /// Inverse transform (synthesis): `x_i = Σ_k basis[k,i]·X_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != len()`.
+    pub fn inverse(&self, coeffs: &[f64]) -> Vec<f64> {
+        assert_eq!(coeffs.len(), self.n, "input length mismatch");
+        let mut out = vec![0.0; self.n];
+        for k in 0..self.n {
+            let ck = coeffs[k];
+            if ck == 0.0 {
+                continue;
+            }
+            let row = &self.basis[k * self.n..(k + 1) * self.n];
+            for (o, b) in out.iter_mut().zip(row) {
+                *o += ck * b;
+            }
+        }
+        out
+    }
+}
+
+/// Separable orthonormal 2-D DCT on row-major `width`×`height` buffers.
+///
+/// Coefficient layout matches the image layout: coefficient `(u, v)`
+/// (horizontal frequency `u`, vertical `v`) lives at `v * width + u`,
+/// so the DC coefficient is index 0.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_imaging::Dct2d;
+///
+/// let dct = Dct2d::new(8, 8);
+/// let flat = vec![0.5; 64];
+/// let coeffs = dct.forward(&flat);
+/// // A constant image has all energy in DC.
+/// assert!((coeffs[0] - 0.5 * 8.0).abs() < 1e-12);
+/// assert!(coeffs[1..].iter().all(|c| c.abs() < 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dct2d {
+    width: usize,
+    height: usize,
+    row: Dct1d,
+    col: Dct1d,
+}
+
+impl Dct2d {
+    /// Creates a transform for `width`×`height` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        Dct2d {
+            width,
+            height,
+            row: Dct1d::new(width),
+            col: Dct1d::new(height),
+        }
+    }
+
+    /// Buffer width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Buffer height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total coefficient count (`width × height`).
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Always `false`; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn apply(&self, data: &[f64], forward: bool) -> Vec<f64> {
+        assert_eq!(data.len(), self.len(), "buffer length mismatch");
+        let (w, h) = (self.width, self.height);
+        // Rows.
+        let mut tmp = vec![0.0; w * h];
+        let mut row_buf = vec![0.0; w];
+        for y in 0..h {
+            row_buf.copy_from_slice(&data[y * w..(y + 1) * w]);
+            let t = if forward {
+                self.row.forward(&row_buf)
+            } else {
+                self.row.inverse(&row_buf)
+            };
+            tmp[y * w..(y + 1) * w].copy_from_slice(&t);
+        }
+        // Columns.
+        let mut out = vec![0.0; w * h];
+        let mut col_buf = vec![0.0; h];
+        for x in 0..w {
+            for y in 0..h {
+                col_buf[y] = tmp[y * w + x];
+            }
+            let t = if forward {
+                self.col.forward(&col_buf)
+            } else {
+                self.col.inverse(&col_buf)
+            };
+            for y in 0..h {
+                out[y * w + x] = t[y];
+            }
+        }
+        out
+    }
+
+    /// Forward 2-D transform of a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width*height`.
+    pub fn forward(&self, data: &[f64]) -> Vec<f64> {
+        self.apply(data, true)
+    }
+
+    /// Inverse 2-D transform of a row-major coefficient buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != width*height`.
+    pub fn inverse(&self, coeffs: &[f64]) -> Vec<f64> {
+        self.apply(coeffs, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::Scene;
+
+    fn energy(v: &[f64]) -> f64 {
+        v.iter().map(|x| x * x).sum()
+    }
+
+    #[test]
+    fn one_d_perfect_reconstruction() {
+        for n in [1usize, 2, 3, 8, 64] {
+            let dct = Dct1d::new(n);
+            let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 19) as f64 / 19.0).collect();
+            let back = dct.inverse(&dct.forward(&x));
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_d_is_orthonormal() {
+        // Parseval: energy is preserved.
+        let dct = Dct1d::new(16);
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+        let coeffs = dct.forward(&x);
+        assert!((energy(&x) - energy(&coeffs)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dc_basis_vector_is_constant() {
+        let dct = Dct1d::new(9);
+        let dc = dct.inverse(&{
+            let mut e = vec![0.0; 9];
+            e[0] = 1.0;
+            e
+        });
+        let expected = (1.0f64 / 9.0).sqrt();
+        for v in dc {
+            assert!((v - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_d_perfect_reconstruction_rectangular() {
+        let dct = Dct2d::new(12, 8);
+        let img = Scene::natural_like().render(12, 8, 4);
+        let back = dct.inverse(&dct.forward(img.as_slice()));
+        for (a, b) in img.as_slice().iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn two_d_parseval() {
+        let dct = Dct2d::new(16, 16);
+        let img = Scene::gaussian_blobs(3).render(16, 16, 8);
+        let coeffs = dct.forward(img.as_slice());
+        assert!((energy(img.as_slice()) - energy(&coeffs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_images_concentrate_energy_in_low_frequencies() {
+        let dct = Dct2d::new(32, 32);
+        let img = Scene::gaussian_blobs(3).render(32, 32, 5);
+        let coeffs = dct.forward(img.as_slice());
+        // Energy in the 8×8 low-frequency corner vs total.
+        let mut low = 0.0;
+        for v in 0..8 {
+            for u in 0..8 {
+                low += coeffs[v * 32 + u] * coeffs[v * 32 + u];
+            }
+        }
+        let ratio = low / energy(&coeffs);
+        assert!(ratio > 0.95, "low-frequency energy ratio {ratio} too small");
+    }
+
+    #[test]
+    fn cosine_input_hits_single_coefficient() {
+        let n = 32;
+        let dct = Dct1d::new(n);
+        let k = 5;
+        // The k-th basis vector itself.
+        let mut e = vec![0.0; n];
+        e[k] = 1.0;
+        let x = dct.inverse(&e);
+        let coeffs = dct.forward(&x);
+        for (i, &c) in coeffs.iter().enumerate() {
+            if i == k {
+                assert!((c - 1.0).abs() < 1e-10);
+            } else {
+                assert!(c.abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        Dct1d::new(8).forward(&[0.0; 7]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Orthonormal 2-D Haar wavelet transform.
+//!
+//! The Haar basis is the piecewise-constant counterpart to the DCT: the
+//! best sparsifier for cartoon-like scenes (rectangles, bars) among the
+//! dictionaries shipped with TEPICS. The implementation is the standard
+//! Mallat decomposition: per level, a single orthonormal Haar step
+//! (`(a+b)/√2`, `(a−b)/√2`) on every row then every column of the
+//! current approximation quadrant.
+
+/// Orthonormal 2-D Haar transform with a fixed number of levels.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_imaging::Haar2d;
+///
+/// let haar = Haar2d::new(8, 8, 3);
+/// let x = vec![1.0; 64];
+/// let coeffs = haar.forward(&x);
+/// let back = haar.inverse(&coeffs);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Haar2d {
+    width: usize,
+    height: usize,
+    levels: usize,
+}
+
+impl Haar2d {
+    /// Creates a transform of `levels` decomposition levels for
+    /// `width`×`height` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero, or not divisible by `2^levels`.
+    pub fn new(width: usize, height: usize, levels: usize) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be positive");
+        let div = 1usize << levels;
+        assert!(
+            width % div == 0 && height % div == 0,
+            "{width}×{height} not divisible by 2^{levels}"
+        );
+        Haar2d {
+            width,
+            height,
+            levels,
+        }
+    }
+
+    /// The deepest decomposition the dimensions allow.
+    pub fn max_levels(width: usize, height: usize) -> usize {
+        let mut levels = 0;
+        let mut div = 2;
+        while width % div == 0 && height % div == 0 && div <= width && div <= height {
+            levels += 1;
+            div <<= 1;
+        }
+        levels
+    }
+
+    /// Buffer width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Buffer height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Total coefficient count.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Always `false`; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward transform of a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width*height`.
+    pub fn forward(&self, data: &[f64]) -> Vec<f64> {
+        assert_eq!(data.len(), self.len(), "buffer length mismatch");
+        let mut out = data.to_vec();
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let mut w = self.width;
+        let mut h = self.height;
+        for _ in 0..self.levels {
+            // Rows of the active quadrant.
+            let mut buf = vec![0.0; w.max(h)];
+            for y in 0..h {
+                for i in 0..w / 2 {
+                    let a = out[y * self.width + 2 * i];
+                    let b = out[y * self.width + 2 * i + 1];
+                    buf[i] = (a + b) * s;
+                    buf[w / 2 + i] = (a - b) * s;
+                }
+                out[y * self.width..y * self.width + w].copy_from_slice(&buf[..w]);
+            }
+            // Columns of the active quadrant.
+            for x in 0..w {
+                for i in 0..h / 2 {
+                    let a = out[(2 * i) * self.width + x];
+                    let b = out[(2 * i + 1) * self.width + x];
+                    buf[i] = (a + b) * s;
+                    buf[h / 2 + i] = (a - b) * s;
+                }
+                for y in 0..h {
+                    out[y * self.width + x] = buf[y];
+                }
+            }
+            w /= 2;
+            h /= 2;
+        }
+        out
+    }
+
+    /// Inverse transform of a row-major coefficient buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != width*height`.
+    pub fn inverse(&self, coeffs: &[f64]) -> Vec<f64> {
+        assert_eq!(coeffs.len(), self.len(), "buffer length mismatch");
+        let mut out = coeffs.to_vec();
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        // Reconstruct from the deepest level outward.
+        for level in (0..self.levels).rev() {
+            let w = self.width >> level;
+            let h = self.height >> level;
+            let mut buf = vec![0.0; w.max(h)];
+            // Columns first (mirror of forward order).
+            for x in 0..w {
+                for i in 0..h / 2 {
+                    let avg = out[i * self.width + x];
+                    let diff = out[(h / 2 + i) * self.width + x];
+                    buf[2 * i] = (avg + diff) * s;
+                    buf[2 * i + 1] = (avg - diff) * s;
+                }
+                for y in 0..h {
+                    out[y * self.width + x] = buf[y];
+                }
+            }
+            // Rows.
+            for y in 0..h {
+                for i in 0..w / 2 {
+                    let avg = out[y * self.width + i];
+                    let diff = out[y * self.width + w / 2 + i];
+                    buf[2 * i] = (avg + diff) * s;
+                    buf[2 * i + 1] = (avg - diff) * s;
+                }
+                out[y * self.width..y * self.width + w].copy_from_slice(&buf[..w]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenes::Scene;
+
+    fn energy(v: &[f64]) -> f64 {
+        v.iter().map(|x| x * x).sum()
+    }
+
+    #[test]
+    fn perfect_reconstruction_all_levels() {
+        let img = Scene::piecewise_smooth(4).render(16, 16, 2);
+        for levels in 0..=4 {
+            let haar = Haar2d::new(16, 16, levels);
+            let back = haar.inverse(&haar.forward(img.as_slice()));
+            for (a, b) in img.as_slice().iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "levels={levels}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_buffers_work() {
+        let haar = Haar2d::new(16, 8, 3);
+        let img = Scene::natural_like().render(16, 8, 7);
+        let back = haar.inverse(&haar.forward(img.as_slice()));
+        for (a, b) in img.as_slice().iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preservation() {
+        let haar = Haar2d::new(32, 32, 5);
+        let img = Scene::gaussian_blobs(3).render(32, 32, 1);
+        let coeffs = haar.forward(img.as_slice());
+        assert!((energy(img.as_slice()) - energy(&coeffs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_image_concentrates_in_scaling_coefficient() {
+        let haar = Haar2d::new(8, 8, 3);
+        let coeffs = haar.forward(&vec![2.0; 64]);
+        // Scaling coefficient = 2 * sqrt(64) = 16.
+        assert!((coeffs[0] - 16.0).abs() < 1e-12);
+        assert!(coeffs[1..].iter().all(|c| c.abs() < 1e-12));
+    }
+
+    #[test]
+    fn piecewise_constant_is_sparser_in_haar_than_dct() {
+        use crate::transforms::dct::Dct2d;
+        let img = Scene::piecewise_smooth(3).render(32, 32, 11);
+        let haar = Haar2d::new(32, 32, 5).forward(img.as_slice());
+        let dct = Dct2d::new(32, 32).forward(img.as_slice());
+        let count_big = |v: &[f64]| {
+            let e = energy(v);
+            let mut mags: Vec<f64> = v.iter().map(|x| x * x).collect();
+            mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let mut acc = 0.0;
+            let mut k = 0;
+            for m in mags {
+                acc += m;
+                k += 1;
+                if acc >= 0.99 * e {
+                    break;
+                }
+            }
+            k
+        };
+        let k_haar = count_big(&haar);
+        let k_dct = count_big(&dct);
+        assert!(
+            k_haar < k_dct,
+            "haar needs {k_haar} coefficients, dct {k_dct} — expected haar sparser"
+        );
+    }
+
+    #[test]
+    fn max_levels_computation() {
+        assert_eq!(Haar2d::max_levels(64, 64), 6);
+        assert_eq!(Haar2d::max_levels(12, 8), 2);
+        assert_eq!(Haar2d::max_levels(7, 8), 0);
+    }
+
+    #[test]
+    fn zero_levels_is_identity() {
+        let haar = Haar2d::new(4, 4, 0);
+        let x: Vec<f64> = (0..16).map(f64::from).collect();
+        assert_eq!(haar.forward(&x), x);
+        assert_eq!(haar.inverse(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_dimensions_panic() {
+        Haar2d::new(12, 12, 3);
+    }
+}

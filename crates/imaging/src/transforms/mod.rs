@@ -1,0 +1,11 @@
+//! Orthonormal sparsifying transforms.
+//!
+//! The decoder models images as `x = Ψ α` with `α` sparse. Two
+//! orthonormal choices are provided — the 2-D DCT ([`dct`]) favored for
+//! smooth/natural content and the 2-D Haar wavelet ([`haar`]) favored
+//! for piecewise-constant content. Both satisfy `Ψᵀ Ψ = I` exactly
+//! (up to floating-point roundoff), which the decoder's exact-centering
+//! trick relies on.
+
+pub mod dct;
+pub mod haar;

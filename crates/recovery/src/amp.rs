@@ -1,0 +1,237 @@
+//! AMP — approximate message passing (Donoho, Maleki & Montanari 2009).
+//!
+//! For measurement ensembles with i.i.d.-like entries, AMP iterates
+//! soft thresholding with an *Onsager correction* term that keeps the
+//! effective noise Gaussian, converging in tens of iterations where
+//! ISTA needs hundreds. The threshold is set adaptively from the
+//! residual's estimated noise level (`τ = κ·median(|Aᵀr|)/0.6745`-style;
+//! we use the common `τ = κ·‖r‖/√m` rule).
+//!
+//! AMP's state-evolution guarantees assume i.i.d. sub-Gaussian matrices;
+//! on the XOR-structured CA ensemble it is a heuristic — the solver
+//! comparison in the experiments treats it accordingly.
+
+use crate::shrink::soft_threshold;
+use crate::{check_dims, Recovery, RecoveryError, SolveStats};
+use tepics_cs::op::{self, LinearOperator};
+
+/// AMP solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Amp {
+    max_iter: usize,
+    tol: f64,
+    /// Threshold multiplier κ (≈2–3 for noiseless CS).
+    kappa: f64,
+}
+
+impl Amp {
+    /// Creates a solver with defaults: 60 iterations, κ = 2.5,
+    /// tolerance 1e-8.
+    pub fn new() -> Self {
+        Amp {
+            max_iter: 60,
+            tol: 1e-8,
+            kappa: 2.5,
+        }
+    }
+
+    /// Iteration cap.
+    pub fn max_iter(&mut self, n: usize) -> &mut Self {
+        self.max_iter = n;
+        self
+    }
+
+    /// Relative-change stopping tolerance.
+    pub fn tol(&mut self, tol: f64) -> &mut Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Threshold multiplier κ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa <= 0`.
+    pub fn kappa(&mut self, kappa: f64) -> &mut Self {
+        assert!(kappa > 0.0, "kappa must be positive");
+        self.kappa = kappa;
+        self
+    }
+
+    /// Runs the solver. The operator is internally rescaled by `1/‖A‖`
+    /// so AMP's unit-column-variance assumption approximately holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if `y` does not
+    /// match the operator.
+    pub fn solve<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+    ) -> Result<Recovery, RecoveryError> {
+        check_dims(a.rows(), y)?;
+        let m = a.rows();
+        let n = a.cols();
+        // Normalize the operator so columns have ~unit norm in the
+        // aggregate: scale = ‖A‖₂ / sqrt(n/m) heuristic — for an i.i.d.
+        // matrix with unit columns ‖A‖ ≈ 1 + sqrt(n/m).
+        let norm = op::operator_norm_est(a, 30, 0xA3B);
+        if norm == 0.0 {
+            return Ok(Recovery {
+                coefficients: vec![0.0; n],
+                stats: SolveStats {
+                    iterations: 0,
+                    residual_norm: op::norm2(y),
+                    converged: true,
+                },
+            });
+        }
+        let scale = norm / (1.0 + (n as f64 / m as f64).sqrt());
+        let y_s: Vec<f64> = y.iter().map(|&v| v / scale).collect();
+
+        let mut x = vec![0.0; n];
+        let mut z = y_s.clone(); // corrected residual
+        let mut ax = vec![0.0; m];
+        let mut grad = vec![0.0; n];
+        let mut prev = vec![0.0; n];
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut nnz_prev = 0usize;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            // Pseudo-data: x + Aᵀz (A scaled by 1/scale on the fly).
+            a.apply_adjoint(&z, &mut grad);
+            prev.copy_from_slice(&x);
+            for i in 0..n {
+                x[i] += grad[i] / scale;
+            }
+            // Adaptive threshold from the residual noise level.
+            let tau = self.kappa * op::norm2(&z) / (m as f64).sqrt();
+            soft_threshold(&mut x, tau);
+            let nnz = x.iter().filter(|&&v| v != 0.0).count();
+            // Residual with Onsager term: z ← y − Ax + z·(nnz/m).
+            a.apply(&x, &mut ax);
+            let onsager = nnz_prev as f64 / m as f64;
+            for k in 0..m {
+                z[k] = y_s[k] - ax[k] / scale + z[k] * onsager;
+            }
+            nnz_prev = nnz;
+            let mut diff = 0.0;
+            let mut nrm = 0.0;
+            for i in 0..n {
+                let d = x[i] - prev[i];
+                diff += d * d;
+                nrm += x[i] * x[i];
+            }
+            if diff.sqrt() <= self.tol * nrm.sqrt().max(1e-12) {
+                converged = true;
+                break;
+            }
+        }
+        // Undo the scaling: the model was (A/scale)(x_s) = y/scale with
+        // x_s = x, so the original-coordinates solution is x itself…
+        // except A was applied unscaled inside the loop; verify residual
+        // in original coordinates.
+        let resid = op::sub(&a.apply_vec(&x), y);
+        Ok(Recovery {
+            coefficients: x,
+            stats: SolveStats {
+                iterations,
+                residual_norm: op::norm2(&resid),
+                converged,
+            },
+        })
+    }
+}
+
+impl Default for Amp {
+    fn default() -> Self {
+        Amp::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_cs::DenseMatrix;
+    use tepics_util::SplitMix64;
+
+    fn gaussian_problem(
+        rows: usize,
+        cols: usize,
+        k: usize,
+        seed: u64,
+    ) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian() / (rows as f64).sqrt());
+        let mut x = vec![0.0; cols];
+        let mut placed = 0;
+        while placed < k {
+            let i = rng.next_below(cols as u64) as usize;
+            if x[i] == 0.0 {
+                x[i] = if rng.next_bool() { 2.0 } else { -2.0 };
+                placed += 1;
+            }
+        }
+        let y = a.apply_vec(&x);
+        (a, x, y)
+    }
+
+    #[test]
+    fn recovers_support_on_iid_gaussian() {
+        let (a, x, y) = gaussian_problem(80, 200, 8, 5);
+        let rec = Amp::new().max_iter(150).solve(&a, &y).unwrap();
+        // AMP with adaptive thresholding is not exact; the support and
+        // sign pattern must match and values land within 15%.
+        for i in 0..200 {
+            if x[i] != 0.0 {
+                assert!(
+                    (rec.coefficients[i] - x[i]).abs() < 0.35,
+                    "coef {i}: {} vs {}",
+                    rec.coefficients[i],
+                    x[i]
+                );
+            }
+        }
+        let spurious = rec
+            .coefficients
+            .iter()
+            .enumerate()
+            .filter(|(i, &v)| x[*i] == 0.0 && v.abs() > 0.3)
+            .count();
+        assert_eq!(spurious, 0, "large spurious coefficients");
+    }
+
+    #[test]
+    fn faster_than_ista_at_equal_accuracy() {
+        use crate::ista::Ista;
+        let (a, _, y) = gaussian_problem(80, 200, 8, 9);
+        let amp = Amp::new().tol(1e-6).max_iter(500).solve(&a, &y).unwrap();
+        let ista = Ista::new()
+            .lambda_ratio(0.02)
+            .tol(1e-6)
+            .max_iter(2000)
+            .solve(&a, &y)
+            .unwrap();
+        assert!(
+            amp.stats.iterations < ista.stats.iterations,
+            "AMP {} vs ISTA {} iterations",
+            amp.stats.iterations,
+            ista.stats.iterations
+        );
+    }
+
+    #[test]
+    fn zero_input_returns_zero() {
+        let (a, _, _) = gaussian_problem(30, 60, 3, 2);
+        let rec = Amp::new().solve(&a, &vec![0.0; 30]).unwrap();
+        assert!(rec.coefficients.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let (a, _, _) = gaussian_problem(30, 60, 3, 2);
+        assert!(Amp::new().solve(&a, &vec![0.0; 29]).is_err());
+    }
+}

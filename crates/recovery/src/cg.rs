@@ -1,0 +1,216 @@
+//! CGLS — conjugate gradient on the normal equations.
+//!
+//! Solves `min_x ‖A x − b‖₂` matrix-free. Used directly for
+//! least-squares subproblems (CoSaMP, debiasing) through
+//! [`RestrictedOperator`], which confines an operator to a column
+//! support without materializing anything.
+
+use crate::{check_dims, Recovery, RecoveryError, SolveStats};
+use tepics_cs::op::{self, LinearOperator};
+
+/// A view of an operator restricted to a subset of its columns.
+///
+/// `apply` scatters the small coefficient vector into the full domain;
+/// `apply_adjoint` gathers only the supported entries.
+#[derive(Debug, Clone)]
+pub struct RestrictedOperator<'a, A: ?Sized> {
+    inner: &'a A,
+    support: Vec<usize>,
+}
+
+impl<'a, A: LinearOperator + ?Sized> RestrictedOperator<'a, A> {
+    /// Restricts `inner` to `support` (column indices, unique).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `support` is empty or contains an out-of-range index.
+    pub fn new(inner: &'a A, support: Vec<usize>) -> Self {
+        assert!(!support.is_empty(), "support must be non-empty");
+        for &j in &support {
+            assert!(j < inner.cols(), "support index {j} out of range");
+        }
+        RestrictedOperator { inner, support }
+    }
+
+    /// The support column indices.
+    pub fn support(&self) -> &[usize] {
+        &self.support
+    }
+
+    /// Scatters restricted coefficients back into a full-length vector.
+    pub fn embed(&self, coeffs: &[f64]) -> Vec<f64> {
+        assert_eq!(coeffs.len(), self.support.len(), "coefficient length mismatch");
+        let mut full = vec![0.0; self.inner.cols()];
+        for (&j, &v) in self.support.iter().zip(coeffs) {
+            full[j] = v;
+        }
+        full
+    }
+}
+
+impl<'a, A: LinearOperator + ?Sized> LinearOperator for RestrictedOperator<'a, A> {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.support.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.support.len(), "input length mismatch");
+        let full = self.embed(x);
+        self.inner.apply(&full, y);
+    }
+
+    fn apply_adjoint(&self, y: &[f64], x: &mut [f64]) {
+        assert_eq!(x.len(), self.support.len(), "output length mismatch");
+        let full = self.inner.apply_adjoint_vec(y);
+        for (o, &j) in x.iter_mut().zip(&self.support) {
+            *o = full[j];
+        }
+    }
+}
+
+/// CGLS configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cgls {
+    max_iter: usize,
+    tol: f64,
+}
+
+impl Cgls {
+    /// Creates a solver with the given iteration cap and relative
+    /// residual tolerance.
+    pub fn new(max_iter: usize, tol: f64) -> Self {
+        Cgls { max_iter, tol }
+    }
+
+    /// Solves `min ‖Ax − b‖` from a zero start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if `b` does not match
+    /// the operator rows.
+    pub fn solve<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        b: &[f64],
+    ) -> Result<Recovery, RecoveryError> {
+        check_dims(a.rows(), b)?;
+        let n = a.cols();
+        let mut x = vec![0.0; n];
+        // r = b − Ax = b at x=0.
+        let mut r = b.to_vec();
+        let mut s = a.apply_adjoint_vec(&r); // s = Aᵀr
+        let mut p = s.clone();
+        let mut snorm2 = op::dot(&s, &s);
+        let b_norm = op::norm2(b).max(1e-300);
+        let mut q = vec![0.0; a.rows()];
+        let mut iterations = 0;
+        let mut converged = snorm2.sqrt() <= self.tol * b_norm;
+        for it in 0..self.max_iter {
+            if converged {
+                break;
+            }
+            iterations = it + 1;
+            a.apply(&p, &mut q);
+            let qq = op::dot(&q, &q);
+            if qq == 0.0 {
+                break; // p in the null space; nothing more to gain
+            }
+            let alpha = snorm2 / qq;
+            op::axpy(alpha, &p, &mut x);
+            op::axpy(-alpha, &q, &mut r);
+            a.apply_adjoint(&r, &mut s);
+            let snorm2_new = op::dot(&s, &s);
+            if snorm2_new.sqrt() <= self.tol * b_norm {
+                converged = true;
+            }
+            let beta = snorm2_new / snorm2;
+            for i in 0..n {
+                p[i] = s[i] + beta * p[i];
+            }
+            snorm2 = snorm2_new;
+        }
+        let final_resid = op::norm2(&op::sub(&a.apply_vec(&x), b));
+        Ok(Recovery {
+            coefficients: x,
+            stats: SolveStats {
+                iterations,
+                residual_norm: final_resid,
+                converged,
+            },
+        })
+    }
+}
+
+impl Default for Cgls {
+    fn default() -> Self {
+        Cgls::new(200, 1e-10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_cs::DenseMatrix;
+    use tepics_util::SplitMix64;
+
+    #[test]
+    fn solves_consistent_overdetermined_system() {
+        let mut rng = SplitMix64::new(8);
+        let a = DenseMatrix::from_fn(20, 5, |_, _| rng.next_gaussian());
+        let x_true: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let b = a.apply_vec(&x_true);
+        let rec = Cgls::default().solve(&a, &b).unwrap();
+        assert!(rec.stats.converged);
+        for (p, q) in rec.coefficients.iter().zip(&x_true) {
+            assert!((p - q).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_range() {
+        let mut rng = SplitMix64::new(9);
+        let a = DenseMatrix::from_fn(15, 4, |_, _| rng.next_gaussian());
+        let b: Vec<f64> = (0..15).map(|_| rng.next_gaussian()).collect();
+        let rec = Cgls::new(500, 1e-12).solve(&a, &b).unwrap();
+        let r = op::sub(&a.apply_vec(&rec.coefficients), &b);
+        let atr = a.apply_adjoint_vec(&r);
+        assert!(op::norm2(&atr) < 1e-7, "normal equations violated: {}", op::norm2(&atr));
+    }
+
+    #[test]
+    fn restricted_operator_solves_on_support() {
+        let mut rng = SplitMix64::new(10);
+        let a = DenseMatrix::from_fn(20, 30, |_, _| rng.next_gaussian());
+        let support = vec![3usize, 17, 22];
+        let coeffs = [1.0, -2.0, 0.5];
+        let restricted = RestrictedOperator::new(&a, support.clone());
+        let b = restricted.apply_vec(&coeffs);
+        let rec = Cgls::default().solve(&restricted, &b).unwrap();
+        for (p, q) in rec.coefficients.iter().zip(&coeffs) {
+            assert!((p - q).abs() < 1e-7);
+        }
+        // Embedding scatters correctly.
+        let full = restricted.embed(&rec.coefficients);
+        assert!((full[17] + 2.0).abs() < 1e-7);
+        assert_eq!(full.iter().filter(|&&v| v != 0.0).count(), 3);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = DenseMatrix::identity(4);
+        let rec = Cgls::default().solve(&a, &[0.0; 4]).unwrap();
+        assert!(rec.coefficients.iter().all(|&v| v == 0.0));
+        assert!(rec.stats.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "support index")]
+    fn out_of_range_support_panics() {
+        let a = DenseMatrix::identity(4);
+        RestrictedOperator::new(&a, vec![4]);
+    }
+}

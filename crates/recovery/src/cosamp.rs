@@ -1,0 +1,182 @@
+//! CoSaMP — compressive sampling matching pursuit (Needell & Tropp
+//! 2009).
+//!
+//! Per iteration: identify the 2k strongest gradient atoms, merge with
+//! the current support, least-squares on the merged support (CGLS),
+//! prune back to k. More robust than OMP when atoms are correlated, at
+//! the price of larger least-squares subproblems.
+
+use crate::cg::{Cgls, RestrictedOperator};
+use crate::shrink::top_k_indices;
+use crate::{check_dims, Recovery, RecoveryError, SolveStats};
+use tepics_cs::op::{self, LinearOperator};
+
+/// CoSaMP solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoSaMp {
+    sparsity: usize,
+    max_iter: usize,
+    residual_tol: f64,
+}
+
+impl CoSaMp {
+    /// Creates a solver targeting `sparsity` nonzeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity == 0`.
+    pub fn new(sparsity: usize) -> Self {
+        assert!(sparsity > 0, "sparsity must be positive");
+        CoSaMp {
+            sparsity,
+            max_iter: 50,
+            residual_tol: 1e-9,
+        }
+    }
+
+    /// Iteration cap.
+    pub fn max_iter(&mut self, n: usize) -> &mut Self {
+        self.max_iter = n;
+        self
+    }
+
+    /// Stops once `‖r‖ ≤ tol · ‖y‖`.
+    pub fn residual_tol(&mut self, tol: f64) -> &mut Self {
+        self.residual_tol = tol;
+        self
+    }
+
+    /// Runs the pursuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if `y` does not match
+    /// the operator.
+    pub fn solve<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+    ) -> Result<Recovery, RecoveryError> {
+        check_dims(a.rows(), y)?;
+        let n = a.cols();
+        let k = self.sparsity.min(n);
+        let y_norm = op::norm2(y);
+        let mut alpha = vec![0.0; n];
+        let mut resid = y.to_vec();
+        let mut grad = vec![0.0; n];
+        let mut iterations = 0;
+        let mut converged = y_norm == 0.0;
+        let mut last_resid = f64::INFINITY;
+        for it in 0..self.max_iter {
+            if converged {
+                break;
+            }
+            iterations = it + 1;
+            a.apply_adjoint(&resid, &mut grad);
+            // Candidate support: 2k strongest gradient atoms ∪ current.
+            let mut candidate = top_k_indices(&grad, 2 * k);
+            for (j, &v) in alpha.iter().enumerate() {
+                if v != 0.0 {
+                    candidate.push(j);
+                }
+            }
+            candidate.sort_unstable();
+            candidate.dedup();
+            // Least squares on the candidate support.
+            let restricted = RestrictedOperator::new(a, candidate.clone());
+            let ls = Cgls::new(200, 1e-12).solve(&restricted, y)?;
+            // Prune to the k largest coefficients.
+            let keep = top_k_indices(&ls.coefficients, k);
+            alpha.fill(0.0);
+            for &local in &keep {
+                alpha[candidate[local]] = ls.coefficients[local];
+            }
+            // Update residual.
+            let fit = a.apply_vec(&alpha);
+            for (r, (&yi, &fi)) in resid.iter_mut().zip(y.iter().zip(&fit)) {
+                *r = yi - fi;
+            }
+            let rn = op::norm2(&resid);
+            if rn <= self.residual_tol * y_norm.max(1e-300) {
+                converged = true;
+            }
+            // Stall detection: no meaningful progress.
+            if (last_resid - rn).abs() <= 1e-12 * y_norm.max(1e-300) {
+                break;
+            }
+            last_resid = rn;
+        }
+        Ok(Recovery {
+            coefficients: alpha,
+            stats: SolveStats {
+                iterations,
+                residual_norm: op::norm2(&resid),
+                converged,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_cs::DenseMatrix;
+    use tepics_util::SplitMix64;
+
+    fn gaussian_problem(
+        rows: usize,
+        cols: usize,
+        k: usize,
+        seed: u64,
+    ) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian() / (rows as f64).sqrt());
+        let mut x = vec![0.0; cols];
+        let mut placed = 0;
+        while placed < k {
+            let i = rng.next_below(cols as u64) as usize;
+            if x[i] == 0.0 {
+                x[i] = if rng.next_bool() { 1.0 } else { -1.0 } * (1.0 + rng.next_f64());
+                placed += 1;
+            }
+        }
+        let y = a.apply_vec(&x);
+        (a, x, y)
+    }
+
+    #[test]
+    fn exact_recovery_on_well_posed_problems() {
+        for seed in [2u64, 4, 6] {
+            let (a, x, y) = gaussian_problem(60, 128, 6, seed);
+            let rec = CoSaMp::new(6).solve(&a, &y).unwrap();
+            assert!(rec.stats.converged, "seed {seed}");
+            for i in 0..128 {
+                assert!(
+                    (rec.coefficients[i] - x[i]).abs() < 1e-6,
+                    "seed {seed} coef {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solution_is_k_sparse() {
+        let (a, _, y) = gaussian_problem(40, 100, 5, 12);
+        let rec = CoSaMp::new(5).solve(&a, &y).unwrap();
+        assert!(rec.coefficients.iter().filter(|&&v| v != 0.0).count() <= 5);
+    }
+
+    #[test]
+    fn zero_measurements_converge_immediately() {
+        let (a, _, _) = gaussian_problem(20, 50, 3, 1);
+        let rec = CoSaMp::new(3).solve(&a, &vec![0.0; 20]).unwrap();
+        assert!(rec.stats.converged);
+        assert_eq!(rec.stats.iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let (a, _, _) = gaussian_problem(20, 50, 3, 1);
+        assert!(CoSaMp::new(3).solve(&a, &vec![0.0; 19]).is_err());
+    }
+}

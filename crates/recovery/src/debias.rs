@@ -1,0 +1,124 @@
+//! Support debiasing.
+//!
+//! ℓ1 solvers shrink every coefficient toward zero by design; once the
+//! support is identified, re-fitting those coefficients by unpenalized
+//! least squares removes the bias. This is the standard final step of a
+//! LASSO-based CS decoder and typically buys 1–3 dB of PSNR — the
+//! pipeline applies it by default.
+
+use crate::cg::{Cgls, RestrictedOperator};
+use crate::shrink::{support, top_k_indices};
+use crate::{Recovery, RecoveryError, SolveStats};
+use tepics_cs::op::{self, LinearOperator};
+
+/// Re-fits the nonzero coefficients of `recovery` by least squares on
+/// their support, leaving zeros untouched.
+///
+/// If the support is larger than `max_support` (defensive cap against
+/// degenerate λ choices), only the largest `max_support` coefficients
+/// are refit.
+///
+/// # Errors
+///
+/// Propagates CGLS dimension errors (which cannot occur when `recovery`
+/// came from the same operator).
+pub fn debias<A: LinearOperator + ?Sized>(
+    a: &A,
+    y: &[f64],
+    recovery: &Recovery,
+    max_support: usize,
+) -> Result<Recovery, RecoveryError> {
+    let supp_full = support(&recovery.coefficients);
+    if supp_full.is_empty() {
+        return Ok(recovery.clone());
+    }
+    let supp = if supp_full.len() > max_support {
+        let mut keep = top_k_indices(&recovery.coefficients, max_support);
+        keep.sort_unstable();
+        keep
+    } else {
+        supp_full
+    };
+    let restricted = RestrictedOperator::new(a, supp.clone());
+    let ls = Cgls::new(300, 1e-12).solve(&restricted, y)?;
+    let mut coeffs = vec![0.0; a.cols()];
+    for (&j, &v) in supp.iter().zip(&ls.coefficients) {
+        coeffs[j] = v;
+    }
+    let resid = op::sub(&a.apply_vec(&coeffs), y);
+    Ok(Recovery {
+        coefficients: coeffs,
+        stats: SolveStats {
+            iterations: recovery.stats.iterations + ls.stats.iterations,
+            residual_norm: op::norm2(&resid),
+            converged: recovery.stats.converged,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fista;
+    use tepics_cs::DenseMatrix;
+    use tepics_util::SplitMix64;
+
+    #[test]
+    fn debias_removes_shrinkage() {
+        let mut rng = SplitMix64::new(21);
+        let a = DenseMatrix::from_fn(40, 80, |_, _| rng.next_gaussian() / 40f64.sqrt());
+        let mut x = vec![0.0; 80];
+        x[12] = 3.0;
+        x[55] = -1.5;
+        let y = a.apply_vec(&x);
+        let biased = Fista::new()
+            .lambda_ratio(0.1) // heavy shrinkage on purpose
+            .max_iter(2000)
+            .tol(1e-9)
+            .solve(&a, &y)
+            .unwrap();
+        let fixed = debias(&a, &y, &biased, 80).unwrap();
+        // The debiased fit must have smaller residual.
+        assert!(fixed.stats.residual_norm <= biased.stats.residual_norm + 1e-12);
+        // And the big coefficient should be restored to ≈3.0.
+        let err_biased = (biased.coefficients[12] - 3.0).abs();
+        let err_fixed = (fixed.coefficients[12] - 3.0).abs();
+        assert!(
+            err_fixed < err_biased,
+            "debias did not improve coefficient: {err_fixed} vs {err_biased}"
+        );
+        assert!(err_fixed < 1e-6);
+    }
+
+    #[test]
+    fn empty_support_passes_through() {
+        let a = DenseMatrix::identity(4);
+        let zero = Recovery {
+            coefficients: vec![0.0; 4],
+            stats: SolveStats {
+                iterations: 1,
+                residual_norm: 1.0,
+                converged: true,
+            },
+        };
+        let out = debias(&a, &[1.0, 0.0, 0.0, 0.0], &zero, 4).unwrap();
+        assert_eq!(out.coefficients, zero.coefficients);
+    }
+
+    #[test]
+    fn support_cap_is_respected() {
+        let mut rng = SplitMix64::new(33);
+        let a = DenseMatrix::from_fn(10, 20, |_, _| rng.next_gaussian());
+        let rec = Recovery {
+            coefficients: (0..20).map(|i| (i + 1) as f64 / 20.0).collect(),
+            stats: SolveStats {
+                iterations: 0,
+                residual_norm: 0.0,
+                converged: true,
+            },
+        };
+        let y: Vec<f64> = (0..10).map(|_| rng.next_gaussian()).collect();
+        let out = debias(&a, &y, &rec, 5).unwrap();
+        assert!(out.coefficients.iter().filter(|&&v| v != 0.0).count() <= 5);
+    }
+}

@@ -1,0 +1,362 @@
+//! FISTA — fast iterative shrinkage-thresholding (Beck & Teboulle 2009).
+//!
+//! Solves the LASSO `min_α ½‖Aα − y‖² + λ‖α‖₁` with Nesterov momentum.
+//! This is the default full-frame decoder: at the sensor's native size
+//! the operator is matrix-free and each iteration costs two operator
+//! applications.
+
+use crate::shrink::soft_threshold;
+use crate::{check_dims, Recovery, RecoveryError, SolveStats};
+use tepics_cs::op::{self, LinearOperator};
+
+/// How the regularization weight λ is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LambdaRule {
+    /// Use the given absolute λ.
+    Absolute(f64),
+    /// `λ = ratio · ‖Aᵀy‖∞` — scale-free; `ratio = 1` yields the zero
+    /// solution, typical values are 0.01–0.1.
+    RatioOfMax(f64),
+}
+
+/// FISTA solver configuration (non-consuming builder).
+///
+/// # Examples
+///
+/// ```
+/// use tepics_cs::{DenseMatrix, LinearOperator};
+/// use tepics_recovery::Fista;
+/// use tepics_util::SplitMix64;
+///
+/// let mut rng = SplitMix64::new(1);
+/// let a = DenseMatrix::from_fn(12, 24, |_, _| rng.next_gaussian() / 12f64.sqrt());
+/// let mut x = vec![0.0; 24];
+/// x[7] = 2.0;
+/// let y = a.apply_vec(&x);
+/// let rec = Fista::new().lambda_ratio(0.01).max_iter(1000).solve(&a, &y).unwrap();
+/// assert!((rec.coefficients[7] - 2.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fista {
+    lambda: LambdaRule,
+    max_iter: usize,
+    tol: f64,
+    step: Option<f64>,
+    norm_est_iters: usize,
+}
+
+impl Fista {
+    /// Creates a solver with defaults: `λ = 0.02·‖Aᵀy‖∞`, 400
+    /// iterations, tolerance 1e-6.
+    pub fn new() -> Self {
+        Fista {
+            lambda: LambdaRule::RatioOfMax(0.02),
+            max_iter: 400,
+            tol: 1e-6,
+            step: None,
+            norm_est_iters: 30,
+        }
+    }
+
+    /// Sets an absolute λ.
+    pub fn lambda(&mut self, lambda: f64) -> &mut Self {
+        self.lambda = LambdaRule::Absolute(lambda);
+        self
+    }
+
+    /// Sets λ as a fraction of `‖Aᵀy‖∞`.
+    pub fn lambda_ratio(&mut self, ratio: f64) -> &mut Self {
+        self.lambda = LambdaRule::RatioOfMax(ratio);
+        self
+    }
+
+    /// Iteration cap.
+    pub fn max_iter(&mut self, n: usize) -> &mut Self {
+        self.max_iter = n;
+        self
+    }
+
+    /// Relative-change stopping tolerance.
+    pub fn tol(&mut self, tol: f64) -> &mut Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Overrides the gradient step `1/L` (skips norm estimation).
+    pub fn step(&mut self, step: f64) -> &mut Self {
+        self.step = Some(step);
+        self
+    }
+
+    /// Runs the solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if `y` does not match
+    /// the operator, or [`RecoveryError::InvalidParameter`] for
+    /// non-positive λ/step configurations.
+    pub fn solve<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+    ) -> Result<Recovery, RecoveryError> {
+        check_dims(a.rows(), y)?;
+        let n = a.cols();
+        // λ resolution.
+        let aty = a.apply_adjoint_vec(y);
+        let lambda = match self.lambda {
+            LambdaRule::Absolute(l) => l,
+            LambdaRule::RatioOfMax(r) => {
+                if r <= 0.0 {
+                    return Err(RecoveryError::InvalidParameter(
+                        "lambda ratio must be positive".into(),
+                    ));
+                }
+                r * aty.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+            }
+        };
+        if lambda < 0.0 {
+            return Err(RecoveryError::InvalidParameter(
+                "lambda must be non-negative".into(),
+            ));
+        }
+        // Step size 1/L with L = ‖A‖² (5% safety margin).
+        let step = match self.step {
+            Some(s) if s > 0.0 => s,
+            Some(_) => {
+                return Err(RecoveryError::InvalidParameter(
+                    "step must be positive".into(),
+                ))
+            }
+            None => {
+                let norm = op::operator_norm_est(a, self.norm_est_iters, 0x0F1A57A);
+                if norm == 0.0 {
+                    // Zero operator: solution is zero.
+                    return Ok(Recovery {
+                        coefficients: vec![0.0; n],
+                        stats: SolveStats {
+                            iterations: 0,
+                            residual_norm: op::norm2(y),
+                            converged: true,
+                        },
+                    });
+                }
+                1.0 / (norm * norm * 1.05)
+            }
+        };
+
+        let mut alpha = vec![0.0; n];
+        let mut alpha_prev = vec![0.0; n];
+        let mut z = vec![0.0; n];
+        let mut t = 1.0f64;
+        let mut resid = vec![0.0; a.rows()];
+        let mut grad = vec![0.0; n];
+        let mut iterations = 0;
+        let mut converged = false;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            // grad = Aᵀ(Az − y)
+            a.apply(&z, &mut resid);
+            for (r, &yi) in resid.iter_mut().zip(y) {
+                *r -= yi;
+            }
+            a.apply_adjoint(&resid, &mut grad);
+            // Proximal step from z.
+            alpha_prev.copy_from_slice(&alpha);
+            for i in 0..n {
+                alpha[i] = z[i] - step * grad[i];
+            }
+            soft_threshold(&mut alpha, lambda * step);
+            // Momentum.
+            let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+            let beta = (t - 1.0) / t_next;
+            for i in 0..n {
+                z[i] = alpha[i] + beta * (alpha[i] - alpha_prev[i]);
+            }
+            t = t_next;
+            // Relative-change stopping rule.
+            let mut diff = 0.0;
+            let mut norm = 0.0;
+            for i in 0..n {
+                let d = alpha[i] - alpha_prev[i];
+                diff += d * d;
+                norm += alpha[i] * alpha[i];
+            }
+            if diff.sqrt() <= self.tol * norm.sqrt().max(1e-12) {
+                converged = true;
+                break;
+            }
+        }
+        a.apply(&alpha, &mut resid);
+        for (r, &yi) in resid.iter_mut().zip(y) {
+            *r -= yi;
+        }
+        Ok(Recovery {
+            coefficients: alpha,
+            stats: SolveStats {
+                iterations,
+                residual_norm: op::norm2(&resid),
+                converged,
+            },
+        })
+    }
+}
+
+impl Default for Fista {
+    fn default() -> Self {
+        Fista::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_cs::DenseMatrix;
+    use tepics_util::SplitMix64;
+
+    fn gaussian_problem(
+        rows: usize,
+        cols: usize,
+        k: usize,
+        seed: u64,
+    ) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let scale = 1.0 / (rows as f64).sqrt();
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian() * scale);
+        let mut x = vec![0.0; cols];
+        let mut placed = 0;
+        while placed < k {
+            let i = rng.next_below(cols as u64) as usize;
+            if x[i] == 0.0 {
+                x[i] = if rng.next_bool() { 1.0 } else { -1.0 } * (0.5 + rng.next_f64());
+                placed += 1;
+            }
+        }
+        let y = a.apply_vec(&x);
+        (a, x, y)
+    }
+
+    #[test]
+    fn recovers_sparse_signal_support() {
+        let (a, x, y) = gaussian_problem(40, 100, 5, 7);
+        let rec = Fista::new()
+            .lambda_ratio(0.01)
+            .max_iter(2000)
+            .tol(1e-9)
+            .solve(&a, &y)
+            .unwrap();
+        // Support match: the 5 largest recovered entries are the truth.
+        let mut idx: Vec<usize> = (0..100).collect();
+        idx.sort_by(|&p, &q| {
+            rec.coefficients[q]
+                .abs()
+                .partial_cmp(&rec.coefficients[p].abs())
+                .unwrap()
+        });
+        for &i in &idx[..5] {
+            assert!(x[i] != 0.0, "recovered support contains spurious atom {i}");
+        }
+        // Values close after shrinkage.
+        for i in 0..100 {
+            assert!(
+                (rec.coefficients[i] - x[i]).abs() < 0.15,
+                "coef {i}: {} vs {}",
+                rec.coefficients[i],
+                x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn large_lambda_gives_zero_solution() {
+        let (a, _, y) = gaussian_problem(20, 50, 3, 9);
+        let rec = Fista::new().lambda_ratio(1.1).solve(&a, &y).unwrap();
+        assert!(rec.coefficients.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_measurements_give_zero_solution() {
+        let (a, _, _) = gaussian_problem(20, 50, 3, 11);
+        let rec = Fista::new().solve(&a, &vec![0.0; 20]).unwrap();
+        assert!(rec.coefficients.iter().all(|&v| v == 0.0));
+        assert!(rec.stats.converged);
+    }
+
+    #[test]
+    fn fista_reaches_lower_objective_than_ista_at_equal_budget() {
+        use crate::ista::Ista;
+        // Ill-conditioned problem (correlated columns) where momentum
+        // matters; compare objective after a fixed iteration budget.
+        let mut rng = SplitMix64::new(13);
+        let common: Vec<f64> = (0..40).map(|_| rng.next_gaussian()).collect();
+        let a = DenseMatrix::from_fn(40, 80, |r, _| {
+            (rng.next_gaussian() + 2.0 * common[r]) / 40f64.sqrt()
+        });
+        let mut x = vec![0.0; 80];
+        x[9] = 1.0;
+        x[33] = -1.0;
+        x[71] = 0.7;
+        let y = a.apply_vec(&x);
+        let aty = a.apply_adjoint_vec(&y);
+        let lambda = 0.02 * aty.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let objective = |alpha: &[f64]| {
+            let r = tepics_cs::op::sub(&a.apply_vec(alpha), &y);
+            0.5 * tepics_cs::op::dot(&r, &r) + lambda * alpha.iter().map(|v| v.abs()).sum::<f64>()
+        };
+        let budget = 80;
+        let f = Fista::new()
+            .lambda(lambda)
+            .tol(0.0)
+            .max_iter(budget)
+            .solve(&a, &y)
+            .unwrap();
+        let i = Ista::new()
+            .lambda(lambda)
+            .tol(0.0)
+            .max_iter(budget)
+            .solve(&a, &y)
+            .unwrap();
+        let fo = objective(&f.coefficients);
+        let io = objective(&i.coefficients);
+        assert!(
+            fo < io,
+            "FISTA objective {fo:.6e} should beat ISTA {io:.6e} at {budget} iterations"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let (a, _, _) = gaussian_problem(10, 20, 2, 1);
+        let err = Fista::new().solve(&a, &vec![0.0; 9]).unwrap_err();
+        assert!(matches!(err, RecoveryError::DimensionMismatch { expected: 10, actual: 9 }));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let (a, _, y) = gaussian_problem(10, 20, 2, 2);
+        assert!(Fista::new().lambda_ratio(0.0).solve(&a, &y).is_err());
+        assert!(Fista::new().step(-1.0).solve(&a, &y).is_err());
+    }
+
+    #[test]
+    fn explicit_step_matches_auto_estimate() {
+        let (a, _, y) = gaussian_problem(30, 60, 3, 21);
+        let auto = Fista::new()
+            .lambda_ratio(0.02)
+            .max_iter(3000)
+            .tol(1e-10)
+            .solve(&a, &y)
+            .unwrap();
+        let norm = tepics_cs::op::operator_norm_est(&a, 60, 5);
+        let manual = Fista::new()
+            .lambda_ratio(0.02)
+            .step(1.0 / (norm * norm * 1.05))
+            .max_iter(3000)
+            .tol(1e-10)
+            .solve(&a, &y)
+            .unwrap();
+        for (p, q) in auto.coefficients.iter().zip(&manual.coefficients) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+}

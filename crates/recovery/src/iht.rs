@@ -1,0 +1,225 @@
+//! (Normalized) iterative hard thresholding.
+//!
+//! `α ← H_k(α + μ Aᵀ(y − Aα))` with the adaptive step of Blumensath &
+//! Davies' NIHT: `μ = ‖g_S‖² / ‖A g_S‖²` computed on the current
+//! support. Cheap per iteration and the natural solver when the target
+//! sparsity is known (e.g. star fields with a known source count).
+
+use crate::shrink::hard_threshold_top_k;
+use crate::{check_dims, Recovery, RecoveryError, SolveStats};
+use tepics_cs::op::{self, LinearOperator};
+
+/// IHT solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Iht {
+    sparsity: usize,
+    max_iter: usize,
+    tol: f64,
+    normalized: bool,
+}
+
+impl Iht {
+    /// Creates a solver targeting `sparsity` nonzeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity == 0`.
+    pub fn new(sparsity: usize) -> Self {
+        assert!(sparsity > 0, "sparsity must be positive");
+        Iht {
+            sparsity,
+            max_iter: 300,
+            tol: 1e-7,
+            normalized: true,
+        }
+    }
+
+    /// Iteration cap.
+    pub fn max_iter(&mut self, n: usize) -> &mut Self {
+        self.max_iter = n;
+        self
+    }
+
+    /// Relative-change stopping tolerance.
+    pub fn tol(&mut self, tol: f64) -> &mut Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Disables the adaptive NIHT step (uses `μ = 1/‖A‖²` instead).
+    pub fn fixed_step(&mut self) -> &mut Self {
+        self.normalized = false;
+        self
+    }
+
+    /// Runs the solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if `y` does not match
+    /// the operator.
+    pub fn solve<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+    ) -> Result<Recovery, RecoveryError> {
+        check_dims(a.rows(), y)?;
+        let n = a.cols();
+        let fallback_step = {
+            let norm = op::operator_norm_est(a, 30, 0x1147);
+            if norm == 0.0 {
+                return Ok(Recovery {
+                    coefficients: vec![0.0; n],
+                    stats: SolveStats {
+                        iterations: 0,
+                        residual_norm: op::norm2(y),
+                        converged: true,
+                    },
+                });
+            }
+            1.0 / (norm * norm * 1.05)
+        };
+        let mut alpha = vec![0.0; n];
+        let mut prev = vec![0.0; n];
+        let mut resid = y.to_vec(); // r = y − Aα, starts at y
+        let mut grad = vec![0.0; n];
+        let mut ag = vec![0.0; a.rows()];
+        let mut iterations = 0;
+        let mut converged = false;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            a.apply_adjoint(&resid, &mut grad);
+            // NIHT step: restrict gradient to the current support (or the
+            // full gradient on the first pass when support is empty).
+            let mu = if self.normalized {
+                let mut g_s = grad.clone();
+                let has_support = alpha.iter().any(|&v| v != 0.0);
+                if has_support {
+                    for (g, &v) in g_s.iter_mut().zip(&alpha) {
+                        if v == 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                }
+                let g_norm2 = op::dot(&g_s, &g_s);
+                if g_norm2 == 0.0 {
+                    fallback_step
+                } else {
+                    a.apply(&g_s, &mut ag);
+                    let denom = op::dot(&ag, &ag);
+                    if denom == 0.0 {
+                        fallback_step
+                    } else {
+                        g_norm2 / denom
+                    }
+                }
+            } else {
+                fallback_step
+            };
+            prev.copy_from_slice(&alpha);
+            for i in 0..n {
+                alpha[i] += mu * grad[i];
+            }
+            hard_threshold_top_k(&mut alpha, self.sparsity);
+            // Refresh residual.
+            a.apply(&alpha, &mut ag);
+            for (r, (&yi, &av)) in resid.iter_mut().zip(y.iter().zip(&ag)) {
+                *r = yi - av;
+            }
+            let mut diff = 0.0;
+            let mut nrm = 0.0;
+            for i in 0..n {
+                let d = alpha[i] - prev[i];
+                diff += d * d;
+                nrm += alpha[i] * alpha[i];
+            }
+            if diff.sqrt() <= self.tol * nrm.sqrt().max(1e-12) {
+                converged = true;
+                break;
+            }
+        }
+        Ok(Recovery {
+            coefficients: alpha,
+            stats: SolveStats {
+                iterations,
+                residual_norm: op::norm2(&resid),
+                converged,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_cs::DenseMatrix;
+    use tepics_util::SplitMix64;
+
+    fn gaussian_problem(
+        rows: usize,
+        cols: usize,
+        k: usize,
+        seed: u64,
+    ) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian() / (rows as f64).sqrt());
+        let mut x = vec![0.0; cols];
+        let mut placed = 0;
+        while placed < k {
+            let i = rng.next_below(cols as u64) as usize;
+            if x[i] == 0.0 {
+                x[i] = if rng.next_bool() { 2.0 } else { -2.0 };
+                placed += 1;
+            }
+        }
+        let y = a.apply_vec(&x);
+        (a, x, y)
+    }
+
+    #[test]
+    fn recovers_known_sparsity_signal() {
+        let (a, x, y) = gaussian_problem(50, 100, 5, 17);
+        let rec = Iht::new(5).max_iter(500).solve(&a, &y).unwrap();
+        for i in 0..100 {
+            assert!(
+                (rec.coefficients[i] - x[i]).abs() < 1e-3,
+                "coef {i}: {} vs {}",
+                rec.coefficients[i],
+                x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn solution_is_exactly_k_sparse() {
+        let (a, _, y) = gaussian_problem(40, 90, 4, 23);
+        let rec = Iht::new(4).solve(&a, &y).unwrap();
+        let nnz = rec.coefficients.iter().filter(|&&v| v != 0.0).count();
+        assert!(nnz <= 4);
+    }
+
+    #[test]
+    fn normalized_step_converges_faster_than_fixed() {
+        let (a, _, y) = gaussian_problem(60, 120, 6, 31);
+        let fast = Iht::new(6).tol(1e-9).max_iter(2000).solve(&a, &y).unwrap();
+        let slow = Iht::new(6)
+            .fixed_step()
+            .tol(1e-9)
+            .max_iter(2000)
+            .solve(&a, &y)
+            .unwrap();
+        assert!(
+            fast.stats.iterations <= slow.stats.iterations,
+            "NIHT {} vs fixed {}",
+            fast.stats.iterations,
+            slow.stats.iterations
+        );
+    }
+
+    #[test]
+    fn zero_input_returns_zero() {
+        let (a, _, _) = gaussian_problem(20, 40, 2, 3);
+        let rec = Iht::new(2).solve(&a, &vec![0.0; 20]).unwrap();
+        assert!(rec.coefficients.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Sparse-recovery algorithms for compressed sensing.
+//!
+//! The paper's decoder is "convex optimization" in one sentence; this
+//! crate supplies the whole menagerie the experiments need, all running
+//! matrix-free over [`tepics_cs::LinearOperator`]:
+//!
+//! * [`Fista`] / [`Ista`] — proximal-gradient ℓ1 solvers (LASSO), the
+//!   workhorse for full-frame reconstruction.
+//! * [`Omp`] — orthogonal matching pursuit with incremental Cholesky,
+//!   the standard block-based decoder.
+//! * [`CoSaMP`](cosamp::CoSaMp) — compressive sampling matching pursuit.
+//! * [`Iht`] — (normalized) iterative hard thresholding.
+//! * [`Amp`] — approximate message passing with Onsager correction
+//!   (fast on i.i.d.-like ensembles; heuristic on structured ones).
+//! * [`cg`] — CGLS least squares, also used to debias any support
+//!   ([`debias`]).
+//!
+//! Every solver returns a [`Recovery`] with convergence diagnostics, and
+//! is deterministic given its inputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use tepics_cs::DenseMatrix;
+//! use tepics_cs::LinearOperator;
+//! use tepics_recovery::Omp;
+//!
+//! // A tiny exactly-sparse problem: x has 2 nonzeros, 8 measurements.
+//! let a = DenseMatrix::from_fn(8, 16, |r, c| {
+//!     ((r * 31 + c * 17 + (r * c) % 7) % 13) as f64 / 13.0 - 0.5
+//! });
+//! let mut x = vec![0.0; 16];
+//! x[3] = 1.5;
+//! x[11] = -0.7;
+//! let y = a.apply_vec(&x);
+//! let rec = Omp::new(2).solve(&a, &y).unwrap();
+//! assert!((rec.coefficients[3] - 1.5).abs() < 1e-6);
+//! assert!((rec.coefficients[11] + 0.7).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amp;
+pub mod cg;
+pub mod cosamp;
+pub mod debias;
+pub mod fista;
+pub mod iht;
+pub mod ista;
+pub mod omp;
+pub mod shrink;
+
+pub use amp::Amp;
+pub use cosamp::CoSaMp;
+pub use fista::Fista;
+pub use iht::Iht;
+pub use ista::Ista;
+pub use omp::Omp;
+
+use std::fmt;
+
+/// Convergence diagnostics attached to every solver result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveStats {
+    /// Iterations (or atoms, for greedy methods) actually used.
+    pub iterations: usize,
+    /// Final residual norm `‖A α − y‖₂`.
+    pub residual_norm: f64,
+    /// `true` if the stopping criterion was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// A recovered coefficient vector plus diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// Recovered coefficients (length = operator columns).
+    pub coefficients: Vec<f64>,
+    /// Convergence diagnostics.
+    pub stats: SolveStats,
+}
+
+/// Errors shared by the solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// The measurement vector length does not match the operator.
+    DimensionMismatch {
+        /// Expected length (operator rows).
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// A solver parameter is outside its valid range.
+    InvalidParameter(String),
+    /// The solver broke down numerically (e.g. dependent atoms beyond
+    /// recoverable handling).
+    Breakdown(String),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::DimensionMismatch { expected, actual } => {
+                write!(f, "measurement length {actual} does not match operator rows {expected}")
+            }
+            RecoveryError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            RecoveryError::Breakdown(msg) => write!(f, "numerical breakdown: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+pub(crate) fn check_dims(
+    rows: usize,
+    y: &[f64],
+) -> Result<(), RecoveryError> {
+    if y.len() != rows {
+        Err(RecoveryError::DimensionMismatch {
+            expected: rows,
+            actual: y.len(),
+        })
+    } else {
+        Ok(())
+    }
+}

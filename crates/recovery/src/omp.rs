@@ -1,0 +1,221 @@
+//! Orthogonal matching pursuit.
+//!
+//! The classic greedy decoder: pick the atom most correlated with the
+//! residual, re-fit all selected atoms by least squares (via incremental
+//! Cholesky on the growing Gram matrix), repeat. Exact for k-sparse
+//! signals when the matrix is well-conditioned on the support, and the
+//! standard per-block solver of block-based CS.
+
+use crate::{check_dims, Recovery, RecoveryError, SolveStats};
+use tepics_cs::chol::GrowingCholesky;
+use tepics_cs::op::{self, LinearOperator};
+
+/// OMP solver configuration.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Omp {
+    max_atoms: usize,
+    residual_tol: f64,
+}
+
+impl Omp {
+    /// Creates a solver that selects at most `max_atoms` atoms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_atoms == 0`.
+    pub fn new(max_atoms: usize) -> Self {
+        assert!(max_atoms > 0, "need at least one atom");
+        Omp {
+            max_atoms,
+            residual_tol: 1e-9,
+        }
+    }
+
+    /// Stops early once `‖r‖ ≤ tol · ‖y‖`.
+    pub fn residual_tol(&mut self, tol: f64) -> &mut Self {
+        self.residual_tol = tol;
+        self
+    }
+
+    /// Runs the pursuit.
+    ///
+    /// Atom selection maximizes `|⟨a_j, r⟩|` (unnormalized); for the
+    /// ensembles in this workspace columns have near-equal norms, and
+    /// the equal-norm assumption is standard for OMP on such ensembles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::DimensionMismatch`] if `y` does not match
+    /// the operator.
+    pub fn solve<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+    ) -> Result<Recovery, RecoveryError> {
+        check_dims(a.rows(), y)?;
+        let n = a.cols();
+        let y_norm = op::norm2(y);
+        let budget = self.max_atoms.min(n).min(a.rows());
+        let mut residual = y.to_vec();
+        let mut support: Vec<usize> = Vec::with_capacity(budget);
+        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(budget);
+        let mut chol = GrowingCholesky::with_capacity(budget.max(1));
+        let mut corr = vec![0.0; n];
+        let mut coeffs: Vec<f64> = Vec::new();
+        let mut converged = y_norm == 0.0;
+        while support.len() < budget && !converged {
+            a.apply_adjoint(&residual, &mut corr);
+            // Best atom not already selected.
+            let mut best = None;
+            let mut best_mag = 0.0;
+            for (j, &c) in corr.iter().enumerate() {
+                if c.abs() > best_mag && !support.contains(&j) {
+                    best_mag = c.abs();
+                    best = Some(j);
+                }
+            }
+            let Some(j) = best else { break };
+            if best_mag < 1e-14 {
+                break; // residual orthogonal to every atom
+            }
+            let col = a.column(j);
+            let cross: Vec<f64> = columns.iter().map(|c| op::dot(c, &col)).collect();
+            let diag = op::dot(&col, &col);
+            if chol.push(&cross, diag).is_err() {
+                // Dependent atom: skip it by pretending correlation is
+                // exhausted (no further progress possible on this atom).
+                break;
+            }
+            support.push(j);
+            columns.push(col);
+            // Least squares on the support: G c = Bᵀ y with B the
+            // selected columns.
+            let rhs: Vec<f64> = columns.iter().map(|c| op::dot(c, y)).collect();
+            coeffs = chol.solve(&rhs);
+            // Residual r = y − B c.
+            residual.copy_from_slice(y);
+            for (c, col) in coeffs.iter().zip(&columns) {
+                op::axpy(-c, col, &mut residual);
+            }
+            if op::norm2(&residual) <= self.residual_tol * y_norm.max(1e-300) {
+                converged = true;
+            }
+        }
+        let mut full = vec![0.0; n];
+        for (&j, &c) in support.iter().zip(&coeffs) {
+            full[j] = c;
+        }
+        Ok(Recovery {
+            coefficients: full,
+            stats: SolveStats {
+                iterations: support.len(),
+                residual_norm: op::norm2(&residual),
+                converged,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_cs::DenseMatrix;
+    use tepics_util::SplitMix64;
+
+    fn gaussian_problem(
+        rows: usize,
+        cols: usize,
+        k: usize,
+        seed: u64,
+    ) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian() / (rows as f64).sqrt());
+        let mut x = vec![0.0; cols];
+        let mut placed = 0;
+        while placed < k {
+            let i = rng.next_below(cols as u64) as usize;
+            if x[i] == 0.0 {
+                x[i] = if rng.next_bool() { 1.0 } else { -1.0 } * (0.5 + rng.next_f64());
+                placed += 1;
+            }
+        }
+        let y = a.apply_vec(&x);
+        (a, x, y)
+    }
+
+    #[test]
+    fn exact_recovery_of_sparse_signals() {
+        // A small atom budget beyond k absorbs the occasional early
+        // mis-pick; once the true support is in, the LS fit drives the
+        // residual to zero and convergence stops the pursuit.
+        for seed in 1..=5 {
+            let (a, x, y) = gaussian_problem(40, 120, 6, seed);
+            let rec = Omp::new(10).residual_tol(1e-10).solve(&a, &y).unwrap();
+            assert!(rec.stats.converged, "seed {seed} did not converge");
+            for i in 0..120 {
+                assert!(
+                    (rec.coefficients[i] - x[i]).abs() < 1e-6,
+                    "seed {seed}, coef {i}: {} vs {}",
+                    rec.coefficients[i],
+                    x[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_decreases_with_atom_budget() {
+        let (a, _, y) = gaussian_problem(30, 80, 10, 42);
+        let mut last = f64::INFINITY;
+        for budget in [1usize, 3, 6, 10] {
+            let rec = Omp::new(budget).solve(&a, &y).unwrap();
+            assert!(
+                rec.stats.residual_norm <= last + 1e-12,
+                "residual rose at budget {budget}"
+            );
+            last = rec.stats.residual_norm;
+        }
+    }
+
+    #[test]
+    fn zero_measurement_yields_zero() {
+        let (a, _, _) = gaussian_problem(20, 40, 3, 7);
+        let rec = Omp::new(5).solve(&a, &[0.0; 20].to_vec()).unwrap();
+        assert!(rec.coefficients.iter().all(|&v| v == 0.0));
+        assert!(rec.stats.converged);
+        assert_eq!(rec.stats.iterations, 0);
+    }
+
+    #[test]
+    fn budget_caps_support_size() {
+        let (a, _, y) = gaussian_problem(30, 80, 10, 3);
+        let rec = Omp::new(4).solve(&a, &y).unwrap();
+        let nnz = rec.coefficients.iter().filter(|&&v| v != 0.0).count();
+        assert!(nnz <= 4);
+    }
+
+    #[test]
+    fn handles_duplicate_columns_gracefully() {
+        // Two identical columns: OMP must not crash on the dependent atom.
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let y = vec![2.0, 1.0];
+        let rec = Omp::new(3).solve(&a, &y).unwrap();
+        // Either col 0 or col 1 explains the first component.
+        let fit = a.apply_vec(&rec.coefficients);
+        assert!((fit[0] - 2.0).abs() < 1e-9);
+        assert!((fit[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let (a, _, _) = gaussian_problem(10, 20, 2, 1);
+        assert!(Omp::new(2).solve(&a, &vec![0.0; 11]).is_err());
+    }
+}

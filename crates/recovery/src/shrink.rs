@@ -1,0 +1,111 @@
+//! Thresholding primitives shared by the solvers.
+
+/// Soft-thresholding (the proximal operator of `t‖·‖₁`):
+/// `sign(v) · max(|v| − t, 0)`, applied in place.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_recovery::shrink::soft_threshold;
+///
+/// let mut v = vec![3.0, -0.5, 1.0];
+/// soft_threshold(&mut v, 1.0);
+/// assert_eq!(v, vec![2.0, 0.0, 0.0]);
+/// ```
+pub fn soft_threshold(v: &mut [f64], t: f64) {
+    debug_assert!(t >= 0.0);
+    for x in v {
+        let mag = x.abs() - t;
+        *x = if mag > 0.0 { x.signum() * mag } else { 0.0 };
+    }
+}
+
+/// Keeps only the `k` largest-magnitude entries, zeroing the rest
+/// (the projection onto the ℓ0 ball), in place.
+pub fn hard_threshold_top_k(v: &mut [f64], k: usize) {
+    if k >= v.len() {
+        return;
+    }
+    if k == 0 {
+        v.fill(0.0);
+        return;
+    }
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        v[b].abs().partial_cmp(&v[a].abs()).unwrap()
+    });
+    // idx[k..] now holds the indices of the smaller magnitudes.
+    for &i in &idx[k..] {
+        v[i] = 0.0;
+    }
+}
+
+/// Indices of the `k` largest-magnitude entries (unsorted).
+pub fn top_k_indices(v: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(v.len());
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    if k < v.len() && k > 0 {
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            v[b].abs().partial_cmp(&v[a].abs()).unwrap()
+        });
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Indices of all nonzero entries.
+pub fn support(v: &[f64]) -> Vec<usize> {
+    v.iter()
+        .enumerate()
+        .filter_map(|(i, &x)| (x != 0.0).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_threshold_shrinks_toward_zero() {
+        let mut v = vec![2.0, -2.0, 0.3, -0.3, 0.0];
+        soft_threshold(&mut v, 0.5);
+        assert_eq!(v, vec![1.5, -1.5, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn soft_threshold_zero_is_identity() {
+        let mut v = vec![1.0, -2.0];
+        soft_threshold(&mut v, 0.0);
+        assert_eq!(v, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn hard_threshold_keeps_k_largest() {
+        let mut v = vec![0.1, -5.0, 3.0, 0.2, -4.0];
+        hard_threshold_top_k(&mut v, 2);
+        assert_eq!(v, vec![0.0, -5.0, 0.0, 0.0, -4.0]);
+    }
+
+    #[test]
+    fn hard_threshold_edge_cases() {
+        let mut v = vec![1.0, 2.0];
+        hard_threshold_top_k(&mut v, 5);
+        assert_eq!(v, vec![1.0, 2.0]);
+        hard_threshold_top_k(&mut v, 0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn top_k_indices_match_hard_threshold() {
+        let v = vec![0.1, -5.0, 3.0, 0.2, -4.0];
+        let mut idx = top_k_indices(&v, 3);
+        idx.sort_unstable();
+        assert_eq!(idx, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn support_finds_nonzeros() {
+        assert_eq!(support(&[0.0, 1.0, 0.0, -2.0]), vec![1, 3]);
+        assert!(support(&[0.0; 4]).is_empty());
+    }
+}

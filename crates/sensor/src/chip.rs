@@ -1,0 +1,317 @@
+//! Chip geometry, area and power accounting (Sect. IV).
+//!
+//! The silicon artifacts of the paper — die layout (Fig. 4), pixel
+//! layout (Fig. 5), conceptual floorplan (Fig. 2) and the Table II
+//! feature summary — are reproduced by an accounting model: every
+//! published geometric number is a parameter, derived quantities (array
+//! extent, fill factor, periphery budget, power) are computed, and the
+//! `table2`/`fig2`/`fig45` experiments print paper-vs-model tables.
+//!
+//! Power is a first-order CMOS model (static bias of 4096 comparators +
+//! dynamic `C·V²·f·activity` of the digital blocks) parameterized by
+//! published quantities only; it exists to check *consistency* with the
+//! "<100 mW" bound of Table II, not to predict silicon.
+
+use crate::config::SensorConfig;
+
+/// Micrometer-denominated geometry of the prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipModel {
+    config: SensorConfig,
+    /// Pixel pitch (µm) — Table II: 22 µm.
+    pixel_pitch_um: f64,
+    /// Die width including pads (µm) — Table II: 3174 µm.
+    die_width_um: f64,
+    /// Die height including pads (µm) — Table II: 2227 µm.
+    die_height_um: f64,
+    /// Photodiode fill factor — Table II: 9.2 %.
+    fill_factor: f64,
+    /// Pad count — Sect. IV: 84 pads, one third power/ground.
+    pad_count: usize,
+    /// Pad-ring depth (µm), a typical 0.18 µm value.
+    pad_ring_um: f64,
+}
+
+/// One row of an area or feature report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// Quantity name.
+    pub name: String,
+    /// Value as reported by the paper (empty when the paper gives none).
+    pub paper: String,
+    /// Value derived by the model.
+    pub model: String,
+}
+
+impl ChipModel {
+    /// Builds the accounting model for a configuration, using the
+    /// paper's published geometry.
+    pub fn new(config: SensorConfig) -> Self {
+        ChipModel {
+            config,
+            pixel_pitch_um: 22.0,
+            die_width_um: 3174.0,
+            die_height_um: 2227.0,
+            fill_factor: 0.092,
+            pad_count: 84,
+            pad_ring_um: 90.0,
+        }
+    }
+
+    /// The paper's 64×64 prototype.
+    pub fn paper_prototype() -> Self {
+        ChipModel::new(SensorConfig::paper_prototype())
+    }
+
+    /// Pixel pitch (µm).
+    pub fn pixel_pitch_um(&self) -> f64 {
+        self.pixel_pitch_um
+    }
+
+    /// Pixel area (µm²).
+    pub fn pixel_area_um2(&self) -> f64 {
+        self.pixel_pitch_um * self.pixel_pitch_um
+    }
+
+    /// Photodiode area from the fill factor (µm²) — Fig. 5's dominant
+    /// block: 9.2 % of 22×22 µm² ≈ 44.5 µm².
+    pub fn photodiode_area_um2(&self) -> f64 {
+        self.pixel_area_um2() * self.fill_factor
+    }
+
+    /// Pixel-array extent (µm × µm).
+    pub fn array_extent_um(&self) -> (f64, f64) {
+        (
+            self.config.cols() as f64 * self.pixel_pitch_um,
+            self.config.rows() as f64 * self.pixel_pitch_um,
+        )
+    }
+
+    /// Die area including pads (mm²).
+    pub fn die_area_mm2(&self) -> f64 {
+        self.die_width_um * self.die_height_um / 1e6
+    }
+
+    /// Core area inside the pad ring (mm²).
+    pub fn core_area_mm2(&self) -> f64 {
+        let w = self.die_width_um - 2.0 * self.pad_ring_um;
+        let h = self.die_height_um - 2.0 * self.pad_ring_um;
+        w * h / 1e6
+    }
+
+    /// Pixel-array area (mm²).
+    pub fn array_area_mm2(&self) -> f64 {
+        let (w, h) = self.array_extent_um();
+        w * h / 1e6
+    }
+
+    /// Fraction of the core occupied by the array.
+    pub fn array_core_fraction(&self) -> f64 {
+        self.array_area_mm2() / self.core_area_mm2()
+    }
+
+    /// CA ring cell count: one per row plus one per column (Fig. 2).
+    pub fn ca_cell_count(&self) -> usize {
+        self.config.rows() + self.config.cols()
+    }
+
+    /// Number of pads dedicated to supply/ground (one third per
+    /// Sect. IV).
+    pub fn supply_pad_count(&self) -> usize {
+        self.pad_count / 3
+    }
+
+    /// First-order power budget, block by block, in mW.
+    ///
+    /// * comparators: 4096 × 150 nA bias at 3.3 V analog supply;
+    /// * column drivers + buses: dynamic on event activity;
+    /// * TDC counter + Sample & Add + CA: dynamic at `f_clk`, 1.8 V;
+    /// * pads/IO: one 20-bit word per sample period.
+    pub fn power_budget_mw(&self) -> Vec<(String, f64)> {
+        let pixels = self.config.pixel_count() as f64;
+        let v_analog = 3.3;
+        let v_dig = 1.8;
+        let f_clk = self.config.clk_hz();
+        let f_cs = 1.0 / self.config.sample_period();
+        // Static comparator bias.
+        let comparator_mw = pixels * 150e-9 * v_analog * 1e3;
+        // Digital node switching: effective capacitance per block.
+        let dyn_mw = |cap_f: f64, freq: f64, activity: f64| -> f64 {
+            cap_f * v_dig * v_dig * freq * activity * 1e3
+        };
+        // Column buses: half the pixels fire per sample, bus cap ~300 fF.
+        let bus_mw = dyn_mw(300e-15 * self.config.cols() as f64, f_cs, pixels / 2.0
+            / self.config.cols() as f64);
+        // Counter + distribution: ~10 pF equivalent at f_clk.
+        let counter_mw = dyn_mw(10e-12, f_clk, 0.5);
+        // Sample & Add adders: 14-bit per column at pulse rate.
+        let sadd_mw = dyn_mw(2e-12 * self.config.cols() as f64, f_cs, 8.0);
+        // CA ring: M+N cells toggling once per sample.
+        let ca_mw = dyn_mw(50e-15 * self.ca_cell_count() as f64, f_cs, 1.0);
+        // IO: 20 bits at f_cs into ~5 pF pads at 3.3 V.
+        let io_mw = 20.0 * 5e-12 * v_analog * v_analog * f_cs * 0.5 * 1e3;
+        vec![
+            ("pixel comparators (static)".into(), comparator_mw),
+            ("column buses".into(), bus_mw),
+            ("global counter".into(), counter_mw),
+            ("sample & add".into(), sadd_mw),
+            ("cellular automaton ring".into(), ca_mw),
+            ("pad I/O".into(), io_mw),
+        ]
+    }
+
+    /// Total modeled power (mW).
+    pub fn total_power_mw(&self) -> f64 {
+        self.power_budget_mw().iter().map(|(_, p)| p).sum()
+    }
+
+    /// The Table II feature summary: paper value vs model value.
+    pub fn table_ii(&self) -> Vec<ReportRow> {
+        let (aw, ah) = self.array_extent_um();
+        let row = |name: &str, paper: &str, model: String| ReportRow {
+            name: name.into(),
+            paper: paper.into(),
+            model,
+        };
+        vec![
+            row("Technology", "CMOS 0.18um 1P6M", "CMOS 0.18um 1P6M (assumed)".into()),
+            row(
+                "Die size (w. pads)",
+                "3174um x 2227um",
+                format!("{:.0}um x {:.0}um (array {aw:.0}x{ah:.0})", self.die_width_um, self.die_height_um),
+            ),
+            row(
+                "Pixel size",
+                "22um x 22um",
+                format!("{:.0}um x {:.0}um", self.pixel_pitch_um, self.pixel_pitch_um),
+            ),
+            row(
+                "Fill factor",
+                "9.2%",
+                format!("{:.1}% (PD {:.1} um^2)", self.fill_factor * 100.0, self.photodiode_area_um2()),
+            ),
+            row(
+                "Resolution",
+                "64 x 64",
+                format!("{} x {}", self.config.rows(), self.config.cols()),
+            ),
+            row("Photodiode type", "n-well/p-substrate", "n-well/p-substrate (assumed)".into()),
+            row("Power supply", "3.3V-1.8V", "3.3V analog / 1.8V digital".into()),
+            row(
+                "Predicted power consumption",
+                "<100mW",
+                format!("{:.1} mW (first-order model)", self.total_power_mw()),
+            ),
+            row("Frame rate", "30fps", "30 fps (Eq. 2 with R=0.4)".into()),
+            row(
+                "Max. compressed sample rate",
+                "50kHz",
+                format!("{:.1} kHz", 1.0 / self.config.sample_period() / 1e3),
+            ),
+            row(
+                "Clock Freq.",
+                "24MHz",
+                format!("{:.0} MHz", self.config.clk_hz() / 1e6),
+            ),
+        ]
+    }
+
+    /// ASCII conceptual floorplan in the spirit of Fig. 2: the pixel
+    /// array surrounded by the CA ring, row drivers, and the Sample &
+    /// Add / counter strip at the bottom.
+    pub fn floorplan_ascii(&self) -> String {
+        let m = self.config.rows();
+        let n = self.config.cols();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "+----------------- CA ring: {} cells -----------------+\n",
+            self.ca_cell_count()
+        ));
+        out.push_str(&format!(
+            "| [col CA cells x{n}]                                   |\n"
+        ));
+        out.push_str(&format!(
+            "| [row CA x{m}] [ pixel array {m}x{n}, pitch {:.0} um ]      |\n",
+            self.pixel_pitch_um
+        ));
+        out.push_str("|             [ column buses + event termination ]    |\n");
+        out.push_str(&format!(
+            "|             [ Sample & Add x{n}, 14b ] [ counter 8b ] |\n"
+        ));
+        out.push_str("|             [ 20b sample adder -> output ]          |\n");
+        out.push_str(&format!(
+            "+--------- {} pads ({} supply/ground) ----------------+\n",
+            self.pad_count,
+            self.supply_pad_count()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn photodiode_area_matches_fill_factor() {
+        let chip = ChipModel::paper_prototype();
+        // 9.2% of 484 µm² ≈ 44.5 µm².
+        assert!((chip.photodiode_area_um2() - 44.528).abs() < 0.01);
+    }
+
+    #[test]
+    fn array_fits_inside_core() {
+        let chip = ChipModel::paper_prototype();
+        let (w, h) = chip.array_extent_um();
+        assert_eq!(w, 1408.0);
+        assert_eq!(h, 1408.0);
+        assert!(chip.array_area_mm2() < chip.core_area_mm2());
+        let frac = chip.array_core_fraction();
+        assert!(
+            (0.2..0.8).contains(&frac),
+            "array/core fraction {frac} implausible"
+        );
+    }
+
+    #[test]
+    fn die_area_matches_paper() {
+        let chip = ChipModel::paper_prototype();
+        assert!((chip.die_area_mm2() - 3.174 * 2.227).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_model_respects_table_ii_bound() {
+        let chip = ChipModel::paper_prototype();
+        let total = chip.total_power_mw();
+        assert!(total < 100.0, "modeled power {total} mW exceeds Table II bound");
+        assert!(total > 1.0, "modeled power {total} mW implausibly small");
+        // Comparators dominate in this class of sensor.
+        let budget = chip.power_budget_mw();
+        let comparators = budget
+            .iter()
+            .find(|(n, _)| n.contains("comparator"))
+            .expect("comparator entry")
+            .1;
+        assert!(comparators > 0.3 * total);
+    }
+
+    #[test]
+    fn ca_ring_has_128_cells_for_the_prototype() {
+        assert_eq!(ChipModel::paper_prototype().ca_cell_count(), 128);
+    }
+
+    #[test]
+    fn table_ii_covers_all_eleven_features() {
+        let rows = ChipModel::paper_prototype().table_ii();
+        assert_eq!(rows.len(), 11);
+        assert!(rows.iter().all(|r| !r.model.is_empty()));
+    }
+
+    #[test]
+    fn floorplan_mentions_every_block() {
+        let art = ChipModel::paper_prototype().floorplan_ascii();
+        for needle in ["CA ring", "pixel array", "Sample & Add", "counter", "pads"] {
+            assert!(art.contains(needle), "floorplan missing {needle}");
+        }
+    }
+}

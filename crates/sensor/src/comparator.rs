@@ -1,0 +1,94 @@
+//! Comparator model with auto-zeroing.
+//!
+//! The prototype auto-zeroes each comparator with a MiM capacitor
+//! (Sect. IV), leaving a small residual offset. The offset shifts the
+//! effective threshold, which shifts the crossing time by
+//! `Δt = C · V_os / I_ph`; a propagation delay and optional Gaussian
+//! jitter complete the model.
+
+use crate::config::SensorConfig;
+use crate::photodiode::photocurrent;
+
+/// Per-pixel comparator instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparator {
+    /// Residual input-referred offset after auto-zeroing (V).
+    offset_volts: f64,
+}
+
+impl Comparator {
+    /// Creates a comparator with the given residual offset.
+    pub fn new(offset_volts: f64) -> Self {
+        Comparator { offset_volts }
+    }
+
+    /// An ideal (zero-offset) comparator.
+    pub fn ideal() -> Self {
+        Comparator::new(0.0)
+    }
+
+    /// Residual offset (V).
+    pub fn offset_volts(&self) -> f64 {
+        self.offset_volts
+    }
+
+    /// Flip time (s since reset) for a pixel at `intensity`, including
+    /// offset shift and propagation delay; `jitter` (s) is added by the
+    /// caller's noise model (pass 0 for none).
+    ///
+    /// The offset moves the effective threshold from `V_ref` to
+    /// `V_ref + V_os`, so the swept charge changes by `−C·V_os`.
+    pub fn flip_time(&self, config: &SensorConfig, intensity: f64, jitter: f64) -> f64 {
+        let charge = config.cap_farads() * (config.v_rst() - config.v_ref() - self.offset_volts);
+        let t = charge.max(0.0) / photocurrent(config, intensity);
+        (t + config.comparator_delay() + jitter).max(0.0)
+    }
+}
+
+impl Default for Comparator {
+    fn default() -> Self {
+        Comparator::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SensorConfig {
+        SensorConfig::paper_prototype()
+    }
+
+    #[test]
+    fn ideal_flip_time_is_crossing_plus_delay() {
+        let c = config();
+        let t = Comparator::ideal().flip_time(&c, 0.5, 0.0);
+        let expected = crate::photodiode::crossing_time(&c, 0.5) + c.comparator_delay();
+        assert!((t - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn positive_offset_raises_threshold_and_speeds_flip() {
+        let c = config();
+        // Threshold closer to V_rst ⇒ less charge to sweep ⇒ earlier flip.
+        let fast = Comparator::new(0.05).flip_time(&c, 0.5, 0.0);
+        let slow = Comparator::new(-0.05).flip_time(&c, 0.5, 0.0);
+        let mid = Comparator::ideal().flip_time(&c, 0.5, 0.0);
+        assert!(fast < mid && mid < slow);
+    }
+
+    #[test]
+    fn jitter_shifts_linearly() {
+        let c = config();
+        let base = Comparator::ideal().flip_time(&c, 0.5, 0.0);
+        let shifted = Comparator::ideal().flip_time(&c, 0.5, 3e-9);
+        assert!((shifted - base - 3e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn flip_time_never_negative() {
+        let c = config();
+        let t = Comparator::new(10.0).flip_time(&c, 1.0, -1.0);
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! A minimal deterministic discrete-event queue.
+//!
+//! The column arbiter and the readout orchestration need a time-ordered
+//! event stream with deterministic tie-breaking (hardware resolves ties
+//! by row position; a simulation must resolve them identically on every
+//! run). [`EventQueue`] wraps a binary heap with an insertion sequence
+//! number so equal-time events pop in push order unless an explicit
+//! priority says otherwise.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in seconds. A thin wrapper enforcing totally-ordered,
+/// non-NaN timestamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Time(f64);
+
+impl Time {
+    /// Creates a timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is NaN.
+    pub fn new(seconds: f64) -> Self {
+        assert!(!seconds.is_nan(), "event time must not be NaN");
+        Time(seconds)
+    }
+
+    /// Seconds since simulation start.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("times are not NaN")
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: Time,
+    priority: u32,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.priority.cmp(&self.priority))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+///
+/// Pop order: earliest time, then lowest priority value, then insertion
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_sensor::desim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(2.0e-6, 0, "late");
+/// q.push(1.0e-6, 0, "early");
+/// assert_eq!(q.pop().unwrap().2, "early");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    last_popped: Option<Time>,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_popped: None,
+        }
+    }
+
+    /// Schedules `payload` at `seconds` with a tie-break `priority`
+    /// (lower pops first among equal times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is NaN.
+    pub fn push(&mut self, seconds: f64, priority: u32, payload: T) {
+        let entry = Entry {
+            time: Time::new(seconds),
+            priority,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Removes the earliest event, returning `(seconds, priority,
+    /// payload)`. Time is monotone across pops.
+    pub fn pop(&mut self) -> Option<(f64, u32, T)> {
+        let e = self.heap.pop()?;
+        debug_assert!(
+            self.last_popped.map_or(true, |t| t <= e.time),
+            "event queue time went backwards"
+        );
+        self.last_popped = Some(e.time);
+        Some((e.time.seconds(), e.priority, e.payload))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time.seconds())
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (i, t) in [5.0, 1.0, 3.0, 2.0, 4.0].iter().enumerate() {
+            q.push(*t, 0, i);
+        }
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn equal_times_use_priority_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 2, "low-prio-first-in");
+        q.push(1.0, 1, "high-prio-second-in");
+        q.push(1.0, 1, "high-prio-third-in");
+        assert_eq!(q.pop().unwrap().2, "high-prio-second-in");
+        assert_eq!(q.pop().unwrap().2, "high-prio-third-in");
+        assert_eq!(q.pop().unwrap().2, "low-prio-first-in");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(7.0, 0, ());
+        assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_time_panics() {
+        EventQueue::new().push(f64::NAN, 0, ());
+    }
+}

@@ -1,0 +1,96 @@
+//! Photodiode integration model.
+//!
+//! The pixel front-end (Fig. 1, "Time-encoding of light intensity"): an
+//! n-well/p-substrate photodiode discharges `V_pix` from `V_rst` at a
+//! rate set by the photocurrent; the comparator flips when `V_pix`
+//! crosses `V_ref`. The crossing time is
+//! `t = C · (V_rst − V_ref) / I_ph` — the reciprocal light-to-time map
+//! that the whole architecture is built on.
+
+use crate::config::SensorConfig;
+
+/// Photocurrent (A) for a scene intensity in `[0, 1]`:
+/// `I_ph = I_dark + I_scale · E` (intensity clamped).
+pub fn photocurrent(config: &SensorConfig, intensity: f64) -> f64 {
+    config.i_dark() + config.i_scale() * intensity.clamp(0.0, 1.0)
+}
+
+/// Ideal comparator-crossing time (s) since pixel reset, before
+/// comparator delay and noise.
+pub fn crossing_time(config: &SensorConfig, intensity: f64) -> f64 {
+    config.integration_charge() / photocurrent(config, intensity)
+}
+
+/// `V_pix` at time `t` after reset (clamped at `V_ref` once crossed —
+/// the comparator flip freezes the chain downstream; used for the Fig. 1
+/// waveform experiment).
+pub fn v_pix_at(config: &SensorConfig, intensity: f64, t: f64) -> f64 {
+    let slope = photocurrent(config, intensity) / config.cap_farads();
+    (config.v_rst() - slope * t.max(0.0)).max(config.v_ref())
+}
+
+/// Inverts the reciprocal transfer: scene intensity that would produce
+/// the given crossing time. Returns values clamped to `[0, 1]`.
+pub fn intensity_from_crossing(config: &SensorConfig, t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    let i_ph = config.integration_charge() / t;
+    ((i_ph - config.i_dark()) / config.i_scale()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SensorConfig {
+        SensorConfig::paper_prototype()
+    }
+
+    #[test]
+    fn brighter_pixels_cross_sooner() {
+        let c = config();
+        let mut last = f64::INFINITY;
+        for i in 0..=10 {
+            let t = crossing_time(&c, i as f64 / 10.0);
+            assert!(t < last, "crossing time must fall with intensity");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn crossing_time_matches_closed_form() {
+        let c = config();
+        let e = 0.5;
+        let expected = c.integration_charge() / (c.i_dark() + 0.5 * c.i_scale());
+        assert!((crossing_time(&c, e) - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn v_pix_ramp_hits_reference_at_crossing() {
+        let c = config();
+        let e = 0.3;
+        let t_cross = crossing_time(&c, e);
+        assert!((v_pix_at(&c, e, 0.0) - c.v_rst()).abs() < 1e-12);
+        assert!((v_pix_at(&c, e, t_cross) - c.v_ref()).abs() < 1e-9);
+        // Clamped after crossing.
+        assert_eq!(v_pix_at(&c, e, t_cross * 2.0), c.v_ref());
+    }
+
+    #[test]
+    fn intensity_clamps_outside_unit_range() {
+        let c = config();
+        assert_eq!(photocurrent(&c, -1.0), photocurrent(&c, 0.0));
+        assert_eq!(photocurrent(&c, 2.0), photocurrent(&c, 1.0));
+    }
+
+    #[test]
+    fn inversion_roundtrips() {
+        let c = config();
+        for i in 1..=9 {
+            let e = i as f64 / 10.0;
+            let back = intensity_from_crossing(&c, crossing_time(&c, e));
+            assert!((back - e).abs() < 1e-9, "{e} -> {back}");
+        }
+    }
+}

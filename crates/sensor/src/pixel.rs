@@ -1,0 +1,272 @@
+//! The Fig. 1 pixel logic.
+//!
+//! Every named node of the elementary pixel is modeled:
+//!
+//! * `V1` — comparator output (time-encoded value);
+//! * `V2` — XOR pixel selection (`V2` stuck high when `S_i = S_j`,
+//!   else the inverse of `V1`) — placing selection right after the
+//!   comparator keeps unselected pixels from toggling anything;
+//! * `V3` — activation latch (set by a falling `V2`, cleared by reset);
+//! * `V4` — event gate (`!V3` while `Q′` is high, else forced high);
+//! * `V5` — bus driver control (rises when `V4` falls and `C_in` is
+//!   low);
+//! * `C_out` — 3-input-NAND token gate: low (allowing pixels below to
+//!   fire) only when `C_in` is low, `V4` is high and the bus `V_o` is
+//!   high.
+//!
+//! The functions are pure combinational logic, unit-tested against the
+//! paper's prose; [`NodeTrace`] samples a full single-pixel timeline for
+//! the `fig1` waveform experiment.
+
+use crate::config::SensorConfig;
+use crate::photodiode;
+
+/// `V2`: XOR selection placed after the comparator. High (inactive) when
+/// the pixel is not selected (`s_row == s_col`); otherwise the inverse
+/// of the comparator output `v1`.
+#[inline]
+pub fn v2_select(v1: bool, s_row: bool, s_col: bool) -> bool {
+    if s_row == s_col {
+        true
+    } else {
+        !v1
+    }
+}
+
+/// `V3`: activation latch. Set when `V2` is active-low; once set it
+/// holds until pixel reset (`v3_prev` carries the latched state).
+#[inline]
+pub fn v3_latch(v2: bool, v3_prev: bool) -> bool {
+    v3_prev || !v2
+}
+
+/// `V4`: the inverse of `V3` while the termination signal `Q′` is high;
+/// forced high once `Q′` drops (ending the pulse).
+#[inline]
+pub fn v4_gate(v3: bool, q_prime: bool) -> bool {
+    if q_prime {
+        !v3
+    } else {
+        true
+    }
+}
+
+/// `V5`: drives the bus pull-down transistor M2. Rises only when `V4`
+/// has fallen *and* the token input `C_in` is low.
+#[inline]
+pub fn v5_driver(v4: bool, c_in: bool) -> bool {
+    !v4 && !c_in
+}
+
+/// `C_out`: 3-input NAND. Low — releasing the pixels below — only when
+/// `C_in` is low (nobody above wants the bus), `V4` is high (this pixel
+/// is done or inactive) and `V_o` is high (bus free).
+#[inline]
+pub fn c_out(c_in: bool, v4: bool, v_o: bool) -> bool {
+    !(!c_in && v4 && v_o)
+}
+
+/// One sampled point of the single-pixel timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSample {
+    /// Time since pixel reset (s).
+    pub t: f64,
+    /// Analog integration node (V).
+    pub v_pix: f64,
+    /// Comparator output.
+    pub v1: bool,
+    /// Selection node.
+    pub v2: bool,
+    /// Activation latch.
+    pub v3: bool,
+    /// Event gate.
+    pub v4: bool,
+    /// Bus driver control.
+    pub v5: bool,
+    /// Termination signal.
+    pub q_prime: bool,
+    /// Column bus level.
+    pub v_o: bool,
+    /// Token output to the pixel below.
+    pub c_out: bool,
+}
+
+/// A sampled timeline of all Fig. 1 nodes for one pixel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTrace {
+    /// Sampled points, ascending in time.
+    pub samples: Vec<NodeSample>,
+    /// The comparator flip time used (s).
+    pub t_flip: f64,
+    /// Bus grant time used (s).
+    pub t_grant: f64,
+}
+
+impl NodeTrace {
+    /// Simulates one pixel's nodes on a uniform time grid.
+    ///
+    /// * `selected` — whether `S_i ⊕ S_j = 1` this sample;
+    /// * `t_grant` — when the arbiter grants the bus (pass the flip time
+    ///   when the bus is free); the pulse lasts `event_duration`;
+    /// * `points` — number of grid samples over `[0, window_end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn simulate(
+        config: &SensorConfig,
+        intensity: f64,
+        selected: bool,
+        t_grant: f64,
+        points: usize,
+    ) -> NodeTrace {
+        assert!(points >= 2, "need at least two sample points");
+        let t_flip = photodiode::crossing_time(config, intensity) + config.comparator_delay();
+        let t_end = t_grant + config.event_duration();
+        let horizon = config.window_end();
+        let mut samples = Vec::with_capacity(points);
+        for p in 0..points {
+            let t = horizon * p as f64 / (points - 1) as f64;
+            let v1 = t >= t_flip;
+            let v2 = v2_select(v1, selected, false);
+            let v3 = selected && v1;
+            // Q′ falls once the termination loop has run its course.
+            let q_prime = !(selected && t >= t_end);
+            let pulsing = selected && t >= t_grant && t < t_end;
+            let v4 = if pulsing { false } else { v4_gate(v3, q_prime) };
+            // C_in low: single-pixel column with a free chain above.
+            let v5 = pulsing;
+            let v_o = !pulsing;
+            samples.push(NodeSample {
+                t,
+                v_pix: photodiode::v_pix_at(config, intensity, t),
+                v1,
+                v2,
+                v3,
+                v4,
+                v5,
+                q_prime,
+                v_o,
+                c_out: c_out(false, v4, v_o),
+            });
+        }
+        NodeTrace {
+            samples,
+            t_flip,
+            t_grant,
+        }
+    }
+
+    /// Renders selected digital nodes as ASCII waveforms (`▔`/`▁`).
+    pub fn to_ascii(&self) -> String {
+        let rows: [(&str, fn(&NodeSample) -> bool); 7] = [
+            ("V1 ", |s| s.v1),
+            ("V2 ", |s| s.v2),
+            ("V3 ", |s| s.v3),
+            ("V4 ", |s| s.v4),
+            ("V5 ", |s| s.v5),
+            ("Q' ", |s| s.q_prime),
+            ("Vo ", |s| s.v_o),
+        ];
+        let mut out = String::new();
+        for (name, f) in rows {
+            out.push_str(name);
+            for s in &self.samples {
+                out.push(if f(s) { '▔' } else { '▁' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The selection truth table from Sect. II.B: the pixel contributes
+    /// in exactly half of the (S_i, S_j) combinations.
+    #[test]
+    fn v2_truth_table() {
+        // Equal selections: V2 stuck high regardless of V1.
+        assert!(v2_select(false, false, false));
+        assert!(v2_select(true, false, false));
+        assert!(v2_select(false, true, true));
+        assert!(v2_select(true, true, true));
+        // Different selections: V2 = !V1.
+        assert!(v2_select(false, true, false));
+        assert!(!v2_select(true, true, false));
+        assert!(v2_select(false, false, true));
+        assert!(!v2_select(true, false, true));
+    }
+
+    #[test]
+    fn v3_latches_until_reset() {
+        // Not yet active, V2 high: stays low.
+        assert!(!v3_latch(true, false));
+        // V2 falls: set.
+        assert!(v3_latch(false, false));
+        // V2 returns high: latched.
+        assert!(v3_latch(true, true));
+    }
+
+    #[test]
+    fn v4_respects_termination() {
+        assert!(v4_gate(false, true)); // inactive pixel
+        assert!(!v4_gate(true, true)); // active, Q' high: V4 low
+        assert!(v4_gate(true, false)); // terminated: forced high
+    }
+
+    #[test]
+    fn v5_requires_token_and_activation() {
+        assert!(v5_driver(false, false)); // V4 low, C_in low: pulse
+        assert!(!v5_driver(false, true)); // blocked by token
+        assert!(!v5_driver(true, false)); // not activated
+    }
+
+    /// Sect. II.E: the three conditions for C_out = 0.
+    #[test]
+    fn c_out_truth_table() {
+        assert!(!c_out(false, true, true)); // all conditions met: release
+        assert!(c_out(true, true, true)); // someone above waiting
+        assert!(c_out(false, false, true)); // this pixel mid-event
+        assert!(c_out(false, true, false)); // bus busy
+    }
+
+    #[test]
+    fn trace_shows_single_pulse_of_configured_width() {
+        let c = SensorConfig::paper_prototype();
+        let t_flip =
+            crate::photodiode::crossing_time(&c, 0.5) + c.comparator_delay();
+        let trace = NodeTrace::simulate(&c, 0.5, true, t_flip, 20_000);
+        // V1 eventually rises; V5 pulses exactly while Vo is low.
+        assert!(trace.samples.iter().any(|s| s.v1));
+        for s in &trace.samples {
+            assert_eq!(s.v5, !s.v_o, "bus must mirror the driver");
+        }
+        let pulse_samples = trace.samples.iter().filter(|s| s.v5).count();
+        let dt = c.window_end() / 19_999.0;
+        let width = pulse_samples as f64 * dt;
+        assert!(
+            (width - c.event_duration()).abs() < 3.0 * dt,
+            "pulse width {width:.2e}s vs configured {:.2e}s",
+            c.event_duration()
+        );
+    }
+
+    #[test]
+    fn unselected_pixel_never_pulses() {
+        let c = SensorConfig::paper_prototype();
+        let trace = NodeTrace::simulate(&c, 0.9, false, 1e-6, 2_000);
+        assert!(trace.samples.iter().all(|s| !s.v5 && s.v_o));
+        // V2 stays stuck high.
+        assert!(trace.samples.iter().all(|s| s.v2));
+    }
+
+    #[test]
+    fn ascii_render_has_seven_rows() {
+        let c = SensorConfig::paper_prototype();
+        let trace = NodeTrace::simulate(&c, 0.5, true, 1e-6, 100);
+        assert_eq!(trace.to_ascii().lines().count(), 7);
+    }
+}

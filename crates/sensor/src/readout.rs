@@ -1,0 +1,450 @@
+//! Whole-frame capture orchestration.
+//!
+//! One compressed sample = one 20 µs slot: the array is reset, the CA
+//! advances, selected pixels integrate and fire, column buses arbitrate,
+//! the TDC samples the global counter, Sample & Add accumulates, and a
+//! 20-bit word leaves the chip. [`FrameReadout::capture`] runs `K` such
+//! slots and returns the samples plus event-level statistics.
+//!
+//! Two fidelities:
+//!
+//! * [`Fidelity::Functional`] — pulses are converted at their ideal flip
+//!   times (no bus contention). This is the linear model `y = Φ x`.
+//! * [`Fidelity::EventAccurate`] — pulses go through the column token
+//!   protocol; queued pulses are delayed (possibly crossing clock edges
+//!   → the paper's 1 LSB error), pulses past the window are lost.
+
+use crate::column::ColumnArbiter;
+use crate::comparator::Comparator;
+use crate::config::{CodeTransfer, SensorConfig};
+use crate::noise::NoiseModel;
+use crate::tdc::{Conversion, GlobalCounter, SampleAdd};
+use tepics_ca::BitPatternSource;
+use tepics_imaging::{ImageF64, ImageU8};
+use tepics_util::BitVec;
+
+/// Simulation fidelity of the readout path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Ideal linear measurement (no arbitration effects).
+    Functional,
+    /// Full column-bus token protocol with serialization delays.
+    EventAccurate,
+}
+
+/// Aggregate event statistics for one captured frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventStats {
+    /// Pulses emitted by selected pixels across all samples.
+    pub total_pulses: u64,
+    /// Pulses that had to wait for their column bus.
+    pub queued_pulses: u64,
+    /// Pulses lost because they arrived after the conversion window.
+    pub missed_pulses: u64,
+    /// Histogram of per-pulse code error `|code(grant) − code(flip)|`;
+    /// index = error in LSB, last bin aggregates larger errors.
+    pub code_error_lsb: Vec<u64>,
+    /// Largest serialization delay observed (s).
+    pub max_delay: f64,
+    /// Number of samples whose column accumulator clipped.
+    pub column_overflows: u64,
+    /// Number of samples whose 20-bit adder clipped.
+    pub sample_overflows: u64,
+}
+
+impl EventStats {
+    fn new() -> Self {
+        EventStats {
+            total_pulses: 0,
+            queued_pulses: 0,
+            missed_pulses: 0,
+            code_error_lsb: vec![0; 9],
+            max_delay: 0.0,
+            column_overflows: 0,
+            sample_overflows: 0,
+        }
+    }
+
+    /// Fraction of pulses with nonzero code error.
+    pub fn error_fraction(&self) -> f64 {
+        if self.total_pulses == 0 {
+            return 0.0;
+        }
+        let errored: u64 = self.code_error_lsb.iter().skip(1).sum();
+        errored as f64 / self.total_pulses as f64
+    }
+
+    /// Mean absolute code error in LSB (larger-than-8 errors counted as 8).
+    pub fn mean_error_lsb(&self) -> f64 {
+        if self.total_pulses == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .code_error_lsb
+            .iter()
+            .enumerate()
+            .map(|(e, &c)| e as u64 * c)
+            .sum();
+        sum as f64 / self.total_pulses as f64
+    }
+}
+
+/// The output of one frame capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedFrame {
+    /// Compressed samples, one per selection pattern.
+    pub samples: Vec<u32>,
+    /// The `(M+N)`-bit selection patterns used (rows ++ columns).
+    pub patterns: Vec<BitVec>,
+    /// Event statistics (all zero in functional mode except totals).
+    pub stats: EventStats,
+}
+
+/// Frame-capture engine.
+#[derive(Debug, Clone)]
+pub struct FrameReadout {
+    config: SensorConfig,
+    fidelity: Fidelity,
+}
+
+impl FrameReadout {
+    /// Creates a readout engine.
+    pub fn new(config: SensorConfig, fidelity: Fidelity) -> Self {
+        FrameReadout { config, fidelity }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// The fidelity in use.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Base flip time (s since reset) of pixel `(row, col)` for the
+    /// scene, including fixed-pattern noise but not per-sample jitter.
+    fn base_flip_time(
+        &self,
+        noise: &NoiseModel,
+        scene: &ImageF64,
+        row: usize,
+        col: usize,
+    ) -> f64 {
+        let e = scene.get(col, row);
+        match self.config.transfer() {
+            CodeTransfer::Reciprocal => {
+                let comparator = Comparator::new(noise.offset(row, col));
+                comparator.flip_time(&self.config, e * noise.gain(row, col), 0.0)
+            }
+            CodeTransfer::Linearized => {
+                // Place the flip mid-tick of the linear code.
+                let code = (e.clamp(0.0, 1.0) * self.config.code_max() as f64).round();
+                self.config.initial_delay() + (code + 0.5) * self.config.t_clk()
+            }
+        }
+    }
+
+    /// The ideal (functional, jitter-free) code image for a scene — the
+    /// ground truth the decoder tries to reconstruct. Pixels whose pulse
+    /// falls outside the window read 0 (they contribute nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene size does not match the configuration.
+    pub fn code_image(&self, scene: &ImageF64) -> ImageU8 {
+        self.check_scene(scene);
+        let noise = NoiseModel::new(&self.config);
+        let counter = GlobalCounter::new(&self.config);
+        ImageU8::from_fn(self.config.cols(), self.config.rows(), |col, row| {
+            match counter.convert(self.base_flip_time(&noise, scene, row, col)) {
+                Conversion::Code(c) => c as u8,
+                Conversion::Missed => 0,
+            }
+        })
+    }
+
+    /// Captures `k` compressed samples of `scene` using selection
+    /// patterns from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene size or the source pattern length do not
+    /// match the configuration, or `k == 0`.
+    pub fn capture(
+        &self,
+        scene: &ImageF64,
+        source: &mut dyn BitPatternSource,
+        k: usize,
+    ) -> CapturedFrame {
+        self.check_scene(scene);
+        assert!(k > 0, "need at least one compressed sample");
+        let (m, n) = (self.config.rows(), self.config.cols());
+        assert_eq!(
+            source.pattern_len(),
+            m + n,
+            "source pattern length {} != M+N = {}",
+            source.pattern_len(),
+            m + n
+        );
+        let noise = NoiseModel::new(&self.config);
+        let counter = GlobalCounter::new(&self.config);
+        let arbiter = ColumnArbiter::new(&self.config);
+        let mut sample_add = SampleAdd::for_config(&self.config);
+        let mut stats = EventStats::new();
+        let mut samples = Vec::with_capacity(k);
+        let mut patterns = Vec::with_capacity(k);
+        // Base flip times are scene-dependent only; jitter is per sample.
+        let base: Vec<f64> = (0..m * n)
+            .map(|px| self.base_flip_time(&noise, scene, px / n, px % n))
+            .collect();
+        let jitter_free = self.config.jitter_sigma() == 0.0;
+        let mut column_pulses: Vec<(usize, f64)> = Vec::with_capacity(m);
+        for sample_idx in 0..k {
+            let pattern = source.next_pattern();
+            for col in 0..n {
+                let col_selected = pattern.get(m + col);
+                column_pulses.clear();
+                for row in 0..m {
+                    if pattern.get(row) != col_selected {
+                        let mut t = base[row * n + col];
+                        if !jitter_free {
+                            t = (t + noise.jitter(row, col, sample_idx)).max(0.0);
+                        }
+                        column_pulses.push((row, t));
+                    }
+                }
+                stats.total_pulses += column_pulses.len() as u64;
+                match self.fidelity {
+                    Fidelity::Functional => {
+                        for &(_, t) in &column_pulses {
+                            let conv = counter.convert(t);
+                            if conv == Conversion::Missed {
+                                stats.missed_pulses += 1;
+                            }
+                            sample_add.add(col, conv);
+                        }
+                    }
+                    Fidelity::EventAccurate => {
+                        let outcome = arbiter.arbitrate(&column_pulses);
+                        for e in &outcome.events {
+                            if e.queued {
+                                stats.queued_pulses += 1;
+                                stats.max_delay = stats.max_delay.max(e.delay());
+                            }
+                            let conv = counter.convert(e.t_grant);
+                            match (counter.ideal_code(e.t_flip), conv) {
+                                (Conversion::Code(a), Conversion::Code(b)) => {
+                                    let err = (b as i64 - a as i64).unsigned_abs() as usize;
+                                    let bin = err.min(stats.code_error_lsb.len() - 1);
+                                    stats.code_error_lsb[bin] += 1;
+                                }
+                                (_, Conversion::Missed) => stats.missed_pulses += 1,
+                                (Conversion::Missed, Conversion::Code(_)) => {
+                                    // Ideal was already lost; arbitration
+                                    // cannot resurrect it earlier, so this
+                                    // cannot occur (delay ≥ 0).
+                                    unreachable!("grant precedes flip");
+                                }
+                            }
+                            sample_add.add(col, conv);
+                        }
+                    }
+                }
+            }
+            let word = sample_add.finish();
+            if word.column_overflow {
+                stats.column_overflows += 1;
+            }
+            if word.sample_overflow {
+                stats.sample_overflows += 1;
+            }
+            samples.push(word.value as u32);
+            patterns.push(pattern);
+        }
+        CapturedFrame {
+            samples,
+            patterns,
+            stats,
+        }
+    }
+
+    fn check_scene(&self, scene: &ImageF64) {
+        assert_eq!(
+            (scene.width(), scene.height()),
+            (self.config.cols(), self.config.rows()),
+            "scene {}×{} does not match sensor {}×{}",
+            scene.width(),
+            scene.height(),
+            self.config.cols(),
+            self.config.rows()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_ca::{CaSource, ElementaryRule};
+    use tepics_imaging::Scene;
+
+    fn small_config() -> SensorConfig {
+        SensorConfig::builder(16, 16).build().unwrap()
+    }
+
+    fn source(config: &SensorConfig, seed: u64) -> CaSource {
+        CaSource::new(
+            config.rows() + config.cols(),
+            seed,
+            ElementaryRule::RULE_30,
+            64,
+            1,
+        )
+    }
+
+    #[test]
+    fn functional_capture_matches_manual_sum_of_codes() {
+        let config = small_config();
+        let scene = Scene::gaussian_blobs(2).render(16, 16, 3);
+        let readout = FrameReadout::new(config.clone(), Fidelity::Functional);
+        let codes = readout.code_image(&scene);
+        let mut src = source(&config, 11);
+        let frame = readout.capture(&scene, &mut src, 25);
+        // Recompute each sample from the pattern and the code image.
+        for (k, pattern) in frame.patterns.iter().enumerate() {
+            let mut expected = 0u32;
+            for row in 0..16 {
+                for col in 0..16 {
+                    if pattern.get(row) != pattern.get(16 + col) {
+                        expected += codes.get(col, row) as u32;
+                    }
+                }
+            }
+            assert_eq!(frame.samples[k], expected, "sample {k}");
+        }
+    }
+
+    #[test]
+    fn event_accurate_matches_functional_when_events_cannot_collide() {
+        // With an event duration far below the minimum pulse spacing,
+        // arbitration never delays anything.
+        let config = SensorConfig::builder(8, 8)
+            .event_duration(1e-12)
+            .release_delay(0.0)
+            .build()
+            .unwrap();
+        let scene = Scene::LinearGradient { angle: 0.3 }.render(8, 8, 1);
+        let f = FrameReadout::new(config.clone(), Fidelity::Functional);
+        let e = FrameReadout::new(config.clone(), Fidelity::EventAccurate);
+        let mut s1 = source(&config, 5);
+        let mut s2 = source(&config, 5);
+        let ff = f.capture(&scene, &mut s1, 30);
+        let ee = e.capture(&scene, &mut s2, 30);
+        assert_eq!(ff.samples, ee.samples);
+        assert_eq!(ee.stats.error_fraction(), 0.0);
+    }
+
+    #[test]
+    fn event_accurate_reports_queueing_on_flat_scenes() {
+        // A uniform scene makes all pixels in a column flip at the same
+        // instant: maximal contention.
+        let config = small_config();
+        let scene = Scene::Uniform(0.5).render(16, 16, 0);
+        let readout = FrameReadout::new(config.clone(), Fidelity::EventAccurate);
+        let mut src = source(&config, 9);
+        let frame = readout.capture(&scene, &mut src, 10);
+        assert!(
+            frame.stats.queued_pulses > 0,
+            "uniform scene must serialize pulses"
+        );
+        assert!(frame.stats.max_delay > 0.0);
+    }
+
+    #[test]
+    fn missed_pulses_counted_when_window_is_too_short() {
+        // Shrink the counter so dark pixels (long flip times) miss.
+        let config = SensorConfig::builder(8, 8)
+            .counter_bits(6) // window = 64 ticks ≈ 2.67 µs at 24 MHz
+            .build()
+            .unwrap();
+        let scene = Scene::Uniform(0.02).render(8, 8, 0); // dark: ~10 µs flips
+        let readout = FrameReadout::new(config.clone(), Fidelity::Functional);
+        let mut src = source(&config, 1);
+        let frame = readout.capture(&scene, &mut src, 5);
+        assert!(frame.stats.missed_pulses > 0);
+        // All pulses missed ⇒ all-zero samples.
+        assert!(frame.samples.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let config = small_config();
+        let scene = Scene::natural_like().render(16, 16, 8);
+        let readout = FrameReadout::new(config.clone(), Fidelity::EventAccurate);
+        let mut s1 = source(&config, 3);
+        let mut s2 = source(&config, 3);
+        let a = readout.capture(&scene, &mut s1, 20);
+        let b = readout.capture(&scene, &mut s2, 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn linearized_transfer_maps_intensity_linearly() {
+        let config = SensorConfig::builder(8, 8)
+            .transfer(CodeTransfer::Linearized)
+            .build()
+            .unwrap();
+        let readout = FrameReadout::new(config, Fidelity::Functional);
+        let scene = ImageF64::from_fn(8, 8, |x, _| x as f64 / 7.0);
+        let codes = readout.code_image(&scene);
+        // Linear: code = round(E * 255).
+        assert_eq!(codes.get(0, 0), 0);
+        assert_eq!(codes.get(7, 0), 255);
+        let mid = codes.get(4, 0) as f64;
+        assert!((mid - (4.0f64 / 7.0 * 255.0).round()).abs() < 1.0);
+    }
+
+    #[test]
+    fn reciprocal_transfer_is_monotone_decreasing() {
+        let config = small_config();
+        let readout = FrameReadout::new(config, Fidelity::Functional);
+        let scene = ImageF64::from_fn(16, 16, |x, _| x as f64 / 15.0);
+        let codes = readout.code_image(&scene);
+        for x in 1..16 {
+            assert!(
+                codes.get(x, 0) <= codes.get(x - 1, 0),
+                "brighter pixels must get smaller codes"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_changes_samples_but_stays_reproducible() {
+        let config = SensorConfig::builder(16, 16)
+            .jitter_sigma(20e-9)
+            .build()
+            .unwrap();
+        let clean_cfg = small_config();
+        let scene = Scene::gaussian_blobs(2).render(16, 16, 4);
+        let noisy = FrameReadout::new(config.clone(), Fidelity::Functional);
+        let clean = FrameReadout::new(clean_cfg.clone(), Fidelity::Functional);
+        let mut s1 = source(&config, 2);
+        let mut s2 = source(&clean_cfg, 2);
+        let mut s3 = source(&config, 2);
+        let a = noisy.capture(&scene, &mut s1, 15);
+        let b = clean.capture(&scene, &mut s2, 15);
+        let c = noisy.capture(&scene, &mut s3, 15);
+        assert_ne!(a.samples, b.samples, "jitter must perturb samples");
+        assert_eq!(a.samples, c.samples, "jittered capture must replay");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match sensor")]
+    fn wrong_scene_size_panics() {
+        let config = small_config();
+        let scene = Scene::Uniform(0.5).render(8, 8, 0);
+        let mut src = source(&config, 1);
+        FrameReadout::new(config, Fidelity::Functional).capture(&scene, &mut src, 1);
+    }
+}

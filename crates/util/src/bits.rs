@@ -1,0 +1,465 @@
+//! Word-packed bit vectors.
+//!
+//! [`BitVec`] stores bits in `u64` words, least-significant bit first.
+//! It is the carrier type for cellular-automaton states and pixel
+//! selection masks throughout TEPICS, so it favors predictable layout and
+//! cheap bulk operations (XOR, popcount, shifted-neighbor extraction)
+//! over feature breadth.
+
+use std::fmt;
+
+/// A fixed-length, word-packed vector of bits.
+///
+/// Bits are indexed `0..len`. Bit `i` lives in word `i / 64` at position
+/// `i % 64`. Trailing bits of the last word beyond `len` are kept at zero
+/// as an internal invariant so that [`BitVec::count_ones`] and equality
+/// work on whole words.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_util::BitVec;
+///
+/// let mut v = BitVec::zeros(10);
+/// v.set(9, true);
+/// assert_eq!(v.count_ones(), 1);
+/// assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![9]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a bit vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            len,
+            words: vec![!0u64; len.div_ceil(64)],
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a bit vector from an iterator of booleans.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tepics_util::BitVec;
+    /// let v = BitVec::from_bools([true, false, true]);
+    /// assert_eq!(v.len(), 3);
+    /// assert_eq!(v.count_ones(), 2);
+    /// ```
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bools: I) -> Self {
+        let mut words = Vec::new();
+        let mut len = 0usize;
+        let mut cur = 0u64;
+        for b in bools {
+            if b {
+                cur |= 1u64 << (len % 64);
+            }
+            len += 1;
+            if len % 64 == 0 {
+                words.push(cur);
+                cur = 0;
+            }
+        }
+        if len % 64 != 0 {
+            words.push(cur);
+        }
+        BitVec { len, words }
+    }
+
+    /// Builds a bit vector from pre-packed words (LSB-first), masking any
+    /// bits beyond `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `len` requires.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert!(
+            words.len() >= len.div_ceil(64),
+            "need {} words for {len} bits, got {}",
+            len.div_ceil(64),
+            words.len()
+        );
+        let mut v = BitVec { len, words };
+        v.words.truncate(len.div_ceil(64));
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a `len`-bit vector by repeating the 64 bits of `seed`.
+    ///
+    /// Useful for expanding a compact seed into a full automaton state.
+    pub fn from_seed_word(len: usize, seed: u64) -> Self {
+        let mut v = BitVec {
+            len,
+            words: vec![seed; len.div_ceil(64)],
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`, returning the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn toggle(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+        self.get(i)
+    }
+
+    /// Sets every bit to zero, keeping the length.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits, in `[0, 1]`. Returns 0 for an empty vector.
+    pub fn balance(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// In-place XOR with another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Hamming distance to another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            bits: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterator over all bits as booleans, ascending by index.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { bits: self, idx: 0 }
+    }
+
+    /// Copies the bits into a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Borrows the backing words (LSB-first packing).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns a sub-range `[start, start+len)` as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the vector.
+    pub fn slice(&self, start: usize, len: usize) -> BitVec {
+        assert!(
+            start + len <= self.len,
+            "slice {start}..{} out of range 0..{}",
+            start + len,
+            self.len
+        );
+        BitVec::from_bools((start..start + len).map(|i| self.get(i)))
+    }
+
+    /// Concatenates two vectors.
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        BitVec::from_bools(self.iter().chain(other.iter()))
+    }
+
+    /// Rotates the vector left by `n` positions (bit 0 moves toward the end).
+    pub fn rotate_left(&self, n: usize) -> BitVec {
+        if self.len == 0 {
+            return self.clone();
+        }
+        let n = n % self.len;
+        BitVec::from_bools((0..self.len).map(|i| self.get((i + n) % self.len)))
+    }
+
+    /// Zeroes any bits beyond `len` in the last word (internal invariant).
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(128) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 128 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitVec::from_bools(iter)
+    }
+}
+
+/// Iterator over indices of set bits. Created by [`BitVec::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    bits: &'a BitVec,
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> Iterator for IterOnes<'a> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + tz);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bits.words.len() {
+                return None;
+            }
+            self.current = self.bits.words[self.word_idx];
+        }
+    }
+}
+
+/// Iterator over all bits as booleans. Created by [`BitVec::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    bits: &'a BitVec,
+    idx: usize,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.idx < self.bits.len {
+            let b = self.bits.get(self.idx);
+            self.idx += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.bits.len - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a> ExactSizeIterator for Iter<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_have_expected_counts() {
+        assert_eq!(BitVec::zeros(130).count_ones(), 0);
+        assert_eq!(BitVec::ones(130).count_ones(), 130);
+        assert_eq!(BitVec::ones(64).count_ones(), 64);
+        assert_eq!(BitVec::ones(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut v = BitVec::zeros(200);
+        for i in [0, 1, 63, 64, 65, 127, 128, 199] {
+            v.set(i, true);
+            assert!(v.get(i), "bit {i} should be set");
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    fn from_bools_matches_manual_sets() {
+        let pattern = [true, false, false, true, true, false, true];
+        let v = BitVec::from_bools(pattern);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(v.get(i), b);
+        }
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_indices() {
+        let mut v = BitVec::zeros(300);
+        let idxs = [2usize, 63, 64, 130, 299];
+        for &i in &idxs {
+            v.set(i, true);
+        }
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), idxs);
+    }
+
+    #[test]
+    fn xor_assign_is_involutive() {
+        let a = BitVec::from_seed_word(100, 0xDEAD_BEEF_CAFE_F00D);
+        let b = BitVec::from_seed_word(100, 0x0123_4567_89AB_CDEF);
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        c.xor_assign(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        let a = BitVec::from_bools([true, true, false, false]);
+        let b = BitVec::from_bools([true, false, true, false]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn rotate_left_shifts_indices() {
+        let v = BitVec::from_bools([true, false, false, false, false]);
+        let r = v.rotate_left(1);
+        // Bit 0 of the rotated vector is old bit 1.
+        assert!(!r.get(0));
+        assert!(r.get(4));
+        assert_eq!(r.count_ones(), 1);
+        // Full rotation is identity.
+        assert_eq!(v.rotate_left(5), v);
+    }
+
+    #[test]
+    fn slice_and_concat_are_inverse() {
+        let v = BitVec::from_seed_word(90, 0xABCD_EF01_2345_6789);
+        let left = v.slice(0, 40);
+        let right = v.slice(40, 50);
+        assert_eq!(left.concat(&right), v);
+    }
+
+    #[test]
+    fn tail_bits_stay_masked() {
+        let v = BitVec::ones(70);
+        // Last word must only have 6 bits set.
+        assert_eq!(v.as_words()[1].count_ones(), 6);
+        let r = v.rotate_left(3);
+        assert_eq!(r.count_ones(), 70);
+    }
+
+    #[test]
+    fn balance_of_alternating_pattern_is_half() {
+        let v = BitVec::from_bools((0..100).map(|i| i % 2 == 0));
+        assert!((v.balance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        let v = BitVec::from_bools([true, false, true]);
+        assert_eq!(v.to_string(), "101");
+        assert!(!format!("{v:?}").is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Streaming statistics for experiments and benches.
+//!
+//! The experiment harness accumulates large Monte-Carlo populations
+//! (event overlaps, code errors, reconstruction PSNRs); [`RunningStats`]
+//! provides numerically stable single-pass moments (Welford) and
+//! [`Histogram`] fixed-bin counting with percentile queries.
+
+use std::fmt;
+
+/// Single-pass mean/variance/extrema accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use tepics_util::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} max={:.6}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Fixed-bin histogram over a closed range, with saturating edge bins.
+///
+/// Observations below the range land in the first bin, above in the last,
+/// so no sample is ever dropped (important when measuring error tails).
+///
+/// # Examples
+///
+/// ```
+/// use tepics_util::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.push(0.5);
+/// h.push(9.5);
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[9], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `bins` equal-width bins spanning `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds one observation (clamped into the edge bins).
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Approximate `p`-quantile (0 ≤ p ≤ 1) from the binned data.
+    ///
+    /// Returns the center of the bin where the cumulative count crosses
+    /// `p * total`, or `lo` when empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return self.lo;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return self.bin_center(i);
+            }
+        }
+        self.bin_center(self.counts.len() - 1)
+    }
+
+    /// Renders a compact ASCII bar chart, one line per bin.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!("{:>10.3} | {:<width$} {}\n", self.bin_center(i), bar, c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_moments() {
+        let xs = [1.5, -2.0, 0.25, 8.0, 3.5, 3.5];
+        let mut s = RunningStats::new();
+        s.extend(xs.iter().copied());
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), -2.0);
+        assert_eq!(s.max(), 8.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0).collect();
+        let mut whole = RunningStats::new();
+        whole.extend(xs.iter().copied());
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        left.extend(xs[..37].iter().copied());
+        right.extend(xs[37..].iter().copied());
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_saturates() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [-5.0, 0.1, 0.3, 0.6, 0.9, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts(), &[2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn histogram_quantile_is_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.push(i as f64 / 10.0);
+        }
+        let q25 = h.quantile(0.25);
+        let q50 = h.quantile(0.5);
+        let q75 = h.quantile(0.75);
+        assert!(q25 <= q50 && q50 <= q75);
+        assert!((q50 - 50.0).abs() < 2.0, "median {q50} off");
+    }
+
+    #[test]
+    fn ascii_render_contains_all_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.push(0.5);
+        let art = h.to_ascii(20);
+        assert_eq!(art.lines().count(), 3);
+    }
+}

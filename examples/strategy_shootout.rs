@@ -1,0 +1,63 @@
+//! Strategy shoot-out: the Rule-30 CA against every cited alternative.
+//!
+//! ```text
+//! cargo run --release --example strategy_shootout
+//! ```
+//!
+//! Sect. III.A argues for a 1-D cellular automaton over Hadamard vectors
+//! [13] and LFSRs [14]; the idealized thresholded-Gaussian ensemble of
+//! Sect. I is the theory reference point. Because [`StrategyKind`] is a
+//! wire-level field, the whole pipeline swaps generators with one line —
+//! this example reconstructs the same scene under each and prints the
+//! league table.
+
+use tepics::core::pipeline::evaluate;
+use tepics::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let side = 32;
+    let ratio = 0.35;
+    let scene = Scene::piecewise_smooth(5).render(side, side, 21);
+
+    let strategies: Vec<(&str, StrategyKind)> = vec![
+        ("CA Rule 30 (the chip)", StrategyKind::default_for(side, side)),
+        (
+            "CA Rule 90 (additive)",
+            StrategyKind::CellularAutomaton {
+                rule: 90,
+                warmup: 128,
+                steps_per_sample: 1,
+            },
+        ),
+        ("LFSR-16 (ref. [14])", StrategyKind::Lfsr { width: 16 }),
+        ("Hadamard (ref. [13])", StrategyKind::Hadamard),
+        ("Bernoulli (idealized)", StrategyKind::Bernoulli),
+    ];
+
+    println!("scene: piecewise-smooth, {side}x{side}, R = {ratio}");
+    println!("\n strategy                 |  PSNR(dB) |  SSIM | iters");
+    println!("--------------------------+-----------+-------+------");
+    for (name, strategy) in strategies {
+        let imager = CompressiveImager::builder(side, side)
+            .ratio(ratio)
+            .seed(0x57A7)
+            .strategy(strategy)
+            .build()?;
+        let report = evaluate(&imager, |_| {}, &scene)?;
+        println!(
+            " {name:<24} |   {:6.1}  | {:.3} | {:4}",
+            report.psnr_code_db, report.ssim_code, report.iterations
+        );
+    }
+    println!(
+        "\nThe CA matches the idealized ensemble while needing only {} cells\n\
+         of on-chip state and no matrix storage at either end of the link.\n\
+         Rule 90 collapses: additive rules are nilpotent on power-of-two\n\
+         rings (T^64 = 0 on {} cells), so the automaton reaches the all-zero\n\
+         state during warm-up and stops selecting pixels — the concrete\n\
+         version of the paper's insistence on class-III (Rule 30) behavior.",
+        2 * side,
+        2 * side
+    );
+    Ok(())
+}

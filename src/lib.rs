@@ -1,0 +1,54 @@
+//! # TEPICS — Time-Encoded PIxel Compressive Sampling
+//!
+//! A full-system Rust reproduction of *"Concurrent focal-plane generation
+//! of compressed samples from time-encoded pixel values"* (Trevisi et
+//! al., DATE 2018): an event-accurate simulator of the proposed 64×64
+//! compressive-sampling image sensor, its Rule-30 cellular-automaton
+//! measurement generator, the sparse-recovery decoder, and the baselines
+//! the paper compares against.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! namespace. See the individual crates for deep documentation:
+//!
+//! * [`ca`] — cellular automata, LFSR, Hadamard pattern generators.
+//! * [`imaging`] — images, synthetic scenes, metrics, transforms.
+//! * [`cs`] — measurement operators, dictionaries, matrix analysis.
+//! * [`recovery`] — FISTA/ISTA/OMP/CoSaMP/IHT sparse recovery.
+//! * [`sensor`] — the event-accurate chip simulator.
+//! * [`core`] — the end-to-end imager/decoder pipeline.
+//! * [`util`] — bit vectors, deterministic RNG, statistics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tepics::prelude::*;
+//!
+//! // Capture a 32×32 synthetic scene at compression ratio 0.35 and
+//! // reconstruct it from the compressed samples alone: the decoder
+//! // receives only the frame (samples + 64-bit seed), never Φ.
+//! let scene = Scene::gaussian_blobs(3).render(32, 32, 7);
+//! let imager = CompressiveImager::builder(32, 32)
+//!     .ratio(0.35)
+//!     .seed(42)
+//!     .build()
+//!     .expect("valid configuration");
+//! let frame = imager.capture(&scene);
+//! let decoder = Decoder::for_frame(&frame).expect("frame is well-formed");
+//! let recon = decoder.reconstruct(&frame).expect("recovery converges");
+//! let truth = imager.ideal_codes(&scene);
+//! let db = psnr(&truth.to_code_f64(), recon.code_image(), 255.0);
+//! assert!(db > 18.0, "PSNR {db} dB unexpectedly low");
+//! ```
+
+pub use tepics_ca as ca;
+pub use tepics_core as core;
+pub use tepics_cs as cs;
+pub use tepics_imaging as imaging;
+pub use tepics_recovery as recovery;
+pub use tepics_sensor as sensor;
+pub use tepics_util as util;
+
+/// One-stop imports for the common capture → transmit → reconstruct flow.
+pub mod prelude {
+    pub use tepics_core::prelude::*;
+}

@@ -1,0 +1,134 @@
+//! Integration: event-level behavior of the asynchronous readout.
+
+use tepics::ca::{CaSource, ElementaryRule};
+use tepics::imaging::Scene;
+use tepics::sensor::{Fidelity, FrameReadout, SensorConfig};
+
+fn ca_source(config: &SensorConfig, seed: u64) -> CaSource {
+    CaSource::new(
+        config.rows() + config.cols(),
+        seed,
+        ElementaryRule::RULE_30,
+        128,
+        1,
+    )
+}
+
+/// When events are too short to ever collide, the event-accurate
+/// simulation must equal the functional model exactly — the strongest
+/// cross-validation between the two readout paths.
+#[test]
+fn event_accurate_equals_functional_without_contention() {
+    let config = SensorConfig::builder(24, 24)
+        .event_duration(1e-13)
+        .release_delay(0.0)
+        .build()
+        .unwrap();
+    for scene_seed in [1u64, 2, 3] {
+        let scene = Scene::natural_like().render(24, 24, scene_seed);
+        let functional = FrameReadout::new(config.clone(), Fidelity::Functional)
+            .capture(&scene, &mut ca_source(&config, 9), 60);
+        let event = FrameReadout::new(config.clone(), Fidelity::EventAccurate)
+            .capture(&scene, &mut ca_source(&config, 9), 60);
+        assert_eq!(functional.samples, event.samples, "seed {scene_seed}");
+        assert_eq!(event.stats.missed_pulses, 0);
+        assert_eq!(event.stats.error_fraction(), 0.0);
+    }
+}
+
+/// Longer events mean more queueing and more LSB errors — the
+/// serialization error must grow monotonically with event duration.
+#[test]
+fn code_errors_grow_with_event_duration() {
+    let scene = Scene::Uniform(0.45).render(24, 24, 0); // max contention
+    let mut last_err = -1.0;
+    for duration in [1e-9, 20e-9, 80e-9] {
+        let config = SensorConfig::builder(24, 24)
+            .event_duration(duration)
+            .build()
+            .unwrap();
+        let frame = FrameReadout::new(config.clone(), Fidelity::EventAccurate)
+            .capture(&scene, &mut ca_source(&config, 3), 40);
+        let err = frame.stats.mean_error_lsb();
+        assert!(
+            err >= last_err,
+            "mean LSB error fell from {last_err} to {err} at duration {duration}"
+        );
+        last_err = err;
+    }
+    assert!(last_err > 0.0, "80 ns events on a flat scene must show errors");
+}
+
+/// The paper's design guarantee: the token protocol never loses a pulse
+/// to contention — every selected, in-window pixel is counted exactly
+/// once per sample.
+#[test]
+fn no_pulse_is_ever_dropped_by_arbitration() {
+    let config = SensorConfig::builder(16, 16)
+        .event_duration(100e-9) // brutal contention on purpose
+        .build()
+        .unwrap();
+    let scene = Scene::Uniform(0.6).render(16, 16, 0);
+    let functional = FrameReadout::new(config.clone(), Fidelity::Functional)
+        .capture(&scene, &mut ca_source(&config, 5), 30);
+    let event = FrameReadout::new(config.clone(), Fidelity::EventAccurate)
+        .capture(&scene, &mut ca_source(&config, 5), 30);
+    // Same number of pulses observed...
+    assert_eq!(functional.stats.total_pulses, event.stats.total_pulses);
+    // ...and any sample difference is from delays, not lost pulses: with
+    // a bright flat scene nothing leaves the window even delayed, so
+    // per-sample pulse accounting must match. Verify via missed counts.
+    assert_eq!(event.stats.missed_pulses, 0);
+    // Sample values may only *grow* under delay (counter is monotone).
+    for (f, e) in functional.samples.iter().zip(&event.samples) {
+        assert!(e >= f, "event sample {e} below functional {f}");
+    }
+}
+
+/// Overflow detection: a deliberately undersized accumulator
+/// configuration must be caught by the sticky flags, not silently wrap.
+#[test]
+fn undersized_widths_are_reported_not_wrapped() {
+    // 4-bit counter on a 16-row column: column width = 4 + 4 = 8 bits,
+    // worst case sum = 16 × 15 = 240 < 255 — fits. To force overflow we
+    // need the sample accumulator: build a custom SampleAdd through the
+    // tdc API instead.
+    use tepics::sensor::tdc::{Conversion, SampleAdd};
+    let tiny = SensorConfig::builder(4, 2)
+        .counter_bits(2)
+        .build()
+        .unwrap();
+    let mut sa = SampleAdd::for_config(&tiny);
+    for _ in 0..6 {
+        sa.add(0, Conversion::Code(3)); // 18 > 4-bit column max 15
+    }
+    let word = sa.finish();
+    assert!(word.column_overflow, "overflow must latch");
+    // After reset the flag clears.
+    sa.add(0, Conversion::Code(1));
+    let word = sa.finish();
+    assert!(!word.column_overflow);
+}
+
+/// Determinism across the whole stack: identical inputs give identical
+/// frames, including under noise.
+#[test]
+fn noisy_event_capture_is_bit_reproducible() {
+    let config = SensorConfig::builder(16, 16)
+        .jitter_sigma(10e-9)
+        .offset_sigma_volts(3e-3)
+        .fpn_gain_sigma(0.01)
+        .noise_seed(1234)
+        .build()
+        .unwrap();
+    let scene = Scene::gaussian_blobs(2).render(16, 16, 6);
+    let capture = |seed| {
+        FrameReadout::new(config.clone(), Fidelity::EventAccurate).capture(
+            &scene,
+            &mut ca_source(&config, seed),
+            25,
+        )
+    };
+    assert_eq!(capture(8), capture(8));
+    assert_ne!(capture(8).samples, capture(9).samples);
+}

@@ -1,0 +1,142 @@
+//! Property-based tests spanning the workspace (proptest).
+//!
+//! Each property encodes a system invariant the pipeline depends on:
+//! CA stepping equivalence, arbiter serialization, transform
+//! orthonormality, wire-format losslessness, XOR-measurement counting.
+
+use proptest::prelude::*;
+use tepics::ca::{Automaton1D, Boundary, ElementaryRule};
+use tepics::core::{CompressedFrame, FrameHeader, StrategyKind};
+use tepics::cs::measurement::SelectionMeasurement;
+use tepics::cs::XorMeasurement;
+use tepics::imaging::{Dct2d, Haar2d};
+use tepics::sensor::ColumnArbiter;
+use tepics::util::BitVec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Word-parallel CA stepping equals the per-cell reference for any
+    /// rule, size, boundary and seed.
+    #[test]
+    fn ca_word_parallel_matches_reference(
+        rule in 0u8..=255,
+        cells in 1usize..200,
+        seed in any::<u64>(),
+        periodic in any::<bool>(),
+        steps in 1usize..16,
+    ) {
+        let boundary = if periodic { Boundary::Periodic } else { Boundary::Fixed(false) };
+        let init = Automaton1D::from_seed(cells, seed, ElementaryRule::new(rule), boundary);
+        let mut fast = init.clone();
+        let mut slow = init;
+        for _ in 0..steps {
+            fast.step();
+            slow.step_reference();
+        }
+        prop_assert_eq!(fast.state(), slow.state());
+    }
+
+    /// The column arbiter never drops a pulse, never overlaps two
+    /// events, never grants before the flip, and releases top-down.
+    #[test]
+    fn arbiter_invariants(
+        times in prop::collection::vec(0.0f64..20e-6, 1..64),
+        duration_ns in 1.0f64..200.0,
+    ) {
+        let pulses: Vec<(usize, f64)> =
+            times.iter().enumerate().map(|(row, &t)| (row, t)).collect();
+        let arbiter = ColumnArbiter::with_timing(duration_ns * 1e-9, 1e-9);
+        let outcome = arbiter.arbitrate(&pulses);
+        // No pulse dropped.
+        prop_assert_eq!(outcome.events.len(), pulses.len());
+        let mut rows: Vec<usize> = outcome.events.iter().map(|e| e.row).collect();
+        rows.sort_unstable();
+        prop_assert_eq!(rows, (0..pulses.len()).collect::<Vec<_>>());
+        // Serialized and causal.
+        let mut sorted = outcome.events.clone();
+        sorted.sort_by(|a, b| a.t_grant.partial_cmp(&b.t_grant).unwrap());
+        for pair in sorted.windows(2) {
+            prop_assert!(pair[1].t_grant >= pair[0].t_grant + duration_ns * 1e-9 - 1e-15);
+        }
+        for e in &outcome.events {
+            prop_assert!(e.t_grant >= e.t_flip - 1e-15);
+        }
+    }
+
+    /// DCT and Haar are exact inverses on arbitrary data.
+    #[test]
+    fn transforms_reconstruct_perfectly(
+        data in prop::collection::vec(-10.0f64..10.0, 64),
+    ) {
+        let dct = Dct2d::new(8, 8);
+        let back = dct.inverse(&dct.forward(&data));
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        let haar = Haar2d::new(8, 8, 3);
+        let back = haar.inverse(&haar.forward(&data));
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// The wire codec is lossless for arbitrary sample payloads.
+    #[test]
+    fn wire_format_roundtrips(
+        samples in prop::collection::vec(0u32..(1 << 20), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let frame = CompressedFrame {
+            header: FrameHeader {
+                rows: 64,
+                cols: 64,
+                code_bits: 8,
+                sample_bits: 20,
+                strategy: StrategyKind::rule30(100),
+                seed,
+            },
+            samples,
+        };
+        let back = CompressedFrame::from_bytes(&frame.to_bytes()).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    /// XOR-measurement row weight follows the closed form
+    /// `a(N−b) + (M−a)b` and the operator matches its own mask.
+    #[test]
+    fn xor_measurement_counting(
+        bits in prop::collection::vec(any::<bool>(), 24),
+    ) {
+        let m = 14usize;
+        let n = 10usize;
+        let pattern = BitVec::from_bools(bits.iter().copied());
+        let a = (0..m).filter(|&i| pattern.get(i)).count();
+        let b = (m..m + n).filter(|&i| pattern.get(i)).count();
+        let meas = XorMeasurement::from_patterns(m, n, vec![pattern]);
+        prop_assert_eq!(meas.ones_in_row(0), a * (n - b) + (m - a) * b);
+        prop_assert_eq!(meas.mask(0).count_ones(), meas.ones_in_row(0));
+    }
+
+    /// Sample values can never exceed the Eq. (1) bound
+    /// `(2^code_bits − 1) · selected`, and the selection never exceeds
+    /// M·N — so 20 bits always suffice at 64×64.
+    #[test]
+    fn sample_values_respect_eq1(
+        seed in any::<u64>(),
+        intensity in 0.0f64..1.0,
+    ) {
+        use tepics::prelude::*;
+        let scene = tepics::imaging::ImageF64::new(16, 16, intensity);
+        let imager = CompressiveImager::builder(16, 16)
+            .ratio(0.1)
+            .seed(seed)
+            .fidelity(Fidelity::Functional)
+            .build()
+            .unwrap();
+        let frame = imager.capture(&scene);
+        for &s in &frame.samples {
+            prop_assert!(s <= 255 * 256, "sample {s} exceeds Eq. (1) bound");
+        }
+    }
+}

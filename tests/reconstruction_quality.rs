@@ -1,0 +1,133 @@
+//! Integration: reconstruction-quality floors across the scene suite.
+//!
+//! These are regression rails, not benchmarks: each scene/dictionary
+//! pair must stay above a PSNR floor chosen ~3 dB below the measured
+//! value at the time of writing, so algorithmic regressions trip them
+//! while noise-level drift does not.
+
+use tepics::core::pipeline::evaluate;
+use tepics::prelude::*;
+
+fn imager(side: usize, ratio: f64) -> CompressiveImager {
+    CompressiveImager::builder(side, side)
+        .ratio(ratio)
+        .seed(0xF100D)
+        .fidelity(Fidelity::Functional)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn psnr_floors_per_scene_at_r_040() {
+    let im = imager(32, 0.40);
+    // Measured at the time of writing (R = 0.40, functional, seed
+    // 0xF100D/314): blobs 42.5, piecewise 30.0, natural 29.9, stars
+    // 18.9, bars 50.9, edge 47.1 dB. Floors sit ~4 dB under those.
+    // Stars are genuinely the hard case: the reciprocal transfer smears
+    // PSF tails across many code levels, inflating effective sparsity.
+    let floors: &[(&str, f64)] = &[
+        ("blobs", 38.0),
+        ("piecewise", 26.0),
+        ("natural", 26.0),
+        ("stars", 15.0),
+        ("bars", 46.0),
+        ("edge", 43.0),
+    ];
+    for (name, scene) in Scene::evaluation_suite() {
+        let img = scene.render(32, 32, 314);
+        let report = evaluate(&im, |_| {}, &img).unwrap();
+        let floor = floors
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| *f)
+            .unwrap_or(15.0);
+        assert!(
+            report.psnr_code_db > floor,
+            "{name}: {:.1} dB below floor {floor}",
+            report.psnr_code_db
+        );
+    }
+}
+
+#[test]
+fn identity_dictionary_is_competitive_on_star_fields() {
+    // In the code domain no dictionary dominates on stars (measured:
+    // DCT 19.4, identity+IHT 19.2, Haar 19.2 dB at R=0.3) because the
+    // reciprocal transfer spreads each PSF over many code levels. The
+    // test pins that parity: pixel-domain recovery must stay within
+    // 1.5 dB of the DCT default.
+    let im = imager(32, 0.3);
+    let scene = Scene::star_field(12).render(32, 32, 55);
+    let frame = im.capture(&scene);
+    let truth = im.ideal_codes(&scene).to_code_f64();
+    let db_for = |kind| {
+        let mut d = Decoder::for_frame(&frame).unwrap();
+        d.dictionary(kind);
+        if kind == DictionaryKind::Identity {
+            d.algorithm(Algorithm::Iht { sparsity: 150 });
+        }
+        psnr(&truth, d.reconstruct(&frame).unwrap().code_image(), 255.0)
+    };
+    let id = db_for(DictionaryKind::Identity);
+    let dct = db_for(DictionaryKind::Dct2d);
+    assert!(id > 16.0, "identity reconstruction too weak: {id:.1} dB");
+    assert!(
+        id > dct - 1.5,
+        "identity ({id:.1} dB) should be within 1.5 dB of DCT ({dct:.1} dB) on stars"
+    );
+}
+
+#[test]
+fn event_accurate_capture_costs_almost_nothing_in_psnr() {
+    // The paper's system-level claim: serialization-induced LSB errors
+    // have negligible influence on reconstruction.
+    let scene = Scene::gaussian_blobs(3).render(32, 32, 12);
+    let build = |fidelity| {
+        CompressiveImager::builder(32, 32)
+            .ratio(0.4)
+            .seed(9)
+            .fidelity(fidelity)
+            .build()
+            .unwrap()
+    };
+    let reference = build(Fidelity::Functional);
+    let event = build(Fidelity::EventAccurate);
+    let truth = reference.ideal_codes(&scene).to_code_f64();
+    let db_of = |im: &CompressiveImager| {
+        let frame = im.capture(&scene);
+        let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+        psnr(&truth, recon.code_image(), 255.0)
+    };
+    let db_functional = db_of(&reference);
+    let db_event = db_of(&event);
+    assert!(
+        db_functional - db_event < 1.5,
+        "event-accurate capture lost {:.2} dB — the paper claims negligible",
+        db_functional - db_event
+    );
+}
+
+#[test]
+fn noise_degrades_but_does_not_destroy() {
+    let scene = Scene::gaussian_blobs(3).render(32, 32, 21);
+    let noisy_cfg = SensorConfig::builder(32, 32)
+        .jitter_sigma(15e-9)
+        .offset_sigma_volts(2e-3)
+        .fpn_gain_sigma(0.01)
+        .build()
+        .unwrap();
+    let noisy = CompressiveImager::builder(32, 32)
+        .sensor_config(noisy_cfg)
+        .ratio(0.4)
+        .seed(3)
+        .build()
+        .unwrap();
+    let frame = noisy.capture(&scene);
+    let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+    // Compare against the *noiseless* ideal codes: FPN+jitter+arbitration
+    // all count as error here.
+    let clean = imager(32, 0.4);
+    let truth = clean.ideal_codes(&scene).to_code_f64();
+    let db = psnr(&truth, recon.code_image(), 255.0);
+    assert!(db > 18.0, "noisy reconstruction collapsed: {db:.1} dB");
+}
