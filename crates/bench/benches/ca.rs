@@ -26,12 +26,8 @@ fn bench_ca_step(c: &mut Criterion) {
             BenchmarkId::new("rule110_generic", cells),
             &cells,
             |b, &cells| {
-                let mut ca = Automaton1D::from_seed(
-                    cells,
-                    7,
-                    ElementaryRule::RULE_110,
-                    Boundary::Periodic,
-                );
+                let mut ca =
+                    Automaton1D::from_seed(cells, 7, ElementaryRule::RULE_110, Boundary::Periodic);
                 b.iter(|| {
                     ca.step();
                     black_box(ca.state().count_ones())
@@ -78,5 +74,10 @@ fn bench_lfsr_bits(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ca_step, bench_pattern_sources, bench_lfsr_bits);
+criterion_group!(
+    benches,
+    bench_ca_step,
+    bench_pattern_sources,
+    bench_lfsr_bits
+);
 criterion_main!(benches);

@@ -6,13 +6,79 @@
 //! experiments all           # run everything
 //! experiments table2 lsb    # run a subset
 //! experiments all --out results.md
+//! experiments --smoke       # tiny end-to-end batch; exit 1 on regression
 //! ```
 
 use std::io::Write as _;
 use tepics_bench::registry;
 
+/// CI smoke: a tiny 16×16 batch through the full capture→wire→recover
+/// pipeline on the parallel batch engine. Fails loudly (non-zero exit)
+/// if reconstruction quality, wire saving, or cross-thread determinism
+/// regress — so pipeline breakage fails CI even when no unit test
+/// covers it.
+fn smoke() {
+    use tepics_core::batch::BatchRunner;
+    use tepics_core::prelude::*;
+
+    let side = 16;
+    let imager = CompressiveImager::builder(side, side)
+        .ratio(0.35)
+        .seed(42)
+        .fidelity(Fidelity::Functional)
+        .build()
+        .expect("smoke imager config");
+    let scenes: Vec<ImageF64> = (0..8)
+        .map(|i| Scene::gaussian_blobs(3).render(side, side, i))
+        .collect();
+
+    let serial = BatchRunner::with_threads(1)
+        .run(&imager, &scenes)
+        .expect("smoke batch (1 thread)");
+    let parallel = BatchRunner::new()
+        .run(&imager, &scenes)
+        .expect("smoke batch (N threads)");
+    let summary = parallel.summary();
+    eprintln!(
+        "smoke: {} frames, mean PSNR {:.1} dB (min {:.1}), wire saving {:.1}%, {:.1} frames/s",
+        summary.frames,
+        summary.mean_psnr_db,
+        summary.min_psnr_db,
+        summary.wire_saving() * 100.0,
+        summary.frames_per_sec,
+    );
+    let mut failures = Vec::new();
+    if serial.reports != parallel.reports {
+        failures.push("parallel batch reports differ from serial".to_string());
+    }
+    if summary.mean_psnr_db < 15.0 {
+        failures.push(format!("mean PSNR {:.1} dB < 15.0", summary.mean_psnr_db));
+    }
+    if summary.min_psnr_db < 10.0 {
+        failures.push(format!("min PSNR {:.1} dB < 10.0", summary.min_psnr_db));
+    }
+    if summary.wire_saving() <= 0.0 {
+        failures.push(format!(
+            "wire saving {:.3} not positive",
+            summary.wire_saving()
+        ));
+    }
+    if failures.is_empty() {
+        eprintln!("smoke: OK");
+    } else {
+        for f in &failures {
+            eprintln!("smoke FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let registry = registry();
     let mut out_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -65,8 +131,8 @@ fn main() {
         combined.push_str("\n\n");
     }
     if let Some(path) = out_path {
-        let mut file = std::fs::File::create(&path)
-            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let mut file =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         file.write_all(combined.as_bytes())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("combined report written to {path}");

@@ -1,0 +1,87 @@
+//! (infrastructure) The parallel batch capture engine: scaling and
+//! determinism.
+//!
+//! The capture→wire→reconstruct loops of the experiment harness are
+//! embarrassingly parallel — like the parallel acquisition architecture
+//! of Björklund & Magli (arXiv:1311.0646), every compressed frame is an
+//! independent unit of work. This experiment measures how
+//! [`BatchRunner`] scales a batch of frames across worker threads and
+//! double-checks the engine's headline guarantee: per-frame reports are
+//! bit-identical at every thread count.
+
+use crate::report::{section, Table};
+use tepics_core::batch::BatchRunner;
+use tepics_core::prelude::*;
+use tepics_util::parallel::default_threads;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = String::from("# Batch capture engine — thread scaling & determinism\n");
+    let side = 32;
+    let frames = 24;
+    let imager = CompressiveImager::builder(side, side)
+        .ratio(0.3)
+        .seed(0xBA7C)
+        .fidelity(Fidelity::Functional)
+        .build()
+        .unwrap();
+    let scenes: Vec<ImageF64> = (0..frames)
+        .map(|i| Scene::gaussian_blobs(3).render(side, side, i))
+        .collect();
+
+    let hw = default_threads();
+    let mut sweep: Vec<usize> = vec![1, 2, 4, hw];
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    out.push_str(&section(&format!(
+        "{frames} frames of {side}×{side} at R = 0.30 ({hw} hardware threads)"
+    )));
+    let mut t = Table::new(&[
+        "threads",
+        "wall (s)",
+        "frames/s",
+        "speedup",
+        "mean PSNR (dB)",
+    ]);
+    let mut baseline: Option<(f64, Vec<_>)> = None;
+    let mut identical = true;
+    for &threads in &sweep {
+        let outcome = BatchRunner::with_threads(threads)
+            .run(&imager, &scenes)
+            .expect("batch pipeline");
+        let summary = outcome.summary();
+        let secs = outcome.elapsed.as_secs_f64();
+        let speedup = match &baseline {
+            Some((serial_secs, serial_reports)) => {
+                identical &= *serial_reports == outcome.reports;
+                serial_secs / secs
+            }
+            None => {
+                baseline = Some((secs, outcome.reports.clone()));
+                1.0
+            }
+        };
+        t.row_owned(vec![
+            threads.to_string(),
+            format!("{secs:.2}"),
+            format!("{:.1}", summary.frames_per_sec),
+            format!("{speedup:.2}×"),
+            format!("{:.1}", summary.mean_psnr_db),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nPer-frame reports bit-identical across thread counts: {}\n",
+        if identical { "YES" } else { "NO (BUG)" }
+    ));
+    out.push_str(
+        "\nEach frame owns its CA replay and solver state, so the only\n\
+         shared resource is the memory bus — scaling is near-linear until\n\
+         the solver's working set outgrows the last-level cache. The\n\
+         determinism check is the load-bearing property: it is what lets\n\
+         the noise/warm-up/ffvb sweeps keep their published numbers while\n\
+         running on however many cores CI happens to have.\n",
+    );
+    out
+}

@@ -8,7 +8,9 @@ use tepics_core::{CompressedFrame, FrameHeader, StrategyKind};
 pub fn run() -> String {
     let mut out = String::from("# Break-even — bits on the wire vs compression ratio\n");
 
-    out.push_str(&section("Payload accounting (64×64, 8b pixels, 20b samples)"));
+    out.push_str(&section(
+        "Payload accounting (64×64, 8b pixels, 20b samples)",
+    ));
     let raw = raw_bits(64, 64, 8);
     let mut t = Table::new(&["R", "K", "compressed bits", "raw bits", "verdict"]);
     for r in [0.05f64, 0.1, 0.2, 0.3, 0.39, 0.40, 0.41, 0.5] {

@@ -3,21 +3,29 @@
 //! randomness source where additive rules and bare LFSRs fail.
 
 use crate::report::{section, Table};
-use tepics_ca::analysis::{
-    analyze_sequence, cell_time_series, find_cycle, render_space_time,
-};
+use tepics_ca::analysis::{analyze_sequence, cell_time_series, find_cycle, render_space_time};
 use tepics_ca::{Automaton1D, Boundary, ElementaryRule, Lfsr};
 
 /// Runs the experiment.
 pub fn run() -> String {
     let mut out = String::from("# Rule 30 aperiodicity — class III diagnostics\n");
 
-    out.push_str(&section("State-cycle length on small rings (centered-one seed)"));
-    let mut t = Table::new(&["cells", "Rule 30", "Rule 45", "Rule 90", "Rule 110", "LFSR (2^w−1)"]);
+    out.push_str(&section(
+        "State-cycle length on small rings (centered-one seed)",
+    ));
+    let mut t = Table::new(&[
+        "cells",
+        "Rule 30",
+        "Rule 45",
+        "Rule 90",
+        "Rule 110",
+        "LFSR (2^w−1)",
+    ]);
     for cells in [8usize, 12, 16, 20] {
         let mut row = vec![cells.to_string()];
         for rule in [30u8, 45, 90, 110] {
-            let ca = Automaton1D::centered_one(cells, ElementaryRule::new(rule), Boundary::Periodic);
+            let ca =
+                Automaton1D::centered_one(cells, ElementaryRule::new(rule), Boundary::Periodic);
             let cycle = find_cycle(&ca, 3_000_000);
             row.push(match cycle {
                 Some(info) => info.period.to_string(),
@@ -53,11 +61,17 @@ pub fn run() -> String {
             let mut r30 =
                 Automaton1D::from_seed(64, 0xBEEF, ElementaryRule::RULE_30, Boundary::Periodic);
             r30.step_n(10_000);
-            if r30.state().count_ones() > 0 { "alive" } else { "dead" }
+            if r30.state().count_ones() > 0 {
+                "alive"
+            } else {
+                "dead"
+            }
         }
     ));
 
-    out.push_str(&section("Sequence quality of the selection bit stream (1024 steps)"));
+    out.push_str(&section(
+        "Sequence quality of the selection bit stream (1024 steps)",
+    ));
     let mut t = Table::new(&[
         "generator",
         "balance",

@@ -30,7 +30,10 @@ pub fn run() -> String {
     out.push_str(&section("N_B over pixel depths (64×64)"));
     let mut t = Table::new(&["N_b (bits)", "N_B (bits)"]);
     for nb in [4u32, 6, 8, 10, 12] {
-        t.row_owned(vec![nb.to_string(), eq1_sample_bits(nb, 64, 64).to_string()]);
+        t.row_owned(vec![
+            nb.to_string(),
+            eq1_sample_bits(nb, 64, 64).to_string(),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(

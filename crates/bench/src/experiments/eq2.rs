@@ -47,7 +47,9 @@ pub fn run() -> String {
         1e6 / rate
     ));
 
-    out.push_str(&section("Scaling: f_s needed to keep 30 fps-equivalent at other sizes"));
+    out.push_str(&section(
+        "Scaling: f_s needed to keep 30 fps-equivalent at other sizes",
+    ));
     let mut t = Table::new(&["array", "f_cs at R=0.4 (kHz)"]);
     for side in [16u32, 32, 64, 128] {
         t.row_owned(vec![

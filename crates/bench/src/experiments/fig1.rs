@@ -12,8 +12,8 @@ pub fn run() -> String {
     let config = SensorConfig::paper_prototype();
 
     out.push_str(&section("Single selected pixel (intensity 0.35)"));
-    let t_flip = tepics_sensor::photodiode::crossing_time(&config, 0.35)
-        + config.comparator_delay();
+    let t_flip =
+        tepics_sensor::photodiode::crossing_time(&config, 0.35) + config.comparator_delay();
     let trace = NodeTrace::simulate(&config, 0.35, true, t_flip, 100);
     out.push_str(&trace.to_ascii());
     out.push_str(&format!(
@@ -23,11 +23,15 @@ pub fn run() -> String {
         config.event_duration() * 1e9
     ));
 
-    out.push_str(&section("Unselected pixel (S_i = S_j): V2 stuck high, no pulse"));
+    out.push_str(&section(
+        "Unselected pixel (S_i = S_j): V2 stuck high, no pulse",
+    ));
     let quiet = NodeTrace::simulate(&config, 0.35, false, t_flip, 100);
     out.push_str(&quiet.to_ascii());
 
-    out.push_str(&section("Column protocol: near-simultaneous flips serialize"));
+    out.push_str(&section(
+        "Column protocol: near-simultaneous flips serialize",
+    ));
     let arbiter = ColumnArbiter::new(&config);
     let counter = GlobalCounter::new(&config);
     let outcome = arbiter.arbitrate(&[(12, 2.0e-6), (40, 2.000002e-6), (3, 2.000004e-6)]);

@@ -16,7 +16,10 @@ pub fn run() -> String {
     out.push_str(&section("CA ring accounting"));
     let cell = synthesize_rule(ElementaryRule::RULE_30);
     let mut t = Table::new(&["quantity", "value"]);
-    t.row_owned(vec!["ring cells (M + N)".into(), chip.ca_cell_count().to_string()]);
+    t.row_owned(vec![
+        "ring cells (M + N)".into(),
+        chip.ca_cell_count().to_string(),
+    ]);
     t.row_owned(vec![
         "gates per cell (SOP synthesis)".into(),
         cell.gate_count().to_string(),
@@ -27,7 +30,10 @@ pub fn run() -> String {
     ]);
     t.row_owned(vec![
         "total ring transistors (est.)".into(),
-        format!("{}", (cell.transistor_count() + 20) * chip.ca_cell_count() as u32),
+        format!(
+            "{}",
+            (cell.transistor_count() + 20) * chip.ca_cell_count() as u32
+        ),
     ]);
     t.row_owned(vec![
         "state to transmit/store instead of Φ".into(),

@@ -8,13 +8,18 @@ pub fn run() -> String {
     let mut out = String::from("# Figs. 4/5 — die and pixel area budgets\n");
     let chip = ChipModel::paper_prototype();
 
-    out.push_str(&section("Fig. 4 — die (paper: 3174 µm × 2227 µm incl. pads)"));
+    out.push_str(&section(
+        "Fig. 4 — die (paper: 3174 µm × 2227 µm incl. pads)",
+    ));
     let (aw, ah) = chip.array_extent_um();
     let mut t = Table::new(&["region", "value", "share of die"]);
     let die = chip.die_area_mm2();
     let rows: Vec<(String, f64)> = vec![
         ("pixel array".into(), chip.array_area_mm2()),
-        ("core periphery (CA, S&A, counter, bias)".into(), chip.core_area_mm2() - chip.array_area_mm2()),
+        (
+            "core periphery (CA, S&A, counter, bias)".into(),
+            chip.core_area_mm2() - chip.array_area_mm2(),
+        ),
         ("pad ring".into(), die - chip.core_area_mm2()),
     ];
     for (name, mm2) in rows {
@@ -24,7 +29,11 @@ pub fn run() -> String {
             format!("{:.1}%", mm2 / die * 100.0),
         ]);
     }
-    t.row_owned(vec!["TOTAL die".into(), format!("{die:.3} mm²"), "100%".into()]);
+    t.row_owned(vec![
+        "TOTAL die".into(),
+        format!("{die:.3} mm²"),
+        "100%".into(),
+    ]);
     out.push_str(&t.render());
     out.push_str(&format!(
         "\narray extent {aw:.0} µm × {ah:.0} µm (64 × 22 µm pitch); {} pads,\n\
@@ -33,7 +42,9 @@ pub fn run() -> String {
         chip.supply_pad_count()
     ));
 
-    out.push_str(&section("Fig. 5 — elementary pixel (paper: 22 µm × 22 µm, FF 9.2%)"));
+    out.push_str(&section(
+        "Fig. 5 — elementary pixel (paper: 22 µm × 22 µm, FF 9.2%)",
+    ));
     let mut t = Table::new(&["block", "area (µm²)", "share of pixel"]);
     let pixel = chip.pixel_area_um2();
     let pd = chip.photodiode_area_um2();
@@ -54,7 +65,11 @@ pub fn run() -> String {
             format!("{:.1}%", a / pixel * 100.0),
         ]);
     }
-    t.row_owned(vec!["TOTAL pixel".into(), format!("{pixel:.1}"), "100%".into()]);
+    t.row_owned(vec![
+        "TOTAL pixel".into(),
+        format!("{pixel:.1}"),
+        "100%".into(),
+    ]);
     out.push_str(&t.render());
     out.push_str(
         "\nThe 9.2% fill factor is the price of the in-pixel event logic —\n\

@@ -15,7 +15,9 @@ use tepics_imaging::psnr;
 pub fn run() -> String {
     let mut out = String::from("# 1 LSB serialization error — system-level verification\n");
 
-    out.push_str(&section("Code-error distribution at the paper's scale (64×64, R=0.38)"));
+    out.push_str(&section(
+        "Code-error distribution at the paper's scale (64×64, R=0.38)",
+    ));
     let scene = Scene::gaussian_blobs(4).render(64, 64, 7);
     let imager = CompressiveImager::builder(64, 64)
         .ratio(0.38)
@@ -48,8 +50,15 @@ pub fn run() -> String {
         stats.max_delay * 1e9,
     ));
 
-    out.push_str(&section("System level: reconstruction with vs without the error"));
-    let mut t = Table::new(&["scene", "PSNR functional (dB)", "PSNR event-accurate (dB)", "loss (dB)"]);
+    out.push_str(&section(
+        "System level: reconstruction with vs without the error",
+    ));
+    let mut t = Table::new(&[
+        "scene",
+        "PSNR functional (dB)",
+        "PSNR event-accurate (dB)",
+        "loss (dB)",
+    ]);
     for (name, scene_kind) in Scene::evaluation_suite().into_iter().take(4) {
         let scene = scene_kind.render(32, 32, 99);
         let build = |fidelity| {
@@ -64,7 +73,10 @@ pub fn run() -> String {
         let truth = reference.ideal_codes(&scene).to_code_f64();
         let db_of = |im: &CompressiveImager| {
             let frame = im.capture(&scene);
-            let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+            let recon = Decoder::for_frame(&frame)
+                .unwrap()
+                .reconstruct(&frame)
+                .unwrap();
             psnr(&truth, recon.code_image(), 255.0)
         };
         let f = db_of(&reference);

@@ -1,5 +1,6 @@
 //! One module per reproduced artifact — see DESIGN.md §5 for the index.
 
+pub mod batch;
 pub mod breakeven;
 pub mod ca_spectrum;
 pub mod eq1;

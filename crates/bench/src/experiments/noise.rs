@@ -6,54 +6,134 @@
 //! model exposes — comparator offset (with and without auto-zero),
 //! flip-time jitter, and photoresponse non-uniformity — and reports the
 //! end-to-end reconstruction cost of each.
+//!
+//! All sixteen sweep points are independent capture→recover loops, so
+//! they run as **one [`BatchRunner`] batch** fanned across worker
+//! threads; per-point results are sliced back out of the (input-ordered,
+//! thread-count-independent) report vector.
 
 use crate::report::{section, Table};
+use tepics_core::batch::BatchRunner;
+use tepics_core::params;
+use tepics_core::pipeline::PipelineReport;
 use tepics_core::prelude::*;
-use tepics_imaging::psnr;
+use tepics_core::CoreError;
+use tepics_imaging::{psnr, ssim};
 
-fn psnr_with(
-    configure: impl FnOnce(&mut tepics_sensor::SensorConfigBuilder),
-    scene: &ImageF64,
-) -> f64 {
-    let mut builder = SensorConfig::builder(32, 32);
+const SIDE: usize = 32;
+const RATIO: f64 = 0.38;
+const SEED: u64 = 0x0FF5E7;
+
+/// One sweep point: the sensor configuration to evaluate.
+struct Job {
+    config: SensorConfig,
+}
+
+fn job(configure: impl FnOnce(&mut tepics_sensor::SensorConfigBuilder)) -> Job {
+    let mut builder = SensorConfig::builder(SIDE, SIDE);
     configure(&mut builder);
-    let config = builder.build().unwrap();
-    let imager = CompressiveImager::builder(32, 32)
-        .sensor_config(config)
-        .ratio(0.38)
-        .seed(0x0FF5E7)
-        .build()
-        .unwrap();
-    let frame = imager.capture(scene);
-    let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
-    // Grade against the *noiseless* ideal codes: every analog error
-    // counts as reconstruction error.
-    let clean = CompressiveImager::builder(32, 32)
-        .ratio(0.38)
-        .seed(0x0FF5E7)
-        .build()
-        .unwrap();
-    let truth = clean.ideal_codes(scene).to_code_f64();
-    psnr(&truth, recon.code_image(), 255.0)
+    Job {
+        config: builder.build().unwrap(),
+    }
+}
+
+/// Runs one sweep point: capture with the noisy sensor, reconstruct,
+/// grade against `truth` — the *noiseless* ideal codes, computed once
+/// by the caller — so every analog error counts as reconstruction
+/// error.
+fn run_job(j: &Job, scene: &ImageF64, truth: &ImageF64) -> Result<PipelineReport, CoreError> {
+    let imager = CompressiveImager::builder(SIDE, SIDE)
+        .sensor_config(j.config.clone())
+        .ratio(RATIO)
+        .seed(SEED)
+        .build()?;
+    let (frame, event_stats) = imager.capture_with_stats(scene);
+    let recon = Decoder::for_frame(&frame)?.reconstruct(&frame)?;
+    let code_max = ((1u32 << frame.header.code_bits) - 1) as f64;
+    Ok(PipelineReport {
+        ratio: frame.ratio(),
+        psnr_code_db: psnr(truth, recon.code_image(), code_max),
+        ssim_code: ssim(truth, recon.code_image(), code_max),
+        wire_bits: frame.wire_bits(),
+        raw_bits: params::raw_bits(
+            frame.header.rows as u32,
+            frame.header.cols as u32,
+            frame.header.code_bits as u32,
+        ),
+        iterations: recon.stats().iterations,
+        event_stats,
+    })
 }
 
 /// Runs the experiment.
 pub fn run() -> String {
     let mut out = String::from("# Sensor non-idealities — the case for auto-zeroing\n");
-    let scene = Scene::gaussian_blobs(3).render(32, 32, 40);
+    let scene = Scene::gaussian_blobs(3).render(SIDE, SIDE, 40);
 
-    out.push_str(&section("Comparator offset at the default 1.5 V integration swing"));
-    let mut t = Table::new(&["offset σ (mV)", "scenario", "PSNR (dB)"]);
-    for (mv, label) in [
+    // Assemble the full sweep up front, then fan it out as one batch.
+    let offset_mv = [
         (0.0, "ideal comparators"),
         (2.0, "with auto-zero (residual)"),
         (8.0, "weak auto-zero"),
         (25.0, "no auto-zero (raw offset)"),
-    ] {
-        let db = psnr_with(|b| {
+    ];
+    let narrow_mv = [0.0, 2.0, 8.0, 25.0];
+    let jitter_ns = [0.0, 5.0, 20.0, 80.0];
+    let fpn_sigma = [0.0, 0.005, 0.02, 0.05];
+
+    let mut jobs: Vec<Job> = Vec::new();
+    for (mv, _) in offset_mv {
+        jobs.push(job(|b| {
             b.offset_sigma_volts(mv * 1e-3);
-        }, &scene);
-        t.row_owned(vec![format!("{mv:.0}"), label.into(), format!("{db:.1}")]);
+        }));
+    }
+    for mv in narrow_mv {
+        jobs.push(job(|b| {
+            // Narrow swing: rescale currents so the code range is kept.
+            b.v_ref(2.5)
+                .i_dark(2.14e-9 / 5.0)
+                .i_scale(42.9e-9 / 5.0)
+                .offset_sigma_volts(mv * 1e-3);
+        }));
+    }
+    for ns in jitter_ns {
+        jobs.push(job(|b| {
+            b.jitter_sigma(ns * 1e-9);
+        }));
+    }
+    for sigma in fpn_sigma {
+        jobs.push(job(|b| {
+            b.fpn_gain_sigma(sigma);
+        }));
+    }
+
+    // The noiseless truth is shared by every sweep point.
+    let truth = CompressiveImager::builder(SIDE, SIDE)
+        .ratio(RATIO)
+        .seed(SEED)
+        .build()
+        .unwrap()
+        .ideal_codes(&scene)
+        .to_code_f64();
+    let outcome = BatchRunner::new()
+        .run_jobs(&jobs, |j| run_job(j, &scene, &truth))
+        .expect("noise sweep pipeline");
+    let db: Vec<f64> = outcome.reports.iter().map(|r| r.psnr_code_db).collect();
+    // Slice the input-ordered results back into their sections.
+    let (offset_db, rest) = db.split_at(offset_mv.len());
+    let (narrow_db, rest) = rest.split_at(narrow_mv.len());
+    let (jitter_db, fpn_db) = rest.split_at(jitter_ns.len());
+
+    out.push_str(&section(
+        "Comparator offset at the default 1.5 V integration swing",
+    ));
+    let mut t = Table::new(&["offset σ (mV)", "scenario", "PSNR (dB)"]);
+    for ((mv, label), db) in offset_mv.iter().zip(offset_db) {
+        t.row_owned(vec![
+            format!("{mv:.0}"),
+            (*label).into(),
+            format!("{db:.1}"),
+        ]);
     }
     out.push_str(&t.render());
 
@@ -61,14 +141,7 @@ pub fn run() -> String {
         "…and at a narrowed swing (V_ref = 2.5 V, ΔV = 0.3 V — the adaptive-exposure regime)",
     ));
     let mut t = Table::new(&["offset σ (mV)", "σ / ΔV", "PSNR (dB)"]);
-    for mv in [0.0, 2.0, 8.0, 25.0] {
-        let db = psnr_with(|b| {
-            // Narrow swing: rescale currents so the code range is kept.
-            b.v_ref(2.5)
-                .i_dark(2.14e-9 / 5.0)
-                .i_scale(42.9e-9 / 5.0)
-                .offset_sigma_volts(mv * 1e-3);
-        }, &scene);
+    for (mv, db) in narrow_mv.iter().zip(narrow_db) {
         t.row_owned(vec![
             format!("{mv:.0}"),
             format!("{:.1}%", mv * 1e-3 / 0.3 * 100.0),
@@ -87,10 +160,7 @@ pub fn run() -> String {
 
     out.push_str(&section("Temporal jitter on the flip time"));
     let mut t = Table::new(&["jitter σ (ns)", "σ in LSB (41.7 ns clock)", "PSNR (dB)"]);
-    for ns in [0.0, 5.0, 20.0, 80.0] {
-        let db = psnr_with(|b| {
-            b.jitter_sigma(ns * 1e-9);
-        }, &scene);
+    for (ns, db) in jitter_ns.iter().zip(jitter_db) {
         t.row_owned(vec![
             format!("{ns:.0}"),
             format!("{:.2}", ns / 41.7),
@@ -106,10 +176,7 @@ pub fn run() -> String {
 
     out.push_str(&section("Photoresponse non-uniformity (gain FPN)"));
     let mut t = Table::new(&["gain σ", "PSNR (dB)"]);
-    for sigma in [0.0, 0.005, 0.02, 0.05] {
-        let db = psnr_with(|b| {
-            b.fpn_gain_sigma(sigma);
-        }, &scene);
+    for (sigma, db) in fpn_sigma.iter().zip(fpn_db) {
         t.row_owned(vec![format!("{:.1}%", sigma * 100.0), format!("{db:.1}")]);
     }
     out.push_str(&t.render());
@@ -119,5 +186,12 @@ pub fn run() -> String {
          behavioral model makes all three knobs orthogonal so silicon-\n\
          calibration studies can be rehearsed in simulation.\n",
     );
+    out.push_str(&format!(
+        "\n[batch: {} sweep points on {} threads in {:.2}s — {:.1} frames/s]\n",
+        outcome.reports.len(),
+        BatchRunner::new().threads(),
+        outcome.elapsed.as_secs_f64(),
+        outcome.summary().frames_per_sec,
+    ));
     out
 }

@@ -32,8 +32,7 @@ fn monte_carlo(n: usize, duration: f64, window: f64, trials: usize, seed: u64) -
     let t24 = 1.0 / 24e6;
     let t128 = 1.0 / 12.8e6;
     for _ in 0..trials {
-        let pulses: Vec<(usize, f64)> =
-            (0..n).map(|row| (row, rng.next_f64() * window)).collect();
+        let pulses: Vec<(usize, f64)> = (0..n).map(|row| (row, rng.next_f64() * window)).collect();
         let outcome = arbiter.arbitrate(&pulses);
         let queued = outcome.queued_count();
         if queued > 0 {
@@ -81,7 +80,10 @@ pub fn run() -> String {
     t.row_owned(vec![
         "P(any two events overlap in a sample)".into(),
         format!("{:.1}%", r.p_any_overlap * 100.0),
-        format!("{:.1}%  (1 − e^{{−n(n−1)d/T}})", (1.0 - (-n * (n - 1.0) * d / window).exp()) * 100.0),
+        format!(
+            "{:.1}%  (1 − e^{{−n(n−1)d/T}})",
+            (1.0 - (-n * (n - 1.0) * d / window).exp()) * 100.0
+        ),
     ]);
     t.row_owned(vec![
         "E[# delayed pulses per sample]".into(),
@@ -134,7 +136,12 @@ pub fn run() -> String {
     out.push_str(&t.render());
 
     out.push_str(&section("Sweep: event duration (n = 64)"));
-    let mut t = Table::new(&["duration", "P(any overlap)", "E[delayed]", "P(code shift @24MHz)"]);
+    let mut t = Table::new(&[
+        "duration",
+        "P(any overlap)",
+        "E[delayed]",
+        "P(code shift @24MHz)",
+    ]);
     for d in [1e-9, 5e-9, 20e-9, 80e-9] {
         let r = monte_carlo(64, d, window, trials / 2, 0xCA20);
         t.row_owned(vec![

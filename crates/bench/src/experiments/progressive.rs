@@ -26,7 +26,9 @@ pub fn run() -> String {
 
     for (name, scene_kind) in Scene::evaluation_suite().into_iter().take(3) {
         let scene = scene_kind.render(side, side, 123);
-        out.push_str(&section(&format!("Scene: {name} (of {total} samples total)")));
+        out.push_str(&section(&format!(
+            "Scene: {name} (of {total} samples total)"
+        )));
         let curve = progressive_psnr(&imager, &scene, &checkpoints).unwrap();
         let mut t = Table::new(&["received K", "effective R", "PSNR (dB)"]);
         for (k, db) in curve {

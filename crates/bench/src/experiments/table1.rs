@@ -42,7 +42,12 @@ pub fn run() -> String {
     ));
 
     out.push_str(&section("Fig. 3 cell implementations (gate level)"));
-    let mut t = Table::new(&["netlist", "gates", "transistors (est.)", "equivalent to Rule 30"]);
+    let mut t = Table::new(&[
+        "netlist",
+        "gates",
+        "transistors (est.)",
+        "equivalent to Rule 30",
+    ]);
     for (name, netlist) in [
         ("XOR + OR (direct)", rule30_cell()),
         ("NAND-only mapping", rule30_cell_nand()),

@@ -20,7 +20,10 @@ pub fn run() -> String {
     for (name, mw) in chip.power_budget_mw() {
         t.row_owned(vec![name, format!("{mw:.2}")]);
     }
-    t.row_owned(vec!["TOTAL".into(), format!("{:.1}", chip.total_power_mw())]);
+    t.row_owned(vec![
+        "TOTAL".into(),
+        format!("{:.1}", chip.total_power_mw()),
+    ]);
     out.push_str(&t.render());
     out.push_str(&format!(
         "\nTable II bound: predicted <100 mW; model total {:.1} mW -> {}\n",

@@ -4,6 +4,7 @@
 //! sample; this experiment shows what those choices cost.
 
 use crate::report::{section, Table};
+use tepics_core::batch::BatchRunner;
 use tepics_core::pipeline::evaluate;
 use tepics_core::prelude::*;
 
@@ -13,7 +14,9 @@ pub fn run() -> String {
     let side = 32;
     let scene = Scene::gaussian_blobs(3).render(side, side, 5);
 
-    out.push_str(&section("Early-pattern balance (single-one seed, no warm-up pathology)"));
+    out.push_str(&section(
+        "Early-pattern balance (single-one seed, no warm-up pathology)",
+    ));
     // With a *sparse* seed the early CA states are visibly structured —
     // show the selected-pixel fraction of the first patterns.
     let mut t = Table::new(&["pattern #", "warmup 0", "warmup 16", "warmup 128"]);
@@ -42,9 +45,15 @@ pub fn run() -> String {
     out.push_str(&t.render());
 
     out.push_str(&section("Reconstruction PSNR vs warm-up (R = 0.3)"));
-    let mut t = Table::new(&["warmup", "steps/sample", "PSNR (dB)", "SSIM"]);
-    for warmup in [0u16, 8, 64, 256] {
-        for steps in [1u8, 2] {
+    // Each (warmup, steps) point is an independent capture→recover
+    // loop; fan them out as one batch and read the input-ordered
+    // reports back.
+    let grid: Vec<(u16, u8)> = [0u16, 8, 64, 256]
+        .into_iter()
+        .flat_map(|warmup| [1u8, 2].map(|steps| (warmup, steps)))
+        .collect();
+    let outcome = BatchRunner::new()
+        .run_jobs(&grid, |&(warmup, steps)| {
             let strategy = StrategyKind::CellularAutomaton {
                 rule: 30,
                 warmup,
@@ -55,16 +64,18 @@ pub fn run() -> String {
                 .seed(1) // sparse-ish seed on purpose
                 .strategy(strategy)
                 .fidelity(Fidelity::Functional)
-                .build()
-                .unwrap();
-            let report = evaluate(&imager, |_| {}, &scene).unwrap();
-            t.row_owned(vec![
-                warmup.to_string(),
-                steps.to_string(),
-                format!("{:.1}", report.psnr_code_db),
-                format!("{:.3}", report.ssim_code),
-            ]);
-        }
+                .build()?;
+            evaluate(&imager, |_| {}, &scene)
+        })
+        .expect("warmup sweep pipeline");
+    let mut t = Table::new(&["warmup", "steps/sample", "PSNR (dB)", "SSIM"]);
+    for ((warmup, steps), report) in grid.iter().zip(&outcome.reports) {
+        t.row_owned(vec![
+            warmup.to_string(),
+            steps.to_string(),
+            format!("{:.1}", report.psnr_code_db),
+            format!("{:.3}", report.ssim_code),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(

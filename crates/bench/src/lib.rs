@@ -114,6 +114,11 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "(ablation) CA warm-up and step-per-sample knobs",
             run: experiments::warmup::run,
         },
+        Experiment {
+            id: "batch",
+            artifact: "(infrastructure) parallel batch engine — scaling & determinism",
+            run: experiments::batch::run,
+        },
     ]
 }
 
@@ -134,7 +139,15 @@ mod tests {
     /// reports. (The slow sweeps are exercised by the binary.)
     #[test]
     fn fast_experiments_produce_reports() {
-        for id in ["table1", "table2", "fig2", "fig45", "eq1", "eq2", "breakeven"] {
+        for id in [
+            "table1",
+            "table2",
+            "fig2",
+            "fig45",
+            "eq1",
+            "eq2",
+            "breakeven",
+        ] {
             let exp = registry()
                 .into_iter()
                 .find(|e| e.id == id)

@@ -270,7 +270,11 @@ mod tests {
         // Additive rules on small rings cycle quickly.
         let ca = Automaton1D::centered_one(8, ElementaryRule::RULE_90, Boundary::Periodic);
         let info = find_cycle(&ca, 10_000).expect("rule 90 must cycle fast on 8 cells");
-        assert!(info.period <= 64, "period {} unexpectedly long", info.period);
+        assert!(
+            info.period <= 64,
+            "period {} unexpectedly long",
+            info.period
+        );
     }
 
     #[test]
@@ -305,9 +309,9 @@ mod tests {
 
     #[test]
     fn linear_complexity_of_constant_sequences() {
-        assert_eq!(linear_complexity(&vec![false; 100]), 0);
+        assert_eq!(linear_complexity(&[false; 100]), 0);
         // All-ones is generated by an LFSR of length 1 (c(x) = 1 + x).
-        assert_eq!(linear_complexity(&vec![true; 100]), 1);
+        assert_eq!(linear_complexity(&[true; 100]), 1);
     }
 
     #[test]

@@ -116,12 +116,12 @@ impl Automaton1D {
         let rule = self.rule.number();
         // Rule 30 fast path: NS = L ^ (S | R).
         if rule == 30 {
-            for j in 0..n_words {
-                out[j] = l.as_words()[j] ^ (s.as_words()[j] | r.as_words()[j]);
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = l.as_words()[j] ^ (s.as_words()[j] | r.as_words()[j]);
             }
         } else {
             // Generic: OR of the minterms whose rule bit is set.
-            for j in 0..n_words {
+            for (j, o) in out.iter_mut().enumerate() {
                 let (lw, sw, rw) = (l.as_words()[j], s.as_words()[j], r.as_words()[j]);
                 let mut acc = 0u64;
                 for idx in 0..8u8 {
@@ -132,7 +132,7 @@ impl Automaton1D {
                         acc |= a & b & c;
                     }
                 }
-                out[j] = acc;
+                *o = acc;
             }
         }
         self.state = BitVec::from_words(self.state.len(), out);
@@ -321,6 +321,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one cell")]
     fn empty_automaton_panics() {
-        Automaton1D::new(BitVec::zeros(0), ElementaryRule::RULE_30, Boundary::Periodic);
+        Automaton1D::new(
+            BitVec::zeros(0),
+            ElementaryRule::RULE_30,
+            Boundary::Periodic,
+        );
     }
 }

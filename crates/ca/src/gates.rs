@@ -208,7 +208,9 @@ pub fn rule30_cell_nand() -> Netlist {
 /// via `XNOR(l, l)` / `XOR(l, l)` so every netlist has at least one gate.
 pub fn synthesize_rule(rule: ElementaryRule) -> Netlist {
     let mut n = Netlist::new(3);
-    let minterms: Vec<u8> = (0..8u8).filter(|&i| (rule.number() >> i) & 1 == 1).collect();
+    let minterms: Vec<u8> = (0..8u8)
+        .filter(|&i| (rule.number() >> i) & 1 == 1)
+        .collect();
     if minterms.is_empty() {
         let z = n.push(Gate::Xor(0, 0));
         n.set_outputs(vec![z]);
@@ -266,7 +268,10 @@ mod tests {
 
     #[test]
     fn fig3_cell_implements_rule_30() {
-        assert_eq!(check_against_rule(&rule30_cell(), ElementaryRule::RULE_30), None);
+        assert_eq!(
+            check_against_rule(&rule30_cell(), ElementaryRule::RULE_30),
+            None
+        );
     }
 
     #[test]

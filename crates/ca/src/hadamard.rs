@@ -64,7 +64,11 @@ impl HadamardRows {
     /// Row `k` truncated to the first `n` entries (for arrays whose size
     /// is not a power of two).
     pub fn row_truncated(&self, k: usize, n: usize) -> BitVec {
-        assert!(n <= self.order, "truncation {n} exceeds order {}", self.order);
+        assert!(
+            n <= self.order,
+            "truncation {n} exceeds order {}",
+            self.order
+        );
         self.row(k).slice(0, n)
     }
 

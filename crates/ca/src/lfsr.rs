@@ -13,37 +13,37 @@ use tepics_util::BitVec;
 /// maximal-length polynomials, widths 2..=32. Source: the classic
 /// XAPP052 table of primitive polynomials over GF(2).
 const MAXIMAL_TAPS: [&[u32]; 31] = [
-    &[2, 1],          // w=2
-    &[3, 2],          // w=3
-    &[4, 3],          // w=4
-    &[5, 3],          // w=5
-    &[6, 5],          // w=6
-    &[7, 6],          // w=7
-    &[8, 6, 5, 4],    // w=8
-    &[9, 5],          // w=9
-    &[10, 7],         // w=10
-    &[11, 9],         // w=11
-    &[12, 6, 4, 1],   // w=12
-    &[13, 4, 3, 1],   // w=13
-    &[14, 5, 3, 1],   // w=14
-    &[15, 14],        // w=15
-    &[16, 15, 13, 4], // w=16
-    &[17, 14],        // w=17
-    &[18, 11],        // w=18
-    &[19, 6, 2, 1],   // w=19
-    &[20, 17],        // w=20
-    &[21, 19],        // w=21
-    &[22, 21],        // w=22
-    &[23, 18],        // w=23
-    &[24, 23, 22, 17],// w=24
-    &[25, 22],        // w=25
-    &[26, 6, 2, 1],   // w=26
-    &[27, 5, 2, 1],   // w=27
-    &[28, 25],        // w=28
-    &[29, 27],        // w=29
-    &[30, 6, 4, 1],   // w=30
-    &[31, 28],        // w=31
-    &[32, 22, 2, 1],  // w=32
+    &[2, 1],           // w=2
+    &[3, 2],           // w=3
+    &[4, 3],           // w=4
+    &[5, 3],           // w=5
+    &[6, 5],           // w=6
+    &[7, 6],           // w=7
+    &[8, 6, 5, 4],     // w=8
+    &[9, 5],           // w=9
+    &[10, 7],          // w=10
+    &[11, 9],          // w=11
+    &[12, 6, 4, 1],    // w=12
+    &[13, 4, 3, 1],    // w=13
+    &[14, 5, 3, 1],    // w=14
+    &[15, 14],         // w=15
+    &[16, 15, 13, 4],  // w=16
+    &[17, 14],         // w=17
+    &[18, 11],         // w=18
+    &[19, 6, 2, 1],    // w=19
+    &[20, 17],         // w=20
+    &[21, 19],         // w=21
+    &[22, 21],         // w=22
+    &[23, 18],         // w=23
+    &[24, 23, 22, 17], // w=24
+    &[25, 22],         // w=25
+    &[26, 6, 2, 1],    // w=26
+    &[27, 5, 2, 1],    // w=27
+    &[28, 25],         // w=28
+    &[29, 27],         // w=29
+    &[30, 6, 4, 1],    // w=30
+    &[31, 28],         // w=31
+    &[32, 22, 2, 1],   // w=32
 ];
 
 /// The register form: where the feedback XOR sits.

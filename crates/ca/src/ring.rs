@@ -129,15 +129,15 @@ impl GateLevelRing {
         for c in 0..=cycles {
             let ts = (c as f64 * clk_period / 1e-12).round() as u64;
             let mut wrote_ts = false;
-            for i in 0..n {
+            for (i, slot) in last.iter_mut().enumerate() {
                 let v = self.state.get(i);
-                if last[i] != Some(v) {
+                if *slot != Some(v) {
                     if !wrote_ts {
                         out.push_str(&format!("#{ts}\n"));
                         wrote_ts = true;
                     }
                     out.push_str(&format!("{}{}\n", u8::from(v), Self::ident(i)));
-                    last[i] = Some(v);
+                    *slot = Some(v);
                 }
             }
             if c < cycles {

@@ -97,13 +97,19 @@ impl BlockCs {
                 "block {block} below the practical minimum of 8"
             )));
         }
-        if width == 0 || height == 0 || width % block != 0 || height % block != 0 {
+        if width == 0
+            || height == 0
+            || !width.is_multiple_of(block)
+            || !height.is_multiple_of(block)
+        {
             return Err(CoreError::InvalidConfig(format!(
                 "{width}×{height} not divisible into {block}×{block} blocks"
             )));
         }
         if !(ratio > 0.0 && ratio <= 1.0) {
-            return Err(CoreError::InvalidConfig(format!("ratio {ratio} outside (0,1]")));
+            return Err(CoreError::InvalidConfig(format!(
+                "ratio {ratio} outside (0,1]"
+            )));
         }
         Ok(BlockCs {
             width,
@@ -198,15 +204,18 @@ impl BlockCs {
         let mut tiles = Vec::with_capacity(n_blocks);
         for b in 0..n_blocks {
             let phi = self.block_measurement(b);
-            let y: Vec<f64> = frame.samples
-                [b * frame.k_per_block..(b + 1) * frame.k_per_block]
+            let y: Vec<f64> = frame.samples[b * frame.k_per_block..(b + 1) * frame.k_per_block]
                 .iter()
                 .map(|&v| v as f64)
                 .collect();
             // Per-block mean split.
             let counts = phi.selection_counts();
             let cc = op::dot(&counts, &counts);
-            let mu = if cc > 0.0 { op::dot(&counts, &y) / cc } else { 0.0 };
+            let mu = if cc > 0.0 {
+                op::dot(&counts, &y) / cc
+            } else {
+                0.0
+            };
             let resid: Vec<f64> = y
                 .iter()
                 .zip(&counts)

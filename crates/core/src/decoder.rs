@@ -23,9 +23,9 @@ use crate::strategy::StrategyKind;
 use tepics_cs::dictionary::{
     Dct2dDictionary, Dictionary, Haar2dDictionary, IdentityDictionary, ZeroMeanDictionary,
 };
+use tepics_cs::measurement::SelectionMeasurement;
 use tepics_cs::op;
 use tepics_cs::{ComposedOperator, XorMeasurement};
-use tepics_cs::measurement::SelectionMeasurement;
 use tepics_imaging::ImageF64;
 use tepics_recovery::{debias::debias, CoSaMp, Fista, Iht, Omp, SolveStats};
 use tepics_sensor::{CodeTransfer, SensorConfig};
@@ -229,7 +229,9 @@ impl Decoder {
     /// Returns [`CoreError::InvalidConfig`] if the strategy parameters
     /// are invalid.
     pub fn rebuild_measurement(&self, k: usize) -> Result<XorMeasurement, CoreError> {
-        let mut source = self.strategy.build_source(self.rows + self.cols, self.seed)?;
+        let mut source = self
+            .strategy
+            .build_source(self.rows + self.cols, self.seed)?;
         Ok(XorMeasurement::from_source(
             self.rows,
             self.cols,
@@ -305,9 +307,7 @@ impl Decoder {
                 }
             }
             Algorithm::Omp { atoms } => Omp::new(atoms.max(1)).solve(&a, &resid)?,
-            Algorithm::CoSamp { sparsity } => {
-                CoSaMp::new(sparsity.max(1)).solve(&a, &resid)?
-            }
+            Algorithm::CoSamp { sparsity } => CoSaMp::new(sparsity.max(1)).solve(&a, &resid)?,
             Algorithm::Iht { sparsity } => Iht::new(sparsity.max(1)).solve(&a, &resid)?,
         };
         let stats = recovery.stats.clone();
@@ -350,7 +350,10 @@ mod tests {
         let im = imager(0.2, 3);
         let scene = Scene::Uniform(0.5).render(16, 16, 0);
         let frame = im.capture(&scene);
-        let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+        let recon = Decoder::for_frame(&frame)
+            .unwrap()
+            .reconstruct(&frame)
+            .unwrap();
         let truth = im.ideal_codes(&scene).to_code_f64();
         let db = psnr(&truth, recon.code_image(), 255.0);
         assert!(db > 45.0, "uniform reconstruction {db} dB");
@@ -363,7 +366,10 @@ mod tests {
         let im = imager(0.4, 7);
         let scene = Scene::gaussian_blobs(2).render(16, 16, 11);
         let frame = im.capture(&scene);
-        let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+        let recon = Decoder::for_frame(&frame)
+            .unwrap()
+            .reconstruct(&frame)
+            .unwrap();
         let truth = im.ideal_codes(&scene).to_code_f64();
         let db = psnr(&truth, recon.code_image(), 255.0);
         assert!(db > 24.0, "blobs reconstruction {db} dB");
@@ -376,7 +382,10 @@ mod tests {
         for ratio in [0.1, 0.25, 0.45] {
             let im = imager(ratio, 5);
             let frame = im.capture(&scene);
-            let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+            let recon = Decoder::for_frame(&frame)
+                .unwrap()
+                .reconstruct(&frame)
+                .unwrap();
             let truth = im.ideal_codes(&scene).to_code_f64();
             let db = psnr(&truth, recon.code_image(), 255.0);
             assert!(
@@ -416,7 +425,10 @@ mod tests {
         let truth = im.ideal_codes(&scene).to_code_f64();
         let db = psnr(&truth, recon.code_image(), 255.0);
         let im_db = {
-            let good = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+            let good = Decoder::for_frame(&frame)
+                .unwrap()
+                .reconstruct(&frame)
+                .unwrap();
             psnr(&truth, good.code_image(), 255.0)
         };
         assert!(
@@ -458,7 +470,11 @@ mod tests {
         let mut haar = Decoder::for_frame(&frame).unwrap();
         haar.dictionary(DictionaryKind::Haar2d);
         let db_dct = psnr(&truth, dct.reconstruct(&frame).unwrap().code_image(), 255.0);
-        let db_haar = psnr(&truth, haar.reconstruct(&frame).unwrap().code_image(), 255.0);
+        let db_haar = psnr(
+            &truth,
+            haar.reconstruct(&frame).unwrap().code_image(),
+            255.0,
+        );
         assert!(
             db_haar > db_dct,
             "Haar {db_haar:.1} dB should beat DCT {db_dct:.1} dB on a checkerboard"
@@ -470,8 +486,14 @@ mod tests {
         let im = imager(0.3, 21);
         let scene = Scene::LinearGradient { angle: 0.0 }.render(16, 16, 0);
         let frame = im.capture(&scene);
-        let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+        let recon = Decoder::for_frame(&frame)
+            .unwrap()
+            .reconstruct(&frame)
+            .unwrap();
         let intensity = recon.to_intensity(im.sensor_config());
-        assert!(intensity.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(intensity
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 }

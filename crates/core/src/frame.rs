@@ -167,7 +167,7 @@ impl BitWriter {
     fn write(&mut self, value: u32, bits: u32) {
         debug_assert!(bits <= 32);
         for i in (0..bits).rev() {
-            if self.bit_pos % 8 == 0 {
+            if self.bit_pos.is_multiple_of(8) {
                 self.bytes.push(0);
             }
             let bit = (value >> i) & 1;

@@ -100,8 +100,7 @@ impl CompressiveImager {
             .strategy
             .build_source(self.config.rows() + self.config.cols(), self.seed)
             .expect("strategy validated at build time");
-        let captured: CapturedFrame =
-            readout.capture(scene, source.as_mut(), self.sample_count());
+        let captured: CapturedFrame = readout.capture(scene, source.as_mut(), self.sample_count());
         let header = FrameHeader {
             rows: self.config.rows() as u16,
             cols: self.config.cols() as u16,
@@ -195,7 +194,9 @@ impl CompressiveImagerBuilder {
             )));
         }
         if self.rows > u16::MAX as usize || self.cols > u16::MAX as usize {
-            return Err(CoreError::InvalidConfig("array exceeds 65535 per side".into()));
+            return Err(CoreError::InvalidConfig(
+                "array exceeds 65535 per side".into(),
+            ));
         }
         let config = match &self.config {
             Some(c) => {
@@ -236,9 +237,15 @@ mod tests {
 
     #[test]
     fn sample_count_follows_ratio() {
-        let imager = CompressiveImager::builder(16, 16).ratio(0.25).build().unwrap();
+        let imager = CompressiveImager::builder(16, 16)
+            .ratio(0.25)
+            .build()
+            .unwrap();
         assert_eq!(imager.sample_count(), 64);
-        let imager = CompressiveImager::builder(16, 16).ratio(1.0).build().unwrap();
+        let imager = CompressiveImager::builder(16, 16)
+            .ratio(1.0)
+            .build()
+            .unwrap();
         assert_eq!(imager.sample_count(), 256);
     }
 
@@ -261,7 +268,10 @@ mod tests {
 
     #[test]
     fn capture_roundtrips_through_wire_format() {
-        let imager = CompressiveImager::builder(16, 16).ratio(0.2).build().unwrap();
+        let imager = CompressiveImager::builder(16, 16)
+            .ratio(0.2)
+            .build()
+            .unwrap();
         let scene = Scene::gaussian_blobs(2).render(16, 16, 5);
         let frame = imager.capture(&scene);
         let back = CompressedFrame::from_bytes(&frame.to_bytes()).unwrap();
@@ -305,7 +315,10 @@ mod tests {
 
     #[test]
     fn stats_are_populated_in_event_mode() {
-        let imager = CompressiveImager::builder(16, 16).ratio(0.1).build().unwrap();
+        let imager = CompressiveImager::builder(16, 16)
+            .ratio(0.1)
+            .build()
+            .unwrap();
         let scene = Scene::Uniform(0.4).render(16, 16, 0);
         let (_, stats) = imager.capture_with_stats(&scene);
         assert!(stats.total_pulses > 0);

@@ -26,6 +26,9 @@
 //!   mean from the known per-row selection counts, and runs sparse
 //!   recovery (FISTA/OMP/CoSaMP/IHT over DCT/Haar/identity).
 //! * [`pipeline`] — capture → wire → reconstruct → quality report.
+//! * [`batch`] — fans many capture→recover loops across worker threads
+//!   and aggregates the reports (mean/percentile PSNR, wire totals,
+//!   frames/sec) with bit-identical results at any thread count.
 //! * [`BlockCs`] — the block-based CS baseline of refs. \[6–8\]/\[11\].
 //! * [`params`] — Eq. (1)/(2) and the compression break-even point.
 //!
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod decoder;
 pub mod error;
 pub mod frame;
@@ -62,6 +66,7 @@ pub mod strategy;
 pub mod video;
 
 pub use baseline::BlockCs;
+pub use batch::{BatchOutcome, BatchRunner, BatchSummary};
 pub use decoder::{Algorithm, Decoder, DictionaryKind, Reconstruction};
 pub use error::CoreError;
 pub use frame::{CompressedFrame, FrameHeader};
@@ -71,6 +76,7 @@ pub use strategy::StrategyKind;
 /// One-stop imports for the capture → transmit → reconstruct flow.
 pub mod prelude {
     pub use crate::baseline::BlockCs;
+    pub use crate::batch::{BatchOutcome, BatchRunner, BatchSummary};
     pub use crate::decoder::{Algorithm, Decoder, DictionaryKind, Reconstruction};
     pub use crate::frame::CompressedFrame;
     pub use crate::imager::CompressiveImager;

@@ -94,9 +94,7 @@ impl StrategyKind {
                 Ok(Box::new(LfsrSource::new(pattern_len, width as u32, seed)))
             }
             StrategyKind::Hadamard => Ok(Box::new(HadamardSource::new(pattern_len, seed))),
-            StrategyKind::Bernoulli => {
-                Ok(Box::new(BernoulliSource::balanced(pattern_len, seed)))
-            }
+            StrategyKind::Bernoulli => Ok(Box::new(BernoulliSource::balanced(pattern_len, seed))),
         }
     }
 
@@ -188,7 +186,9 @@ mod tests {
             steps_per_sample: 0,
         };
         assert!(bad_steps.build_source(16, 1).is_err());
-        assert!(StrategyKind::Lfsr { width: 64 }.build_source(16, 1).is_err());
+        assert!(StrategyKind::Lfsr { width: 64 }
+            .build_source(16, 1)
+            .is_err());
     }
 
     #[test]

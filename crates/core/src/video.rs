@@ -111,9 +111,7 @@ impl SequenceDecoder {
             let phi = self.decoder.rebuild_measurement(frame.samples.len())?;
             let dict = IdentityDictionary::new(prev_codes.len());
             let a = ComposedOperator::new(&phi, &dict);
-            let delta = Iht::new(self.delta_sparsity)
-                .max_iter(200)
-                .solve(&a, &dy)?;
+            let delta = Iht::new(self.delta_sparsity).max_iter(200).solve(&a, &dy)?;
             self.frames_since_key += 1;
             let code_max = self.code_max;
             ImageF64::from_vec(
@@ -201,7 +199,7 @@ mod tests {
         let _b = seq.push(&frame).unwrap();
         let _c = seq.push(&frame).unwrap();
         let d = seq.push(&frame).unwrap(); // refreshed key
-        // All reconstructions of the same static frame agree.
+                                           // All reconstructions of the same static frame agree.
         assert_eq!(a, d);
     }
 

@@ -1,0 +1,268 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The TEPICS build environment has no access to a crates registry, so the
+//! workspace vendors this minimal, dependency-free re-implementation of the
+//! slice of criterion's API that the `tepics-bench` bench targets use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It measures wall-clock time with [`std::time::Instant`], auto-calibrates
+//! an iteration count against a small per-benchmark time budget, and prints
+//! a `name … time:  [median]  thrpt: […]` line per benchmark. It does no
+//! statistical analysis, produces no HTML reports, and ignores CLI flags
+//! (which keeps `cargo bench -- --whatever` from failing). When the build
+//! environment gains registry access, deleting this crate and pointing the
+//! workspace `criterion` dependency at crates.io restores the real harness
+//! with no source changes to the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark; tiny so `cargo bench` smoke runs stay
+/// fast — this shim exists to keep bench targets compiling and runnable,
+/// not to produce publishable numbers.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+/// Hard cap on timed iterations, so nanosecond-scale routines terminate.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; CLI flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<D: Display>(
+        &mut self,
+        id: D,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<D: Display>(&mut self, name: D) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Mirrors `Criterion::final_summary`; nothing to summarize here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in the printed report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<D: Display>(
+        &mut self,
+        id: D,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<D: Display, I: ?Sized>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (no-op; reports are printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-calibrating the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration pass: one untimed iteration, then estimate how many
+        // fit in the budget.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let budget_iters = (TIME_BUDGET.as_nanos() / once.as_nanos()).max(1);
+        let iters = u64::try_from(budget_iters)
+            .unwrap_or(MAX_ITERS)
+            .min(MAX_ITERS);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Throughput annotation for a benchmark, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark id combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self {
+            name: name.to_string(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Re-export so benches may `use criterion::black_box` as with the real
+/// crate (pre-0.5 style).
+pub use std::hint::black_box;
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<48} (no iterations recorded)");
+        return;
+    }
+    let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!("{name:<48} time: [{}]", format_ns(per_iter_ns));
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        let rate = count / (per_iter_ns / 1e9);
+        line.push_str(&format!("  thrpt: [{rate:.3e} {unit}]"));
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("rule30", 64).to_string(), "rule30/64");
+    }
+}

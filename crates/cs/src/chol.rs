@@ -96,8 +96,8 @@ impl Cholesky {
         let mut z = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[i * n + k] * z[k];
+            for (k, &zk) in z.iter().enumerate().take(i) {
+                sum -= self.l[i * n + k] * zk;
             }
             z[i] = sum / self.l[i * n + i];
         }
@@ -105,8 +105,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = z[i];
-            for k in i + 1..n {
-                sum -= self.l[k * n + i] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[k * n + i] * xk;
             }
             x[i] = sum / self.l[i * n + i];
         }
@@ -179,8 +179,8 @@ impl GrowingCholesky {
         let mut w = vec![0.0; k];
         for i in 0..k {
             let mut sum = cross[i];
-            for j in 0..i {
-                sum -= self.l[i * n + j] * w[j];
+            for (j, &wj) in w.iter().enumerate().take(i) {
+                sum -= self.l[i * n + j] * wj;
             }
             w[i] = sum / self.l[i * n + i];
         }
@@ -209,16 +209,16 @@ impl GrowingCholesky {
         let mut z = vec![0.0; k];
         for i in 0..k {
             let mut sum = b[i];
-            for j in 0..i {
-                sum -= self.l[i * n + j] * z[j];
+            for (j, &zj) in z.iter().enumerate().take(i) {
+                sum -= self.l[i * n + j] * zj;
             }
             z[i] = sum / self.l[i * n + i];
         }
         let mut x = vec![0.0; k];
         for i in (0..k).rev() {
             let mut sum = z[i];
-            for j in i + 1..k {
-                sum -= self.l[j * n + i] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[j * n + i] * xj;
             }
             x[i] = sum / self.l[i * n + i];
         }

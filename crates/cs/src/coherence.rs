@@ -53,11 +53,7 @@ pub fn mutual_coherence<A: LinearOperator + ?Sized>(a: &A) -> f64 {
 /// # Panics
 ///
 /// Panics if the operator has fewer than two columns or `pairs == 0`.
-pub fn mutual_coherence_sampled<A: LinearOperator + ?Sized>(
-    a: &A,
-    pairs: usize,
-    seed: u64,
-) -> f64 {
+pub fn mutual_coherence_sampled<A: LinearOperator + ?Sized>(a: &A, pairs: usize, seed: u64) -> f64 {
     assert!(a.cols() >= 2, "coherence needs at least two columns");
     assert!(pairs > 0, "need at least one pair");
     let mut rng = SplitMix64::new(seed);
@@ -201,10 +197,7 @@ mod tests {
         let signed = SignedMeasurementOp::new(&phi);
         let d2 = rip_estimate(&signed, 2, 30, 2).delta_stats.mean();
         let d16 = rip_estimate(&signed, 16, 30, 2).delta_stats.mean();
-        assert!(
-            d16 > d2,
-            "δ̂ should grow with k: δ̂₂={d2:.3} vs δ̂₁₆={d16:.3}"
-        );
+        assert!(d16 > d2, "δ̂ should grow with k: δ̂₂={d2:.3} vs δ̂₁₆={d16:.3}");
     }
 
     #[test]

@@ -143,7 +143,10 @@ mod tests {
             let x: Vec<f64> = (0..6).map(|_| rng.next_gaussian()).collect();
             let gx = g.apply_vec(&x);
             let rq = crate::op::dot(&x, &gx) / crate::op::dot(&x, &x);
-            assert!(rq >= lo - 1e-8 && rq <= hi + 1e-8, "Rayleigh {rq} outside [{lo},{hi}]");
+            assert!(
+                rq >= lo - 1e-8 && rq <= hi + 1e-8,
+                "Rayleigh {rq} outside [{lo},{hi}]"
+            );
         }
     }
 

@@ -156,8 +156,8 @@ impl DenseMatrix {
                 if ri == 0.0 {
                     continue;
                 }
-                for j in i..self.cols {
-                    g.data[i * self.cols + j] += ri * row[j];
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    g.data[i * self.cols + j] += ri * rj;
                 }
             }
         }
@@ -207,8 +207,8 @@ impl LinearOperator for DenseMatrix {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "input length mismatch");
         assert_eq!(y.len(), self.rows, "output length mismatch");
-        for r in 0..self.rows {
-            y[r] = crate::op::dot(self.row(r), x);
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = crate::op::dot(self.row(r), x);
         }
     }
 
@@ -216,14 +216,16 @@ impl LinearOperator for DenseMatrix {
         assert_eq!(y.len(), self.rows, "input length mismatch");
         assert_eq!(x.len(), self.cols, "output length mismatch");
         x.fill(0.0);
-        for r in 0..self.rows {
-            crate::op::axpy(y[r], self.row(r), x);
+        for (r, &yr) in y.iter().enumerate() {
+            crate::op::axpy(yr, self.row(r), x);
         }
     }
 
     fn column(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "column {j} out of range");
-        (0..self.rows).map(|r| self.data[r * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + j])
+            .collect()
     }
 }
 

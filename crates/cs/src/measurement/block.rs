@@ -156,9 +156,7 @@ mod tests {
         let m = BlockDiagonalMeasurement::bernoulli(3, 8, 4, 2, 0.5);
         // A vector supported on block 1 only affects rows 4..8.
         let mut x = vec![0.0; 24];
-        for i in 8..16 {
-            x[i] = 1.0;
-        }
+        x[8..16].fill(1.0);
         let y = m.apply_vec(&x);
         assert!(y[..4].iter().all(|&v| v == 0.0));
         assert!(y[8..].iter().all(|&v| v == 0.0));
@@ -172,7 +170,10 @@ mod tests {
             let b = k / 4;
             let mask = m.mask(k);
             for i in mask.iter_ones() {
-                assert!(i >= b * 8 && i < (b + 1) * 8, "row {k} leaks outside block {b}");
+                assert!(
+                    i >= b * 8 && i < (b + 1) * 8,
+                    "row {k} leaks outside block {b}"
+                );
             }
         }
     }

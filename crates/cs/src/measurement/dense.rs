@@ -160,8 +160,8 @@ mod tests {
     fn apply_on_indicator_counts_mask() {
         let m = DenseBinaryMeasurement::bernoulli(10, 64, 7, 0.5);
         let y = m.apply_vec(&vec![1.0; 64]);
-        for k in 0..10 {
-            assert_eq!(y[k], m.ones_in_row(k) as f64);
+        for (k, &yk) in y.iter().enumerate() {
+            assert_eq!(yk, m.ones_in_row(k) as f64);
         }
     }
 

@@ -53,7 +53,9 @@ pub trait SelectionMeasurement: LinearOperator {
     /// mean-split decoder uses to estimate the scene mean
     /// (`μ̂ = ⟨c,y⟩ / ⟨c,c⟩`).
     fn selection_counts(&self) -> Vec<f64> {
-        (0..self.rows()).map(|k| self.ones_in_row(k) as f64).collect()
+        (0..self.rows())
+            .map(|k| self.ones_in_row(k) as f64)
+            .collect()
     }
 }
 
@@ -90,12 +92,11 @@ mod tests {
         let mut rng = tepics_util::SplitMix64::new(seed);
         let x: Vec<f64> = (0..m.cols()).map(|_| rng.next_f64() * 10.0).collect();
         let y = m.apply_vec(&x);
-        for k in 0..m.rows() {
+        for (k, &yk) in y.iter().enumerate() {
             let expected: f64 = m.mask(k).iter_ones().map(|i| x[i]).sum();
             assert!(
-                (y[k] - expected).abs() < 1e-9,
-                "row {k}: operator {} vs mask {expected}",
-                y[k]
+                (yk - expected).abs() < 1e-9,
+                "row {k}: operator {yk} vs mask {expected}",
             );
             assert_eq!(m.ones_in_row(k), m.mask(k).count_ones());
         }
@@ -126,8 +127,8 @@ mod tests {
         let mut src = BernoulliSource::balanced(12, 8);
         let m = DenseBinaryMeasurement::from_source(&mut src, 7);
         let counts = m.selection_counts();
-        for k in 0..7 {
-            assert_eq!(counts[k], m.mask(k).count_ones() as f64);
+        for (k, &count) in counts.iter().enumerate() {
+            assert_eq!(count, m.mask(k).count_ones() as f64);
         }
     }
 }

@@ -49,7 +49,10 @@ impl XorMeasurement {
         source: &mut S,
         k: usize,
     ) -> Self {
-        assert!(rows_m > 0 && cols_n > 0, "array dimensions must be positive");
+        assert!(
+            rows_m > 0 && cols_n > 0,
+            "array dimensions must be positive"
+        );
         assert!(k > 0, "need at least one measurement");
         assert_eq!(
             source.pattern_len(),
@@ -72,7 +75,10 @@ impl XorMeasurement {
     ///
     /// Panics on empty or wrong-length patterns.
     pub fn from_patterns(rows_m: usize, cols_n: usize, patterns: Vec<BitVec>) -> Self {
-        assert!(rows_m > 0 && cols_n > 0, "array dimensions must be positive");
+        assert!(
+            rows_m > 0 && cols_n > 0,
+            "array dimensions must be positive"
+        );
         assert!(!patterns.is_empty(), "need at least one pattern");
         for (k, p) in patterns.iter().enumerate() {
             assert_eq!(p.len(), rows_m + cols_n, "pattern {k} has wrong length");
@@ -253,7 +259,7 @@ mod tests {
     fn all_zero_pattern_selects_nothing() {
         let m = XorMeasurement::from_patterns(4, 4, vec![BitVec::zeros(8)]);
         assert_eq!(m.ones_in_row(0), 0);
-        let y = m.apply_vec(&vec![1.0; 16]);
+        let y = m.apply_vec(&[1.0; 16]);
         assert_eq!(y[0], 0.0);
     }
 
@@ -270,7 +276,7 @@ mod tests {
         let mut rng = tepics_util::SplitMix64::new(2);
         let x: Vec<f64> = (0..120).map(|_| rng.next_f64()).collect();
         let y = m.apply_vec(&x);
-        for k in 0..10 {
+        for (k, &yk) in y.iter().enumerate() {
             let mut expected = 0.0;
             for i in 0..12 {
                 for j in 0..10 {
@@ -279,7 +285,7 @@ mod tests {
                     }
                 }
             }
-            assert!((y[k] - expected).abs() < 1e-9, "row {k}");
+            assert!((yk - expected).abs() < 1e-9, "row {k}");
         }
     }
 

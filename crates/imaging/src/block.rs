@@ -19,7 +19,7 @@ use crate::image::ImageF64;
 pub fn split_blocks(img: &ImageF64, block: usize) -> Vec<Vec<f64>> {
     assert!(block > 0, "block size must be positive");
     assert!(
-        img.width() % block == 0 && img.height() % block == 0,
+        img.width().is_multiple_of(block) && img.height().is_multiple_of(block),
         "{}×{} image not divisible into {block}×{block} blocks",
         img.width(),
         img.height()
@@ -50,7 +50,7 @@ pub fn split_blocks(img: &ImageF64, block: usize) -> Vec<Vec<f64>> {
 pub fn merge_blocks(tiles: &[Vec<f64>], width: usize, height: usize, block: usize) -> ImageF64 {
     assert!(block > 0, "block size must be positive");
     assert!(
-        width % block == 0 && height % block == 0,
+        width.is_multiple_of(block) && height.is_multiple_of(block),
         "{width}×{height} not divisible by block {block}"
     );
     let bx = width / block;
@@ -72,7 +72,7 @@ pub fn merge_blocks(tiles: &[Vec<f64>], width: usize, height: usize, block: usiz
 
 /// Number of `block`×`block` tiles an image splits into.
 pub fn block_count(width: usize, height: usize, block: usize) -> usize {
-    assert!(block > 0 && width % block == 0 && height % block == 0);
+    assert!(block > 0 && width.is_multiple_of(block) && height.is_multiple_of(block));
     (width / block) * (height / block)
 }
 

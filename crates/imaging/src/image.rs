@@ -111,7 +111,10 @@ impl<T: Copy> Image<T> {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> T {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -122,7 +125,10 @@ impl<T: Copy> Image<T> {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, v: T) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] = v;
     }
 
@@ -181,7 +187,7 @@ impl ImageF64 {
     pub fn normalized(&self) -> ImageF64 {
         let lo = self.min_value();
         let hi = self.max_value();
-        if hi - lo < f64::EPSILON {
+        if (hi - lo).abs() < f64::EPSILON {
             return self.map(|_| 0.0);
         }
         self.map(|v| (v - lo) / (hi - lo))

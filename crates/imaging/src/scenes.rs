@@ -88,7 +88,9 @@ impl Scene {
 
     /// Convenience constructor for [`Scene::NaturalLike`].
     pub fn natural_like() -> Scene {
-        Scene::NaturalLike { waves_per_octave: 6 }
+        Scene::NaturalLike {
+            waves_per_octave: 6,
+        }
     }
 
     /// Convenience constructor for [`Scene::PiecewiseSmooth`].
@@ -206,12 +208,7 @@ impl Scene {
                         let theta = rng.next_f64() * std::f64::consts::TAU;
                         let phase = rng.next_f64() * std::f64::consts::TAU;
                         let amp = 1.0 / (1.0 + 2.0f64.powi(oct as i32));
-                        waves.push((
-                            freq * theta.cos(),
-                            freq * theta.sin(),
-                            phase,
-                            amp,
-                        ));
+                        waves.push((freq * theta.cos(), freq * theta.sin(), phase, amp));
                     }
                 }
                 let img = ImageF64::from_fn(width, height, |x, y| {
@@ -261,9 +258,7 @@ impl Scene {
                     0.6 + ramp * 0.5
                 }
             }),
-            Scene::WhiteNoise => {
-                ImageF64::from_fn(width, height, |_, _| rng.next_f64())
-            }
+            Scene::WhiteNoise => ImageF64::from_fn(width, height, |_, _| rng.next_f64()),
         }
     }
 }
@@ -273,7 +268,10 @@ mod tests {
     use super::*;
 
     fn all_scenes() -> Vec<Scene> {
-        let mut v: Vec<Scene> = Scene::evaluation_suite().into_iter().map(|(_, s)| s).collect();
+        let mut v: Vec<Scene> = Scene::evaluation_suite()
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
         v.push(Scene::Uniform(0.5));
         v.push(Scene::LinearGradient { angle: 0.7 });
         v.push(Scene::Checkerboard { tile: 4 });

@@ -44,9 +44,8 @@ impl Dct1d {
         for k in 0..n {
             let c = if k == 0 { norm0 } else { norm };
             for i in 0..n {
-                basis[k * n + i] =
-                    c * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2 * n) as f64)
-                        .cos();
+                basis[k * n + i] = c
+                    * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2 * n) as f64).cos();
             }
         }
         Dct1d { n, basis }
@@ -70,9 +69,9 @@ impl Dct1d {
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "input length mismatch");
         let mut out = vec![0.0; self.n];
-        for k in 0..self.n {
+        for (k, o) in out.iter_mut().enumerate() {
             let row = &self.basis[k * self.n..(k + 1) * self.n];
-            out[k] = row.iter().zip(x).map(|(b, v)| b * v).sum();
+            *o = row.iter().zip(x).map(|(b, v)| b * v).sum();
         }
         out
     }
@@ -85,8 +84,7 @@ impl Dct1d {
     pub fn inverse(&self, coeffs: &[f64]) -> Vec<f64> {
         assert_eq!(coeffs.len(), self.n, "input length mismatch");
         let mut out = vec![0.0; self.n];
-        for k in 0..self.n {
-            let ck = coeffs[k];
+        for (k, &ck) in coeffs.iter().enumerate() {
             if ck == 0.0 {
                 continue;
             }

@@ -40,7 +40,7 @@ impl Haar2d {
         assert!(width > 0 && height > 0, "dimensions must be positive");
         let div = 1usize << levels;
         assert!(
-            width % div == 0 && height % div == 0,
+            width.is_multiple_of(div) && height.is_multiple_of(div),
             "{width}×{height} not divisible by 2^{levels}"
         );
         Haar2d {
@@ -54,7 +54,11 @@ impl Haar2d {
     pub fn max_levels(width: usize, height: usize) -> usize {
         let mut levels = 0;
         let mut div = 2;
-        while width % div == 0 && height % div == 0 && div <= width && div <= height {
+        while width.is_multiple_of(div)
+            && height.is_multiple_of(div)
+            && div <= width
+            && div <= height
+        {
             levels += 1;
             div <<= 1;
         }

@@ -164,7 +164,9 @@ mod tests {
         seed: u64,
     ) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
         let mut rng = SplitMix64::new(seed);
-        let a = DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian() / (rows as f64).sqrt());
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| {
+            rng.next_gaussian() / (rows as f64).sqrt()
+        });
         let mut x = vec![0.0; cols];
         let mut placed = 0;
         while placed < k {
@@ -184,13 +186,13 @@ mod tests {
         let rec = Amp::new().max_iter(150).solve(&a, &y).unwrap();
         // AMP with adaptive thresholding is not exact; the support and
         // sign pattern must match and values land within 15%.
-        for i in 0..200 {
-            if x[i] != 0.0 {
+        for (i, &xi) in x.iter().enumerate() {
+            if xi != 0.0 {
                 assert!(
-                    (rec.coefficients[i] - x[i]).abs() < 0.35,
+                    (rec.coefficients[i] - xi).abs() < 0.35,
                     "coef {i}: {} vs {}",
                     rec.coefficients[i],
-                    x[i]
+                    xi
                 );
             }
         }

@@ -39,7 +39,11 @@ impl<'a, A: LinearOperator + ?Sized> RestrictedOperator<'a, A> {
 
     /// Scatters restricted coefficients back into a full-length vector.
     pub fn embed(&self, coeffs: &[f64]) -> Vec<f64> {
-        assert_eq!(coeffs.len(), self.support.len(), "coefficient length mismatch");
+        assert_eq!(
+            coeffs.len(),
+            self.support.len(),
+            "coefficient length mismatch"
+        );
         let mut full = vec![0.0; self.inner.cols()];
         for (&j, &v) in self.support.iter().zip(coeffs) {
             full[j] = v;
@@ -178,7 +182,11 @@ mod tests {
         let rec = Cgls::new(500, 1e-12).solve(&a, &b).unwrap();
         let r = op::sub(&a.apply_vec(&rec.coefficients), &b);
         let atr = a.apply_adjoint_vec(&r);
-        assert!(op::norm2(&atr) < 1e-7, "normal equations violated: {}", op::norm2(&atr));
+        assert!(
+            op::norm2(&atr) < 1e-7,
+            "normal equations violated: {}",
+            op::norm2(&atr)
+        );
     }
 
     #[test]

@@ -130,7 +130,9 @@ mod tests {
         seed: u64,
     ) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
         let mut rng = SplitMix64::new(seed);
-        let a = DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian() / (rows as f64).sqrt());
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| {
+            rng.next_gaussian() / (rows as f64).sqrt()
+        });
         let mut x = vec![0.0; cols];
         let mut placed = 0;
         while placed < k {
@@ -150,9 +152,9 @@ mod tests {
             let (a, x, y) = gaussian_problem(60, 128, 6, seed);
             let rec = CoSaMp::new(6).solve(&a, &y).unwrap();
             assert!(rec.stats.converged, "seed {seed}");
-            for i in 0..128 {
+            for (i, &xi) in x.iter().enumerate() {
                 assert!(
-                    (rec.coefficients[i] - x[i]).abs() < 1e-6,
+                    (rec.coefficients[i] - xi).abs() < 1e-6,
                     "seed {seed} coef {i}"
                 );
             }
@@ -169,7 +171,7 @@ mod tests {
     #[test]
     fn zero_measurements_converge_immediately() {
         let (a, _, _) = gaussian_problem(20, 50, 3, 1);
-        let rec = CoSaMp::new(3).solve(&a, &vec![0.0; 20]).unwrap();
+        let rec = CoSaMp::new(3).solve(&a, &[0.0; 20]).unwrap();
         assert!(rec.stats.converged);
         assert_eq!(rec.stats.iterations, 0);
     }
@@ -177,6 +179,6 @@ mod tests {
     #[test]
     fn dimension_mismatch_reported() {
         let (a, _, _) = gaussian_problem(20, 50, 3, 1);
-        assert!(CoSaMp::new(3).solve(&a, &vec![0.0; 19]).is_err());
+        assert!(CoSaMp::new(3).solve(&a, &[0.0; 19]).is_err());
     }
 }

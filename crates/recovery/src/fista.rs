@@ -257,12 +257,12 @@ mod tests {
             assert!(x[i] != 0.0, "recovered support contains spurious atom {i}");
         }
         // Values close after shrinkage.
-        for i in 0..100 {
+        for (i, &xi) in x.iter().enumerate() {
             assert!(
-                (rec.coefficients[i] - x[i]).abs() < 0.15,
+                (rec.coefficients[i] - xi).abs() < 0.15,
                 "coef {i}: {} vs {}",
                 rec.coefficients[i],
-                x[i]
+                xi
             );
         }
     }
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn zero_measurements_give_zero_solution() {
         let (a, _, _) = gaussian_problem(20, 50, 3, 11);
-        let rec = Fista::new().solve(&a, &vec![0.0; 20]).unwrap();
+        let rec = Fista::new().solve(&a, &[0.0; 20]).unwrap();
         assert!(rec.coefficients.iter().all(|&v| v == 0.0));
         assert!(rec.stats.converged);
     }
@@ -327,8 +327,14 @@ mod tests {
     #[test]
     fn dimension_mismatch_is_reported() {
         let (a, _, _) = gaussian_problem(10, 20, 2, 1);
-        let err = Fista::new().solve(&a, &vec![0.0; 9]).unwrap_err();
-        assert!(matches!(err, RecoveryError::DimensionMismatch { expected: 10, actual: 9 }));
+        let err = Fista::new().solve(&a, &[0.0; 9]).unwrap_err();
+        assert!(matches!(
+            err,
+            RecoveryError::DimensionMismatch {
+                expected: 10,
+                actual: 9
+            }
+        ));
     }
 
     #[test]

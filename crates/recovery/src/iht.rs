@@ -162,7 +162,9 @@ mod tests {
         seed: u64,
     ) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
         let mut rng = SplitMix64::new(seed);
-        let a = DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian() / (rows as f64).sqrt());
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| {
+            rng.next_gaussian() / (rows as f64).sqrt()
+        });
         let mut x = vec![0.0; cols];
         let mut placed = 0;
         while placed < k {
@@ -180,12 +182,12 @@ mod tests {
     fn recovers_known_sparsity_signal() {
         let (a, x, y) = gaussian_problem(50, 100, 5, 17);
         let rec = Iht::new(5).max_iter(500).solve(&a, &y).unwrap();
-        for i in 0..100 {
+        for (i, &xi) in x.iter().enumerate() {
             assert!(
-                (rec.coefficients[i] - x[i]).abs() < 1e-3,
+                (rec.coefficients[i] - xi).abs() < 1e-3,
                 "coef {i}: {} vs {}",
                 rec.coefficients[i],
-                x[i]
+                xi
             );
         }
     }
@@ -219,7 +221,7 @@ mod tests {
     #[test]
     fn zero_input_returns_zero() {
         let (a, _, _) = gaussian_problem(20, 40, 2, 3);
-        let rec = Iht::new(2).solve(&a, &vec![0.0; 20]).unwrap();
+        let rec = Iht::new(2).solve(&a, &[0.0; 20]).unwrap();
         assert!(rec.coefficients.iter().all(|&v| v == 0.0));
     }
 }

@@ -101,7 +101,10 @@ impl fmt::Display for RecoveryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecoveryError::DimensionMismatch { expected, actual } => {
-                write!(f, "measurement length {actual} does not match operator rows {expected}")
+                write!(
+                    f,
+                    "measurement length {actual} does not match operator rows {expected}"
+                )
             }
             RecoveryError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             RecoveryError::Breakdown(msg) => write!(f, "numerical breakdown: {msg}"),
@@ -111,10 +114,7 @@ impl fmt::Display for RecoveryError {
 
 impl std::error::Error for RecoveryError {}
 
-pub(crate) fn check_dims(
-    rows: usize,
-    y: &[f64],
-) -> Result<(), RecoveryError> {
+pub(crate) fn check_dims(rows: usize, y: &[f64]) -> Result<(), RecoveryError> {
     if y.len() != rows {
         Err(RecoveryError::DimensionMismatch {
             expected: rows,

@@ -133,7 +133,9 @@ mod tests {
         seed: u64,
     ) -> (DenseMatrix, Vec<f64>, Vec<f64>) {
         let mut rng = SplitMix64::new(seed);
-        let a = DenseMatrix::from_fn(rows, cols, |_, _| rng.next_gaussian() / (rows as f64).sqrt());
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| {
+            rng.next_gaussian() / (rows as f64).sqrt()
+        });
         let mut x = vec![0.0; cols];
         let mut placed = 0;
         while placed < k {
@@ -156,12 +158,12 @@ mod tests {
             let (a, x, y) = gaussian_problem(40, 120, 6, seed);
             let rec = Omp::new(10).residual_tol(1e-10).solve(&a, &y).unwrap();
             assert!(rec.stats.converged, "seed {seed} did not converge");
-            for i in 0..120 {
+            for (i, &xi) in x.iter().enumerate() {
                 assert!(
-                    (rec.coefficients[i] - x[i]).abs() < 1e-6,
+                    (rec.coefficients[i] - xi).abs() < 1e-6,
                     "seed {seed}, coef {i}: {} vs {}",
                     rec.coefficients[i],
-                    x[i]
+                    xi
                 );
             }
         }
@@ -184,7 +186,7 @@ mod tests {
     #[test]
     fn zero_measurement_yields_zero() {
         let (a, _, _) = gaussian_problem(20, 40, 3, 7);
-        let rec = Omp::new(5).solve(&a, &[0.0; 20].to_vec()).unwrap();
+        let rec = Omp::new(5).solve(&a, [0.0; 20].as_ref()).unwrap();
         assert!(rec.coefficients.iter().all(|&v| v == 0.0));
         assert!(rec.stats.converged);
         assert_eq!(rec.stats.iterations, 0);
@@ -201,10 +203,7 @@ mod tests {
     #[test]
     fn handles_duplicate_columns_gracefully() {
         // Two identical columns: OMP must not crash on the dependent atom.
-        let a = DenseMatrix::from_rows(&[
-            vec![1.0, 1.0, 0.0],
-            vec![0.0, 0.0, 1.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[vec![1.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]]);
         let y = vec![2.0, 1.0];
         let rec = Omp::new(3).solve(&a, &y).unwrap();
         // Either col 0 or col 1 explains the first component.
@@ -216,6 +215,6 @@ mod tests {
     #[test]
     fn dimension_mismatch_is_reported() {
         let (a, _, _) = gaussian_problem(10, 20, 2, 1);
-        assert!(Omp::new(2).solve(&a, &vec![0.0; 11]).is_err());
+        assert!(Omp::new(2).solve(&a, &[0.0; 11]).is_err());
     }
 }

@@ -31,9 +31,7 @@ pub fn hard_threshold_top_k(v: &mut [f64], k: usize) {
         return;
     }
     let mut idx: Vec<usize> = (0..v.len()).collect();
-    idx.select_nth_unstable_by(k - 1, |&a, &b| {
-        v[b].abs().partial_cmp(&v[a].abs()).unwrap()
-    });
+    idx.select_nth_unstable_by(k - 1, |&a, &b| v[b].abs().partial_cmp(&v[a].abs()).unwrap());
     // idx[k..] now holds the indices of the smaller magnitudes.
     for &i in &idx[k..] {
         v[i] = 0.0;
@@ -45,9 +43,7 @@ pub fn top_k_indices(v: &[f64], k: usize) -> Vec<usize> {
     let k = k.min(v.len());
     let mut idx: Vec<usize> = (0..v.len()).collect();
     if k < v.len() && k > 0 {
-        idx.select_nth_unstable_by(k - 1, |&a, &b| {
-            v[b].abs().partial_cmp(&v[a].abs()).unwrap()
-        });
+        idx.select_nth_unstable_by(k - 1, |&a, &b| v[b].abs().partial_cmp(&v[a].abs()).unwrap());
     }
     idx.truncate(k);
     idx

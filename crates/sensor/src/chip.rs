@@ -140,8 +140,11 @@ impl ChipModel {
             cap_f * v_dig * v_dig * freq * activity * 1e3
         };
         // Column buses: half the pixels fire per sample, bus cap ~300 fF.
-        let bus_mw = dyn_mw(300e-15 * self.config.cols() as f64, f_cs, pixels / 2.0
-            / self.config.cols() as f64);
+        let bus_mw = dyn_mw(
+            300e-15 * self.config.cols() as f64,
+            f_cs,
+            pixels / 2.0 / self.config.cols() as f64,
+        );
         // Counter + distribution: ~10 pF equivalent at f_clk.
         let counter_mw = dyn_mw(10e-12, f_clk, 0.5);
         // Sample & Add adders: 14-bit per column at pulse rate.
@@ -174,29 +177,51 @@ impl ChipModel {
             model,
         };
         vec![
-            row("Technology", "CMOS 0.18um 1P6M", "CMOS 0.18um 1P6M (assumed)".into()),
+            row(
+                "Technology",
+                "CMOS 0.18um 1P6M",
+                "CMOS 0.18um 1P6M (assumed)".into(),
+            ),
             row(
                 "Die size (w. pads)",
                 "3174um x 2227um",
-                format!("{:.0}um x {:.0}um (array {aw:.0}x{ah:.0})", self.die_width_um, self.die_height_um),
+                format!(
+                    "{:.0}um x {:.0}um (array {aw:.0}x{ah:.0})",
+                    self.die_width_um, self.die_height_um
+                ),
             ),
             row(
                 "Pixel size",
                 "22um x 22um",
-                format!("{:.0}um x {:.0}um", self.pixel_pitch_um, self.pixel_pitch_um),
+                format!(
+                    "{:.0}um x {:.0}um",
+                    self.pixel_pitch_um, self.pixel_pitch_um
+                ),
             ),
             row(
                 "Fill factor",
                 "9.2%",
-                format!("{:.1}% (PD {:.1} um^2)", self.fill_factor * 100.0, self.photodiode_area_um2()),
+                format!(
+                    "{:.1}% (PD {:.1} um^2)",
+                    self.fill_factor * 100.0,
+                    self.photodiode_area_um2()
+                ),
             ),
             row(
                 "Resolution",
                 "64 x 64",
                 format!("{} x {}", self.config.rows(), self.config.cols()),
             ),
-            row("Photodiode type", "n-well/p-substrate", "n-well/p-substrate (assumed)".into()),
-            row("Power supply", "3.3V-1.8V", "3.3V analog / 1.8V digital".into()),
+            row(
+                "Photodiode type",
+                "n-well/p-substrate",
+                "n-well/p-substrate (assumed)".into(),
+            ),
+            row(
+                "Power supply",
+                "3.3V-1.8V",
+                "3.3V analog / 1.8V digital".into(),
+            ),
             row(
                 "Predicted power consumption",
                 "<100mW",
@@ -283,7 +308,10 @@ mod tests {
     fn power_model_respects_table_ii_bound() {
         let chip = ChipModel::paper_prototype();
         let total = chip.total_power_mw();
-        assert!(total < 100.0, "modeled power {total} mW exceeds Table II bound");
+        assert!(
+            total < 100.0,
+            "modeled power {total} mW exceeds Table II bound"
+        );
         assert!(total > 1.0, "modeled power {total} mW implausibly small");
         // Comparators dominate in this class of sensor.
         let budget = chip.power_budget_mw();

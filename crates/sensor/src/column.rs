@@ -55,7 +55,10 @@ impl ColumnOutcome {
 
     /// Largest serialization delay (s), 0 when nothing queued.
     pub fn max_delay(&self) -> f64 {
-        self.events.iter().map(PixelEvent::delay).fold(0.0, f64::max)
+        self.events
+            .iter()
+            .map(PixelEvent::delay)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -104,7 +107,10 @@ impl ColumnArbiter {
         let mut flips: EventQueue<usize> = EventQueue::new();
         let mut flip_time: BTreeMap<usize, f64> = BTreeMap::new();
         for &(row, t) in pulses {
-            assert!(t >= 0.0 && !t.is_nan(), "flip time must be a non-negative number");
+            assert!(
+                t >= 0.0 && !t.is_nan(),
+                "flip time must be a non-negative number"
+            );
             assert!(seen.insert(row), "duplicate pulse for row {row}");
             // Priority = row: simultaneous flips resolve top-down, as the
             // token chain does.
@@ -249,8 +255,7 @@ mod tests {
     #[test]
     fn grant_never_precedes_flip() {
         let mut rng = tepics_util::SplitMix64::new(123);
-        let pulses: Vec<(usize, f64)> =
-            (0..32).map(|r| (r, rng.next_f64() * 1e-6)).collect();
+        let pulses: Vec<(usize, f64)> = (0..32).map(|r| (r, rng.next_f64() * 1e-6)).collect();
         let out = arbiter().arbitrate(&pulses);
         for e in &out.events {
             assert!(e.t_grant >= e.t_flip - 1e-18, "{e:?}");

@@ -387,10 +387,14 @@ impl SensorConfigBuilder {
             )));
         }
         if c.cap_farads <= 0.0 || c.i_dark <= 0.0 || c.i_scale <= 0.0 {
-            return Err(ConfigError("capacitance and currents must be positive".into()));
+            return Err(ConfigError(
+                "capacitance and currents must be positive".into(),
+            ));
         }
         if c.clk_hz <= 0.0 || c.sample_period <= 0.0 {
-            return Err(ConfigError("clock and sample period must be positive".into()));
+            return Err(ConfigError(
+                "clock and sample period must be positive".into(),
+            ));
         }
         if c.counter_bits == 0 || c.counter_bits > 16 {
             return Err(ConfigError(format!(
@@ -448,8 +452,14 @@ mod tests {
         let c = SensorConfig::paper_prototype();
         let t_bright = c.integration_charge() / (c.i_dark() + c.i_scale());
         let t_dark = c.integration_charge() / c.i_dark();
-        assert!(t_bright > c.initial_delay(), "bright pixels must not hit code 0 region");
-        assert!(t_dark < c.window_end(), "dark pixels must convert before the window ends");
+        assert!(
+            t_bright > c.initial_delay(),
+            "bright pixels must not hit code 0 region"
+        );
+        assert!(
+            t_dark < c.window_end(),
+            "dark pixels must convert before the window ends"
+        );
     }
 
     #[test]
@@ -469,21 +479,31 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         assert!(SensorConfig::builder(0, 8).build().is_err());
-        assert!(SensorConfig::builder(8, 8).v_ref(3.0).v_rst(2.0).build().is_err());
-        assert!(SensorConfig::builder(8, 8).clk_hz(-1.0).build().is_err());
-        assert!(SensorConfig::builder(8, 8).counter_bits(17).build().is_err());
-        // Window longer than the sample slot.
         assert!(SensorConfig::builder(8, 8)
-            .clk_hz(1e6)
+            .v_ref(3.0)
+            .v_rst(2.0)
             .build()
             .is_err());
-        assert!(SensorConfig::builder(8, 8).jitter_sigma(-1e-9).build().is_err());
+        assert!(SensorConfig::builder(8, 8).clk_hz(-1.0).build().is_err());
+        assert!(SensorConfig::builder(8, 8)
+            .counter_bits(17)
+            .build()
+            .is_err());
+        // Window longer than the sample slot.
+        assert!(SensorConfig::builder(8, 8).clk_hz(1e6).build().is_err());
+        assert!(SensorConfig::builder(8, 8)
+            .jitter_sigma(-1e-9)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn noiseless_detection() {
         assert!(SensorConfig::paper_prototype().is_noiseless());
-        let noisy = SensorConfig::builder(8, 8).jitter_sigma(1e-9).build().unwrap();
+        let noisy = SensorConfig::builder(8, 8)
+            .jitter_sigma(1e-9)
+            .build()
+            .unwrap();
         assert!(!noisy.is_noiseless());
     }
 }

@@ -133,7 +133,7 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<(f64, u32, T)> {
         let e = self.heap.pop()?;
         debug_assert!(
-            self.last_popped.map_or(true, |t| t <= e.time),
+            self.last_popped.is_none_or(|t| t <= e.time),
             "event queue time went backwards"
         );
         self.last_popped = Some(e.time);

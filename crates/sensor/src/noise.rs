@@ -70,7 +70,10 @@ impl NoiseModel {
     }
 
     fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "pixel ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "pixel ({row},{col}) out of range"
+        );
         row * self.cols + col
     }
 }

@@ -159,7 +159,8 @@ impl NodeTrace {
 
     /// Renders selected digital nodes as ASCII waveforms (`▔`/`▁`).
     pub fn to_ascii(&self) -> String {
-        let rows: [(&str, fn(&NodeSample) -> bool); 7] = [
+        type NodeProbe = fn(&NodeSample) -> bool;
+        let rows: [(&str, NodeProbe); 7] = [
             ("V1 ", |s| s.v1),
             ("V2 ", |s| s.v2),
             ("V3 ", |s| s.v3),
@@ -236,8 +237,7 @@ mod tests {
     #[test]
     fn trace_shows_single_pulse_of_configured_width() {
         let c = SensorConfig::paper_prototype();
-        let t_flip =
-            crate::photodiode::crossing_time(&c, 0.5) + c.comparator_delay();
+        let t_flip = crate::photodiode::crossing_time(&c, 0.5) + c.comparator_delay();
         let trace = NodeTrace::simulate(&c, 0.5, true, t_flip, 20_000);
         // V1 eventually rises; V5 pulses exactly while Vo is low.
         assert!(trace.samples.iter().any(|s| s.v1));

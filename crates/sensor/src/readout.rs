@@ -52,6 +52,12 @@ pub struct EventStats {
     pub sample_overflows: u64,
 }
 
+impl Default for EventStats {
+    fn default() -> Self {
+        EventStats::new()
+    }
+}
+
 impl EventStats {
     fn new() -> Self {
         EventStats {
@@ -125,13 +131,7 @@ impl FrameReadout {
 
     /// Base flip time (s since reset) of pixel `(row, col)` for the
     /// scene, including fixed-pattern noise but not per-sample jitter.
-    fn base_flip_time(
-        &self,
-        noise: &NoiseModel,
-        scene: &ImageF64,
-        row: usize,
-        col: usize,
-    ) -> f64 {
+    fn base_flip_time(&self, noise: &NoiseModel, scene: &ImageF64, row: usize, col: usize) -> f64 {
         let e = scene.get(col, row);
         match self.config.transfer() {
             CodeTransfer::Reciprocal => {
@@ -157,12 +157,14 @@ impl FrameReadout {
         self.check_scene(scene);
         let noise = NoiseModel::new(&self.config);
         let counter = GlobalCounter::new(&self.config);
-        ImageU8::from_fn(self.config.cols(), self.config.rows(), |col, row| {
-            match counter.convert(self.base_flip_time(&noise, scene, row, col)) {
+        ImageU8::from_fn(
+            self.config.cols(),
+            self.config.rows(),
+            |col, row| match counter.convert(self.base_flip_time(&noise, scene, row, col)) {
                 Conversion::Code(c) => c as u8,
                 Conversion::Missed => 0,
-            }
-        })
+            },
+        )
     }
 
     /// Captures `k` compressed samples of `scene` using selection

@@ -88,11 +88,8 @@ impl SampleAdd {
     /// Eq. (1): column width = `pixel_bits + ⌈log2 rows⌉`, sample width
     /// = `pixel_bits + ⌈log2 (rows·cols)⌉`.
     pub fn for_config(config: &SensorConfig) -> Self {
-        let column_bits = tepics_util::fixed::sum_bits(
-            config.counter_bits(),
-            config.rows() as u32,
-            1,
-        );
+        let column_bits =
+            tepics_util::fixed::sum_bits(config.counter_bits(), config.rows() as u32, 1);
         let sample_bits = tepics_util::fixed::sum_bits(
             config.counter_bits(),
             config.rows() as u32,

@@ -69,12 +69,12 @@ impl BitVec {
                 cur |= 1u64 << (len % 64);
             }
             len += 1;
-            if len % 64 == 0 {
+            if len.is_multiple_of(64) {
                 words.push(cur);
                 cur = 0;
             }
         }
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             words.push(cur);
         }
         BitVec { len, words }

@@ -80,7 +80,10 @@ impl SaturatingAccumulator {
     ///
     /// Panics if `bits == 0` or `bits > 63`.
     pub fn new(bits: u32) -> Self {
-        assert!(bits > 0 && bits <= 63, "unsupported accumulator width {bits}");
+        assert!(
+            bits > 0 && bits <= 63,
+            "unsupported accumulator width {bits}"
+        );
         SaturatingAccumulator {
             bits,
             value: 0,
@@ -207,7 +210,10 @@ mod tests {
         for _ in 0..4096 {
             acc.add(255);
         }
-        assert!(!acc.overflowed(), "Eq. (1) guarantees no clipping at 20 bits");
+        assert!(
+            !acc.overflowed(),
+            "Eq. (1) guarantees no clipping at 20 bits"
+        );
         assert_eq!(acc.value(), 4096 * 255);
     }
 

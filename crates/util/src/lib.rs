@@ -12,6 +12,8 @@
 //!   experiment harness.
 //! * [`fixed`] — fixed-width integer helpers that model the saturating
 //!   hardware accumulators of the sensor's Sample & Add stage.
+//! * [`parallel`] — a scoped-thread parallel map with deterministic,
+//!   input-ordered results, used by the batch capture engine.
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 
 pub mod bits;
 pub mod fixed;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 

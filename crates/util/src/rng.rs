@@ -73,7 +73,11 @@ impl SplitMix64 {
     pub fn next_gaussian(&mut self) -> f64 {
         // Avoid log(0).
         let u1 = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        let u1 = if u1 <= f64::MIN_POSITIVE { f64::MIN_POSITIVE } else { u1 };
+        let u1 = if u1 <= f64::MIN_POSITIVE {
+            f64::MIN_POSITIVE
+        } else {
+            u1
+        };
         let u2 = self.next_f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
@@ -139,7 +143,10 @@ mod tests {
             counts[g.next_below(8) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 

@@ -224,7 +224,12 @@ impl Histogram {
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
             let bar = "#".repeat((c as usize * width) / max as usize);
-            out.push_str(&format!("{:>10.3} | {:<width$} {}\n", self.bin_center(i), bar, c));
+            out.push_str(&format!(
+                "{:>10.3} | {:<width$} {}\n",
+                self.bin_center(i),
+                bar,
+                c
+            ));
         }
         out
     }
@@ -240,8 +245,7 @@ mod tests {
         let mut s = RunningStats::new();
         s.extend(xs.iter().copied());
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() as f64 - 1.0);
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.variance() - var).abs() < 1e-12);
         assert_eq!(s.min(), -2.0);

@@ -44,7 +44,9 @@ fn capture_stats(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let side = 24;
     // A dim scene: 10% of full-scale illumination.
-    let scene = Scene::gaussian_blobs(3).render(side, side, 5).map(|v| v * 0.1);
+    let scene = Scene::gaussian_blobs(3)
+        .render(side, side, 5)
+        .map(|v| v * 0.1);
     println!("dim scene, max intensity {:.2}", scene.max_value());
 
     // Open-loop sweep: quality and missed pulses vs V_ref.
@@ -54,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (db, missed, total) = capture_stats(side, v_ref, &scene)?;
         println!(
             "   {v_ref:.1}  |  {missed:6} / {total:6.0} | {db:6.1} dB{}",
-            if missed > 0 { "  <- pulses lost past the window" } else { "" }
+            if missed > 0 {
+                "  <- pulses lost past the window"
+            } else {
+                ""
+            }
         );
     }
 

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(&a, &b)| a as f64 - b as f64)
         .collect();
     let nonzero = dy_samples.iter().filter(|&&v| v != 0.0).count();
-    println!("sample difference: {nonzero}/{} entries changed", dy_samples.len());
+    println!(
+        "sample difference: {nonzero}/{} entries changed",
+        dy_samples.len()
+    );
 
     // Recover the difference image: pixel-sparse, so identity dictionary
     // + hard thresholding. Rebuild Φ from the shared seed.

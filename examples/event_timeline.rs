@@ -19,8 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Single pixel: the Fig. 1 timeline -------------------------
     let intensity = 0.35;
-    let t_flip = tepics::sensor::photodiode::crossing_time(&config, intensity)
-        + config.comparator_delay();
+    let t_flip =
+        tepics::sensor::photodiode::crossing_time(&config, intensity) + config.comparator_delay();
     println!(
         "single pixel at intensity {intensity}: comparator flips at {:.3} us",
         t_flip * 1e6
@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = arbiter.arbitrate(&pulses);
     let counter = GlobalCounter::new(&config);
 
-    println!("column arbitration ({} ns events):", config.event_duration() * 1e9);
+    println!(
+        "column arbitration ({} ns events):",
+        config.event_duration() * 1e9
+    );
     println!("row | flip (us) | grant (us) | queued | code(ideal) | code(actual)");
     println!("----+-----------+------------+--------+-------------+-------------");
     for e in &outcome.events {
@@ -81,8 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same traces, in the format post-layout simulation uses: open
     // them in GTKWave next to actual silicon dumps.
     let pixel_vcd = tepics::sensor::vcd::node_trace_to_vcd(&trace);
-    let column_vcd =
-        tepics::sensor::vcd::column_outcome_to_vcd(&outcome, config.event_duration());
+    let column_vcd = tepics::sensor::vcd::column_outcome_to_vcd(&outcome, config.event_duration());
     std::fs::write("tepics_pixel.vcd", pixel_vcd)?;
     std::fs::write("tepics_column.vcd", column_vcd)?;
     println!("\nwaveforms dumped: tepics_pixel.vcd, tepics_column.vcd (IEEE-1364 VCD)");

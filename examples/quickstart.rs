@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = imager.ideal_codes(&scene).to_code_f64();
     let db = psnr(&truth, recon.code_image(), 255.0);
     let structural = ssim(&truth, recon.code_image(), 255.0);
-    println!("reconstruction: PSNR {db:.1} dB, SSIM {structural:.3}, mean code {:.1}", recon.mean_code());
+    println!(
+        "reconstruction: PSNR {db:.1} dB, SSIM {structural:.3}, mean code {:.1}",
+        recon.mean_code()
+    );
 
     // Display in the intensity domain (inverts the pulse-modulation
     // transfer).

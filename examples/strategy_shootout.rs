@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scene = Scene::piecewise_smooth(5).render(side, side, 21);
 
     let strategies: Vec<(&str, StrategyKind)> = vec![
-        ("CA Rule 30 (the chip)", StrategyKind::default_for(side, side)),
+        (
+            "CA Rule 30 (the chip)",
+            StrategyKind::default_for(side, side),
+        ),
         (
             "CA Rule 90 (additive)",
             StrategyKind::CellularAutomaton {

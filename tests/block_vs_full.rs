@@ -24,7 +24,10 @@ fn both_pipelines_reconstruct_the_same_front_end() {
     let (imager, codes) = code_image_of(32, &scene);
     // Full frame.
     let frame = imager.capture(&scene);
-    let full = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+    let full = Decoder::for_frame(&frame)
+        .unwrap()
+        .reconstruct(&frame)
+        .unwrap();
     let full_db = psnr(&codes, full.code_image(), 255.0);
     // Block based on the same code image.
     let bcs = BlockCs::new(32, 32, 8, 0.4, 0xB10C).unwrap();
@@ -72,7 +75,10 @@ fn full_frame_gains_at_very_low_ratios_on_global_content() {
         .unwrap();
     let codes = imager.ideal_codes(&scene).to_code_f64();
     let frame = imager.capture(&scene);
-    let full = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+    let full = Decoder::for_frame(&frame)
+        .unwrap()
+        .reconstruct(&frame)
+        .unwrap();
     let full_db = psnr(&codes, full.code_image(), 255.0);
     let bcs = BlockCs::new(side, side, 8, 0.06, 5).unwrap();
     let bframe = bcs.capture(&codes);

@@ -62,10 +62,7 @@ fn decoder_rebuilds_the_exact_measurement() {
     let frame = imager.capture(&scene);
     let decoder = Decoder::for_frame(&frame).unwrap();
     let phi = decoder.rebuild_measurement(frame.sample_count()).unwrap();
-    let codes: Vec<f64> = imager
-        .ideal_codes(&scene)
-        .to_code_f64()
-        .into_vec();
+    let codes: Vec<f64> = imager.ideal_codes(&scene).to_code_f64().into_vec();
     let y = {
         use tepics::cs::LinearOperator;
         phi.apply_vec(&codes)
@@ -123,7 +120,10 @@ fn truncated_sample_stream_degrades_gracefully() {
     let frame = imager.capture(&scene);
     let truth = imager.ideal_codes(&scene).to_code_f64();
     let full_db = {
-        let r = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+        let r = Decoder::for_frame(&frame)
+            .unwrap()
+            .reconstruct(&frame)
+            .unwrap();
         psnr(&truth, r.code_image(), 255.0)
     };
     let mut cut = frame.clone();
@@ -132,7 +132,10 @@ fn truncated_sample_stream_degrades_gracefully() {
         let r = Decoder::for_frame(&cut).unwrap().reconstruct(&cut).unwrap();
         psnr(&truth, r.code_image(), 255.0)
     };
-    assert!(cut_db > 10.0, "truncated stream collapsed entirely: {cut_db:.1} dB");
+    assert!(
+        cut_db > 10.0,
+        "truncated stream collapsed entirely: {cut_db:.1} dB"
+    );
     assert!(
         full_db > cut_db,
         "more samples must not hurt: full {full_db:.1} vs cut {cut_db:.1}"

@@ -26,10 +26,16 @@ fn event_accurate_equals_functional_without_contention() {
         .unwrap();
     for scene_seed in [1u64, 2, 3] {
         let scene = Scene::natural_like().render(24, 24, scene_seed);
-        let functional = FrameReadout::new(config.clone(), Fidelity::Functional)
-            .capture(&scene, &mut ca_source(&config, 9), 60);
-        let event = FrameReadout::new(config.clone(), Fidelity::EventAccurate)
-            .capture(&scene, &mut ca_source(&config, 9), 60);
+        let functional = FrameReadout::new(config.clone(), Fidelity::Functional).capture(
+            &scene,
+            &mut ca_source(&config, 9),
+            60,
+        );
+        let event = FrameReadout::new(config.clone(), Fidelity::EventAccurate).capture(
+            &scene,
+            &mut ca_source(&config, 9),
+            60,
+        );
         assert_eq!(functional.samples, event.samples, "seed {scene_seed}");
         assert_eq!(event.stats.missed_pulses, 0);
         assert_eq!(event.stats.error_fraction(), 0.0);
@@ -47,8 +53,11 @@ fn code_errors_grow_with_event_duration() {
             .event_duration(duration)
             .build()
             .unwrap();
-        let frame = FrameReadout::new(config.clone(), Fidelity::EventAccurate)
-            .capture(&scene, &mut ca_source(&config, 3), 40);
+        let frame = FrameReadout::new(config.clone(), Fidelity::EventAccurate).capture(
+            &scene,
+            &mut ca_source(&config, 3),
+            40,
+        );
         let err = frame.stats.mean_error_lsb();
         assert!(
             err >= last_err,
@@ -56,7 +65,10 @@ fn code_errors_grow_with_event_duration() {
         );
         last_err = err;
     }
-    assert!(last_err > 0.0, "80 ns events on a flat scene must show errors");
+    assert!(
+        last_err > 0.0,
+        "80 ns events on a flat scene must show errors"
+    );
 }
 
 /// The paper's design guarantee: the token protocol never loses a pulse
@@ -69,10 +81,16 @@ fn no_pulse_is_ever_dropped_by_arbitration() {
         .build()
         .unwrap();
     let scene = Scene::Uniform(0.6).render(16, 16, 0);
-    let functional = FrameReadout::new(config.clone(), Fidelity::Functional)
-        .capture(&scene, &mut ca_source(&config, 5), 30);
-    let event = FrameReadout::new(config.clone(), Fidelity::EventAccurate)
-        .capture(&scene, &mut ca_source(&config, 5), 30);
+    let functional = FrameReadout::new(config.clone(), Fidelity::Functional).capture(
+        &scene,
+        &mut ca_source(&config, 5),
+        30,
+    );
+    let event = FrameReadout::new(config.clone(), Fidelity::EventAccurate).capture(
+        &scene,
+        &mut ca_source(&config, 5),
+        30,
+    );
     // Same number of pulses observed...
     assert_eq!(functional.stats.total_pulses, event.stats.total_pulses);
     // ...and any sample difference is from delays, not lost pulses: with
@@ -94,10 +112,7 @@ fn undersized_widths_are_reported_not_wrapped() {
     // need the sample accumulator: build a custom SampleAdd through the
     // tdc API instead.
     use tepics::sensor::tdc::{Conversion, SampleAdd};
-    let tiny = SensorConfig::builder(4, 2)
-        .counter_bits(2)
-        .build()
-        .unwrap();
+    let tiny = SensorConfig::builder(4, 2).counter_bits(2).build().unwrap();
     let mut sa = SampleAdd::for_config(&tiny);
     for _ in 0..6 {
         sa.add(0, Conversion::Code(3)); // 18 > 4-bit column max 15

@@ -1,32 +1,41 @@
-//! Property-based tests spanning the workspace (proptest).
+//! Randomized property tests spanning the workspace.
 //!
 //! Each property encodes a system invariant the pipeline depends on:
 //! CA stepping equivalence, arbiter serialization, transform
 //! orthonormality, wire-format losslessness, XOR-measurement counting.
+//!
+//! The cases are driven by the workspace's own deterministic
+//! [`SplitMix64`] generator rather than an external property-testing
+//! crate: the build environment has no registry access, and seeded
+//! sampling keeps failures reproducible by construction (the failing
+//! case index is part of the assertion message).
 
-use proptest::prelude::*;
 use tepics::ca::{Automaton1D, Boundary, ElementaryRule};
 use tepics::core::{CompressedFrame, FrameHeader, StrategyKind};
 use tepics::cs::measurement::SelectionMeasurement;
 use tepics::cs::XorMeasurement;
 use tepics::imaging::{Dct2d, Haar2d};
 use tepics::sensor::ColumnArbiter;
-use tepics::util::BitVec;
+use tepics::util::{BitVec, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Word-parallel CA stepping equals the per-cell reference for any
-    /// rule, size, boundary and seed.
-    #[test]
-    fn ca_word_parallel_matches_reference(
-        rule in 0u8..=255,
-        cells in 1usize..200,
-        seed in any::<u64>(),
-        periodic in any::<bool>(),
-        steps in 1usize..16,
-    ) {
-        let boundary = if periodic { Boundary::Periodic } else { Boundary::Fixed(false) };
+/// Word-parallel CA stepping equals the per-cell reference for any
+/// rule, size, boundary and seed.
+#[test]
+fn ca_word_parallel_matches_reference() {
+    let mut rng = SplitMix64::new(0xCA5E);
+    for case in 0..CASES {
+        let rule = rng.next_below(256) as u8;
+        let cells = 1 + rng.next_below(199) as usize;
+        let seed = rng.next_u64();
+        let periodic = rng.next_bool();
+        let steps = 1 + rng.next_below(15) as usize;
+        let boundary = if periodic {
+            Boundary::Periodic
+        } else {
+            Boundary::Fixed(false)
+        };
         let init = Automaton1D::from_seed(cells, seed, ElementaryRule::new(rule), boundary);
         let mut fast = init.clone();
         let mut slow = init;
@@ -34,59 +43,85 @@ proptest! {
             fast.step();
             slow.step_reference();
         }
-        prop_assert_eq!(fast.state(), slow.state());
+        assert_eq!(
+            fast.state(),
+            slow.state(),
+            "case {case}: rule {rule}, {cells} cells, seed {seed:#x}, \
+             periodic={periodic}, {steps} steps"
+        );
     }
+}
 
-    /// The column arbiter never drops a pulse, never overlaps two
-    /// events, never grants before the flip, and releases top-down.
-    #[test]
-    fn arbiter_invariants(
-        times in prop::collection::vec(0.0f64..20e-6, 1..64),
-        duration_ns in 1.0f64..200.0,
-    ) {
+/// The column arbiter never drops a pulse, never overlaps two events,
+/// never grants before the flip, and releases top-down.
+#[test]
+fn arbiter_invariants() {
+    let mut rng = SplitMix64::new(0xA5B1);
+    for case in 0..CASES {
+        let rows = 1 + rng.next_below(63) as usize;
         let pulses: Vec<(usize, f64)> =
-            times.iter().enumerate().map(|(row, &t)| (row, t)).collect();
+            (0..rows).map(|row| (row, rng.next_f64() * 20e-6)).collect();
+        let duration_ns = 1.0 + rng.next_f64() * 199.0;
         let arbiter = ColumnArbiter::with_timing(duration_ns * 1e-9, 1e-9);
         let outcome = arbiter.arbitrate(&pulses);
         // No pulse dropped.
-        prop_assert_eq!(outcome.events.len(), pulses.len());
-        let mut rows: Vec<usize> = outcome.events.iter().map(|e| e.row).collect();
-        rows.sort_unstable();
-        prop_assert_eq!(rows, (0..pulses.len()).collect::<Vec<_>>());
+        assert_eq!(
+            outcome.events.len(),
+            pulses.len(),
+            "case {case}: pulse dropped"
+        );
+        let mut event_rows: Vec<usize> = outcome.events.iter().map(|e| e.row).collect();
+        event_rows.sort_unstable();
+        assert_eq!(
+            event_rows,
+            (0..pulses.len()).collect::<Vec<_>>(),
+            "case {case}"
+        );
         // Serialized and causal.
         let mut sorted = outcome.events.clone();
         sorted.sort_by(|a, b| a.t_grant.partial_cmp(&b.t_grant).unwrap());
         for pair in sorted.windows(2) {
-            prop_assert!(pair[1].t_grant >= pair[0].t_grant + duration_ns * 1e-9 - 1e-15);
+            assert!(
+                pair[1].t_grant >= pair[0].t_grant + duration_ns * 1e-9 - 1e-15,
+                "case {case}: events overlap"
+            );
         }
         for e in &outcome.events {
-            prop_assert!(e.t_grant >= e.t_flip - 1e-15);
+            assert!(
+                e.t_grant >= e.t_flip - 1e-15,
+                "case {case}: grant before flip"
+            );
         }
     }
+}
 
-    /// DCT and Haar are exact inverses on arbitrary data.
-    #[test]
-    fn transforms_reconstruct_perfectly(
-        data in prop::collection::vec(-10.0f64..10.0, 64),
-    ) {
+/// DCT and Haar are exact inverses on arbitrary data.
+#[test]
+fn transforms_reconstruct_perfectly() {
+    let mut rng = SplitMix64::new(0xD0C7);
+    for case in 0..CASES {
+        let data: Vec<f64> = (0..64).map(|_| rng.next_f64() * 20.0 - 10.0).collect();
         let dct = Dct2d::new(8, 8);
         let back = dct.inverse(&dct.forward(&data));
         for (a, b) in data.iter().zip(&back) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9, "case {case}: DCT not inverse");
         }
         let haar = Haar2d::new(8, 8, 3);
         let back = haar.inverse(&haar.forward(&data));
         for (a, b) in data.iter().zip(&back) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9, "case {case}: Haar not inverse");
         }
     }
+}
 
-    /// The wire codec is lossless for arbitrary sample payloads.
-    #[test]
-    fn wire_format_roundtrips(
-        samples in prop::collection::vec(0u32..(1 << 20), 1..200),
-        seed in any::<u64>(),
-    ) {
+/// The wire codec is lossless for arbitrary sample payloads.
+#[test]
+fn wire_format_roundtrips() {
+    let mut rng = SplitMix64::new(0x3133);
+    for case in 0..CASES {
+        let count = 1 + rng.next_below(199) as usize;
+        let samples: Vec<u32> = (0..count).map(|_| rng.next_below(1 << 20) as u32).collect();
+        let seed = rng.next_u64();
         let frame = CompressedFrame {
             header: FrameHeader {
                 rows: 64,
@@ -99,34 +134,47 @@ proptest! {
             samples,
         };
         let back = CompressedFrame::from_bytes(&frame.to_bytes()).unwrap();
-        prop_assert_eq!(back, frame);
+        assert_eq!(back, frame, "case {case}: wire round-trip lost data");
     }
+}
 
-    /// XOR-measurement row weight follows the closed form
-    /// `a(N−b) + (M−a)b` and the operator matches its own mask.
-    #[test]
-    fn xor_measurement_counting(
-        bits in prop::collection::vec(any::<bool>(), 24),
-    ) {
+/// XOR-measurement row weight follows the closed form
+/// `a(N−b) + (M−a)b` and the operator matches its own mask.
+#[test]
+fn xor_measurement_counting() {
+    let mut rng = SplitMix64::new(0x0DD5);
+    for case in 0..CASES {
         let m = 14usize;
         let n = 10usize;
+        let bits: Vec<bool> = (0..24).map(|_| rng.next_bool()).collect();
         let pattern = BitVec::from_bools(bits.iter().copied());
         let a = (0..m).filter(|&i| pattern.get(i)).count();
         let b = (m..m + n).filter(|&i| pattern.get(i)).count();
         let meas = XorMeasurement::from_patterns(m, n, vec![pattern]);
-        prop_assert_eq!(meas.ones_in_row(0), a * (n - b) + (m - a) * b);
-        prop_assert_eq!(meas.mask(0).count_ones(), meas.ones_in_row(0));
+        assert_eq!(
+            meas.ones_in_row(0),
+            a * (n - b) + (m - a) * b,
+            "case {case}"
+        );
+        assert_eq!(
+            meas.mask(0).count_ones(),
+            meas.ones_in_row(0),
+            "case {case}"
+        );
     }
+}
 
-    /// Sample values can never exceed the Eq. (1) bound
-    /// `(2^code_bits − 1) · selected`, and the selection never exceeds
-    /// M·N — so 20 bits always suffice at 64×64.
-    #[test]
-    fn sample_values_respect_eq1(
-        seed in any::<u64>(),
-        intensity in 0.0f64..1.0,
-    ) {
-        use tepics::prelude::*;
+/// Sample values can never exceed the Eq. (1) bound
+/// `(2^code_bits − 1) · selected`, and the selection never exceeds
+/// M·N — so 20 bits always suffice at 64×64.
+#[test]
+fn sample_values_respect_eq1() {
+    use tepics::prelude::*;
+    let mut rng = SplitMix64::new(0xE011);
+    // Fewer cases: each one runs a full capture.
+    for case in 0..8 {
+        let seed = rng.next_u64();
+        let intensity = rng.next_f64();
         let scene = tepics::imaging::ImageF64::new(16, 16, intensity);
         let imager = CompressiveImager::builder(16, 16)
             .ratio(0.1)
@@ -136,7 +184,10 @@ proptest! {
             .unwrap();
         let frame = imager.capture(&scene);
         for &s in &frame.samples {
-            prop_assert!(s <= 255 * 256, "sample {s} exceeds Eq. (1) bound");
+            assert!(
+                s <= 255 * 256,
+                "case {case}: sample {s} exceeds Eq. (1) bound"
+            );
         }
     }
 }

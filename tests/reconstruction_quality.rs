@@ -95,7 +95,10 @@ fn event_accurate_capture_costs_almost_nothing_in_psnr() {
     let truth = reference.ideal_codes(&scene).to_code_f64();
     let db_of = |im: &CompressiveImager| {
         let frame = im.capture(&scene);
-        let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+        let recon = Decoder::for_frame(&frame)
+            .unwrap()
+            .reconstruct(&frame)
+            .unwrap();
         psnr(&truth, recon.code_image(), 255.0)
     };
     let db_functional = db_of(&reference);
@@ -123,7 +126,10 @@ fn noise_degrades_but_does_not_destroy() {
         .build()
         .unwrap();
     let frame = noisy.capture(&scene);
-    let recon = Decoder::for_frame(&frame).unwrap().reconstruct(&frame).unwrap();
+    let recon = Decoder::for_frame(&frame)
+        .unwrap()
+        .reconstruct(&frame)
+        .unwrap();
     // Compare against the *noiseless* ideal codes: FPN+jitter+arbitration
     // all count as error here.
     let clean = imager(32, 0.4);
