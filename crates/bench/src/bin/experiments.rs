@@ -3,14 +3,15 @@
 //!
 //! ```text
 //! experiments               # list available experiments
-//! experiments all           # run everything
-//! experiments table2 lsb    # run a subset
+//! experiments all           # run the fast tier
+//! experiments all --full    # include the slow full-size sweeps (nightly)
+//! experiments table2 lsb    # run a subset (named ids always run)
 //! experiments all --out results.md
 //! experiments --smoke       # tiny end-to-end batch; exit 1 on regression
 //! ```
 
 use std::io::Write as _;
-use tepics_bench::registry;
+use tepics_bench::{registry, Tier};
 
 /// CI smoke: a tiny 16×16 batch through the full capture→wire→recover
 /// pipeline on the parallel batch engine. Fails loudly (non-zero exit)
@@ -63,6 +64,48 @@ fn smoke() {
             summary.wire_saving()
         ));
     }
+    // Session stream path: the same scenes as one contiguous wire
+    // stream, decoded incrementally with a shared operator cache.
+    let mut enc = EncodeSession::new(imager.clone()).expect("smoke encode session");
+    let mut frame_codec_bits = 0usize;
+    for scene in &scenes {
+        let frame = enc.capture(scene).expect("smoke stream capture");
+        frame_codec_bits += frame.wire_bits();
+    }
+    let mut dec = DecodeSession::new();
+    let decoded = dec
+        .push_bytes(&enc.to_bytes())
+        .expect("smoke stream decode");
+    if decoded.len() != scenes.len() {
+        failures.push(format!(
+            "stream decoded {} of {} frames",
+            decoded.len(),
+            scenes.len()
+        ));
+    }
+    let stats = dec.cache().stats();
+    if stats.misses != 1 || stats.hits != scenes.len() as u64 - 1 {
+        failures.push(format!(
+            "operator cache expected 1 miss / {} hits, saw {} / {}",
+            scenes.len() - 1,
+            stats.misses,
+            stats.hits
+        ));
+    }
+    if enc.wire_bits() >= frame_codec_bits {
+        failures.push(format!(
+            "stream container {} bits not smaller than {} bits of per-frame headers",
+            enc.wire_bits(),
+            frame_codec_bits
+        ));
+    }
+    eprintln!(
+        "smoke: stream {} frames in {} bits (frame codec {} bits), cache hit rate {:.0}%",
+        decoded.len(),
+        enc.wire_bits(),
+        frame_codec_bits,
+        stats.hit_rate() * 100.0
+    );
     if failures.is_empty() {
         eprintln!("smoke: OK");
     } else {
@@ -81,6 +124,7 @@ fn main() {
     }
     let registry = registry();
     let mut out_path: Option<String> = None;
+    let mut full = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -90,24 +134,48 @@ fn main() {
                 eprintln!("--out requires a path");
                 std::process::exit(2);
             }
+        } else if arg == "--full" {
+            full = true;
         } else {
             ids.push(arg);
         }
     }
 
     if ids.is_empty() {
-        println!("usage: experiments <id>... | all [--out <path>]\n\navailable experiments:");
+        println!(
+            "usage: experiments <id>... | all [--full] [--out <path>]\n\navailable experiments:"
+        );
         for e in &registry {
-            println!("  {:<12} {}", e.id, e.artifact);
+            let tier = match e.tier {
+                Tier::Fast => "",
+                Tier::Full => " [full tier]",
+            };
+            println!("  {:<12} {}{tier}", e.id, e.artifact);
         }
         return;
     }
 
     let run_all = ids.iter().any(|i| i == "all");
+    // `all` expands to the fast tier on PR lanes; `--full` (nightly)
+    // pulls in the slow full-size sweeps. Explicitly named ids always
+    // run, whatever their tier.
     let selected: Vec<_> = registry
         .iter()
-        .filter(|e| run_all || ids.iter().any(|i| i == e.id))
+        .filter(|e| (run_all && (full || e.tier == Tier::Fast)) || ids.iter().any(|i| i == e.id))
         .collect();
+    if run_all && !full {
+        let skipped: Vec<&str> = registry
+            .iter()
+            .filter(|e| e.tier == Tier::Full && !selected.iter().any(|s| s.id == e.id))
+            .map(|e| e.id)
+            .collect();
+        if !skipped.is_empty() {
+            eprintln!(
+                "skipping full-tier sweeps (pass --full to include): {}",
+                skipped.join(" ")
+            );
+        }
+    }
     if selected.is_empty() {
         eprintln!("no matching experiments; run without arguments to list ids");
         std::process::exit(2);

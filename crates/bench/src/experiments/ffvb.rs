@@ -9,7 +9,7 @@
 
 use crate::report::{section, Table};
 use tepics_core::batch::BatchRunner;
-use tepics_core::pipeline::evaluate;
+use tepics_core::pipeline::evaluate_with_cache;
 use tepics_core::prelude::*;
 use tepics_imaging::psnr;
 use tepics_util::parallel::{default_threads, par_map};
@@ -41,14 +41,15 @@ pub fn run() -> String {
         // Full frame: one batch across the ratio sweep (evaluate()
         // grades against the same ideal codes; the wire round-trip it
         // adds is lossless).
-        let full = BatchRunner::new()
+        let runner = BatchRunner::new();
+        let full = runner
             .run_jobs(&ratios, |&r| {
                 let imager = CompressiveImager::builder(side, side)
                     .ratio(r)
                     .seed(0xFFB)
                     .fidelity(Fidelity::Functional)
                     .build()?;
-                evaluate(&imager, |_| {}, &scene)
+                evaluate_with_cache(runner.cache(), &imager, |_| {}, &scene)
             })
             .expect("full-frame sweep pipeline");
         // Block baseline on the same code images, fanned the same way.

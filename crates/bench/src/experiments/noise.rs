@@ -12,6 +12,8 @@
 //! threads; per-point results are sliced back out of the (input-ordered,
 //! thread-count-independent) report vector.
 
+use std::sync::Arc;
+
 use crate::report::{section, Table};
 use tepics_core::batch::BatchRunner;
 use tepics_core::params;
@@ -41,14 +43,23 @@ fn job(configure: impl FnOnce(&mut tepics_sensor::SensorConfigBuilder)) -> Job {
 /// grade against `truth` — the *noiseless* ideal codes, computed once
 /// by the caller — so every analog error counts as reconstruction
 /// error.
-fn run_job(j: &Job, scene: &ImageF64, truth: &ImageF64) -> Result<PipelineReport, CoreError> {
+fn run_job(
+    j: &Job,
+    scene: &ImageF64,
+    truth: &ImageF64,
+    cache: &Arc<OperatorCache>,
+) -> Result<PipelineReport, CoreError> {
     let imager = CompressiveImager::builder(SIDE, SIDE)
         .sensor_config(j.config.clone())
         .ratio(RATIO)
         .seed(SEED)
         .build()?;
     let (frame, event_stats) = imager.capture_with_stats(scene);
-    let recon = Decoder::for_frame(&frame)?.reconstruct(&frame)?;
+    // Analog noise knobs do not touch Φ: every sweep point shares
+    // (geometry, strategy, seed, k), so the whole batch decodes through
+    // one cached operator.
+    let mut session = DecodeSession::with_cache(cache.clone());
+    let recon = session.push_frame(&frame)?.reconstruction;
     let code_max = ((1u32 << frame.header.code_bits) - 1) as f64;
     Ok(PipelineReport {
         ratio: frame.ratio(),
@@ -115,8 +126,9 @@ pub fn run() -> String {
         .unwrap()
         .ideal_codes(&scene)
         .to_code_f64();
-    let outcome = BatchRunner::new()
-        .run_jobs(&jobs, |j| run_job(j, &scene, &truth))
+    let runner = BatchRunner::new();
+    let outcome = runner
+        .run_jobs(&jobs, |j| run_job(j, &scene, &truth, runner.cache()))
         .expect("noise sweep pipeline");
     let db: Vec<f64> = outcome.reports.iter().map(|r| r.psnr_code_db).collect();
     // Slice the input-ordered results back into their sections.

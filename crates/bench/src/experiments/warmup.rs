@@ -5,7 +5,7 @@
 
 use crate::report::{section, Table};
 use tepics_core::batch::BatchRunner;
-use tepics_core::pipeline::evaluate;
+use tepics_core::pipeline::evaluate_with_cache;
 use tepics_core::prelude::*;
 
 /// Runs the experiment.
@@ -52,7 +52,8 @@ pub fn run() -> String {
         .into_iter()
         .flat_map(|warmup| [1u8, 2].map(|steps| (warmup, steps)))
         .collect();
-    let outcome = BatchRunner::new()
+    let runner = BatchRunner::new();
+    let outcome = runner
         .run_jobs(&grid, |&(warmup, steps)| {
             let strategy = StrategyKind::CellularAutomaton {
                 rule: 30,
@@ -65,7 +66,9 @@ pub fn run() -> String {
                 .strategy(strategy)
                 .fidelity(Fidelity::Functional)
                 .build()?;
-            evaluate(&imager, |_| {}, &scene)
+            // Each grid point is its own cache key (the strategy is the
+            // knob under test); the shared cache still dedups dictionaries.
+            evaluate_with_cache(runner.cache(), &imager, |_| {}, &scene)
         })
         .expect("warmup sweep pipeline");
     let mut t = Table::new(&["warmup", "steps/sample", "PSNR (dB)", "SSIM"]);

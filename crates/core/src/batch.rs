@@ -36,19 +36,30 @@
 //! assert!(summary.mean_psnr_db > 10.0);
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::cache::OperatorCache;
 use crate::error::CoreError;
 use crate::imager::CompressiveImager;
-use crate::pipeline::{evaluate, PipelineReport};
+use crate::pipeline::{evaluate_with_cache, PipelineReport};
+use crate::session::{DecodeSession, DecodedFrame};
 use tepics_imaging::ImageF64;
 use tepics_util::parallel::{default_threads, par_map};
 
 /// Fans independent capture→wire→reconstruct jobs across worker
 /// threads and aggregates their [`PipelineReport`]s.
+///
+/// Every runner owns a shared [`OperatorCache`]: items of a
+/// [`BatchRunner::run`] batch share one imager (one seed), so the
+/// measurement operator, dictionary, and FISTA step size are built by
+/// the first item and served warm to the rest — across worker threads.
+/// Warm results are bit-identical to cold ones, so the determinism
+/// guarantee is unaffected.
 #[derive(Debug, Clone)]
 pub struct BatchRunner {
     threads: usize,
+    cache: Arc<OperatorCache>,
 }
 
 impl Default for BatchRunner {
@@ -61,9 +72,7 @@ impl BatchRunner {
     /// A runner using all available hardware parallelism.
     #[must_use]
     pub fn new() -> Self {
-        BatchRunner {
-            threads: default_threads(),
-        }
+        Self::with_threads(default_threads())
     }
 
     /// A runner pinned to `threads` workers (1 = serial, useful for
@@ -72,6 +81,7 @@ impl BatchRunner {
     pub fn with_threads(threads: usize) -> Self {
         BatchRunner {
             threads: threads.max(1),
+            cache: OperatorCache::shared(),
         }
     }
 
@@ -81,8 +91,16 @@ impl BatchRunner {
         self.threads
     }
 
-    /// Runs the standard pipeline ([`evaluate`] with a default-configured
-    /// decoder) over `scenes` with a shared imager.
+    /// The operator cache shared by this runner's decodes (inspect its
+    /// [`stats`](OperatorCache::stats) for hit rates).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<OperatorCache> {
+        &self.cache
+    }
+
+    /// Runs the standard pipeline ([`evaluate_with_cache`] with a
+    /// default-configured decoder and the runner's shared cache) over
+    /// `scenes` with a shared imager.
     ///
     /// # Errors
     ///
@@ -93,7 +111,28 @@ impl BatchRunner {
         imager: &CompressiveImager,
         scenes: &[ImageF64],
     ) -> Result<BatchOutcome, CoreError> {
-        self.run_jobs(scenes, |scene| evaluate(imager, |_| {}, scene))
+        self.run_jobs(scenes, |scene| {
+            evaluate_with_cache(&self.cache, imager, |_| {}, scene)
+        })
+    }
+
+    /// Decodes many wire streams in parallel, one [`DecodeSession`] per
+    /// stream, all sharing the runner's operator cache. Results are in
+    /// input order and bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-stream error in input order; all streams
+    /// are still executed.
+    pub fn decode_streams(
+        &self,
+        streams: &[impl AsRef<[u8]> + Sync],
+    ) -> Result<Vec<Vec<DecodedFrame>>, CoreError> {
+        let results = par_map(self.threads, streams, |_, bytes| {
+            let mut session = DecodeSession::with_cache(self.cache.clone());
+            session.push_bytes(bytes.as_ref())
+        });
+        results.into_iter().collect()
     }
 
     /// Runs an arbitrary per-item pipeline over `jobs`.
@@ -223,6 +262,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::evaluate;
     use tepics_imaging::Scene;
     use tepics_sensor::{EventStats, Fidelity};
 
@@ -255,6 +295,61 @@ mod tests {
                 "thread count {threads} changed batch results"
             );
         }
+    }
+
+    /// The PR-1 determinism guarantee extended from single frames to
+    /// streams: decoding a batch of multi-frame wire streams through
+    /// [`BatchRunner::decode_streams`] (shared operator cache, parallel
+    /// sessions) is bit-identical at any thread count.
+    #[test]
+    fn stream_decodes_identical_across_thread_counts() {
+        use crate::session::EncodeSession;
+        let im = imager(16);
+        let streams: Vec<Vec<u8>> = (0..4)
+            .map(|s| {
+                let mut enc = EncodeSession::new(im.clone()).unwrap();
+                for i in 0..3 {
+                    enc.capture(&Scene::gaussian_blobs(3).render(16, 16, s * 10 + i))
+                        .unwrap();
+                }
+                enc.into_bytes()
+            })
+            .collect();
+        let serial = BatchRunner::with_threads(1)
+            .decode_streams(&streams)
+            .unwrap();
+        assert_eq!(serial.len(), 4);
+        assert!(serial.iter().all(|frames| frames.len() == 3));
+        for threads in [2, 4, 19] {
+            let parallel = BatchRunner::with_threads(threads)
+                .decode_streams(&streams)
+                .unwrap();
+            assert_eq!(
+                serial, parallel,
+                "thread count {threads} changed stream decodes"
+            );
+        }
+    }
+
+    /// All streams of a batch share one seed, so the runner's cache
+    /// builds the operator once and serves every other frame warm.
+    #[test]
+    fn decode_streams_shares_the_operator_cache() {
+        use crate::session::EncodeSession;
+        let im = imager(16);
+        let streams: Vec<Vec<u8>> = (0..3)
+            .map(|s| {
+                let mut enc = EncodeSession::new(im.clone()).unwrap();
+                enc.capture(&Scene::gaussian_blobs(2).render(16, 16, s))
+                    .unwrap();
+                enc.into_bytes()
+            })
+            .collect();
+        let runner = BatchRunner::with_threads(1);
+        runner.decode_streams(&streams).unwrap();
+        let stats = runner.cache().stats();
+        assert_eq!(stats.misses, 1, "one cold operator build for the batch");
+        assert_eq!(stats.hits, 2);
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Shared operator/dictionary cache for the decode hot path.
+//!
+//! Rebuilding the measurement operator is pure function of the frame
+//! header: `(rows, cols, strategy, seed, k)` fully determines the CA
+//! replay, the selection patterns, and therefore Φ. The same goes for
+//! the sparsifying dictionary (`(kind, rows, cols)`) and for the FISTA
+//! gradient step `1/L` with `L = ‖ΦΨ‖²` (estimated by a *seeded* power
+//! iteration, so it too is deterministic). A decoder that processes a
+//! stream of same-seed frames — the paper's video deployment — or a
+//! batch of same-seed items therefore rebuilds identical state over and
+//! over.
+//!
+//! [`OperatorCache`] memoizes all three. It is `Sync`: one cache can be
+//! shared across the worker threads of a [`BatchRunner`] run, and
+//! because every cached value is bit-identical to what a cold build
+//! would produce, warm and cold decodes yield *exactly* the same
+//! reconstructions — the batch engine's determinism guarantee survives
+//! caching.
+//!
+//! [`BatchRunner`]: crate::batch::BatchRunner
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::decoder::{build_dictionary, DictImpl, DictionaryKind};
+use crate::error::CoreError;
+use crate::strategy::StrategyKind;
+use tepics_cs::measurement::SelectionMeasurement;
+use tepics_cs::XorMeasurement;
+
+/// Everything that determines a measurement operator — the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperatorKey {
+    /// Array rows (M).
+    pub rows: u16,
+    /// Array columns (N).
+    pub cols: u16,
+    /// Strategy family and parameters.
+    pub strategy: StrategyKind,
+    /// Strategy seed.
+    pub seed: u64,
+    /// Number of measurements (rows of Φ).
+    pub k: usize,
+}
+
+/// Hit/miss counters of an [`OperatorCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Operator lookups served from the cache.
+    pub hits: u64,
+    /// Operator lookups that had to build Φ.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served warm (`0.0` for an unused cache).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A cached measurement operator plus its precomputed selection counts.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedOperator {
+    pub(crate) phi: Arc<XorMeasurement>,
+    pub(crate) counts: Arc<Vec<f64>>,
+}
+
+/// Memoizes measurement operators, dictionaries, and FISTA step sizes
+/// across frames, streams, and batch items.
+///
+/// Cheap to share: wrap in an [`Arc`] (or use [`OperatorCache::shared`])
+/// and clone the handle into every decoder/session that should reuse
+/// the same state.
+/// The map `Mutex`es guard only the entry lookup; the expensive builds
+/// (CA replay, power iteration) run outside them behind per-key
+/// [`OnceLock`]s, so distinct-key work in a parallel batch stays
+/// parallel while same-key racers still converge on one value.
+#[derive(Debug, Default)]
+pub struct OperatorCache {
+    ops: SharedMap<OperatorKey, CachedOperator>,
+    dicts: Mutex<HashMap<(DictionaryKind, u16, u16), Arc<DictImpl>>>,
+    /// FISTA gradient step `1/(‖ΦΨ‖²·1.05)` per (operator, dictionary);
+    /// `0.0` marks a zero operator (no override — the solver handles it).
+    steps: SharedMap<(OperatorKey, DictionaryKind), f64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A map of lazily-initialized entries: the `Mutex` guards only the
+/// entry lookup, each value initializes behind its own [`OnceLock`].
+type SharedMap<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
+impl OperatorCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache behind an [`Arc`], ready to share.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Hit/miss counters so far (operator lookups only).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The measurement operator and selection counts for `key`,
+    /// building and memoizing them on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the strategy parameters
+    /// in `key` are invalid.
+    pub(crate) fn operator(
+        &self,
+        key: &OperatorKey,
+    ) -> Result<(Arc<XorMeasurement>, Arc<Vec<f64>>), CoreError> {
+        let cell = {
+            let mut ops = self.ops.lock().expect("operator cache poisoned");
+            ops.entry(*key).or_default().clone()
+        };
+        if let Some(cached) = cell.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((cached.phi.clone(), cached.counts.clone()));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Build outside every lock so distinct keys proceed in
+        // parallel. Same-key racers may build twice; the builds are
+        // deterministic and the OnceLock keeps one, so the returned
+        // value is unaffected. An invalid strategy caches nothing and
+        // errors on every call.
+        let (rows, cols) = (key.rows as usize, key.cols as usize);
+        let mut source = key.strategy.build_source(rows + cols, key.seed)?;
+        let phi = Arc::new(XorMeasurement::from_source(
+            rows,
+            cols,
+            source.as_mut(),
+            key.k,
+        ));
+        let counts = Arc::new(phi.selection_counts());
+        let cached = cell.get_or_init(|| CachedOperator { phi, counts });
+        Ok((cached.phi.clone(), cached.counts.clone()))
+    }
+
+    /// The dictionary for `(kind, rows, cols)`, built on first use.
+    pub(crate) fn dictionary(&self, kind: DictionaryKind, rows: u16, cols: u16) -> Arc<DictImpl> {
+        let mut dicts = self.dicts.lock().expect("dictionary cache poisoned");
+        dicts
+            .entry((kind, rows, cols))
+            .or_insert_with(|| Arc::new(build_dictionary(kind, rows as usize, cols as usize)))
+            .clone()
+    }
+
+    /// The memoized FISTA gradient step for `(key, kind)`, computing it
+    /// with `compute` on first use. Returns `None` when the composed
+    /// operator is (numerically) zero, in which case the caller must let
+    /// the solver take its own zero-operator path.
+    pub(crate) fn fista_step(
+        &self,
+        key: &OperatorKey,
+        kind: DictionaryKind,
+        compute: impl FnOnce() -> f64,
+    ) -> Option<f64> {
+        let cell = {
+            let mut steps = self.steps.lock().expect("step cache poisoned");
+            steps.entry((*key, kind)).or_default().clone()
+        };
+        // The power iteration runs outside the map lock (it is the
+        // expensive part); the OnceLock still guarantees one stored
+        // value per key.
+        let step = *cell.get_or_init(compute);
+        (step > 0.0).then_some(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64, k: usize) -> OperatorKey {
+        OperatorKey {
+            rows: 16,
+            cols: 16,
+            strategy: StrategyKind::rule30(64),
+            seed,
+            k,
+        }
+    }
+
+    #[test]
+    fn operator_is_built_once_per_key() {
+        let cache = OperatorCache::new();
+        let (phi1, counts1) = cache.operator(&key(7, 40)).unwrap();
+        let (phi2, counts2) = cache.operator(&key(7, 40)).unwrap();
+        assert!(Arc::ptr_eq(&phi1, &phi2), "second lookup must be warm");
+        assert!(Arc::ptr_eq(&counts1, &counts2));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_keys_miss_independently() {
+        let cache = OperatorCache::new();
+        cache.operator(&key(1, 40)).unwrap();
+        cache.operator(&key(2, 40)).unwrap(); // different seed
+        cache.operator(&key(1, 50)).unwrap(); // different k
+        cache.operator(&key(1, 40)).unwrap(); // warm
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_operator_equals_cold_rebuild() {
+        let cache = OperatorCache::new();
+        let k = key(0xFEED, 32);
+        let (phi, counts) = cache.operator(&k).unwrap();
+        let mut source = k.strategy.build_source(32, k.seed).unwrap();
+        let cold = XorMeasurement::from_source(16, 16, source.as_mut(), 32);
+        assert_eq!(*phi, cold);
+        assert_eq!(*counts, cold.selection_counts());
+    }
+
+    #[test]
+    fn invalid_strategy_surfaces_config_error() {
+        let cache = OperatorCache::new();
+        let bad = OperatorKey {
+            rows: 8,
+            cols: 8,
+            strategy: StrategyKind::Lfsr { width: 64 },
+            seed: 1,
+            k: 4,
+        };
+        assert!(matches!(
+            cache.operator(&bad),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn fista_step_is_computed_once() {
+        let cache = OperatorCache::new();
+        let k = key(3, 10);
+        let first = cache.fista_step(&k, DictionaryKind::Dct2d, || 0.25);
+        let second = cache.fista_step(&k, DictionaryKind::Dct2d, || panic!("must be memoized"));
+        assert_eq!(first, Some(0.25));
+        assert_eq!(second, Some(0.25));
+        // A zero norm is remembered as "no override".
+        let zero = cache.fista_step(&k, DictionaryKind::Haar2d, || 0.0);
+        assert_eq!(zero, None);
+    }
+
+    #[test]
+    fn dictionaries_are_shared_per_geometry() {
+        let cache = OperatorCache::new();
+        let a = cache.dictionary(DictionaryKind::Dct2d, 16, 16);
+        let b = cache.dictionary(DictionaryKind::Dct2d, 16, 16);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.dictionary(DictionaryKind::Dct2d, 8, 8);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

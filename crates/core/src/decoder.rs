@@ -17,8 +17,11 @@
 //! [`Reconstruction::to_intensity`] inverts the pulse-modulation
 //! transfer for display.
 
+use std::sync::Arc;
+
+use crate::cache::{OperatorCache, OperatorKey};
 use crate::error::CoreError;
-use crate::frame::CompressedFrame;
+use crate::frame::{CompressedFrame, FrameHeader};
 use crate::strategy::StrategyKind;
 use tepics_cs::dictionary::{
     Dct2dDictionary, Dictionary, Haar2dDictionary, IdentityDictionary, ZeroMeanDictionary,
@@ -31,9 +34,10 @@ use tepics_recovery::{debias::debias, CoSaMp, Fista, Iht, Omp, SolveStats};
 use tepics_sensor::{CodeTransfer, SensorConfig};
 
 /// Sparsifying dictionary families available to the decoder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DictionaryKind {
     /// 2-D DCT (default; best for smooth/natural content).
+    #[default]
     Dct2d,
     /// 2-D Haar wavelets (piecewise-constant content).
     Haar2d,
@@ -82,10 +86,24 @@ impl Default for Algorithm {
 
 /// Dispatch-friendly dictionary wrapper (DC pinned where meaningful).
 #[derive(Debug, Clone)]
-enum DictImpl {
+pub(crate) enum DictImpl {
     Dct(ZeroMeanDictionary<Dct2dDictionary>),
     Haar(ZeroMeanDictionary<Haar2dDictionary>),
     Id(IdentityDictionary),
+}
+
+/// Builds the dictionary for one geometry (row-major `rows × cols`).
+pub(crate) fn build_dictionary(kind: DictionaryKind, rows: usize, cols: usize) -> DictImpl {
+    match kind {
+        DictionaryKind::Dct2d => {
+            DictImpl::Dct(ZeroMeanDictionary::new(Dct2dDictionary::new(cols, rows), 0))
+        }
+        DictionaryKind::Haar2d => DictImpl::Haar(ZeroMeanDictionary::new(
+            Haar2dDictionary::new(cols, rows),
+            0,
+        )),
+        DictionaryKind::Identity => DictImpl::Id(IdentityDictionary::new(rows * cols)),
+    }
 }
 
 impl Dictionary for DictImpl {
@@ -131,6 +149,16 @@ pub struct Reconstruction {
 }
 
 impl Reconstruction {
+    /// Assembles a reconstruction from parts (used by the session layer
+    /// for delta-decoded frames).
+    pub(crate) fn from_parts(codes: ImageF64, mean_code: f64, stats: SolveStats) -> Reconstruction {
+        Reconstruction {
+            codes,
+            mean_code,
+            stats,
+        }
+    }
+
     /// The reconstructed code image (the domain the sensor measures in).
     pub fn code_image(&self) -> &ImageF64 {
         &self.codes
@@ -169,6 +197,12 @@ fn intensity_from_crossing(config: &SensorConfig, t: f64) -> f64 {
 }
 
 /// Receiver-side decoder bound to a frame's geometry and strategy.
+///
+/// This is the per-frame recovery engine. For streams, batches, or any
+/// sequence of same-seed frames, prefer
+/// [`DecodeSession`](crate::session::DecodeSession), which drives this
+/// decoder through a shared [`OperatorCache`] so Φ, the dictionary, and
+/// the FISTA step size are built once instead of per frame.
 #[derive(Debug, Clone)]
 pub struct Decoder {
     rows: usize,
@@ -178,6 +212,7 @@ pub struct Decoder {
     code_max: f64,
     dictionary: DictionaryKind,
     algorithm: Algorithm,
+    cache: Option<Arc<OperatorCache>>,
 }
 
 impl Decoder {
@@ -188,16 +223,17 @@ impl Decoder {
     ///
     /// Returns [`CoreError::MalformedFrame`] for degenerate headers.
     pub fn for_frame(frame: &CompressedFrame) -> Result<Decoder, CoreError> {
-        let h = &frame.header;
-        if h.rows == 0 || h.cols == 0 {
-            return Err(CoreError::MalformedFrame("zero array dimension".into()));
-        }
-        if h.code_bits == 0 || h.code_bits > 16 {
-            return Err(CoreError::MalformedFrame(format!(
-                "code width {} outside 1..=16",
-                h.code_bits
-            )));
-        }
+        Decoder::for_header(&frame.header)
+    }
+
+    /// Creates a decoder from a header alone (e.g. a stream header,
+    /// before any frame payload has arrived).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] for degenerate headers.
+    pub fn for_header(h: &FrameHeader) -> Result<Decoder, CoreError> {
+        h.validate()?;
         Ok(Decoder {
             rows: h.rows as usize,
             cols: h.cols as usize,
@@ -206,6 +242,7 @@ impl Decoder {
             code_max: ((1u32 << h.code_bits) - 1) as f64,
             dictionary: DictionaryKind::Dct2d,
             algorithm: Algorithm::default(),
+            cache: None,
         })
     }
 
@@ -219,6 +256,26 @@ impl Decoder {
     pub fn algorithm(&mut self, algorithm: Algorithm) -> &mut Self {
         self.algorithm = algorithm;
         self
+    }
+
+    /// Attaches a shared operator cache: Φ, the selection counts, the
+    /// dictionary and the FISTA step size are then looked up (and
+    /// memoized) instead of rebuilt per frame. Warm results are
+    /// bit-identical to cold ones.
+    pub fn use_cache(&mut self, cache: Arc<OperatorCache>) -> &mut Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The cache key for a `k`-measurement frame on this decoder.
+    pub(crate) fn operator_key(&self, k: usize) -> OperatorKey {
+        OperatorKey {
+            rows: self.rows as u16,
+            cols: self.cols as u16,
+            strategy: self.strategy,
+            seed: self.seed,
+            k,
+        }
     }
 
     /// Rebuilds the measurement matrix exactly as the sensor generated
@@ -261,10 +318,26 @@ impl Decoder {
         if frame.samples.is_empty() {
             return Err(CoreError::MalformedFrame("frame has no samples".into()));
         }
-        let phi = self.rebuild_measurement(frame.samples.len())?;
+        let k = frame.samples.len();
+        // Operator + dictionary: from the shared cache when attached
+        // (built once per key), cold otherwise. Warm values are
+        // bit-identical to a cold rebuild, so the two paths produce the
+        // same reconstruction.
+        let (phi, counts, dict) = match &self.cache {
+            Some(cache) => {
+                let (phi, counts) = cache.operator(&self.operator_key(k))?;
+                let dict = cache.dictionary(self.dictionary, self.rows as u16, self.cols as u16);
+                (phi, counts, dict)
+            }
+            None => {
+                let phi = Arc::new(self.rebuild_measurement(k)?);
+                let counts = Arc::new(phi.selection_counts());
+                let dict = Arc::new(build_dictionary(self.dictionary, self.rows, self.cols));
+                (phi, counts, dict)
+            }
+        };
         let y: Vec<f64> = frame.samples.iter().map(|&s| s as f64).collect();
         // Stage 1: mean split from the known selection counts.
-        let counts = phi.selection_counts();
         let cc = op::dot(&counts, &counts);
         let mean_code = if cc > 0.0 {
             (op::dot(&counts, &y) / cc).clamp(0.0, self.code_max)
@@ -273,35 +346,39 @@ impl Decoder {
         };
         let resid: Vec<f64> = y
             .iter()
-            .zip(&counts)
+            .zip(counts.iter())
             .map(|(&yi, &ci)| yi - mean_code * ci)
             .collect();
         // Stage 2: sparse recovery of the zero-mean component.
-        let n = self.rows * self.cols;
-        let dict = match self.dictionary {
-            DictionaryKind::Dct2d => DictImpl::Dct(ZeroMeanDictionary::new(
-                Dct2dDictionary::new(self.cols, self.rows),
-                0,
-            )),
-            DictionaryKind::Haar2d => DictImpl::Haar(ZeroMeanDictionary::new(
-                Haar2dDictionary::new(self.cols, self.rows),
-                0,
-            )),
-            DictionaryKind::Identity => DictImpl::Id(IdentityDictionary::new(n)),
-        };
-        let a = ComposedOperator::new(&phi, &dict);
+        let a = ComposedOperator::new(phi.as_ref(), dict.as_ref());
         let recovery = match self.algorithm {
             Algorithm::Fista {
                 lambda_ratio,
                 max_iter,
                 debias: do_debias,
             } => {
-                let rec = Fista::new()
-                    .lambda_ratio(lambda_ratio)
-                    .max_iter(max_iter)
-                    .solve(&a, &resid)?;
+                let mut solver = Fista::new();
+                solver.lambda_ratio(lambda_ratio).max_iter(max_iter);
+                if let Some(cache) = &self.cache {
+                    // Memoize the step 1/L: the seeded power iteration
+                    // behind it is the per-solve cost the cache removes.
+                    // Mirrors the solver's own derivation exactly
+                    // (‖ΦΨ‖ estimate, 5% safety margin).
+                    let step = cache.fista_step(&self.operator_key(k), self.dictionary, || {
+                        let norm = op::operator_norm_est(&a, 30, 0x0F1A57A);
+                        if norm == 0.0 {
+                            0.0
+                        } else {
+                            1.0 / (norm * norm * 1.05)
+                        }
+                    });
+                    if let Some(step) = step {
+                        solver.step(step);
+                    }
+                }
+                let rec = solver.solve(&a, &resid)?;
                 if do_debias {
-                    debias(&a, &resid, &rec, frame.samples.len() / 2)?
+                    debias(&a, &resid, &rec, k / 2)?
                 } else {
                     rec
                 }

@@ -13,6 +13,10 @@ use crate::strategy::StrategyKind;
 const MAGIC: [u8; 4] = *b"TEPX";
 const VERSION: u8 = 1;
 
+/// Serialized size of the per-frame header (magic + version + geometry
+/// + strategy + seed + sample count).
+pub(crate) const FRAME_HEADER_BYTES: usize = 27;
+
 /// Frame metadata: everything the decoder needs to rebuild Φ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
@@ -28,6 +32,25 @@ pub struct FrameHeader {
     pub strategy: StrategyKind,
     /// Strategy seed — the only "matrix" data ever transmitted.
     pub seed: u64,
+}
+
+impl FrameHeader {
+    /// Validates the fields the decoder depends on (shared by
+    /// [`Decoder::for_header`](crate::decoder::Decoder::for_header) and
+    /// the stream container, so the two can never diverge on what a
+    /// degenerate header is).
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(CoreError::MalformedFrame("zero array dimension".into()));
+        }
+        if self.code_bits == 0 || self.code_bits > 16 {
+            return Err(CoreError::MalformedFrame(format!(
+                "code width {} outside 1..=16",
+                self.code_bits
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// A captured compressed frame ready for transmission.
@@ -56,8 +79,12 @@ impl CompressedFrame {
     }
 
     /// Total wire size in bits (header + payload).
+    ///
+    /// Computed arithmetically — no serialization is performed. The
+    /// count must match [`CompressedFrame::to_bytes`] exactly; the unit
+    /// tests pin the two together.
     pub fn wire_bits(&self) -> usize {
-        self.to_bytes().len() * 8
+        (FRAME_HEADER_BYTES + self.payload_bits().div_ceil(8)) * 8
     }
 
     /// Serializes to wire bytes.
@@ -150,21 +177,21 @@ impl CompressedFrame {
     }
 }
 
-/// MSB-first bit packer.
-struct BitWriter {
+/// MSB-first bit packer (shared with the stream container codec).
+pub(crate) struct BitWriter {
     bytes: Vec<u8>,
     bit_pos: u32,
 }
 
 impl BitWriter {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         BitWriter {
             bytes: Vec::new(),
             bit_pos: 0,
         }
     }
 
-    fn write(&mut self, value: u32, bits: u32) {
+    pub(crate) fn write(&mut self, value: u32, bits: u32) {
         debug_assert!(bits <= 32);
         for i in (0..bits).rev() {
             if self.bit_pos.is_multiple_of(8) {
@@ -177,23 +204,23 @@ impl BitWriter {
         }
     }
 
-    fn finish(self) -> Vec<u8> {
+    pub(crate) fn finish(self) -> Vec<u8> {
         self.bytes
     }
 }
 
-/// MSB-first bit unpacker.
-struct BitReader<'a> {
+/// MSB-first bit unpacker (shared with the stream container codec).
+pub(crate) struct BitReader<'a> {
     bytes: &'a [u8],
     bit_pos: usize,
 }
 
 impl<'a> BitReader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         BitReader { bytes, bit_pos: 0 }
     }
 
-    fn read(&mut self, bits: u32) -> u32 {
+    pub(crate) fn read(&mut self, bits: u32) -> u32 {
         let mut out = 0u32;
         for _ in 0..bits {
             let byte = self.bytes[self.bit_pos / 8];

@@ -78,6 +78,24 @@ impl CompressiveImager {
         ((self.ratio * self.config.pixel_count() as f64).ceil() as usize).max(1)
     }
 
+    /// The header every frame captured by this imager carries (also the
+    /// stream header of an [`EncodeSession`](crate::session::EncodeSession)
+    /// built on it).
+    pub fn frame_header(&self) -> FrameHeader {
+        FrameHeader {
+            rows: self.config.rows() as u16,
+            cols: self.config.cols() as u16,
+            code_bits: self.config.counter_bits() as u8,
+            sample_bits: tepics_util::fixed::sum_bits(
+                self.config.counter_bits(),
+                self.config.rows() as u32,
+                self.config.cols() as u32,
+            ) as u8,
+            strategy: self.strategy,
+            seed: self.seed,
+        }
+    }
+
     /// Captures a frame.
     ///
     /// # Panics
@@ -101,18 +119,7 @@ impl CompressiveImager {
             .build_source(self.config.rows() + self.config.cols(), self.seed)
             .expect("strategy validated at build time");
         let captured: CapturedFrame = readout.capture(scene, source.as_mut(), self.sample_count());
-        let header = FrameHeader {
-            rows: self.config.rows() as u16,
-            cols: self.config.cols() as u16,
-            code_bits: self.config.counter_bits() as u8,
-            sample_bits: tepics_util::fixed::sum_bits(
-                self.config.counter_bits(),
-                self.config.rows() as u32,
-                self.config.cols() as u32,
-            ) as u8,
-            strategy: self.strategy,
-            seed: self.seed,
-        };
+        let header = self.frame_header();
         (
             CompressedFrame {
                 header,

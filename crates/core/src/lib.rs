@@ -19,16 +19,26 @@
 //! * [`CompressiveImager`] — captures compressed samples from a scene
 //!   using the event-accurate sensor simulator and an on-chip strategy
 //!   generator ([`StrategyKind`]).
-//! * [`CompressedFrame`] — the transmitted artifact: a tiny header plus
+//! * [`session`] — the stream-oriented public API: [`EncodeSession`]
+//!   captures scene sequences into one contiguous wire stream,
+//!   [`DecodeSession`] consumes bytes incrementally and reconstructs
+//!   through a shared operator cache.
+//! * [`stream`] — the versioned stream container those sessions speak:
+//!   stream header once, 5-byte per-frame records after.
+//! * [`cache`] — the [`OperatorCache`] memoizing Φ, dictionaries, and
+//!   FISTA step sizes across frames and batch items sharing a seed.
+//! * [`CompressedFrame`] — the single-frame artifact: a tiny header plus
 //!   bit-packed 20-bit samples; the measurement matrix itself is never
 //!   transmitted (only the seed is), which is the paper's key saving.
-//! * [`Decoder`] — regenerates Φ from the seed, estimates the scene
-//!   mean from the known per-row selection counts, and runs sparse
-//!   recovery (FISTA/OMP/CoSaMP/IHT over DCT/Haar/identity).
+//! * [`Decoder`] — the per-frame recovery engine: regenerates Φ from
+//!   the seed, estimates the scene mean from the known per-row
+//!   selection counts, and runs sparse recovery (FISTA/OMP/CoSaMP/IHT
+//!   over DCT/Haar/identity).
 //! * [`pipeline`] — capture → wire → reconstruct → quality report.
-//! * [`batch`] — fans many capture→recover loops across worker threads
-//!   and aggregates the reports (mean/percentile PSNR, wire totals,
-//!   frames/sec) with bit-identical results at any thread count.
+//! * [`batch`] — fans many capture→recover loops (or stream decodes)
+//!   across worker threads and aggregates the reports (mean/percentile
+//!   PSNR, wire totals, frames/sec) with bit-identical results at any
+//!   thread count.
 //! * [`BlockCs`] — the block-based CS baseline of refs. \[6–8\]/\[11\].
 //! * [`params`] — Eq. (1)/(2) and the compression break-even point.
 //!
@@ -37,17 +47,23 @@
 //! ```
 //! use tepics_core::prelude::*;
 //!
-//! let scene = Scene::gaussian_blobs(3).render(32, 32, 7);
 //! let imager = CompressiveImager::builder(32, 32)
 //!     .ratio(0.35)
 //!     .seed(42)
 //!     .build()
 //!     .unwrap();
-//! let frame = imager.capture(&scene);
-//! let decoder = Decoder::for_frame(&frame).unwrap();
-//! let recon = decoder.reconstruct(&frame).unwrap();
-//! let truth = imager.ideal_codes(&scene);
-//! let db = psnr(&truth.to_code_f64(), recon.code_image(), 255.0);
+//! let mut enc = EncodeSession::new(imager).unwrap();
+//! let scene = Scene::gaussian_blobs(3).render(32, 32, 7);
+//! enc.capture(&scene).unwrap();
+//!
+//! let mut dec = DecodeSession::new();
+//! let decoded = dec.push_bytes(&enc.to_bytes()).unwrap();
+//! let truth = enc.imager().ideal_codes(&scene);
+//! let db = psnr(
+//!     &truth.to_code_f64(),
+//!     decoded[0].reconstruction.code_image(),
+//!     255.0,
+//! );
 //! assert!(db > 20.0, "PSNR {db} dB unexpectedly low");
 //! ```
 
@@ -56,32 +72,40 @@
 
 pub mod baseline;
 pub mod batch;
+pub mod cache;
 pub mod decoder;
 pub mod error;
 pub mod frame;
 pub mod imager;
 pub mod params;
 pub mod pipeline;
+pub mod session;
 pub mod strategy;
+pub mod stream;
 pub mod video;
 
 pub use baseline::BlockCs;
 pub use batch::{BatchOutcome, BatchRunner, BatchSummary};
+pub use cache::{CacheStats, OperatorCache, OperatorKey};
 pub use decoder::{Algorithm, Decoder, DictionaryKind, Reconstruction};
 pub use error::CoreError;
 pub use frame::{CompressedFrame, FrameHeader};
 pub use imager::{CompressiveImager, CompressiveImagerBuilder};
+pub use session::{DecodeSession, DecodedFrame, EncodeSession};
 pub use strategy::StrategyKind;
 
 /// One-stop imports for the capture → transmit → reconstruct flow.
 pub mod prelude {
     pub use crate::baseline::BlockCs;
     pub use crate::batch::{BatchOutcome, BatchRunner, BatchSummary};
+    pub use crate::cache::{CacheStats, OperatorCache};
     pub use crate::decoder::{Algorithm, Decoder, DictionaryKind, Reconstruction};
     pub use crate::frame::CompressedFrame;
     pub use crate::imager::CompressiveImager;
-    pub use crate::pipeline::{evaluate, PipelineReport};
+    pub use crate::pipeline::{evaluate, evaluate_with_cache, PipelineReport};
+    pub use crate::session::{DecodeSession, DecodedFrame, EncodeSession};
     pub use crate::strategy::StrategyKind;
+    #[allow(deprecated)]
     pub use crate::video::SequenceDecoder;
     pub use tepics_imaging::{mae, mse, psnr, ssim, ImageF64, ImageU8, Scene};
     pub use tepics_sensor::{Fidelity, SensorConfig};

@@ -5,10 +5,15 @@
 //! quantities (code-domain PSNR/SSIM against the ideal code image,
 //! bits-on-wire against the raw readout, event statistics).
 
+use std::sync::Arc;
+
+use crate::cache::OperatorCache;
 use crate::decoder::Decoder;
 use crate::error::CoreError;
 use crate::imager::CompressiveImager;
 use crate::params;
+use crate::session::DecodeSession;
+use crate::stream::StreamWriter;
 use tepics_imaging::{psnr, ssim, ImageF64, Scene};
 use tepics_sensor::EventStats;
 
@@ -42,6 +47,9 @@ impl PipelineReport {
 /// Captures `scene`, round-trips the frame through the wire codec, and
 /// reconstructs with `decoder_config` applied to a fresh decoder.
 ///
+/// Thin layer over [`evaluate_with_cache`] with a private, single-use
+/// cache.
+///
 /// # Errors
 ///
 /// Propagates frame and recovery errors from the decoder.
@@ -54,20 +62,52 @@ pub fn evaluate(
     configure: impl FnOnce(&mut Decoder),
     scene: &ImageF64,
 ) -> Result<PipelineReport, CoreError> {
+    evaluate_with_cache(&OperatorCache::shared(), imager, configure, scene)
+}
+
+/// [`evaluate`] decoding through a shared [`OperatorCache`]: callers
+/// evaluating many scenes with one imager (suites, batches) reuse the
+/// measurement operator, dictionary, and FISTA step size across calls.
+/// Warm results are bit-identical to cold ones.
+///
+/// The capture is transported through the stream container
+/// ([`StreamWriter`] → [`DecodeSession::push_bytes`]), so every
+/// evaluation also exercises the session wire path end to end.
+/// `wire_bits` is reported for the single-frame codec (header +
+/// payload), keeping the wire accounting of every experiment
+/// comparable across batch shapes.
+///
+/// # Errors
+///
+/// Propagates frame and recovery errors from the decoder.
+///
+/// # Panics
+///
+/// Panics if the scene size does not match the imager.
+pub fn evaluate_with_cache(
+    cache: &Arc<OperatorCache>,
+    imager: &CompressiveImager,
+    configure: impl FnOnce(&mut Decoder),
+    scene: &ImageF64,
+) -> Result<PipelineReport, CoreError> {
     let (frame, event_stats) = imager.capture_with_stats(scene);
     // Always exercise the wire codec: transmit and re-parse.
-    let bytes = frame.to_bytes();
-    let received = crate::frame::CompressedFrame::from_bytes(&bytes)?;
-    let mut decoder = Decoder::for_frame(&received)?;
-    configure(&mut decoder);
-    let recon = decoder.reconstruct(&received)?;
+    let mut writer = StreamWriter::new(frame.header)?;
+    writer.push_frame(&frame)?;
+    let mut session = DecodeSession::with_cache(cache.clone());
+    configure(session.prime(&frame.header)?);
+    let decoded = session.push_bytes(&writer.into_bytes())?;
+    let recon = &decoded
+        .last()
+        .ok_or_else(|| CoreError::MalformedFrame("stream yielded no frame".into()))?
+        .reconstruction;
     let truth = imager.ideal_codes(scene).to_code_f64();
     let code_max = (1u32 << frame.header.code_bits) - 1;
     Ok(PipelineReport {
-        ratio: received.ratio(),
+        ratio: frame.ratio(),
         psnr_code_db: psnr(&truth, recon.code_image(), code_max as f64),
         ssim_code: ssim(&truth, recon.code_image(), code_max as f64),
-        wire_bits: received.wire_bits(),
+        wire_bits: frame.wire_bits(),
         raw_bits: params::raw_bits(
             frame.header.rows as u32,
             frame.header.cols as u32,
@@ -90,10 +130,13 @@ pub fn evaluate_suite(
     size: usize,
     scene_seed: u64,
 ) -> Result<Vec<(&'static str, PipelineReport)>, CoreError> {
+    // One cache for the whole suite: every scene shares the imager's
+    // seed and sample count, so Φ is built exactly once.
+    let cache = OperatorCache::shared();
     let mut out = Vec::new();
     for (name, scene) in Scene::evaluation_suite() {
         let img = scene.render(size, size, scene_seed);
-        let report = evaluate(imager, |_| {}, &img)?;
+        let report = evaluate_with_cache(&cache, imager, |_| {}, &img)?;
         out.push((name, report));
     }
     Ok(out)
@@ -125,14 +168,19 @@ pub fn progressive_psnr(
     let frame = imager.capture(scene);
     let truth = imager.ideal_codes(scene).to_code_f64();
     let code_max = ((1u32 << frame.header.code_bits) - 1) as f64;
+    // One session decodes every prefix: the container allows per-frame
+    // sample counts, and repeated checkpoints come back warm.
+    let mut session = DecodeSession::new();
     let mut out = Vec::with_capacity(checkpoints.len());
     for &k in checkpoints {
         let k = k.clamp(1, frame.samples.len());
         let mut prefix = frame.clone();
         prefix.samples.truncate(k);
-        let decoder = Decoder::for_frame(&prefix)?;
-        let recon = decoder.reconstruct(&prefix)?;
-        out.push((k, psnr(&truth, recon.code_image(), code_max)));
+        let decoded = session.push_frame(&prefix)?;
+        out.push((
+            k,
+            psnr(&truth, decoded.reconstruction.code_image(), code_max),
+        ));
     }
     Ok(out)
 }

@@ -1,0 +1,566 @@
+//! Stateful codec sessions: the stream-oriented public API.
+//!
+//! The paper's deployment is a *stream*: a camera node captures frame
+//! after frame with one seed, and only compressed samples (plus that
+//! 64-bit seed, once) cross the wire. [`EncodeSession`] is the capture
+//! side — it owns a [`CompressiveImager`] and appends every captured
+//! frame to one contiguous [`stream`](crate::stream) container.
+//! [`DecodeSession`] is the receiver — it consumes bytes incrementally
+//! ([`DecodeSession::push_bytes`] returns zero or more decoded frames as
+//! records complete) and owns an [`OperatorCache`], so the measurement
+//! operator, dictionary, and FISTA step size are built once and reused
+//! across every frame of the stream (and, when the cache is shared,
+//! across batch items with the same seed).
+//!
+//! Sessions subsume the older single-frame entry points:
+//!
+//! | frame API (still works)                    | session API                           |
+//! |--------------------------------------------|---------------------------------------|
+//! | `imager.capture(&scene)` + `to_bytes()`    | `enc.capture(&scene)` + `to_bytes()`  |
+//! | `CompressedFrame::from_bytes` + `Decoder`  | `dec.push_bytes(&bytes)`              |
+//! | `SequenceDecoder::push`                    | `dec.delta_mode(..)` + `push_bytes`   |
+//!
+//! # Examples
+//!
+//! ```
+//! use tepics_core::prelude::*;
+//! use tepics_core::session::{DecodeSession, EncodeSession};
+//!
+//! let imager = CompressiveImager::builder(16, 16)
+//!     .ratio(0.35)
+//!     .seed(9)
+//!     .fidelity(Fidelity::Functional)
+//!     .build()
+//!     .unwrap();
+//! let mut enc = EncodeSession::new(imager).unwrap();
+//! for i in 0..3 {
+//!     let scene = Scene::gaussian_blobs(2).render(16, 16, i);
+//!     enc.capture(&scene).unwrap();
+//! }
+//!
+//! let mut dec = DecodeSession::new();
+//! let decoded = dec.push_bytes(&enc.to_bytes()).unwrap();
+//! assert_eq!(decoded.len(), 3);
+//! // Frames 2 and 3 reused the operator built for frame 1.
+//! assert_eq!(dec.cache().stats().hits, 2);
+//! ```
+
+use std::sync::Arc;
+
+use crate::cache::OperatorCache;
+use crate::decoder::{Algorithm, Decoder, DictionaryKind, Reconstruction};
+use crate::error::CoreError;
+use crate::frame::{CompressedFrame, FrameHeader};
+use crate::imager::CompressiveImager;
+use crate::stream::{StreamParser, StreamWriter};
+use tepics_cs::dictionary::IdentityDictionary;
+use tepics_cs::ComposedOperator;
+use tepics_imaging::ImageF64;
+use tepics_recovery::Iht;
+use tepics_sensor::EventStats;
+
+/// Capture-side session: scenes in, one contiguous wire stream out.
+#[derive(Debug, Clone)]
+pub struct EncodeSession {
+    imager: CompressiveImager,
+    writer: StreamWriter,
+}
+
+impl EncodeSession {
+    /// Opens an encode session around `imager`; the stream header is
+    /// written immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] if the imager's header
+    /// cannot be represented by the container (e.g. samples wider than
+    /// 32 bits).
+    pub fn new(imager: CompressiveImager) -> Result<EncodeSession, CoreError> {
+        let writer = StreamWriter::new(imager.frame_header())?;
+        Ok(EncodeSession { imager, writer })
+    }
+
+    /// The imager driving this session.
+    pub fn imager(&self) -> &CompressiveImager {
+        &self.imager
+    }
+
+    /// The stream header (shared by every frame of the session).
+    pub fn header(&self) -> &FrameHeader {
+        self.writer.header()
+    }
+
+    /// Captures a scene and appends it to the stream; the captured
+    /// frame is returned for local inspection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container errors (which cannot occur for frames the
+    /// session's own imager produced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene dimensions do not match the sensor.
+    pub fn capture(&mut self, scene: &ImageF64) -> Result<CompressedFrame, CoreError> {
+        self.capture_with_stats(scene).map(|(frame, _)| frame)
+    }
+
+    /// Like [`EncodeSession::capture`], also returning the event-level
+    /// statistics of the capture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene dimensions do not match the sensor.
+    pub fn capture_with_stats(
+        &mut self,
+        scene: &ImageF64,
+    ) -> Result<(CompressedFrame, EventStats), CoreError> {
+        let (frame, stats) = self.imager.capture_with_stats(scene);
+        self.writer.push_frame(&frame)?;
+        Ok((frame, stats))
+    }
+
+    /// Appends a pre-captured frame (it must match the stream header).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FrameMismatch`] on a header mismatch.
+    pub fn push_frame(&mut self, frame: &CompressedFrame) -> Result<(), CoreError> {
+        self.writer.push_frame(frame)
+    }
+
+    /// Number of frames captured into the stream so far.
+    pub fn frames(&self) -> usize {
+        self.writer.frames()
+    }
+
+    /// Total wire size of the stream so far, in bits.
+    pub fn wire_bits(&self) -> usize {
+        self.writer.wire_bits()
+    }
+
+    /// The serialized stream so far (header + all frames).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.writer.bytes().to_vec()
+    }
+
+    /// Consumes the session, returning the serialized stream.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.writer.into_bytes()
+    }
+}
+
+/// Delta-decoding configuration of a [`DecodeSession`].
+#[derive(Debug, Clone, Copy)]
+struct DeltaMode {
+    sparsity: usize,
+    keyframe_interval: usize,
+}
+
+/// One decoded frame out of a [`DecodeSession`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFrame {
+    /// Position of the frame in the stream (0-based).
+    pub index: usize,
+    /// Whether this frame ran full sparse recovery (`true`) or delta
+    /// recovery against the previous reconstruction (`false`). Always
+    /// `true` outside delta mode.
+    pub is_key: bool,
+    /// The reconstruction.
+    pub reconstruction: Reconstruction,
+}
+
+/// Receiver-side session: wire bytes in, reconstructed frames out.
+///
+/// Bytes may arrive in arbitrary chunks; each [`DecodeSession::push_bytes`]
+/// call returns the frames completed by that chunk. All decoding state —
+/// the rebuilt measurement operator, the dictionary, the FISTA step
+/// size, and (in delta mode) the previous reconstruction — lives in the
+/// session, keyed by the stream header, so a long same-seed sequence
+/// pays the operator construction cost exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeSession {
+    parser: StreamParser,
+    cache: Arc<OperatorCache>,
+    decoder: Option<Decoder>,
+    dictionary: DictionaryKind,
+    algorithm: Algorithm,
+    delta: Option<DeltaMode>,
+    header: Option<FrameHeader>,
+    prev_samples: Option<Vec<u32>>,
+    prev_codes: Option<ImageF64>,
+    last_mean: f64,
+    frames_since_key: usize,
+    decoded: usize,
+}
+
+impl DecodeSession {
+    /// A session with its own private [`OperatorCache`].
+    #[must_use]
+    pub fn new() -> DecodeSession {
+        DecodeSession::default()
+    }
+
+    /// A session sharing `cache` (e.g. with other sessions of a batch,
+    /// so same-seed items reuse one operator).
+    #[must_use]
+    pub fn with_cache(cache: Arc<OperatorCache>) -> DecodeSession {
+        DecodeSession {
+            cache,
+            ..DecodeSession::default()
+        }
+    }
+
+    /// The operator cache this session decodes through.
+    pub fn cache(&self) -> &Arc<OperatorCache> {
+        &self.cache
+    }
+
+    /// Selects the sparsifying dictionary for key frames.
+    pub fn dictionary(&mut self, kind: DictionaryKind) -> &mut Self {
+        self.dictionary = kind;
+        if let Some(d) = &mut self.decoder {
+            d.dictionary(kind);
+        }
+        self
+    }
+
+    /// Selects the recovery algorithm for key frames.
+    pub fn algorithm(&mut self, algorithm: Algorithm) -> &mut Self {
+        self.algorithm = algorithm;
+        if let Some(d) = &mut self.decoder {
+            d.algorithm(algorithm);
+        }
+        self
+    }
+
+    /// Switches the session to sequence (delta) decoding: the first
+    /// frame (and every `keyframe_interval`-th frame; 0 = never again)
+    /// runs full recovery, intermediate frames recover only the
+    /// pixel-sparse delta `Φ⁻¹(y_t − y_{t−1})` with an IHT budget of
+    /// `sparsity` pixels. Frames must then share header *and* sample
+    /// count.
+    pub fn delta_mode(&mut self, sparsity: usize, keyframe_interval: usize) -> &mut Self {
+        self.delta = Some(DeltaMode {
+            sparsity: sparsity.max(1),
+            keyframe_interval,
+        });
+        self
+    }
+
+    /// The stream header, once known (from priming or the first parsed
+    /// bytes).
+    pub fn header(&self) -> Option<&FrameHeader> {
+        self.header.as_ref()
+    }
+
+    /// Number of frames decoded so far.
+    pub fn frames_decoded(&self) -> usize {
+        self.decoded
+    }
+
+    /// Bytes received but not yet consumed by a complete frame.
+    pub fn buffered_bytes(&self) -> usize {
+        self.parser.buffered_bytes()
+    }
+
+    /// Builds (or returns) the per-frame decoder for `header`, giving
+    /// access to its dictionary/algorithm knobs before any frame is
+    /// decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] for degenerate headers.
+    pub fn prime(&mut self, header: &FrameHeader) -> Result<&mut Decoder, CoreError> {
+        if self.decoder.is_none() {
+            let mut decoder = Decoder::for_header(header)?;
+            decoder
+                .dictionary(self.dictionary)
+                .algorithm(self.algorithm)
+                .use_cache(self.cache.clone());
+            self.decoder = Some(decoder);
+            self.header = Some(*header);
+        }
+        Ok(self.decoder.as_mut().expect("primed above"))
+    }
+
+    /// Direct access to the per-frame decoder, once primed.
+    pub fn decoder_mut(&mut self) -> Option<&mut Decoder> {
+        self.decoder.as_mut()
+    }
+
+    /// Feeds received bytes, returning every frame completed by them
+    /// (possibly none).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] on a corrupt stream (the
+    /// parser error is sticky) plus any recovery error.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Result<Vec<DecodedFrame>, CoreError> {
+        self.parser.push_bytes(bytes);
+        let mut out = Vec::new();
+        while let Some(frame) = self.parser.next_frame()? {
+            out.push(self.decode(&frame)?);
+        }
+        Ok(out)
+    }
+
+    /// Decodes one frame directly, bypassing the stream container (for
+    /// callers that already hold parsed [`CompressedFrame`]s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FrameMismatch`] if the frame does not match
+    /// the session, plus any recovery error.
+    pub fn push_frame(&mut self, frame: &CompressedFrame) -> Result<DecodedFrame, CoreError> {
+        self.decode(frame)
+    }
+
+    fn decode(&mut self, frame: &CompressedFrame) -> Result<DecodedFrame, CoreError> {
+        self.prime(&frame.header)?;
+        let is_key = match (&self.delta, &self.prev_samples) {
+            (Some(delta), Some(prev)) => {
+                if self.header.as_ref() != Some(&frame.header) || prev.len() != frame.samples.len()
+                {
+                    return Err(CoreError::FrameMismatch(
+                        "sequence frames must share header and sample count".into(),
+                    ));
+                }
+                delta.keyframe_interval > 0 && self.frames_since_key >= delta.keyframe_interval
+            }
+            _ => true,
+        };
+        let reconstruction = if is_key {
+            let recon = self
+                .decoder
+                .as_ref()
+                .expect("primed above")
+                .reconstruct(frame)?;
+            self.frames_since_key = 0;
+            self.last_mean = recon.mean_code();
+            recon
+        } else {
+            self.decode_delta(frame)?
+        };
+        if self.delta.is_some() {
+            if !is_key {
+                self.frames_since_key += 1;
+            }
+            self.prev_samples = Some(frame.samples.clone());
+            self.prev_codes = Some(reconstruction.code_image().clone());
+        }
+        let index = self.decoded;
+        self.decoded += 1;
+        Ok(DecodedFrame {
+            index,
+            is_key,
+            reconstruction,
+        })
+    }
+
+    /// Delta recovery: `y_t − y_{t−1} = Φ(x_t − x_{t−1})`, solved
+    /// pixel-sparse (IHT, identity dictionary) against the previous
+    /// reconstruction. Same seed ⇒ same Φ, so the operator comes warm
+    /// from the cache.
+    fn decode_delta(&self, frame: &CompressedFrame) -> Result<Reconstruction, CoreError> {
+        let prev_samples = self.prev_samples.as_ref().expect("delta needs history");
+        let prev_codes = self.prev_codes.as_ref().expect("delta needs history");
+        let delta = self.delta.expect("delta mode configured");
+        let decoder = self.decoder.as_ref().expect("primed");
+        let dy: Vec<f64> = frame
+            .samples
+            .iter()
+            .zip(prev_samples)
+            .map(|(&a, &b)| a as f64 - b as f64)
+            .collect();
+        let (phi, _) = self
+            .cache
+            .operator(&decoder.operator_key(frame.samples.len()))?;
+        let dict = IdentityDictionary::new(prev_codes.len());
+        let a = ComposedOperator::new(phi.as_ref(), &dict);
+        let rec = Iht::new(delta.sparsity).max_iter(200).solve(&a, &dy)?;
+        let code_max = ((1u32 << frame.header.code_bits) - 1) as f64;
+        let codes = ImageF64::from_vec(
+            prev_codes.width(),
+            prev_codes.height(),
+            prev_codes
+                .as_slice()
+                .iter()
+                .zip(&rec.coefficients)
+                .map(|(&p, &d)| (p + d).clamp(0.0, code_max))
+                .collect(),
+        );
+        Ok(Reconstruction::from_parts(codes, self.last_mean, rec.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_imaging::{psnr, Scene};
+    use tepics_sensor::Fidelity;
+
+    fn imager(side: usize, seed: u64) -> CompressiveImager {
+        CompressiveImager::builder(side, side)
+            .ratio(0.35)
+            .seed(seed)
+            .fidelity(Fidelity::Functional)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn session_roundtrip_matches_per_frame_pipeline() {
+        // The acceptance property: a sequence encoded via
+        // EncodeSession::to_bytes and decoded via push_bytes round-trips
+        // bit-identically to per-frame capture/reconstruct.
+        let im = imager(16, 42);
+        let scenes: Vec<ImageF64> = (0..4)
+            .map(|i| Scene::gaussian_blobs(2).render(16, 16, i))
+            .collect();
+        let mut enc = EncodeSession::new(im.clone()).unwrap();
+        let mut per_frame = Vec::new();
+        for scene in &scenes {
+            let frame = im.capture(scene);
+            let cold = Decoder::for_frame(&frame)
+                .unwrap()
+                .reconstruct(&frame)
+                .unwrap();
+            per_frame.push(cold);
+            enc.capture(scene).unwrap();
+        }
+        let mut dec = DecodeSession::new();
+        let decoded = dec.push_bytes(&enc.to_bytes()).unwrap();
+        assert_eq!(decoded.len(), scenes.len());
+        for (d, cold) in decoded.iter().zip(&per_frame) {
+            assert_eq!(d.reconstruction, *cold, "frame {}", d.index);
+            assert!(d.is_key);
+        }
+    }
+
+    #[test]
+    fn chunked_delivery_decodes_incrementally() {
+        let im = imager(16, 7);
+        let mut enc = EncodeSession::new(im).unwrap();
+        for i in 0..3 {
+            enc.capture(&Scene::gaussian_blobs(2).render(16, 16, i))
+                .unwrap();
+        }
+        let bytes = enc.into_bytes();
+        let mut dec = DecodeSession::new();
+        let mut total = 0;
+        for chunk in bytes.chunks(97) {
+            total += dec.push_bytes(chunk).unwrap().len();
+        }
+        assert_eq!(total, 3);
+        assert_eq!(dec.frames_decoded(), 3);
+        assert_eq!(dec.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn operator_cache_hits_across_frames() {
+        let im = imager(16, 5);
+        let mut enc = EncodeSession::new(im).unwrap();
+        for i in 0..4 {
+            enc.capture(&Scene::gaussian_blobs(2).render(16, 16, i))
+                .unwrap();
+        }
+        let mut dec = DecodeSession::new();
+        dec.push_bytes(&enc.to_bytes()).unwrap();
+        let stats = dec.cache().stats();
+        assert_eq!(stats.misses, 1, "one cold build");
+        assert_eq!(stats.hits, 3, "three warm frames");
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_mode_matches_sequence_decoder_semantics() {
+        let im = imager(24, 0xCAFE);
+        let scene = Scene::gaussian_blobs(3).render(24, 24, 5);
+        let frame = im.capture(&scene);
+        let mut session = DecodeSession::new();
+        session.delta_mode(20, 0);
+        let key = session.push_frame(&frame).unwrap();
+        assert!(key.is_key);
+        // Identical second frame: zero delta, identical reconstruction.
+        let second = session.push_frame(&frame).unwrap();
+        assert!(!second.is_key);
+        assert_eq!(
+            key.reconstruction.code_image(),
+            second.reconstruction.code_image()
+        );
+    }
+
+    #[test]
+    fn delta_mode_rejects_mismatched_frames() {
+        let im1 = imager(16, 1);
+        let im2 = imager(16, 2);
+        let scene = Scene::Uniform(0.5).render(16, 16, 0);
+        let f1 = im1.capture(&scene);
+        let f2 = im2.capture(&scene);
+        let mut session = DecodeSession::new();
+        session.delta_mode(10, 0);
+        session.push_frame(&f1).unwrap();
+        assert!(matches!(
+            session.push_frame(&f2),
+            Err(CoreError::FrameMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn keyframe_interval_refreshes_full_recovery() {
+        let im = imager(16, 0xCC);
+        let scene = Scene::gaussian_blobs(3).render(16, 16, 9);
+        let frame = im.capture(&scene);
+        let mut session = DecodeSession::new();
+        session.delta_mode(20, 2);
+        let flags: Vec<bool> = (0..5)
+            .map(|_| session.push_frame(&frame).unwrap().is_key)
+            .collect();
+        assert_eq!(flags, vec![true, false, false, true, false]);
+    }
+
+    #[test]
+    fn session_tracks_quality_of_a_moving_sequence() {
+        let im = imager(24, 0x5E9);
+        let mut enc = EncodeSession::new(im.clone()).unwrap();
+        let mut truths = Vec::new();
+        for t in 0..4 {
+            let mut scene = Scene::gaussian_blobs(2).render(24, 24, 77);
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    scene.set(3 + t * 3 + dx, 10 + dy, 0.95);
+                }
+            }
+            truths.push(im.ideal_codes(&scene).to_code_f64());
+            enc.capture(&scene).unwrap();
+        }
+        let mut dec = DecodeSession::new();
+        dec.delta_mode(40, 0);
+        let decoded = dec.push_bytes(&enc.to_bytes()).unwrap();
+        for (d, truth) in decoded.iter().zip(&truths) {
+            let db = psnr(truth, d.reconstruction.code_image(), 255.0);
+            assert!(db > 22.0, "frame {}: {db:.1} dB", d.index);
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_surfaces_malformed_frame() {
+        let im = imager(16, 3);
+        let mut enc = EncodeSession::new(im).unwrap();
+        enc.capture(&Scene::Uniform(0.4).render(16, 16, 0)).unwrap();
+        let mut bytes = enc.into_bytes();
+        bytes[2] ^= 0xFF; // corrupt the magic
+        let mut dec = DecodeSession::new();
+        assert!(matches!(
+            dec.push_bytes(&bytes),
+            Err(CoreError::MalformedFrame(_))
+        ));
+    }
+}

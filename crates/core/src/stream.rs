@@ -1,0 +1,505 @@
+//! The versioned stream container: many frames, one header.
+//!
+//! The single-frame wire format ([`CompressedFrame::to_bytes`]) repeats
+//! its full 27-byte header on every frame, even though everything but
+//! the sample count — geometry, bit widths, strategy, seed — is
+//! constant for a camera streaming with one seed. The stream container
+//! factors that invariant part out:
+//!
+//! ```text
+//! ┌─────────────────────────────┬──────────────┬──────────────┬───
+//! │ stream header (23 B, once)  │ frame record │ frame record │ …
+//! │ magic "TEPS" · version      │ marker (1 B) │              │
+//! │ rows · cols · code_bits     │ count  (4 B) │              │
+//! │ sample_bits · strategy      │ payload      │              │
+//! │ seed                        │ (bit-packed) │              │
+//! └─────────────────────────────┴──────────────┴──────────────┴───
+//! ```
+//!
+//! Per-frame overhead drops from 27 bytes to 5, so a stream of `n`
+//! frames spends `23 + 5n` header bytes against the frame codec's
+//! `27n` — smaller for every `n ≥ 2`, and the gap grows with sequence
+//! length. Frames in one stream share a header but may differ in sample
+//! count (prefix truncation, adaptive budgets).
+//!
+//! [`StreamWriter`] builds a stream incrementally; [`StreamParser`]
+//! consumes one from arbitrary byte chunks (network reads need not align
+//! with record boundaries). Both are the substrate of the session API
+//! ([`EncodeSession`](crate::session::EncodeSession) /
+//! [`DecodeSession`](crate::session::DecodeSession)).
+
+use crate::error::CoreError;
+use crate::frame::{BitReader, BitWriter, CompressedFrame, FrameHeader};
+use crate::strategy::StrategyKind;
+
+/// Magic bytes opening every stream.
+pub const STREAM_MAGIC: [u8; 4] = *b"TEPS";
+/// Container version this codec writes and accepts.
+pub const STREAM_VERSION: u8 = 1;
+/// Serialized size of the stream header.
+pub const STREAM_HEADER_BYTES: usize = 23;
+/// Serialized overhead of each frame record before its payload.
+pub const FRAME_RECORD_BYTES: usize = 5;
+
+/// Marker byte opening each frame record (cheap resynchronization /
+/// corruption check).
+const FRAME_MARKER: u8 = 0xF5;
+
+/// Validates the header fields the container (and the decoder behind
+/// it) can represent: the decoder's shared checks plus the packer's
+/// sample-width range.
+fn validate_header(h: &FrameHeader) -> Result<(), CoreError> {
+    h.validate()?;
+    if h.sample_bits == 0 || h.sample_bits > 32 {
+        return Err(CoreError::MalformedFrame(format!(
+            "sample width {} outside 1..=32",
+            h.sample_bits
+        )));
+    }
+    Ok(())
+}
+
+/// Serializes a stream header.
+fn header_bytes(h: &FrameHeader) -> [u8; STREAM_HEADER_BYTES] {
+    let mut out = [0u8; STREAM_HEADER_BYTES];
+    out[0..4].copy_from_slice(&STREAM_MAGIC);
+    out[4] = STREAM_VERSION;
+    out[5..7].copy_from_slice(&h.rows.to_le_bytes());
+    out[7..9].copy_from_slice(&h.cols.to_le_bytes());
+    out[9] = h.code_bits;
+    out[10] = h.sample_bits;
+    out[11..15].copy_from_slice(&h.strategy.to_wire());
+    out[15..23].copy_from_slice(&h.seed.to_le_bytes());
+    out
+}
+
+/// Incremental writer producing one contiguous wire stream.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_core::frame::{CompressedFrame, FrameHeader};
+/// use tepics_core::stream::{StreamParser, StreamWriter};
+/// use tepics_core::StrategyKind;
+///
+/// let header = FrameHeader {
+///     rows: 8,
+///     cols: 8,
+///     code_bits: 8,
+///     sample_bits: 14,
+///     strategy: StrategyKind::rule30(32),
+///     seed: 99,
+/// };
+/// let mut writer = StreamWriter::new(header).unwrap();
+/// writer.push_samples(&[1, 2, 3]).unwrap();
+/// writer.push_samples(&[4, 5]).unwrap();
+///
+/// let mut parser = StreamParser::new();
+/// parser.push_bytes(writer.bytes());
+/// let first = parser.next_frame().unwrap().unwrap();
+/// assert_eq!(first.samples, vec![1, 2, 3]);
+/// assert_eq!(first.header, header);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamWriter {
+    header: FrameHeader,
+    buf: Vec<u8>,
+    frames: usize,
+}
+
+impl StreamWriter {
+    /// Opens a stream for frames matching `header`, writing the stream
+    /// header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] for degenerate headers
+    /// (zero dimensions, bit widths outside their ranges).
+    pub fn new(header: FrameHeader) -> Result<StreamWriter, CoreError> {
+        validate_header(&header)?;
+        Ok(StreamWriter {
+            header,
+            buf: header_bytes(&header).to_vec(),
+            frames: 0,
+        })
+    }
+
+    /// The stream header every frame must match.
+    pub fn header(&self) -> &FrameHeader {
+        &self.header
+    }
+
+    /// Number of frames appended so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Appends a captured frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::FrameMismatch`] if the frame header differs
+    /// from the stream header, or the sample-range errors of
+    /// [`StreamWriter::push_samples`].
+    pub fn push_frame(&mut self, frame: &CompressedFrame) -> Result<(), CoreError> {
+        if frame.header != self.header {
+            return Err(CoreError::FrameMismatch(
+                "frame header does not match stream header".into(),
+            ));
+        }
+        self.push_samples(&frame.samples)
+    }
+
+    /// Appends one frame record from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the frame is empty, has
+    /// more samples than pixels, or contains a sample that does not fit
+    /// in the header's `sample_bits`.
+    pub fn push_samples(&mut self, samples: &[u32]) -> Result<(), CoreError> {
+        let max_count = self.header.rows as u64 * self.header.cols as u64;
+        if samples.is_empty() || samples.len() as u64 > max_count {
+            return Err(CoreError::InvalidConfig(format!(
+                "frame sample count {} outside 1..={max_count}",
+                samples.len()
+            )));
+        }
+        let bits = self.header.sample_bits as u32;
+        let limit = if bits == 32 {
+            u32::MAX
+        } else {
+            (1 << bits) - 1
+        };
+        if let Some(&bad) = samples.iter().find(|&&s| s > limit) {
+            return Err(CoreError::InvalidConfig(format!(
+                "sample {bad} does not fit in {bits} bits"
+            )));
+        }
+        self.buf.push(FRAME_MARKER);
+        self.buf
+            .extend_from_slice(&(samples.len() as u32).to_le_bytes());
+        let mut writer = BitWriter::new();
+        for &s in samples {
+            writer.write(s, bits);
+        }
+        self.buf.extend_from_slice(&writer.finish());
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// The serialized stream so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the serialized stream.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Total wire size in bits.
+    pub fn wire_bits(&self) -> usize {
+        self.buf.len() * 8
+    }
+}
+
+/// Incremental parser consuming a stream from arbitrary byte chunks.
+///
+/// Feed bytes with [`StreamParser::push_bytes`] as they arrive, then
+/// drain complete frames with [`StreamParser::next_frame`]. A parse
+/// error (bad magic, unknown strategy, out-of-range count…) is sticky:
+/// the stream is corrupt and every further call reports the same
+/// [`CoreError::MalformedFrame`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamParser {
+    buf: Vec<u8>,
+    pos: usize,
+    header: Option<FrameHeader>,
+    frames: usize,
+    poisoned: Option<CoreError>,
+}
+
+impl StreamParser {
+    /// An empty parser awaiting the stream header.
+    #[must_use]
+    pub fn new() -> StreamParser {
+        StreamParser::default()
+    }
+
+    /// Appends received bytes (need not align with record boundaries).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+        // Reclaim consumed prefix once it dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// The stream header, once enough bytes have arrived to parse it.
+    pub fn header(&self) -> Option<&FrameHeader> {
+        self.header.as_ref()
+    }
+
+    /// Number of complete frames parsed so far.
+    pub fn frames_parsed(&self) -> usize {
+        self.frames
+    }
+
+    /// Bytes received but not yet consumed by a complete record.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Parses the next complete frame, if the buffer holds one.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] on a corrupt stream; the
+    /// error is sticky.
+    pub fn next_frame(&mut self) -> Result<Option<CompressedFrame>, CoreError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match self.try_next() {
+            Ok(frame) => Ok(frame),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_next(&mut self) -> Result<Option<CompressedFrame>, CoreError> {
+        if self.header.is_none() {
+            if self.buffered_bytes() < STREAM_HEADER_BYTES {
+                return Ok(None);
+            }
+            let b = &self.buf[self.pos..self.pos + STREAM_HEADER_BYTES];
+            if b[0..4] != STREAM_MAGIC {
+                return Err(CoreError::MalformedFrame("bad stream magic".into()));
+            }
+            if b[4] != STREAM_VERSION {
+                return Err(CoreError::MalformedFrame(format!(
+                    "unsupported stream version {}",
+                    b[4]
+                )));
+            }
+            let header = FrameHeader {
+                rows: u16::from_le_bytes([b[5], b[6]]),
+                cols: u16::from_le_bytes([b[7], b[8]]),
+                code_bits: b[9],
+                sample_bits: b[10],
+                strategy: StrategyKind::from_wire([b[11], b[12], b[13], b[14]])?,
+                seed: u64::from_le_bytes(b[15..23].try_into().expect("8 bytes")),
+            };
+            validate_header(&header)?;
+            self.header = Some(header);
+            self.pos += STREAM_HEADER_BYTES;
+        }
+        let header = self.header.expect("parsed above");
+        if self.buffered_bytes() < FRAME_RECORD_BYTES {
+            return Ok(None);
+        }
+        let b = &self.buf[self.pos..];
+        if b[0] != FRAME_MARKER {
+            return Err(CoreError::MalformedFrame(format!(
+                "bad frame marker {:#04x}",
+                b[0]
+            )));
+        }
+        let count = u32::from_le_bytes([b[1], b[2], b[3], b[4]]) as u64;
+        let max_count = header.rows as u64 * header.cols as u64;
+        if count == 0 || count > max_count {
+            return Err(CoreError::MalformedFrame(format!(
+                "frame sample count {count} outside 1..={max_count}"
+            )));
+        }
+        // Overflow-safe: count ≤ 2³², sample_bits ≤ 32 → fits in u64;
+        // reject (rather than truncate) lengths a 32-bit usize cannot
+        // address.
+        let payload_len = usize::try_from((count * header.sample_bits as u64).div_ceil(8))
+            .map_err(|_| {
+                CoreError::MalformedFrame(format!(
+                    "frame payload for {count} samples exceeds addressable memory"
+                ))
+            })?;
+        if self.buffered_bytes() < FRAME_RECORD_BYTES + payload_len {
+            return Ok(None);
+        }
+        let payload = &b[FRAME_RECORD_BYTES..FRAME_RECORD_BYTES + payload_len];
+        let mut reader = BitReader::new(payload);
+        let samples = (0..count)
+            .map(|_| reader.read(header.sample_bits as u32))
+            .collect();
+        self.pos += FRAME_RECORD_BYTES + payload_len;
+        self.frames += 1;
+        Ok(Some(CompressedFrame { header, samples }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tepics_util::SplitMix64;
+
+    fn header() -> FrameHeader {
+        FrameHeader {
+            rows: 16,
+            cols: 16,
+            code_bits: 8,
+            sample_bits: 16,
+            strategy: StrategyKind::rule30(64),
+            seed: 0xDEAD_BEEF,
+        }
+    }
+
+    fn frames(n: usize, k: usize) -> Vec<CompressedFrame> {
+        let mut rng = SplitMix64::new(11);
+        (0..n)
+            .map(|_| CompressedFrame {
+                header: header(),
+                samples: (0..k).map(|_| rng.next_below(1 << 16) as u32).collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_roundtrips_all_frames() {
+        let frames = frames(5, 90);
+        let mut writer = StreamWriter::new(header()).unwrap();
+        for f in &frames {
+            writer.push_frame(f).unwrap();
+        }
+        let mut parser = StreamParser::new();
+        parser.push_bytes(writer.bytes());
+        for (i, f) in frames.iter().enumerate() {
+            let got = parser
+                .next_frame()
+                .unwrap()
+                .unwrap_or_else(|| panic!("frame {i} missing"));
+            assert_eq!(&got, f, "frame {i}");
+        }
+        assert!(parser.next_frame().unwrap().is_none());
+        assert_eq!(parser.frames_parsed(), 5);
+        assert_eq!(parser.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn parser_handles_arbitrary_chunking() {
+        let frames = frames(3, 40);
+        let mut writer = StreamWriter::new(header()).unwrap();
+        for f in &frames {
+            writer.push_frame(f).unwrap();
+        }
+        let bytes = writer.into_bytes();
+        // Feed one byte at a time: frames must pop out exactly when
+        // their last byte arrives.
+        let mut parser = StreamParser::new();
+        let mut got = Vec::new();
+        for &b in &bytes {
+            parser.push_bytes(&[b]);
+            while let Some(f) = parser.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn stream_overhead_beats_repeated_frame_headers() {
+        let frames = frames(4, 64);
+        let mut writer = StreamWriter::new(header()).unwrap();
+        let mut frame_codec_bits = 0usize;
+        for f in &frames {
+            writer.push_frame(f).unwrap();
+            frame_codec_bits += f.wire_bits();
+        }
+        assert!(
+            writer.wire_bits() < frame_codec_bits,
+            "stream {} bits must beat {} bits of per-frame headers",
+            writer.wire_bits(),
+            frame_codec_bits
+        );
+        // Exact accounting: 23 + n·5 header bytes vs n·27.
+        let payload: usize = frames.iter().map(|f| f.payload_bits().div_ceil(8)).sum();
+        assert_eq!(
+            writer.wire_bits(),
+            (STREAM_HEADER_BYTES + 4 * FRAME_RECORD_BYTES + payload) * 8
+        );
+    }
+
+    #[test]
+    fn frames_may_vary_in_sample_count() {
+        let mut writer = StreamWriter::new(header()).unwrap();
+        writer.push_samples(&[1, 2, 3, 4, 5]).unwrap();
+        writer.push_samples(&[6]).unwrap();
+        let mut parser = StreamParser::new();
+        parser.push_bytes(writer.bytes());
+        assert_eq!(parser.next_frame().unwrap().unwrap().samples.len(), 5);
+        assert_eq!(parser.next_frame().unwrap().unwrap().samples.len(), 1);
+    }
+
+    #[test]
+    fn writer_rejects_foreign_and_degenerate_frames() {
+        let mut writer = StreamWriter::new(header()).unwrap();
+        let mut foreign = frames(1, 10).remove(0);
+        foreign.header.seed ^= 1;
+        assert!(matches!(
+            writer.push_frame(&foreign),
+            Err(CoreError::FrameMismatch(_))
+        ));
+        assert!(writer.push_samples(&[]).is_err());
+        assert!(writer.push_samples(&vec![0; 257]).is_err()); // > 16·16
+        assert!(writer.push_samples(&[1 << 16]).is_err()); // overflows 16 bits
+        assert_eq!(writer.frames(), 0);
+    }
+
+    #[test]
+    fn corrupt_streams_fail_sticky_and_clean() {
+        let mut writer = StreamWriter::new(header()).unwrap();
+        writer.push_samples(&[7, 8, 9]).unwrap();
+        let good = writer.into_bytes();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        let mut p = StreamParser::new();
+        p.push_bytes(&bad);
+        assert!(p.next_frame().is_err());
+        // Sticky: the same error again, even after more bytes.
+        p.push_bytes(&good);
+        assert!(p.next_frame().is_err());
+
+        // Bad frame marker.
+        let mut bad = good.clone();
+        bad[STREAM_HEADER_BYTES] ^= 0xFF;
+        let mut p = StreamParser::new();
+        p.push_bytes(&bad);
+        assert!(matches!(p.next_frame(), Err(CoreError::MalformedFrame(_))));
+
+        // Insane count.
+        let mut bad = good;
+        bad[STREAM_HEADER_BYTES + 1..STREAM_HEADER_BYTES + 5]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut p = StreamParser::new();
+        p.push_bytes(&bad);
+        assert!(matches!(p.next_frame(), Err(CoreError::MalformedFrame(_))));
+    }
+
+    #[test]
+    fn truncated_stream_waits_instead_of_failing() {
+        let mut writer = StreamWriter::new(header()).unwrap();
+        writer.push_samples(&[1, 2, 3]).unwrap();
+        let bytes = writer.into_bytes();
+        let mut parser = StreamParser::new();
+        parser.push_bytes(&bytes[..bytes.len() - 1]);
+        assert!(parser.next_frame().unwrap().is_none());
+        parser.push_bytes(&bytes[bytes.len() - 1..]);
+        assert_eq!(parser.next_frame().unwrap().unwrap().samples, vec![1, 2, 3]);
+    }
+}

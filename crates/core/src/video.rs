@@ -12,33 +12,34 @@
 //! so the receiver can reconstruct each frame as the previous
 //! reconstruction plus a *delta* recovered from the sample difference —
 //! and scene deltas are far sparser than scenes, so they survive much
-//! lower effective measurement budgets. [`SequenceDecoder`] implements
-//! exactly that: full recovery for the key frame, pixel-domain sparse
-//! delta recovery (IHT) afterwards, with configurable refresh.
+//! lower effective measurement budgets.
+//!
+//! The implementation lives in [`DecodeSession`] (delta mode), which
+//! also consumes the wire stream incrementally and caches the shared
+//! operator. [`SequenceDecoder`] remains as a thin frame-at-a-time shim
+//! over it for one release.
 
-use crate::decoder::{Decoder, Reconstruction};
+use crate::decoder::Decoder;
 use crate::error::CoreError;
 use crate::frame::CompressedFrame;
-use tepics_cs::dictionary::IdentityDictionary;
-use tepics_cs::ComposedOperator;
+use crate::session::DecodeSession;
 use tepics_imaging::ImageF64;
-use tepics_recovery::Iht;
 
 /// Receiver-side sequence decoder.
 ///
 /// Feed frames in capture order via [`SequenceDecoder::push`]; each call
 /// returns the reconstructed code image for that time step.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::DecodeSession` with `delta_mode` — it adds incremental \
+            byte ingestion and operator caching"
+)]
 #[derive(Debug, Clone)]
 pub struct SequenceDecoder {
-    decoder: Decoder,
-    delta_sparsity: usize,
-    keyframe_interval: usize,
-    code_max: f64,
-    previous_frame: Option<CompressedFrame>,
-    previous_codes: Option<ImageF64>,
-    frames_since_key: usize,
+    session: DecodeSession,
 }
 
+#[allow(deprecated)]
 impl SequenceDecoder {
     /// Creates a sequence decoder from the first frame's header.
     ///
@@ -55,21 +56,16 @@ impl SequenceDecoder {
         delta_sparsity: usize,
         keyframe_interval: usize,
     ) -> Result<SequenceDecoder, CoreError> {
-        Ok(SequenceDecoder {
-            decoder: Decoder::for_frame(first)?,
-            delta_sparsity: delta_sparsity.max(1),
-            keyframe_interval,
-            code_max: ((1u32 << first.header.code_bits) - 1) as f64,
-            previous_frame: None,
-            previous_codes: None,
-            frames_since_key: 0,
-        })
+        let mut session = DecodeSession::new();
+        session.delta_mode(delta_sparsity, keyframe_interval);
+        session.prime(&first.header)?;
+        Ok(SequenceDecoder { session })
     }
 
     /// Access to the underlying per-frame decoder (to change dictionary
     /// or algorithm for key frames).
     pub fn decoder_mut(&mut self) -> &mut Decoder {
-        &mut self.decoder
+        self.session.decoder_mut().expect("primed at construction")
     }
 
     /// Decodes the next frame of the sequence.
@@ -84,54 +80,17 @@ impl SequenceDecoder {
     /// sample count differs from the sequence (delta coding requires an
     /// identical Φ), plus any recovery error.
     pub fn push(&mut self, frame: &CompressedFrame) -> Result<ImageF64, CoreError> {
-        let is_key = match (&self.previous_frame, &self.previous_codes) {
-            (Some(prev), Some(_)) => {
-                if prev.header != frame.header || prev.samples.len() != frame.samples.len() {
-                    return Err(CoreError::FrameMismatch(
-                        "sequence frames must share header and sample count".into(),
-                    ));
-                }
-                self.keyframe_interval > 0 && self.frames_since_key >= self.keyframe_interval
-            }
-            _ => true,
-        };
-        let codes = if is_key {
-            let recon: Reconstruction = self.decoder.reconstruct(frame)?;
-            self.frames_since_key = 0;
-            recon.code_image().clone()
-        } else {
-            let prev_frame = self.previous_frame.as_ref().expect("checked above");
-            let prev_codes = self.previous_codes.as_ref().expect("checked above");
-            let dy: Vec<f64> = frame
-                .samples
-                .iter()
-                .zip(&prev_frame.samples)
-                .map(|(&a, &b)| a as f64 - b as f64)
-                .collect();
-            let phi = self.decoder.rebuild_measurement(frame.samples.len())?;
-            let dict = IdentityDictionary::new(prev_codes.len());
-            let a = ComposedOperator::new(&phi, &dict);
-            let delta = Iht::new(self.delta_sparsity).max_iter(200).solve(&a, &dy)?;
-            self.frames_since_key += 1;
-            let code_max = self.code_max;
-            ImageF64::from_vec(
-                prev_codes.width(),
-                prev_codes.height(),
-                prev_codes
-                    .as_slice()
-                    .iter()
-                    .zip(&delta.coefficients)
-                    .map(|(&p, &d)| (p + d).clamp(0.0, code_max))
-                    .collect(),
-            )
-        };
-        self.previous_frame = Some(frame.clone());
-        self.previous_codes = Some(codes.clone());
-        Ok(codes)
+        Ok(self
+            .session
+            .push_frame(frame)?
+            .reconstruction
+            .code_image()
+            .clone())
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::imager::CompressiveImager;
@@ -194,7 +153,7 @@ mod tests {
         let scene = Scene::gaussian_blobs(3).render(24, 24, 9);
         let frame = im.capture(&scene);
         let mut seq = SequenceDecoder::new(&frame, 20, 2).unwrap();
-        // Frames: key, delta, delta -> key at index 2.
+        // Frames: key, delta, delta -> key at index 3.
         let a = seq.push(&frame).unwrap();
         let _b = seq.push(&frame).unwrap();
         let _c = seq.push(&frame).unwrap();

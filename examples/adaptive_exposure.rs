@@ -13,12 +13,14 @@
 //! the window; a simple closed-loop controller finds the setting from
 //! the missed-pulse statistics the readout already collects.
 
+use std::sync::Arc;
 use tepics::prelude::*;
 
 fn capture_stats(
     side: usize,
     v_ref: f64,
     scene: &ImageF64,
+    cache: &Arc<OperatorCache>,
 ) -> Result<(f64, u64, f64), Box<dyn std::error::Error>> {
     // A real photodiode's dark current is tiny; the library default is a
     // deliberately comfortable background current that keeps every pixel
@@ -34,10 +36,12 @@ fn capture_stats(
         .seed(0xADA9)
         .build()?;
     let (frame, stats) = imager.capture_with_stats(scene);
-    let decoder = Decoder::for_frame(&frame)?;
-    let recon = decoder.reconstruct(&frame)?;
+    // The analog knob does not touch Φ — every sweep point shares the
+    // seed, so the decode session reuses one cached operator.
+    let mut session = DecodeSession::with_cache(cache.clone());
+    let decoded = session.push_frame(&frame)?;
     let truth = imager.ideal_codes(scene).to_code_f64();
-    let db = psnr(&truth, recon.code_image(), 255.0);
+    let db = psnr(&truth, decoded.reconstruction.code_image(), 255.0);
     Ok((db, stats.missed_pulses, stats.total_pulses as f64))
 }
 
@@ -49,11 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|v| v * 0.1);
     println!("dim scene, max intensity {:.2}", scene.max_value());
 
+    // One operator cache for the whole sweep (same seed everywhere).
+    let cache = OperatorCache::shared();
+
     // Open-loop sweep: quality and missed pulses vs V_ref.
     println!("\n  V_ref | missed pulses | PSNR vs own ideal codes");
     println!("  ------+---------------+------------------------");
     for v_ref in [1.3, 1.8, 2.1, 2.4, 2.6] {
-        let (db, missed, total) = capture_stats(side, v_ref, &scene)?;
+        let (db, missed, total) = capture_stats(side, v_ref, &scene, &cache)?;
         println!(
             "   {v_ref:.1}  |  {missed:6} / {total:6.0} | {db:6.1} dB{}",
             if missed > 0 {
@@ -70,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nclosed-loop controller:");
     let mut v_ref = 1.3;
     loop {
-        let (db, missed, _) = capture_stats(side, v_ref, &scene)?;
+        let (db, missed, _) = capture_stats(side, v_ref, &scene, &cache)?;
         println!("  V_ref = {v_ref:.2} V -> {missed} missed pulses, PSNR {db:.1} dB");
         if missed == 0 || v_ref >= 2.6 {
             println!("  settled at V_ref = {v_ref:.2} V");

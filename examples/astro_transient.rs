@@ -39,17 +39,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // Same seed ⇒ same Φ on both nights.
+    // Same seed ⇒ same Φ on both nights. Both captures travel as one
+    // stream: the seed crosses the downlink once, in the stream header.
     let imager = CompressiveImager::builder(side, side)
         .ratio(ratio)
         .seed(seed)
         .build()?;
-    let f1 = imager.capture(&night1);
-    let f2 = imager.capture(&night2);
+    let mut encoder = EncodeSession::new(imager)?;
+    encoder.capture(&night1)?;
+    encoder.capture(&night2)?;
+    let downlink = encoder.into_bytes();
+
+    // Ground station: re-parse the two frames from the raw stream bytes.
+    let mut parser = tepics::core::stream::StreamParser::new();
+    parser.push_bytes(&downlink);
+    let f1 = parser.next_frame()?.expect("night 1 in stream");
+    let f2 = parser.next_frame()?.expect("night 2 in stream");
     println!(
-        "two nights captured at R = {ratio}: {} samples each (full frame would be {} pixels)",
+        "two nights captured at R = {ratio}: {} samples each (full frame would be {} pixels), \
+         {} bytes downlinked",
         f1.sample_count(),
-        side * side
+        side * side,
+        downlink.len()
     );
 
     // Compressed-domain difference.

@@ -1,4 +1,4 @@
-//! Quickstart: capture a scene, ship the compressed frame over the
+//! Quickstart: capture a scene, ship the compressed stream over the
 //! "wire", reconstruct it on the other side.
 //!
 //! ```text
@@ -7,9 +7,10 @@
 //!
 //! This is the paper's whole system in one page: the imager generates
 //! compressed samples *at the focal plane* (event-accurate simulation of
-//! the time-encoded pixels and the Rule-30 selection ring), the frame
-//! carries only the samples and a 64-bit seed, and the decoder replays
-//! the automaton to rebuild Φ before running sparse recovery.
+//! the time-encoded pixels and the Rule-30 selection ring), the stream
+//! carries only the samples and a 64-bit seed — written once, in the
+//! stream header — and the decode session replays the automaton to
+//! rebuild Φ before running sparse recovery.
 
 use tepics::prelude::*;
 
@@ -21,13 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scene = Scene::gaussian_blobs(3).render(side, side, 7);
     println!("scene ({side}x{side}):\n{}", scene.to_ascii());
 
-    // The encoder: event-accurate sensor + Rule-30 strategy.
+    // The encoder: event-accurate sensor + Rule-30 strategy, streaming
+    // into one wire container.
     let imager = CompressiveImager::builder(side, side)
         .ratio(ratio)
         .seed(0xC0FFEE)
         .build()?;
-    let (frame, stats) = imager.capture_with_stats(&scene);
-    let bytes = frame.to_bytes();
+    let mut encoder = EncodeSession::new(imager)?;
+    let (frame, stats) = encoder.capture_with_stats(&scene)?;
+    let bytes = encoder.to_bytes();
     println!(
         "captured {} compressed samples ({} bytes on the wire, raw readout would be {} bytes)",
         frame.sample_count(),
@@ -42,13 +45,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.max_delay * 1e9
     );
 
-    // The decoder sees only the bytes.
-    let received = CompressedFrame::from_bytes(&bytes)?;
-    let decoder = Decoder::for_frame(&received)?;
-    let recon = decoder.reconstruct(&received)?;
+    // The decode session sees only the bytes; frames pop out as their
+    // records complete.
+    let mut decoder = DecodeSession::new();
+    let decoded = decoder.push_bytes(&bytes)?;
+    let recon = &decoded
+        .first()
+        .expect("one complete frame in the stream")
+        .reconstruction;
 
     // Quality against the ideal code image (what a raw readout of the
     // same sensor would have delivered).
+    let imager = encoder.imager();
     let truth = imager.ideal_codes(&scene).to_code_f64();
     let db = psnr(&truth, recon.code_image(), 255.0);
     let structural = ssim(&truth, recon.code_image(), 255.0);

@@ -11,7 +11,7 @@
 //! this example reconstructs the same scene under each and prints the
 //! league table.
 
-use tepics::core::pipeline::evaluate;
+use tepics::core::pipeline::evaluate_with_cache;
 use tepics::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -40,13 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("scene: piecewise-smooth, {side}x{side}, R = {ratio}");
     println!("\n strategy                 |  PSNR(dB) |  SSIM | iters");
     println!("--------------------------+-----------+-------+------");
+    // One cache across the league table — each strategy is its own key,
+    // so this is one cold build per row, warm on any repeat.
+    let cache = OperatorCache::shared();
     for (name, strategy) in strategies {
         let imager = CompressiveImager::builder(side, side)
             .ratio(ratio)
             .seed(0x57A7)
             .strategy(strategy)
             .build()?;
-        let report = evaluate(&imager, |_| {}, &scene)?;
+        let report = evaluate_with_cache(&cache, &imager, |_| {}, &scene)?;
         println!(
             " {name:<24} |   {:6.1}  | {:.3} | {:4}",
             report.psnr_code_db, report.ssim_code, report.iterations

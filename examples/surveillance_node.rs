@@ -44,13 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A short "surveillance" sequence: a blob (intruder) drifting across
-    // a piecewise-smooth background.
+    // a piecewise-smooth background, streamed as ONE wire container —
+    // the seed and geometry cross the link once, in the stream header.
     let imager = CompressiveImager::builder(side, side)
         .ratio(ratio)
         .seed(0x5EC2)
         .build()?;
-    println!("\nframe |   PSNR(dB) |  SSIM | wire bits | saving vs raw");
-    println!("------+------------+-------+-----------+--------------");
+    let mut encoder = EncodeSession::new(imager)?;
+    let mut truths = Vec::new();
+    let mut frame_codec_bits = 0usize;
     for t in 0..6 {
         let background = Scene::piecewise_smooth(3).render(side, side, 77);
         let mut scene = background;
@@ -66,15 +68,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
         }
-        let report = tepics::core::pipeline::evaluate(&imager, |_| {}, &scene)?;
+        let frame = encoder.capture(&scene)?;
+        frame_codec_bits += frame.wire_bits();
+        truths.push(encoder.imager().ideal_codes(&scene).to_code_f64());
+    }
+
+    // The receiver: one decode session, Φ rebuilt once from the header
+    // seed and reused for all six frames (watch the cache hit rate).
+    let mut decoder = DecodeSession::new();
+    let decoded = decoder.push_bytes(&encoder.to_bytes())?;
+    println!("\nframe |   PSNR(dB) |  SSIM | solver iters");
+    println!("------+------------+-------+-------------");
+    for (d, truth) in decoded.iter().zip(&truths) {
+        let recon = d.reconstruction.code_image();
         println!(
-            "  {t}   |    {:6.1}  | {:.3} |  {:8}  |    {:5.1}%",
-            report.psnr_code_db,
-            report.ssim_code,
-            report.wire_bits,
-            report.wire_saving() * 100.0
+            "  {}   |    {:6.1}  | {:.3} |  {:5}",
+            d.index,
+            psnr(truth, recon, 255.0),
+            ssim(truth, recon, 255.0),
+            d.reconstruction.stats().iterations,
         );
     }
+    let stats = decoder.cache().stats();
+    let per_frame_raw = raw_bits * decoded.len() as f64;
+    println!(
+        "\nstream: {} bits for {} frames ({:.1}% saving vs raw; per-frame \
+         codec would spend {} bits); operator cache {:.0}% hit rate",
+        encoder.wire_bits(),
+        decoded.len(),
+        (1.0 - encoder.wire_bits() as f64 / per_frame_raw) * 100.0,
+        frame_codec_bits,
+        stats.hit_rate() * 100.0
+    );
 
     // What if the operator ignores the break-even rule? Past R = 0.4 the
     // compressed stream is *larger* than the raw image.

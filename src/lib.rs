@@ -20,25 +20,58 @@
 //!
 //! # Quickstart
 //!
+//! The public API is session-oriented: an [`EncodeSession`] captures a
+//! sequence of scenes into one contiguous wire stream (stream header
+//! once, compact per-frame records after), and a [`DecodeSession`]
+//! consumes that stream incrementally — from arbitrary byte chunks —
+//! reconstructing each frame as it completes. The decoder receives only
+//! samples plus a 64-bit seed, never Φ; the session rebuilds Φ once and
+//! reuses it (with the dictionary and FISTA step size) for every frame
+//! of the stream.
+//!
 //! ```
 //! use tepics::prelude::*;
 //!
-//! // Capture a 32×32 synthetic scene at compression ratio 0.35 and
-//! // reconstruct it from the compressed samples alone: the decoder
-//! // receives only the frame (samples + 64-bit seed), never Φ.
-//! let scene = Scene::gaussian_blobs(3).render(32, 32, 7);
+//! // Capture a short 32×32 sequence at compression ratio 0.35.
 //! let imager = CompressiveImager::builder(32, 32)
 //!     .ratio(0.35)
 //!     .seed(42)
 //!     .build()
 //!     .expect("valid configuration");
-//! let frame = imager.capture(&scene);
-//! let decoder = Decoder::for_frame(&frame).expect("frame is well-formed");
-//! let recon = decoder.reconstruct(&frame).expect("recovery converges");
-//! let truth = imager.ideal_codes(&scene);
-//! let db = psnr(&truth.to_code_f64(), recon.code_image(), 255.0);
+//! let mut enc = EncodeSession::new(imager).expect("header fits the container");
+//! let scene = Scene::gaussian_blobs(3).render(32, 32, 7);
+//! enc.capture(&scene).expect("capture");
+//! enc.capture(&scene).expect("capture");
+//!
+//! // The receiver sees only bytes; frames pop out as records complete.
+//! let mut dec = DecodeSession::new();
+//! let decoded = dec.push_bytes(&enc.to_bytes()).expect("well-formed stream");
+//! assert_eq!(decoded.len(), 2);
+//! assert_eq!(dec.cache().stats().hits, 1, "second frame decoded warm");
+//!
+//! let truth = enc.imager().ideal_codes(&scene);
+//! let db = psnr(
+//!     &truth.to_code_f64(),
+//!     decoded[0].reconstruction.code_image(),
+//!     255.0,
+//! );
 //! assert!(db > 18.0, "PSNR {db} dB unexpectedly low");
 //! ```
+//!
+//! # Migrating from the frame-at-a-time API
+//!
+//! The single-frame entry points still work (one release of overlap),
+//! but every loop over frames is simpler and faster as a session:
+//!
+//! | frame API (0.1)                                      | session API (0.2)                            |
+//! |------------------------------------------------------|----------------------------------------------|
+//! | `imager.capture(&scene)` then `frame.to_bytes()`     | `enc.capture(&scene)?` then `enc.to_bytes()` |
+//! | `CompressedFrame::from_bytes(&bytes)?`               | `dec.push_bytes(&bytes)?`                    |
+//! | `Decoder::for_frame(&frame)?.reconstruct(&frame)?`   | `dec.push_bytes(..)` / `dec.push_frame(..)`  |
+//! | `decoder.dictionary(..)` / `decoder.algorithm(..)`   | same calls on `DecodeSession`                |
+//! | `SequenceDecoder::new(&first, s, n)?` + `push(..)`   | `dec.delta_mode(s, n)` + `push_bytes(..)`    |
+//! | `pipeline::evaluate(&imager, .., &scene)?` per scene | `pipeline::evaluate_with_cache(&cache, ..)?` |
+//! | N × `Decoder::for_frame` rebuilding Φ per frame      | one `OperatorCache`, Φ built once            |
 
 pub use tepics_ca as ca;
 pub use tepics_core as core;

@@ -138,6 +138,117 @@ fn wire_format_roundtrips() {
     }
 }
 
+/// Hostile wire input can never panic or wrap around: every truncated,
+/// bit-flipped, or random buffer fed to the frame parser either fails
+/// with `CoreError::MalformedFrame` or yields a well-formed frame —
+/// nothing else. (`from_bytes` is infallible against panics by
+/// construction of its bounds checks; this property pins that.)
+#[test]
+fn frame_parser_survives_hostile_bytes() {
+    use tepics::core::CoreError;
+    let mut rng = SplitMix64::new(0xBAD5);
+    let reference = CompressedFrame {
+        header: FrameHeader {
+            rows: 32,
+            cols: 32,
+            code_bits: 8,
+            sample_bits: 18,
+            strategy: StrategyKind::rule30(128),
+            seed: 0x1234_5678,
+        },
+        samples: (0..100).map(|_| rng.next_below(1 << 18) as u32).collect(),
+    };
+    let good = reference.to_bytes();
+    let check = |bytes: &[u8], what: &str| match CompressedFrame::from_bytes(bytes) {
+        Ok(frame) => {
+            // A parse that "succeeds" must at least be self-consistent.
+            assert!(frame.header.rows > 0 && frame.header.cols > 0, "{what}");
+            assert!(
+                frame.header.sample_bits >= 1 && frame.header.sample_bits <= 32,
+                "{what}"
+            );
+        }
+        Err(CoreError::MalformedFrame(_)) => {}
+        Err(other) => panic!("{what}: unexpected error {other:?}"),
+    };
+    // Every truncation point.
+    for cut in 0..good.len() {
+        check(&good[..cut], &format!("truncated to {cut}"));
+    }
+    // Random single-bit flips.
+    for case in 0..CASES {
+        let mut flipped = good.clone();
+        let bit = rng.next_below((good.len() * 8) as u64) as usize;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        check(&flipped, &format!("case {case}: bit {bit} flipped"));
+    }
+    // Fully random buffers of random lengths.
+    for case in 0..CASES {
+        let len = rng.next_below(512) as usize;
+        let junk: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+        check(&junk, &format!("case {case}: random buffer"));
+    }
+}
+
+/// The same hostility property for the stream container: the parser
+/// must always return frames or `MalformedFrame` — never panic — under
+/// truncation, bit flips, and random garbage, at any chunking.
+#[test]
+fn stream_parser_survives_hostile_bytes() {
+    use tepics::core::stream::{StreamParser, StreamWriter};
+    use tepics::core::CoreError;
+    let mut rng = SplitMix64::new(0x57EA);
+    let header = FrameHeader {
+        rows: 16,
+        cols: 16,
+        code_bits: 8,
+        sample_bits: 16,
+        strategy: StrategyKind::rule30(64),
+        seed: 0xFEED,
+    };
+    let mut writer = StreamWriter::new(header).unwrap();
+    for _ in 0..3 {
+        let k = 1 + rng.next_below(64) as usize;
+        let samples: Vec<u32> = (0..k).map(|_| rng.next_below(1 << 16) as u32).collect();
+        writer.push_samples(&samples).unwrap();
+    }
+    let good = writer.into_bytes();
+    let drain = |bytes: &[u8], what: &str| {
+        let mut parser = StreamParser::new();
+        // Feed in random-sized chunks to exercise every resume point.
+        let mut rng = SplitMix64::new(bytes.len() as u64);
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let step = 1 + rng.next_below(31) as usize;
+            let end = (pos + step).min(bytes.len());
+            parser.push_bytes(&bytes[pos..end]);
+            pos = end;
+            loop {
+                match parser.next_frame() {
+                    Ok(Some(frame)) => assert!(!frame.samples.is_empty(), "{what}"),
+                    Ok(None) => break,
+                    Err(CoreError::MalformedFrame(_)) => return,
+                    Err(other) => panic!("{what}: unexpected error {other:?}"),
+                }
+            }
+        }
+    };
+    for cut in 0..good.len() {
+        drain(&good[..cut], &format!("truncated to {cut}"));
+    }
+    for case in 0..CASES {
+        let mut flipped = good.clone();
+        let bit = rng.next_below((good.len() * 8) as u64) as usize;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        drain(&flipped, &format!("case {case}: bit {bit} flipped"));
+    }
+    for case in 0..CASES {
+        let len = rng.next_below(400) as usize;
+        let junk: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+        drain(&junk, &format!("case {case}: random buffer"));
+    }
+}
+
 /// XOR-measurement row weight follows the closed form
 /// `a(N−b) + (M−a)b` and the operator matches its own mask.
 #[test]
