@@ -106,6 +106,12 @@ fn smoke() {
         frame_codec_bits,
         stats.hit_rate() * 100.0
     );
+    // Hot-path kernels (DCT, Φ apply/adjoint, warm decode) in smoke
+    // mode: exercises the fast operator paths end to end on every PR.
+    match tepics_bench::experiments::hotpaths::smoke() {
+        Ok(summary) => eprintln!("{summary}"),
+        Err(hotpath_failures) => failures.extend(hotpath_failures),
+    }
     if failures.is_empty() {
         eprintln!("smoke: OK");
     } else {

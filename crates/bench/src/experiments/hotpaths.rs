@@ -1,0 +1,312 @@
+//! (infrastructure) Hot-path timings: DCT apply, Φ apply/adjoint, and a
+//! full warm `DecodeSession` frame.
+//!
+//! The recovery inner loop is dominated by three kernels: the
+//! sparsifying transform (2-D DCT), the measurement operator Φ
+//! (forward and adjoint), and the solver bookkeeping around them. This
+//! experiment times each in isolation plus the end-to-end warm-decode
+//! path they compose into, and writes the numbers to
+//! `BENCH_hotpaths.json` at the workspace root so perf changes leave a
+//! machine-readable trail.
+//!
+//! The JSON file keeps two sections: `baseline` (the numbers measured
+//! before the fast-path engine landed — preserved across reruns) and
+//! `current` (this run). When both are present a `speedup` section is
+//! derived. A rerun on a tree that only has `current` promotes it to
+//! `baseline`, so the very first run establishes the reference point.
+
+use std::time::Instant;
+
+use crate::report::{section, Table};
+use tepics_core::prelude::*;
+use tepics_cs::{LinearOperator, XorMeasurement};
+use tepics_imaging::Dct2d;
+use tepics_util::SplitMix64;
+
+/// Where the machine-readable numbers land (workspace root).
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpaths.json");
+
+/// One set of hot-path measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Metrics {
+    dct2d_forward_us: f64,
+    dct2d_inverse_us: f64,
+    phi_apply_us: f64,
+    phi_adjoint_us: f64,
+    warm_decode_ms: f64,
+}
+
+impl Metrics {
+    const KEYS: [&'static str; 5] = [
+        "dct2d_forward_us",
+        "dct2d_inverse_us",
+        "phi_apply_us",
+        "phi_adjoint_us",
+        "warm_decode_ms",
+    ];
+
+    fn values(&self) -> [f64; 5] {
+        [
+            self.dct2d_forward_us,
+            self.dct2d_inverse_us,
+            self.phi_apply_us,
+            self.phi_adjoint_us,
+            self.warm_decode_ms,
+        ]
+    }
+
+    fn to_json(self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in Self::KEYS.iter().zip(self.values()).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{k}\": {v:.3}"));
+        }
+        out.push('}');
+        out
+    }
+
+    fn from_json(obj: &str) -> Option<Metrics> {
+        Some(Metrics {
+            dct2d_forward_us: extract_number(obj, "dct2d_forward_us")?,
+            dct2d_inverse_us: extract_number(obj, "dct2d_inverse_us")?,
+            phi_apply_us: extract_number(obj, "phi_apply_us")?,
+            phi_adjoint_us: extract_number(obj, "phi_adjoint_us")?,
+            warm_decode_ms: extract_number(obj, "warm_decode_ms")?,
+        })
+    }
+}
+
+/// Extracts the brace-balanced object following `"key"` in `json`.
+fn extract_section<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let start = json.find(&pat)?;
+    let brace = json[start..].find('{')? + start;
+    let mut depth = 0usize;
+    for (i, c) in json[brace..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[brace..=brace + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts a bare JSON number following `"key":` in `obj`.
+fn extract_number(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Median wall time per call, in seconds, over `reps` calls.
+///
+/// The closure returns an f64 checksum that is folded into a sink the
+/// caller prints, so the optimizer cannot discard the work.
+fn time_median(reps: usize, sink: &mut f64, mut f: impl FnMut() -> f64) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        *sink += f();
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Measures the hot paths at `side`×`side`, ratio `ratio`.
+fn measure(side: usize, ratio: f64, reps: usize, sink: &mut f64) -> (Metrics, usize) {
+    let scene = Scene::gaussian_blobs(3).render(side, side, 11);
+    let dct = Dct2d::new(side, side);
+    let fwd = time_median(reps, sink, || dct.forward(scene.as_slice())[1]);
+    let coeffs = dct.forward(scene.as_slice());
+    let inv = time_median(reps, sink, || dct.inverse(&coeffs)[1]);
+
+    let imager = CompressiveImager::builder(side, side)
+        .ratio(ratio)
+        .seed(0x407B)
+        .fidelity(Fidelity::Functional)
+        .build()
+        .expect("hotpaths imager");
+    let k = imager.sample_count();
+    let mut source = imager
+        .strategy()
+        .build_source(2 * side, imager.seed())
+        .expect("hotpaths strategy");
+    let phi = XorMeasurement::from_source(side, side, source.as_mut(), k);
+    let mut rng = SplitMix64::new(7);
+    let x: Vec<f64> = (0..phi.cols()).map(|_| rng.next_f64() * 255.0).collect();
+    let y: Vec<f64> = (0..phi.rows()).map(|_| rng.next_gaussian()).collect();
+    let mut ybuf = vec![0.0; phi.rows()];
+    let mut xbuf = vec![0.0; phi.cols()];
+    let phi_reps = reps.div_ceil(4);
+    let apply = time_median(phi_reps, sink, || {
+        phi.apply(&x, &mut ybuf);
+        ybuf[0]
+    });
+    let adjoint = time_median(phi_reps, sink, || {
+        phi.apply_adjoint(&y, &mut xbuf);
+        xbuf[0]
+    });
+
+    // Warm decode: one cold frame primes the session's operator cache,
+    // then the same frame decodes again with everything warm.
+    let frame = imager.capture(&scene);
+    let mut session = DecodeSession::new();
+    let cold = session.push_frame(&frame).expect("cold decode");
+    let warm_reps = 3;
+    let warm = time_median(warm_reps, sink, || {
+        let d = session.push_frame(&frame).expect("warm decode");
+        assert_eq!(
+            d.reconstruction, cold.reconstruction,
+            "warm decode diverged from cold"
+        );
+        d.reconstruction.mean_code()
+    });
+
+    (
+        Metrics {
+            dct2d_forward_us: fwd * 1e6,
+            dct2d_inverse_us: inv * 1e6,
+            phi_apply_us: apply * 1e6,
+            phi_adjoint_us: adjoint * 1e6,
+            warm_decode_ms: warm * 1e3,
+        },
+        k,
+    )
+}
+
+/// Runs the experiment: measures at 64×64, updates
+/// `BENCH_hotpaths.json`, and reports the before/after table.
+pub fn run() -> String {
+    let side = 64;
+    let ratio = 0.35;
+    let mut sink = 0.0;
+    let (current, k) = measure(side, ratio, 40, &mut sink);
+
+    let previous = std::fs::read_to_string(JSON_PATH).ok();
+    let baseline = previous.as_deref().and_then(|json| {
+        extract_section(json, "baseline")
+            .or_else(|| extract_section(json, "current"))
+            .and_then(Metrics::from_json)
+    });
+    if previous.is_some() && baseline.is_none() {
+        // An existing file we cannot parse holds the frozen pre-PR
+        // reference; never overwrite it with a baseline-less rewrite.
+        let mut out = String::from("# Hot-path timings — DCT, Φ apply/adjoint, warm decode\n");
+        out.push_str(&format!(
+            "\nWARNING: {JSON_PATH} exists but its baseline/current sections\n\
+             could not be parsed; leaving the file untouched. Fix or delete\n\
+             it to record new numbers.\n\nmeasured current: {}\n",
+            current.to_json()
+        ));
+        return out;
+    }
+
+    let mut json = String::from("{\n  \"schema\": 1,\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"side\": {side}, \"ratio\": {ratio}, \"k\": {k}}},\n"
+    ));
+    if let Some(base) = baseline {
+        json.push_str(&format!("  \"baseline\": {},\n", base.to_json()));
+    }
+    json.push_str(&format!("  \"current\": {}", current.to_json()));
+    if let Some(base) = baseline {
+        json.push_str(",\n  \"speedup\": {");
+        for (i, (key, (b, c))) in Metrics::KEYS
+            .iter()
+            .zip(base.values().into_iter().zip(current.values()))
+            .enumerate()
+        {
+            if i > 0 {
+                json.push_str(", ");
+            }
+            let name = key.trim_end_matches("_us").trim_end_matches("_ms");
+            json.push_str(&format!("\"{name}\": {:.2}", b / c));
+        }
+        json.push('}');
+    }
+    json.push_str("\n}\n");
+    let json_written = std::fs::write(JSON_PATH, &json).is_ok();
+
+    let mut out = String::from("# Hot-path timings — DCT, Φ apply/adjoint, warm decode\n");
+    out.push_str(&section(&format!(
+        "{side}×{side}, R = {ratio} (K = {k} measurements), medians"
+    )));
+    let mut t = Table::new(&["kernel", "baseline", "current", "speedup"]);
+    for (key, (b, c)) in Metrics::KEYS.iter().zip(
+        baseline
+            .map(|m| m.values().map(Some))
+            .unwrap_or([None; 5])
+            .into_iter()
+            .zip(current.values()),
+    ) {
+        t.row_owned(vec![
+            key.to_string(),
+            b.map_or("—".into(), |v| format!("{v:.1}")),
+            format!("{c:.1}"),
+            b.map_or("—".into(), |v| format!("{:.2}×", v / c)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\n{} {} (checksum {sink:.3e})\n",
+        if json_written {
+            "machine-readable numbers written to"
+        } else {
+            "WARNING: could not write"
+        },
+        JSON_PATH,
+    ));
+    out.push_str(
+        "\nThe warm-decode row is the one the ROADMAP hot-path item tracks:\n\
+         a full FISTA reconstruction of a 64×64 frame with the operator\n\
+         cache already primed — i.e. pure solver-loop cost, no CA replay,\n\
+         no power iteration. The first run of this experiment freezes the\n\
+         `baseline` section; later runs only update `current`/`speedup`.\n",
+    );
+    out
+}
+
+/// Smoke-mode hotpaths check for CI: tiny geometry, no JSON output.
+///
+/// Exercises the same three kernels plus a warm decode and returns
+/// human-readable failures instead of timings-as-acceptance (CI boxes
+/// are too noisy for absolute thresholds). `measure` itself asserts
+/// that every warm decode is bit-identical to the cold one, so the
+/// fast paths are checked end to end on every PR. (Thread-count
+/// determinism is already covered by the batch half of `--smoke`.)
+pub fn smoke() -> Result<String, Vec<String>> {
+    let side = 16;
+    let mut sink = 0.0;
+    let (metrics, k) = measure(side, 0.35, 4, &mut sink);
+    let mut failures = Vec::new();
+    for (key, v) in Metrics::KEYS.iter().zip(metrics.values()) {
+        if !v.is_finite() || v <= 0.0 {
+            failures.push(format!("hotpaths {key} = {v} not positive/finite"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "hotpaths smoke: {side}×{side} K={k}: dct fwd {:.1}µs inv {:.1}µs, Φ apply {:.1}µs adj {:.1}µs, warm decode {:.2}ms",
+            metrics.dct2d_forward_us,
+            metrics.dct2d_inverse_us,
+            metrics.phi_apply_us,
+            metrics.phi_adjoint_us,
+            metrics.warm_decode_ms,
+        ))
+    } else {
+        Err(failures)
+    }
+}

@@ -9,6 +9,7 @@ pub mod ffvb;
 pub mod fig1;
 pub mod fig2;
 pub mod fig45;
+pub mod hotpaths;
 pub mod lsb;
 pub mod matrices;
 pub mod noise;

@@ -149,6 +149,12 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "(infrastructure) parallel batch engine — scaling & determinism",
             run: experiments::batch::run,
         },
+        Experiment {
+            id: "hotpaths",
+            tier: Tier::Full,
+            artifact: "(infrastructure) hot-path timings — DCT, Φ apply/adjoint, warm decode",
+            run: experiments::hotpaths::run,
+        },
     ]
 }
 

@@ -17,6 +17,12 @@
 //! reconstructions — the batch engine's determinism guarantee survives
 //! caching.
 //!
+//! The cached Φ is stored in its precompiled fast-path form:
+//! [`XorMeasurement`] compiles its selected-row/column index lists and
+//! group masks at construction, so every warm lookup hands decoders an
+//! operator whose `apply`/`apply_adjoint` are pure gather-sums — the
+//! per-frame cost of a warm streaming decode is the solver loop alone.
+//!
 //! [`BatchRunner`]: crate::batch::BatchRunner
 
 use std::collections::HashMap;

@@ -30,7 +30,7 @@ use tepics_cs::measurement::SelectionMeasurement;
 use tepics_cs::op;
 use tepics_cs::{ComposedOperator, XorMeasurement};
 use tepics_imaging::ImageF64;
-use tepics_recovery::{debias::debias, CoSaMp, Fista, Iht, Omp, SolveStats};
+use tepics_recovery::{debias::debias, CoSaMp, Fista, Iht, Omp, SolveStats, SolverWorkspace};
 use tepics_sensor::{CodeTransfer, SensorConfig};
 
 /// Sparsifying dictionary families available to the decoder.
@@ -136,6 +136,22 @@ impl Dictionary for DictImpl {
             DictImpl::Dct(d) => d.analyze(x, alpha),
             DictImpl::Haar(d) => d.analyze(x, alpha),
             DictImpl::Id(d) => d.analyze(x, alpha),
+        }
+    }
+
+    fn synthesize_with(&self, alpha: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
+        match self {
+            DictImpl::Dct(d) => d.synthesize_with(alpha, x, scratch),
+            DictImpl::Haar(d) => d.synthesize_with(alpha, x, scratch),
+            DictImpl::Id(d) => d.synthesize_with(alpha, x, scratch),
+        }
+    }
+
+    fn analyze_with(&self, x: &[f64], alpha: &mut [f64], scratch: &mut Vec<f64>) {
+        match self {
+            DictImpl::Dct(d) => d.analyze_with(x, alpha, scratch),
+            DictImpl::Haar(d) => d.analyze_with(x, alpha, scratch),
+            DictImpl::Id(d) => d.analyze_with(x, alpha, scratch),
         }
     }
 }
@@ -305,6 +321,25 @@ impl Decoder {
     /// strategy differs from this decoder, or [`CoreError::Recovery`]
     /// if the solver rejects the problem.
     pub fn reconstruct(&self, frame: &CompressedFrame) -> Result<Reconstruction, CoreError> {
+        self.reconstruct_with(frame, &mut SolverWorkspace::new())
+    }
+
+    /// Like [`Decoder::reconstruct`], reusing `workspace` for the
+    /// solver buffers. Repeated decodes through one workspace — what
+    /// [`DecodeSession`](crate::session::DecodeSession) does per stream
+    /// — allocate nothing inside the solver loop for the
+    /// workspace-threaded solvers (FISTA, ISTA, IHT; the greedy OMP and
+    /// CoSaMP paths still allocate per solve), and the results are
+    /// bit-identical to [`Decoder::reconstruct`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decoder::reconstruct`].
+    pub fn reconstruct_with(
+        &self,
+        frame: &CompressedFrame,
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Reconstruction, CoreError> {
         let h = &frame.header;
         if h.rows as usize != self.rows
             || h.cols as usize != self.cols
@@ -376,7 +411,7 @@ impl Decoder {
                         solver.step(step);
                     }
                 }
-                let rec = solver.solve(&a, &resid)?;
+                let rec = solver.solve_with(&a, &resid, workspace)?;
                 if do_debias {
                     debias(&a, &resid, &rec, k / 2)?
                 } else {
@@ -385,7 +420,9 @@ impl Decoder {
             }
             Algorithm::Omp { atoms } => Omp::new(atoms.max(1)).solve(&a, &resid)?,
             Algorithm::CoSamp { sparsity } => CoSaMp::new(sparsity.max(1)).solve(&a, &resid)?,
-            Algorithm::Iht { sparsity } => Iht::new(sparsity.max(1)).solve(&a, &resid)?,
+            Algorithm::Iht { sparsity } => {
+                Iht::new(sparsity.max(1)).solve_with(&a, &resid, workspace)?
+            }
         };
         let stats = recovery.stats.clone();
         let v = dict.synthesize_vec(&recovery.coefficients);

@@ -82,7 +82,6 @@ pub mod pipeline;
 pub mod session;
 pub mod strategy;
 pub mod stream;
-pub mod video;
 
 pub use baseline::BlockCs;
 pub use batch::{BatchOutcome, BatchRunner, BatchSummary};
@@ -105,8 +104,6 @@ pub mod prelude {
     pub use crate::pipeline::{evaluate, evaluate_with_cache, PipelineReport};
     pub use crate::session::{DecodeSession, DecodedFrame, EncodeSession};
     pub use crate::strategy::StrategyKind;
-    #[allow(deprecated)]
-    pub use crate::video::SequenceDecoder;
     pub use tepics_imaging::{mae, mse, psnr, ssim, ImageF64, ImageU8, Scene};
     pub use tepics_sensor::{Fidelity, SensorConfig};
 }

@@ -18,7 +18,7 @@
 //! |--------------------------------------------|---------------------------------------|
 //! | `imager.capture(&scene)` + `to_bytes()`    | `enc.capture(&scene)` + `to_bytes()`  |
 //! | `CompressedFrame::from_bytes` + `Decoder`  | `dec.push_bytes(&bytes)`              |
-//! | `SequenceDecoder::push`                    | `dec.delta_mode(..)` + `push_bytes`   |
+//! | `SequenceDecoder::push` (removed)          | `dec.delta_mode(..)` + `push_bytes`   |
 //!
 //! # Examples
 //!
@@ -56,7 +56,7 @@ use crate::stream::{StreamParser, StreamWriter};
 use tepics_cs::dictionary::IdentityDictionary;
 use tepics_cs::ComposedOperator;
 use tepics_imaging::ImageF64;
-use tepics_recovery::Iht;
+use tepics_recovery::{Iht, SolverWorkspace};
 use tepics_sensor::EventStats;
 
 /// Capture-side session: scenes in, one contiguous wire stream out.
@@ -181,9 +181,15 @@ pub struct DecodedFrame {
 /// Bytes may arrive in arbitrary chunks; each [`DecodeSession::push_bytes`]
 /// call returns the frames completed by that chunk. All decoding state —
 /// the rebuilt measurement operator, the dictionary, the FISTA step
-/// size, and (in delta mode) the previous reconstruction — lives in the
-/// session, keyed by the stream header, so a long same-seed sequence
-/// pays the operator construction cost exactly once.
+/// size, the solver workspace, and (in delta mode) the previous
+/// reconstruction — lives in the session, keyed by the stream header,
+/// so a long same-seed sequence pays the operator construction cost
+/// exactly once and, once warm, decodes frames with zero heap
+/// allocation inside the solver loop (the cached Φ carries its
+/// precompiled gather structure; the workspace carries the iterate
+/// buffers). The allocation-free guarantee covers the workspace-threaded
+/// solvers — FISTA, ISTA, and IHT; the greedy solvers (OMP, CoSaMP)
+/// still allocate per solve.
 #[derive(Debug, Clone, Default)]
 pub struct DecodeSession {
     parser: StreamParser,
@@ -198,6 +204,8 @@ pub struct DecodeSession {
     last_mean: f64,
     frames_since_key: usize,
     decoded: usize,
+    /// Reused solver buffers: one allocation for the whole stream.
+    workspace: SolverWorkspace,
 }
 
 impl DecodeSession {
@@ -341,7 +349,7 @@ impl DecodeSession {
                 .decoder
                 .as_ref()
                 .expect("primed above")
-                .reconstruct(frame)?;
+                .reconstruct_with(frame, &mut self.workspace)?;
             self.frames_since_key = 0;
             self.last_mean = recon.mean_code();
             recon
@@ -368,7 +376,7 @@ impl DecodeSession {
     /// pixel-sparse (IHT, identity dictionary) against the previous
     /// reconstruction. Same seed ⇒ same Φ, so the operator comes warm
     /// from the cache.
-    fn decode_delta(&self, frame: &CompressedFrame) -> Result<Reconstruction, CoreError> {
+    fn decode_delta(&mut self, frame: &CompressedFrame) -> Result<Reconstruction, CoreError> {
         let prev_samples = self.prev_samples.as_ref().expect("delta needs history");
         let prev_codes = self.prev_codes.as_ref().expect("delta needs history");
         let delta = self.delta.expect("delta mode configured");
@@ -384,7 +392,10 @@ impl DecodeSession {
             .operator(&decoder.operator_key(frame.samples.len()))?;
         let dict = IdentityDictionary::new(prev_codes.len());
         let a = ComposedOperator::new(phi.as_ref(), &dict);
-        let rec = Iht::new(delta.sparsity).max_iter(200).solve(&a, &dy)?;
+        let rec =
+            Iht::new(delta.sparsity)
+                .max_iter(200)
+                .solve_with(&a, &dy, &mut self.workspace)?;
         let code_max = ((1u32 << frame.header.code_bits) - 1) as f64;
         let codes = ImageF64::from_vec(
             prev_codes.width(),

@@ -33,6 +33,23 @@ pub trait Dictionary {
     /// Implementations panic on length mismatches.
     fn analyze(&self, x: &[f64], alpha: &mut [f64]);
 
+    /// Like [`synthesize`](Dictionary::synthesize), reusing `scratch`
+    /// across calls so hot loops run allocation-free. The default
+    /// forwards to `synthesize`; transform-backed dictionaries override
+    /// it to route their internal buffers through `scratch`. Results
+    /// are identical to `synthesize` either way.
+    fn synthesize_with(&self, alpha: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
+        let _ = scratch;
+        self.synthesize(alpha, x);
+    }
+
+    /// Like [`analyze`](Dictionary::analyze), reusing `scratch`; see
+    /// [`synthesize_with`](Dictionary::synthesize_with).
+    fn analyze_with(&self, x: &[f64], alpha: &mut [f64], scratch: &mut Vec<f64>) {
+        let _ = scratch;
+        self.analyze(x, alpha);
+    }
+
     /// Allocating convenience for [`synthesize`](Dictionary::synthesize).
     fn synthesize_vec(&self, alpha: &[f64]) -> Vec<f64> {
         let mut x = vec![0.0; self.dim()];
@@ -89,13 +106,19 @@ impl Dictionary for Dct2dDictionary {
     }
 
     fn synthesize(&self, alpha: &[f64], x: &mut [f64]) {
-        let out = self.dct.inverse(alpha);
-        x.copy_from_slice(&out);
+        self.dct.inverse_with(alpha, x, &mut Vec::new());
     }
 
     fn analyze(&self, x: &[f64], alpha: &mut [f64]) {
-        let out = self.dct.forward(x);
-        alpha.copy_from_slice(&out);
+        self.dct.forward_with(x, alpha, &mut Vec::new());
+    }
+
+    fn synthesize_with(&self, alpha: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
+        self.dct.inverse_with(alpha, x, scratch);
+    }
+
+    fn analyze_with(&self, x: &[f64], alpha: &mut [f64], scratch: &mut Vec<f64>) {
+        self.dct.forward_with(x, alpha, scratch);
     }
 }
 
@@ -246,6 +269,23 @@ impl<D: Dictionary> Dictionary for ZeroMeanDictionary<D> {
 
     fn analyze(&self, x: &[f64], alpha: &mut [f64]) {
         self.inner.analyze(x, alpha);
+        alpha[self.pinned] = 0.0;
+    }
+
+    fn synthesize_with(&self, alpha: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
+        // The solver loop keeps the pinned coefficient at exactly zero
+        // (analyze pins it, and the iterates are linear combinations of
+        // pinned vectors), so the hot path forwards without copying; a
+        // nonzero pinned entry falls back to the defensive copy.
+        if alpha[self.pinned] == 0.0 {
+            self.inner.synthesize_with(alpha, x, scratch);
+        } else {
+            self.synthesize(alpha, x);
+        }
+    }
+
+    fn analyze_with(&self, x: &[f64], alpha: &mut [f64], scratch: &mut Vec<f64>) {
+        self.inner.analyze_with(x, alpha, scratch);
         alpha[self.pinned] = 0.0;
     }
 }

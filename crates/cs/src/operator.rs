@@ -6,10 +6,26 @@
 //! quality experiments where RIP analysis conventionally assumes
 //! zero-mean entries.
 
+use std::cell::RefCell;
+
 use crate::dictionary::Dictionary;
 use crate::op::LinearOperator;
 
+/// Reusable intermediate buffers of a [`ComposedOperator`]: the pixel
+/// vector between Ψ and Φ, plus the dictionary's own transform scratch.
+#[derive(Debug, Clone, Default)]
+struct ComposedScratch {
+    pixels: Vec<f64>,
+    dict: Vec<f64>,
+}
+
 /// The product `A = Φ ∘ Ψ` of a measurement operator and a dictionary.
+///
+/// Applications run through internal scratch buffers that grow on first
+/// use and are reused afterwards, so the solver loop performs no
+/// per-iteration allocation. The buffers make this type `!Sync`; it is
+/// built per solve (each batch worker composes its own view over the
+/// shared cached operator), never shared across threads.
 ///
 /// # Examples
 ///
@@ -27,6 +43,7 @@ use crate::op::LinearOperator;
 pub struct ComposedOperator<'a, M: ?Sized, D: ?Sized> {
     phi: &'a M,
     psi: &'a D,
+    scratch: RefCell<ComposedScratch>,
 }
 
 impl<'a, M, D> ComposedOperator<'a, M, D>
@@ -47,7 +64,11 @@ where
             phi.cols(),
             psi.dim()
         );
-        ComposedOperator { phi, psi }
+        ComposedOperator {
+            phi,
+            psi,
+            scratch: RefCell::new(ComposedScratch::default()),
+        }
     }
 }
 
@@ -65,15 +86,19 @@ where
     }
 
     fn apply(&self, alpha: &[f64], y: &mut [f64]) {
-        let mut x = vec![0.0; self.psi.dim()];
-        self.psi.synthesize(alpha, &mut x);
-        self.phi.apply(&x, y);
+        let mut scratch = self.scratch.borrow_mut();
+        let ComposedScratch { pixels, dict } = &mut *scratch;
+        pixels.resize(self.psi.dim(), 0.0);
+        self.psi.synthesize_with(alpha, pixels, dict);
+        self.phi.apply(pixels, y);
     }
 
     fn apply_adjoint(&self, y: &[f64], alpha: &mut [f64]) {
-        let mut x = vec![0.0; self.psi.dim()];
-        self.phi.apply_adjoint(y, &mut x);
-        self.psi.analyze(&x, alpha);
+        let mut scratch = self.scratch.borrow_mut();
+        let ComposedScratch { pixels, dict } = &mut *scratch;
+        pixels.resize(self.psi.dim(), 0.0);
+        self.phi.apply_adjoint(y, pixels);
+        self.psi.analyze_with(pixels, alpha, dict);
     }
 }
 

@@ -1,15 +1,119 @@
 //! Orthonormal discrete cosine transform (DCT-II / DCT-III pair).
 //!
-//! The 1-D transform is implemented as a precomputed orthonormal basis
-//! matrix multiply — O(n²) per application, which at the sensor's n=64
-//! is both exact and fast enough that an FFT-based factorization would
-//! only add code risk. The 2-D transform is the separable product
-//! (rows, then columns).
+//! Two evaluation paths share one public API:
+//!
+//! * **Fast path** — for power-of-two lengths, a recursive even/odd
+//!   (Lee 1984) factorization evaluates the transform in O(n log n)
+//!   with precomputed half-secant twiddle factors. This is the path the
+//!   recovery inner loop hits: the sensor geometries are powers of two,
+//!   and every FISTA iteration runs a 2-D synthesis + analysis pair.
+//! * **Matrix fallback** — for all other lengths, the precomputed
+//!   orthonormal basis-matrix multiply (O(n²) per application, exact).
+//!
+//! The selection happens once, in [`Dct1d::new`]; both paths implement
+//! the same orthonormal DCT-II (forward) / DCT-III (inverse) pair. The
+//! fast path reassociates floating-point sums, so its outputs may
+//! differ from the matrix path in the last bits — the difference is
+//! bounded well below 1e-10 (relative) at every supported length and is
+//! covered by equivalence tests against the matrix path. Both paths are
+//! fully deterministic, so batch results remain bit-identical at any
+//! thread count.
+//!
+//! The 2-D transform is the separable product (rows, then columns),
+//! applied through scratch buffers so repeated transforms (the solver
+//! hot loop) do no per-row allocation — see [`Dct2d::forward_with`].
+
+/// Twiddle factors for the Lee factorization of a power-of-two length:
+/// for each level size `s` (n, n/2, …, 2), the `s/2` half-secants
+/// `1 / (2·cos((i + ½)·π / s))`, stored level-major (largest first).
+fn lee_twiddles(n: usize) -> Vec<f64> {
+    let mut tw = Vec::with_capacity(n.saturating_sub(1));
+    let mut s = n;
+    while s >= 2 {
+        let half = s / 2;
+        for i in 0..half {
+            let angle = (i as f64 + 0.5) * std::f64::consts::PI / s as f64;
+            tw.push(0.5 / angle.cos());
+        }
+        s = half;
+    }
+    tw
+}
+
+/// Unnormalized Lee DCT-II: `x_k ← Σ_i x_i cos(π(2i+1)k/2n)`, in place,
+/// with `scratch.len() == x.len()` and the twiddles of [`lee_twiddles`].
+fn lee_forward(x: &mut [f64], scratch: &mut [f64], tw: &[f64]) {
+    let n = x.len();
+    if n == 1 {
+        return;
+    }
+    let half = n / 2;
+    let (t, rest) = tw.split_at(half);
+    {
+        let (a, b) = scratch.split_at_mut(half);
+        for i in 0..half {
+            let (p, q) = (x[i], x[n - 1 - i]);
+            a[i] = p + q;
+            b[i] = (p - q) * t[i];
+        }
+        let (xa, xb) = x.split_at_mut(half);
+        lee_forward(a, xa, rest);
+        lee_forward(b, xb, rest);
+    }
+    let (a, b) = scratch.split_at(half);
+    for i in 0..half - 1 {
+        x[2 * i] = a[i];
+        x[2 * i + 1] = b[i] + b[i + 1];
+    }
+    x[n - 2] = a[half - 1];
+    x[n - 1] = b[half - 1];
+}
+
+/// Unnormalized Lee DCT-III (inverse of [`lee_forward`]):
+/// `x_i ← v_0 + Σ_{k≥1} v_k cos(π(2i+1)k/2n)`, in place.
+fn lee_inverse(v: &mut [f64], scratch: &mut [f64], tw: &[f64]) {
+    let n = v.len();
+    if n == 1 {
+        return;
+    }
+    let half = n / 2;
+    let (t, rest) = tw.split_at(half);
+    {
+        let (a, b) = scratch.split_at_mut(half);
+        a[0] = v[0];
+        b[0] = v[1];
+        for i in 1..half {
+            a[i] = v[2 * i];
+            b[i] = v[2 * i - 1] + v[2 * i + 1];
+        }
+        let (va, vb) = v.split_at_mut(half);
+        lee_inverse(a, va, rest);
+        lee_inverse(b, vb, rest);
+    }
+    let (a, b) = scratch.split_at(half);
+    for i in 0..half {
+        let y = b[i] * t[i];
+        v[i] = a[i] + y;
+        v[n - 1 - i] = a[i] - y;
+    }
+}
+
+/// The evaluation strategy behind a [`Dct1d`].
+#[derive(Debug, Clone, PartialEq)]
+enum Kind {
+    /// Row-major orthonormal basis: `basis[k*n + i] = c_k cos(π(2i+1)k/2n)`.
+    Matrix { basis: Vec<f64> },
+    /// Lee even/odd factorization twiddles (power-of-two lengths).
+    Fast { twiddles: Vec<f64> },
+}
 
 /// Orthonormal 1-D DCT of a fixed length.
 ///
 /// Forward is DCT-II with orthonormal scaling; inverse is its transpose
 /// (DCT-III), so `inverse(forward(x)) == x` to machine precision.
+/// Power-of-two lengths use the O(n log n) Lee factorization; other
+/// lengths fall back to the exact basis-matrix product (see the module
+/// docs for the path-selection and tolerance contract).
 ///
 /// # Examples
 ///
@@ -26,29 +130,46 @@
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dct1d {
     n: usize,
-    /// Row-major orthonormal basis: `basis[k*n + i] = c_k cos(π(2i+1)k/2n)`.
-    basis: Vec<f64>,
+    /// Orthonormal weight of the DC row, `√(1/n)`.
+    norm0: f64,
+    /// Orthonormal weight of every other row, `√(2/n)`.
+    norm: f64,
+    kind: Kind,
 }
 
 impl Dct1d {
-    /// Creates a transform of length `n`.
+    /// Creates a transform of length `n`, selecting the fast path for
+    /// powers of two and the basis-matrix fallback otherwise.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "transform length must be positive");
-        let mut basis = vec![0.0; n * n];
         let norm0 = (1.0 / n as f64).sqrt();
         let norm = (2.0 / n as f64).sqrt();
-        for k in 0..n {
-            let c = if k == 0 { norm0 } else { norm };
-            for i in 0..n {
-                basis[k * n + i] = c
-                    * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2 * n) as f64).cos();
+        let kind = if n.is_power_of_two() {
+            Kind::Fast {
+                twiddles: lee_twiddles(n),
             }
+        } else {
+            let mut basis = vec![0.0; n * n];
+            for k in 0..n {
+                let c = if k == 0 { norm0 } else { norm };
+                for (i, b) in basis[k * n..(k + 1) * n].iter_mut().enumerate() {
+                    *b = c
+                        * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2 * n) as f64)
+                            .cos();
+                }
+            }
+            Kind::Matrix { basis }
+        };
+        Dct1d {
+            n,
+            norm0,
+            norm,
+            kind,
         }
-        Dct1d { n, basis }
     }
 
     /// Transform length.
@@ -61,39 +182,94 @@ impl Dct1d {
         false
     }
 
-    /// Forward transform (analysis): `X_k = Σ_i basis[k,i]·x_i`.
+    /// `true` if this instance uses the O(n log n) Lee factorization
+    /// (power-of-two lengths), `false` for the basis-matrix fallback.
+    pub fn is_fast(&self) -> bool {
+        matches!(self.kind, Kind::Fast { .. })
+    }
+
+    /// Forward transform (analysis): `X_k = c_k Σ_i cos(π(2i+1)k/2n)·x_i`.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != len()`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n, "input length mismatch");
-        let mut out = vec![0.0; self.n];
-        for (k, o) in out.iter_mut().enumerate() {
-            let row = &self.basis[k * self.n..(k + 1) * self.n];
-            *o = row.iter().zip(x).map(|(b, v)| b * v).sum();
-        }
+        let mut out = x.to_vec();
+        let mut scratch = vec![0.0; self.n];
+        self.forward_in_place(&mut out, &mut scratch);
         out
     }
 
-    /// Inverse transform (synthesis): `x_i = Σ_k basis[k,i]·X_k`.
+    /// Inverse transform (synthesis): `x_i = Σ_k c_k cos(π(2i+1)k/2n)·X_k`.
     ///
     /// # Panics
     ///
     /// Panics if `coeffs.len() != len()`.
     pub fn inverse(&self, coeffs: &[f64]) -> Vec<f64> {
-        assert_eq!(coeffs.len(), self.n, "input length mismatch");
-        let mut out = vec![0.0; self.n];
-        for (k, &ck) in coeffs.iter().enumerate() {
-            if ck == 0.0 {
-                continue;
+        let mut out = coeffs.to_vec();
+        let mut scratch = vec![0.0; self.n];
+        self.inverse_in_place(&mut out, &mut scratch);
+        out
+    }
+
+    /// In-place forward transform using caller-provided scratch, so hot
+    /// loops can run allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != len()` or `scratch.len() < len()`.
+    pub fn forward_in_place(&self, data: &mut [f64], scratch: &mut [f64]) {
+        assert_eq!(data.len(), self.n, "input length mismatch");
+        assert!(scratch.len() >= self.n, "scratch too small");
+        match &self.kind {
+            Kind::Fast { twiddles } => {
+                lee_forward(data, &mut scratch[..self.n], twiddles);
+                data[0] *= self.norm0;
+                for v in &mut data[1..] {
+                    *v *= self.norm;
+                }
             }
-            let row = &self.basis[k * self.n..(k + 1) * self.n];
-            for (o, b) in out.iter_mut().zip(row) {
-                *o += ck * b;
+            Kind::Matrix { basis } => {
+                for (k, o) in scratch[..self.n].iter_mut().enumerate() {
+                    let row = &basis[k * self.n..(k + 1) * self.n];
+                    *o = row.iter().zip(data.iter()).map(|(b, v)| b * v).sum();
+                }
+                data.copy_from_slice(&scratch[..self.n]);
             }
         }
-        out
+    }
+
+    /// In-place inverse transform using caller-provided scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != len()` or `scratch.len() < len()`.
+    pub fn inverse_in_place(&self, data: &mut [f64], scratch: &mut [f64]) {
+        assert_eq!(data.len(), self.n, "input length mismatch");
+        assert!(scratch.len() >= self.n, "scratch too small");
+        match &self.kind {
+            Kind::Fast { twiddles } => {
+                data[0] *= self.norm0;
+                for v in &mut data[1..] {
+                    *v *= self.norm;
+                }
+                lee_inverse(data, &mut scratch[..self.n], twiddles);
+            }
+            Kind::Matrix { basis } => {
+                let out = &mut scratch[..self.n];
+                out.fill(0.0);
+                for (k, &ck) in data.iter().enumerate() {
+                    if ck == 0.0 {
+                        continue;
+                    }
+                    let row = &basis[k * self.n..(k + 1) * self.n];
+                    for (o, b) in out.iter_mut().zip(row) {
+                        *o += ck * b;
+                    }
+                }
+                data.copy_from_slice(&scratch[..self.n]);
+            }
+        }
     }
 }
 
@@ -158,38 +334,39 @@ impl Dct2d {
         false
     }
 
-    fn apply(&self, data: &[f64], forward: bool) -> Vec<f64> {
+    /// Applies both separable passes into `out` through one scratch
+    /// buffer: rows transform in place on `out`, then columns gather
+    /// through a transpose-scratch region instead of allocating per row
+    /// or per column.
+    fn apply_with(&self, data: &[f64], out: &mut [f64], scratch: &mut Vec<f64>, forward: bool) {
         assert_eq!(data.len(), self.len(), "buffer length mismatch");
+        assert_eq!(out.len(), self.len(), "output length mismatch");
         let (w, h) = (self.width, self.height);
-        // Rows.
-        let mut tmp = vec![0.0; w * h];
-        let mut row_buf = vec![0.0; w];
-        for y in 0..h {
-            row_buf.copy_from_slice(&data[y * w..(y + 1) * w]);
-            let t = if forward {
-                self.row.forward(&row_buf)
+        scratch.resize(h + w.max(h), 0.0);
+        let (col_buf, s) = scratch.split_at_mut(h);
+        // Rows, in place on the output buffer.
+        for (out_row, data_row) in out.chunks_exact_mut(w).zip(data.chunks_exact(w)) {
+            out_row.copy_from_slice(data_row);
+            if forward {
+                self.row.forward_in_place(out_row, s);
             } else {
-                self.row.inverse(&row_buf)
-            };
-            tmp[y * w..(y + 1) * w].copy_from_slice(&t);
+                self.row.inverse_in_place(out_row, s);
+            }
         }
-        // Columns.
-        let mut out = vec![0.0; w * h];
-        let mut col_buf = vec![0.0; h];
+        // Columns, gathered through the transpose scratch.
         for x in 0..w {
-            for y in 0..h {
-                col_buf[y] = tmp[y * w + x];
+            for (c, row) in col_buf.iter_mut().zip(out.chunks_exact(w)) {
+                *c = row[x];
             }
-            let t = if forward {
-                self.col.forward(&col_buf)
+            if forward {
+                self.col.forward_in_place(col_buf, s);
             } else {
-                self.col.inverse(&col_buf)
-            };
-            for y in 0..h {
-                out[y * w + x] = t[y];
+                self.col.inverse_in_place(col_buf, s);
+            }
+            for (c, row) in col_buf.iter().zip(out.chunks_exact_mut(w)) {
+                row[x] = *c;
             }
         }
-        out
     }
 
     /// Forward 2-D transform of a row-major buffer.
@@ -198,7 +375,10 @@ impl Dct2d {
     ///
     /// Panics if `data.len() != width*height`.
     pub fn forward(&self, data: &[f64]) -> Vec<f64> {
-        self.apply(data, true)
+        let mut out = vec![0.0; self.len()];
+        let mut scratch = Vec::new();
+        self.apply_with(data, &mut out, &mut scratch, true);
+        out
     }
 
     /// Inverse 2-D transform of a row-major coefficient buffer.
@@ -207,7 +387,32 @@ impl Dct2d {
     ///
     /// Panics if `coeffs.len() != width*height`.
     pub fn inverse(&self, coeffs: &[f64]) -> Vec<f64> {
-        self.apply(coeffs, false)
+        let mut out = vec![0.0; self.len()];
+        let mut scratch = Vec::new();
+        self.apply_with(coeffs, &mut out, &mut scratch, false);
+        out
+    }
+
+    /// Forward transform into a caller-provided buffer, reusing
+    /// `scratch` across calls (it is resized on first use and never
+    /// reallocated after) — the allocation-free path the solver loop
+    /// uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` or `out.len()` differ from `len()`.
+    pub fn forward_with(&self, data: &[f64], out: &mut [f64], scratch: &mut Vec<f64>) {
+        self.apply_with(data, out, scratch, true);
+    }
+
+    /// Inverse transform into a caller-provided buffer; see
+    /// [`Dct2d::forward_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` or `out.len()` differ from `len()`.
+    pub fn inverse_with(&self, coeffs: &[f64], out: &mut [f64], scratch: &mut Vec<f64>) {
+        self.apply_with(coeffs, out, scratch, false);
     }
 }
 
@@ -218,6 +423,113 @@ mod tests {
 
     fn energy(v: &[f64]) -> f64 {
         v.iter().map(|x| x * x).sum()
+    }
+
+    /// A length-n reference DCT built directly from the basis matrix,
+    /// bypassing the fast-path selection in `Dct1d::new`.
+    fn matrix_reference(n: usize) -> (Vec<f64>, f64, f64) {
+        let norm0 = (1.0 / n as f64).sqrt();
+        let norm = (2.0 / n as f64).sqrt();
+        let mut basis = vec![0.0; n * n];
+        for k in 0..n {
+            let c = if k == 0 { norm0 } else { norm };
+            for i in 0..n {
+                basis[k * n + i] = c
+                    * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2 * n) as f64).cos();
+            }
+        }
+        (basis, norm0, norm)
+    }
+
+    fn matrix_forward(basis: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                basis[k * n..(k + 1) * n]
+                    .iter()
+                    .zip(x)
+                    .map(|(b, v)| b * v)
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn matrix_inverse(basis: &[f64], coeffs: &[f64]) -> Vec<f64> {
+        let n = coeffs.len();
+        let mut out = vec![0.0; n];
+        for (k, &ck) in coeffs.iter().enumerate() {
+            for (o, b) in out.iter_mut().zip(&basis[k * n..(k + 1) * n]) {
+                *o += ck * b;
+            }
+        }
+        out
+    }
+
+    fn pseudo_signal(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = tepics_util::SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn fast_path_is_selected_exactly_for_powers_of_two() {
+        for n in [1usize, 2, 4, 8, 64, 128] {
+            assert!(Dct1d::new(n).is_fast(), "n={n} should use the fast path");
+        }
+        for n in [3usize, 5, 6, 9, 12, 100] {
+            assert!(!Dct1d::new(n).is_fast(), "n={n} should use the matrix path");
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_matrix_reference() {
+        // Property over power-of-two lengths and many signals: the Lee
+        // factorization equals the dense basis product to ≤1e-10.
+        for n in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let (basis, _, _) = matrix_reference(n);
+            let dct = Dct1d::new(n);
+            for seed in 0..8 {
+                let x = pseudo_signal(n, seed * 31 + n as u64);
+                let fast = dct.forward(&x);
+                let exact = matrix_forward(&basis, &x);
+                for (k, (a, b)) in fast.iter().zip(&exact).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-10 * b.abs().max(1.0),
+                        "n={n} seed={seed} k={k}: fast {a} vs matrix {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_inverse_matches_matrix_reference() {
+        for n in [2usize, 4, 16, 64, 256] {
+            let (basis, _, _) = matrix_reference(n);
+            let dct = Dct1d::new(n);
+            for seed in 0..8 {
+                let coeffs = pseudo_signal(n, seed * 17 + n as u64);
+                let fast = dct.inverse(&coeffs);
+                let exact = matrix_inverse(&basis, &coeffs);
+                for (i, (a, b)) in fast.iter().zip(&exact).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-10 * b.abs().max(1.0),
+                        "n={n} seed={seed} i={i}: fast {a} vs matrix {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_lengths_use_matrix_path_and_round_trip() {
+        for n in [3usize, 5, 7, 9, 11, 13, 24, 100] {
+            let dct = Dct1d::new(n);
+            let x = pseudo_signal(n, n as u64);
+            let back = dct.inverse(&dct.forward(&x));
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "n={n}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]
@@ -234,24 +546,43 @@ mod tests {
 
     #[test]
     fn one_d_is_orthonormal() {
-        // Parseval: energy is preserved.
-        let dct = Dct1d::new(16);
-        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
-        let coeffs = dct.forward(&x);
-        assert!((energy(&x) - energy(&coeffs)).abs() < 1e-10);
+        // Parseval: energy is preserved, on both paths.
+        for n in [16usize, 12] {
+            let dct = Dct1d::new(n);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let coeffs = dct.forward(&x);
+            assert!((energy(&x) - energy(&coeffs)).abs() < 1e-10, "n={n}");
+        }
     }
 
     #[test]
     fn dc_basis_vector_is_constant() {
-        let dct = Dct1d::new(9);
-        let dc = dct.inverse(&{
-            let mut e = vec![0.0; 9];
-            e[0] = 1.0;
-            e
-        });
-        let expected = (1.0f64 / 9.0).sqrt();
-        for v in dc {
-            assert!((v - expected).abs() < 1e-12);
+        for n in [9usize, 8] {
+            let dct = Dct1d::new(n);
+            let dc = dct.inverse(&{
+                let mut e = vec![0.0; n];
+                e[0] = 1.0;
+                e
+            });
+            let expected = (1.0f64 / n as f64).sqrt();
+            for v in dc {
+                assert!((v - expected).abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_matches_allocating_api() {
+        for n in [8usize, 12] {
+            let dct = Dct1d::new(n);
+            let x = pseudo_signal(n, 5);
+            let mut buf = x.clone();
+            let mut scratch = vec![0.0; n];
+            dct.forward_in_place(&mut buf, &mut scratch);
+            assert_eq!(buf, dct.forward(&x), "forward n={n}");
+            let mut inv = buf.clone();
+            dct.inverse_in_place(&mut inv, &mut scratch);
+            assert_eq!(inv, dct.inverse(&buf), "inverse n={n}");
         }
     }
 
@@ -263,6 +594,48 @@ mod tests {
         for (a, b) in img.as_slice().iter().zip(&back) {
             assert!((a - b).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn two_d_matches_matrix_reference() {
+        // The separable fast 2-D transform equals the all-matrix one.
+        let (w, h) = (16usize, 16usize);
+        let (basis, _, _) = matrix_reference(w);
+        let img = Scene::gaussian_blobs(3).render(w, h, 8);
+        let fast = Dct2d::new(w, h).forward(img.as_slice());
+        // Reference: rows then columns with the dense basis.
+        let mut tmp = vec![0.0; w * h];
+        for y in 0..h {
+            let row = matrix_forward(&basis, &img.as_slice()[y * w..(y + 1) * w]);
+            tmp[y * w..(y + 1) * w].copy_from_slice(&row);
+        }
+        let mut exact = vec![0.0; w * h];
+        for x in 0..w {
+            let col: Vec<f64> = (0..h).map(|y| tmp[y * w + x]).collect();
+            let t = matrix_forward(&basis, &col);
+            for y in 0..h {
+                exact[y * w + x] = t[y];
+            }
+        }
+        for (i, (a, b)) in fast.iter().zip(&exact).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-10 * b.abs().max(1.0),
+                "coeff {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_d_with_buffers_matches_allocating_api() {
+        let dct = Dct2d::new(8, 8);
+        let img = Scene::gaussian_blobs(2).render(8, 8, 3);
+        let mut out = vec![0.0; 64];
+        let mut scratch = Vec::new();
+        dct.forward_with(img.as_slice(), &mut out, &mut scratch);
+        assert_eq!(out, dct.forward(img.as_slice()));
+        let mut back = vec![0.0; 64];
+        dct.inverse_with(&out, &mut back, &mut scratch);
+        assert_eq!(back, dct.inverse(&out));
     }
 
     #[test]

@@ -6,16 +6,28 @@
 //! support without materializing anything.
 
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
+use std::cell::RefCell;
 use tepics_cs::op::{self, LinearOperator};
 
 /// A view of an operator restricted to a subset of its columns.
 ///
 /// `apply` scatters the small coefficient vector into the full domain;
-/// `apply_adjoint` gathers only the supported entries.
+/// `apply_adjoint` gathers only the supported entries. Both run through
+/// an internal full-width scratch buffer, so repeated applications (the
+/// CGLS loop) allocate nothing after the first call. The buffer makes
+/// this type `!Sync`; it is a per-solve view, never shared across
+/// threads.
 #[derive(Debug, Clone)]
 pub struct RestrictedOperator<'a, A: ?Sized> {
     inner: &'a A,
     support: Vec<usize>,
+    /// Full-width scatter buffer for `apply`. Off-support entries are
+    /// zeroed once and stay zero: `apply` only ever writes the same
+    /// support positions.
+    full_in: RefCell<Vec<f64>>,
+    /// Full-width gather buffer for `apply_adjoint` (separate from
+    /// `full_in` so the adjoint cannot disturb its zero invariant).
+    full_out: RefCell<Vec<f64>>,
 }
 
 impl<'a, A: LinearOperator + ?Sized> RestrictedOperator<'a, A> {
@@ -29,7 +41,12 @@ impl<'a, A: LinearOperator + ?Sized> RestrictedOperator<'a, A> {
         for &j in &support {
             assert!(j < inner.cols(), "support index {j} out of range");
         }
-        RestrictedOperator { inner, support }
+        RestrictedOperator {
+            full_in: RefCell::new(vec![0.0; inner.cols()]),
+            full_out: RefCell::new(vec![0.0; inner.cols()]),
+            inner,
+            support,
+        }
     }
 
     /// The support column indices.
@@ -63,13 +80,17 @@ impl<'a, A: LinearOperator + ?Sized> LinearOperator for RestrictedOperator<'a, A
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.support.len(), "input length mismatch");
-        let full = self.embed(x);
+        let mut full = self.full_in.borrow_mut();
+        for (&j, &v) in self.support.iter().zip(x) {
+            full[j] = v;
+        }
         self.inner.apply(&full, y);
     }
 
     fn apply_adjoint(&self, y: &[f64], x: &mut [f64]) {
         assert_eq!(x.len(), self.support.len(), "output length mismatch");
-        let full = self.inner.apply_adjoint_vec(y);
+        let mut full = self.full_out.borrow_mut();
+        self.inner.apply_adjoint(y, &mut full);
         for (o, &j) in x.iter_mut().zip(&self.support) {
             *o = full[j];
         }

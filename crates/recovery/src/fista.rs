@@ -6,6 +6,7 @@
 //! applications.
 
 use crate::shrink::soft_threshold;
+use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
 use tepics_cs::op::{self, LinearOperator};
 
@@ -88,7 +89,7 @@ impl Fista {
         self
     }
 
-    /// Runs the solver.
+    /// Runs the solver with freshly allocated buffers.
     ///
     /// # Errors
     ///
@@ -100,10 +101,36 @@ impl Fista {
         a: &A,
         y: &[f64],
     ) -> Result<Recovery, RecoveryError> {
+        self.solve_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    /// Runs the solver reusing `workspace` buffers; results are
+    /// bit-identical to [`Fista::solve`], with no allocations inside the
+    /// iteration loop once the workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fista::solve`].
+    pub fn solve_with<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Recovery, RecoveryError> {
         check_dims(a.rows(), y)?;
         let n = a.cols();
-        // λ resolution.
-        let aty = a.apply_adjoint_vec(y);
+        workspace.prepare(a.rows(), n);
+        let SolverWorkspace {
+            alpha,
+            alpha_prev,
+            z,
+            grad,
+            resid,
+            ..
+        } = workspace;
+        // λ resolution (grad doubles as the Aᵀy buffer here; the loop
+        // below overwrites it before reading it again).
+        a.apply_adjoint(y, grad);
         let lambda = match self.lambda {
             LambdaRule::Absolute(l) => l,
             LambdaRule::RatioOfMax(r) => {
@@ -112,7 +139,7 @@ impl Fista {
                         "lambda ratio must be positive".into(),
                     ));
                 }
-                r * aty.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+                r * grad.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
             }
         };
         if lambda < 0.0 {
@@ -145,28 +172,23 @@ impl Fista {
             }
         };
 
-        let mut alpha = vec![0.0; n];
-        let mut alpha_prev = vec![0.0; n];
-        let mut z = vec![0.0; n];
         let mut t = 1.0f64;
-        let mut resid = vec![0.0; a.rows()];
-        let mut grad = vec![0.0; n];
         let mut iterations = 0;
         let mut converged = false;
         for it in 0..self.max_iter {
             iterations = it + 1;
             // grad = Aᵀ(Az − y)
-            a.apply(&z, &mut resid);
+            a.apply(z, resid);
             for (r, &yi) in resid.iter_mut().zip(y) {
                 *r -= yi;
             }
-            a.apply_adjoint(&resid, &mut grad);
+            a.apply_adjoint(resid, grad);
             // Proximal step from z.
-            alpha_prev.copy_from_slice(&alpha);
+            alpha_prev.copy_from_slice(alpha);
             for i in 0..n {
                 alpha[i] = z[i] - step * grad[i];
             }
-            soft_threshold(&mut alpha, lambda * step);
+            soft_threshold(alpha, lambda * step);
             // Momentum.
             let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
             let beta = (t - 1.0) / t_next;
@@ -187,15 +209,15 @@ impl Fista {
                 break;
             }
         }
-        a.apply(&alpha, &mut resid);
+        a.apply(alpha, resid);
         for (r, &yi) in resid.iter_mut().zip(y) {
             *r -= yi;
         }
         Ok(Recovery {
-            coefficients: alpha,
+            coefficients: alpha.clone(),
             stats: SolveStats {
                 iterations,
-                residual_norm: op::norm2(&resid),
+                residual_norm: op::norm2(resid),
                 converged,
             },
         })

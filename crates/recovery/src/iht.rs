@@ -6,6 +6,7 @@
 //! sparsity is known (e.g. star fields with a known source count).
 
 use crate::shrink::hard_threshold_top_k;
+use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
 use tepics_cs::op::{self, LinearOperator};
 
@@ -52,7 +53,7 @@ impl Iht {
         self
     }
 
-    /// Runs the solver.
+    /// Runs the solver with freshly allocated buffers.
     ///
     /// # Errors
     ///
@@ -62,6 +63,21 @@ impl Iht {
         &self,
         a: &A,
         y: &[f64],
+    ) -> Result<Recovery, RecoveryError> {
+        self.solve_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    /// Runs the solver reusing `workspace` buffers; results are
+    /// bit-identical to [`Iht::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Iht::solve`].
+    pub fn solve_with<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
     ) -> Result<Recovery, RecoveryError> {
         check_dims(a.rows(), y)?;
         let n = a.cols();
@@ -79,34 +95,39 @@ impl Iht {
             }
             1.0 / (norm * norm * 1.05)
         };
-        let mut alpha = vec![0.0; n];
-        let mut prev = vec![0.0; n];
-        let mut resid = y.to_vec(); // r = y − Aα, starts at y
-        let mut grad = vec![0.0; n];
-        let mut ag = vec![0.0; a.rows()];
+        workspace.prepare(a.rows(), n);
+        let SolverWorkspace {
+            alpha,
+            alpha_prev: prev,
+            z: g_s,
+            grad,
+            resid,
+            rows_tmp: ag,
+        } = workspace;
+        resid.copy_from_slice(y); // r = y − Aα, starts at y
         let mut iterations = 0;
         let mut converged = false;
         for it in 0..self.max_iter {
             iterations = it + 1;
-            a.apply_adjoint(&resid, &mut grad);
+            a.apply_adjoint(resid, grad);
             // NIHT step: restrict gradient to the current support (or the
             // full gradient on the first pass when support is empty).
             let mu = if self.normalized {
-                let mut g_s = grad.clone();
+                g_s.copy_from_slice(grad);
                 let has_support = alpha.iter().any(|&v| v != 0.0);
                 if has_support {
-                    for (g, &v) in g_s.iter_mut().zip(&alpha) {
+                    for (g, &v) in g_s.iter_mut().zip(alpha.iter()) {
                         if v == 0.0 {
                             *g = 0.0;
                         }
                     }
                 }
-                let g_norm2 = op::dot(&g_s, &g_s);
+                let g_norm2 = op::dot(g_s, g_s);
                 if g_norm2 == 0.0 {
                     fallback_step
                 } else {
-                    a.apply(&g_s, &mut ag);
-                    let denom = op::dot(&ag, &ag);
+                    a.apply(g_s, ag);
+                    let denom = op::dot(ag, ag);
                     if denom == 0.0 {
                         fallback_step
                     } else {
@@ -116,14 +137,14 @@ impl Iht {
             } else {
                 fallback_step
             };
-            prev.copy_from_slice(&alpha);
+            prev.copy_from_slice(alpha);
             for i in 0..n {
                 alpha[i] += mu * grad[i];
             }
-            hard_threshold_top_k(&mut alpha, self.sparsity);
+            hard_threshold_top_k(alpha, self.sparsity);
             // Refresh residual.
-            a.apply(&alpha, &mut ag);
-            for (r, (&yi, &av)) in resid.iter_mut().zip(y.iter().zip(&ag)) {
+            a.apply(alpha, ag);
+            for (r, (&yi, &av)) in resid.iter_mut().zip(y.iter().zip(ag.iter())) {
                 *r = yi - av;
             }
             let mut diff = 0.0;
@@ -139,10 +160,10 @@ impl Iht {
             }
         }
         Ok(Recovery {
-            coefficients: alpha,
+            coefficients: alpha.clone(),
             stats: SolveStats {
                 iterations,
-                residual_norm: op::norm2(&resid),
+                residual_norm: op::norm2(resid),
                 converged,
             },
         })

@@ -2,6 +2,7 @@
 //! FISTA's momentum (the `warmup`/solver experiments report both).
 
 use crate::shrink::soft_threshold;
+use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
 use tepics_cs::op::{self, LinearOperator};
 
@@ -54,7 +55,7 @@ impl Ista {
         self
     }
 
-    /// Runs the solver.
+    /// Runs the solver with freshly allocated buffers.
     ///
     /// # Errors
     ///
@@ -65,9 +66,35 @@ impl Ista {
         a: &A,
         y: &[f64],
     ) -> Result<Recovery, RecoveryError> {
+        self.solve_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    /// Runs the solver reusing `workspace` buffers; results are
+    /// bit-identical to [`Ista::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ista::solve`].
+    pub fn solve_with<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Recovery, RecoveryError> {
         check_dims(a.rows(), y)?;
         let n = a.cols();
-        let aty = a.apply_adjoint_vec(y);
+        workspace.prepare(a.rows(), n);
+        let SolverWorkspace {
+            alpha,
+            alpha_prev: prev,
+            grad,
+            resid,
+            ..
+        } = workspace;
+        // λ resolution (grad doubles as the Aᵀy buffer; the loop
+        // overwrites it before reading it again).
+        a.apply_adjoint(y, grad);
+        let aty = &*grad;
         let lambda = if let Some(l) = self.lambda_abs {
             if l < 0.0 {
                 return Err(RecoveryError::InvalidParameter(
@@ -96,24 +123,20 @@ impl Ista {
             });
         }
         let step = 1.0 / (norm * norm * 1.05);
-        let mut alpha = vec![0.0; n];
-        let mut prev = vec![0.0; n];
-        let mut resid = vec![0.0; a.rows()];
-        let mut grad = vec![0.0; n];
         let mut iterations = 0;
         let mut converged = false;
         for it in 0..self.max_iter {
             iterations = it + 1;
-            a.apply(&alpha, &mut resid);
+            a.apply(alpha, resid);
             for (r, &yi) in resid.iter_mut().zip(y) {
                 *r -= yi;
             }
-            a.apply_adjoint(&resid, &mut grad);
-            prev.copy_from_slice(&alpha);
+            a.apply_adjoint(resid, grad);
+            prev.copy_from_slice(alpha);
             for i in 0..n {
                 alpha[i] -= step * grad[i];
             }
-            soft_threshold(&mut alpha, lambda * step);
+            soft_threshold(alpha, lambda * step);
             let mut diff = 0.0;
             let mut nrm = 0.0;
             for i in 0..n {
@@ -126,15 +149,15 @@ impl Ista {
                 break;
             }
         }
-        a.apply(&alpha, &mut resid);
+        a.apply(alpha, resid);
         for (r, &yi) in resid.iter_mut().zip(y) {
             *r -= yi;
         }
         Ok(Recovery {
-            coefficients: alpha,
+            coefficients: alpha.clone(),
             stats: SolveStats {
                 iterations,
-                residual_norm: op::norm2(&resid),
+                residual_norm: op::norm2(resid),
                 converged,
             },
         })

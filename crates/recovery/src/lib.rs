@@ -16,7 +16,11 @@
 //!   ([`debias`]).
 //!
 //! Every solver returns a [`Recovery`] with convergence diagnostics, and
-//! is deterministic given its inputs.
+//! is deterministic given its inputs. The proximal/thresholding solvers
+//! (FISTA, ISTA, IHT) also offer `solve_with` variants that reuse a
+//! [`SolverWorkspace`], so per-frame decoders allocate nothing inside
+//! the solver loop once warm — with results bit-identical to the
+//! allocating path.
 //!
 //! # Examples
 //!
@@ -50,6 +54,7 @@ pub mod iht;
 pub mod ista;
 pub mod omp;
 pub mod shrink;
+pub mod workspace;
 
 pub use amp::Amp;
 pub use cosamp::CoSaMp;
@@ -57,6 +62,7 @@ pub use fista::Fista;
 pub use iht::Iht;
 pub use ista::Ista;
 pub use omp::Omp;
+pub use workspace::SolverWorkspace;
 
 use std::fmt;
 

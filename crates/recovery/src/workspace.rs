@@ -1,0 +1,107 @@
+//! Reusable solver buffers.
+//!
+//! Every iterative solver in this crate works on a handful of dense
+//! vectors (iterates, gradient, residual). A cold [`solve`] call
+//! allocates them afresh; a decoder that runs one solve per frame —
+//! the streaming deployment — would pay that allocation and page-touch
+//! cost on every frame. [`SolverWorkspace`] owns those buffers so
+//! repeated solves reuse the same memory: the `solve_with` variants of
+//! [`Fista`](crate::Fista), [`Ista`](crate::Ista) and
+//! [`Iht`](crate::Iht) take one and resize it (a no-op once warm, since
+//! shrinking-then-growing a `Vec` within its capacity never
+//! reallocates).
+//!
+//! Reuse is value-transparent: every buffer is reset to the exact state
+//! a fresh allocation would have, so a warm solve is bit-identical to a
+//! cold one.
+//!
+//! [`solve`]: crate::Fista::solve
+
+/// Reusable buffers for the proximal-gradient/thresholding solvers
+/// (`alpha`, `alpha_prev`, `z`, `grad` of the coefficient dimension;
+/// `resid`, `rows_tmp` of the measurement dimension).
+///
+/// # Examples
+///
+/// ```
+/// use tepics_cs::{DenseMatrix, LinearOperator};
+/// use tepics_recovery::{Fista, SolverWorkspace};
+/// use tepics_util::SplitMix64;
+///
+/// let mut rng = SplitMix64::new(1);
+/// let a = DenseMatrix::from_fn(12, 24, |_, _| rng.next_gaussian() / 12f64.sqrt());
+/// let mut x = vec![0.0; 24];
+/// x[7] = 2.0;
+/// let y = a.apply_vec(&x);
+/// let mut ws = SolverWorkspace::new();
+/// // Both solves share the same buffers; results match a cold solve.
+/// let warm = Fista::new().solve_with(&a, &y, &mut ws).unwrap();
+/// let again = Fista::new().solve_with(&a, &y, &mut ws).unwrap();
+/// assert_eq!(warm, again);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    pub(crate) alpha: Vec<f64>,
+    pub(crate) alpha_prev: Vec<f64>,
+    pub(crate) z: Vec<f64>,
+    pub(crate) grad: Vec<f64>,
+    pub(crate) resid: Vec<f64>,
+    pub(crate) rows_tmp: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers grow to the problem size on first
+    /// use and are reused afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes every buffer for a `rows`×`cols` problem and zeroes it,
+    /// restoring the exact state of freshly allocated buffers.
+    pub(crate) fn prepare(&mut self, rows: usize, cols: usize) {
+        for buf in [
+            &mut self.alpha,
+            &mut self.alpha_prev,
+            &mut self.z,
+            &mut self.grad,
+        ] {
+            buf.clear();
+            buf.resize(cols, 0.0);
+        }
+        for buf in [&mut self.resid, &mut self.rows_tmp] {
+            buf.clear();
+            buf.resize(rows, 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_resets_to_fresh_state() {
+        let mut ws = SolverWorkspace::new();
+        ws.prepare(3, 5);
+        ws.alpha.iter_mut().for_each(|v| *v = 7.0);
+        ws.resid.iter_mut().for_each(|v| *v = -1.0);
+        ws.prepare(4, 6);
+        assert_eq!(ws.alpha, vec![0.0; 6]);
+        assert_eq!(ws.alpha_prev, vec![0.0; 6]);
+        assert_eq!(ws.z, vec![0.0; 6]);
+        assert_eq!(ws.grad, vec![0.0; 6]);
+        assert_eq!(ws.resid, vec![0.0; 4]);
+        assert_eq!(ws.rows_tmp, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn shrinking_reuse_keeps_capacity() {
+        let mut ws = SolverWorkspace::new();
+        ws.prepare(100, 200);
+        let cap = ws.alpha.capacity();
+        ws.prepare(10, 20);
+        ws.prepare(100, 200);
+        assert_eq!(ws.alpha.capacity(), cap, "reuse must not reallocate");
+    }
+}

@@ -60,16 +60,17 @@
 //!
 //! # Migrating from the frame-at-a-time API
 //!
-//! The single-frame entry points still work (one release of overlap),
-//! but every loop over frames is simpler and faster as a session:
+//! The single-frame entry points still work, but every loop over frames
+//! is simpler and faster as a session (the deprecated `SequenceDecoder`
+//! shim has been removed — use delta mode):
 //!
-//! | frame API (0.1)                                      | session API (0.2)                            |
+//! | frame API                                            | session API                                  |
 //! |------------------------------------------------------|----------------------------------------------|
 //! | `imager.capture(&scene)` then `frame.to_bytes()`     | `enc.capture(&scene)?` then `enc.to_bytes()` |
 //! | `CompressedFrame::from_bytes(&bytes)?`               | `dec.push_bytes(&bytes)?`                    |
 //! | `Decoder::for_frame(&frame)?.reconstruct(&frame)?`   | `dec.push_bytes(..)` / `dec.push_frame(..)`  |
 //! | `decoder.dictionary(..)` / `decoder.algorithm(..)`   | same calls on `DecodeSession`                |
-//! | `SequenceDecoder::new(&first, s, n)?` + `push(..)`   | `dec.delta_mode(s, n)` + `push_bytes(..)`    |
+//! | `SequenceDecoder::new(&first, s, n)?` + `push(..)` (removed) | `dec.delta_mode(s, n)` + `push_bytes(..)` |
 //! | `pipeline::evaluate(&imager, .., &scene)?` per scene | `pipeline::evaluate_with_cache(&cache, ..)?` |
 //! | N × `Decoder::for_frame` rebuilding Φ per frame      | one `OperatorCache`, Φ built once            |
 

@@ -302,3 +302,128 @@ fn sample_values_respect_eq1() {
         }
     }
 }
+
+/// The fast (Lee) DCT path equals a direct basis-definition evaluation
+/// to ≤1e-10 on random signals, for power-of-two lengths (fast path)
+/// and odd lengths (matrix fallback), forward, inverse, and round-trip.
+#[test]
+fn fast_dct_matches_basis_definition() {
+    use tepics::imaging::Dct1d;
+    let mut rng = SplitMix64::new(0xFA57);
+    for case in 0..CASES {
+        // Alternate between fast-path and fallback lengths.
+        let n = if case % 2 == 0 {
+            1usize << (1 + rng.next_below(8)) // 2..256, power of two
+        } else {
+            3 + 2 * rng.next_below(30) as usize // odd
+        };
+        let dct = Dct1d::new(n);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64() * 20.0 - 10.0).collect();
+        let coeffs = dct.forward(&x);
+        // Direct definition: X_k = c_k Σ_i cos(π(2i+1)k/2n)·x_i.
+        for (k, &ck) in coeffs.iter().enumerate() {
+            let c = if k == 0 {
+                (1.0 / n as f64).sqrt()
+            } else {
+                (2.0 / n as f64).sqrt()
+            };
+            let direct: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    c * (std::f64::consts::PI * (2 * i + 1) as f64 * k as f64 / (2 * n) as f64)
+                        .cos()
+                        * v
+                })
+                .sum();
+            assert!(
+                (ck - direct).abs() <= 1e-10 * direct.abs().max(1.0),
+                "case {case}: n={n} k={k}: fast {ck} vs definition {direct}"
+            );
+        }
+        let back = dct.inverse(&coeffs);
+        for (i, (a, b)) in x.iter().zip(&back).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10,
+                "case {case}: n={n} i={i}: round-trip {b} vs {a}"
+            );
+        }
+    }
+}
+
+/// The factorized fast-Φ paths equal the brute-force `selected()` sums
+/// and satisfy the adjoint identity at random geometries (odd sizes,
+/// multi-word columns, off-grid measurement counts).
+#[test]
+fn fast_phi_matches_bruteforce_at_random_geometries() {
+    use tepics::cs::op::adjoint_mismatch;
+    use tepics::cs::LinearOperator;
+    let mut rng = SplitMix64::new(0x0F1);
+    for case in 0..24 {
+        let m = 1 + rng.next_below(20) as usize;
+        let n = 1 + rng.next_below(80) as usize;
+        let k = 1 + rng.next_below(40) as usize;
+        let patterns: Vec<BitVec> = (0..k)
+            .map(|_| BitVec::from_bools((0..m + n).map(|_| rng.next_bool())))
+            .collect();
+        let meas = XorMeasurement::from_patterns(m, n, patterns);
+        let x: Vec<f64> = (0..m * n).map(|_| rng.next_f64() * 255.0).collect();
+        let y = meas.apply_vec(&x);
+        for (row, &yk) in y.iter().enumerate() {
+            let mut brute = 0.0;
+            for i in 0..m {
+                for j in 0..n {
+                    if meas.selected(row, i, j) {
+                        brute += x[i * n + j];
+                    }
+                }
+            }
+            assert!(
+                (yk - brute).abs() <= 1e-10 * brute.abs().max(1.0),
+                "case {case}: {m}×{n} K={k} row {row}: {yk} vs {brute}"
+            );
+        }
+        assert!(
+            adjoint_mismatch(&meas, 3, 0x5EED + case) < 1e-12,
+            "case {case}: {m}×{n} K={k} adjoint identity"
+        );
+    }
+}
+
+/// Solver-workspace reuse is value-transparent: a warm workspace solve
+/// equals a cold solve bit for bit, across solvers and problem sizes.
+#[test]
+fn workspace_reuse_is_bit_identical() {
+    use tepics::cs::{DenseMatrix, LinearOperator};
+    use tepics::recovery::{Fista, Iht, Ista, SolverWorkspace};
+    let mut rng = SplitMix64::new(0x5073);
+    let mut ws = SolverWorkspace::new();
+    for case in 0..8 {
+        let rows = 10 + rng.next_below(20) as usize;
+        let cols = rows + rng.next_below(30) as usize;
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| {
+            rng.next_gaussian() / (rows as f64).sqrt()
+        });
+        let mut x = vec![0.0; cols];
+        x[rng.next_below(cols as u64) as usize] = 1.5;
+        let y = a.apply_vec(&x);
+        let cold = Fista::new().max_iter(60).solve(&a, &y).unwrap();
+        let warm = Fista::new()
+            .max_iter(60)
+            .solve_with(&a, &y, &mut ws)
+            .unwrap();
+        assert_eq!(cold, warm, "case {case}: FISTA warm != cold");
+        let cold = Ista::new().max_iter(60).solve(&a, &y).unwrap();
+        let warm = Ista::new()
+            .max_iter(60)
+            .solve_with(&a, &y, &mut ws)
+            .unwrap();
+        assert_eq!(cold, warm, "case {case}: ISTA warm != cold");
+        let cold = Iht::new(2).max_iter(60).solve(&a, &y).unwrap();
+        let warm = Iht::new(2)
+            .max_iter(60)
+            .solve_with(&a, &y, &mut ws)
+            .unwrap();
+        assert_eq!(cold, warm, "case {case}: IHT warm != cold");
+    }
+}

@@ -189,12 +189,12 @@ fn batch_stream_decoding_is_thread_count_invariant() {
     assert_eq!(runner.cache().stats().misses, 1);
 }
 
-/// The deprecated shims and the sessions they wrap agree: a
-/// `SequenceDecoder` fed parsed frames reproduces a delta-mode session
-/// fed raw bytes.
+/// Delta-mode parity between the two session entry points: parsed
+/// frames pushed one at a time (`push_frame`) reproduce a delta-mode
+/// session fed raw stream bytes (`push_bytes`) bit for bit. (This is
+/// the contract the removed `SequenceDecoder` shim used to bridge.)
 #[test]
-#[allow(deprecated)]
-fn sequence_decoder_shim_matches_delta_session() {
+fn delta_session_frame_and_byte_entry_points_agree() {
     let im = imager(24, 0x0DD);
     let mut enc = EncodeSession::new(im.clone()).unwrap();
     let mut frames = Vec::new();
@@ -203,13 +203,25 @@ fn sequence_decoder_shim_matches_delta_session() {
         scene.set(4 + i, 12, 0.9);
         frames.push(enc.capture(&scene).unwrap());
     }
-    let mut shim = SequenceDecoder::new(&frames[0], 25, 0).unwrap();
-    let shim_codes: Vec<ImageF64> = frames.iter().map(|f| shim.push(f).unwrap()).collect();
+    let mut by_frame = DecodeSession::new();
+    by_frame.delta_mode(25, 0);
+    let frame_codes: Vec<ImageF64> = frames
+        .iter()
+        .map(|f| {
+            by_frame
+                .push_frame(f)
+                .unwrap()
+                .reconstruction
+                .code_image()
+                .clone()
+        })
+        .collect();
 
     let mut session = DecodeSession::new();
     session.delta_mode(25, 0);
     let decoded = session.push_bytes(&enc.to_bytes()).unwrap();
-    for (d, codes) in decoded.iter().zip(&shim_codes) {
+    assert_eq!(decoded.len(), frame_codes.len());
+    for (d, codes) in decoded.iter().zip(&frame_codes) {
         assert_eq!(d.reconstruction.code_image(), codes);
     }
 }
