@@ -112,6 +112,14 @@ fn smoke() {
         Ok(summary) => eprintln!("{summary}"),
         Err(hotpath_failures) => failures.extend(hotpath_failures),
     }
+    // Solver roster in smoke mode: every SolverKind decodes one frame
+    // (warm ≡ cold asserted per solver), plus the greedy column-view
+    // consistency contracts — so a solver-stack regression fails CI
+    // even when no unit test covers it.
+    match tepics_bench::experiments::solvers::smoke() {
+        Ok(summary) => eprintln!("{summary}"),
+        Err(solver_failures) => failures.extend(solver_failures),
+    }
     if failures.is_empty() {
         eprintln!("smoke: OK");
     } else {

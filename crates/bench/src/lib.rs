@@ -155,6 +155,12 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "(infrastructure) hot-path timings — DCT, Φ apply/adjoint, warm decode",
             run: experiments::hotpaths::run,
         },
+        Experiment {
+            id: "solvers",
+            tier: Tier::Full,
+            artifact: "(infrastructure) solver shootout — every SolverKind, PSNR + wall-time",
+            run: experiments::solvers::run,
+        },
     ]
 }
 

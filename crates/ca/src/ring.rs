@@ -1,6 +1,6 @@
 //! Gate-level model of the CA ring around the sensor (Fig. 2 + Fig. 3).
 //!
-//! [`Automaton1D`](crate::Automaton1D) is the *behavioral* model; this
+//! [`Automaton1D`] is the *behavioral* model; this
 //! module is the *structural* one: `M + N` instances of the Fig. 3 cell
 //! netlist, each with a state flip-flop, wired in a ring. Stepping
 //! evaluates every cell's combinational logic from the current register

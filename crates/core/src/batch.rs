@@ -111,8 +111,29 @@ impl BatchRunner {
         imager: &CompressiveImager,
         scenes: &[ImageF64],
     ) -> Result<BatchOutcome, CoreError> {
+        self.run_with(imager, scenes, |_| {})
+    }
+
+    /// Like [`BatchRunner::run`], applying `configure` to every item's
+    /// decoder first — the batch-scale entry point for solver and
+    /// dictionary selection (e.g.
+    /// `runner.run_with(&im, &scenes, |d| { d.algorithm(kind); })`).
+    /// The per-solver cache entries (operator norms, column views) are
+    /// shared across items exactly like the operator itself, and results
+    /// stay bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-item error in input order; all items are
+    /// still executed.
+    pub fn run_with(
+        &self,
+        imager: &CompressiveImager,
+        scenes: &[ImageF64],
+        configure: impl Fn(&mut crate::decoder::Decoder) + Sync,
+    ) -> Result<BatchOutcome, CoreError> {
         self.run_jobs(scenes, |scene| {
-            evaluate_with_cache(&self.cache, imager, |_| {}, scene)
+            evaluate_with_cache(&self.cache, imager, &configure, scene)
         })
     }
 

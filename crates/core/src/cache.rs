@@ -3,19 +3,36 @@
 //! Rebuilding the measurement operator is pure function of the frame
 //! header: `(rows, cols, strategy, seed, k)` fully determines the CA
 //! replay, the selection patterns, and therefore Φ. The same goes for
-//! the sparsifying dictionary (`(kind, rows, cols)`) and for the FISTA
-//! gradient step `1/L` with `L = ‖ΦΨ‖²` (estimated by a *seeded* power
+//! the sparsifying dictionary (`(kind, rows, cols)`), for the
+//! column-materialized `Φ·Ψ` view the greedy solvers consume, and for
+//! every solver's operator-norm estimate `‖ΦΨ‖` (a *seeded* power
 //! iteration, so it too is deterministic). A decoder that processes a
 //! stream of same-seed frames — the paper's video deployment — or a
 //! batch of same-seed items therefore rebuilds identical state over and
 //! over.
 //!
-//! [`OperatorCache`] memoizes all three. It is `Sync`: one cache can be
+//! [`OperatorCache`] memoizes all four. It is `Sync`: one cache can be
 //! shared across the worker threads of a [`BatchRunner`] run, and
 //! because every cached value is bit-identical to what a cold build
 //! would produce, warm and cold decodes yield *exactly* the same
 //! reconstructions — the batch engine's determinism guarantee survives
 //! caching.
+//!
+//! # Key disciplines
+//!
+//! Every entry family carries the full set of inputs its value depends
+//! on — nothing less, or two configurations could silently share state:
+//!
+//! * operators: [`OperatorKey`] `(rows, cols, strategy, seed, k)`;
+//! * dictionaries: `(DictionaryKind, rows, cols)`;
+//! * column views: `(OperatorKey, DictionaryKind)` — the view
+//!   materializes `Φ·Ψ`, so both factors key it;
+//! * norm estimates: `(OperatorKey, DictionaryKind, norm_seed)` — the
+//!   **per-solver** power-iteration seed is part of the key because
+//!   every solver runs its estimate with its own seed
+//!   ([`norm_seeds`](tepics_recovery::solver::norm_seeds)); collapsing
+//!   the seed out of the key would hand one solver another's step size
+//!   and silently change reconstructions (pinned by a test below).
 //!
 //! The cached Φ is stored in its precompiled fast-path form:
 //! [`XorMeasurement`] compiles its selected-row/column index lists and
@@ -32,6 +49,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::decoder::{build_dictionary, DictImpl, DictionaryKind};
 use crate::error::CoreError;
 use crate::strategy::StrategyKind;
+use tepics_cs::colview::ColumnMatrix;
 use tepics_cs::measurement::SelectionMeasurement;
 use tepics_cs::XorMeasurement;
 
@@ -79,23 +97,29 @@ pub(crate) struct CachedOperator {
     pub(crate) counts: Arc<Vec<f64>>,
 }
 
-/// Memoizes measurement operators, dictionaries, and FISTA step sizes
-/// across frames, streams, and batch items.
+/// Memoizes measurement operators, dictionaries, column-materialized
+/// views, and per-solver operator-norm estimates across frames,
+/// streams, and batch items.
 ///
 /// Cheap to share: wrap in an [`Arc`] (or use [`OperatorCache::shared`])
 /// and clone the handle into every decoder/session that should reuse
 /// the same state.
 /// The map `Mutex`es guard only the entry lookup; the expensive builds
-/// (CA replay, power iteration) run outside them behind per-key
-/// [`OnceLock`]s, so distinct-key work in a parallel batch stays
-/// parallel while same-key racers still converge on one value.
+/// (CA replay, power iteration, column materialization) run outside
+/// them behind per-key [`OnceLock`]s, so distinct-key work in a
+/// parallel batch stays parallel while same-key racers still converge
+/// on one value.
 #[derive(Debug, Default)]
 pub struct OperatorCache {
     ops: SharedMap<OperatorKey, CachedOperator>,
     dicts: Mutex<HashMap<(DictionaryKind, u16, u16), Arc<DictImpl>>>,
-    /// FISTA gradient step `1/(‖ΦΨ‖²·1.05)` per (operator, dictionary);
+    /// Operator-norm estimates `‖ΦΨ‖` per (operator, dictionary,
+    /// power-iteration seed); the seed is the *solver's* (each solver
+    /// estimates with its own), so entries can never cross solvers.
     /// `0.0` marks a zero operator (no override — the solver handles it).
-    steps: SharedMap<(OperatorKey, DictionaryKind), f64>,
+    norms: SharedMap<(OperatorKey, DictionaryKind, u64), f64>,
+    /// Column-materialized `Φ·Ψ` views per (operator, dictionary).
+    columns: SharedMap<(OperatorKey, DictionaryKind), Arc<ColumnMatrix>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -172,25 +196,49 @@ impl OperatorCache {
             .clone()
     }
 
-    /// The memoized FISTA gradient step for `(key, kind)`, computing it
-    /// with `compute` on first use. Returns `None` when the composed
-    /// operator is (numerically) zero, in which case the caller must let
-    /// the solver take its own zero-operator path.
-    pub(crate) fn fista_step(
+    /// The memoized operator-norm estimate `‖ΦΨ‖` for
+    /// `(key, kind, norm_seed)`, computing it with `compute` on first
+    /// use. `norm_seed` must be the requesting solver's own
+    /// power-iteration seed — it is part of the key precisely so two
+    /// solvers can never be served each other's estimate. Returns `None`
+    /// when the composed operator is (numerically) zero, in which case
+    /// the caller must let the solver take its own zero-operator path.
+    pub(crate) fn operator_norm(
         &self,
         key: &OperatorKey,
         kind: DictionaryKind,
+        norm_seed: u64,
         compute: impl FnOnce() -> f64,
     ) -> Option<f64> {
         let cell = {
-            let mut steps = self.steps.lock().expect("step cache poisoned");
-            steps.entry((*key, kind)).or_default().clone()
+            let mut norms = self.norms.lock().expect("norm cache poisoned");
+            norms.entry((*key, kind, norm_seed)).or_default().clone()
         };
         // The power iteration runs outside the map lock (it is the
         // expensive part); the OnceLock still guarantees one stored
         // value per key.
-        let step = *cell.get_or_init(compute);
-        (step > 0.0).then_some(step)
+        let norm = *cell.get_or_init(compute);
+        (norm > 0.0).then_some(norm)
+    }
+
+    /// The memoized column-materialized `Φ·Ψ` view for `(key, kind)`,
+    /// building it with `build` on first use. Greedy decodes attach the
+    /// returned view to their composed operator; the build is
+    /// deterministic, so warm views equal a cold materialization bit for
+    /// bit.
+    pub(crate) fn column_view(
+        &self,
+        key: &OperatorKey,
+        kind: DictionaryKind,
+        build: impl FnOnce() -> ColumnMatrix,
+    ) -> Arc<ColumnMatrix> {
+        let cell = {
+            let mut columns = self.columns.lock().expect("column cache poisoned");
+            columns.entry((*key, kind)).or_default().clone()
+        };
+        // Materialization (cols forward applies) runs outside the map
+        // lock; the OnceLock keeps one view per key.
+        cell.get_or_init(|| Arc::new(build())).clone()
     }
 }
 
@@ -259,16 +307,62 @@ mod tests {
     }
 
     #[test]
-    fn fista_step_is_computed_once() {
+    fn operator_norm_is_computed_once_per_solver_seed() {
+        use tepics_recovery::solver::norm_seeds;
         let cache = OperatorCache::new();
         let k = key(3, 10);
-        let first = cache.fista_step(&k, DictionaryKind::Dct2d, || 0.25);
-        let second = cache.fista_step(&k, DictionaryKind::Dct2d, || panic!("must be memoized"));
+        let seed = norm_seeds::FISTA;
+        let first = cache.operator_norm(&k, DictionaryKind::Dct2d, seed, || 0.25);
+        let second = cache.operator_norm(&k, DictionaryKind::Dct2d, seed, || {
+            panic!("must be memoized")
+        });
         assert_eq!(first, Some(0.25));
         assert_eq!(second, Some(0.25));
         // A zero norm is remembered as "no override".
-        let zero = cache.fista_step(&k, DictionaryKind::Haar2d, || 0.0);
+        let zero = cache.operator_norm(&k, DictionaryKind::Haar2d, seed, || 0.0);
         assert_eq!(zero, None);
+    }
+
+    /// The regression this key shape exists to prevent: two solvers
+    /// asking for the norm of the *same* operator/dictionary must get
+    /// independent entries (their power iterations run with different
+    /// seeds, so their estimates legitimately differ). A key collision
+    /// here would silently hand one solver the other's step size.
+    #[test]
+    fn norm_entries_never_cross_solver_seeds() {
+        use tepics_recovery::solver::norm_seeds;
+        let cache = OperatorCache::new();
+        let k = key(7, 12);
+        let fista = cache.operator_norm(&k, DictionaryKind::Dct2d, norm_seeds::FISTA, || 1.25);
+        let ista = cache.operator_norm(&k, DictionaryKind::Dct2d, norm_seeds::ISTA, || 1.50);
+        let iht = cache.operator_norm(&k, DictionaryKind::Dct2d, norm_seeds::IHT, || 1.75);
+        let amp = cache.operator_norm(&k, DictionaryKind::Dct2d, norm_seeds::AMP, || 2.00);
+        assert_eq!(fista, Some(1.25));
+        assert_eq!(ista, Some(1.50));
+        assert_eq!(iht, Some(1.75));
+        assert_eq!(amp, Some(2.00));
+        // And each stays what its own solver computed.
+        let again = cache.operator_norm(&k, DictionaryKind::Dct2d, norm_seeds::FISTA, || {
+            panic!("must be memoized")
+        });
+        assert_eq!(again, Some(1.25));
+    }
+
+    #[test]
+    fn column_views_are_memoized_per_operator_and_dictionary() {
+        use tepics_cs::colview::ColumnMatrix;
+        use tepics_cs::DenseMatrix;
+        let cache = OperatorCache::new();
+        let k1 = key(1, 6);
+        let build = || ColumnMatrix::from_operator(&DenseMatrix::identity(4));
+        let a = cache.column_view(&k1, DictionaryKind::Dct2d, build);
+        let b = cache.column_view(&k1, DictionaryKind::Dct2d, || panic!("must be memoized"));
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be warm");
+        // A different dictionary (or operator key) is a different view.
+        let c = cache.column_view(&k1, DictionaryKind::Identity, build);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let d = cache.column_view(&key(2, 6), DictionaryKind::Dct2d, build);
+        assert!(!Arc::ptr_eq(&a, &d));
     }
 
     #[test]

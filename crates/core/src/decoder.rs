@@ -10,8 +10,9 @@
 //!    squares: `μ̂ = ⟨c, y⟩ / ⟨c, c⟩`. This removes the enormous DC
 //!    gain that would otherwise dominate the operator spectrum.
 //! 2. **Sparse recovery** of the zero-mean residual through a DC-pinned
-//!    dictionary: `ỹ = y − μ̂·c ≈ Φ Ψ₀ β`, solved by FISTA (default),
-//!    OMP, CoSaMP or IHT; FISTA results are debiased on their support.
+//!    dictionary: `ỹ = y − μ̂·c ≈ Φ Ψ₀ β`, solved by any
+//!    [`SolverKind`] — debiased FISTA by default — dispatched
+//!    dynamically through the [`Solver`] trait.
 //!
 //! The reconstruction is the code image `x̂ = clamp(μ̂ + Ψ₀ β̂)`;
 //! [`Reconstruction::to_intensity`] inverts the pulse-modulation
@@ -22,7 +23,9 @@ use std::sync::Arc;
 use crate::cache::{OperatorCache, OperatorKey};
 use crate::error::CoreError;
 use crate::frame::{CompressedFrame, FrameHeader};
+use crate::solver::{RecoveryParams, SolverKind};
 use crate::strategy::StrategyKind;
+use tepics_cs::colview::ColumnMatrix;
 use tepics_cs::dictionary::{
     Dct2dDictionary, Dictionary, Haar2dDictionary, IdentityDictionary, ZeroMeanDictionary,
 };
@@ -30,7 +33,7 @@ use tepics_cs::measurement::SelectionMeasurement;
 use tepics_cs::op;
 use tepics_cs::{ComposedOperator, XorMeasurement};
 use tepics_imaging::ImageF64;
-use tepics_recovery::{debias::debias, CoSaMp, Fista, Iht, Omp, SolveStats, SolverWorkspace};
+use tepics_recovery::{Debias, SolveStats, Solver, SolverWorkspace};
 use tepics_sensor::{CodeTransfer, SensorConfig};
 
 /// Sparsifying dictionary families available to the decoder.
@@ -43,45 +46,6 @@ pub enum DictionaryKind {
     Haar2d,
     /// Identity — pixel-domain sparsity (star fields).
     Identity,
-}
-
-/// Recovery algorithms available to the decoder.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Algorithm {
-    /// FISTA ℓ1 solver (default), optionally debiased on its support.
-    Fista {
-        /// λ as a fraction of `‖Aᵀỹ‖∞`.
-        lambda_ratio: f64,
-        /// Iteration cap.
-        max_iter: usize,
-        /// Debias the support by least squares afterwards.
-        debias: bool,
-    },
-    /// Orthogonal matching pursuit with an atom budget.
-    Omp {
-        /// Maximum atoms to select.
-        atoms: usize,
-    },
-    /// CoSaMP with a target sparsity.
-    CoSamp {
-        /// Target sparsity.
-        sparsity: usize,
-    },
-    /// Normalized iterative hard thresholding with a target sparsity.
-    Iht {
-        /// Target sparsity.
-        sparsity: usize,
-    },
-}
-
-impl Default for Algorithm {
-    fn default() -> Self {
-        Algorithm::Fista {
-            lambda_ratio: 0.02,
-            max_iter: 400,
-            debias: true,
-        }
-    }
 }
 
 /// Dispatch-friendly dictionary wrapper (DC pinned where meaningful).
@@ -227,7 +191,7 @@ pub struct Decoder {
     seed: u64,
     code_max: f64,
     dictionary: DictionaryKind,
-    algorithm: Algorithm,
+    algorithm: SolverKind,
     cache: Option<Arc<OperatorCache>>,
 }
 
@@ -257,7 +221,7 @@ impl Decoder {
             seed: h.seed,
             code_max: ((1u32 << h.code_bits) - 1) as f64,
             dictionary: DictionaryKind::Dct2d,
-            algorithm: Algorithm::default(),
+            algorithm: SolverKind::default(),
             cache: None,
         })
     }
@@ -268,10 +232,17 @@ impl Decoder {
         self
     }
 
-    /// Selects the recovery algorithm.
-    pub fn algorithm(&mut self, algorithm: Algorithm) -> &mut Self {
+    /// Selects the recovery algorithm (any [`SolverKind`]; the solver is
+    /// dispatched dynamically through the
+    /// [`Solver`] trait).
+    pub fn algorithm(&mut self, algorithm: SolverKind) -> &mut Self {
         self.algorithm = algorithm;
         self
+    }
+
+    /// Applies a bundled [`RecoveryParams`] (solver + dictionary).
+    pub fn params(&mut self, params: RecoveryParams) -> &mut Self {
+        self.algorithm(params.solver).dictionary(params.dictionary)
     }
 
     /// Attaches a shared operator cache: Φ, the selection counts, the
@@ -327,10 +298,10 @@ impl Decoder {
     /// Like [`Decoder::reconstruct`], reusing `workspace` for the
     /// solver buffers. Repeated decodes through one workspace — what
     /// [`DecodeSession`](crate::session::DecodeSession) does per stream
-    /// — allocate nothing inside the solver loop for the
-    /// workspace-threaded solvers (FISTA, ISTA, IHT; the greedy OMP and
-    /// CoSaMP paths still allocate per solve), and the results are
-    /// bit-identical to [`Decoder::reconstruct`].
+    /// — allocate nothing inside the solver loop for *every*
+    /// [`SolverKind`], including the greedy pursuits and the CGLS
+    /// debias pass, and the results are bit-identical to
+    /// [`Decoder::reconstruct`].
     ///
     /// # Errors
     ///
@@ -384,46 +355,62 @@ impl Decoder {
             .zip(counts.iter())
             .map(|(&yi, &ci)| yi - mean_code * ci)
             .collect();
-        // Stage 2: sparse recovery of the zero-mean component.
+        // Stage 2: sparse recovery of the zero-mean component, through
+        // the unified Solver trait (dynamic dispatch; the concrete
+        // solver lives on this stack frame).
         let a = ComposedOperator::new(phi.as_ref(), dict.as_ref());
-        let recovery = match self.algorithm {
-            Algorithm::Fista {
-                lambda_ratio,
-                max_iter,
-                debias: do_debias,
-            } => {
-                let mut solver = Fista::new();
-                solver.lambda_ratio(lambda_ratio).max_iter(max_iter);
-                if let Some(cache) = &self.cache {
-                    // Memoize the step 1/L: the seeded power iteration
-                    // behind it is the per-solve cost the cache removes.
-                    // Mirrors the solver's own derivation exactly
-                    // (‖ΦΨ‖ estimate, 5% safety margin).
-                    let step = cache.fista_step(&self.operator_key(k), self.dictionary, || {
-                        let norm = op::operator_norm_est(&a, 30, 0x0F1A57A);
-                        if norm == 0.0 {
-                            0.0
-                        } else {
-                            1.0 / (norm * norm * 1.05)
-                        }
+        // Column-hungry solvers (OMP, CoSaMP) get the materialized Φ·Ψ
+        // view. With a cache it is built once per key and served warm;
+        // without one, the build (cols forward applies) would dominate a
+        // one-shot decode, so it is skipped where that cannot change the
+        // result: OMP only *reads* columns (view ≡ no-view bit for bit,
+        // property-tested), while CoSaMP's restricted least squares
+        // takes a different summation path through the view, so it must
+        // build cold too to keep warm decodes bit-identical to cold.
+        let a = if self.algorithm.column_hungry() {
+            match &self.cache {
+                Some(cache) => {
+                    let view = cache.column_view(&self.operator_key(k), self.dictionary, || {
+                        ColumnMatrix::from_operator(&a)
                     });
-                    if let Some(step) = step {
-                        solver.step(step);
-                    }
+                    a.with_column_view(view)
                 }
-                let rec = solver.solve_with(&a, &resid, workspace)?;
-                if do_debias {
-                    debias(&a, &resid, &rec, k / 2)?
-                } else {
-                    rec
+                None if self.algorithm.view_changes_results() => {
+                    let view = Arc::new(ColumnMatrix::from_operator(&a));
+                    a.with_column_view(view)
                 }
+                None => a,
             }
-            Algorithm::Omp { atoms } => Omp::new(atoms.max(1)).solve(&a, &resid)?,
-            Algorithm::CoSamp { sparsity } => CoSaMp::new(sparsity.max(1)).solve(&a, &resid)?,
-            Algorithm::Iht { sparsity } => {
-                Iht::new(sparsity.max(1)).solve_with(&a, &resid, workspace)?
-            }
+        } else {
+            a
         };
+        // Solvers that estimate ‖ΦΨ‖ internally get the estimate
+        // precomputed — memoized per (operator, dictionary, solver seed)
+        // when a cache is attached, computed identically otherwise. The
+        // value mirrors each solver's own seeded derivation exactly, so
+        // the override is bit-transparent.
+        let norm = self.algorithm.norm_seed().and_then(|seed| {
+            let compute = || op::operator_norm_est(&a, 30, seed);
+            match &self.cache {
+                Some(cache) => {
+                    cache.operator_norm(&self.operator_key(k), self.dictionary, seed, compute)
+                }
+                None => {
+                    let norm = compute();
+                    (norm > 0.0).then_some(norm)
+                }
+            }
+        });
+        let built = self.algorithm.instantiate(norm);
+        let base = built.as_solver();
+        let debiased;
+        let solver: &dyn Solver = if self.algorithm.debias() {
+            debiased = Debias::new(base, k / 2);
+            &debiased
+        } else {
+            base
+        };
+        let recovery = solver.solve_with(&a, &resid, workspace)?;
         let stats = recovery.stats.clone();
         let v = dict.synthesize_vec(&recovery.coefficients);
         let code_max = self.code_max;
@@ -556,13 +543,7 @@ mod tests {
         let im = imager(0.4, 9);
         let scene = Scene::star_field(6).render(16, 16, 3);
         let frame = im.capture(&scene);
-        let algorithms = [
-            Algorithm::default(),
-            Algorithm::Omp { atoms: 20 },
-            Algorithm::CoSamp { sparsity: 15 },
-            Algorithm::Iht { sparsity: 15 },
-        ];
-        for alg in algorithms {
+        for alg in SolverKind::shootout_set(frame.samples.len()) {
             let mut dec = Decoder::for_frame(&frame).unwrap();
             dec.algorithm(alg);
             let recon = dec.reconstruct(&frame).unwrap();
@@ -571,6 +552,17 @@ mod tests {
                 "{alg:?} produced non-finite codes"
             );
         }
+    }
+
+    #[test]
+    fn recovery_params_presets_apply() {
+        let im = imager(0.4, 15);
+        let scene = Scene::star_field(5).render(16, 16, 8);
+        let frame = im.capture(&scene);
+        let mut dec = Decoder::for_frame(&frame).unwrap();
+        dec.params(crate::solver::RecoveryParams::star_field(8));
+        let recon = dec.reconstruct(&frame).unwrap();
+        assert!(recon.code_image().as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -80,17 +80,19 @@ pub mod imager;
 pub mod params;
 pub mod pipeline;
 pub mod session;
+pub mod solver;
 pub mod strategy;
 pub mod stream;
 
 pub use baseline::BlockCs;
 pub use batch::{BatchOutcome, BatchRunner, BatchSummary};
 pub use cache::{CacheStats, OperatorCache, OperatorKey};
-pub use decoder::{Algorithm, Decoder, DictionaryKind, Reconstruction};
+pub use decoder::{Decoder, DictionaryKind, Reconstruction};
 pub use error::CoreError;
 pub use frame::{CompressedFrame, FrameHeader};
 pub use imager::{CompressiveImager, CompressiveImagerBuilder};
 pub use session::{DecodeSession, DecodedFrame, EncodeSession};
+pub use solver::{RecoveryParams, SolverKind};
 pub use strategy::StrategyKind;
 
 /// One-stop imports for the capture → transmit → reconstruct flow.
@@ -98,11 +100,12 @@ pub mod prelude {
     pub use crate::baseline::BlockCs;
     pub use crate::batch::{BatchOutcome, BatchRunner, BatchSummary};
     pub use crate::cache::{CacheStats, OperatorCache};
-    pub use crate::decoder::{Algorithm, Decoder, DictionaryKind, Reconstruction};
+    pub use crate::decoder::{Decoder, DictionaryKind, Reconstruction};
     pub use crate::frame::CompressedFrame;
     pub use crate::imager::CompressiveImager;
     pub use crate::pipeline::{evaluate, evaluate_with_cache, PipelineReport};
     pub use crate::session::{DecodeSession, DecodedFrame, EncodeSession};
+    pub use crate::solver::{RecoveryParams, SolverKind};
     pub use crate::strategy::StrategyKind;
     pub use tepics_imaging::{mae, mse, psnr, ssim, ImageF64, ImageU8, Scene};
     pub use tepics_sensor::{Fidelity, SensorConfig};

@@ -48,10 +48,11 @@
 use std::sync::Arc;
 
 use crate::cache::OperatorCache;
-use crate::decoder::{Algorithm, Decoder, DictionaryKind, Reconstruction};
+use crate::decoder::{Decoder, DictionaryKind, Reconstruction};
 use crate::error::CoreError;
 use crate::frame::{CompressedFrame, FrameHeader};
 use crate::imager::CompressiveImager;
+use crate::solver::{RecoveryParams, SolverKind};
 use crate::stream::{StreamParser, StreamWriter};
 use tepics_cs::dictionary::IdentityDictionary;
 use tepics_cs::ComposedOperator;
@@ -180,23 +181,24 @@ pub struct DecodedFrame {
 ///
 /// Bytes may arrive in arbitrary chunks; each [`DecodeSession::push_bytes`]
 /// call returns the frames completed by that chunk. All decoding state —
-/// the rebuilt measurement operator, the dictionary, the FISTA step
-/// size, the solver workspace, and (in delta mode) the previous
+/// the rebuilt measurement operator, the dictionary, the per-solver
+/// operator-norm estimate, the column-materialized view (for greedy
+/// solvers), the solver workspace, and (in delta mode) the previous
 /// reconstruction — lives in the session, keyed by the stream header,
 /// so a long same-seed sequence pays the operator construction cost
 /// exactly once and, once warm, decodes frames with zero heap
 /// allocation inside the solver loop (the cached Φ carries its
-/// precompiled gather structure; the workspace carries the iterate
-/// buffers). The allocation-free guarantee covers the workspace-threaded
-/// solvers — FISTA, ISTA, and IHT; the greedy solvers (OMP, CoSaMP)
-/// still allocate per solve.
+/// precompiled gather structure; the workspace carries the iterate,
+/// greedy, and least-squares buffers). The allocation-free guarantee
+/// covers every [`SolverKind`] — including the greedy pursuits and the
+/// CGLS debias pass.
 #[derive(Debug, Clone, Default)]
 pub struct DecodeSession {
     parser: StreamParser,
     cache: Arc<OperatorCache>,
     decoder: Option<Decoder>,
     dictionary: DictionaryKind,
-    algorithm: Algorithm,
+    algorithm: SolverKind,
     delta: Option<DeltaMode>,
     header: Option<FrameHeader>,
     prev_samples: Option<Vec<u32>>,
@@ -239,13 +241,20 @@ impl DecodeSession {
         self
     }
 
-    /// Selects the recovery algorithm for key frames.
-    pub fn algorithm(&mut self, algorithm: Algorithm) -> &mut Self {
+    /// Selects the recovery algorithm for key frames (any
+    /// [`SolverKind`]).
+    pub fn algorithm(&mut self, algorithm: SolverKind) -> &mut Self {
         self.algorithm = algorithm;
         if let Some(d) = &mut self.decoder {
             d.algorithm(algorithm);
         }
         self
+    }
+
+    /// Applies a bundled [`RecoveryParams`] (solver + dictionary) for
+    /// key frames.
+    pub fn params(&mut self, params: RecoveryParams) -> &mut Self {
+        self.algorithm(params.solver).dictionary(params.dictionary)
     }
 
     /// Switches the session to sequence (delta) decoding: the first

@@ -158,6 +158,22 @@ impl GrowingCholesky {
         self.k
     }
 
+    /// Empties the factorization and re-targets it at `cap` atoms,
+    /// reusing the existing storage (no reallocation when `cap` fits the
+    /// current capacity). Greedy solvers keep one instance in their
+    /// workspace and reset it per solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn reset(&mut self, cap: usize) {
+        assert!(cap > 0, "capacity must be positive");
+        self.k = 0;
+        self.cap = cap;
+        self.l.clear();
+        self.l.resize(cap * cap, 0.0);
+    }
+
     /// Appends a new atom: `cross` holds its Gram inner products against
     /// the existing `dim()` atoms, `diag` its squared norm.
     ///
@@ -175,23 +191,23 @@ impl GrowingCholesky {
         assert!(self.k < self.cap, "capacity exhausted");
         let n = self.cap;
         let k = self.k;
-        // Solve L w = cross for the new row.
-        let mut w = vec![0.0; k];
+        // Solve L w = cross for the new row, writing w directly into the
+        // row-k slots (they are overwritten wholesale on every push at
+        // this dimension, so a failed push leaves no observable state).
+        let (head, tail) = self.l.split_at_mut(k * n);
+        let w = &mut tail[..k + 1];
         for i in 0..k {
             let mut sum = cross[i];
-            for (j, &wj) in w.iter().enumerate().take(i) {
-                sum -= self.l[i * n + j] * wj;
+            for j in 0..i {
+                sum -= head[i * n + j] * w[j];
             }
-            w[i] = sum / self.l[i * n + i];
+            w[i] = sum / head[i * n + i];
         }
-        let rem = diag - w.iter().map(|v| v * v).sum::<f64>();
+        let rem = diag - w[..k].iter().map(|v| v * v).sum::<f64>();
         if rem <= 1e-12 {
             return Err(NotSpdError { pivot: k });
         }
-        for (j, &wj) in w.iter().enumerate() {
-            self.l[k * n + j] = wj;
-        }
-        self.l[k * n + k] = rem.sqrt();
+        w[k] = rem.sqrt();
         self.k += 1;
         Ok(())
     }
@@ -202,11 +218,27 @@ impl GrowingCholesky {
     ///
     /// Panics if `b.len() != dim()` or the factorization is empty.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        let mut z = Vec::new();
+        self.solve_into(b, &mut x, &mut z);
+        x
+    }
+
+    /// [`GrowingCholesky::solve`] into caller-owned buffers (`x` gets
+    /// the solution, `z` is forward-substitution scratch); bit-identical
+    /// to the allocating variant and allocation-free once the buffers
+    /// are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()` or the factorization is empty.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>, z: &mut Vec<f64>) {
         assert!(self.k > 0, "empty factorization");
         assert_eq!(b.len(), self.k, "rhs length mismatch");
         let n = self.cap;
         let k = self.k;
-        let mut z = vec![0.0; k];
+        z.clear();
+        z.resize(k, 0.0);
         for i in 0..k {
             let mut sum = b[i];
             for (j, &zj) in z.iter().enumerate().take(i) {
@@ -214,7 +246,8 @@ impl GrowingCholesky {
             }
             z[i] = sum / self.l[i * n + i];
         }
-        let mut x = vec![0.0; k];
+        x.clear();
+        x.resize(k, 0.0);
         for i in (0..k).rev() {
             let mut sum = z[i];
             for (j, &xj) in x.iter().enumerate().skip(i + 1) {
@@ -222,7 +255,6 @@ impl GrowingCholesky {
             }
             x[i] = sum / self.l[i * n + i];
         }
-        x
     }
 }
 

@@ -1,0 +1,181 @@
+//! Column-materialized operator views.
+//!
+//! Greedy solvers (OMP, CoSaMP) and the restricted least-squares passes
+//! behind them touch an operator *column-wise*: extract the column of a
+//! selected atom, take inner products against it, apply the operator
+//! restricted to a small support. For matrix-free operators every one of
+//! those touches costs a full `apply` — re-deriving the same columns
+//! over and over. [`ColumnMatrix`] materializes all columns once
+//! (column-major, so each column is a contiguous slice) and serves every
+//! later touch as a gather.
+//!
+//! The view plugs into the operator stack through
+//! [`LinearOperator::column_view`]: a [`ComposedOperator`] with an
+//! attached view answers `column_view()` with it, and downstream
+//! consumers (the greedy solvers' column extraction, the restricted
+//! operator in `tepics-recovery`) switch to the materialized path when
+//! one is present. Materialized columns are built by the *same*
+//! [`column_into`](LinearOperator::column_into) computation the
+//! column-free path runs, so column *extraction* through a view is
+//! bit-identical to extraction without one; restricted `apply`/
+//! `apply_adjoint` through a view reassociate floating-point sums and
+//! may differ from the scatter path in the last bits (≤1e-10 relative —
+//! the same contract as the factorized XOR paths).
+//!
+//! [`ComposedOperator`]: crate::ComposedOperator
+
+use crate::op::LinearOperator;
+
+/// A dense, column-major materialization of a linear operator.
+///
+/// `data[j·rows .. (j+1)·rows]` is column `j` (`A e_j`), so
+/// [`ColumnMatrix::column`] is a contiguous borrow. Built once per
+/// operator (typically memoized by the caller — the core crate's
+/// `OperatorCache` keys views by operator and dictionary), shared via
+/// `Arc` across sessions and batch workers.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_cs::colview::ColumnMatrix;
+/// use tepics_cs::{DenseMatrix, LinearOperator};
+///
+/// let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let view = ColumnMatrix::from_operator(&a);
+/// assert_eq!(view.column(1), &[2.0, 4.0]);
+/// assert_eq!(view.apply_vec(&[1.0, 1.0]), a.apply_vec(&[1.0, 1.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMatrix {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage: column `j` at `data[j*rows..(j+1)*rows]`.
+    data: Vec<f64>,
+}
+
+impl ColumnMatrix {
+    /// Materializes every column of `a` through
+    /// [`LinearOperator::column_into`].
+    ///
+    /// Cost is `cols` forward applications — a one-time build meant to
+    /// be memoized and amortized over many solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has zero rows or columns.
+    pub fn from_operator<A: LinearOperator + ?Sized>(a: &A) -> Self {
+        let (rows, cols) = (a.rows(), a.cols());
+        assert!(rows > 0 && cols > 0, "degenerate operator");
+        let mut data = vec![0.0; rows * cols];
+        for (j, col) in data.chunks_exact_mut(rows).enumerate() {
+            a.column_into(j, col);
+        }
+        ColumnMatrix { rows, cols, data }
+    }
+
+    /// Column `j` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[inline]
+    pub fn column(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols, "column {j} out of range");
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Approximate heap footprint in bytes (for cache accounting).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl LinearOperator for ColumnMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "input length mismatch");
+        assert_eq!(y.len(), self.rows, "output length mismatch");
+        y.fill(0.0);
+        for (&xj, col) in x.iter().zip(self.data.chunks_exact(self.rows)) {
+            if xj != 0.0 {
+                for (yi, &c) in y.iter_mut().zip(col) {
+                    *yi += xj * c;
+                }
+            }
+        }
+    }
+
+    fn apply_adjoint(&self, y: &[f64], x: &mut [f64]) {
+        assert_eq!(y.len(), self.rows, "input length mismatch");
+        assert_eq!(x.len(), self.cols, "output length mismatch");
+        for (xj, col) in x.iter_mut().zip(self.data.chunks_exact(self.rows)) {
+            *xj = crate::op::dot(col, y);
+        }
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        out.copy_from_slice(self.column(j));
+    }
+
+    fn column_view(&self) -> Option<&ColumnMatrix> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::DenseMatrix;
+    use crate::op::adjoint_mismatch;
+
+    #[test]
+    fn columns_match_operator_columns() {
+        let a = DenseMatrix::from_fn(5, 7, |r, c| (r * 7 + c) as f64 - 10.0);
+        let view = ColumnMatrix::from_operator(&a);
+        for j in 0..7 {
+            assert_eq!(view.column(j), a.column(j).as_slice(), "column {j}");
+        }
+    }
+
+    #[test]
+    fn apply_and_adjoint_match_source_operator() {
+        let a = DenseMatrix::from_fn(6, 9, |r, c| ((r * 3 + c * 5) % 7) as f64 - 3.0);
+        let view = ColumnMatrix::from_operator(&a);
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.25 - 1.0).collect();
+        let y: Vec<f64> = (0..6).map(|i| 1.0 - i as f64 * 0.5).collect();
+        let ax = view.apply_vec(&x);
+        let want = a.apply_vec(&x);
+        for (got, want) in ax.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        let aty = view.apply_adjoint_vec(&y);
+        let want = a.apply_adjoint_vec(&y);
+        for (got, want) in aty.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        assert!(adjoint_mismatch(&view, 5, 3) < 1e-12);
+    }
+
+    #[test]
+    fn exposes_itself_as_column_view() {
+        let a = DenseMatrix::identity(4);
+        let view = ColumnMatrix::from_operator(&a);
+        assert!(view.column_view().is_some());
+        assert_eq!(view.bytes(), 16 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_column_panics() {
+        let view = ColumnMatrix::from_operator(&DenseMatrix::identity(2));
+        view.column(2);
+    }
+}

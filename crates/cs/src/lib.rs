@@ -43,6 +43,7 @@
 
 pub mod chol;
 pub mod coherence;
+pub mod colview;
 pub mod dictionary;
 pub mod eig;
 pub mod mat;
@@ -50,6 +51,7 @@ pub mod measurement;
 pub mod op;
 pub mod operator;
 
+pub use colview::ColumnMatrix;
 pub use dictionary::{Dct2dDictionary, Dictionary, Haar2dDictionary, IdentityDictionary};
 pub use mat::DenseMatrix;
 pub use measurement::{BlockDiagonalMeasurement, DenseBinaryMeasurement, XorMeasurement};

@@ -221,6 +221,14 @@ impl LinearOperator for DenseMatrix {
         }
     }
 
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        assert!(j < self.cols, "column {j} out of range");
+        assert_eq!(out.len(), self.rows, "output length mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.data[r * self.cols + j];
+        }
+    }
+
     fn column(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "column {j} out of range");
         (0..self.rows)

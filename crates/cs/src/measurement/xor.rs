@@ -418,6 +418,15 @@ impl LinearOperator for XorMeasurement {
         assert_eq!(x.len(), self.cols(), "output length mismatch");
         SCRATCH.with_borrow_mut(|scratch| self.adjoint_factorized(y, x, scratch));
     }
+
+    fn column_into(&self, p: usize, out: &mut [f64]) {
+        assert!(p < self.cols(), "column {p} out of range");
+        assert_eq!(out.len(), self.rows(), "output length mismatch");
+        let (i, j) = (p / self.cols_n, p % self.cols_n);
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = if self.selected(k, i, j) { 1.0 } else { 0.0 };
+        }
+    }
 }
 
 impl SelectionMeasurement for XorMeasurement {

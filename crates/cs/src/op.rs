@@ -52,10 +52,33 @@ pub trait LinearOperator {
     /// Materializes column `j` (`A e_j`). O(rows·cols) for matrix-free
     /// operators; greedy solvers call this only for selected atoms.
     fn column(&self, j: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows()];
+        self.column_into(j, &mut out);
+        out
+    }
+
+    /// Writes column `j` (`A e_j`) into `out` without allocating the
+    /// result. The default builds a unit vector per call; operators with
+    /// cheaper column access (dense storage, attached
+    /// [`ColumnMatrix`](crate::colview::ColumnMatrix) views) override it.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `j >= cols()` or `out.len() != rows()`.
+    fn column_into(&self, j: usize, out: &mut [f64]) {
         assert!(j < self.cols(), "column {j} out of range");
+        assert_eq!(out.len(), self.rows(), "output length mismatch");
         let mut e = vec![0.0; self.cols()];
         e[j] = 1.0;
-        self.apply_vec(&e)
+        self.apply(&e, out);
+    }
+
+    /// The column-materialized view of this operator, when one is
+    /// attached or intrinsic. Consumers that work column-wise (greedy
+    /// pursuit, restricted least squares) switch to the materialized
+    /// path when this returns `Some`; the default is `None`.
+    fn column_view(&self) -> Option<&crate::colview::ColumnMatrix> {
+        None
     }
 }
 

@@ -7,16 +7,20 @@
 //! zero-mean entries.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
+use crate::colview::ColumnMatrix;
 use crate::dictionary::Dictionary;
 use crate::op::LinearOperator;
 
 /// Reusable intermediate buffers of a [`ComposedOperator`]: the pixel
-/// vector between Ψ and Φ, plus the dictionary's own transform scratch.
+/// vector between Ψ and Φ, the dictionary's own transform scratch, and
+/// a unit coefficient vector for column extraction.
 #[derive(Debug, Clone, Default)]
 struct ComposedScratch {
     pixels: Vec<f64>,
     dict: Vec<f64>,
+    unit: Vec<f64>,
 }
 
 /// The product `A = Φ ∘ Ψ` of a measurement operator and a dictionary.
@@ -44,6 +48,8 @@ pub struct ComposedOperator<'a, M: ?Sized, D: ?Sized> {
     phi: &'a M,
     psi: &'a D,
     scratch: RefCell<ComposedScratch>,
+    /// Optional materialized `Φ·Ψ` columns (see [`ColumnMatrix`]).
+    columns: Option<Arc<ColumnMatrix>>,
 }
 
 impl<'a, M, D> ComposedOperator<'a, M, D>
@@ -68,7 +74,30 @@ where
             phi,
             psi,
             scratch: RefCell::new(ComposedScratch::default()),
+            columns: None,
         }
+    }
+
+    /// Attaches a materialized column view (typically built once by
+    /// [`ColumnMatrix::from_operator`] and memoized by a cache).
+    /// Afterwards [`LinearOperator::column_view`] returns it and
+    /// [`LinearOperator::column_into`] serves columns by copy instead of
+    /// by synthesis — consumers on the column path (greedy solvers,
+    /// restricted least squares) pick it up automatically.
+    ///
+    /// `apply`/`apply_adjoint` are unaffected: they keep the matrix-free
+    /// fast paths, so attaching a view never changes forward/adjoint
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's shape does not match this operator.
+    #[must_use]
+    pub fn with_column_view(mut self, view: Arc<ColumnMatrix>) -> Self {
+        assert_eq!(view.rows(), self.phi.rows(), "view row mismatch");
+        assert_eq!(view.cols(), self.psi.atoms(), "view column mismatch");
+        self.columns = Some(view);
+        self
     }
 }
 
@@ -87,7 +116,7 @@ where
 
     fn apply(&self, alpha: &[f64], y: &mut [f64]) {
         let mut scratch = self.scratch.borrow_mut();
-        let ComposedScratch { pixels, dict } = &mut *scratch;
+        let ComposedScratch { pixels, dict, .. } = &mut *scratch;
         pixels.resize(self.psi.dim(), 0.0);
         self.psi.synthesize_with(alpha, pixels, dict);
         self.phi.apply(pixels, y);
@@ -95,10 +124,31 @@ where
 
     fn apply_adjoint(&self, y: &[f64], alpha: &mut [f64]) {
         let mut scratch = self.scratch.borrow_mut();
-        let ComposedScratch { pixels, dict } = &mut *scratch;
+        let ComposedScratch { pixels, dict, .. } = &mut *scratch;
         pixels.resize(self.psi.dim(), 0.0);
         self.phi.apply_adjoint(y, pixels);
         self.psi.analyze_with(pixels, alpha, dict);
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        assert!(j < self.cols(), "column {j} out of range");
+        assert_eq!(out.len(), self.rows(), "output length mismatch");
+        if let Some(view) = &self.columns {
+            out.copy_from_slice(view.column(j));
+            return;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let ComposedScratch { pixels, dict, unit } = &mut *scratch;
+        unit.clear();
+        unit.resize(self.psi.atoms(), 0.0);
+        unit[j] = 1.0;
+        pixels.resize(self.psi.dim(), 0.0);
+        self.psi.synthesize_with(unit, pixels, dict);
+        self.phi.apply(pixels, out);
+    }
+
+    fn column_view(&self) -> Option<&ColumnMatrix> {
+        self.columns.as_deref()
     }
 }
 

@@ -12,6 +12,8 @@
 //! comparison in the experiments treats it accordingly.
 
 use crate::shrink::soft_threshold;
+use crate::solver::{norm_seeds, SolveResult, Solver, SolverCaps};
+use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
 use tepics_cs::op::{self, LinearOperator};
 
@@ -22,6 +24,7 @@ pub struct Amp {
     tol: f64,
     /// Threshold multiplier κ (≈2–3 for noiseless CS).
     kappa: f64,
+    norm: Option<f64>,
 }
 
 impl Amp {
@@ -32,7 +35,18 @@ impl Amp {
             max_iter: 60,
             tol: 1e-8,
             kappa: 2.5,
+            norm: None,
         }
+    }
+
+    /// Overrides the operator-norm estimate `‖A‖₂` behind the internal
+    /// rescaling (skips the seeded power iteration — callers that
+    /// memoize it pass its result back through here). A non-positive
+    /// value is rejected at solve time, like the sibling `step`
+    /// overrides on ISTA/IHT.
+    pub fn operator_norm(&mut self, norm: f64) -> &mut Self {
+        self.norm = Some(norm);
+        self
     }
 
     /// Iteration cap.
@@ -58,8 +72,9 @@ impl Amp {
         self
     }
 
-    /// Runs the solver. The operator is internally rescaled by `1/‖A‖`
-    /// so AMP's unit-column-variance assumption approximately holds.
+    /// Runs the solver with freshly allocated buffers. The operator is
+    /// internally rescaled by `1/‖A‖` so AMP's unit-column-variance
+    /// assumption approximately holds.
     ///
     /// # Errors
     ///
@@ -70,13 +85,37 @@ impl Amp {
         a: &A,
         y: &[f64],
     ) -> Result<Recovery, RecoveryError> {
+        self.solve_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    /// Runs the solver reusing `workspace` buffers; results are
+    /// bit-identical to [`Amp::solve`], with no allocations inside the
+    /// iteration loop once the workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Amp::solve`].
+    pub fn solve_with<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Recovery, RecoveryError> {
         check_dims(a.rows(), y)?;
         let m = a.rows();
         let n = a.cols();
         // Normalize the operator so columns have ~unit norm in the
         // aggregate: scale = ‖A‖₂ / sqrt(n/m) heuristic — for an i.i.d.
         // matrix with unit columns ‖A‖ ≈ 1 + sqrt(n/m).
-        let norm = op::operator_norm_est(a, 30, 0xA3B);
+        let norm = match self.norm {
+            Some(v) if v > 0.0 => v,
+            Some(_) => {
+                return Err(RecoveryError::InvalidParameter(
+                    "operator norm override must be positive".into(),
+                ))
+            }
+            None => op::operator_norm_est(a, 30, norm_seeds::AMP),
+        };
         if norm == 0.0 {
             return Ok(Recovery {
                 coefficients: vec![0.0; n],
@@ -88,30 +127,38 @@ impl Amp {
             });
         }
         let scale = norm / (1.0 + (n as f64 / m as f64).sqrt());
-        let y_s: Vec<f64> = y.iter().map(|&v| v / scale).collect();
+        workspace.prepare(m, n);
+        let SolverWorkspace {
+            alpha: x,
+            alpha_prev: prev,
+            grad,
+            resid: y_s,
+            rows_tmp: ax,
+            rows_tmp2: z,
+            ..
+        } = workspace;
+        for (s, &v) in y_s.iter_mut().zip(y) {
+            *s = v / scale;
+        }
+        z.copy_from_slice(y_s); // corrected residual starts at y_s
 
-        let mut x = vec![0.0; n];
-        let mut z = y_s.clone(); // corrected residual
-        let mut ax = vec![0.0; m];
-        let mut grad = vec![0.0; n];
-        let mut prev = vec![0.0; n];
         let mut iterations = 0;
         let mut converged = false;
         let mut nnz_prev = 0usize;
         for it in 0..self.max_iter {
             iterations = it + 1;
             // Pseudo-data: x + Aᵀz (A scaled by 1/scale on the fly).
-            a.apply_adjoint(&z, &mut grad);
-            prev.copy_from_slice(&x);
+            a.apply_adjoint(z, grad);
+            prev.copy_from_slice(x);
             for i in 0..n {
                 x[i] += grad[i] / scale;
             }
             // Adaptive threshold from the residual noise level.
-            let tau = self.kappa * op::norm2(&z) / (m as f64).sqrt();
-            soft_threshold(&mut x, tau);
+            let tau = self.kappa * op::norm2(z) / (m as f64).sqrt();
+            soft_threshold(x, tau);
             let nnz = x.iter().filter(|&&v| v != 0.0).count();
             // Residual with Onsager term: z ← y − Ax + z·(nnz/m).
-            a.apply(&x, &mut ax);
+            a.apply(x, ax);
             let onsager = nnz_prev as f64 / m as f64;
             for k in 0..m {
                 z[k] = y_s[k] - ax[k] / scale + z[k] * onsager;
@@ -133,12 +180,15 @@ impl Amp {
         // x_s = x, so the original-coordinates solution is x itself…
         // except A was applied unscaled inside the loop; verify residual
         // in original coordinates.
-        let resid = op::sub(&a.apply_vec(&x), y);
+        a.apply(x, ax);
+        for (r, &yi) in ax.iter_mut().zip(y) {
+            *r -= yi;
+        }
         Ok(Recovery {
-            coefficients: x,
+            coefficients: x.clone(),
             stats: SolveStats {
                 iterations,
-                residual_norm: op::norm2(&resid),
+                residual_norm: op::norm2(ax),
                 converged,
             },
         })
@@ -148,6 +198,25 @@ impl Amp {
 impl Default for Amp {
     fn default() -> Self {
         Amp::new()
+    }
+}
+
+impl Solver for Amp {
+    fn caps(&self) -> SolverCaps {
+        SolverCaps {
+            name: "amp",
+            norm_seed: Some(norm_seeds::AMP),
+            column_hungry: false,
+        }
+    }
+
+    fn solve_with(
+        &self,
+        a: &dyn LinearOperator,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> SolveResult {
+        Amp::solve_with(self, a, y, workspace)
     }
 }
 
@@ -235,5 +304,22 @@ mod tests {
     fn dimension_mismatch_reported() {
         let (a, _, _) = gaussian_problem(30, 60, 3, 2);
         assert!(Amp::new().solve(&a, &vec![0.0; 29]).is_err());
+    }
+
+    #[test]
+    fn non_positive_norm_override_is_rejected() {
+        let (a, _, y) = gaussian_problem(30, 60, 3, 4);
+        let err = Amp::new().operator_norm(0.0).solve(&a, &y).unwrap_err();
+        assert!(matches!(err, crate::RecoveryError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn norm_override_matches_internal_estimate() {
+        let (a, _, y) = gaussian_problem(40, 80, 4, 6);
+        use tepics_cs::op::operator_norm_est;
+        let norm = operator_norm_est(&a, 30, crate::solver::norm_seeds::AMP);
+        let auto = Amp::new().solve(&a, &y).unwrap();
+        let overridden = Amp::new().operator_norm(norm).solve(&a, &y).unwrap();
+        assert_eq!(auto, overridden, "override must be bit-transparent");
     }
 }

@@ -3,31 +3,50 @@
 //! Solves `min_x ‖A x − b‖₂` matrix-free. Used directly for
 //! least-squares subproblems (CoSaMP, debiasing) through
 //! [`RestrictedOperator`], which confines an operator to a column
-//! support without materializing anything.
+//! support without materializing anything — unless the inner operator
+//! carries a column-materialized view
+//! ([`LinearOperator::column_view`]), in which case the restricted
+//! applications become small dense gathers over the support columns
+//! (the fast path for greedy recovery; results agree with the scatter
+//! path to ≤1e-10 relative, the workspace-wide fast-path contract).
 
+use crate::solver::{SolveResult, Solver, SolverCaps};
+use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
 use std::cell::RefCell;
 use tepics_cs::op::{self, LinearOperator};
 
 /// A view of an operator restricted to a subset of its columns.
 ///
-/// `apply` scatters the small coefficient vector into the full domain;
-/// `apply_adjoint` gathers only the supported entries. Both run through
-/// an internal full-width scratch buffer, so repeated applications (the
-/// CGLS loop) allocate nothing after the first call. The buffer makes
-/// this type `!Sync`; it is a per-solve view, never shared across
-/// threads.
+/// Without a column view on the inner operator, `apply` scatters the
+/// small coefficient vector into the full domain and `apply_adjoint`
+/// gathers only the supported entries; both run through internal
+/// full-width scratch buffers, so repeated applications (the CGLS loop)
+/// allocate nothing after the first call. When the inner operator
+/// exposes a column view, both applications instead run directly over
+/// the materialized support columns — `O(rows · |support|)` per
+/// application with no full-width traffic at all.
+///
+/// The scratch buffers make this type `!Sync`; it is a per-solve view,
+/// never shared across threads. Callers that solve repeatedly (CoSaMP's
+/// outer loop, per-frame debiasing) construct it via
+/// [`RestrictedOperator::with_scratch`] from workspace-owned buffers and
+/// recover them with [`RestrictedOperator::into_parts`], keeping warm
+/// solves allocation-free.
 #[derive(Debug, Clone)]
 pub struct RestrictedOperator<'a, A: ?Sized> {
     inner: &'a A,
     support: Vec<usize>,
     /// Full-width scatter buffer for `apply`. Off-support entries are
     /// zeroed once and stay zero: `apply` only ever writes the same
-    /// support positions.
+    /// support positions. Unused (kept empty) on the column-view path.
     full_in: RefCell<Vec<f64>>,
     /// Full-width gather buffer for `apply_adjoint` (separate from
     /// `full_in` so the adjoint cannot disturb its zero invariant).
+    /// Unused (kept empty) on the column-view path.
     full_out: RefCell<Vec<f64>>,
+    /// Whether the inner operator exposed a column view at construction.
+    use_columns: bool,
 }
 
 impl<'a, A: LinearOperator + ?Sized> RestrictedOperator<'a, A> {
@@ -37,16 +56,54 @@ impl<'a, A: LinearOperator + ?Sized> RestrictedOperator<'a, A> {
     ///
     /// Panics if `support` is empty or contains an out-of-range index.
     pub fn new(inner: &'a A, support: Vec<usize>) -> Self {
+        Self::with_scratch(inner, support, Vec::new(), Vec::new())
+    }
+
+    /// Like [`RestrictedOperator::new`], reusing caller-owned scratch
+    /// buffers (recovered afterwards with
+    /// [`RestrictedOperator::into_parts`]); results are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `support` is empty or contains an out-of-range index.
+    pub fn with_scratch(
+        inner: &'a A,
+        support: Vec<usize>,
+        mut full_in: Vec<f64>,
+        mut full_out: Vec<f64>,
+    ) -> Self {
         assert!(!support.is_empty(), "support must be non-empty");
         for &j in &support {
             assert!(j < inner.cols(), "support index {j} out of range");
         }
+        let use_columns = inner.column_view().is_some();
+        if use_columns {
+            // The dense path never touches the full domain.
+            full_in.clear();
+            full_out.clear();
+        } else {
+            full_in.clear();
+            full_in.resize(inner.cols(), 0.0);
+            full_out.clear();
+            full_out.resize(inner.cols(), 0.0);
+        }
         RestrictedOperator {
-            full_in: RefCell::new(vec![0.0; inner.cols()]),
-            full_out: RefCell::new(vec![0.0; inner.cols()]),
             inner,
             support,
+            full_in: RefCell::new(full_in),
+            full_out: RefCell::new(full_out),
+            use_columns,
         }
+    }
+
+    /// Consumes the view, returning the support and scratch buffers for
+    /// reuse.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<f64>, Vec<f64>) {
+        (
+            self.support,
+            self.full_in.into_inner(),
+            self.full_out.into_inner(),
+        )
     }
 
     /// The support column indices.
@@ -80,6 +137,15 @@ impl<'a, A: LinearOperator + ?Sized> LinearOperator for RestrictedOperator<'a, A
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.support.len(), "input length mismatch");
+        if let (true, Some(view)) = (self.use_columns, self.inner.column_view()) {
+            y.fill(0.0);
+            for (&j, &v) in self.support.iter().zip(x) {
+                if v != 0.0 {
+                    op::axpy(v, view.column(j), y);
+                }
+            }
+            return;
+        }
         let mut full = self.full_in.borrow_mut();
         for (&j, &v) in self.support.iter().zip(x) {
             full[j] = v;
@@ -89,11 +155,22 @@ impl<'a, A: LinearOperator + ?Sized> LinearOperator for RestrictedOperator<'a, A
 
     fn apply_adjoint(&self, y: &[f64], x: &mut [f64]) {
         assert_eq!(x.len(), self.support.len(), "output length mismatch");
+        if let (true, Some(view)) = (self.use_columns, self.inner.column_view()) {
+            for (o, &j) in x.iter_mut().zip(&self.support) {
+                *o = op::dot(view.column(j), y);
+            }
+            return;
+        }
         let mut full = self.full_out.borrow_mut();
         self.inner.apply_adjoint(y, &mut full);
         for (o, &j) in x.iter_mut().zip(&self.support) {
             *o = full[j];
         }
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        assert!(j < self.support.len(), "column {j} out of range");
+        self.inner.column_into(self.support[j], out);
     }
 }
 
@@ -122,16 +199,64 @@ impl Cgls {
         a: &A,
         b: &[f64],
     ) -> Result<Recovery, RecoveryError> {
+        self.solve_with(a, b, &mut SolverWorkspace::new())
+    }
+
+    /// Like [`Cgls::solve`], reusing `workspace` buffers (the dedicated
+    /// `lsq_*` set, so CGLS can run *nested inside* another solver that
+    /// holds the iterate buffers — CoSaMP's re-fit, the debias pass);
+    /// results are bit-identical to [`Cgls::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cgls::solve`].
+    pub fn solve_with<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        b: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Recovery, RecoveryError> {
+        let stats = self.solve_into(a, b, workspace)?;
+        Ok(Recovery {
+            coefficients: workspace.lsq_x.clone(),
+            stats,
+        })
+    }
+
+    /// [`Cgls::solve_with`] without the final coefficient clone: the
+    /// solution is left in `workspace.lsq_x` for callers (CoSaMP,
+    /// debias) that consume it in place.
+    pub(crate) fn solve_into<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        b: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> Result<SolveStats, RecoveryError> {
         check_dims(a.rows(), b)?;
         let n = a.cols();
-        let mut x = vec![0.0; n];
+        let m = a.rows();
+        let SolverWorkspace {
+            lsq_x: x,
+            lsq_r: r,
+            lsq_s: s,
+            lsq_p: p,
+            lsq_q: q,
+            ..
+        } = workspace;
+        x.clear();
+        x.resize(n, 0.0);
         // r = b − Ax = b at x=0.
-        let mut r = b.to_vec();
-        let mut s = a.apply_adjoint_vec(&r); // s = Aᵀr
-        let mut p = s.clone();
-        let mut snorm2 = op::dot(&s, &s);
+        r.clear();
+        r.extend_from_slice(b);
+        s.clear();
+        s.resize(n, 0.0);
+        a.apply_adjoint(r, s); // s = Aᵀr
+        p.clear();
+        p.extend_from_slice(s);
+        q.clear();
+        q.resize(m, 0.0);
+        let mut snorm2 = op::dot(s, s);
         let b_norm = op::norm2(b).max(1e-300);
-        let mut q = vec![0.0; a.rows()];
         let mut iterations = 0;
         let mut converged = snorm2.sqrt() <= self.tol * b_norm;
         for it in 0..self.max_iter {
@@ -139,16 +264,16 @@ impl Cgls {
                 break;
             }
             iterations = it + 1;
-            a.apply(&p, &mut q);
-            let qq = op::dot(&q, &q);
+            a.apply(p, q);
+            let qq = op::dot(q, q);
             if qq == 0.0 {
                 break; // p in the null space; nothing more to gain
             }
             let alpha = snorm2 / qq;
-            op::axpy(alpha, &p, &mut x);
-            op::axpy(-alpha, &q, &mut r);
-            a.apply_adjoint(&r, &mut s);
-            let snorm2_new = op::dot(&s, &s);
+            op::axpy(alpha, p, x);
+            op::axpy(-alpha, q, r);
+            a.apply_adjoint(r, s);
+            let snorm2_new = op::dot(s, s);
             if snorm2_new.sqrt() <= self.tol * b_norm {
                 converged = true;
             }
@@ -158,14 +283,17 @@ impl Cgls {
             }
             snorm2 = snorm2_new;
         }
-        let final_resid = op::norm2(&op::sub(&a.apply_vec(&x), b));
-        Ok(Recovery {
-            coefficients: x,
-            stats: SolveStats {
-                iterations,
-                residual_norm: final_resid,
-                converged,
-            },
+        // Final residual ‖Ax − b‖, reusing q.
+        a.apply(x, q);
+        let mut rr = 0.0;
+        for (qi, &bi) in q.iter().zip(b) {
+            let d = qi - bi;
+            rr += d * d;
+        }
+        Ok(SolveStats {
+            iterations,
+            residual_norm: rr.sqrt(),
+            converged,
         })
     }
 }
@@ -176,9 +304,29 @@ impl Default for Cgls {
     }
 }
 
+impl Solver for Cgls {
+    fn caps(&self) -> SolverCaps {
+        SolverCaps {
+            name: "cgls",
+            norm_seed: None,
+            column_hungry: false,
+        }
+    }
+
+    fn solve_with(
+        &self,
+        a: &dyn LinearOperator,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> SolveResult {
+        Cgls::solve_with(self, a, y, workspace)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tepics_cs::colview::ColumnMatrix;
     use tepics_cs::DenseMatrix;
     use tepics_util::SplitMix64;
 
@@ -226,6 +374,45 @@ mod tests {
         let full = restricted.embed(&rec.coefficients);
         assert!((full[17] + 2.0).abs() < 1e-7);
         assert_eq!(full.iter().filter(|&&v| v != 0.0).count(), 3);
+    }
+
+    #[test]
+    fn column_view_path_matches_scatter_path() {
+        // The same restriction through a column-materialized inner
+        // operator must agree with the scatter/gather path to the
+        // fast-path tolerance.
+        let mut rng = SplitMix64::new(11);
+        let a = DenseMatrix::from_fn(18, 40, |_, _| rng.next_gaussian());
+        let view = ColumnMatrix::from_operator(&a);
+        let support = vec![1usize, 8, 19, 33];
+        let scatter = RestrictedOperator::new(&a, support.clone());
+        let dense = RestrictedOperator::new(&view, support.clone());
+        let x: Vec<f64> = (0..4).map(|_| rng.next_gaussian()).collect();
+        let y: Vec<f64> = (0..18).map(|_| rng.next_gaussian()).collect();
+        for (got, want) in dense.apply_vec(&x).iter().zip(scatter.apply_vec(&x)) {
+            assert!((got - want).abs() <= 1e-10 * want.abs().max(1.0));
+        }
+        for (got, want) in dense
+            .apply_adjoint_vec(&y)
+            .iter()
+            .zip(scatter.apply_adjoint_vec(&y))
+        {
+            assert!((got - want).abs() <= 1e-10 * want.abs().max(1.0));
+        }
+        // Restricted columns forward to the inner columns.
+        assert_eq!(dense.column(2), a.column(19));
+    }
+
+    #[test]
+    fn scratch_buffers_round_trip() {
+        let a = DenseMatrix::identity(6);
+        let restricted = RestrictedOperator::with_scratch(&a, vec![1, 4], vec![9.0; 2], Vec::new());
+        let y = restricted.apply_vec(&[2.0, 3.0]);
+        assert_eq!(y, vec![0.0, 2.0, 0.0, 0.0, 3.0, 0.0]);
+        let (support, full_in, full_out) = restricted.into_parts();
+        assert_eq!(support, vec![1, 4]);
+        assert_eq!(full_in.len(), 6, "scratch grew to the full domain");
+        assert_eq!(full_out.len(), 6);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! the price of larger least-squares subproblems.
 
 use crate::cg::{Cgls, RestrictedOperator};
-use crate::shrink::top_k_indices;
+use crate::shrink::top_k_indices_into;
+use crate::solver::{SolveResult, Solver, SolverCaps};
+use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
 use tepics_cs::op::{self, LinearOperator};
 
@@ -46,7 +48,7 @@ impl CoSaMp {
         self
     }
 
-    /// Runs the pursuit.
+    /// Runs the pursuit with freshly allocated buffers.
     ///
     /// # Errors
     ///
@@ -57,46 +59,95 @@ impl CoSaMp {
         a: &A,
         y: &[f64],
     ) -> Result<Recovery, RecoveryError> {
+        self.solve_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    /// Runs the pursuit reusing `workspace` buffers — the iterate set
+    /// for the outer loop and the `lsq_*`/restrict set for the nested
+    /// CGLS re-fit, so the whole pursuit allocates nothing once the
+    /// workspace is warm. Results are bit-identical to
+    /// [`CoSaMp::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CoSaMp::solve`].
+    pub fn solve_with<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Recovery, RecoveryError> {
         check_dims(a.rows(), y)?;
         let n = a.cols();
         let k = self.sparsity.min(n);
         let y_norm = op::norm2(y);
-        let mut alpha = vec![0.0; n];
-        let mut resid = y.to_vec();
-        let mut grad = vec![0.0; n];
+        workspace.prepare(a.rows(), n);
         let mut iterations = 0;
         let mut converged = y_norm == 0.0;
         let mut last_resid = f64::INFINITY;
+        workspace.resid.copy_from_slice(y);
         for it in 0..self.max_iter {
             if converged {
                 break;
             }
             iterations = it + 1;
-            a.apply_adjoint(&resid, &mut grad);
-            // Candidate support: 2k strongest gradient atoms ∪ current.
-            let mut candidate = top_k_indices(&grad, 2 * k);
-            for (j, &v) in alpha.iter().enumerate() {
-                if v != 0.0 {
-                    candidate.push(j);
+            {
+                let SolverWorkspace {
+                    alpha,
+                    grad,
+                    resid,
+                    candidate,
+                    ..
+                } = &mut *workspace;
+                a.apply_adjoint(resid, grad);
+                // Candidate support: 2k strongest gradient atoms ∪ current.
+                top_k_indices_into(grad, 2 * k, candidate);
+                for (j, &v) in alpha.iter().enumerate() {
+                    if v != 0.0 {
+                        candidate.push(j);
+                    }
                 }
+                candidate.sort_unstable();
+                candidate.dedup();
             }
-            candidate.sort_unstable();
-            candidate.dedup();
-            // Least squares on the candidate support.
-            let restricted = RestrictedOperator::new(a, candidate.clone());
-            let ls = Cgls::new(200, 1e-12).solve(&restricted, y)?;
+            // Least squares on the candidate support, through the
+            // workspace-owned support/scratch buffers (returned below).
+            let mut support = std::mem::take(&mut workspace.support);
+            support.clear();
+            support.extend_from_slice(&workspace.candidate);
+            let restricted = RestrictedOperator::with_scratch(
+                a,
+                support,
+                std::mem::take(&mut workspace.restrict_in),
+                std::mem::take(&mut workspace.restrict_out),
+            );
+            let ls = Cgls::new(200, 1e-12).solve_into(&restricted, y, workspace);
+            let (support, full_in, full_out) = restricted.into_parts();
+            workspace.support = support;
+            workspace.restrict_in = full_in;
+            workspace.restrict_out = full_out;
+            ls?;
+            let SolverWorkspace {
+                alpha,
+                resid,
+                rows_tmp: fit,
+                candidate,
+                keep,
+                lsq_x: ls_coeffs,
+                ..
+            } = &mut *workspace;
             // Prune to the k largest coefficients.
-            let keep = top_k_indices(&ls.coefficients, k);
+            top_k_indices_into(ls_coeffs, k, keep);
             alpha.fill(0.0);
-            for &local in &keep {
-                alpha[candidate[local]] = ls.coefficients[local];
+            for &local in keep.iter() {
+                alpha[candidate[local]] = ls_coeffs[local];
             }
             // Update residual.
-            let fit = a.apply_vec(&alpha);
-            for (r, (&yi, &fi)) in resid.iter_mut().zip(y.iter().zip(&fit)) {
+            a.apply(alpha, fit);
+            for (r, (&yi, &fi)) in resid.iter_mut().zip(y.iter().zip(fit.iter())) {
                 *r = yi - fi;
             }
-            let rn = op::norm2(&resid);
+            let rn = op::norm2(resid);
             if rn <= self.residual_tol * y_norm.max(1e-300) {
                 converged = true;
             }
@@ -107,13 +158,32 @@ impl CoSaMp {
             last_resid = rn;
         }
         Ok(Recovery {
-            coefficients: alpha,
+            coefficients: workspace.alpha.clone(),
             stats: SolveStats {
                 iterations,
-                residual_norm: op::norm2(&resid),
+                residual_norm: op::norm2(&workspace.resid),
                 converged,
             },
         })
+    }
+}
+
+impl Solver for CoSaMp {
+    fn caps(&self) -> SolverCaps {
+        SolverCaps {
+            name: "cosamp",
+            norm_seed: None,
+            column_hungry: true,
+        }
+    }
+
+    fn solve_with(
+        &self,
+        a: &dyn LinearOperator,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> SolveResult {
+        CoSaMp::solve_with(self, a, y, workspace)
     }
 }
 

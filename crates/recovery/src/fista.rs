@@ -6,6 +6,7 @@
 //! applications.
 
 use crate::shrink::soft_threshold;
+use crate::solver::{norm_seeds, SolveResult, Solver, SolverCaps};
 use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
 use tepics_cs::op::{self, LinearOperator};
@@ -156,7 +157,7 @@ impl Fista {
                 ))
             }
             None => {
-                let norm = op::operator_norm_est(a, self.norm_est_iters, 0x0F1A57A);
+                let norm = op::operator_norm_est(a, self.norm_est_iters, norm_seeds::FISTA);
                 if norm == 0.0 {
                     // Zero operator: solution is zero.
                     return Ok(Recovery {
@@ -227,6 +228,25 @@ impl Fista {
 impl Default for Fista {
     fn default() -> Self {
         Fista::new()
+    }
+}
+
+impl Solver for Fista {
+    fn caps(&self) -> SolverCaps {
+        SolverCaps {
+            name: "fista",
+            norm_seed: Some(norm_seeds::FISTA),
+            column_hungry: false,
+        }
+    }
+
+    fn solve_with(
+        &self,
+        a: &dyn LinearOperator,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> SolveResult {
+        Fista::solve_with(self, a, y, workspace)
     }
 }
 

@@ -6,6 +6,7 @@
 //! sparsity is known (e.g. star fields with a known source count).
 
 use crate::shrink::hard_threshold_top_k;
+use crate::solver::{norm_seeds, SolveResult, Solver, SolverCaps};
 use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
 use tepics_cs::op::{self, LinearOperator};
@@ -17,6 +18,7 @@ pub struct Iht {
     max_iter: usize,
     tol: f64,
     normalized: bool,
+    step: Option<f64>,
 }
 
 impl Iht {
@@ -32,7 +34,17 @@ impl Iht {
             max_iter: 300,
             tol: 1e-7,
             normalized: true,
+            step: None,
         }
+    }
+
+    /// Overrides the fallback gradient step `1/L` (skips the internal
+    /// norm estimation — callers that memoize the seeded power iteration
+    /// pass its result back through here). The adaptive NIHT step still
+    /// applies on supported iterates; this only replaces the fallback.
+    pub fn step(&mut self, step: f64) -> &mut Self {
+        self.step = Some(step);
+        self
     }
 
     /// Iteration cap.
@@ -81,19 +93,27 @@ impl Iht {
     ) -> Result<Recovery, RecoveryError> {
         check_dims(a.rows(), y)?;
         let n = a.cols();
-        let fallback_step = {
-            let norm = op::operator_norm_est(a, 30, 0x1147);
-            if norm == 0.0 {
-                return Ok(Recovery {
-                    coefficients: vec![0.0; n],
-                    stats: SolveStats {
-                        iterations: 0,
-                        residual_norm: op::norm2(y),
-                        converged: true,
-                    },
-                });
+        let fallback_step = match self.step {
+            Some(s) if s > 0.0 => s,
+            Some(_) => {
+                return Err(RecoveryError::InvalidParameter(
+                    "step must be positive".into(),
+                ))
             }
-            1.0 / (norm * norm * 1.05)
+            None => {
+                let norm = op::operator_norm_est(a, 30, norm_seeds::IHT);
+                if norm == 0.0 {
+                    return Ok(Recovery {
+                        coefficients: vec![0.0; n],
+                        stats: SolveStats {
+                            iterations: 0,
+                            residual_norm: op::norm2(y),
+                            converged: true,
+                        },
+                    });
+                }
+                1.0 / (norm * norm * 1.05)
+            }
         };
         workspace.prepare(a.rows(), n);
         let SolverWorkspace {
@@ -103,6 +123,7 @@ impl Iht {
             grad,
             resid,
             rows_tmp: ag,
+            ..
         } = workspace;
         resid.copy_from_slice(y); // r = y − Aα, starts at y
         let mut iterations = 0;
@@ -167,6 +188,25 @@ impl Iht {
                 converged,
             },
         })
+    }
+}
+
+impl Solver for Iht {
+    fn caps(&self) -> SolverCaps {
+        SolverCaps {
+            name: "iht",
+            norm_seed: Some(norm_seeds::IHT),
+            column_hungry: false,
+        }
+    }
+
+    fn solve_with(
+        &self,
+        a: &dyn LinearOperator,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> SolveResult {
+        Iht::solve_with(self, a, y, workspace)
     }
 }
 

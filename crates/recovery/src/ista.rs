@@ -2,6 +2,7 @@
 //! FISTA's momentum (the `warmup`/solver experiments report both).
 
 use crate::shrink::soft_threshold;
+use crate::solver::{norm_seeds, SolveResult, Solver, SolverCaps};
 use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
 use tepics_cs::op::{self, LinearOperator};
@@ -16,6 +17,7 @@ pub struct Ista {
     lambda_abs: Option<f64>,
     max_iter: usize,
     tol: f64,
+    step: Option<f64>,
 }
 
 impl Ista {
@@ -26,7 +28,16 @@ impl Ista {
             lambda_abs: None,
             max_iter: 400,
             tol: 1e-6,
+            step: None,
         }
+    }
+
+    /// Overrides the gradient step `1/L` (skips the internal norm
+    /// estimation — callers that memoize the seeded power iteration pass
+    /// its result back through here).
+    pub fn step(&mut self, step: f64) -> &mut Self {
+        self.step = Some(step);
+        self
     }
 
     /// Sets an absolute λ.
@@ -111,18 +122,28 @@ impl Ista {
             }
             r * aty.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
         };
-        let norm = op::operator_norm_est(a, 30, 0x157A);
-        if norm == 0.0 {
-            return Ok(Recovery {
-                coefficients: vec![0.0; n],
-                stats: SolveStats {
-                    iterations: 0,
-                    residual_norm: op::norm2(y),
-                    converged: true,
-                },
-            });
-        }
-        let step = 1.0 / (norm * norm * 1.05);
+        let step = match self.step {
+            Some(s) if s > 0.0 => s,
+            Some(_) => {
+                return Err(RecoveryError::InvalidParameter(
+                    "step must be positive".into(),
+                ))
+            }
+            None => {
+                let norm = op::operator_norm_est(a, 30, norm_seeds::ISTA);
+                if norm == 0.0 {
+                    return Ok(Recovery {
+                        coefficients: vec![0.0; n],
+                        stats: SolveStats {
+                            iterations: 0,
+                            residual_norm: op::norm2(y),
+                            converged: true,
+                        },
+                    });
+                }
+                1.0 / (norm * norm * 1.05)
+            }
+        };
         let mut iterations = 0;
         let mut converged = false;
         for it in 0..self.max_iter {
@@ -167,6 +188,25 @@ impl Ista {
 impl Default for Ista {
     fn default() -> Self {
         Ista::new()
+    }
+}
+
+impl Solver for Ista {
+    fn caps(&self) -> SolverCaps {
+        SolverCaps {
+            name: "ista",
+            norm_seed: Some(norm_seeds::ISTA),
+            column_hungry: false,
+        }
+    }
+
+    fn solve_with(
+        &self,
+        a: &dyn LinearOperator,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> SolveResult {
+        Ista::solve_with(self, a, y, workspace)
     }
 }
 

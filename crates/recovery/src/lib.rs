@@ -1,8 +1,11 @@
-//! Sparse-recovery algorithms for compressed sensing.
+//! Sparse-recovery algorithms for compressed sensing, behind one
+//! [`Solver`] trait.
 //!
 //! The paper's decoder is "convex optimization" in one sentence; this
 //! crate supplies the whole menagerie the experiments need, all running
-//! matrix-free over [`tepics_cs::LinearOperator`]:
+//! matrix-free over [`tepics_cs::LinearOperator`] and all implementing
+//! the object-safe [`Solver`] trait, so a host can swap algorithms per
+//! workload behind `&dyn Solver` without touching its pipeline:
 //!
 //! * [`Fista`] / [`Ista`] — proximal-gradient ℓ1 solvers (LASSO), the
 //!   workhorse for full-frame reconstruction.
@@ -12,22 +15,44 @@
 //! * [`Iht`] — (normalized) iterative hard thresholding.
 //! * [`Amp`] — approximate message passing with Onsager correction
 //!   (fast on i.i.d.-like ensembles; heuristic on structured ones).
-//! * [`cg`] — CGLS least squares, also used to debias any support
-//!   ([`debias`]).
+//! * [`Cgls`] — CGLS least squares, also the engine behind
+//!   restricted re-fits.
+//! * [`Debias`] — any solver above, wrapped with the
+//!   CGLS support re-fit of [`debias`] as one composite algorithm.
 //!
-//! Every solver returns a [`Recovery`] with convergence diagnostics, and
-//! is deterministic given its inputs. The proximal/thresholding solvers
-//! (FISTA, ISTA, IHT) also offer `solve_with` variants that reuse a
-//! [`SolverWorkspace`], so per-frame decoders allocate nothing inside
-//! the solver loop once warm — with results bit-identical to the
-//! allocating path.
+//! # The trait + workspace contract
+//!
+//! Every solver returns a [`Recovery`] with convergence diagnostics and
+//! is deterministic given its inputs. Three guarantees hold across the
+//! whole roster and are pinned down by property tests:
+//!
+//! 1. **Trait transparency.** `Solver::solve_with` through a
+//!    `&dyn Solver` is bit-identical to the concrete type's inherent
+//!    `solve`/`solve_with`.
+//! 2. **Workspace transparency.** Every solver takes a
+//!    [`SolverWorkspace`] and resets the buffers it uses to the exact
+//!    state a fresh allocation would have, so warm solves are
+//!    bit-identical to cold ones — and allocate nothing inside the
+//!    solver loop once warm. This covers the greedy pursuits (gathered
+//!    columns, growing Cholesky) and the nested CGLS of CoSaMP and the
+//!    debias pass, which run on a dedicated `lsq_*` buffer set so
+//!    nesting never clobbers the outer solver's state.
+//! 3. **Capability metadata.** [`Solver::caps`] tells a host what the
+//!    solver needs to run fast: the seed of its internal operator-norm
+//!    power iteration (memoize it per solver — seeds differ, and mixing
+//!    estimates across solvers would change results) and whether it is
+//!    column-hungry (attach a
+//!    [`ColumnMatrix`](tepics_cs::colview::ColumnMatrix) view so column
+//!    extraction and restricted least squares stop re-deriving columns).
 //!
 //! # Examples
+//!
+//! Any solver through the trait:
 //!
 //! ```
 //! use tepics_cs::DenseMatrix;
 //! use tepics_cs::LinearOperator;
-//! use tepics_recovery::Omp;
+//! use tepics_recovery::{Omp, Solver, SolverWorkspace};
 //!
 //! // A tiny exactly-sparse problem: x has 2 nonzeros, 8 measurements.
 //! let a = DenseMatrix::from_fn(8, 16, |r, c| {
@@ -37,7 +62,9 @@
 //! x[3] = 1.5;
 //! x[11] = -0.7;
 //! let y = a.apply_vec(&x);
-//! let rec = Omp::new(2).solve(&a, &y).unwrap();
+//! let solver: &dyn Solver = &Omp::new(2);
+//! let mut ws = SolverWorkspace::new();
+//! let rec = solver.solve_with(&a, &y, &mut ws).unwrap();
 //! assert!((rec.coefficients[3] - 1.5).abs() < 1e-6);
 //! assert!((rec.coefficients[11] + 0.7).abs() < 1e-6);
 //! ```
@@ -54,14 +81,18 @@ pub mod iht;
 pub mod ista;
 pub mod omp;
 pub mod shrink;
+pub mod solver;
 pub mod workspace;
 
 pub use amp::Amp;
+pub use cg::Cgls;
 pub use cosamp::CoSaMp;
+pub use debias::Debias;
 pub use fista::Fista;
 pub use iht::Iht;
 pub use ista::Ista;
 pub use omp::Omp;
+pub use solver::{SolveResult, Solver, SolverCaps};
 pub use workspace::SolverWorkspace;
 
 use std::fmt;

@@ -5,9 +5,17 @@
 //! Cholesky on the growing Gram matrix), repeat. Exact for k-sparse
 //! signals when the matrix is well-conditioned on the support, and the
 //! standard per-block solver of block-based CS.
+//!
+//! Selected columns are gathered through
+//! [`LinearOperator::column_into`], so an operator carrying a
+//! column-materialized view ([`LinearOperator::column_view`]) serves
+//! each atom as a copy instead of a full synthesis — the values are
+//! identical either way, so attaching a view never changes OMP's
+//! result.
 
+use crate::solver::{SolveResult, Solver, SolverCaps};
+use crate::workspace::SolverWorkspace;
 use crate::{check_dims, Recovery, RecoveryError, SolveStats};
-use tepics_cs::chol::GrowingCholesky;
 use tepics_cs::op::{self, LinearOperator};
 
 /// OMP solver configuration.
@@ -41,7 +49,7 @@ impl Omp {
         self
     }
 
-    /// Runs the pursuit.
+    /// Runs the pursuit with freshly allocated buffers.
     ///
     /// Atom selection maximizes `|⟨a_j, r⟩|` (unnormalized); for the
     /// ensembles in this workspace columns have near-equal norms, and
@@ -56,19 +64,56 @@ impl Omp {
         a: &A,
         y: &[f64],
     ) -> Result<Recovery, RecoveryError> {
+        self.solve_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    /// Runs the pursuit reusing `workspace` buffers (residual,
+    /// correlations, gathered columns, the growing Cholesky, and the
+    /// small least-squares vectors); results are bit-identical to
+    /// [`Omp::solve`], with no allocations inside the pursuit loop once
+    /// the workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Omp::solve`].
+    pub fn solve_with<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Recovery, RecoveryError> {
         check_dims(a.rows(), y)?;
         let n = a.cols();
+        let m = a.rows();
         let y_norm = op::norm2(y);
-        let budget = self.max_atoms.min(n).min(a.rows());
-        let mut residual = y.to_vec();
-        let mut support: Vec<usize> = Vec::with_capacity(budget);
-        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(budget);
-        let mut chol = GrowingCholesky::with_capacity(budget.max(1));
-        let mut corr = vec![0.0; n];
-        let mut coeffs: Vec<f64> = Vec::new();
+        let budget = self.max_atoms.min(n).min(m);
+        let SolverWorkspace {
+            grad: corr,
+            resid: residual,
+            support,
+            columns,
+            gram_cross: cross,
+            rhs,
+            small: coeffs,
+            small2: chol_tmp,
+            chol,
+            ..
+        } = workspace;
+        let chol = chol
+            .get_or_insert_with(|| tepics_cs::chol::GrowingCholesky::with_capacity(budget.max(1)));
+        chol.reset(budget.max(1));
+        corr.clear();
+        corr.resize(n, 0.0);
+        residual.clear();
+        residual.extend_from_slice(y);
+        support.clear();
+        columns.clear();
+        columns.resize(budget * m, 0.0);
+        rhs.clear();
+        coeffs.clear();
         let mut converged = y_norm == 0.0;
         while support.len() < budget && !converged {
-            a.apply_adjoint(&residual, &mut corr);
+            a.apply_adjoint(residual, corr);
             // Best atom not already selected.
             let mut best = None;
             let mut best_mag = 0.0;
@@ -82,41 +127,64 @@ impl Omp {
             if best_mag < 1e-14 {
                 break; // residual orthogonal to every atom
             }
-            let col = a.column(j);
-            let cross: Vec<f64> = columns.iter().map(|c| op::dot(c, &col)).collect();
-            let diag = op::dot(&col, &col);
-            if chol.push(&cross, diag).is_err() {
+            let picked = support.len();
+            a.column_into(j, &mut columns[picked * m..(picked + 1) * m]);
+            let (prior, rest) = columns.split_at(picked * m);
+            let col = &rest[..m];
+            cross.clear();
+            cross.extend(prior.chunks_exact(m).map(|c| op::dot(c, col)));
+            let diag = op::dot(col, col);
+            if chol.push(cross, diag).is_err() {
                 // Dependent atom: skip it by pretending correlation is
                 // exhausted (no further progress possible on this atom).
                 break;
             }
             support.push(j);
-            columns.push(col);
             // Least squares on the support: G c = Bᵀ y with B the
-            // selected columns.
-            let rhs: Vec<f64> = columns.iter().map(|c| op::dot(c, y)).collect();
-            coeffs = chol.solve(&rhs);
+            // selected columns. rhs entries ⟨b_i, y⟩ never change, so
+            // each iteration appends only the new atom's entry.
+            rhs.push(op::dot(col, y));
+            chol.solve_into(rhs, coeffs, chol_tmp);
             // Residual r = y − B c.
             residual.copy_from_slice(y);
-            for (c, col) in coeffs.iter().zip(&columns) {
-                op::axpy(-c, col, &mut residual);
+            for (c, col) in coeffs.iter().zip(columns.chunks_exact(m)) {
+                op::axpy(-c, col, residual);
             }
-            if op::norm2(&residual) <= self.residual_tol * y_norm.max(1e-300) {
+            if op::norm2(residual) <= self.residual_tol * y_norm.max(1e-300) {
                 converged = true;
             }
         }
         let mut full = vec![0.0; n];
-        for (&j, &c) in support.iter().zip(&coeffs) {
+        for (&j, &c) in support.iter().zip(coeffs.iter()) {
             full[j] = c;
         }
         Ok(Recovery {
             coefficients: full,
             stats: SolveStats {
                 iterations: support.len(),
-                residual_norm: op::norm2(&residual),
+                residual_norm: op::norm2(residual),
                 converged,
             },
         })
+    }
+}
+
+impl Solver for Omp {
+    fn caps(&self) -> SolverCaps {
+        SolverCaps {
+            name: "omp",
+            norm_seed: None,
+            column_hungry: true,
+        }
+    }
+
+    fn solve_with(
+        &self,
+        a: &dyn LinearOperator,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> SolveResult {
+        Omp::solve_with(self, a, y, workspace)
     }
 }
 
@@ -167,6 +235,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn column_view_leaves_results_bit_identical() {
+        // OMP only *reads* columns; a materialized view changes where
+        // they come from, not their values, so results must be equal
+        // bit for bit.
+        use tepics_cs::colview::ColumnMatrix;
+        let (a, _, y) = gaussian_problem(30, 80, 5, 99);
+        let view = ColumnMatrix::from_operator(&a);
+        let plain = Omp::new(8).solve(&a, &y).unwrap();
+        let through_view = Omp::new(8).solve(&view, &y).unwrap();
+        assert_eq!(plain, through_view);
     }
 
     #[test]

@@ -40,21 +40,39 @@ pub fn hard_threshold_top_k(v: &mut [f64], k: usize) {
 
 /// Indices of the `k` largest-magnitude entries (unsorted).
 pub fn top_k_indices(v: &[f64], k: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    top_k_indices_into(v, k, &mut out);
+    out
+}
+
+/// [`top_k_indices`] into a caller-owned buffer (cleared first);
+/// identical result, allocation-free once the buffer is warm.
+pub fn top_k_indices_into(v: &[f64], k: usize, out: &mut Vec<usize>) {
     let k = k.min(v.len());
-    let mut idx: Vec<usize> = (0..v.len()).collect();
+    out.clear();
+    out.extend(0..v.len());
     if k < v.len() && k > 0 {
-        idx.select_nth_unstable_by(k - 1, |&a, &b| v[b].abs().partial_cmp(&v[a].abs()).unwrap());
+        out.select_nth_unstable_by(k - 1, |&a, &b| v[b].abs().partial_cmp(&v[a].abs()).unwrap());
     }
-    idx.truncate(k);
-    idx
+    out.truncate(k);
 }
 
 /// Indices of all nonzero entries.
 pub fn support(v: &[f64]) -> Vec<usize> {
-    v.iter()
-        .enumerate()
-        .filter_map(|(i, &x)| (x != 0.0).then_some(i))
-        .collect()
+    let mut out = Vec::new();
+    support_into(v, &mut out);
+    out
+}
+
+/// [`support`] into a caller-owned buffer (cleared first); identical
+/// result, allocation-free once the buffer is warm.
+pub fn support_into(v: &[f64], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(
+        v.iter()
+            .enumerate()
+            .filter_map(|(i, &x)| (x != 0.0).then_some(i)),
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,187 @@
+//! The unified [`Solver`] trait.
+//!
+//! Every recovery algorithm in this crate — FISTA, ISTA, IHT, AMP,
+//! CoSaMP, OMP, CGLS, and the [`Debias`](crate::debias::Debias)
+//! wrapper — implements one object-safe interface:
+//! `solve_with(&self, op, y, workspace)` over a `&dyn LinearOperator`,
+//! returning a [`Recovery`] and reusing a [`SolverWorkspace`]. A decoder
+//! can therefore hold *any* solver behind `&dyn Solver`/`Box<dyn
+//! Solver>` and swap algorithms per workload without touching its
+//! pipeline, and every solver — not just the proximal family — runs
+//! allocation-free once its workspace is warm.
+//!
+//! Results through the trait are **bit-identical** to the inherent
+//! `solve`/`solve_with` methods on the concrete types: the trait impls
+//! are one-line delegations, pinned down by property tests at the
+//! workspace root.
+//!
+//! [`SolverCaps`] carries the capability metadata a host needs to serve
+//! a solver well without knowing its type: the seed of its internal
+//! operator-norm estimate (so a cache can memoize the power iteration
+//! per solver — different solvers use different seeds, and mixing them
+//! would silently change results) and whether the solver touches the
+//! operator column-wise (so a host knows to attach a
+//! [`ColumnMatrix`](tepics_cs::colview::ColumnMatrix) view).
+
+use crate::workspace::SolverWorkspace;
+use crate::{Recovery, RecoveryError};
+use tepics_cs::op::LinearOperator;
+
+/// The result type shared by every solver entry point.
+pub type SolveResult = Result<Recovery, RecoveryError>;
+
+/// Deterministic power-iteration seeds of the solvers' internal
+/// operator-norm estimates. A host that memoizes norms (to skip the
+/// power iteration on warm paths) must key them by this seed: each
+/// solver derives its step/scale from *its own* seeded estimate, and
+/// serving one solver another's estimate would change results.
+pub mod norm_seeds {
+    /// [`Fista`](crate::Fista)'s step-size estimate.
+    pub const FISTA: u64 = 0x0F1A57A;
+    /// [`Ista`](crate::Ista)'s step-size estimate.
+    pub const ISTA: u64 = 0x157A;
+    /// [`Iht`](crate::Iht)'s fallback-step estimate.
+    pub const IHT: u64 = 0x1147;
+    /// [`Amp`](crate::Amp)'s operator-scale estimate.
+    pub const AMP: u64 = 0xA3B;
+}
+
+/// Capability metadata of a [`Solver`] (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverCaps {
+    /// Short stable identifier (`"fista"`, `"omp"`, …) for reports and
+    /// diagnostics.
+    pub name: &'static str,
+    /// Seed of the solver's internal `‖A‖` power-iteration estimate,
+    /// when it runs one and accepts a precomputed override
+    /// ([`norm_seeds`] lists the values). `None` for solvers that never
+    /// estimate a norm (the greedy pursuits, CGLS).
+    pub norm_seed: Option<u64>,
+    /// `true` if the solver touches operator columns heavily enough —
+    /// per-iteration extraction or repeated restricted least squares
+    /// over growing supports — to justify materializing *all* columns
+    /// up front (the greedy pursuits). Solvers whose column work is one
+    /// support-restricted re-fit (the [`Debias`](crate::Debias)
+    /// wrapper's CGLS pass) inherit their inner solver's appetite: a
+    /// full materialization would cost more than the single re-fit it
+    /// accelerates, though they do use a view when one is already
+    /// attached.
+    pub column_hungry: bool,
+}
+
+/// A sparse-recovery algorithm behind one object-safe interface.
+///
+/// # Examples
+///
+/// Solvers are interchangeable behind `&dyn Solver`:
+///
+/// ```
+/// use tepics_cs::{DenseMatrix, LinearOperator};
+/// use tepics_recovery::{Fista, Omp, Solver, SolverWorkspace};
+///
+/// let a = DenseMatrix::from_fn(8, 16, |r, c| {
+///     ((r * 31 + c * 17 + (r * c) % 7) % 13) as f64 / 13.0 - 0.5
+/// });
+/// let mut x = vec![0.0; 16];
+/// x[3] = 1.5;
+/// let y = a.apply_vec(&x);
+///
+/// let fista = Fista::new();
+/// let omp = Omp::new(2);
+/// let mut ws = SolverWorkspace::new();
+/// for solver in [&fista as &dyn Solver, &omp] {
+///     let rec = solver.solve_with(&a, &y, &mut ws).unwrap();
+///     assert!((rec.coefficients[3] - 1.5).abs() < 0.2, "{}", solver.caps().name);
+/// }
+/// ```
+pub trait Solver {
+    /// Capability metadata (stable name, norm seed, column appetite).
+    fn caps(&self) -> SolverCaps;
+
+    /// Runs the solver reusing `workspace` buffers; bit-identical to
+    /// [`Solver::solve`] and allocation-free inside the solver loop once
+    /// the workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::DimensionMismatch`] if `y` does not match the
+    /// operator, plus each solver's parameter/breakdown errors.
+    fn solve_with(
+        &self,
+        a: &dyn LinearOperator,
+        y: &[f64],
+        workspace: &mut SolverWorkspace,
+    ) -> SolveResult;
+
+    /// Runs the solver with freshly allocated buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Solver::solve_with`].
+    fn solve(&self, a: &dyn LinearOperator, y: &[f64]) -> SolveResult {
+        self.solve_with(a, y, &mut SolverWorkspace::new())
+    }
+}
+
+impl std::fmt::Debug for dyn Solver + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dyn Solver({})", self.caps().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Amp, CoSaMp, Fista, Iht, Ista, Omp};
+    use tepics_cs::DenseMatrix;
+    use tepics_util::SplitMix64;
+
+    fn problem() -> (DenseMatrix, Vec<f64>) {
+        let mut rng = SplitMix64::new(77);
+        let a = DenseMatrix::from_fn(30, 60, |_, _| rng.next_gaussian() / 30f64.sqrt());
+        let mut x = vec![0.0; 60];
+        x[11] = 2.0;
+        x[42] = -1.0;
+        (a.clone(), a.apply_vec(&x))
+    }
+
+    #[test]
+    fn caps_names_are_unique_and_stable() {
+        let fista = Fista::new();
+        let ista = Ista::new();
+        let iht = Iht::new(2);
+        let amp = Amp::new();
+        let omp = Omp::new(2);
+        let cosamp = CoSaMp::new(2);
+        let cgls = crate::cg::Cgls::default();
+        let solvers: [&dyn Solver; 7] = [&fista, &ista, &iht, &amp, &omp, &cosamp, &cgls];
+        let mut names: Vec<&str> = solvers.iter().map(|s| s.caps().name).collect();
+        assert_eq!(
+            names,
+            vec!["fista", "ista", "iht", "amp", "omp", "cosamp", "cgls"]
+        );
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7, "duplicate solver names");
+    }
+
+    #[test]
+    fn trait_dispatch_equals_direct_call() {
+        let (a, y) = problem();
+        let fista = Fista::new();
+        let direct = fista.solve(&a, &y).unwrap();
+        let dynamic = Solver::solve(&fista as &dyn Solver, &a, &y).unwrap();
+        assert_eq!(direct, dynamic);
+    }
+
+    #[test]
+    fn norm_seeds_match_caps() {
+        assert_eq!(Fista::new().caps().norm_seed, Some(norm_seeds::FISTA));
+        assert_eq!(Ista::new().caps().norm_seed, Some(norm_seeds::ISTA));
+        assert_eq!(Iht::new(1).caps().norm_seed, Some(norm_seeds::IHT));
+        assert_eq!(Amp::new().caps().norm_seed, Some(norm_seeds::AMP));
+        assert_eq!(Omp::new(1).caps().norm_seed, None);
+        assert!(Omp::new(1).caps().column_hungry);
+        assert!(CoSaMp::new(1).caps().column_hungry);
+    }
+}

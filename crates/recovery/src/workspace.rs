@@ -1,13 +1,14 @@
 //! Reusable solver buffers.
 //!
-//! Every iterative solver in this crate works on a handful of dense
-//! vectors (iterates, gradient, residual). A cold [`solve`] call
-//! allocates them afresh; a decoder that runs one solve per frame —
-//! the streaming deployment — would pay that allocation and page-touch
-//! cost on every frame. [`SolverWorkspace`] owns those buffers so
-//! repeated solves reuse the same memory: the `solve_with` variants of
-//! [`Fista`](crate::Fista), [`Ista`](crate::Ista) and
-//! [`Iht`](crate::Iht) take one and resize it (a no-op once warm, since
+//! Every solver in this crate works on a handful of dense vectors
+//! (iterates, gradients, residuals, gathered columns, least-squares
+//! scratch). A cold [`solve`](crate::Solver::solve) call allocates them
+//! afresh; a decoder that runs one solve per frame — the streaming
+//! deployment — would pay that allocation and page-touch cost on every
+//! frame. [`SolverWorkspace`] owns those buffers so repeated solves
+//! reuse the same memory: every `solve_with` path in this crate —
+//! including the greedy pursuits and the nested CGLS of the debias pass
+//! — takes one and resizes it (a no-op once warm, since
 //! shrinking-then-growing a `Vec` within its capacity never
 //! reallocates).
 //!
@@ -15,11 +16,23 @@
 //! a fresh allocation would have, so a warm solve is bit-identical to a
 //! cold one.
 //!
-//! [`solve`]: crate::Fista::solve
+//! The buffers fall into three groups, sized independently so nesting
+//! works (CoSaMP's outer loop keeps its iterate buffers live while the
+//! inner CGLS runs on the `lsq_*` set):
+//!
+//! * **iterate buffers** (`alpha`…`rows_tmp2`) — the proximal/
+//!   thresholding/message-passing loops;
+//! * **greedy buffers** (`support`…`chol`) — atom bookkeeping, gathered
+//!   columns, and the growing Cholesky of OMP/CoSaMP;
+//! * **least-squares buffers** (`lsq_*`, `restrict_*`) — the CGLS
+//!   vectors and the restricted operator's scatter/gather scratch, used
+//!   by [`Cgls`](crate::cg::Cgls), CoSaMP's re-fit, and
+//!   [`debias`](crate::debias).
 
-/// Reusable buffers for the proximal-gradient/thresholding solvers
-/// (`alpha`, `alpha_prev`, `z`, `grad` of the coefficient dimension;
-/// `resid`, `rows_tmp` of the measurement dimension).
+use tepics_cs::chol::GrowingCholesky;
+
+/// Reusable buffers shared by every solver in the crate (see the module
+/// docs for the three buffer groups).
 ///
 /// # Examples
 ///
@@ -41,12 +54,33 @@
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SolverWorkspace {
+    // Iterate buffers (coefficient dimension).
     pub(crate) alpha: Vec<f64>,
     pub(crate) alpha_prev: Vec<f64>,
     pub(crate) z: Vec<f64>,
     pub(crate) grad: Vec<f64>,
+    // Iterate buffers (measurement dimension).
     pub(crate) resid: Vec<f64>,
     pub(crate) rows_tmp: Vec<f64>,
+    pub(crate) rows_tmp2: Vec<f64>,
+    // Greedy buffers.
+    pub(crate) support: Vec<usize>,
+    pub(crate) candidate: Vec<usize>,
+    pub(crate) keep: Vec<usize>,
+    pub(crate) columns: Vec<f64>,
+    pub(crate) gram_cross: Vec<f64>,
+    pub(crate) rhs: Vec<f64>,
+    pub(crate) small: Vec<f64>,
+    pub(crate) small2: Vec<f64>,
+    pub(crate) chol: Option<GrowingCholesky>,
+    // Least-squares buffers (nested CGLS + restricted-operator scratch).
+    pub(crate) lsq_x: Vec<f64>,
+    pub(crate) lsq_r: Vec<f64>,
+    pub(crate) lsq_s: Vec<f64>,
+    pub(crate) lsq_p: Vec<f64>,
+    pub(crate) lsq_q: Vec<f64>,
+    pub(crate) restrict_in: Vec<f64>,
+    pub(crate) restrict_out: Vec<f64>,
 }
 
 impl SolverWorkspace {
@@ -57,8 +91,10 @@ impl SolverWorkspace {
         Self::default()
     }
 
-    /// Resizes every buffer for a `rows`×`cols` problem and zeroes it,
-    /// restoring the exact state of freshly allocated buffers.
+    /// Resizes the iterate buffers for a `rows`×`cols` problem and
+    /// zeroes them, restoring the exact state of freshly allocated
+    /// buffers. (The greedy and least-squares buffers are prepared by
+    /// their consumers, which likewise clear before every read.)
     pub(crate) fn prepare(&mut self, rows: usize, cols: usize) {
         for buf in [
             &mut self.alpha,
@@ -69,7 +105,7 @@ impl SolverWorkspace {
             buf.clear();
             buf.resize(cols, 0.0);
         }
-        for buf in [&mut self.resid, &mut self.rows_tmp] {
+        for buf in [&mut self.resid, &mut self.rows_tmp, &mut self.rows_tmp2] {
             buf.clear();
             buf.resize(rows, 0.0);
         }
@@ -93,6 +129,7 @@ mod tests {
         assert_eq!(ws.grad, vec![0.0; 6]);
         assert_eq!(ws.resid, vec![0.0; 4]);
         assert_eq!(ws.rows_tmp, vec![0.0; 4]);
+        assert_eq!(ws.rows_tmp2, vec![0.0; 4]);
     }
 
     #[test]
@@ -103,5 +140,19 @@ mod tests {
         ws.prepare(10, 20);
         ws.prepare(100, 200);
         assert_eq!(ws.alpha.capacity(), cap, "reuse must not reallocate");
+    }
+
+    #[test]
+    fn chol_is_reused_across_resets() {
+        let mut ws = SolverWorkspace::new();
+        let chol = ws
+            .chol
+            .get_or_insert_with(|| GrowingCholesky::with_capacity(8));
+        chol.push(&[], 4.0).unwrap();
+        assert_eq!(chol.dim(), 1);
+        chol.reset(4);
+        assert_eq!(chol.dim(), 0, "reset empties the factorization");
+        chol.push(&[], 9.0).unwrap();
+        assert_eq!(chol.solve(&[9.0]), vec![1.0]);
     }
 }

@@ -70,10 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let intensity = recon.to_intensity(imager.sensor_config());
     println!("reconstructed intensity:\n{}", intensity.to_ascii());
 
-    // Save viewable images: scene, reconstruction, signed error map.
+    // Save viewable images: scene, reconstruction, signed error map —
+    // into the gitignored `out/` directory.
     use tepics::imaging::io::{write_error_ppm, write_pgm_f64};
-    write_pgm_f64(&scene, std::fs::File::create("tepics_scene.pgm")?)?;
-    write_pgm_f64(&intensity, std::fs::File::create("tepics_recon.pgm")?)?;
+    std::fs::create_dir_all("out")?;
+    write_pgm_f64(&scene, std::fs::File::create("out/tepics_scene.pgm")?)?;
+    write_pgm_f64(&intensity, std::fs::File::create("out/tepics_recon.pgm")?)?;
     let error = ImageF64::from_vec(
         truth.width(),
         truth.height(),
@@ -84,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(&a, &b)| a - b)
             .collect(),
     );
-    write_error_ppm(&error, 32.0, std::fs::File::create("tepics_error.ppm")?)?;
-    println!("images written: tepics_scene.pgm, tepics_recon.pgm, tepics_error.ppm");
+    write_error_ppm(&error, 32.0, std::fs::File::create("out/tepics_error.ppm")?)?;
+    println!("images written: out/tepics_scene.pgm, out/tepics_recon.pgm, out/tepics_error.ppm");
     Ok(())
 }

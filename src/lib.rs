@@ -20,14 +20,22 @@
 //!
 //! # Quickstart
 //!
-//! The public API is session-oriented: an [`EncodeSession`] captures a
-//! sequence of scenes into one contiguous wire stream (stream header
-//! once, compact per-frame records after), and a [`DecodeSession`]
+//! The public API is session-oriented: an
+//! [`EncodeSession`](core::EncodeSession) captures a sequence of scenes
+//! into one contiguous wire stream (stream header once, compact
+//! per-frame records after), and a [`DecodeSession`](core::DecodeSession)
 //! consumes that stream incrementally — from arbitrary byte chunks —
 //! reconstructing each frame as it completes. The decoder receives only
 //! samples plus a 64-bit seed, never Φ; the session rebuilds Φ once and
-//! reuses it (with the dictionary and FISTA step size) for every frame
-//! of the stream.
+//! reuses it (with the dictionary, the per-solver step sizes, and the
+//! column-materialized views) for every frame of the stream.
+//!
+//! Recovery is solver-pluggable: every algorithm in [`recovery`]
+//! (FISTA, ISTA, IHT, AMP, OMP, CoSaMP, CGLS, and the CGLS debias
+//! wrapper) implements one `Solver` trait and is selectable per
+//! session via [`SolverKind`](core::SolverKind) /
+//! [`RecoveryParams`](core::RecoveryParams) — see the README's
+//! "Choosing a solver" table for guidance.
 //!
 //! ```
 //! use tepics::prelude::*;

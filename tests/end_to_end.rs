@@ -36,7 +36,7 @@ fn paper_prototype_end_to_end() {
 
     // Reconstruct (iteration budget trimmed for CI runtimes).
     let mut decoder = Decoder::for_frame(&received).unwrap();
-    decoder.algorithm(Algorithm::Fista {
+    decoder.algorithm(SolverKind::Fista {
         lambda_ratio: 0.02,
         max_iter: 150,
         debias: true,

@@ -391,11 +391,15 @@ fn fast_phi_matches_bruteforce_at_random_geometries() {
 }
 
 /// Solver-workspace reuse is value-transparent: a warm workspace solve
-/// equals a cold solve bit for bit, across solvers and problem sizes.
+/// equals a cold solve bit for bit, across *all eight* solver
+/// algorithms (FISTA, ISTA, IHT, AMP, OMP, CoSaMP, CGLS, debias) and
+/// problem sizes. Extends the PR 3 test, which covered only the
+/// proximal/thresholding family.
 #[test]
-fn workspace_reuse_is_bit_identical() {
+fn workspace_reuse_is_bit_identical_for_all_solvers() {
     use tepics::cs::{DenseMatrix, LinearOperator};
-    use tepics::recovery::{Fista, Iht, Ista, SolverWorkspace};
+    use tepics::recovery::cg::Cgls;
+    use tepics::recovery::{Amp, CoSaMp, Debias, Fista, Iht, Ista, Omp, Solver, SolverWorkspace};
     let mut rng = SplitMix64::new(0x5073);
     let mut ws = SolverWorkspace::new();
     for case in 0..8 {
@@ -407,23 +411,140 @@ fn workspace_reuse_is_bit_identical() {
         let mut x = vec![0.0; cols];
         x[rng.next_below(cols as u64) as usize] = 1.5;
         let y = a.apply_vec(&x);
-        let cold = Fista::new().max_iter(60).solve(&a, &y).unwrap();
-        let warm = Fista::new()
-            .max_iter(60)
-            .solve_with(&a, &y, &mut ws)
-            .unwrap();
-        assert_eq!(cold, warm, "case {case}: FISTA warm != cold");
-        let cold = Ista::new().max_iter(60).solve(&a, &y).unwrap();
-        let warm = Ista::new()
-            .max_iter(60)
-            .solve_with(&a, &y, &mut ws)
-            .unwrap();
-        assert_eq!(cold, warm, "case {case}: ISTA warm != cold");
-        let cold = Iht::new(2).max_iter(60).solve(&a, &y).unwrap();
-        let warm = Iht::new(2)
-            .max_iter(60)
-            .solve_with(&a, &y, &mut ws)
-            .unwrap();
-        assert_eq!(cold, warm, "case {case}: IHT warm != cold");
+        let mut fista = Fista::new();
+        fista.max_iter(60);
+        let mut ista = Ista::new();
+        ista.max_iter(60);
+        let mut iht = Iht::new(2);
+        iht.max_iter(60);
+        let mut amp = Amp::new();
+        amp.max_iter(40);
+        let omp = Omp::new(3);
+        let mut cosamp = CoSaMp::new(2);
+        cosamp.max_iter(10);
+        let cgls = Cgls::new(40, 1e-10);
+        let debias = Debias::new(&fista, 6);
+        let solvers: [&dyn Solver; 8] = [&fista, &ista, &iht, &amp, &omp, &cosamp, &cgls, &debias];
+        for solver in solvers {
+            let name = solver.caps().name;
+            let cold = solver.solve(&a, &y).unwrap();
+            let warm = solver.solve_with(&a, &y, &mut ws).unwrap();
+            assert_eq!(cold, warm, "case {case}: {name} warm != cold");
+            // Reuse again immediately — the second warm solve must also
+            // match (the workspace reset is idempotent).
+            let warm2 = solver.solve_with(&a, &y, &mut ws).unwrap();
+            assert_eq!(cold, warm2, "case {case}: {name} second warm != cold");
+        }
+    }
+}
+
+/// Invoking any solver through the `Solver` trait object is
+/// bit-identical to calling the concrete type's inherent entry points.
+#[test]
+fn solver_trait_dispatch_is_bit_identical_to_direct_calls() {
+    use tepics::cs::{DenseMatrix, LinearOperator};
+    use tepics::recovery::cg::Cgls;
+    use tepics::recovery::debias::debias;
+    use tepics::recovery::{Amp, CoSaMp, Debias, Fista, Iht, Ista, Omp, Solver, SolverWorkspace};
+    let mut rng = SplitMix64::new(0xD15_7A7C);
+    for case in 0..8 {
+        let rows = 12 + rng.next_below(18) as usize;
+        let cols = rows + rng.next_below(24) as usize;
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| {
+            rng.next_gaussian() / (rows as f64).sqrt()
+        });
+        let mut x = vec![0.0; cols];
+        x[rng.next_below(cols as u64) as usize] = -2.0;
+        x[rng.next_below(cols as u64) as usize] = 1.0;
+        let y = a.apply_vec(&x);
+        let mut ws = SolverWorkspace::new();
+        // Each pair: (trait-object result, inherent-call result).
+        let mut fista = Fista::new();
+        fista.max_iter(50);
+        assert_eq!(
+            Solver::solve_with(&fista, &a, &y, &mut ws).unwrap(),
+            fista.solve_with(&a, &y, &mut ws).unwrap(),
+            "case {case}: fista"
+        );
+        let mut ista = Ista::new();
+        ista.max_iter(50);
+        assert_eq!(
+            Solver::solve_with(&ista, &a, &y, &mut ws).unwrap(),
+            ista.solve_with(&a, &y, &mut ws).unwrap(),
+            "case {case}: ista"
+        );
+        let mut iht = Iht::new(2);
+        iht.max_iter(50);
+        assert_eq!(
+            Solver::solve_with(&iht, &a, &y, &mut ws).unwrap(),
+            iht.solve_with(&a, &y, &mut ws).unwrap(),
+            "case {case}: iht"
+        );
+        let mut amp = Amp::new();
+        amp.max_iter(30);
+        assert_eq!(
+            Solver::solve_with(&amp, &a, &y, &mut ws).unwrap(),
+            amp.solve_with(&a, &y, &mut ws).unwrap(),
+            "case {case}: amp"
+        );
+        let omp = Omp::new(3);
+        assert_eq!(
+            Solver::solve_with(&omp, &a, &y, &mut ws).unwrap(),
+            omp.solve_with(&a, &y, &mut ws).unwrap(),
+            "case {case}: omp"
+        );
+        let mut cosamp = CoSaMp::new(2);
+        cosamp.max_iter(8);
+        assert_eq!(
+            Solver::solve_with(&cosamp, &a, &y, &mut ws).unwrap(),
+            cosamp.solve_with(&a, &y, &mut ws).unwrap(),
+            "case {case}: cosamp"
+        );
+        let cgls = Cgls::new(40, 1e-10);
+        assert_eq!(
+            Solver::solve_with(&cgls, &a, &y, &mut ws).unwrap(),
+            cgls.solve_with(&a, &y, &mut ws).unwrap(),
+            "case {case}: cgls"
+        );
+        // The Debias wrapper equals the manual inner-solve + debias().
+        let wrapper = Debias::new(&fista, 5);
+        let via_trait = Solver::solve_with(&wrapper, &a, &y, &mut ws).unwrap();
+        let manual = {
+            let first = fista.solve_with(&a, &y, &mut ws).unwrap();
+            debias(&a, &y, &first, 5).unwrap()
+        };
+        assert_eq!(via_trait, manual, "case {case}: debias");
+    }
+}
+
+/// A column-materialized view never changes what the columns *are*:
+/// extraction through `column_into` (and OMP, which only reads
+/// columns) is bit-identical with and without a view attached.
+#[test]
+fn column_view_extraction_is_bit_identical() {
+    use tepics::cs::colview::ColumnMatrix;
+    use tepics::cs::{DenseMatrix, LinearOperator};
+    use tepics::recovery::Omp;
+    let mut rng = SplitMix64::new(0xC01_BEEF);
+    for case in 0..CASES / 4 {
+        let rows = 8 + rng.next_below(16) as usize;
+        let cols = rows + rng.next_below(24) as usize;
+        let a = DenseMatrix::from_fn(rows, cols, |_, _| {
+            rng.next_gaussian() / (rows as f64).sqrt()
+        });
+        let view = ColumnMatrix::from_operator(&a);
+        for j in 0..cols {
+            assert_eq!(
+                view.column(j),
+                a.column(j).as_slice(),
+                "case {case} col {j}"
+            );
+        }
+        let mut x = vec![0.0; cols];
+        x[rng.next_below(cols as u64) as usize] = 1.0;
+        let y = a.apply_vec(&x);
+        let plain = Omp::new(3).solve(&a, &y).unwrap();
+        let viewed = Omp::new(3).solve(&view, &y).unwrap();
+        assert_eq!(plain, viewed, "case {case}: OMP through view diverged");
     }
 }

@@ -64,7 +64,7 @@ fn identity_dictionary_is_competitive_on_star_fields() {
         let mut d = Decoder::for_frame(&frame).unwrap();
         d.dictionary(kind);
         if kind == DictionaryKind::Identity {
-            d.algorithm(Algorithm::Iht { sparsity: 150 });
+            d.algorithm(SolverKind::Iht { sparsity: 150 });
         }
         psnr(&truth, d.reconstruct(&frame).unwrap().code_image(), 255.0)
     };
