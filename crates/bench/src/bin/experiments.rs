@@ -69,8 +69,8 @@ fn smoke() {
     let mut enc = EncodeSession::new(imager.clone()).expect("smoke encode session");
     let mut frame_codec_bits = 0usize;
     for scene in &scenes {
-        let frame = enc.capture(scene).expect("smoke stream capture");
-        frame_codec_bits += frame.wire_bits();
+        let records = enc.capture(scene).expect("smoke stream capture");
+        frame_codec_bits += records.iter().map(|f| f.wire_bits()).sum::<usize>();
     }
     let mut dec = DecodeSession::new();
     let decoded = dec
@@ -119,6 +119,13 @@ fn smoke() {
     match tepics_bench::experiments::solvers::smoke() {
         Ok(summary) => eprintln!("{summary}"),
         Err(solver_failures) => failures.extend(solver_failures),
+    }
+    // Tiled path in smoke mode: a non-square frame in shifted uniform
+    // tiles — geometry-first capture, v2 wire records, stitched decode,
+    // one Φ build across all tiles, serial ≡ threaded.
+    match tepics_bench::experiments::tiled::smoke() {
+        Ok(summary) => eprintln!("{summary}"),
+        Err(tiled_failures) => failures.extend(tiled_failures),
     }
     if failures.is_empty() {
         eprintln!("smoke: OK");

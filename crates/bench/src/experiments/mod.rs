@@ -18,4 +18,5 @@ pub mod progressive;
 pub mod solvers;
 pub mod table1;
 pub mod table2;
+pub mod tiled;
 pub mod warmup;

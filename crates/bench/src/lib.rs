@@ -161,6 +161,12 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "(infrastructure) solver shootout — every SolverKind, PSNR + wall-time",
             run: experiments::solvers::run,
         },
+        Experiment {
+            id: "tiled",
+            tier: Tier::Full,
+            artifact: "(infrastructure) tiled decode — stitched PSNR + block-parallel scaling",
+            run: experiments::tiled::run,
+        },
     ]
 }
 

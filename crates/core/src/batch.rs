@@ -318,6 +318,33 @@ mod tests {
         }
     }
 
+    /// The same guarantee for tiled imagers: a batch of tiled
+    /// capture→stitch evaluations is bit-identical at any thread count
+    /// (items in parallel, tiles stitched deterministically inside
+    /// each).
+    #[test]
+    fn tiled_reports_identical_across_thread_counts() {
+        use tepics_imaging::tile::{FrameGeometry, TileConfig};
+        let im = CompressiveImager::builder_for(FrameGeometry::new(40, 28))
+            .tiling(TileConfig::new(16).overlap(4))
+            .ratio(0.35)
+            .seed(42)
+            .fidelity(Fidelity::Functional)
+            .build()
+            .unwrap();
+        let batch: Vec<ImageF64> = (0..4)
+            .map(|i| Scene::gaussian_blobs(3).render(40, 28, i))
+            .collect();
+        let serial = BatchRunner::with_threads(1).run(&im, &batch).unwrap();
+        for threads in [2, 4] {
+            let parallel = BatchRunner::with_threads(threads).run(&im, &batch).unwrap();
+            assert_eq!(
+                serial.reports, parallel.reports,
+                "thread count {threads} changed tiled batch results"
+            );
+        }
+    }
+
     /// The PR-1 determinism guarantee extended from single frames to
     /// streams: decoding a batch of multi-frame wire streams through
     /// [`BatchRunner::decode_streams`] (shared operator cache, parallel

@@ -18,6 +18,24 @@
 //! reconstructions — the batch engine's determinism guarantee survives
 //! caching.
 //!
+//! # Size bounding
+//!
+//! Every entry family is byte-accounted (via [`XorMeasurement::bytes`],
+//! [`ColumnMatrix::bytes`], and a dictionary size estimate) against a
+//! configurable budget ([`CacheConfig`], default
+//! [`DEFAULT_CACHE_BYTES`]). When a newly built entry would push the
+//! resident total past the budget, least-recently-used entries are
+//! evicted until it fits; an entry larger than the whole budget is
+//! returned to the caller but never retained, so **the resident total
+//! never exceeds the budget**. Tiled decodes make this matter: every
+//! tile geometry of every stream is a distinct key, so a long-lived
+//! shared cache would otherwise grow without bound. Eviction only
+//! discards memoized values — a later lookup rebuilds the same bytes —
+//! so warm, cold, and evicted-then-rebuilt decodes all stay
+//! bit-identical. The unbounded behavior of earlier releases remains
+//! available through the explicit [`CacheConfig::unbounded`] escape
+//! hatch.
+//!
 //! # Key disciplines
 //!
 //! Every entry family carries the full set of inputs its value depends
@@ -43,6 +61,7 @@
 //! [`BatchRunner`]: crate::batch::BatchRunner
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -52,6 +71,73 @@ use crate::strategy::StrategyKind;
 use tepics_cs::colview::ColumnMatrix;
 use tepics_cs::measurement::SelectionMeasurement;
 use tepics_cs::XorMeasurement;
+
+/// Default byte budget of a bounded cache (512 MiB).
+pub const DEFAULT_CACHE_BYTES: usize = 512 << 20;
+
+/// Fixed per-entry accounting overhead (key, slot bookkeeping, map
+/// slack) added to every entry's payload bytes.
+const ENTRY_OVERHEAD: usize = 64;
+
+/// Size policy of an [`OperatorCache`].
+///
+/// The default is a budget of [`DEFAULT_CACHE_BYTES`] with LRU
+/// eviction; [`CacheConfig::byte_budget`] tightens or widens it, and
+/// [`CacheConfig::unbounded`] is the explicit escape hatch restoring
+/// the grow-forever behavior of earlier releases.
+///
+/// # Examples
+///
+/// ```
+/// use tepics_core::cache::{CacheConfig, OperatorCache};
+///
+/// let small = OperatorCache::with_config(CacheConfig::new().byte_budget(1 << 20));
+/// assert_eq!(small.byte_budget(), Some(1 << 20));
+/// let wild = OperatorCache::with_config(CacheConfig::unbounded());
+/// assert_eq!(wild.byte_budget(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    budget: Option<usize>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            budget: Some(DEFAULT_CACHE_BYTES),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// The default policy: bounded at [`DEFAULT_CACHE_BYTES`].
+    #[must_use]
+    pub fn new() -> CacheConfig {
+        CacheConfig::default()
+    }
+
+    /// Sets the byte budget.
+    #[must_use]
+    pub fn byte_budget(mut self, bytes: usize) -> CacheConfig {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// No byte budget: entries are never evicted. Opting out of the
+    /// bound is deliberate and explicit — long-lived caches fed many
+    /// geometries (tiled workloads, multi-stream services) should keep
+    /// the default instead.
+    #[must_use]
+    pub fn unbounded() -> CacheConfig {
+        CacheConfig { budget: None }
+    }
+
+    /// The configured budget (`None` = unbounded).
+    #[must_use]
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+}
 
 /// Everything that determines a measurement operator — the cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,13 +154,17 @@ pub struct OperatorKey {
     pub k: usize,
 }
 
-/// Hit/miss counters of an [`OperatorCache`].
+/// Counters of an [`OperatorCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Operator lookups served from the cache.
     pub hits: u64,
     /// Operator lookups that had to build Φ.
     pub misses: u64,
+    /// Entries discarded to respect the byte budget (all families).
+    pub evictions: u64,
+    /// Bytes currently retained across all entry families.
+    pub resident_bytes: usize,
 }
 
 impl CacheStats {
@@ -97,55 +187,244 @@ pub(crate) struct CachedOperator {
     pub(crate) counts: Arc<Vec<f64>>,
 }
 
+type DictKey = (DictionaryKind, u16, u16);
+type NormKey = (OperatorKey, DictionaryKind, u64);
+type ColumnKey = (OperatorKey, DictionaryKind);
+
+/// A lazily initialized entry: the value builds behind its own
+/// [`OnceLock`] (outside the cache lock); `bytes` stays `0` until the
+/// builder commits the entry's accounted size, and uncommitted entries
+/// are never evicted.
+#[derive(Debug)]
+struct Slot<V> {
+    cell: Arc<OnceLock<V>>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Identifies one entry across the four families (eviction bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AnyKey {
+    Op(OperatorKey),
+    Dict(DictKey),
+    Norm(NormKey),
+    Column(ColumnKey),
+}
+
+/// Everything behind the cache lock: the four entry maps, the LRU
+/// clock, and the byte accounting.
+#[derive(Debug, Default)]
+struct Inner {
+    ops: HashMap<OperatorKey, Slot<CachedOperator>>,
+    dicts: HashMap<DictKey, Slot<Arc<DictImpl>>>,
+    norms: HashMap<NormKey, Slot<f64>>,
+    columns: HashMap<ColumnKey, Slot<Arc<ColumnMatrix>>>,
+    tick: u64,
+    resident: usize,
+    evictions: u64,
+}
+
+/// Bumps the LRU clock, touches (or creates) `key`'s slot, and returns
+/// its build cell.
+fn touch<K: Eq + Hash + Copy, V>(
+    map: &mut HashMap<K, Slot<V>>,
+    tick: &mut u64,
+    key: K,
+) -> Arc<OnceLock<V>> {
+    *tick += 1;
+    let slot = map.entry(key).or_insert_with(|| Slot {
+        cell: Arc::new(OnceLock::new()),
+        bytes: 0,
+        tick: 0,
+    });
+    slot.tick = *tick;
+    slot.cell.clone()
+}
+
+/// Records `bytes` for the entry the caller just initialized, provided
+/// its slot still holds the same cell and no racer committed first.
+/// Returns whether this call committed (and therefore whether the
+/// budget needs enforcing).
+fn commit<K: Eq + Hash + Copy, V>(
+    map: &mut HashMap<K, Slot<V>>,
+    resident: &mut usize,
+    key: K,
+    cell: &Arc<OnceLock<V>>,
+    bytes: usize,
+) -> bool {
+    match map.get_mut(&key) {
+        Some(slot) if Arc::ptr_eq(&slot.cell, cell) && slot.bytes == 0 => {
+            slot.bytes = bytes;
+            *resident += bytes;
+            true
+        }
+        _ => false,
+    }
+}
+
+impl Inner {
+    /// The committed byte size of `key`, if the entry is resident.
+    fn bytes_of(&self, key: AnyKey) -> Option<usize> {
+        let b = match key {
+            AnyKey::Op(k) => self.ops.get(&k)?.bytes,
+            AnyKey::Dict(k) => self.dicts.get(&k)?.bytes,
+            AnyKey::Norm(k) => self.norms.get(&k)?.bytes,
+            AnyKey::Column(k) => self.columns.get(&k)?.bytes,
+        };
+        (b > 0).then_some(b)
+    }
+
+    /// Removes a committed entry, releasing its bytes.
+    fn remove(&mut self, key: AnyKey) {
+        let bytes = match key {
+            AnyKey::Op(k) => self.ops.remove(&k).map(|s| s.bytes),
+            AnyKey::Dict(k) => self.dicts.remove(&k).map(|s| s.bytes),
+            AnyKey::Norm(k) => self.norms.remove(&k).map(|s| s.bytes),
+            AnyKey::Column(k) => self.columns.remove(&k).map(|s| s.bytes),
+        };
+        if let Some(bytes) = bytes {
+            self.resident -= bytes;
+            self.evictions += 1;
+        }
+    }
+
+    /// The least-recently-touched committed entry other than `protect`.
+    fn lru_victim(&self, protect: AnyKey) -> Option<AnyKey> {
+        let mut best: Option<(u64, AnyKey)> = None;
+        let mut consider = |tick: u64, bytes: usize, key: AnyKey| {
+            if bytes == 0 || key == protect {
+                return;
+            }
+            if best.is_none_or(|(t, _)| tick < t) {
+                best = Some((tick, key));
+            }
+        };
+        for (k, s) in &self.ops {
+            consider(s.tick, s.bytes, AnyKey::Op(*k));
+        }
+        for (k, s) in &self.dicts {
+            consider(s.tick, s.bytes, AnyKey::Dict(*k));
+        }
+        for (k, s) in &self.norms {
+            consider(s.tick, s.bytes, AnyKey::Norm(*k));
+        }
+        for (k, s) in &self.columns {
+            consider(s.tick, s.bytes, AnyKey::Column(*k));
+        }
+        best.map(|(_, k)| k)
+    }
+
+    /// Evicts LRU entries until the resident total fits `budget`,
+    /// protecting the just-committed entry — unless that entry alone
+    /// exceeds the budget, in which case it is dropped immediately (its
+    /// value was already handed to the caller; it is just not
+    /// retained).
+    fn enforce(&mut self, budget: usize, protect: AnyKey) {
+        if self.bytes_of(protect).is_some_and(|b| b > budget) {
+            self.remove(protect);
+            return;
+        }
+        while self.resident > budget {
+            match self.lru_victim(protect) {
+                Some(victim) => self.remove(victim),
+                // Only the protected entry remains; it fits (checked
+                // above), so the accounting says we are done.
+                None => break,
+            }
+        }
+    }
+}
+
 /// Memoizes measurement operators, dictionaries, column-materialized
 /// views, and per-solver operator-norm estimates across frames,
-/// streams, and batch items.
+/// streams, and batch items — within a configurable byte budget
+/// ([`CacheConfig`], LRU eviction; see the module docs).
 ///
 /// Cheap to share: wrap in an [`Arc`] (or use [`OperatorCache::shared`])
 /// and clone the handle into every decoder/session that should reuse
 /// the same state.
-/// The map `Mutex`es guard only the entry lookup; the expensive builds
-/// (CA replay, power iteration, column materialization) run outside
-/// them behind per-key [`OnceLock`]s, so distinct-key work in a
-/// parallel batch stays parallel while same-key racers still converge
-/// on one value.
-#[derive(Debug, Default)]
+/// The inner `Mutex` guards only entry lookup and byte accounting; the
+/// expensive builds (CA replay, power iteration, column
+/// materialization) run outside it behind per-key [`OnceLock`]s, so
+/// distinct-key work in a parallel batch stays parallel while same-key
+/// racers still converge on one value.
+#[derive(Debug)]
 pub struct OperatorCache {
-    ops: SharedMap<OperatorKey, CachedOperator>,
-    dicts: Mutex<HashMap<(DictionaryKind, u16, u16), Arc<DictImpl>>>,
-    /// Operator-norm estimates `‖ΦΨ‖` per (operator, dictionary,
-    /// power-iteration seed); the seed is the *solver's* (each solver
-    /// estimates with its own), so entries can never cross solvers.
-    /// `0.0` marks a zero operator (no override — the solver handles it).
-    norms: SharedMap<(OperatorKey, DictionaryKind, u64), f64>,
-    /// Column-materialized `Φ·Ψ` views per (operator, dictionary).
-    columns: SharedMap<(OperatorKey, DictionaryKind), Arc<ColumnMatrix>>,
+    inner: Mutex<Inner>,
+    budget: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-/// A map of lazily-initialized entries: the `Mutex` guards only the
-/// entry lookup, each value initializes behind its own [`OnceLock`].
-type SharedMap<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+impl Default for OperatorCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl OperatorCache {
-    /// An empty cache.
+    /// An empty cache with the default size policy
+    /// ([`DEFAULT_CACHE_BYTES`] budget, LRU eviction).
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(CacheConfig::default())
     }
 
-    /// An empty cache behind an [`Arc`], ready to share.
+    /// An empty cache with an explicit size policy.
+    #[must_use]
+    pub fn with_config(config: CacheConfig) -> Self {
+        OperatorCache {
+            inner: Mutex::new(Inner::default()),
+            budget: config.budget(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty default-policy cache behind an [`Arc`], ready to share.
     #[must_use]
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
     }
 
-    /// Hit/miss counters so far (operator lookups only).
+    /// An empty cache with an explicit size policy, behind an [`Arc`].
+    #[must_use]
+    pub fn shared_with(config: CacheConfig) -> Arc<Self> {
+        Arc::new(Self::with_config(config))
+    }
+
+    /// The byte budget this cache enforces (`None` = unbounded).
+    #[must_use]
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Bytes currently retained across all entry families (always at
+    /// most the budget, when one is set).
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").resident
+    }
+
+    /// Counters so far: operator hit/miss counts, evictions across all
+    /// families, and the resident byte total.
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache poisoned");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: inner.evictions,
+            resident_bytes: inner.resident,
+        }
+    }
+
+    /// Runs `commit` + budget enforcement for a just-built entry.
+    fn retain(&self, committed: bool, protect: AnyKey) {
+        if !committed {
+            return;
+        }
+        if let Some(budget) = self.budget {
+            let mut guard = self.inner.lock().expect("cache poisoned");
+            guard.enforce(budget, protect);
         }
     }
 
@@ -161,8 +440,9 @@ impl OperatorCache {
         key: &OperatorKey,
     ) -> Result<(Arc<XorMeasurement>, Arc<Vec<f64>>), CoreError> {
         let cell = {
-            let mut ops = self.ops.lock().expect("operator cache poisoned");
-            ops.entry(*key).or_default().clone()
+            let mut guard = self.inner.lock().expect("cache poisoned");
+            let inner = &mut *guard;
+            touch(&mut inner.ops, &mut inner.tick, *key)
         };
         if let Some(cached) = cell.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -184,16 +464,39 @@ impl OperatorCache {
         ));
         let counts = Arc::new(phi.selection_counts());
         let cached = cell.get_or_init(|| CachedOperator { phi, counts });
-        Ok((cached.phi.clone(), cached.counts.clone()))
+        let result = (cached.phi.clone(), cached.counts.clone());
+        let bytes = ENTRY_OVERHEAD + result.0.bytes() + result.1.len() * std::mem::size_of::<f64>();
+        let committed = {
+            let mut guard = self.inner.lock().expect("cache poisoned");
+            let inner = &mut *guard;
+            commit(&mut inner.ops, &mut inner.resident, *key, &cell, bytes)
+        };
+        self.retain(committed, AnyKey::Op(*key));
+        Ok(result)
     }
 
     /// The dictionary for `(kind, rows, cols)`, built on first use.
     pub(crate) fn dictionary(&self, kind: DictionaryKind, rows: u16, cols: u16) -> Arc<DictImpl> {
-        let mut dicts = self.dicts.lock().expect("dictionary cache poisoned");
-        dicts
-            .entry((kind, rows, cols))
-            .or_insert_with(|| Arc::new(build_dictionary(kind, rows as usize, cols as usize)))
-            .clone()
+        let key = (kind, rows, cols);
+        let cell = {
+            let mut guard = self.inner.lock().expect("cache poisoned");
+            let inner = &mut *guard;
+            touch(&mut inner.dicts, &mut inner.tick, key)
+        };
+        if let Some(dict) = cell.get() {
+            return dict.clone();
+        }
+        let dict = cell
+            .get_or_init(|| Arc::new(build_dictionary(kind, rows as usize, cols as usize)))
+            .clone();
+        let bytes = ENTRY_OVERHEAD + dict_bytes_estimate(kind, rows as usize, cols as usize);
+        let committed = {
+            let mut guard = self.inner.lock().expect("cache poisoned");
+            let inner = &mut *guard;
+            commit(&mut inner.dicts, &mut inner.resident, key, &cell, bytes)
+        };
+        self.retain(committed, AnyKey::Dict(key));
+        dict
     }
 
     /// The memoized operator-norm estimate `‖ΦΨ‖` for
@@ -210,14 +513,26 @@ impl OperatorCache {
         norm_seed: u64,
         compute: impl FnOnce() -> f64,
     ) -> Option<f64> {
+        let nkey = (*key, kind, norm_seed);
         let cell = {
-            let mut norms = self.norms.lock().expect("norm cache poisoned");
-            norms.entry((*key, kind, norm_seed)).or_default().clone()
+            let mut guard = self.inner.lock().expect("cache poisoned");
+            let inner = &mut *guard;
+            touch(&mut inner.norms, &mut inner.tick, nkey)
         };
         // The power iteration runs outside the map lock (it is the
         // expensive part); the OnceLock still guarantees one stored
         // value per key.
+        let warm = cell.get().is_some();
         let norm = *cell.get_or_init(compute);
+        if !warm {
+            let bytes = ENTRY_OVERHEAD + std::mem::size_of::<f64>();
+            let committed = {
+                let mut guard = self.inner.lock().expect("cache poisoned");
+                let inner = &mut *guard;
+                commit(&mut inner.norms, &mut inner.resident, nkey, &cell, bytes)
+            };
+            self.retain(committed, AnyKey::Norm(nkey));
+        }
         (norm > 0.0).then_some(norm)
     }
 
@@ -232,13 +547,45 @@ impl OperatorCache {
         kind: DictionaryKind,
         build: impl FnOnce() -> ColumnMatrix,
     ) -> Arc<ColumnMatrix> {
+        let ckey = (*key, kind);
         let cell = {
-            let mut columns = self.columns.lock().expect("column cache poisoned");
-            columns.entry((*key, kind)).or_default().clone()
+            let mut guard = self.inner.lock().expect("cache poisoned");
+            let inner = &mut *guard;
+            touch(&mut inner.columns, &mut inner.tick, ckey)
         };
+        if let Some(view) = cell.get() {
+            return view.clone();
+        }
         // Materialization (cols forward applies) runs outside the map
         // lock; the OnceLock keeps one view per key.
-        cell.get_or_init(|| Arc::new(build())).clone()
+        let view = cell.get_or_init(|| Arc::new(build())).clone();
+        let bytes = ENTRY_OVERHEAD + view.bytes();
+        let committed = {
+            let mut guard = self.inner.lock().expect("cache poisoned");
+            let inner = &mut *guard;
+            commit(&mut inner.columns, &mut inner.resident, ckey, &cell, bytes)
+        };
+        self.retain(committed, AnyKey::Column(ckey));
+        view
+    }
+}
+
+/// Approximate heap footprint of a built dictionary (cache
+/// accounting): the DCT's 1-D transforms fall back to an `n × n` basis
+/// matrix per axis for non-power-of-two lengths, Haar keeps O(pixels)
+/// of level scratch, identity stores nothing.
+fn dict_bytes_estimate(kind: DictionaryKind, rows: usize, cols: usize) -> usize {
+    let dct1d = |n: usize| {
+        if n.is_power_of_two() {
+            32 * n
+        } else {
+            8 * n * n
+        }
+    };
+    match kind {
+        DictionaryKind::Dct2d => dct1d(rows) + dct1d(cols),
+        DictionaryKind::Haar2d => 8 * rows * cols,
+        DictionaryKind::Identity => std::mem::size_of::<usize>(),
     }
 }
 
@@ -263,7 +610,9 @@ mod tests {
         let (phi2, counts2) = cache.operator(&key(7, 40)).unwrap();
         assert!(Arc::ptr_eq(&phi1, &phi2), "second lookup must be warm");
         assert!(Arc::ptr_eq(&counts1, &counts2));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert!(stats.resident_bytes > 0);
     }
 
     #[test]
@@ -373,5 +722,101 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let c = cache.dictionary(DictionaryKind::Dct2d, 8, 8);
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    /// The headline bound: a many-geometry workload (every key
+    /// distinct) never pushes the resident total past the budget, and
+    /// eviction actually fires.
+    #[test]
+    fn byte_budget_is_never_exceeded_under_many_geometries() {
+        let probe = OperatorCache::with_config(CacheConfig::unbounded());
+        probe.operator(&key(0, 40)).unwrap();
+        let one = probe.resident_bytes();
+        assert!(one > 0);
+
+        let budget = one * 3 + one / 2; // room for ~3 operators
+        let cache = OperatorCache::with_config(CacheConfig::new().byte_budget(budget));
+        for seed in 0..12 {
+            cache.operator(&key(seed, 40)).unwrap();
+            assert!(
+                cache.resident_bytes() <= budget,
+                "resident {} exceeds budget {budget} after seed {seed}",
+                cache.resident_bytes()
+            );
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.evictions >= 8,
+            "evictions {} too few",
+            stats.evictions
+        );
+        assert_eq!(stats.misses, 12);
+    }
+
+    /// Eviction follows recency: touching an entry protects it while
+    /// the oldest other entry is discarded.
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let probe = OperatorCache::with_config(CacheConfig::unbounded());
+        probe.operator(&key(0, 40)).unwrap();
+        let one = probe.resident_bytes();
+
+        let cache = OperatorCache::with_config(CacheConfig::new().byte_budget(one * 2 + one / 2));
+        cache.operator(&key(1, 40)).unwrap(); // A
+        cache.operator(&key(2, 40)).unwrap(); // B
+        cache.operator(&key(1, 40)).unwrap(); // touch A → B is LRU
+        cache.operator(&key(3, 40)).unwrap(); // C evicts B
+        let warm_before = cache.stats().hits;
+        cache.operator(&key(1, 40)).unwrap(); // A survived
+        assert_eq!(cache.stats().hits, warm_before + 1, "A must still be warm");
+        cache.operator(&key(2, 40)).unwrap(); // B was evicted → rebuild
+        assert_eq!(cache.stats().misses, 4, "B must have been evicted");
+    }
+
+    /// An entry larger than the whole budget is served but not
+    /// retained — the bound holds even then.
+    #[test]
+    fn oversized_entries_are_served_but_not_retained() {
+        let cache = OperatorCache::with_config(CacheConfig::new().byte_budget(64));
+        let (phi, _) = cache.operator(&key(5, 40)).unwrap();
+        assert_eq!(phi.array_rows(), 16);
+        assert_eq!(cache.resident_bytes(), 0, "oversized entry must not stay");
+        // Every repeat is a rebuild, never a budget violation.
+        cache.operator(&key(5, 40)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert!(stats.resident_bytes <= 64);
+    }
+
+    /// The explicit escape hatch: an unbounded cache never evicts.
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = OperatorCache::with_config(CacheConfig::unbounded());
+        assert_eq!(cache.byte_budget(), None);
+        for seed in 0..10 {
+            cache.operator(&key(seed, 40)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.misses, 10);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    /// Rebuilt-after-eviction values equal the originals bit for bit
+    /// (eviction only discards memoization, never changes results).
+    #[test]
+    fn evicted_entries_rebuild_identically() {
+        let probe = OperatorCache::with_config(CacheConfig::unbounded());
+        let k = key(9, 40);
+        let (cold_phi, cold_counts) = probe.operator(&k).unwrap();
+        let one = probe.resident_bytes();
+
+        let cache = OperatorCache::with_config(CacheConfig::new().byte_budget(one + one / 2));
+        cache.operator(&k).unwrap();
+        cache.operator(&key(10, 40)).unwrap(); // evicts k
+        let (again_phi, again_counts) = cache.operator(&k).unwrap();
+        assert!(cache.stats().evictions >= 1);
+        assert_eq!(*again_phi, *cold_phi);
+        assert_eq!(*again_counts, *cold_counts);
     }
 }

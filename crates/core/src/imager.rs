@@ -6,10 +6,25 @@
 //! `K = R·M·N` compressed-sample slots through the event-accurate
 //! readout (or the functional model, when configured) and packages the
 //! result as a transmittable [`CompressedFrame`].
+//!
+//! # Tiled capture
+//!
+//! Recovery cost grows super-linearly in the pixel count, so large
+//! frames are captured and decoded as independent uniform tiles:
+//! configure the builder with [`CompressiveImagerBuilder::tiling`] (and
+//! start from any [`FrameGeometry`] via
+//! [`CompressiveImager::builder_for`] — no square or power-of-two
+//! assumption). A tiled imager captures one [`CompressedFrame`] **per
+//! tile** ([`CompressiveImager::capture_tiles`], row-major tile order);
+//! the tiles share a single small measurement geometry, so one
+//! operator-cache entry serves the whole frame, and the decode side
+//! ([`DecodeSession`](crate::session::DecodeSession)) recovers them in
+//! parallel and stitches with overlap blending.
 
 use crate::error::CoreError;
 use crate::frame::{CompressedFrame, FrameHeader};
 use crate::strategy::StrategyKind;
+use tepics_imaging::tile::{FrameGeometry, TileConfig, TileLayout};
 use tepics_imaging::{ImageF64, ImageU8};
 use tepics_sensor::{CapturedFrame, EventStats, Fidelity, FrameReadout, SensorConfig};
 
@@ -37,6 +52,17 @@ pub struct CompressiveImager {
     seed: u64,
     ratio: f64,
     fidelity: Fidelity,
+    tiling: Option<TileEngine>,
+}
+
+/// The tiled-capture machinery of a tiled [`CompressiveImager`]: the
+/// resolved layout plus the per-tile imager every tile is captured
+/// with.
+#[derive(Debug, Clone)]
+struct TileEngine {
+    config: TileConfig,
+    layout: TileLayout,
+    imager: Box<CompressiveImager>,
 }
 
 impl CompressiveImager {
@@ -50,7 +76,29 @@ impl CompressiveImager {
             seed: 0x7E91C5,
             ratio: 0.35,
             fidelity: Fidelity::EventAccurate,
+            tiling: None,
         }
+    }
+
+    /// Starts a builder for a frame of the given geometry — the
+    /// geometry-first spelling of [`CompressiveImager::builder`]
+    /// (`width` maps to columns, `height` to rows; no square or
+    /// power-of-two assumption).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tepics_core::CompressiveImager;
+    /// use tepics_imaging::{FrameGeometry, TileConfig};
+    ///
+    /// let imager = CompressiveImager::builder_for(FrameGeometry::new(40, 28))
+    ///     .tiling(TileConfig::new(16).overlap(4))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(imager.tile_layout().unwrap().tiles(), 6);
+    /// ```
+    pub fn builder_for(geometry: FrameGeometry) -> CompressiveImagerBuilder {
+        CompressiveImager::builder(geometry.height(), geometry.width())
     }
 
     /// The sensor configuration in use.
@@ -73,26 +121,63 @@ impl CompressiveImager {
         self.ratio
     }
 
-    /// Number of compressed samples per frame (`⌈R·M·N⌉`).
-    pub fn sample_count(&self) -> usize {
-        ((self.ratio * self.config.pixel_count() as f64).ceil() as usize).max(1)
+    /// The full-frame geometry (`width = cols`, `height = rows`).
+    pub fn geometry(&self) -> FrameGeometry {
+        FrameGeometry::new(self.config.cols(), self.config.rows())
     }
 
-    /// The header every frame captured by this imager carries (also the
-    /// stream header of an [`EncodeSession`](crate::session::EncodeSession)
-    /// built on it).
+    /// Whether this imager captures tiled frames.
+    pub fn is_tiled(&self) -> bool {
+        self.tiling.is_some()
+    }
+
+    /// The resolved tile layout, for a tiled imager.
+    pub fn tile_layout(&self) -> Option<&TileLayout> {
+        self.tiling.as_ref().map(|t| &t.layout)
+    }
+
+    /// The tile configuration this imager was built with, for a tiled
+    /// imager.
+    pub fn tile_config(&self) -> Option<&TileConfig> {
+        self.tiling.as_ref().map(|t| &t.config)
+    }
+
+    /// The per-tile imager a tiled imager captures each tile with.
+    pub fn tile_imager(&self) -> Option<&CompressiveImager> {
+        self.tiling.as_ref().map(|t| t.imager.as_ref())
+    }
+
+    /// Number of compressed samples per captured frame record — per
+    /// **tile** for a tiled imager (`⌈R·tile_h·tile_w⌉`), per frame
+    /// otherwise.
+    pub fn sample_count(&self) -> usize {
+        match &self.tiling {
+            Some(t) => t.imager.sample_count(),
+            None => ((self.ratio * self.config.pixel_count() as f64).ceil() as usize).max(1),
+        }
+    }
+
+    /// The header every frame record captured by this imager carries
+    /// (also the stream header of an
+    /// [`EncodeSession`](crate::session::EncodeSession) built on it).
+    /// For a tiled imager this is the **tile** header — the wire format
+    /// carries the full-frame geometry in the stream's tile extension
+    /// instead.
     pub fn frame_header(&self) -> FrameHeader {
-        FrameHeader {
-            rows: self.config.rows() as u16,
-            cols: self.config.cols() as u16,
-            code_bits: self.config.counter_bits() as u8,
-            sample_bits: tepics_util::fixed::sum_bits(
-                self.config.counter_bits(),
-                self.config.rows() as u32,
-                self.config.cols() as u32,
-            ) as u8,
-            strategy: self.strategy,
-            seed: self.seed,
+        match &self.tiling {
+            Some(t) => t.imager.frame_header(),
+            None => FrameHeader {
+                rows: self.config.rows() as u16,
+                cols: self.config.cols() as u16,
+                code_bits: self.config.counter_bits() as u8,
+                sample_bits: tepics_util::fixed::sum_bits(
+                    self.config.counter_bits(),
+                    self.config.rows() as u32,
+                    self.config.cols() as u32,
+                ) as u8,
+                strategy: self.strategy,
+                seed: self.seed,
+            },
         }
     }
 
@@ -101,7 +186,9 @@ impl CompressiveImager {
     /// # Panics
     ///
     /// Panics if the scene dimensions do not match the sensor (the
-    /// builder validated everything else).
+    /// builder validated everything else), or if the imager is tiled —
+    /// a tiled capture produces one frame per tile; use
+    /// [`CompressiveImager::capture_tiles`].
     pub fn capture(&self, scene: &ImageF64) -> CompressedFrame {
         self.capture_with_stats(scene).0
     }
@@ -111,8 +198,13 @@ impl CompressiveImager {
     ///
     /// # Panics
     ///
-    /// Panics if the scene dimensions do not match the sensor.
+    /// Panics if the scene dimensions do not match the sensor, or if
+    /// the imager is tiled (see [`CompressiveImager::capture`]).
     pub fn capture_with_stats(&self, scene: &ImageF64) -> (CompressedFrame, EventStats) {
+        assert!(
+            !self.is_tiled(),
+            "tiled imagers capture one frame per tile; use capture_tiles"
+        );
         let readout = FrameReadout::new(self.config.clone(), self.fidelity);
         let mut source = self
             .strategy
@@ -127,6 +219,42 @@ impl CompressiveImager {
             },
             captured.stats,
         )
+    }
+
+    /// Captures a scene as a sequence of frame records: one per tile
+    /// (row-major tile order) for a tiled imager, a single frame
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene dimensions do not match the frame geometry.
+    pub fn capture_tiles(&self, scene: &ImageF64) -> Vec<CompressedFrame> {
+        self.capture_tiles_with_stats(scene).0
+    }
+
+    /// Like [`CompressiveImager::capture_tiles`], also returning the
+    /// event statistics of all tile captures merged into one
+    /// ([`EventStats::merge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene dimensions do not match the frame geometry.
+    pub fn capture_tiles_with_stats(&self, scene: &ImageF64) -> (Vec<CompressedFrame>, EventStats) {
+        let Some(engine) = &self.tiling else {
+            let (frame, stats) = self.capture_with_stats(scene);
+            return (vec![frame], stats);
+        };
+        let layout = &engine.layout;
+        let tiles = tepics_imaging::tile::split_tiles(scene, layout);
+        let mut frames = Vec::with_capacity(tiles.len());
+        let mut stats = EventStats::default();
+        for tile in tiles {
+            let tile_img = ImageF64::from_vec(layout.tile_width(), layout.tile_height(), tile);
+            let (frame, tile_stats) = engine.imager.capture_with_stats(&tile_img);
+            stats.merge(&tile_stats);
+            frames.push(frame);
+        }
+        (frames, stats)
     }
 
     /// The ideal (noise/arbitration-free) code image the decoder aims to
@@ -150,13 +278,25 @@ pub struct CompressiveImagerBuilder {
     seed: u64,
     ratio: f64,
     fidelity: Fidelity,
+    tiling: Option<TileConfig>,
 }
 
 impl CompressiveImagerBuilder {
     /// Uses an explicit sensor configuration (must match the builder's
-    /// dimensions).
+    /// dimensions; incompatible with [`CompressiveImagerBuilder::tiling`],
+    /// whose per-tile sensors are derived).
     pub fn sensor_config(&mut self, config: SensorConfig) -> &mut Self {
         self.config = Some(config);
+        self
+    }
+
+    /// Captures the frame as overlapping uniform tiles instead of one
+    /// monolithic measurement (see the module docs). The strategy,
+    /// seed, ratio and fidelity settings apply to each tile; when no
+    /// strategy is set explicitly, the default is chosen for the
+    /// **tile** geometry.
+    pub fn tiling(&mut self, config: TileConfig) -> &mut Self {
+        self.tiling = Some(config);
         self
     }
 
@@ -191,8 +331,9 @@ impl CompressiveImagerBuilder {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] on a bad ratio, mismatched
-    /// sensor dimensions, an invalid strategy, or arrays too large for
-    /// the 16-bit header fields.
+    /// sensor dimensions, an invalid strategy or tile configuration,
+    /// arrays too large for the 16-bit header fields, or an explicit
+    /// sensor config combined with tiling.
     pub fn build(&self) -> Result<CompressiveImager, CoreError> {
         if !(self.ratio > 0.0 && self.ratio <= 1.0) {
             return Err(CoreError::InvalidConfig(format!(
@@ -222,6 +363,48 @@ impl CompressiveImagerBuilder {
                 .build()
                 .map_err(|e| CoreError::InvalidConfig(e.to_string()))?,
         };
+        if let Some(tile_config) = self.tiling {
+            if self.config.is_some() {
+                return Err(CoreError::InvalidConfig(
+                    "explicit sensor configs describe the full frame; tiled imagers derive \
+                     per-tile sensors"
+                        .into(),
+                ));
+            }
+            if self.rows == 0 || self.cols == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "frame dimensions must be positive".into(),
+                ));
+            }
+            let frame = FrameGeometry::new(self.cols, self.rows);
+            let layout = TileLayout::new(frame, &tile_config)
+                .map_err(|e| CoreError::InvalidConfig(e.to_string()))?;
+            // Every tile is captured with its own small imager; the
+            // defaulted strategy therefore follows the tile geometry,
+            // not the frame's.
+            let mut tile_builder =
+                CompressiveImager::builder(layout.tile_height(), layout.tile_width());
+            if let Some(strategy) = self.strategy {
+                tile_builder.strategy(strategy);
+            }
+            let tile_imager = tile_builder
+                .seed(self.seed)
+                .ratio(self.ratio)
+                .fidelity(self.fidelity)
+                .build()?;
+            return Ok(CompressiveImager {
+                config,
+                strategy: tile_imager.strategy(),
+                seed: self.seed,
+                ratio: self.ratio,
+                fidelity: self.fidelity,
+                tiling: Some(TileEngine {
+                    config: tile_config,
+                    layout,
+                    imager: Box::new(tile_imager),
+                }),
+            });
+        }
         let strategy = self
             .strategy
             .unwrap_or_else(|| StrategyKind::default_for(self.rows, self.cols));
@@ -233,6 +416,7 @@ impl CompressiveImagerBuilder {
             seed: self.seed,
             ratio: self.ratio,
             fidelity: self.fidelity,
+            tiling: None,
         })
     }
 }
@@ -315,6 +499,94 @@ mod tests {
         let cfg = SensorConfig::builder(8, 8).build().unwrap();
         let err = CompressiveImager::builder(16, 16)
             .sensor_config(cfg)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn tiled_builder_resolves_layout_and_tile_imager() {
+        let imager = CompressiveImager::builder_for(FrameGeometry::new(40, 28))
+            .tiling(TileConfig::new(16).overlap(4))
+            .ratio(0.3)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert!(imager.is_tiled());
+        let layout = imager.tile_layout().unwrap();
+        assert_eq!((layout.tiles_x(), layout.tiles_y()), (3, 2));
+        assert_eq!(imager.geometry(), FrameGeometry::new(40, 28));
+        // The stream header describes one tile.
+        let h = imager.frame_header();
+        assert_eq!((h.rows, h.cols), (16, 16));
+        assert_eq!(h.seed, 9);
+        // Sample count is per tile.
+        assert_eq!(imager.sample_count(), (0.3f64 * 256.0).ceil() as usize);
+        // The per-tile imager agrees with the outer settings.
+        let tile = imager.tile_imager().unwrap();
+        assert_eq!(tile.seed(), 9);
+        assert_eq!(tile.ratio(), 0.3);
+        assert!(!tile.is_tiled());
+    }
+
+    #[test]
+    fn tiled_capture_produces_one_frame_per_tile() {
+        let imager = CompressiveImager::builder_for(FrameGeometry::new(40, 28))
+            .tiling(TileConfig::new(16).overlap(4))
+            .ratio(0.2)
+            .build()
+            .unwrap();
+        let scene = Scene::gaussian_blobs(3).render(40, 28, 7);
+        let (frames, stats) = imager.capture_tiles_with_stats(&scene);
+        assert_eq!(frames.len(), 6);
+        for f in &frames {
+            assert_eq!(f.header, imager.frame_header());
+            assert_eq!(f.sample_count(), imager.sample_count());
+        }
+        assert!(stats.total_pulses > 0, "merged stats must accumulate");
+        // Tiles are captured independently: tile 0 of the full capture
+        // equals a standalone capture of the same region.
+        let layout = imager.tile_layout().unwrap().clone();
+        let tiles = tepics_imaging::tile::split_tiles(&scene, &layout);
+        let tile0 = ImageF64::from_vec(16, 16, tiles[0].clone());
+        let standalone = imager.tile_imager().unwrap().capture(&tile0);
+        assert_eq!(frames[0], standalone);
+    }
+
+    #[test]
+    fn untiled_capture_tiles_is_a_single_frame() {
+        let imager = CompressiveImager::builder(16, 16)
+            .ratio(0.2)
+            .build()
+            .unwrap();
+        let scene = Scene::gaussian_blobs(2).render(16, 16, 5);
+        let frames = imager.capture_tiles(&scene);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0], imager.capture(&scene));
+    }
+
+    #[test]
+    #[should_panic(expected = "capture_tiles")]
+    fn plain_capture_panics_for_tiled_imagers() {
+        let imager = CompressiveImager::builder_for(FrameGeometry::new(32, 32))
+            .tiling(TileConfig::new(16))
+            .build()
+            .unwrap();
+        let scene = Scene::Uniform(0.5).render(32, 32, 0);
+        let _ = imager.capture(&scene);
+    }
+
+    #[test]
+    fn tiling_rejects_explicit_sensor_config_and_bad_tiles() {
+        let cfg = SensorConfig::builder(32, 32).build().unwrap();
+        let err = CompressiveImager::builder(32, 32)
+            .sensor_config(cfg)
+            .tiling(TileConfig::new(16))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+        let err = CompressiveImager::builder(32, 32)
+            .tiling(TileConfig::new(8).overlap(8))
             .build()
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig(_)));

@@ -22,7 +22,12 @@
 //! * [`session`] — the stream-oriented public API: [`EncodeSession`]
 //!   captures scene sequences into one contiguous wire stream,
 //!   [`DecodeSession`] consumes bytes incrementally and reconstructs
-//!   through a shared operator cache.
+//!   through a shared operator cache — including tiled streams, which
+//!   are stitched back into full frames ([`FrameGeometry`] +
+//!   [`TileConfig`] on the imager builder).
+//!
+//! [`FrameGeometry`]: tepics_imaging::tile::FrameGeometry
+//! [`TileConfig`]: tepics_imaging::tile::TileConfig
 //! * [`stream`] — the versioned stream container those sessions speak:
 //!   stream header once, 5-byte per-frame records after.
 //! * [`cache`] — the [`OperatorCache`] memoizing Φ, dictionaries, and
@@ -86,7 +91,7 @@ pub mod stream;
 
 pub use baseline::BlockCs;
 pub use batch::{BatchOutcome, BatchRunner, BatchSummary};
-pub use cache::{CacheStats, OperatorCache, OperatorKey};
+pub use cache::{CacheConfig, CacheStats, OperatorCache, OperatorKey, DEFAULT_CACHE_BYTES};
 pub use decoder::{Decoder, DictionaryKind, Reconstruction};
 pub use error::CoreError;
 pub use frame::{CompressedFrame, FrameHeader};
@@ -99,7 +104,7 @@ pub use strategy::StrategyKind;
 pub mod prelude {
     pub use crate::baseline::BlockCs;
     pub use crate::batch::{BatchOutcome, BatchRunner, BatchSummary};
-    pub use crate::cache::{CacheStats, OperatorCache};
+    pub use crate::cache::{CacheConfig, CacheStats, OperatorCache};
     pub use crate::decoder::{Decoder, DictionaryKind, Reconstruction};
     pub use crate::frame::CompressedFrame;
     pub use crate::imager::CompressiveImager;
@@ -107,6 +112,7 @@ pub mod prelude {
     pub use crate::session::{DecodeSession, DecodedFrame, EncodeSession};
     pub use crate::solver::{RecoveryParams, SolverKind};
     pub use crate::strategy::StrategyKind;
+    pub use tepics_imaging::tile::{BlendMode, FrameGeometry, TileConfig, TileLayout};
     pub use tepics_imaging::{mae, mse, psnr, ssim, ImageF64, ImageU8, Scene};
     pub use tepics_sensor::{Fidelity, SensorConfig};
 }

@@ -10,10 +10,10 @@ use std::sync::Arc;
 use crate::cache::OperatorCache;
 use crate::decoder::Decoder;
 use crate::error::CoreError;
+use crate::frame::CompressedFrame;
 use crate::imager::CompressiveImager;
 use crate::params;
-use crate::session::DecodeSession;
-use crate::stream::StreamWriter;
+use crate::session::{DecodeSession, EncodeSession};
 use tepics_imaging::{psnr, ssim, ImageF64, Scene};
 use tepics_sensor::EventStats;
 
@@ -70,12 +70,15 @@ pub fn evaluate(
 /// measurement operator, dictionary, and FISTA step size across calls.
 /// Warm results are bit-identical to cold ones.
 ///
-/// The capture is transported through the stream container
-/// ([`StreamWriter`] → [`DecodeSession::push_bytes`]), so every
-/// evaluation also exercises the session wire path end to end.
-/// `wire_bits` is reported for the single-frame codec (header +
-/// payload), keeping the wire accounting of every experiment
-/// comparable across batch shapes.
+/// The capture is transported through the session layer
+/// ([`EncodeSession`] → [`DecodeSession::push_bytes`]), so every
+/// evaluation also exercises the wire path end to end — including the
+/// tiled path: a tiled imager captures one record per tile, and the
+/// report scores the stitched full-frame reconstruction against the
+/// full-frame ideal codes. `wire_bits` is reported for the single-frame
+/// codec (header + payload, summed over tile records), keeping the wire
+/// accounting of every experiment comparable across batch shapes, and
+/// `ratio`/`raw_bits` are always *full-frame* quantities.
 ///
 /// # Errors
 ///
@@ -90,28 +93,30 @@ pub fn evaluate_with_cache(
     configure: impl FnOnce(&mut Decoder),
     scene: &ImageF64,
 ) -> Result<PipelineReport, CoreError> {
-    let (frame, event_stats) = imager.capture_with_stats(scene);
     // Always exercise the wire codec: transmit and re-parse.
-    let mut writer = StreamWriter::new(frame.header)?;
-    writer.push_frame(&frame)?;
+    let mut enc = EncodeSession::new(imager.clone())?;
+    let (frames, event_stats) = enc.capture_with_stats(scene)?;
+    let header = *enc.header();
     let mut session = DecodeSession::with_cache(cache.clone());
-    configure(session.prime(&frame.header)?);
-    let decoded = session.push_bytes(&writer.into_bytes())?;
+    configure(session.prime(&header)?);
+    let decoded = session.push_bytes(&enc.to_bytes())?;
     let recon = &decoded
         .last()
         .ok_or_else(|| CoreError::MalformedFrame("stream yielded no frame".into()))?
         .reconstruction;
     let truth = imager.ideal_codes(scene).to_code_f64();
-    let code_max = (1u32 << frame.header.code_bits) - 1;
+    let code_max = (1u32 << header.code_bits) - 1;
+    let geometry = imager.geometry();
+    let samples: usize = frames.iter().map(|f| f.samples.len()).sum();
     Ok(PipelineReport {
-        ratio: frame.ratio(),
+        ratio: samples as f64 / geometry.pixels() as f64,
         psnr_code_db: psnr(&truth, recon.code_image(), code_max as f64),
         ssim_code: ssim(&truth, recon.code_image(), code_max as f64),
-        wire_bits: frame.wire_bits(),
+        wire_bits: frames.iter().map(CompressedFrame::wire_bits).sum(),
         raw_bits: params::raw_bits(
-            frame.header.rows as u32,
-            frame.header.cols as u32,
-            frame.header.code_bits as u32,
+            geometry.height() as u32,
+            geometry.width() as u32,
+            header.code_bits as u32,
         ),
         iterations: recon.stats().iterations,
         event_stats,
@@ -153,7 +158,10 @@ pub fn evaluate_suite(
 /// # Errors
 ///
 /// Propagates decoder errors; checkpoints larger than the frame are
-/// clamped to the full sample count.
+/// clamped to the full sample count. Returns
+/// [`CoreError::InvalidConfig`] for tiled imagers — a prefix of a tiled
+/// stream truncates whole tiles, not samples, so the progressive curve
+/// has no meaning there.
 ///
 /// # Panics
 ///
@@ -165,6 +173,13 @@ pub fn progressive_psnr(
     checkpoints: &[usize],
 ) -> Result<Vec<(usize, f64)>, CoreError> {
     assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    if imager.is_tiled() {
+        return Err(CoreError::InvalidConfig(
+            "progressive reconstruction is sample-prefix based; tiled captures have no \
+             single sample stream"
+                .into(),
+        ));
+    }
     let frame = imager.capture(scene);
     let truth = imager.ideal_codes(scene).to_code_f64();
     let code_max = ((1u32 << frame.header.code_bits) - 1) as f64;
@@ -238,6 +253,31 @@ mod tests {
             curve.last().unwrap().1 > curve[0].1 + 3.0,
             "no progressive gain: {curve:?}"
         );
+    }
+
+    #[test]
+    fn tiled_imagers_evaluate_with_full_frame_accounting() {
+        use tepics_imaging::tile::{FrameGeometry, TileConfig};
+        let im = CompressiveImager::builder_for(FrameGeometry::new(40, 28))
+            .tiling(TileConfig::new(16).overlap(4))
+            .ratio(0.35)
+            .fidelity(Fidelity::Functional)
+            .build()
+            .unwrap();
+        let scene = Scene::gaussian_blobs(3).render(40, 28, 6);
+        let report = evaluate(&im, |_| {}, &scene).unwrap();
+        // Full-frame raw accounting (40·28 px at 8-bit codes).
+        assert_eq!(report.raw_bits, 40 * 28 * 8);
+        // Six tiles at ⌈0.35·256⌉ samples each.
+        assert!((report.ratio - (6.0 * 90.0) / 1120.0).abs() < 1e-9);
+        assert!(report.psnr_code_db > 18.0, "{:.1} dB", report.psnr_code_db);
+        assert!(report.wire_bits > 0);
+        assert!(report.event_stats.total_pulses > 0);
+        // Progressive curves are sample-prefix based and refuse tiling.
+        assert!(matches!(
+            progressive_psnr(&im, &scene, &[10, 20]),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

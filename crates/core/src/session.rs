@@ -20,6 +20,19 @@
 //! | `CompressedFrame::from_bytes` + `Decoder`  | `dec.push_bytes(&bytes)`              |
 //! | `SequenceDecoder::push` (removed)          | `dec.delta_mode(..)` + `push_bytes`   |
 //!
+//! # Tiled streams
+//!
+//! When the imager is tiled (built with
+//! [`CompressiveImagerBuilder::tiling`](crate::imager::CompressiveImagerBuilder::tiling)),
+//! the session writes a version-2 stream whose header carries the tile
+//! layout; each captured scene contributes one record per tile. The
+//! decode side detects the layout from the wire, buffers each complete
+//! tile group, recovers the tiles independently — in parallel across
+//! [`DecodeSession::threads`] workers — and stitches them with overlap
+//! blending into one full-frame [`Reconstruction`]. Stitching order is
+//! deterministic, so decoded frames are bit-identical at every thread
+//! count.
+//!
 //! # Examples
 //!
 //! ```
@@ -56,9 +69,11 @@ use crate::solver::{RecoveryParams, SolverKind};
 use crate::stream::{StreamParser, StreamWriter};
 use tepics_cs::dictionary::IdentityDictionary;
 use tepics_cs::ComposedOperator;
+use tepics_imaging::tile::{merge_tiles, TileLayout};
 use tepics_imaging::ImageF64;
-use tepics_recovery::{Iht, SolverWorkspace};
+use tepics_recovery::{Iht, SolveStats, SolverWorkspace};
 use tepics_sensor::EventStats;
+use tepics_util::parallel::par_map;
 
 /// Capture-side session: scenes in, one contiguous wire stream out.
 #[derive(Debug, Clone)]
@@ -69,7 +84,8 @@ pub struct EncodeSession {
 
 impl EncodeSession {
     /// Opens an encode session around `imager`; the stream header is
-    /// written immediately.
+    /// written immediately. A tiled imager opens a version-2 (tiled)
+    /// stream whose header carries the tile layout.
     ///
     /// # Errors
     ///
@@ -77,7 +93,10 @@ impl EncodeSession {
     /// cannot be represented by the container (e.g. samples wider than
     /// 32 bits).
     pub fn new(imager: CompressiveImager) -> Result<EncodeSession, CoreError> {
-        let writer = StreamWriter::new(imager.frame_header())?;
+        let writer = match imager.tile_layout() {
+            Some(layout) => StreamWriter::new_tiled(imager.frame_header(), layout)?,
+            None => StreamWriter::new(imager.frame_header())?,
+        };
         Ok(EncodeSession { imager, writer })
     }
 
@@ -86,13 +105,21 @@ impl EncodeSession {
         &self.imager
     }
 
-    /// The stream header (shared by every frame of the session).
+    /// The stream header (shared by every frame record of the session;
+    /// the **tile** header for a tiled imager).
     pub fn header(&self) -> &FrameHeader {
         self.writer.header()
     }
 
+    /// The tile layout of a tiled session's stream, `None` otherwise.
+    pub fn tile_layout(&self) -> Option<&TileLayout> {
+        self.writer.tile_layout()
+    }
+
     /// Captures a scene and appends it to the stream; the captured
-    /// frame is returned for local inspection.
+    /// frame records are returned for local inspection — one per tile
+    /// for a tiled imager (row-major tile order), a single record
+    /// otherwise.
     ///
     /// # Errors
     ///
@@ -101,13 +128,14 @@ impl EncodeSession {
     ///
     /// # Panics
     ///
-    /// Panics if the scene dimensions do not match the sensor.
-    pub fn capture(&mut self, scene: &ImageF64) -> Result<CompressedFrame, CoreError> {
-        self.capture_with_stats(scene).map(|(frame, _)| frame)
+    /// Panics if the scene dimensions do not match the frame geometry.
+    pub fn capture(&mut self, scene: &ImageF64) -> Result<Vec<CompressedFrame>, CoreError> {
+        self.capture_with_stats(scene).map(|(frames, _)| frames)
     }
 
     /// Like [`EncodeSession::capture`], also returning the event-level
-    /// statistics of the capture.
+    /// statistics of the capture (merged across tiles for a tiled
+    /// imager).
     ///
     /// # Errors
     ///
@@ -115,17 +143,21 @@ impl EncodeSession {
     ///
     /// # Panics
     ///
-    /// Panics if the scene dimensions do not match the sensor.
+    /// Panics if the scene dimensions do not match the frame geometry.
     pub fn capture_with_stats(
         &mut self,
         scene: &ImageF64,
-    ) -> Result<(CompressedFrame, EventStats), CoreError> {
-        let (frame, stats) = self.imager.capture_with_stats(scene);
-        self.writer.push_frame(&frame)?;
-        Ok((frame, stats))
+    ) -> Result<(Vec<CompressedFrame>, EventStats), CoreError> {
+        let (frames, stats) = self.imager.capture_tiles_with_stats(scene);
+        for frame in &frames {
+            self.writer.push_frame(frame)?;
+        }
+        Ok((frames, stats))
     }
 
-    /// Appends a pre-captured frame (it must match the stream header).
+    /// Appends a pre-captured frame record (it must match the stream
+    /// header; for a tiled stream the caller is responsible for pushing
+    /// complete row-major tile groups).
     ///
     /// # Errors
     ///
@@ -134,8 +166,19 @@ impl EncodeSession {
         self.writer.push_frame(frame)
     }
 
-    /// Number of frames captured into the stream so far.
+    /// Number of scenes captured into the stream so far (each scene is
+    /// one record untiled, `layout.tiles()` records tiled).
     pub fn frames(&self) -> usize {
+        let per_frame = self
+            .writer
+            .tile_layout()
+            .map_or(1, tepics_imaging::tile::TileLayout::tiles);
+        self.writer.frames() / per_frame
+    }
+
+    /// Number of frame records written to the stream so far (equals
+    /// [`EncodeSession::frames`] for untiled sessions).
+    pub fn records(&self) -> usize {
         self.writer.frames()
     }
 
@@ -206,6 +249,11 @@ pub struct DecodeSession {
     last_mean: f64,
     frames_since_key: usize,
     decoded: usize,
+    /// Worker threads for tiled decodes (0 and 1 both mean inline).
+    threads: usize,
+    /// Tile records of the frame currently being assembled (tiled
+    /// streams buffer `layout.tiles()` records before decoding).
+    pending: Vec<CompressedFrame>,
     /// Reused solver buffers: one allocation for the whole stream.
     workspace: SolverWorkspace,
 }
@@ -255,6 +303,22 @@ impl DecodeSession {
     /// key frames.
     pub fn params(&mut self, params: RecoveryParams) -> &mut Self {
         self.algorithm(params.solver).dictionary(params.dictionary)
+    }
+
+    /// Sets the worker-thread count for tiled decodes (default inline).
+    /// Tiles of one frame are recovered concurrently and stitched in a
+    /// deterministic order, so the result is **bit-identical for every
+    /// thread count**; untiled decodes are unaffected.
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The tile layout of the stream being decoded, once a tiled
+    /// (version-2) header has been parsed; `None` for version-1
+    /// streams.
+    pub fn tile_layout(&self) -> Option<&TileLayout> {
+        self.parser.tile_layout()
     }
 
     /// Switches the session to sequence (delta) decoding: the first
@@ -323,13 +387,32 @@ impl DecodeSession {
         self.parser.push_bytes(bytes);
         let mut out = Vec::new();
         while let Some(frame) = self.parser.next_frame()? {
-            out.push(self.decode(&frame)?);
+            match self.parser.tile_layout().cloned() {
+                Some(layout) => {
+                    if self.delta.is_some() {
+                        return Err(CoreError::InvalidConfig(
+                            "delta mode is not supported for tiled streams (tiles are \
+                             recovered independently)"
+                                .into(),
+                        ));
+                    }
+                    self.pending.push(frame);
+                    if self.pending.len() == layout.tiles() {
+                        let tiles = std::mem::take(&mut self.pending);
+                        out.push(self.decode_tiled(&tiles, &layout)?);
+                    }
+                }
+                None => out.push(self.decode(&frame)?),
+            }
         }
         Ok(out)
     }
 
     /// Decodes one frame directly, bypassing the stream container (for
-    /// callers that already hold parsed [`CompressedFrame`]s).
+    /// callers that already hold parsed [`CompressedFrame`]s). The
+    /// frame is decoded as an untiled capture — tiled decoding needs
+    /// the stream's tile layout, which only
+    /// [`DecodeSession::push_bytes`] sees.
     ///
     /// # Errors
     ///
@@ -337,6 +420,60 @@ impl DecodeSession {
     /// the session, plus any recovery error.
     pub fn push_frame(&mut self, frame: &CompressedFrame) -> Result<DecodedFrame, CoreError> {
         self.decode(frame)
+    }
+
+    /// Decodes one complete tiled frame: every tile recovered
+    /// independently (in parallel across
+    /// [`threads`](DecodeSession::threads) workers), then stitched with
+    /// the layout's overlap blending. Recovery order never affects the
+    /// result — tiles are solved from independent records and merged in
+    /// deterministic row-major order — so the stitched frame is
+    /// bit-identical for every thread count.
+    fn decode_tiled(
+        &mut self,
+        tiles: &[CompressedFrame],
+        layout: &TileLayout,
+    ) -> Result<DecodedFrame, CoreError> {
+        self.prime(&tiles[0].header)?;
+        let decoder = self.decoder.as_ref().expect("primed above");
+        let recons: Vec<Result<Reconstruction, CoreError>> = if self.threads <= 1 {
+            // Inline: reuse the session workspace across tiles (the
+            // workspace never changes results, only allocations).
+            let workspace = &mut self.workspace;
+            tiles
+                .iter()
+                .map(|frame| decoder.reconstruct_with(frame, workspace))
+                .collect()
+        } else {
+            par_map(self.threads, tiles, |_, frame| {
+                let mut workspace = SolverWorkspace::default();
+                decoder.reconstruct_with(frame, &mut workspace)
+            })
+        };
+        let mut code_tiles = Vec::with_capacity(recons.len());
+        let mut stats = SolveStats {
+            iterations: 0,
+            residual_norm: 0.0,
+            converged: true,
+        };
+        for recon in recons {
+            let recon = recon?;
+            stats.iterations += recon.stats().iterations;
+            // Tiles solve disjoint systems; their concatenated residual
+            // has the root-sum-square norm.
+            stats.residual_norm = stats.residual_norm.hypot(recon.stats().residual_norm);
+            stats.converged &= recon.stats().converged;
+            code_tiles.push(recon.code_image().as_slice().to_vec());
+        }
+        let stitched = merge_tiles(&code_tiles, layout);
+        let mean_code = stitched.mean();
+        let index = self.decoded;
+        self.decoded += 1;
+        Ok(DecodedFrame {
+            index,
+            is_key: true,
+            reconstruction: Reconstruction::from_parts(stitched, mean_code, stats),
+        })
     }
 
     fn decode(&mut self, frame: &CompressedFrame) -> Result<DecodedFrame, CoreError> {
@@ -568,6 +705,121 @@ mod tests {
             let db = psnr(truth, d.reconstruction.code_image(), 255.0);
             assert!(db > 22.0, "frame {}: {db:.1} dB", d.index);
         }
+    }
+
+    fn tiled_imager(seed: u64) -> CompressiveImager {
+        use tepics_imaging::tile::{FrameGeometry, TileConfig};
+        CompressiveImager::builder_for(FrameGeometry::new(40, 28))
+            .tiling(TileConfig::new(16).overlap(4))
+            .ratio(0.35)
+            .seed(seed)
+            .fidelity(Fidelity::Functional)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tiled_session_roundtrips_stitched_frames() {
+        let im = tiled_imager(21);
+        let layout = im.tile_layout().unwrap().clone();
+        let mut enc = EncodeSession::new(im).unwrap();
+        let scenes: Vec<ImageF64> = (0..2)
+            .map(|i| Scene::gaussian_blobs(3).render(40, 28, i))
+            .collect();
+        for scene in &scenes {
+            let records = enc.capture(scene).unwrap();
+            assert_eq!(records.len(), layout.tiles());
+        }
+        assert_eq!(enc.frames(), 2);
+        assert_eq!(enc.records(), 2 * layout.tiles());
+
+        let mut dec = DecodeSession::new();
+        let decoded = dec.push_bytes(&enc.to_bytes()).unwrap();
+        assert_eq!(decoded.len(), 2, "six records stitch into one frame each");
+        assert_eq!(dec.tile_layout(), Some(&layout));
+        for d in &decoded {
+            let img = d.reconstruction.code_image();
+            assert_eq!((img.width(), img.height()), (40, 28));
+            assert!(d.is_key);
+        }
+        // One operator serves every tile of every frame.
+        let stats = dec.cache().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2 * layout.tiles() as u64 - 1);
+    }
+
+    #[test]
+    fn tiled_decode_is_bit_identical_across_thread_counts() {
+        let im = tiled_imager(0xA11CE);
+        let mut enc = EncodeSession::new(im).unwrap();
+        enc.capture(&Scene::natural_like().render(40, 28, 3))
+            .unwrap();
+        let bytes = enc.into_bytes();
+
+        let mut baseline = DecodeSession::new();
+        let serial = baseline.push_bytes(&bytes).unwrap();
+        for threads in [2, 4, 7] {
+            let mut dec = DecodeSession::new();
+            dec.threads(threads);
+            let parallel = dec.push_bytes(&bytes).unwrap();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tiled_decode_quality_tracks_the_scene() {
+        let im = tiled_imager(77);
+        let scene = Scene::gaussian_blobs(3).render(40, 28, 11);
+        let ideal = {
+            // Ideal codes of the full frame, from an untiled imager with
+            // the same sensor settings.
+            let full = CompressiveImager::builder(28, 40)
+                .ratio(0.35)
+                .fidelity(Fidelity::Functional)
+                .build()
+                .unwrap();
+            full.ideal_codes(&scene).to_code_f64()
+        };
+        let mut enc = EncodeSession::new(im).unwrap();
+        enc.capture(&scene).unwrap();
+        let mut dec = DecodeSession::new();
+        let decoded = dec.push_bytes(&enc.to_bytes()).unwrap();
+        let db = psnr(&ideal, decoded[0].reconstruction.code_image(), 255.0);
+        assert!(db > 20.0, "stitched decode too poor: {db:.1} dB");
+    }
+
+    #[test]
+    fn delta_mode_conflicts_with_tiled_streams() {
+        let im = tiled_imager(5);
+        let mut enc = EncodeSession::new(im).unwrap();
+        enc.capture(&Scene::Uniform(0.4).render(40, 28, 0)).unwrap();
+        let mut dec = DecodeSession::new();
+        dec.delta_mode(10, 0);
+        assert!(matches!(
+            dec.push_bytes(&enc.to_bytes()),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn partial_tile_groups_wait_for_the_rest() {
+        let im = tiled_imager(8);
+        let layout = im.tile_layout().unwrap().clone();
+        let mut enc = EncodeSession::new(im).unwrap();
+        enc.capture(&Scene::gaussian_blobs(2).render(40, 28, 1))
+            .unwrap();
+        let bytes = enc.into_bytes();
+        let mut dec = DecodeSession::new();
+        // Feed everything except the last record's final byte: no frame
+        // may surface yet.
+        let out = dec.push_bytes(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(out.is_empty(), "incomplete tile group must not decode");
+        let out = dec.push_bytes(&bytes[bytes.len() - 1..]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            dec.tile_layout().map(TileLayout::tiles),
+            Some(layout.tiles())
+        );
     }
 
     #[test]

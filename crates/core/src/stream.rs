@@ -22,6 +22,26 @@
 //! length. Frames in one stream share a header but may differ in sample
 //! count (prefix truncation, adaptive budgets).
 //!
+//! # Tiled streams (version 2)
+//!
+//! A version-2 stream carries a *tiled* capture: the base header's
+//! `rows × cols` describe one **tile** (so every frame record parses
+//! exactly as in version 1), and a 7-byte extension carries the full
+//! frame geometry and stitching parameters:
+//!
+//! ```text
+//! ┌──────────────────────────┬───────────────────────────┬──────────
+//! │ base header (23 B)       │ tile extension (7 B)      │ records …
+//! │ version = 2              │ frame_w · frame_h (u16 LE)│ (one per
+//! │ rows·cols = TILE geometry│ overlap (u16 LE)          │  tile)
+//! │                          │ blend (u8)                │
+//! └──────────────────────────┴───────────────────────────┴──────────
+//! ```
+//!
+//! Records arrive in row-major tile order, `layout.tiles()` records per
+//! captured frame. Version-1 streams parse unchanged
+//! ([`StreamParser::tile_layout`] is simply `None` for them).
+//!
 //! [`StreamWriter`] builds a stream incrementally; [`StreamParser`]
 //! consumes one from arbitrary byte chunks (network reads need not align
 //! with record boundaries). Both are the substrate of the session API
@@ -31,13 +51,19 @@
 use crate::error::CoreError;
 use crate::frame::{BitReader, BitWriter, CompressedFrame, FrameHeader};
 use crate::strategy::StrategyKind;
+use tepics_imaging::tile::{BlendMode, FrameGeometry, TileLayout};
 
 /// Magic bytes opening every stream.
 pub const STREAM_MAGIC: [u8; 4] = *b"TEPS";
-/// Container version this codec writes and accepts.
+/// Container version of untiled streams.
 pub const STREAM_VERSION: u8 = 1;
+/// Container version of tiled streams (base header + tile extension).
+pub const STREAM_VERSION_TILED: u8 = 2;
 /// Serialized size of the stream header.
 pub const STREAM_HEADER_BYTES: usize = 23;
+/// Serialized size of a tiled (version-2) stream header: the base
+/// header plus the 7-byte tile extension.
+pub const TILED_HEADER_BYTES: usize = STREAM_HEADER_BYTES + 7;
 /// Serialized overhead of each frame record before its payload.
 pub const FRAME_RECORD_BYTES: usize = 5;
 
@@ -57,6 +83,25 @@ fn validate_header(h: &FrameHeader) -> Result<(), CoreError> {
         )));
     }
     Ok(())
+}
+
+/// Blend-mode wire encoding (byte 29 of a tiled header).
+fn blend_to_wire(blend: BlendMode) -> u8 {
+    match blend {
+        BlendMode::Average => 0,
+        BlendMode::Feather => 1,
+    }
+}
+
+/// Decodes a blend-mode byte, rejecting unknown values.
+fn blend_from_wire(byte: u8) -> Result<BlendMode, CoreError> {
+    match byte {
+        0 => Ok(BlendMode::Average),
+        1 => Ok(BlendMode::Feather),
+        other => Err(CoreError::MalformedFrame(format!(
+            "unknown blend mode {other}"
+        ))),
+    }
 }
 
 /// Serializes a stream header.
@@ -105,11 +150,12 @@ pub struct StreamWriter {
     header: FrameHeader,
     buf: Vec<u8>,
     frames: usize,
+    layout: Option<TileLayout>,
 }
 
 impl StreamWriter {
-    /// Opens a stream for frames matching `header`, writing the stream
-    /// header immediately.
+    /// Opens a version-1 stream for frames matching `header`, writing
+    /// the stream header immediately.
     ///
     /// # Errors
     ///
@@ -121,12 +167,65 @@ impl StreamWriter {
             header,
             buf: header_bytes(&header).to_vec(),
             frames: 0,
+            layout: None,
+        })
+    }
+
+    /// Opens a version-2 (tiled) stream: `header` describes one tile
+    /// and must match `layout`'s tile dimensions; the tile extension is
+    /// written immediately after the base header. Each captured frame
+    /// contributes `layout.tiles()` records, in row-major tile order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the header errors of [`StreamWriter::new`], or
+    /// [`CoreError::InvalidConfig`] if `header`'s geometry is not the
+    /// layout's tile geometry or the frame dimensions exceed the wire
+    /// format's `u16` fields.
+    pub fn new_tiled(header: FrameHeader, layout: &TileLayout) -> Result<StreamWriter, CoreError> {
+        validate_header(&header)?;
+        if header.rows as usize != layout.tile_height()
+            || header.cols as usize != layout.tile_width()
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "stream header {}×{} does not match tile {}×{}",
+                header.rows,
+                header.cols,
+                layout.tile_height(),
+                layout.tile_width()
+            )));
+        }
+        let frame = layout.frame();
+        if frame.width() > u16::MAX as usize || frame.height() > u16::MAX as usize {
+            return Err(CoreError::InvalidConfig(format!(
+                "frame {}×{} exceeds the wire format's 65535-pixel axis limit",
+                frame.width(),
+                frame.height()
+            )));
+        }
+        let mut buf = header_bytes(&header).to_vec();
+        buf[4] = STREAM_VERSION_TILED;
+        buf.extend_from_slice(&(frame.width() as u16).to_le_bytes());
+        buf.extend_from_slice(&(frame.height() as u16).to_le_bytes());
+        buf.extend_from_slice(&(layout.overlap() as u16).to_le_bytes());
+        buf.push(blend_to_wire(layout.blend()));
+        Ok(StreamWriter {
+            header,
+            buf,
+            frames: 0,
+            layout: Some(layout.clone()),
         })
     }
 
     /// The stream header every frame must match.
     pub fn header(&self) -> &FrameHeader {
         &self.header
+    }
+
+    /// The tile layout of a tiled (version-2) stream, `None` for
+    /// version 1.
+    pub fn tile_layout(&self) -> Option<&TileLayout> {
+        self.layout.as_ref()
     }
 
     /// Number of frames appended so far.
@@ -217,6 +316,7 @@ pub struct StreamParser {
     buf: Vec<u8>,
     pos: usize,
     header: Option<FrameHeader>,
+    layout: Option<TileLayout>,
     frames: usize,
     poisoned: Option<CoreError>,
 }
@@ -239,8 +339,17 @@ impl StreamParser {
     }
 
     /// The stream header, once enough bytes have arrived to parse it.
+    /// For a tiled stream this is the **tile** geometry (see the module
+    /// docs).
     pub fn header(&self) -> Option<&FrameHeader> {
         self.header.as_ref()
+    }
+
+    /// The tile layout of a tiled (version-2) stream, once its header
+    /// has been parsed; `None` for version-1 streams (and before the
+    /// header arrives).
+    pub fn tile_layout(&self) -> Option<&TileLayout> {
+        self.layout.as_ref()
     }
 
     /// Number of complete frames parsed so far.
@@ -279,16 +388,23 @@ impl StreamParser {
             if self.buffered_bytes() < STREAM_HEADER_BYTES {
                 return Ok(None);
             }
-            let b = &self.buf[self.pos..self.pos + STREAM_HEADER_BYTES];
-            if b[0..4] != STREAM_MAGIC {
+            if self.buf[self.pos..self.pos + 4] != STREAM_MAGIC {
                 return Err(CoreError::MalformedFrame("bad stream magic".into()));
             }
-            if b[4] != STREAM_VERSION {
-                return Err(CoreError::MalformedFrame(format!(
-                    "unsupported stream version {}",
-                    b[4]
-                )));
+            let version = self.buf[self.pos + 4];
+            let header_len = match version {
+                STREAM_VERSION => STREAM_HEADER_BYTES,
+                STREAM_VERSION_TILED => TILED_HEADER_BYTES,
+                other => {
+                    return Err(CoreError::MalformedFrame(format!(
+                        "unsupported stream version {other}"
+                    )));
+                }
+            };
+            if self.buffered_bytes() < header_len {
+                return Ok(None);
             }
+            let b = &self.buf[self.pos..self.pos + header_len];
             let header = FrameHeader {
                 rows: u16::from_le_bytes([b[5], b[6]]),
                 cols: u16::from_le_bytes([b[7], b[8]]),
@@ -298,8 +414,31 @@ impl StreamParser {
                 seed: u64::from_le_bytes(b[15..23].try_into().expect("8 bytes")),
             };
             validate_header(&header)?;
+            if version == STREAM_VERSION_TILED {
+                let frame_w = u16::from_le_bytes([b[23], b[24]]) as usize;
+                let frame_h = u16::from_le_bytes([b[25], b[26]]) as usize;
+                let overlap = u16::from_le_bytes([b[27], b[28]]) as usize;
+                let blend = blend_from_wire(b[29])?;
+                if frame_w == 0 || frame_h == 0 {
+                    return Err(CoreError::MalformedFrame(format!(
+                        "tiled stream frame {frame_w}×{frame_h} has a zero dimension"
+                    )));
+                }
+                // The base header carries the tile geometry; the layout
+                // constructor re-validates tile-vs-frame consistency
+                // (tile within frame, overlap below tile).
+                let layout = TileLayout::with_tile_dims(
+                    FrameGeometry::new(frame_w, frame_h),
+                    header.cols as usize,
+                    header.rows as usize,
+                    overlap,
+                    blend,
+                )
+                .map_err(|e| CoreError::MalformedFrame(e.to_string()))?;
+                self.layout = Some(layout);
+            }
             self.header = Some(header);
-            self.pos += STREAM_HEADER_BYTES;
+            self.pos += header_len;
         }
         let header = self.header.expect("parsed above");
         if self.buffered_bytes() < FRAME_RECORD_BYTES {
@@ -345,6 +484,7 @@ impl StreamParser {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tepics_imaging::tile::TileConfig;
     use tepics_util::SplitMix64;
 
     fn header() -> FrameHeader {
@@ -489,6 +629,112 @@ mod tests {
         let mut p = StreamParser::new();
         p.push_bytes(&bad);
         assert!(matches!(p.next_frame(), Err(CoreError::MalformedFrame(_))));
+    }
+
+    fn tiled_layout() -> TileLayout {
+        TileLayout::new(FrameGeometry::new(40, 28), &TileConfig::new(16).overlap(4)).unwrap()
+    }
+
+    fn tiled_header() -> FrameHeader {
+        FrameHeader {
+            rows: 16,
+            cols: 16,
+            code_bits: 8,
+            sample_bits: 16,
+            strategy: StrategyKind::rule30(64),
+            seed: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn tiled_stream_roundtrips_layout_and_records() {
+        let layout = tiled_layout();
+        let mut writer = StreamWriter::new_tiled(tiled_header(), &layout).unwrap();
+        assert_eq!(writer.tile_layout(), Some(&layout));
+        for t in 0..layout.tiles() {
+            writer.push_samples(&[t as u32 + 1, 2, 3]).unwrap();
+        }
+        let bytes = writer.into_bytes();
+        assert_eq!(bytes[4], STREAM_VERSION_TILED);
+
+        let mut parser = StreamParser::new();
+        parser.push_bytes(&bytes);
+        let first = parser.next_frame().unwrap().unwrap();
+        assert_eq!(first.samples, vec![1, 2, 3]);
+        assert_eq!(parser.tile_layout(), Some(&layout));
+        assert_eq!(parser.header(), Some(&tiled_header()));
+        for _ in 1..layout.tiles() {
+            parser.next_frame().unwrap().unwrap();
+        }
+        assert!(parser.next_frame().unwrap().is_none());
+        assert_eq!(parser.frames_parsed(), layout.tiles());
+    }
+
+    #[test]
+    fn version_one_streams_still_parse_without_a_layout() {
+        let mut writer = StreamWriter::new(header()).unwrap();
+        writer.push_samples(&[1, 2, 3]).unwrap();
+        let bytes = writer.into_bytes();
+        assert_eq!(bytes[4], STREAM_VERSION); // explicit wire check
+        let mut parser = StreamParser::new();
+        parser.push_bytes(&bytes);
+        assert_eq!(parser.next_frame().unwrap().unwrap().samples, vec![1, 2, 3]);
+        assert!(parser.tile_layout().is_none());
+    }
+
+    #[test]
+    fn tiled_writer_rejects_header_layout_mismatch() {
+        let mut h = tiled_header();
+        h.rows = 8; // layout tiles are 16×16
+        assert!(matches!(
+            StreamWriter::new_tiled(h, &tiled_layout()),
+            Err(CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_tile_extensions_are_malformed_not_panics() {
+        let layout = tiled_layout();
+        let writer = StreamWriter::new_tiled(tiled_header(), &layout).unwrap();
+        let good = writer.into_bytes();
+        let corrupt = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            let mut p = StreamParser::new();
+            p.push_bytes(&bad);
+            p.next_frame()
+        };
+        // Zero frame width.
+        let r = corrupt(&|b| b[23..25].copy_from_slice(&0u16.to_le_bytes()));
+        assert!(matches!(r, Err(CoreError::MalformedFrame(_))), "{r:?}");
+        // Frame smaller than the tile.
+        let r = corrupt(&|b| b[23..25].copy_from_slice(&8u16.to_le_bytes()));
+        assert!(matches!(r, Err(CoreError::MalformedFrame(_))), "{r:?}");
+        // Overlap not below the tile side.
+        let r = corrupt(&|b| b[27..29].copy_from_slice(&16u16.to_le_bytes()));
+        assert!(matches!(r, Err(CoreError::MalformedFrame(_))), "{r:?}");
+        // Unknown blend byte.
+        let r = corrupt(&|b| b[29] = 7);
+        assert!(matches!(r, Err(CoreError::MalformedFrame(_))), "{r:?}");
+        // Unknown version byte.
+        let r = corrupt(&|b| b[4] = 3);
+        assert!(matches!(r, Err(CoreError::MalformedFrame(_))), "{r:?}");
+    }
+
+    #[test]
+    fn truncated_tiled_header_waits_for_the_extension() {
+        let layout = tiled_layout();
+        let mut writer = StreamWriter::new_tiled(tiled_header(), &layout).unwrap();
+        writer.push_samples(&[1]).unwrap();
+        let bytes = writer.into_bytes();
+        let mut parser = StreamParser::new();
+        // Base header alone is not enough for a v2 stream.
+        parser.push_bytes(&bytes[..STREAM_HEADER_BYTES + 3]);
+        assert!(parser.next_frame().unwrap().is_none());
+        assert!(parser.header().is_none());
+        parser.push_bytes(&bytes[STREAM_HEADER_BYTES + 3..]);
+        assert_eq!(parser.next_frame().unwrap().unwrap().samples, vec![1]);
+        assert_eq!(parser.tile_layout(), Some(&layout));
     }
 
     #[test]

@@ -246,6 +246,25 @@ impl XorMeasurement {
         self.rows_m
     }
 
+    /// Approximate heap footprint in bytes (for cache accounting):
+    /// the bit patterns plus every precompiled index list and mask
+    /// table.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        let pattern_words = (self.rows_m + self.cols_n).div_ceil(64);
+        self.patterns.len() * pattern_words * std::mem::size_of::<u64>()
+            + (self.sel_rows.len()
+                + self.sel_rows_off.len()
+                + self.sel_cols.len()
+                + self.sel_cols_off.len()
+                + self.meas_by_row.len()
+                + self.meas_by_row_off.len())
+                * std::mem::size_of::<u32>()
+            + self.col_group_masks.len()
+            + self.row_meas_masks.len()
+            + self.col_meas_masks.len()
+    }
+
     /// Array width N.
     pub fn array_cols(&self) -> usize {
         self.cols_n

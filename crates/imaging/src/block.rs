@@ -5,33 +5,36 @@
 //! 8×8). These helpers split an image into B×B blocks (row-major block
 //! order, row-major pixels within each block — the same vectorization
 //! the per-block measurement matrices use) and merge them back.
+//!
+//! Dimensions need not be multiples of the block size: edge blocks are
+//! clipped to the frame, so every pixel belongs to exactly one block
+//! and the split/merge round-trip is exact for any geometry. (For
+//! *uniform* tiles with overlap blending — the decode-side tiling — see
+//! [`crate::tile`].)
 
 use crate::image::ImageF64;
 
-/// Splits an image into `block`×`block` tiles.
+/// Splits an image into `block`×`block` tiles, clipping edge tiles to
+/// the frame when a dimension is not a multiple of `block`.
 ///
 /// Returns tiles in row-major block order; each tile is a row-major
-/// `Vec<f64>` of length `block²`.
+/// `Vec<f64>` of its own (possibly clipped) dimensions.
 ///
 /// # Panics
 ///
-/// Panics if either dimension is not divisible by `block` or `block == 0`.
+/// Panics if `block == 0`.
 pub fn split_blocks(img: &ImageF64, block: usize) -> Vec<Vec<f64>> {
     assert!(block > 0, "block size must be positive");
-    assert!(
-        img.width().is_multiple_of(block) && img.height().is_multiple_of(block),
-        "{}×{} image not divisible into {block}×{block} blocks",
-        img.width(),
-        img.height()
-    );
-    let bx = img.width() / block;
-    let by = img.height() / block;
+    let bx = img.width().div_ceil(block);
+    let by = img.height().div_ceil(block);
     let mut out = Vec::with_capacity(bx * by);
     for byi in 0..by {
+        let h = block.min(img.height() - byi * block);
         for bxi in 0..bx {
-            let mut tile = Vec::with_capacity(block * block);
-            for dy in 0..block {
-                for dx in 0..block {
+            let w = block.min(img.width() - bxi * block);
+            let mut tile = Vec::with_capacity(w * h);
+            for dy in 0..h {
+                for dx in 0..w {
                     tile.push(img.get(bxi * block + dx, byi * block + dy));
                 }
             }
@@ -49,31 +52,30 @@ pub fn split_blocks(img: &ImageF64, block: usize) -> Vec<Vec<f64>> {
 /// target dimensions.
 pub fn merge_blocks(tiles: &[Vec<f64>], width: usize, height: usize, block: usize) -> ImageF64 {
     assert!(block > 0, "block size must be positive");
-    assert!(
-        width.is_multiple_of(block) && height.is_multiple_of(block),
-        "{width}×{height} not divisible by block {block}"
-    );
-    let bx = width / block;
-    let by = height / block;
+    let bx = width.div_ceil(block);
+    let by = height.div_ceil(block);
     assert_eq!(tiles.len(), bx * by, "tile count mismatch");
     let mut img = ImageF64::new(width, height, 0.0);
     for (t, tile) in tiles.iter().enumerate() {
-        assert_eq!(tile.len(), block * block, "tile {t} has wrong size");
         let bxi = t % bx;
         let byi = t / bx;
-        for dy in 0..block {
-            for dx in 0..block {
-                img.set(bxi * block + dx, byi * block + dy, tile[dy * block + dx]);
+        let w = block.min(width - bxi * block);
+        let h = block.min(height - byi * block);
+        assert_eq!(tile.len(), w * h, "tile {t} has wrong size");
+        for dy in 0..h {
+            for dx in 0..w {
+                img.set(bxi * block + dx, byi * block + dy, tile[dy * w + dx]);
             }
         }
     }
     img
 }
 
-/// Number of `block`×`block` tiles an image splits into.
+/// Number of `block`×`block` tiles an image splits into (edge tiles
+/// counted like interior ones).
 pub fn block_count(width: usize, height: usize, block: usize) -> usize {
-    assert!(block > 0 && width.is_multiple_of(block) && height.is_multiple_of(block));
-    (width / block) * (height / block)
+    assert!(block > 0, "block size must be positive");
+    width.div_ceil(block) * height.div_ceil(block)
 }
 
 #[cfg(test)]
@@ -90,6 +92,30 @@ mod tests {
             let back = merge_blocks(&tiles, 32, 24, block);
             assert_eq!(img, back, "roundtrip failed for block {block}");
         }
+    }
+
+    #[test]
+    fn non_multiple_dimensions_roundtrip_exactly() {
+        // 37×23 is coprime to every block size tested: every right and
+        // bottom edge tile is clipped.
+        let img = Scene::natural_like().render(37, 23, 4);
+        for block in [3, 5, 8, 16] {
+            let tiles = split_blocks(&img, block);
+            assert_eq!(tiles.len(), block_count(37, 23, block));
+            let back = merge_blocks(&tiles, 37, 23, block);
+            assert_eq!(img, back, "roundtrip failed for block {block}");
+        }
+    }
+
+    #[test]
+    fn edge_tiles_are_clipped_not_padded() {
+        // 5×3 image, 4-blocks: block (0,0) clips to 4×3 and block
+        // (1,0) to 1×3 — no padding values are invented.
+        let img = ImageF64::from_vec(5, 3, (0..15).map(f64::from).collect());
+        let tiles = split_blocks(&img, 4);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].len(), 4 * 3);
+        assert_eq!(tiles[1], vec![4.0, 9.0, 14.0]); // rightmost column
     }
 
     #[test]
@@ -111,15 +137,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not divisible")]
-    fn non_divisible_split_panics() {
-        let img = ImageF64::new(10, 10, 0.0);
-        split_blocks(&img, 3);
+    fn oversized_block_is_a_single_clipped_tile() {
+        let img = Scene::gaussian_blobs(2).render(10, 6, 1);
+        let tiles = split_blocks(&img, 64);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], img.as_slice());
+        assert_eq!(merge_blocks(&tiles, 10, 6, 64), img);
     }
 
     #[test]
     #[should_panic(expected = "tile count mismatch")]
     fn merge_with_wrong_count_panics() {
         merge_blocks(&[vec![0.0; 4]], 4, 4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn merge_with_wrong_tile_size_panics() {
+        merge_blocks(&[vec![0.0; 4], vec![0.0; 3]], 4, 2, 2);
     }
 }

@@ -15,6 +15,9 @@
 //!   the sparsifying dictionaries Ψ of the decoder.
 //! * [`block`] — 8×8-style block split/merge for block-based CS
 //!   baselines (paper refs. \[6–8\], \[11\]).
+//! * [`tile`] — frame geometry and overlapped tile decomposition for
+//!   block-parallel decoding of large frames ([`FrameGeometry`],
+//!   [`TileConfig`], [`tile::TileLayout`]).
 //! * [`sparsity`] — compressibility measurements (top-k energy, k-term
 //!   approximation error, Gini index).
 //!
@@ -38,10 +41,12 @@ pub mod io;
 pub mod metrics;
 pub mod scenes;
 pub mod sparsity;
+pub mod tile;
 pub mod transforms;
 
 pub use image::{Image, ImageF64, ImageU8};
 pub use metrics::{mae, mse, psnr, ssim};
 pub use scenes::Scene;
+pub use tile::{BlendMode, FrameGeometry, TileConfig};
 pub use transforms::dct::{Dct1d, Dct2d};
 pub use transforms::haar::Haar2d;

@@ -93,6 +93,25 @@ impl EventStats {
             .sum();
         sum as f64 / self.total_pulses as f64
     }
+
+    /// Folds another capture's statistics into this one: counters add,
+    /// the error histograms add bin-wise (growing to the longer one),
+    /// and `max_delay` keeps the maximum. Used to aggregate per-tile
+    /// captures into whole-frame statistics.
+    pub fn merge(&mut self, other: &EventStats) {
+        self.total_pulses += other.total_pulses;
+        self.queued_pulses += other.queued_pulses;
+        self.missed_pulses += other.missed_pulses;
+        self.column_overflows += other.column_overflows;
+        self.sample_overflows += other.sample_overflows;
+        self.max_delay = self.max_delay.max(other.max_delay);
+        if self.code_error_lsb.len() < other.code_error_lsb.len() {
+            self.code_error_lsb.resize(other.code_error_lsb.len(), 0);
+        }
+        for (bin, &count) in other.code_error_lsb.iter().enumerate() {
+            self.code_error_lsb[bin] += count;
+        }
+    }
 }
 
 /// The output of one frame capture.

@@ -29,7 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(0xC0FFEE)
         .build()?;
     let mut encoder = EncodeSession::new(imager)?;
-    let (frame, stats) = encoder.capture_with_stats(&scene)?;
+    let (frames, stats) = encoder.capture_with_stats(&scene)?;
+    let frame = &frames[0]; // untiled imagers emit one record per capture
     let bytes = encoder.to_bytes();
     println!(
         "captured {} compressed samples ({} bytes on the wire, raw readout would be {} bytes)",

@@ -68,8 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
         }
-        let frame = encoder.capture(&scene)?;
-        frame_codec_bits += frame.wire_bits();
+        let records = encoder.capture(&scene)?;
+        frame_codec_bits += records.iter().map(|f| f.wire_bits()).sum::<usize>();
         truths.push(encoder.imager().ideal_codes(&scene).to_code_f64());
     }
 

@@ -81,6 +81,7 @@
 //! | `SequenceDecoder::new(&first, s, n)?` + `push(..)` (removed) | `dec.delta_mode(s, n)` + `push_bytes(..)` |
 //! | `pipeline::evaluate(&imager, .., &scene)?` per scene | `pipeline::evaluate_with_cache(&cache, ..)?` |
 //! | N × `Decoder::for_frame` rebuilding Φ per frame      | one `OperatorCache`, Φ built once            |
+//! | `builder(rows, cols)` (one sensor-sized frame)       | `builder_for(FrameGeometry)` + `.tiling(TileConfig)` — stitched tiled decode |
 
 pub use tepics_ca as ca;
 pub use tepics_core as core;

@@ -67,7 +67,10 @@ fn stream_header_overhead_beats_repeated_frame_headers() {
     let mut frame_codec_bits = 0;
     let mut payload_bytes = 0;
     for scene in &scenes {
-        let frame = enc.capture(scene).unwrap();
+        let records = enc.capture(scene).unwrap();
+        let [frame] = records.as_slice() else {
+            panic!("untiled capture yields one record");
+        };
         assert_eq!(
             frame.wire_bits(),
             frame.to_bytes().len() * 8,
@@ -201,7 +204,7 @@ fn delta_session_frame_and_byte_entry_points_agree() {
     for i in 0..3 {
         let mut scene = Scene::gaussian_blobs(2).render(24, 24, 9);
         scene.set(4 + i, 12, 0.9);
-        frames.push(enc.capture(&scene).unwrap());
+        frames.extend(enc.capture(&scene).unwrap());
     }
     let mut by_frame = DecodeSession::new();
     by_frame.delta_mode(25, 0);
