@@ -3,6 +3,8 @@
 //! 20 µs compressed-sample slot; these benches show the simulation has
 //! orders of magnitude of headroom.
 
+// Timing is this crate's job: the clippy.toml wall-clock bans do not apply here.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tepics_ca::{

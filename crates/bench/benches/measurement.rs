@@ -2,6 +2,8 @@
 //! the XOR/CA ensemble (K = 1638 rows over 64×64 pixels) and the dense
 //! baselines. These are the other half of each FISTA iteration.
 
+// Timing is this crate's job: the clippy.toml wall-clock bans do not apply here.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use tepics_ca::{CaSource, ElementaryRule};

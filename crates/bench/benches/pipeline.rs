@@ -2,6 +2,8 @@
 //! the block-based baseline, matching the configurations the `ffvb`
 //! experiment sweeps.
 
+// Timing is this crate's job: the clippy.toml wall-clock bans do not apply here.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tepics_core::prelude::*;

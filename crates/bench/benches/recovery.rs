@@ -2,6 +2,8 @@
 //! (128 × 512, k = 12): the cross-solver comparison the decoder's
 //! algorithm choice is based on.
 
+// Timing is this crate's job: the clippy.toml wall-clock bans do not apply here.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tepics_cs::{DenseMatrix, LinearOperator};

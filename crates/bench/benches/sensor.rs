@@ -2,6 +2,8 @@
 //! slot (reset → fire → arbitrate → TDC) and whole-frame capture at the
 //! paper's scale.
 
+// Timing is this crate's job: the clippy.toml wall-clock bans do not apply here.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use tepics_ca::{CaSource, ElementaryRule};

@@ -2,6 +2,8 @@
 //! per FISTA iteration, so these dominate reconstruction time together
 //! with the measurement operator.
 
+// Timing is this crate's job: the clippy.toml wall-clock bans do not apply here.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tepics_imaging::{Dct2d, Haar2d, Scene};

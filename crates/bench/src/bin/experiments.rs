@@ -10,6 +10,8 @@
 //! experiments --smoke       # tiny end-to-end batch; exit 1 on regression
 //! ```
 
+// Timing is this crate's job: the clippy.toml wall-clock bans do not apply here.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 use std::io::Write as _;
 use tepics_bench::{registry, Tier};
 
@@ -49,6 +51,31 @@ fn smoke() {
         summary.frames_per_sec,
     );
     let mut failures = Vec::new();
+    // Fast tidy pass: the workspace invariant linter (alloc-free
+    // regions, determinism, panic-freedom, meta-lints) must stay clean.
+    // It scans ~100 source files in milliseconds, so it rides in the
+    // smoke tier; skipped with a note when the sources are not present
+    // (e.g. an installed binary run outside the repo).
+    let tidy_root = std::env::current_dir()
+        .ok()
+        .and_then(|d| tepics_tidy::find_workspace_root(&d));
+    match tidy_root {
+        Some(root) => match tepics_tidy::run_workspace(&root, &[]) {
+            Ok(report) if report.is_clean() => eprintln!(
+                "smoke: tidy OK ({} files across {} crates)",
+                report.files_scanned,
+                report.crates_scanned.len()
+            ),
+            Ok(report) => {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                failures.push(format!("tidy found {} violations", report.violations.len()));
+            }
+            Err(e) => failures.push(format!("tidy scan failed: {e}")),
+        },
+        None => eprintln!("smoke: tidy skipped (no workspace root above cwd)"),
+    }
     if serial.reports != parallel.reports {
         failures.push("parallel batch reports differ from serial".to_string());
     }

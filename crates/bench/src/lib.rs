@@ -17,7 +17,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
+// Timing is this crate's job: the clippy.toml wall-clock bans do not apply here.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 pub mod experiments;
 pub mod report;
 

@@ -172,6 +172,8 @@ impl BatchRunner {
         T: Sync,
         F: Fn(&T) -> Result<PipelineReport, CoreError> + Sync,
     {
+        #[allow(clippy::disallowed_methods)] // see clippy.toml
+        // tidy:allow(wall-clock: batch wall-clock is reporting metadata; reconstructions never depend on it)
         let started = Instant::now();
         let results = par_map(self.threads, jobs, |_, job| f(job));
         let elapsed = started.elapsed();
@@ -206,7 +208,7 @@ impl BatchOutcome {
         assert!(!self.reports.is_empty(), "cannot summarize an empty batch");
         let n = self.reports.len();
         let mut psnrs: Vec<f64> = self.reports.iter().map(|r| r.psnr_code_db).collect();
-        psnrs.sort_by(|a, b| a.partial_cmp(b).expect("PSNR is never NaN"));
+        psnrs.sort_by(f64::total_cmp);
         let mean_psnr_db = self.reports.iter().map(|r| r.psnr_code_db).sum::<f64>() / n as f64;
         let mean_ssim = self.reports.iter().map(|r| r.ssim_code).sum::<f64>() / n as f64;
         let total_wire_bits: u64 = self.reports.iter().map(|r| r.wire_bits as u64).sum();

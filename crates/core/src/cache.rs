@@ -60,10 +60,11 @@
 //!
 //! [`BatchRunner`]: crate::batch::BatchRunner
 
+#[allow(clippy::disallowed_types)] // see clippy.toml: keyed lookup only
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::decoder::{build_dictionary, DictImpl, DictionaryKind};
 use crate::error::CoreError;
@@ -140,7 +141,11 @@ impl CacheConfig {
 }
 
 /// Everything that determines a measurement operator — the cache key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `Ord` derive gives cache keys a stable total order, used as the
+/// deterministic eviction tie-break (field order: geometry, strategy,
+/// seed, measurement count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OperatorKey {
     /// Array rows (M).
     pub rows: u16,
@@ -202,8 +207,10 @@ struct Slot<V> {
     tick: u64,
 }
 
-/// Identifies one entry across the four families (eviction bookkeeping).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Identifies one entry across the four families (eviction
+/// bookkeeping). The derived total order is the deterministic
+/// tie-break of [`Inner::lru_victim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum AnyKey {
     Op(OperatorKey),
     Dict(DictKey),
@@ -213,11 +220,21 @@ enum AnyKey {
 
 /// Everything behind the cache lock: the four entry maps, the LRU
 /// clock, and the byte accounting.
+///
+/// The maps are `HashMap`s for O(1) keyed lookup; the only place that
+/// *iterates* them is [`Inner::lru_victim`], which reduces to a
+/// min-by-`(tick, key)` — a total order independent of iteration
+/// order — so hash randomization can never reach a result.
 #[derive(Debug, Default)]
+#[allow(clippy::disallowed_types)] // see clippy.toml + the hash-iter markers below
 struct Inner {
+    // tidy:allow(hash-iter: keyed lookup only; the lru_victim scan tie-breaks on a total order)
     ops: HashMap<OperatorKey, Slot<CachedOperator>>,
+    // tidy:allow(hash-iter: keyed lookup only; the lru_victim scan tie-breaks on a total order)
     dicts: HashMap<DictKey, Slot<Arc<DictImpl>>>,
+    // tidy:allow(hash-iter: keyed lookup only; the lru_victim scan tie-breaks on a total order)
     norms: HashMap<NormKey, Slot<f64>>,
+    // tidy:allow(hash-iter: keyed lookup only; the lru_victim scan tie-breaks on a total order)
     columns: HashMap<ColumnKey, Slot<Arc<ColumnMatrix>>>,
     tick: u64,
     resident: usize,
@@ -225,8 +242,13 @@ struct Inner {
 }
 
 /// Bumps the LRU clock, touches (or creates) `key`'s slot, and returns
-/// its build cell.
+/// its build cell. Ticks are unique: every touch increments the shared
+/// clock and stamps the slot with the fresh value, so no two slots ever
+/// carry the same tick (the key tie-break in [`Inner::lru_victim`] is
+/// pure belt-and-suspenders).
+#[allow(clippy::disallowed_types)] // see clippy.toml
 fn touch<K: Eq + Hash + Copy, V>(
+    // tidy:allow(hash-iter: generic over the four keyed slot maps; never iterated here)
     map: &mut HashMap<K, Slot<V>>,
     tick: &mut u64,
     key: K,
@@ -245,7 +267,9 @@ fn touch<K: Eq + Hash + Copy, V>(
 /// its slot still holds the same cell and no racer committed first.
 /// Returns whether this call committed (and therefore whether the
 /// budget needs enforcing).
+#[allow(clippy::disallowed_types)] // see clippy.toml
 fn commit<K: Eq + Hash + Copy, V>(
+    // tidy:allow(hash-iter: generic over the four keyed slot maps; never iterated here)
     map: &mut HashMap<K, Slot<V>>,
     resident: &mut usize,
     key: K,
@@ -289,13 +313,19 @@ impl Inner {
     }
 
     /// The least-recently-touched committed entry other than `protect`.
+    ///
+    /// Selection is min-by-`(tick, key)`. Ticks are unique by
+    /// construction (see [`touch`]), but the key tie-break makes the
+    /// choice *provably* independent of `HashMap` iteration order, so
+    /// the eviction sequence is deterministic even if tick uniqueness
+    /// were ever broken by a future refactor.
     fn lru_victim(&self, protect: AnyKey) -> Option<AnyKey> {
         let mut best: Option<(u64, AnyKey)> = None;
         let mut consider = |tick: u64, bytes: usize, key: AnyKey| {
             if bytes == 0 || key == protect {
                 return;
             }
-            if best.is_none_or(|(t, _)| tick < t) {
+            if best.is_none_or(|(t, k)| (tick, key) < (t, k)) {
                 best = Some((tick, key));
             }
         };
@@ -399,16 +429,26 @@ impl OperatorCache {
         self.budget
     }
 
+    /// Acquires the cache lock, recovering from poisoning. A poisoned
+    /// lock means another thread panicked while holding the guard; every
+    /// mutation under this lock is a single-field write or a complete
+    /// map operation, so the inner state stays structurally sound (at
+    /// worst the byte accounting is conservative) and the cache keeps
+    /// serving rather than cascading the panic.
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Bytes currently retained across all entry families (always at
     /// most the budget, when one is set).
     pub fn resident_bytes(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").resident
+        self.locked().resident
     }
 
     /// Counters so far: operator hit/miss counts, evictions across all
     /// families, and the resident byte total.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache poisoned");
+        let inner = self.locked();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -423,7 +463,7 @@ impl OperatorCache {
             return;
         }
         if let Some(budget) = self.budget {
-            let mut guard = self.inner.lock().expect("cache poisoned");
+            let mut guard = self.locked();
             guard.enforce(budget, protect);
         }
     }
@@ -440,7 +480,7 @@ impl OperatorCache {
         key: &OperatorKey,
     ) -> Result<(Arc<XorMeasurement>, Arc<Vec<f64>>), CoreError> {
         let cell = {
-            let mut guard = self.inner.lock().expect("cache poisoned");
+            let mut guard = self.locked();
             let inner = &mut *guard;
             touch(&mut inner.ops, &mut inner.tick, *key)
         };
@@ -467,7 +507,7 @@ impl OperatorCache {
         let result = (cached.phi.clone(), cached.counts.clone());
         let bytes = ENTRY_OVERHEAD + result.0.bytes() + result.1.len() * std::mem::size_of::<f64>();
         let committed = {
-            let mut guard = self.inner.lock().expect("cache poisoned");
+            let mut guard = self.locked();
             let inner = &mut *guard;
             commit(&mut inner.ops, &mut inner.resident, *key, &cell, bytes)
         };
@@ -479,7 +519,7 @@ impl OperatorCache {
     pub(crate) fn dictionary(&self, kind: DictionaryKind, rows: u16, cols: u16) -> Arc<DictImpl> {
         let key = (kind, rows, cols);
         let cell = {
-            let mut guard = self.inner.lock().expect("cache poisoned");
+            let mut guard = self.locked();
             let inner = &mut *guard;
             touch(&mut inner.dicts, &mut inner.tick, key)
         };
@@ -491,7 +531,7 @@ impl OperatorCache {
             .clone();
         let bytes = ENTRY_OVERHEAD + dict_bytes_estimate(kind, rows as usize, cols as usize);
         let committed = {
-            let mut guard = self.inner.lock().expect("cache poisoned");
+            let mut guard = self.locked();
             let inner = &mut *guard;
             commit(&mut inner.dicts, &mut inner.resident, key, &cell, bytes)
         };
@@ -515,7 +555,7 @@ impl OperatorCache {
     ) -> Option<f64> {
         let nkey = (*key, kind, norm_seed);
         let cell = {
-            let mut guard = self.inner.lock().expect("cache poisoned");
+            let mut guard = self.locked();
             let inner = &mut *guard;
             touch(&mut inner.norms, &mut inner.tick, nkey)
         };
@@ -527,7 +567,7 @@ impl OperatorCache {
         if !warm {
             let bytes = ENTRY_OVERHEAD + std::mem::size_of::<f64>();
             let committed = {
-                let mut guard = self.inner.lock().expect("cache poisoned");
+                let mut guard = self.locked();
                 let inner = &mut *guard;
                 commit(&mut inner.norms, &mut inner.resident, nkey, &cell, bytes)
             };
@@ -549,7 +589,7 @@ impl OperatorCache {
     ) -> Arc<ColumnMatrix> {
         let ckey = (*key, kind);
         let cell = {
-            let mut guard = self.inner.lock().expect("cache poisoned");
+            let mut guard = self.locked();
             let inner = &mut *guard;
             touch(&mut inner.columns, &mut inner.tick, ckey)
         };
@@ -561,7 +601,7 @@ impl OperatorCache {
         let view = cell.get_or_init(|| Arc::new(build())).clone();
         let bytes = ENTRY_OVERHEAD + view.bytes();
         let committed = {
-            let mut guard = self.inner.lock().expect("cache poisoned");
+            let mut guard = self.locked();
             let inner = &mut *guard;
             commit(&mut inner.columns, &mut inner.resident, ckey, &cell, bytes)
         };
@@ -771,6 +811,70 @@ mod tests {
         assert_eq!(cache.stats().hits, warm_before + 1, "A must still be warm");
         cache.operator(&key(2, 40)).unwrap(); // B was evicted → rebuild
         assert_eq!(cache.stats().misses, 4, "B must have been evicted");
+    }
+
+    /// Pins the full eviction *sequence*: victims fall strictly in
+    /// touch order, run after run, machine after machine. Ticks are
+    /// unique (every touch stamps a fresh clock value), and the
+    /// `(tick, key)` tie-break keeps the choice independent of
+    /// `HashMap` iteration order even in principle.
+    #[test]
+    fn eviction_sequence_is_deterministic() {
+        let probe = OperatorCache::with_config(CacheConfig::unbounded());
+        probe.operator(&key(0, 40)).unwrap();
+        let one = probe.resident_bytes();
+
+        // Room for exactly three same-size entries.
+        let cache = OperatorCache::with_config(CacheConfig::new().byte_budget(3 * one + one / 2));
+        cache.operator(&key(1, 40)).unwrap(); // A
+        cache.operator(&key(2, 40)).unwrap(); // B
+        cache.operator(&key(3, 40)).unwrap(); // C
+        cache.operator(&key(2, 40)).unwrap(); // touch B
+        cache.operator(&key(1, 40)).unwrap(); // touch A → LRU order: C, B, A
+        cache.operator(&key(4, 40)).unwrap(); // D must evict C
+        cache.operator(&key(5, 40)).unwrap(); // E must evict B
+        assert_eq!(cache.stats().evictions, 2);
+
+        // Survivors (A, D, E) are warm; victims (B, C) rebuild, in
+        // exactly that order and no other.
+        let misses_before = cache.stats().misses;
+        for seed in [1, 4, 5] {
+            cache.operator(&key(seed, 40)).unwrap();
+        }
+        assert_eq!(cache.stats().misses, misses_before, "A/D/E must be warm");
+        cache.operator(&key(2, 40)).unwrap();
+        cache.operator(&key(3, 40)).unwrap();
+        assert_eq!(
+            cache.stats().misses,
+            misses_before + 2,
+            "B and C must have been the victims"
+        );
+    }
+
+    /// Exercises the tie-break directly: with ticks forced equal, the
+    /// victim is the smallest key in the derived total order — a choice
+    /// no `HashMap` iteration order can influence.
+    #[test]
+    fn lru_tie_break_is_key_ordered() {
+        let mut inner = Inner::default();
+        for seed in [9u64, 3, 7, 1, 5] {
+            inner.ops.insert(
+                key(seed, 8),
+                Slot {
+                    cell: Arc::new(OnceLock::new()),
+                    bytes: 1,
+                    tick: 42,
+                },
+            );
+        }
+        assert_eq!(
+            inner.lru_victim(AnyKey::Op(key(1, 8))),
+            Some(AnyKey::Op(key(3, 8)))
+        );
+        assert_eq!(
+            inner.lru_victim(AnyKey::Op(key(3, 8))),
+            Some(AnyKey::Op(key(1, 8)))
+        );
     }
 
     /// An entry larger than the whole budget is served but not

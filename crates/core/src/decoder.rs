@@ -37,7 +37,7 @@ use tepics_recovery::{Debias, SolveStats, Solver, SolverWorkspace};
 use tepics_sensor::{CodeTransfer, SensorConfig};
 
 /// Sparsifying dictionary families available to the decoder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum DictionaryKind {
     /// 2-D DCT (default; best for smooth/natural content).
     #[default]

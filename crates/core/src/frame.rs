@@ -149,8 +149,10 @@ impl CompressedFrame {
             )));
         }
         let strategy = StrategyKind::from_wire([bytes[11], bytes[12], bytes[13], bytes[14]])?;
-        let seed = u64::from_le_bytes(bytes[15..23].try_into().expect("8 bytes"));
-        let count = u32::from_le_bytes(bytes[23..27].try_into().expect("4 bytes")) as usize;
+        let seed = u64::from_le_bytes([
+            bytes[15], bytes[16], bytes[17], bytes[18], bytes[19], bytes[20], bytes[21], bytes[22],
+        ]);
+        let count = u32::from_le_bytes([bytes[23], bytes[24], bytes[25], bytes[26]]) as usize;
         let payload = &bytes[27..];
         let needed_bits = count * sample_bits as usize;
         if payload.len() * 8 < needed_bits {
@@ -198,8 +200,9 @@ impl BitWriter {
                 self.bytes.push(0);
             }
             let bit = (value >> i) & 1;
-            let byte = self.bytes.last_mut().expect("pushed above");
-            *byte |= (bit as u8) << (7 - (self.bit_pos % 8));
+            if let Some(byte) = self.bytes.last_mut() {
+                *byte |= (bit as u8) << (7 - (self.bit_pos % 8));
+            }
             self.bit_pos += 1;
         }
     }

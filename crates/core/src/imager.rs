@@ -209,6 +209,7 @@ impl CompressiveImager {
         let mut source = self
             .strategy
             .build_source(self.config.rows() + self.config.cols(), self.seed)
+            // tidy:allow(panic: strategy parameters were validated by CompressiveImagerBuilder::build)
             .expect("strategy validated at build time");
         let captured: CapturedFrame = readout.capture(scene, source.as_mut(), self.sample_count());
         let header = self.frame_header();

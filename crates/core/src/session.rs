@@ -368,7 +368,9 @@ impl DecodeSession {
             self.decoder = Some(decoder);
             self.header = Some(*header);
         }
-        Ok(self.decoder.as_mut().expect("primed above"))
+        self.decoder
+            .as_mut()
+            .ok_or_else(|| CoreError::InvalidConfig("decode session failed to prime".into()))
     }
 
     /// Direct access to the per-frame decoder, once primed.
@@ -435,7 +437,11 @@ impl DecodeSession {
         layout: &TileLayout,
     ) -> Result<DecodedFrame, CoreError> {
         self.prime(&tiles[0].header)?;
-        let decoder = self.decoder.as_ref().expect("primed above");
+        let Some(decoder) = self.decoder.as_ref() else {
+            return Err(CoreError::InvalidConfig(
+                "decode session has no primed decoder".into(),
+            ));
+        };
         let recons: Vec<Result<Reconstruction, CoreError>> = if self.threads <= 1 {
             // Inline: reuse the session workspace across tiles (the
             // workspace never changes results, only allocations).
@@ -491,11 +497,12 @@ impl DecodeSession {
             _ => true,
         };
         let reconstruction = if is_key {
-            let recon = self
-                .decoder
-                .as_ref()
-                .expect("primed above")
-                .reconstruct_with(frame, &mut self.workspace)?;
+            let Some(decoder) = self.decoder.as_ref() else {
+                return Err(CoreError::InvalidConfig(
+                    "decode session has no primed decoder".into(),
+                ));
+            };
+            let recon = decoder.reconstruct_with(frame, &mut self.workspace)?;
             self.frames_since_key = 0;
             self.last_mean = recon.mean_code();
             recon
@@ -523,10 +530,16 @@ impl DecodeSession {
     /// reconstruction. Same seed ⇒ same Φ, so the operator comes warm
     /// from the cache.
     fn decode_delta(&mut self, frame: &CompressedFrame) -> Result<Reconstruction, CoreError> {
-        let prev_samples = self.prev_samples.as_ref().expect("delta needs history");
-        let prev_codes = self.prev_codes.as_ref().expect("delta needs history");
-        let delta = self.delta.expect("delta mode configured");
-        let decoder = self.decoder.as_ref().expect("primed");
+        let (Some(prev_samples), Some(prev_codes), Some(delta), Some(decoder)) = (
+            self.prev_samples.as_ref(),
+            self.prev_codes.as_ref(),
+            self.delta,
+            self.decoder.as_ref(),
+        ) else {
+            return Err(CoreError::InvalidConfig(
+                "delta decode needs a primed decoder, delta mode, and a previous frame".into(),
+            ));
+        };
         let dy: Vec<f64> = frame
             .samples
             .iter()

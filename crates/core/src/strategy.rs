@@ -12,7 +12,7 @@ use tepics_ca::{
 };
 
 /// The generator family used for row/column selection patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum StrategyKind {
     /// 1-D cellular automaton ring (the paper's design).
     CellularAutomaton {

@@ -384,7 +384,9 @@ impl StreamParser {
     }
 
     fn try_next(&mut self) -> Result<Option<CompressedFrame>, CoreError> {
-        if self.header.is_none() {
+        let header = if let Some(h) = self.header {
+            h
+        } else {
             if self.buffered_bytes() < STREAM_HEADER_BYTES {
                 return Ok(None);
             }
@@ -411,7 +413,7 @@ impl StreamParser {
                 code_bits: b[9],
                 sample_bits: b[10],
                 strategy: StrategyKind::from_wire([b[11], b[12], b[13], b[14]])?,
-                seed: u64::from_le_bytes(b[15..23].try_into().expect("8 bytes")),
+                seed: u64::from_le_bytes([b[15], b[16], b[17], b[18], b[19], b[20], b[21], b[22]]),
             };
             validate_header(&header)?;
             if version == STREAM_VERSION_TILED {
@@ -439,8 +441,8 @@ impl StreamParser {
             }
             self.header = Some(header);
             self.pos += header_len;
-        }
-        let header = self.header.expect("parsed above");
+            header
+        };
         if self.buffered_bytes() < FRAME_RECORD_BYTES {
             return Ok(None);
         }

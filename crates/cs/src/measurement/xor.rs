@@ -313,6 +313,7 @@ impl XorMeasurement {
 
     /// Factorized forward application; `scratch` holds the row sums,
     /// column sums, and (on the table path) the per-row subset tables.
+    // tidy:alloc-free
     fn apply_factorized(&self, x: &[f64], y: &mut [f64], scratch: &mut Vec<f64>) {
         let (m, n) = (self.rows_m, self.cols_n);
         let col_groups = n.div_ceil(8);
@@ -380,6 +381,7 @@ impl XorMeasurement {
     /// Factorized adjoint: `x_ij = P_i + Q_j − 2·Σ_k y_k r_ki c_kj`,
     /// with the cross term evaluated per group of eight measurements
     /// through one subset-sum table of their `y` values.
+    // tidy:alloc-free
     fn adjoint_factorized(&self, y: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
         let (m, n) = (self.rows_m, self.cols_n);
         scratch.resize(256 + m + n, 0.0);
@@ -426,12 +428,14 @@ impl LinearOperator for XorMeasurement {
         self.rows_m * self.cols_n
     }
 
+    // tidy:alloc-free
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols(), "input length mismatch");
         assert_eq!(y.len(), self.rows(), "output length mismatch");
         SCRATCH.with_borrow_mut(|scratch| self.apply_factorized(x, y, scratch));
     }
 
+    // tidy:alloc-free
     fn apply_adjoint(&self, y: &[f64], x: &mut [f64]) {
         assert_eq!(y.len(), self.rows(), "input length mismatch");
         assert_eq!(x.len(), self.cols(), "output length mismatch");

@@ -114,6 +114,7 @@ where
         self.psi.atoms()
     }
 
+    // tidy:alloc-free
     fn apply(&self, alpha: &[f64], y: &mut [f64]) {
         let mut scratch = self.scratch.borrow_mut();
         let ComposedScratch { pixels, dict, .. } = &mut *scratch;
@@ -122,6 +123,7 @@ where
         self.phi.apply(pixels, y);
     }
 
+    // tidy:alloc-free
     fn apply_adjoint(&self, y: &[f64], alpha: &mut [f64]) {
         let mut scratch = self.scratch.borrow_mut();
         let ComposedScratch { pixels, dict, .. } = &mut *scratch;
@@ -178,6 +180,7 @@ impl<'a, M: LinearOperator + ?Sized> LinearOperator for SignedMeasurementOp<'a, 
         self.phi.cols()
     }
 
+    // tidy:alloc-free
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.phi.apply(x, y);
         let sum: f64 = x.iter().sum();
@@ -186,6 +189,7 @@ impl<'a, M: LinearOperator + ?Sized> LinearOperator for SignedMeasurementOp<'a, 
         }
     }
 
+    // tidy:alloc-free
     fn apply_adjoint(&self, y: &[f64], x: &mut [f64]) {
         self.phi.apply_adjoint(y, x);
         let sum: f64 = y.iter().sum();

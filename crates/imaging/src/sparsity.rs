@@ -25,7 +25,7 @@ pub fn top_k_energy(coeffs: &[f64], k: usize) -> f64 {
         return 0.0;
     }
     let mut mags: Vec<f64> = coeffs.iter().map(|c| c * c).collect();
-    mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    mags.sort_by(|a, b| b.total_cmp(a));
     mags.iter().take(k).sum::<f64>() / total
 }
 
@@ -45,7 +45,7 @@ pub fn effective_sparsity(coeffs: &[f64], fraction: f64) -> usize {
         return 0;
     }
     let mut mags: Vec<f64> = coeffs.iter().map(|c| c * c).collect();
-    mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    mags.sort_by(|a, b| b.total_cmp(a));
     let mut acc = 0.0;
     for (i, m) in mags.iter().enumerate() {
         acc += m;
@@ -63,7 +63,7 @@ pub fn keep_top_k(coeffs: &[f64], k: usize) -> Vec<f64> {
         return coeffs.to_vec();
     }
     let mut idx: Vec<usize> = (0..coeffs.len()).collect();
-    idx.sort_by(|&a, &b| coeffs[b].abs().partial_cmp(&coeffs[a].abs()).unwrap());
+    idx.sort_by(|&a, &b| coeffs[b].abs().total_cmp(&coeffs[a].abs()));
     let mut out = vec![0.0; coeffs.len()];
     for &i in idx.iter().take(k) {
         out[i] = coeffs[i];
@@ -76,7 +76,7 @@ pub fn keep_top_k(coeffs: &[f64], k: usize) -> Vec<f64> {
 /// sparsity measure (Hurley & Rickard 2009).
 pub fn gini_index(coeffs: &[f64]) -> f64 {
     let mut mags: Vec<f64> = coeffs.iter().map(|c| c.abs()).collect();
-    mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    mags.sort_by(f64::total_cmp);
     let n = mags.len();
     let norm1: f64 = mags.iter().sum();
     if n == 0 || norm1 == 0.0 {

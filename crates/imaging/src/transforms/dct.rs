@@ -218,6 +218,7 @@ impl Dct1d {
     /// # Panics
     ///
     /// Panics if `data.len() != len()` or `scratch.len() < len()`.
+    // tidy:alloc-free
     pub fn forward_in_place(&self, data: &mut [f64], scratch: &mut [f64]) {
         assert_eq!(data.len(), self.n, "input length mismatch");
         assert!(scratch.len() >= self.n, "scratch too small");
@@ -244,6 +245,7 @@ impl Dct1d {
     /// # Panics
     ///
     /// Panics if `data.len() != len()` or `scratch.len() < len()`.
+    // tidy:alloc-free
     pub fn inverse_in_place(&self, data: &mut [f64], scratch: &mut [f64]) {
         assert_eq!(data.len(), self.n, "input length mismatch");
         assert!(scratch.len() >= self.n, "scratch too small");
@@ -338,6 +340,7 @@ impl Dct2d {
     /// buffer: rows transform in place on `out`, then columns gather
     /// through a transpose-scratch region instead of allocating per row
     /// or per column.
+    // tidy:alloc-free
     fn apply_with(&self, data: &[f64], out: &mut [f64], scratch: &mut Vec<f64>, forward: bool) {
         assert_eq!(data.len(), self.len(), "buffer length mismatch");
         assert_eq!(out.len(), self.len(), "output length mismatch");

@@ -95,6 +95,7 @@ impl Amp {
     /// # Errors
     ///
     /// Same as [`Amp::solve`].
+    // tidy:alloc-free
     pub fn solve_with<A: LinearOperator + ?Sized>(
         &self,
         a: &A,
@@ -118,6 +119,7 @@ impl Amp {
         };
         if norm == 0.0 {
             return Ok(Recovery {
+                // tidy:allow(alloc: zero-operator early exit, before the iteration loop)
                 coefficients: vec![0.0; n],
                 stats: SolveStats {
                     iterations: 0,
@@ -185,6 +187,7 @@ impl Amp {
             *r -= yi;
         }
         Ok(Recovery {
+            // tidy:allow(alloc: the returned coefficient vector, once per solve)
             coefficients: x.clone(),
             stats: SolveStats {
                 iterations,

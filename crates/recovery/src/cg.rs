@@ -210,6 +210,7 @@ impl Cgls {
     /// # Errors
     ///
     /// Same as [`Cgls::solve`].
+    // tidy:alloc-free
     pub fn solve_with<A: LinearOperator + ?Sized>(
         &self,
         a: &A,
@@ -218,6 +219,7 @@ impl Cgls {
     ) -> Result<Recovery, RecoveryError> {
         let stats = self.solve_into(a, b, workspace)?;
         Ok(Recovery {
+            // tidy:allow(alloc: the returned coefficient vector, once per solve)
             coefficients: workspace.lsq_x.clone(),
             stats,
         })

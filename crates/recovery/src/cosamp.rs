@@ -71,6 +71,7 @@ impl CoSaMp {
     /// # Errors
     ///
     /// Same as [`CoSaMp::solve`].
+    // tidy:alloc-free
     pub fn solve_with<A: LinearOperator + ?Sized>(
         &self,
         a: &A,
@@ -158,6 +159,7 @@ impl CoSaMp {
             last_resid = rn;
         }
         Ok(Recovery {
+            // tidy:allow(alloc: the returned coefficient vector, once per solve)
             coefficients: workspace.alpha.clone(),
             stats: SolveStats {
                 iterations,

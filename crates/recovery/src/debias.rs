@@ -155,6 +155,7 @@ impl Solver for Debias<'_> {
         }
     }
 
+    // tidy:alloc-free
     fn solve_with(
         &self,
         a: &dyn LinearOperator,

@@ -112,6 +112,7 @@ impl Fista {
     /// # Errors
     ///
     /// Same as [`Fista::solve`].
+    // tidy:alloc-free
     pub fn solve_with<A: LinearOperator + ?Sized>(
         &self,
         a: &A,
@@ -161,6 +162,7 @@ impl Fista {
                 if norm == 0.0 {
                     // Zero operator: solution is zero.
                     return Ok(Recovery {
+                        // tidy:allow(alloc: zero-operator early exit, before the iteration loop)
                         coefficients: vec![0.0; n],
                         stats: SolveStats {
                             iterations: 0,
@@ -215,6 +217,7 @@ impl Fista {
             *r -= yi;
         }
         Ok(Recovery {
+            // tidy:allow(alloc: the returned coefficient vector, once per solve)
             coefficients: alpha.clone(),
             stats: SolveStats {
                 iterations,

@@ -85,6 +85,7 @@ impl Iht {
     /// # Errors
     ///
     /// Same as [`Iht::solve`].
+    // tidy:alloc-free
     pub fn solve_with<A: LinearOperator + ?Sized>(
         &self,
         a: &A,
@@ -104,6 +105,7 @@ impl Iht {
                 let norm = op::operator_norm_est(a, 30, norm_seeds::IHT);
                 if norm == 0.0 {
                     return Ok(Recovery {
+                        // tidy:allow(alloc: zero-operator early exit, before the iteration loop)
                         coefficients: vec![0.0; n],
                         stats: SolveStats {
                             iterations: 0,
@@ -181,6 +183,7 @@ impl Iht {
             }
         }
         Ok(Recovery {
+            // tidy:allow(alloc: the returned coefficient vector, once per solve)
             coefficients: alpha.clone(),
             stats: SolveStats {
                 iterations,

@@ -86,6 +86,7 @@ impl Ista {
     /// # Errors
     ///
     /// Same as [`Ista::solve`].
+    // tidy:alloc-free
     pub fn solve_with<A: LinearOperator + ?Sized>(
         &self,
         a: &A,
@@ -133,6 +134,7 @@ impl Ista {
                 let norm = op::operator_norm_est(a, 30, norm_seeds::ISTA);
                 if norm == 0.0 {
                     return Ok(Recovery {
+                        // tidy:allow(alloc: zero-operator early exit, before the iteration loop)
                         coefficients: vec![0.0; n],
                         stats: SolveStats {
                             iterations: 0,
@@ -175,6 +177,7 @@ impl Ista {
             *r -= yi;
         }
         Ok(Recovery {
+            // tidy:allow(alloc: the returned coefficient vector, once per solve)
             coefficients: alpha.clone(),
             stats: SolveStats {
                 iterations,

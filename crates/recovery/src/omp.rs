@@ -76,6 +76,7 @@ impl Omp {
     /// # Errors
     ///
     /// Same as [`Omp::solve`].
+    // tidy:alloc-free
     pub fn solve_with<A: LinearOperator + ?Sized>(
         &self,
         a: &A,
@@ -100,6 +101,7 @@ impl Omp {
             ..
         } = workspace;
         let chol = chol
+            // tidy:allow(alloc: cold-path Cholesky factor; warm workspaces reuse it)
             .get_or_insert_with(|| tepics_cs::chol::GrowingCholesky::with_capacity(budget.max(1)));
         chol.reset(budget.max(1));
         corr.clear();
@@ -154,6 +156,7 @@ impl Omp {
                 converged = true;
             }
         }
+        // tidy:allow(alloc: the returned coefficient vector, once per solve)
         let mut full = vec![0.0; n];
         for (&j, &c) in support.iter().zip(coeffs.iter()) {
             full[j] = c;

@@ -31,7 +31,7 @@ pub fn hard_threshold_top_k(v: &mut [f64], k: usize) {
         return;
     }
     let mut idx: Vec<usize> = (0..v.len()).collect();
-    idx.select_nth_unstable_by(k - 1, |&a, &b| v[b].abs().partial_cmp(&v[a].abs()).unwrap());
+    idx.select_nth_unstable_by(k - 1, |&a, &b| v[b].abs().total_cmp(&v[a].abs()));
     // idx[k..] now holds the indices of the smaller magnitudes.
     for &i in &idx[k..] {
         v[i] = 0.0;
@@ -52,7 +52,7 @@ pub fn top_k_indices_into(v: &[f64], k: usize, out: &mut Vec<usize>) {
     out.clear();
     out.extend(0..v.len());
     if k < v.len() && k > 0 {
-        out.select_nth_unstable_by(k - 1, |&a, &b| v[b].abs().partial_cmp(&v[a].abs()).unwrap());
+        out.select_nth_unstable_by(k - 1, |&a, &b| v[b].abs().total_cmp(&v[a].abs()));
     }
     out.truncate(k);
 }

@@ -132,7 +132,10 @@ impl ColumnArbiter {
                 queued = true;
                 t_grant = bus_free_at + self.release_delay;
             } else {
-                let (t, _, f_row) = flips.pop().expect("flip queue non-empty");
+                let Some((t, _, f_row)) = flips.pop() else {
+                    // Loop guard: with `waiting` empty, `flips` is not.
+                    break;
+                };
                 row = f_row;
                 t_flip = t;
                 // The bus may still be busy if this flip lands inside an
@@ -157,7 +160,9 @@ impl ColumnArbiter {
             // Every pixel flipping during this pulse joins the waiting
             // set (parallel blocking).
             while flips.peek_time().is_some_and(|t| t < t_end) {
-                let (t, _, f_row) = flips.pop().expect("peeked");
+                let Some((t, _, f_row)) = flips.pop() else {
+                    break; // peek above guarantees a head
+                };
                 waiting.insert(f_row, t);
             }
             max_queue_depth = max_queue_depth.max(waiting.len());

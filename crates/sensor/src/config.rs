@@ -77,6 +77,7 @@ impl SensorConfig {
     pub fn paper_prototype() -> SensorConfig {
         SensorConfig::builder(64, 64)
             .build()
+            // tidy:allow(panic: constant builder input; validity pinned by the config tests)
             .expect("paper defaults are valid")
     }
 

@@ -42,7 +42,9 @@ impl PartialOrd for Time {
 
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("times are not NaN")
+        // Event times are finite by construction; total_cmp agrees
+        // with partial_cmp everywhere off NaN and cannot panic.
+        self.0.total_cmp(&other.0)
     }
 }
 

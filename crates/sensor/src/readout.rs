@@ -266,6 +266,7 @@ impl FrameReadout {
                                     // Ideal was already lost; arbitration
                                     // cannot resurrect it earlier, so this
                                     // cannot occur (delay ≥ 0).
+                                    // tidy:allow(panic: delay ≥ 0 — a grant can only move later than its flip)
                                     unreachable!("grant precedes flip");
                                 }
                             }

@@ -100,8 +100,7 @@ impl VcdBuilder {
         let _ = writeln!(out, "$dumpvars");
         let _ = writeln!(out, "$end");
         // Stable sort keeps same-time changes in insertion order.
-        self.changes
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
+        self.changes.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut last_ts: Option<u64> = None;
         let mut last_value: Vec<Option<bool>> = vec![None; self.names.len()];
         for (t, sig, value) in self.changes {

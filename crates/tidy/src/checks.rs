@@ -1,0 +1,463 @@
+//! The individual checks.
+//!
+//! Every check is a pure function from a parsed [`SourceFile`] to
+//! zero or more [`Violation`]s. They scan the **code channel** only
+//! (strings, comments, and doctests are masked out by
+//! [`mask`](crate::mask)), skip `cfg(test)`/`#[test]` regions, and
+//! honor `// tidy:allow(check: reason)` markers. See the crate docs
+//! for the check table.
+
+use crate::model::{CheckId, CrateClass, SourceFile, Violation};
+
+/// Allocating calls forbidden inside `tidy:alloc-free` regions. The
+/// list is the set of *unconditional* allocators — `Vec::push`/`resize`
+/// are absent deliberately, because on the warm path they reuse
+/// capacity (the zero-alloc runtime harness covers that side).
+const ALLOC_PATTERNS: [&str; 11] = [
+    "Vec::new",
+    "vec!",
+    ".to_vec()",
+    ".collect()",
+    "Box::new",
+    "format!",
+    ".clone()",
+    "String::new",
+    ".to_string()",
+    ".to_owned()",
+    "with_capacity",
+];
+
+/// Wall-clock sources: results must never depend on when they ran.
+const WALL_CLOCK_PATTERNS: [&str; 2] = ["Instant::now", "SystemTime"];
+
+/// Panicking constructs forbidden in non-test library code.
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Debug/print output forbidden in library code.
+const DEBUG_PRINT_PATTERNS: [&str; 3] = ["dbg!(", "eprintln!(", "println!("];
+
+/// Runs every check in `checks` over `file`.
+pub fn run_checks(file: &SourceFile, checks: &[CheckId]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &check in checks {
+        match check {
+            CheckId::AllocFree => alloc_free(file, &mut out),
+            CheckId::WallClock => wall_clock(file, &mut out),
+            CheckId::HashIter => hash_iter(file, &mut out),
+            CheckId::Panic => panic_freedom(file, &mut out),
+            CheckId::UnsafeForbid => unsafe_forbid(file, &mut out),
+            CheckId::DebugPrint => debug_print(file, &mut out),
+            CheckId::TodoIssue => todo_issue(file, &mut out),
+            CheckId::Marker => marker(file, &mut out),
+        }
+    }
+    out
+}
+
+fn violation(file: &SourceFile, i: usize, check: CheckId, message: String) -> Violation {
+    Violation {
+        file: file.rel.clone(),
+        line: i + 1,
+        check,
+        message,
+    }
+}
+
+/// Reports each `patterns` hit on non-test lines passing `active`,
+/// unless silenced by an allow marker for `check`.
+fn scan_patterns(
+    file: &SourceFile,
+    check: CheckId,
+    patterns: &[&str],
+    active: impl Fn(&SourceFile, usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if !file.is_code_line(i) || !active(file, i) || file.allowed(check, i) {
+            continue;
+        }
+        for pat in patterns {
+            if line.code.contains(pat) {
+                out.push(violation(
+                    file,
+                    i,
+                    check,
+                    format!(
+                        "`{pat}` (add `// tidy:allow({}: <reason>)` if justified)",
+                        check.name()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// **alloc-free** — no unconditional allocator calls inside
+/// `tidy:alloc-free` regions. Applies to every crate (the regions are
+/// opt-in by marker).
+fn alloc_free(file: &SourceFile, out: &mut Vec<Violation>) {
+    scan_patterns(
+        file,
+        CheckId::AllocFree,
+        &ALLOC_PATTERNS,
+        |f, i| f.alloc_mask[i],
+        out,
+    );
+}
+
+/// **wall-clock** — no `Instant::now`/`SystemTime` in product crates:
+/// every result must be a pure function of its inputs and seeds.
+fn wall_clock(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.class != CrateClass::Product {
+        return;
+    }
+    scan_patterns(
+        file,
+        CheckId::WallClock,
+        &WALL_CLOCK_PATTERNS,
+        |_, _| true,
+        out,
+    );
+}
+
+/// **hash-iter** — `HashMap`/`HashSet` in product crates need a
+/// justified marker: iteration order is nondeterministic, and code
+/// that iterates a hash map can silently order-couple its results.
+/// `use` lines are exempt (the declaration site is where the risk
+/// lives).
+fn hash_iter(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.class != CrateClass::Product {
+        return;
+    }
+    scan_patterns(
+        file,
+        CheckId::HashIter,
+        &["HashMap", "HashSet"],
+        |f, i| !f.lines[i].code.trim_start().starts_with("use "),
+        out,
+    );
+}
+
+/// **panic** — no panicking constructs in non-test, non-binary library
+/// code of product crates: hostile wire input must surface as an error
+/// value, never an abort.
+fn panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.class != CrateClass::Product || file.is_bin {
+        return;
+    }
+    scan_patterns(file, CheckId::Panic, &PANIC_PATTERNS, |_, _| true, out);
+}
+
+/// **unsafe-forbid** — every crate root keeps `#![forbid(unsafe_code)]`.
+fn unsafe_forbid(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !file.is_crate_root {
+        return;
+    }
+    let present = file
+        .lines
+        .iter()
+        .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    if !present {
+        out.push(violation(
+            file,
+            0,
+            CheckId::UnsafeForbid,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+}
+
+/// **debug-print** — no `dbg!` or stray `eprintln!`/`println!` in
+/// non-binary library code of product crates.
+fn debug_print(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.class != CrateClass::Product || file.is_bin {
+        return;
+    }
+    scan_patterns(
+        file,
+        CheckId::DebugPrint,
+        &DEBUG_PRINT_PATTERNS,
+        |_, _| true,
+        out,
+    );
+}
+
+/// **todo-issue** — every `TODO` (or `FIXME`) must cite an issue (`#123`)
+/// on the same line, so deferred work is tracked rather than forgotten.
+fn todo_issue(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        let c = &line.comment;
+        if !(c.contains("TODO") || c.contains("FIXME")) || file.allowed(CheckId::TodoIssue, i) {
+            continue;
+        }
+        let has_issue_ref = c.char_indices().any(|(p, ch)| {
+            ch == '#'
+                && c[p + 1..]
+                    .chars()
+                    .next()
+                    .is_some_and(|d| d.is_ascii_digit())
+        });
+        if !has_issue_ref {
+            out.push(violation(
+                file,
+                i,
+                CheckId::TodoIssue,
+                "TODO/FIXME without an issue reference (e.g. `TODO(#42): …`)".to_string(),
+            ));
+        }
+    }
+}
+
+/// **marker** — surfaces the marker-syntax problems collected during
+/// parsing (unknown check names, missing reasons, dangling region
+/// markers).
+fn marker(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, msg) in &file.marker_violations {
+        out.push(violation(file, *i, CheckId::Marker, msg.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ALL_CHECKS;
+    use std::path::PathBuf;
+
+    fn scan_class(src: &str, class: CrateClass, is_bin: bool, root: bool) -> Vec<Violation> {
+        let f = SourceFile::parse(PathBuf::from("f.rs"), "demo", class, is_bin, root, src);
+        run_checks(&f, &ALL_CHECKS)
+    }
+
+    fn scan(src: &str) -> Vec<Violation> {
+        scan_class(src, CrateClass::Product, false, false)
+    }
+
+    fn has(violations: &[Violation], check: CheckId) -> bool {
+        violations.iter().any(|v| v.check == check)
+    }
+
+    // ---- alloc-free -----------------------------------------------------
+
+    #[test]
+    fn alloc_free_catches_a_seeded_violation() {
+        let src = "// tidy:alloc-free\nfn hot() {\n    let v = Vec::new();\n}\n";
+        let v = scan(src);
+        assert!(has(&v, CheckId::AllocFree), "{v:?}");
+        assert_eq!(
+            v.iter()
+                .find(|v| v.check == CheckId::AllocFree)
+                .map(|v| v.line),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn alloc_free_ignores_code_outside_regions() {
+        let v = scan("fn cold() {\n    let v = vec![1, 2];\n    let s = x.to_vec();\n}\n");
+        assert!(!has(&v, CheckId::AllocFree));
+    }
+
+    #[test]
+    fn alloc_free_honors_allow_markers() {
+        let src = "// tidy:alloc-free\nfn hot() {\n    // tidy:allow(alloc: result vector, outside the loop)\n    let out = vec![0.0; n];\n}\n";
+        assert!(!has(&scan(src), CheckId::AllocFree));
+    }
+
+    #[test]
+    fn alloc_free_catches_every_listed_allocator() {
+        for pat in [
+            "Vec::new()",
+            "vec![0; 4]",
+            "x.to_vec()",
+            "it.collect()",
+            "Box::new(y)",
+            "format!(\"x\")",
+            "x.clone()",
+            "String::new()",
+            "x.to_string()",
+            "x.to_owned()",
+            "Vec::with_capacity(8)",
+        ] {
+            let src = format!("// tidy:alloc-free\nfn hot() {{\n    let a = {pat};\n}}\n");
+            assert!(has(&scan(&src), CheckId::AllocFree), "missed `{pat}`");
+        }
+    }
+
+    // ---- wall-clock -----------------------------------------------------
+
+    #[test]
+    fn wall_clock_catches_a_seeded_violation() {
+        let v = scan("fn f() {\n    let t = std::time::Instant::now();\n}\n");
+        assert!(has(&v, CheckId::WallClock));
+        let v = scan("fn f() {\n    let t = SystemTime::now();\n}\n");
+        assert!(has(&v, CheckId::WallClock));
+    }
+
+    #[test]
+    fn wall_clock_exempts_harness_crates_and_tests() {
+        let src = "fn f() {\n    let t = Instant::now();\n}\n";
+        assert!(!has(
+            &scan_class(src, CrateClass::Harness, false, false),
+            CheckId::WallClock
+        ));
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t() { let x = Instant::now(); }\n}\n";
+        assert!(!has(&scan(test_src), CheckId::WallClock));
+    }
+
+    // ---- hash-iter ------------------------------------------------------
+
+    #[test]
+    fn hash_iter_catches_a_seeded_violation() {
+        let v = scan("struct S {\n    map: HashMap<u32, u32>,\n}\n");
+        assert!(has(&v, CheckId::HashIter));
+    }
+
+    #[test]
+    fn hash_iter_accepts_justified_markers_and_use_lines() {
+        let src = "use std::collections::HashMap;\nstruct S {\n    // tidy:allow(hash-iter: iteration order never observed)\n    map: HashMap<u32, u32>,\n}\n";
+        assert!(!has(&scan(src), CheckId::HashIter));
+    }
+
+    // ---- panic ----------------------------------------------------------
+
+    #[test]
+    fn panic_catches_each_seeded_violation() {
+        for pat in [
+            "x.unwrap()",
+            "x.expect(\"m\")",
+            "panic!(\"m\")",
+            "unreachable!()",
+            "todo!()",
+            "unimplemented!()",
+        ] {
+            let src = format!("fn f() {{\n    {pat};\n}}\n");
+            assert!(has(&scan(&src), CheckId::Panic), "missed `{pat}`");
+        }
+    }
+
+    #[test]
+    fn panic_skips_tests_doctests_strings_and_bins() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(!has(&scan(in_test), CheckId::Panic));
+        let in_doc = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n";
+        assert!(!has(&scan(in_doc), CheckId::Panic));
+        let in_str = "fn f() -> &'static str {\n    \"never .unwrap() in prod\"\n}\n";
+        assert!(!has(&scan(in_str), CheckId::Panic));
+        let in_bin = "fn main() {\n    run().unwrap();\n}\n";
+        assert!(!has(
+            &scan_class(in_bin, CrateClass::Product, true, false),
+            CheckId::Panic
+        ));
+    }
+
+    #[test]
+    fn panic_does_not_flag_unwrap_or_variants() {
+        let src = "fn f() {\n    x.unwrap_or(0);\n    y.unwrap_or_else(|| 1);\n    z.unwrap_or_default();\n}\n";
+        assert!(!has(&scan(src), CheckId::Panic));
+    }
+
+    #[test]
+    fn panic_honors_allow_markers() {
+        let src = "fn f() {\n    // tidy:allow(panic: length checked two lines above)\n    x.unwrap();\n}\n";
+        assert!(!has(&scan(src), CheckId::Panic));
+    }
+
+    // ---- unsafe-forbid --------------------------------------------------
+
+    #[test]
+    fn unsafe_forbid_catches_a_missing_attribute() {
+        let v = scan_class(
+            "//! docs\npub fn f() {}\n",
+            CrateClass::Product,
+            false,
+            true,
+        );
+        assert!(has(&v, CheckId::UnsafeForbid));
+        let ok = scan_class(
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            CrateClass::Product,
+            false,
+            true,
+        );
+        assert!(!has(&ok, CheckId::UnsafeForbid));
+    }
+
+    #[test]
+    fn unsafe_forbid_only_applies_to_crate_roots() {
+        assert!(!has(&scan("pub fn f() {}\n"), CheckId::UnsafeForbid));
+    }
+
+    // ---- debug-print ----------------------------------------------------
+
+    #[test]
+    fn debug_print_catches_seeded_violations() {
+        for pat in ["dbg!(x)", "eprintln!(\"x\")", "println!(\"x\")"] {
+            let src = format!("fn f() {{\n    {pat};\n}}\n");
+            assert!(has(&scan(&src), CheckId::DebugPrint), "missed `{pat}`");
+        }
+    }
+
+    #[test]
+    fn debug_print_exempts_bins_and_harness() {
+        let src = "fn main() {\n    println!(\"report\");\n}\n";
+        assert!(!has(
+            &scan_class(src, CrateClass::Product, true, false),
+            CheckId::DebugPrint
+        ));
+        assert!(!has(
+            &scan_class(src, CrateClass::Harness, false, false),
+            CheckId::DebugPrint
+        ));
+    }
+
+    // ---- todo-issue -----------------------------------------------------
+
+    #[test]
+    fn todo_issue_requires_an_issue_reference() {
+        assert!(has(
+            &scan("// TODO: someday\nfn f() {}\n"),
+            CheckId::TodoIssue
+        ));
+        assert!(has(
+            &scan("// FIXME later\nfn f() {}\n"),
+            CheckId::TodoIssue
+        ));
+        assert!(!has(
+            &scan("// TODO(#42): tracked\nfn f() {}\n"),
+            CheckId::TodoIssue
+        ));
+    }
+
+    // ---- marker ---------------------------------------------------------
+
+    #[test]
+    fn marker_violations_surface_through_the_marker_check() {
+        let v = scan("// tidy:allow(bogus-check: reason)\nfn f() {}\n");
+        assert!(has(&v, CheckId::Marker));
+    }
+
+    // ---- cross-check: skip list ----------------------------------------
+
+    #[test]
+    fn checks_are_individually_skippable() {
+        let f = SourceFile::parse(
+            PathBuf::from("f.rs"),
+            "demo",
+            CrateClass::Product,
+            false,
+            false,
+            "fn f() {\n    x.unwrap();\n    let t = Instant::now();\n}\n",
+        );
+        let all = run_checks(&f, &ALL_CHECKS);
+        assert!(has(&all, CheckId::Panic) && has(&all, CheckId::WallClock));
+        let only_panic = run_checks(&f, &[CheckId::Panic]);
+        assert!(has(&only_panic, CheckId::Panic) && !has(&only_panic, CheckId::WallClock));
+    }
+}

@@ -1,0 +1,106 @@
+//! CLI entry point: `cargo run -p tepics-tidy [-- --skip <check>…]`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tepics_tidy::model::ALL_CHECKS;
+use tepics_tidy::{find_workspace_root, run_workspace, CheckId};
+
+const USAGE: &str = "\
+tepics-tidy — workspace invariant linter
+
+USAGE:
+    cargo run -p tepics-tidy [-- OPTIONS]
+
+OPTIONS:
+    --root <dir>     workspace root (default: walk up from the cwd)
+    --skip <check>   disable a check (repeatable; see --list)
+    --list           list the available checks and exit
+    --help           show this help
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut skip: Vec<CheckId> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list" => {
+                for c in ALL_CHECKS {
+                    println!("{c}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("error: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--skip" => {
+                let Some(name) = args.next() else {
+                    eprintln!("error: --skip needs a check name (see --list)");
+                    return ExitCode::from(2);
+                };
+                let Some(check) = CheckId::from_name(&name) else {
+                    eprintln!("error: unknown check `{name}` (see --list)");
+                    return ExitCode::from(2);
+                };
+                skip.push(check);
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match run_workspace(&root, &skip) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            if report.is_clean() {
+                println!(
+                    "tidy: OK ({} files across {} crates)",
+                    report.files_scanned,
+                    report.crates_scanned.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "tidy: {} violation(s) in {} files across {} crates",
+                    report.violations.len(),
+                    report.files_scanned,
+                    report.crates_scanned.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

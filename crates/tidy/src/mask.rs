@@ -1,0 +1,288 @@
+//! Source masking: splitting Rust source into per-line *code* and
+//! *comment* channels.
+//!
+//! Every check in this crate is a substring scan, and substring scans
+//! over raw source lie: `"call .unwrap() here"` inside a string
+//! literal, an `Instant::now` in a doc-comment example, or a `vec![`
+//! in a `/* … */` block are not violations. The masker walks the file
+//! once with a small lexer-grade state machine and emits, for each
+//! line,
+//!
+//! * `code` — the source with string/char-literal *contents* blanked to
+//!   spaces (delimiters kept, so `format!("…")` still reads as
+//!   `format!(`) and comments removed entirely, and
+//! * `comment` — the text of every comment on the line (line, block,
+//!   and doc comments), which is where `tidy:` markers live.
+//!
+//! The state machine understands nested block comments, escaped
+//! string/char contents, raw strings with any `#` count (including
+//! byte/raw-byte variants), and the `'a`-lifetime vs `'a'`-char-literal
+//! ambiguity. It does not parse Rust — it only needs to know what is
+//! code and what is not.
+
+/// One source line split into its code and comment channels.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MaskedLine {
+    /// Code with string/char contents blanked and comments stripped.
+    pub code: String,
+    /// Concatenated comment text of the line (markers live here).
+    pub comment: String,
+}
+
+/// Lexer state carried across characters (and, for block comments and
+/// multi-line strings, across lines).
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Number of `#` marks closing the raw string.
+    RawStr(usize),
+    Char,
+}
+
+/// Splits `src` into per-line code/comment channels (see module docs).
+pub fn mask_source(src: &str) -> Vec<MaskedLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = MaskedLine::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if let Some(hashes) = raw_string_open(&chars, i) {
+                    // r"…", r#"…"#, br"…", … — keep the opener in code.
+                    let quote = chars[i..].iter().position(|&ch| ch == '"').unwrap_or(0);
+                    for &ch in &chars[i..=i + quote] {
+                        line.code.push(ch);
+                    }
+                    i += quote + 1;
+                    state = State::RawStr(hashes);
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == '\'' && is_char_literal(&chars, i) {
+                    line.code.push('\'');
+                    state = State::Char;
+                    i += 1;
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    line.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                } else {
+                    line.code.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"'
+                    && chars[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == '#')
+                        .count()
+                        == hashes
+                {
+                    line.code.push('"');
+                    for _ in 0..hashes {
+                        line.code.push('#');
+                    }
+                    i += hashes + 1;
+                    state = State::Code;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    line.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                } else {
+                    line.code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// Is the `'` at `chars[i]` opening a char literal (vs a lifetime)?
+///
+/// `'\…'` and `'x'` are literals; `'a` followed by anything but a
+/// closing quote (`'static`, `<'a>`, `'a,`) is a lifetime.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// If `chars[i]` starts a raw-string opener (`r`, `br`, `rb` + `#*` +
+/// `"`), returns the number of `#` marks; `None` otherwise.
+fn raw_string_open(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    // Don't mistake identifiers ending in r/br (e.g. `var"` is not
+    // valid Rust anyway, but `xr#"` would mis-trigger on `x` + `r#"`).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(src: &str) -> Vec<MaskedLine> {
+        mask_source(src)
+    }
+
+    #[test]
+    fn strings_are_blanked_but_delimited() {
+        let m = mask(r#"let s = "call .unwrap() now"; s.len();"#);
+        assert_eq!(m.len(), 1);
+        assert!(!m[0].code.contains("unwrap"), "{:?}", m[0].code);
+        assert!(m[0].code.contains("let s = \""));
+        assert!(m[0].code.contains(".len()"));
+    }
+
+    #[test]
+    fn line_comments_move_to_the_comment_channel() {
+        let m = mask("foo(); // tidy:allow(panic: reason)\nbar();");
+        assert_eq!(m.len(), 2);
+        assert!(m[0].code.contains("foo()"));
+        assert!(!m[0].code.contains("tidy"));
+        assert!(m[0].comment.contains("tidy:allow(panic: reason)"));
+        assert!(m[1].code.contains("bar()"));
+    }
+
+    #[test]
+    fn doc_comments_with_examples_do_not_leak_into_code() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n";
+        let m = mask(src);
+        assert!(m[1].code.is_empty());
+        assert!(m[1].comment.contains("unwrap"));
+        assert!(m[3].code.contains("fn f()"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a(); /* outer /* inner */ still comment\nmore */ b();";
+        let m = mask(src);
+        assert!(m[0].code.contains("a()"));
+        assert!(!m[0].code.contains("still"));
+        assert!(m[0].comment.contains("still comment"));
+        assert!(m[1].code.contains("b()"));
+        assert!(!m[1].code.contains("more"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = "let p = r#\"vec![Instant::now()]\"#; q();";
+        let m = mask(src);
+        assert!(!m[0].code.contains("vec!"), "{:?}", m[0].code);
+        assert!(!m[0].code.contains("Instant"));
+        assert!(m[0].code.contains("q()"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_masked() {
+        let src = "let s = \"first\n.unwrap()\nlast\"; t();";
+        let m = mask(src);
+        assert!(!m[1].code.contains("unwrap"));
+        assert!(m[2].code.contains("t()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { g('x', '\\n') }";
+        let m = mask(src);
+        // Lifetimes survive in code; char contents are blanked.
+        assert!(m[0].code.contains("<'a>"));
+        assert!(m[0].code.contains("'static"));
+        assert!(!m[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate_strings() {
+        let src = r#"let s = "she said \"hi\" .unwrap()"; u();"#;
+        let m = mask(src);
+        assert!(!m[0].code.contains("unwrap"));
+        assert!(m[0].code.contains("u()"));
+    }
+}

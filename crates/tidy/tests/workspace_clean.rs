@@ -1,0 +1,33 @@
+//! The linter's own acceptance test: the real workspace scans clean.
+//!
+//! This is the in-tree twin of the CI `tidy` job — `cargo test` alone
+//! catches a violation even when nobody runs the binary.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_tidy_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = tepics_tidy::run_workspace(&root, &[]).expect("scan succeeds");
+    assert!(
+        report.is_clean(),
+        "tidy violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the scan actually covered the workspace (all nine member
+    // crates plus the facade and this linter).
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+    assert!(
+        report.crates_scanned.len() >= 10,
+        "{:?}",
+        report.crates_scanned
+    );
+}

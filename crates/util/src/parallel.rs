@@ -71,6 +71,7 @@ where
             .collect();
         handles
             .into_iter()
+            // tidy:allow(panic: re-raises a worker's panic on the caller; swallowing it would fabricate results)
             .map(|h| h.join().expect("parallel map worker panicked"))
             .collect()
     });
@@ -83,6 +84,7 @@ where
     }
     slots
         .into_iter()
+        // tidy:allow(panic: the atomic work counter hands every index to exactly one worker)
         .map(|s| s.expect("every index claimed exactly once"))
         .collect()
 }

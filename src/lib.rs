@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # TEPICS — Time-Encoded PIxel Compressive Sampling
 //!
 //! A full-system Rust reproduction of *"Concurrent focal-plane generation

@@ -172,7 +172,7 @@ fn bounded_cache_respects_budget_and_stays_bit_identical() {
 
     // Reference decodes, each geometry through its own unbounded cache
     // so its full working set can be measured.
-    let mut working_sets = std::collections::HashMap::new();
+    let mut working_sets = std::collections::BTreeMap::new();
     let reference: Vec<_> = streams
         .iter()
         .zip(&scenes)

@@ -1,0 +1,190 @@
+//! Dynamic complement to `tepics-tidy`'s static `// tidy:alloc-free`
+//! regions: a counting global allocator proves at runtime that the warm
+//! solver loops and the warm serial tiled-decode path do not touch the
+//! heap.
+//!
+//! The method is differential: run the same warm solve at two different
+//! iteration budgets and assert the *allocation counts are equal*. Any
+//! per-iteration allocation would scale with the budget, so equality
+//! pins the loop body to zero allocations without having to whitelist
+//! the (documented, one-time) allocations outside the loop. Where the
+//! one-time set is exactly known — the returned coefficient vector — we
+//! additionally assert the absolute count.
+//!
+//! The counter is thread-local, so the test harness's other threads
+//! cannot perturb a measurement taken on this one.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use tepics::cs::{DenseMatrix, LinearOperator};
+use tepics::prelude::*;
+use tepics::recovery::{Fista, Omp, SolverWorkspace};
+use tepics::util::SplitMix64;
+
+struct CountingAllocator;
+
+thread_local! {
+    /// Allocations (alloc + alloc_zeroed + realloc) observed on this
+    /// thread. `const` init: no lazy allocation, no TLS destructor, so
+    /// the allocator itself never recurses into the counter.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns (allocations on this thread during `f`, result).
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.with(Cell::get);
+    let result = f();
+    (ALLOCATIONS.with(Cell::get) - before, result)
+}
+
+/// A dense Gaussian sensing problem with a `k`-sparse ground truth.
+fn sparse_problem(m: usize, n: usize, k: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
+    let mut rng = SplitMix64::new(seed);
+    let a = DenseMatrix::from_fn(m, n, |_, _| rng.next_gaussian() / (m as f64).sqrt());
+    let mut x = vec![0.0; n];
+    for i in 0..k {
+        x[(i * 97) % n] = if i % 2 == 0 { 2.0 } else { -1.5 };
+    }
+    let y = a.apply_vec(&x);
+    (a, y)
+}
+
+/// Warm FISTA iterations allocate nothing: doubling `max_iter` leaves
+/// the allocation count unchanged, and that count is exactly the one
+/// documented allocation (the returned coefficient vector).
+#[test]
+fn warm_fista_iterations_allocate_nothing() {
+    let (a, y) = sparse_problem(64, 128, 8, 0xA110C);
+    let mut ws = SolverWorkspace::new();
+    let solver_at = |iters: usize| {
+        let mut f = Fista::new();
+        // Explicit step skips the (allocating, cached-elsewhere) power
+        // iteration; tol 0 keeps the loop running to the full budget.
+        f.lambda_ratio(0.05).max_iter(iters).tol(0.0).step(0.05);
+        f
+    };
+    // Warm the workspace, then measure.
+    solver_at(10).solve_with(&a, &y, &mut ws).unwrap();
+    let (short, rec_short) = count_allocs(|| solver_at(50).solve_with(&a, &y, &mut ws).unwrap());
+    let (long, rec_long) = count_allocs(|| solver_at(100).solve_with(&a, &y, &mut ws).unwrap());
+    assert_eq!(
+        rec_short.stats.iterations, 50,
+        "short run must not stop early"
+    );
+    assert_eq!(
+        rec_long.stats.iterations, 100,
+        "long run must not stop early"
+    );
+    assert_eq!(
+        short, long,
+        "FISTA loop allocates: 50 iters cost {short} allocations, 100 iters cost {long}"
+    );
+    assert_eq!(
+        short, 1,
+        "warm FISTA solve should allocate exactly the returned coefficient vector"
+    );
+}
+
+/// Warm OMP pursuit allocates nothing: doubling the atom budget leaves
+/// the allocation count unchanged at exactly the returned coefficient
+/// vector.
+#[test]
+fn warm_omp_iterations_allocate_nothing() {
+    let (a, y) = sparse_problem(64, 128, 12, 0x0113B);
+    let mut ws = SolverWorkspace::new();
+    // Warm at the largest budget so every buffer reaches full size.
+    Omp::new(8).solve_with(&a, &y, &mut ws).unwrap();
+    let (small, rec_small) = count_allocs(|| Omp::new(4).solve_with(&a, &y, &mut ws).unwrap());
+    let (large, rec_large) = count_allocs(|| Omp::new(8).solve_with(&a, &y, &mut ws).unwrap());
+    assert_eq!(
+        rec_small.stats.iterations, 4,
+        "small budget must be exhausted"
+    );
+    assert_eq!(
+        rec_large.stats.iterations, 8,
+        "large budget must be exhausted"
+    );
+    assert_eq!(
+        small, large,
+        "OMP loop allocates: 4 atoms cost {small} allocations, 8 atoms cost {large}"
+    );
+    assert_eq!(
+        small, 1,
+        "warm OMP solve should allocate exactly the returned coefficient vector"
+    );
+}
+
+/// The warm serial tiled-decode path reaches an allocation steady
+/// state: once the session's operator cache and workspaces are warm,
+/// consecutive decodes of the same stream cost the identical number of
+/// allocations (the per-frame outputs — reconstruction image, stats —
+/// and nothing that grows with session age).
+#[test]
+fn warm_serial_tiled_decode_reaches_allocation_steady_state() {
+    let imager = CompressiveImager::builder_for(FrameGeometry::new(40, 28))
+        .tiling(TileConfig::new(16).overlap(4))
+        .ratio(0.35)
+        .seed(0x71D3)
+        .fidelity(Fidelity::Functional)
+        .build()
+        .unwrap();
+    // One stream, five frames of the same scene, snapshotted after each
+    // capture so the byte ranges of individual frames are known — the
+    // decode session can then be fed frame-aligned chunks, the way a
+    // receiver drains a live stream.
+    let scene = Scene::gaussian_blobs(3).render(40, 28, 7);
+    let mut enc = EncodeSession::new(imager).unwrap();
+    let mut cuts = vec![0usize];
+    for _ in 0..8 {
+        enc.capture(&scene).unwrap();
+        cuts.push(enc.to_bytes().len());
+    }
+    let bytes = enc.into_bytes();
+    let chunk = |i: usize| &bytes[cuts[i]..cuts[i + 1]];
+
+    let mut session = DecodeSession::new();
+    // Serial: the whole decode runs on this thread, under this
+    // thread's counter.
+    session.threads(1);
+    // Six priming frames: the first populates the operator cache and
+    // solver workspaces; the rest settle the stream parser's buffer,
+    // whose capacity grows amortized until its compaction threshold.
+    for i in 0..6 {
+        assert_eq!(session.push_bytes(chunk(i)).unwrap().len(), 1);
+    }
+    let (seventh, out_a) = count_allocs(|| session.push_bytes(chunk(6)).unwrap());
+    let (eighth, out_b) = count_allocs(|| session.push_bytes(chunk(7)).unwrap());
+    assert_eq!(
+        out_a[0].reconstruction, out_b[0].reconstruction,
+        "warm decodes of the same frame must stay bit-identical"
+    );
+    assert_eq!(
+        seventh, eighth,
+        "warm serial tiled decode drifts: {seventh} then {eighth} allocations"
+    );
+}
