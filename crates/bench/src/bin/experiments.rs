@@ -154,6 +154,13 @@ fn smoke() {
         Ok(summary) => eprintln!("{summary}"),
         Err(tiled_failures) => failures.extend(tiled_failures),
     }
+    // Resilient wire v3 in smoke mode: clean v3 decodes bit-identical
+    // to v2, and a 0.1%-corrupted v3 stream still recovers ≥90% of its
+    // frames — the graceful-degradation contract on every PR.
+    match tepics_bench::experiments::resilience::smoke() {
+        Ok(summary) => eprintln!("{summary}"),
+        Err(resilience_failures) => failures.extend(resilience_failures),
+    }
     if failures.is_empty() {
         eprintln!("smoke: OK");
     } else {

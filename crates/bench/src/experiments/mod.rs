@@ -15,6 +15,7 @@ pub mod matrices;
 pub mod noise;
 pub mod overlap;
 pub mod progressive;
+pub mod resilience;
 pub mod solvers;
 pub mod table1;
 pub mod table2;

@@ -168,6 +168,12 @@ pub fn registry() -> Vec<Experiment> {
             artifact: "(infrastructure) tiled decode — stitched PSNR + block-parallel scaling",
             run: experiments::tiled::run,
         },
+        Experiment {
+            id: "resilience",
+            tier: Tier::Fast,
+            artifact: "(infrastructure) resilient wire v3 — corruption rate vs PSNR/recovery",
+            run: experiments::resilience::run,
+        },
     ]
 }
 

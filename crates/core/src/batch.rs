@@ -43,7 +43,7 @@ use crate::cache::OperatorCache;
 use crate::error::CoreError;
 use crate::imager::CompressiveImager;
 use crate::pipeline::{evaluate_with_cache, PipelineReport};
-use crate::session::{DecodeSession, DecodedFrame};
+use crate::session::{DecodeReport, DecodeSession, DecodedFrame, ErasurePolicy};
 use tepics_imaging::ImageF64;
 use tepics_util::parallel::{default_threads, par_map};
 
@@ -141,19 +141,50 @@ impl BatchRunner {
     /// stream, all sharing the runner's operator cache. Results are in
     /// input order and bit-identical at any thread count.
     ///
-    /// # Errors
-    ///
-    /// Returns the first per-stream error in input order; all streams
-    /// are still executed.
-    pub fn decode_streams(
+    /// Per-stream failures are **isolated**: a corrupt stream records
+    /// its error (and whatever frames decoded before it) in its own
+    /// [`StreamOutcome`] instead of aborting the batch, and the
+    /// returned [`StreamBatchOutcome`] counts failed and degraded
+    /// streams. Resilient (version-3) streams degrade through the
+    /// given erasure policy rather than failing.
+    pub fn decode_streams(&self, streams: &[impl AsRef<[u8]> + Sync]) -> StreamBatchOutcome {
+        self.decode_streams_with(streams, ErasurePolicy::default())
+    }
+
+    /// Like [`BatchRunner::decode_streams`] with an explicit
+    /// [`ErasurePolicy`] for resilient tiled streams.
+    pub fn decode_streams_with(
         &self,
         streams: &[impl AsRef<[u8]> + Sync],
-    ) -> Result<Vec<Vec<DecodedFrame>>, CoreError> {
-        let results = par_map(self.threads, streams, |_, bytes| {
+        policy: ErasurePolicy,
+    ) -> StreamBatchOutcome {
+        let outcomes = par_map(self.threads, streams, |_, bytes| {
             let mut session = DecodeSession::with_cache(self.cache.clone());
-            session.push_bytes(bytes.as_ref())
+            session.erasure_policy(policy);
+            let mut frames = Vec::new();
+            let mut error = None;
+            match session.push_bytes(bytes.as_ref()) {
+                Ok(mut out) => frames.append(&mut out),
+                Err(e) => error = Some(e),
+            }
+            if error.is_none() {
+                match session.finish() {
+                    Ok(mut tail) => frames.append(&mut tail),
+                    Err(e) => error = Some(e),
+                }
+            }
+            // A mid-chunk error defers so its preceding frames
+            // survive; pick it up for the outcome.
+            if error.is_none() {
+                error = session.error().cloned();
+            }
+            StreamOutcome {
+                frames,
+                report: session.report(),
+                error,
+            }
         });
-        results.into_iter().collect()
+        StreamBatchOutcome { outcomes }
     }
 
     /// Runs an arbitrary per-item pipeline over `jobs`.
@@ -182,6 +213,84 @@ impl BatchRunner {
             reports.push(r?);
         }
         Ok(BatchOutcome { reports, elapsed })
+    }
+}
+
+/// What one stream of a [`BatchRunner::decode_streams`] batch produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// Frames decoded before any failure, in stream order.
+    pub frames: Vec<DecodedFrame>,
+    /// The stream's session accounting (degradation counters).
+    pub report: DecodeReport,
+    /// The error that stopped this stream, if any (`None` = the stream
+    /// decoded to completion, possibly degraded).
+    pub error: Option<CoreError>,
+}
+
+impl StreamOutcome {
+    /// Whether the stream failed outright (sticky parse or recovery
+    /// error).
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Whether the stream completed but lost something on the way:
+    /// corrupt stretches skipped, frames lost, or tiles erased.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.error.is_none()
+            && (self.report.corrupt_events > 0
+                || self.report.frames_lost > 0
+                || self.report.frames_degraded > 0
+                || self.report.stale_records > 0)
+    }
+}
+
+/// The result of one [`BatchRunner::decode_streams`] batch: per-stream
+/// outcomes in input order (independent of thread count), with failure
+/// and degradation tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBatchOutcome {
+    /// Per-stream outcomes, in input order.
+    pub outcomes: Vec<StreamOutcome>,
+}
+
+impl StreamBatchOutcome {
+    /// Streams that errored out (their partial frames are still in
+    /// their outcome).
+    #[must_use]
+    pub fn failed_streams(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_failed()).count()
+    }
+
+    /// Streams that completed with degradation (corruption skipped,
+    /// frames lost, or tiles erased).
+    #[must_use]
+    pub fn degraded_streams(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_degraded()).count()
+    }
+
+    /// Streams that decoded completely clean.
+    #[must_use]
+    pub fn clean_streams(&self) -> usize {
+        self.outcomes.len() - self.failed_streams() - self.degraded_streams()
+    }
+
+    /// Total frames decoded across every stream (including the partial
+    /// prefixes of failed streams).
+    #[must_use]
+    pub fn total_frames(&self) -> usize {
+        self.outcomes.iter().map(|o| o.frames.len()).sum()
+    }
+
+    /// Per-stream decoded frames in input order — the pre-isolation
+    /// shape, for callers that only need the frames. Failed streams
+    /// contribute their partial prefix.
+    #[must_use]
+    pub fn frames(&self) -> Vec<&[DecodedFrame]> {
+        self.outcomes.iter().map(|o| o.frames.as_slice()).collect()
     }
 }
 
@@ -365,20 +474,66 @@ mod tests {
                 enc.into_bytes()
             })
             .collect();
-        let serial = BatchRunner::with_threads(1)
-            .decode_streams(&streams)
-            .unwrap();
-        assert_eq!(serial.len(), 4);
-        assert!(serial.iter().all(|frames| frames.len() == 3));
+        let serial = BatchRunner::with_threads(1).decode_streams(&streams);
+        assert_eq!(serial.outcomes.len(), 4);
+        assert!(serial.outcomes.iter().all(|o| o.frames.len() == 3));
+        assert_eq!(serial.failed_streams(), 0);
+        assert_eq!(serial.degraded_streams(), 0);
+        assert_eq!(serial.clean_streams(), 4);
         for threads in [2, 4, 19] {
-            let parallel = BatchRunner::with_threads(threads)
-                .decode_streams(&streams)
-                .unwrap();
+            let parallel = BatchRunner::with_threads(threads).decode_streams(&streams);
             assert_eq!(
                 serial, parallel,
                 "thread count {threads} changed stream decodes"
             );
         }
+    }
+
+    /// One corrupt stream no longer aborts the batch: its outcome
+    /// records the error (and the frames decoded before it), the other
+    /// streams decode normally, and the tallies see exactly one
+    /// failure.
+    #[test]
+    fn corrupt_stream_is_isolated_from_the_batch() {
+        use crate::session::EncodeSession;
+        let im = imager(16);
+        let mut streams: Vec<Vec<u8>> = (0..3)
+            .map(|s| {
+                let mut enc = EncodeSession::new(im.clone()).unwrap();
+                for i in 0..2 {
+                    enc.capture(&Scene::gaussian_blobs(2).render(16, 16, s * 5 + i))
+                        .unwrap();
+                }
+                enc.into_bytes()
+            })
+            .collect();
+        // Poison stream 1 after its first record: frame 0 decodes, the
+        // second record's marker is destroyed.
+        let record_start = crate::stream::STREAM_HEADER_BYTES;
+        let sample_bits = streams[1][10] as usize;
+        let count = u32::from_le_bytes(
+            streams[1][record_start + 1..record_start + 5]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let second = record_start + 5 + (count * sample_bits).div_ceil(8);
+        streams[1][second] ^= 0xFF;
+
+        let outcome = BatchRunner::with_threads(2).decode_streams(&streams);
+        assert_eq!(outcome.failed_streams(), 1);
+        assert_eq!(outcome.clean_streams(), 2);
+        assert!(outcome.outcomes[1].is_failed());
+        assert_eq!(
+            outcome.outcomes[1].frames.len(),
+            1,
+            "frames before the corruption survive"
+        );
+        assert_eq!(outcome.outcomes[0].frames.len(), 2);
+        assert_eq!(outcome.outcomes[2].frames.len(), 2);
+        assert_eq!(outcome.total_frames(), 5);
+        // Isolation preserves thread-count determinism too.
+        let serial = BatchRunner::with_threads(1).decode_streams(&streams);
+        assert_eq!(serial, outcome);
     }
 
     /// All streams of a batch share one seed, so the runner's cache
@@ -396,7 +551,8 @@ mod tests {
             })
             .collect();
         let runner = BatchRunner::with_threads(1);
-        runner.decode_streams(&streams).unwrap();
+        let outcome = runner.decode_streams(&streams);
+        assert_eq!(outcome.failed_streams(), 0);
         let stats = runner.cache().stats();
         assert_eq!(stats.misses, 1, "one cold operator build for the batch");
         assert_eq!(stats.hits, 2);

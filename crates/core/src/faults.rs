@@ -1,0 +1,228 @@
+//! Deterministic fault injection for wire streams.
+//!
+//! A readout channel between the focal-plane sensor and the decoder
+//! drops and flips bits; the resilient (version-3) stream container
+//! exists to survive that. [`FaultInjector`] models the channel so the
+//! survival claim is *testable*: every corruption it applies is driven
+//! by a seeded [`SplitMix64`], so a failing case replays exactly from
+//! its seed — in unit tests, in the hostile-input fuzz loop, and in the
+//! `resilience` bench experiment that sweeps corruption rate against
+//! reconstruction quality.
+//!
+//! The faults cover the failure modes of a real link:
+//!
+//! * [`flip_bits`](FaultInjector::flip_bits) — independent random bit
+//!   errors (noise-limited links);
+//! * [`burst_erase`](FaultInjector::burst_erase) — a contiguous stretch
+//!   overwritten (interference bursts, buffer tears);
+//! * [`truncate`](FaultInjector::truncate) — the tail never arrives
+//!   (connection loss);
+//! * [`duplicate_range`](FaultInjector::duplicate_range) — a stretch
+//!   replayed (retransmission bugs);
+//! * [`rechunk`](FaultInjector::rechunk) — delivery re-segmented into
+//!   arbitrary chunks (any packetized transport; corrupts nothing by
+//!   itself, but exercises every buffer boundary in the parser).
+//!
+//! # Examples
+//!
+//! ```
+//! use tepics_core::FaultInjector;
+//!
+//! let clean: Vec<u8> = (0..200).map(|i| i as u8).collect();
+//! let mut faults = FaultInjector::new(7);
+//! let mut dirty = clean.clone();
+//! faults.flip_bits(&mut dirty, 0.01);
+//! assert_ne!(dirty, clean);
+//! // Same seed ⇒ same faults, byte for byte.
+//! let mut replay = clean.clone();
+//! FaultInjector::new(7).flip_bits(&mut replay, 0.01);
+//! assert_eq!(dirty, replay);
+//! ```
+
+use tepics_util::SplitMix64;
+
+/// Deterministic, seeded corruption of byte streams (see the module
+/// docs for the fault menu).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: SplitMix64,
+}
+
+impl FaultInjector {
+    /// An injector whose entire fault sequence is determined by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Flips each bit of `bytes` independently with probability `rate`
+    /// (clamped to `[0, 1]`). Returns the number of bits flipped.
+    pub fn flip_bits(&mut self, bytes: &mut [u8], rate: f64) -> usize {
+        self.flip_bits_after(bytes, 0, rate)
+    }
+
+    /// Like [`FaultInjector::flip_bits`], but leaves the first `skip`
+    /// bytes untouched — models a channel whose session setup (the
+    /// stream header) is handshake-protected while the long record
+    /// stretch is not.
+    pub fn flip_bits_after(&mut self, bytes: &mut [u8], skip: usize, rate: f64) -> usize {
+        let rate = rate.clamp(0.0, 1.0);
+        let mut flipped = 0;
+        for b in bytes.iter_mut().skip(skip) {
+            for bit in 0..8 {
+                if self.rng.next_f64() < rate {
+                    *b ^= 1 << bit;
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+
+    /// Overwrites a random contiguous stretch of up to `max_len` bytes
+    /// with random garbage (a burst erasure). Returns the `(start,
+    /// len)` of the burst, or `None` for an empty input.
+    pub fn burst_erase(&mut self, bytes: &mut [u8], max_len: usize) -> Option<(usize, usize)> {
+        if bytes.is_empty() || max_len == 0 {
+            return None;
+        }
+        let len = 1 + self.rng.next_below(max_len as u64) as usize;
+        let start = self.rng.next_below(bytes.len() as u64) as usize;
+        let end = (start + len).min(bytes.len());
+        for b in &mut bytes[start..end] {
+            *b = (self.rng.next_u64() & 0xFF) as u8;
+        }
+        Some((start, end - start))
+    }
+
+    /// Truncates the stream at a random point in `keep_min..len`
+    /// (connection loss mid-record). Returns the new length.
+    pub fn truncate(&mut self, bytes: &mut Vec<u8>, keep_min: usize) -> usize {
+        let keep_min = keep_min.min(bytes.len());
+        let span = (bytes.len() - keep_min) as u64;
+        let cut = keep_min
+            + if span == 0 {
+                0
+            } else {
+                self.rng.next_below(span + 1) as usize
+            };
+        bytes.truncate(cut);
+        bytes.len()
+    }
+
+    /// Re-inserts a random already-sent stretch of up to `max_len`
+    /// bytes at a random later position (a replayed retransmission).
+    /// Returns the `(source_start, len)` duplicated, or `None` for an
+    /// empty input.
+    pub fn duplicate_range(
+        &mut self,
+        bytes: &mut Vec<u8>,
+        max_len: usize,
+    ) -> Option<(usize, usize)> {
+        if bytes.is_empty() || max_len == 0 {
+            return None;
+        }
+        let len = 1 + self.rng.next_below(max_len as u64) as usize;
+        let start = self.rng.next_below(bytes.len() as u64) as usize;
+        let end = (start + len).min(bytes.len());
+        let chunk: Vec<u8> = bytes[start..end].to_vec();
+        let at = end + self.rng.next_below((bytes.len() - end + 1) as u64) as usize;
+        bytes.splice(at..at, chunk.iter().copied());
+        Some((start, end - start))
+    }
+
+    /// Splits `bytes` into random-size delivery chunks (each between 1
+    /// and `max_chunk` bytes). The concatenation equals the input —
+    /// this corrupts nothing, it re-segments delivery to exercise every
+    /// partial-record path in a parser.
+    #[must_use]
+    pub fn rechunk(&mut self, bytes: &[u8], max_chunk: usize) -> Vec<Vec<u8>> {
+        let max_chunk = max_chunk.max(1);
+        let mut chunks = Vec::new();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let len = (1 + self.rng.next_below(max_chunk as u64) as usize).min(bytes.len() - pos);
+            chunks.push(bytes[pos..pos + len].to_vec());
+            pos += len;
+        }
+        chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn same_seed_replays_identical_faults() {
+        let clean = payload(500);
+        let run = |seed: u64| {
+            let mut f = FaultInjector::new(seed);
+            let mut b = clean.clone();
+            f.flip_bits(&mut b, 0.02);
+            f.burst_erase(&mut b, 40);
+            f.truncate(&mut b, 100);
+            f.duplicate_range(&mut b, 30);
+            (b.clone(), f.rechunk(&b, 17))
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn flip_rate_scales_with_probability() {
+        let mut f = FaultInjector::new(1);
+        let mut b = payload(10_000);
+        let flipped = f.flip_bits(&mut b, 0.01);
+        // 80 000 bits at 1%: expect ~800, allow wide slack.
+        assert!((400..1600).contains(&flipped), "{flipped} flips");
+        let mut b2 = payload(10_000);
+        assert_eq!(f.flip_bits(&mut b2, 0.0), 0);
+        assert_eq!(b2, payload(10_000));
+    }
+
+    #[test]
+    fn flip_bits_after_protects_the_prefix() {
+        let clean = payload(300);
+        let mut f = FaultInjector::new(9);
+        let mut b = clean.clone();
+        f.flip_bits_after(&mut b, 64, 0.05);
+        assert_eq!(b[..64], clean[..64], "protected prefix untouched");
+        assert_ne!(b[64..], clean[64..]);
+    }
+
+    #[test]
+    fn burst_stays_in_bounds_and_truncate_respects_minimum() {
+        let mut f = FaultInjector::new(3);
+        for n in [1usize, 5, 100] {
+            let mut b = payload(n);
+            let hit = f.burst_erase(&mut b, 200);
+            assert_eq!(b.len(), n, "burst never resizes");
+            let (start, len) = hit.unwrap();
+            assert!(start + len <= n);
+        }
+        let mut b = payload(50);
+        let kept = f.truncate(&mut b, 20);
+        assert!((20..=50).contains(&kept));
+        assert!(f.burst_erase(&mut [], 8).is_none());
+    }
+
+    #[test]
+    fn duplicate_grows_and_rechunk_preserves_content() {
+        let mut f = FaultInjector::new(8);
+        let clean = payload(120);
+        let mut b = clean.clone();
+        let (_, len) = f.duplicate_range(&mut b, 16).unwrap();
+        assert_eq!(b.len(), clean.len() + len);
+        let chunks = f.rechunk(&clean, 13);
+        assert!(chunks.iter().all(|c| !c.is_empty() && c.len() <= 13));
+        let glued: Vec<u8> = chunks.concat();
+        assert_eq!(glued, clean);
+    }
+}

@@ -179,6 +179,45 @@ impl CompressedFrame {
     }
 }
 
+/// CRC-8 lookup table for the polynomial `x⁸+x²+x+1` (0x07, the
+/// SMBus/ATM-HEC polynomial), built at compile time.
+const CRC8_TABLE: [u8; 256] = {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-8 (polynomial 0x07, init 0x00) over `bytes`.
+///
+/// This is the integrity check of the resilient (version-3) stream
+/// container: one CRC guards each frame-record prefix (so a corrupted
+/// length can never stall the parser) and one guards each payload (so
+/// corrupt samples are erased instead of decoded). Table-driven and
+/// allocation-free — it sits on the per-record hot path.
+// tidy:alloc-free
+#[must_use]
+pub fn crc8(bytes: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in bytes {
+        crc = CRC8_TABLE[(crc ^ b) as usize];
+    }
+    crc
+}
+
 /// MSB-first bit packer (shared with the stream container codec).
 pub(crate) struct BitWriter {
     bytes: Vec<u8>,
@@ -311,6 +350,23 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         for &(v, b) in &values {
             assert_eq!(r.read(b), v);
+        }
+    }
+
+    #[test]
+    fn crc8_matches_reference_vectors() {
+        // Standard CRC-8 (poly 0x07, init 0) check value.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+        assert_eq!(crc8(&[]), 0x00);
+        assert_eq!(crc8(&[0x00]), 0x00);
+        // Bit-for-bit sensitivity: any single flipped bit changes the CRC.
+        let base = crc8(&[0xAB, 0xCD, 0xEF]);
+        for byte in 0..3 {
+            for bit in 0..8 {
+                let mut v = [0xAB, 0xCD, 0xEF];
+                v[byte] ^= 1 << bit;
+                assert_ne!(crc8(&v), base, "flip {byte}/{bit} undetected");
+            }
         }
     }
 

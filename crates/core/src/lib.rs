@@ -80,6 +80,7 @@ pub mod batch;
 pub mod cache;
 pub mod decoder;
 pub mod error;
+pub mod faults;
 pub mod frame;
 pub mod imager;
 pub mod params;
@@ -90,28 +91,36 @@ pub mod strategy;
 pub mod stream;
 
 pub use baseline::BlockCs;
-pub use batch::{BatchOutcome, BatchRunner, BatchSummary};
+pub use batch::{BatchOutcome, BatchRunner, BatchSummary, StreamBatchOutcome, StreamOutcome};
 pub use cache::{CacheConfig, CacheStats, OperatorCache, OperatorKey, DEFAULT_CACHE_BYTES};
 pub use decoder::{Decoder, DictionaryKind, Reconstruction};
 pub use error::CoreError;
+pub use faults::FaultInjector;
 pub use frame::{CompressedFrame, FrameHeader};
 pub use imager::{CompressiveImager, CompressiveImagerBuilder};
-pub use session::{DecodeSession, DecodedFrame, EncodeSession};
+pub use session::{DecodeReport, DecodeSession, DecodedFrame, EncodeSession, ErasurePolicy};
 pub use solver::{RecoveryParams, SolverKind};
 pub use strategy::StrategyKind;
+pub use stream::{StreamEvent, WireProfile};
 
 /// One-stop imports for the capture → transmit → reconstruct flow.
 pub mod prelude {
     pub use crate::baseline::BlockCs;
-    pub use crate::batch::{BatchOutcome, BatchRunner, BatchSummary};
+    pub use crate::batch::{
+        BatchOutcome, BatchRunner, BatchSummary, StreamBatchOutcome, StreamOutcome,
+    };
     pub use crate::cache::{CacheConfig, CacheStats, OperatorCache};
     pub use crate::decoder::{Decoder, DictionaryKind, Reconstruction};
+    pub use crate::faults::FaultInjector;
     pub use crate::frame::CompressedFrame;
     pub use crate::imager::CompressiveImager;
     pub use crate::pipeline::{evaluate, evaluate_with_cache, PipelineReport};
-    pub use crate::session::{DecodeSession, DecodedFrame, EncodeSession};
+    pub use crate::session::{
+        DecodeReport, DecodeSession, DecodedFrame, EncodeSession, ErasurePolicy,
+    };
     pub use crate::solver::{RecoveryParams, SolverKind};
     pub use crate::strategy::StrategyKind;
+    pub use crate::stream::{StreamEvent, WireProfile};
     pub use tepics_imaging::tile::{BlendMode, FrameGeometry, TileConfig, TileLayout};
     pub use tepics_imaging::{mae, mse, psnr, ssim, ImageF64, ImageU8, Scene};
     pub use tepics_sensor::{Fidelity, SensorConfig};

@@ -66,10 +66,12 @@ use crate::error::CoreError;
 use crate::frame::{CompressedFrame, FrameHeader};
 use crate::imager::CompressiveImager;
 use crate::solver::{RecoveryParams, SolverKind};
-use crate::stream::{StreamParser, StreamWriter};
+use crate::stream::{
+    StreamEvent, StreamParser, StreamWriter, WireProfile, STREAM_VERSION_RESILIENT,
+};
 use tepics_cs::dictionary::IdentityDictionary;
 use tepics_cs::ComposedOperator;
-use tepics_imaging::tile::{merge_tiles, TileLayout};
+use tepics_imaging::tile::{fill_uncovered, merge_tiles, merge_tiles_sparse, TileLayout};
 use tepics_imaging::ImageF64;
 use tepics_recovery::{Iht, SolveStats, SolverWorkspace};
 use tepics_sensor::EventStats;
@@ -93,11 +95,29 @@ impl EncodeSession {
     /// cannot be represented by the container (e.g. samples wider than
     /// 32 bits).
     pub fn new(imager: CompressiveImager) -> Result<EncodeSession, CoreError> {
-        let writer = match imager.tile_layout() {
-            Some(layout) => StreamWriter::new_tiled(imager.frame_header(), layout)?,
-            None => StreamWriter::new(imager.frame_header())?,
-        };
+        EncodeSession::with_profile(imager, WireProfile::default())
+    }
+
+    /// Opens an encode session speaking a specific [`WireProfile`]:
+    /// [`WireProfile::Compact`] writes the minimal version-1/2
+    /// container, [`WireProfile::Resilient`] the CRC-guarded,
+    /// self-synchronizing version-3 container for lossy transports.
+    ///
+    /// # Errors
+    ///
+    /// Returns the header errors of [`EncodeSession::new`].
+    pub fn with_profile(
+        imager: CompressiveImager,
+        profile: WireProfile,
+    ) -> Result<EncodeSession, CoreError> {
+        let header = imager.frame_header();
+        let writer = StreamWriter::for_profile(header, imager.tile_layout(), profile)?;
         Ok(EncodeSession { imager, writer })
+    }
+
+    /// The container version this session's stream uses (1, 2, or 3).
+    pub fn wire_version(&self) -> u8 {
+        self.writer.wire_version()
     }
 
     /// The imager driving this session.
@@ -207,15 +227,101 @@ struct DeltaMode {
     keyframe_interval: usize,
 }
 
+/// How a [`DecodeSession`] treats a tile group with erased
+/// (missing/corrupt) tiles on a resilient (version-3) tiled stream.
+///
+/// Versions 1 and 2 never reach this policy: their parser is sticky
+/// and a corrupt stream errors out instead of degrading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErasurePolicy {
+    /// Drop any frame missing at least one tile (counted in
+    /// [`DecodeReport::frames_lost`]); emitted frames are always
+    /// complete.
+    Strict,
+    /// Stitch the surviving tiles and leave pixels no tile covers at
+    /// zero — the [`DecodedFrame::erased_tiles`] count flags the
+    /// degradation.
+    FlaggedZero,
+    /// Stitch the surviving tiles and fill uncovered pixels by
+    /// deterministic inward diffusion from the surviving boundary
+    /// ([`fill_uncovered`]) — the visually smoothest degradation.
+    #[default]
+    NeighborBlend,
+}
+
+/// Degradation accounting of one [`DecodeSession`].
+///
+/// All counters are cumulative over the session's lifetime. On a clean
+/// stream everything but `frames_recovered` (and `tiles_recovered`, if
+/// tiled+resilient) stays zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeReport {
+    /// Frames decoded from fully intact records.
+    pub frames_recovered: usize,
+    /// Frames emitted with at least one erased tile (resilient tiled
+    /// streams under [`ErasurePolicy::FlaggedZero`] /
+    /// [`ErasurePolicy::NeighborBlend`]).
+    pub frames_degraded: usize,
+    /// Frame positions known to exist (from sequence numbers) that were
+    /// never emitted: every record lost, or dropped by
+    /// [`ErasurePolicy::Strict`].
+    pub frames_lost: usize,
+    /// Tiles decoded into emitted frames (resilient tiled streams).
+    pub tiles_recovered: usize,
+    /// Tiles erased from emitted (degraded) frames.
+    pub tiles_erased: usize,
+    /// Corruption events the parser resynchronized through.
+    pub corrupt_events: usize,
+    /// Total bytes the parser skipped as corrupt.
+    pub bytes_skipped: usize,
+    /// Times delta-mode decoding re-anchored (full recovery) after a
+    /// gap instead of chaining a delta across it.
+    pub reanchors: usize,
+    /// Duplicate/stale records discarded (replayed or re-ordered
+    /// sequence numbers).
+    pub stale_records: usize,
+}
+
+impl DecodeReport {
+    /// Frames that came out of the session, degraded or not.
+    #[must_use]
+    pub fn frames_emitted(&self) -> usize {
+        self.frames_recovered + self.frames_degraded
+    }
+
+    /// Frame positions the session knows about (emitted + lost).
+    #[must_use]
+    pub fn frames_seen(&self) -> usize {
+        self.frames_emitted() + self.frames_lost
+    }
+
+    /// Fraction of known frame positions that produced a frame
+    /// (1.0 for an empty or clean session).
+    #[must_use]
+    pub fn recovered_fraction(&self) -> f64 {
+        let seen = self.frames_seen();
+        if seen == 0 {
+            1.0
+        } else {
+            self.frames_emitted() as f64 / seen as f64
+        }
+    }
+}
+
 /// One decoded frame out of a [`DecodeSession`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodedFrame {
-    /// Position of the frame in the stream (0-based).
+    /// Position of the frame in the stream (0-based). On a resilient
+    /// stream this is derived from wire sequence numbers, so it stays
+    /// the *true* capture position even when earlier frames were lost.
     pub index: usize,
     /// Whether this frame ran full sparse recovery (`true`) or delta
     /// recovery against the previous reconstruction (`false`). Always
     /// `true` outside delta mode.
     pub is_key: bool,
+    /// Number of tiles erased (missing or corrupt) from this frame;
+    /// 0 for a fully intact frame.
+    pub erased_tiles: usize,
     /// The reconstruction.
     pub reconstruction: Reconstruction,
 }
@@ -256,6 +362,27 @@ pub struct DecodeSession {
     pending: Vec<CompressedFrame>,
     /// Reused solver buffers: one allocation for the whole stream.
     workspace: SolverWorkspace,
+    /// Erased-tile handling for resilient tiled streams.
+    policy: ErasurePolicy,
+    /// Cumulative degradation accounting.
+    report: DecodeReport,
+    /// Next expected sequence number (resilient untiled streams).
+    next_seq: u64,
+    /// Set when a gap was detected in delta mode: the next frame must
+    /// re-anchor with full recovery instead of chaining a delta.
+    reanchor: bool,
+    /// Slot-addressed tile group of a resilient tiled stream
+    /// (`seq % tiles` indexes the slot; erased tiles stay `None`).
+    slots: Vec<Option<CompressedFrame>>,
+    /// Frame index of the group in `slots`, if one is in progress.
+    group_idx: Option<usize>,
+    /// Lowest frame index still acceptable (everything below was
+    /// already flushed or counted lost).
+    group_floor: usize,
+    /// An error hit after frames had already been decoded in the same
+    /// [`DecodeSession::push_bytes`] call; surfaced (sticky) on the
+    /// next call so those frames are not discarded.
+    deferred: Option<CoreError>,
 }
 
 impl DecodeSession {
@@ -315,10 +442,43 @@ impl DecodeSession {
     }
 
     /// The tile layout of the stream being decoded, once a tiled
-    /// (version-2) header has been parsed; `None` for version-1
-    /// streams.
+    /// header has been parsed; `None` for untiled streams.
     pub fn tile_layout(&self) -> Option<&TileLayout> {
         self.parser.tile_layout()
+    }
+
+    /// Sets how tile groups with erased tiles are handled on resilient
+    /// (version-3) tiled streams (default
+    /// [`ErasurePolicy::NeighborBlend`]).
+    pub fn erasure_policy(&mut self, policy: ErasurePolicy) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The session's cumulative degradation accounting.
+    pub fn report(&self) -> DecodeReport {
+        self.report
+    }
+
+    /// Flushes the trailing partial tile group of a resilient tiled
+    /// stream (the stream ended mid-frame, or its last records were
+    /// lost), stitching the surviving tiles per the erasure policy.
+    /// No-op — and always empty — for compact streams, whose partial
+    /// groups stay buffered awaiting more bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery errors from stitching the final group.
+    pub fn finish(&mut self) -> Result<Vec<DecodedFrame>, CoreError> {
+        let mut out = Vec::new();
+        if self.parser.wire_version() == Some(STREAM_VERSION_RESILIENT) {
+            if let Some(layout) = self.parser.tile_layout().cloned() {
+                if let Some(d) = self.flush_group(&layout)? {
+                    out.push(d);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Switches the session to sequence (delta) decoding: the first
@@ -378,36 +538,179 @@ impl DecodeSession {
         self.decoder.as_mut()
     }
 
+    /// The session's sticky error, if one occurred: the parser's
+    /// poisoned state, or a decode error whose preceding frames were
+    /// already handed out by [`DecodeSession::push_bytes`].
+    pub fn error(&self) -> Option<&CoreError> {
+        self.deferred.as_ref().or_else(|| self.parser.error())
+    }
+
     /// Feeds received bytes, returning every frame completed by them
     /// (possibly none).
     ///
+    /// On a resilient (version-3) stream, corruption does not error:
+    /// the parser resynchronizes, the session stitches what survives
+    /// per its [`ErasurePolicy`], and [`DecodeSession::report`]
+    /// accumulates what was lost.
+    ///
+    /// Frames decoded before an error are never discarded: if a chunk
+    /// decodes some frames and *then* hits an error, those frames are
+    /// returned and the (sticky) error surfaces on the next call — see
+    /// [`DecodeSession::error`].
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::MalformedFrame`] on a corrupt stream (the
-    /// parser error is sticky) plus any recovery error.
+    /// Returns [`CoreError::MalformedFrame`] on a corrupt compact
+    /// (version-1/2) stream or a resilient stream with a damaged
+    /// header (the parser error is sticky), plus any recovery error.
     pub fn push_bytes(&mut self, bytes: &[u8]) -> Result<Vec<DecodedFrame>, CoreError> {
+        if let Some(e) = &self.deferred {
+            return Err(e.clone());
+        }
         self.parser.push_bytes(bytes);
         let mut out = Vec::new();
-        while let Some(frame) = self.parser.next_frame()? {
-            match self.parser.tile_layout().cloned() {
-                Some(layout) => {
-                    if self.delta.is_some() {
-                        return Err(CoreError::InvalidConfig(
-                            "delta mode is not supported for tiled streams (tiles are \
-                             recovered independently)"
-                                .into(),
-                        ));
+        let err = loop {
+            match self.parser.next_event() {
+                Ok(None) => break None,
+                Err(e) => break Some(e),
+                Ok(Some(event)) => {
+                    if let Err(e) = self.handle_event(event, &mut out) {
+                        break Some(e);
                     }
+                }
+            }
+        };
+        self.report.corrupt_events = self.parser.corrupt_events();
+        self.report.bytes_skipped = self.parser.bytes_skipped();
+        match err {
+            Some(e) if out.is_empty() => Err(e),
+            Some(e) => {
+                self.deferred = Some(e);
+                Ok(out)
+            }
+            None => Ok(out),
+        }
+    }
+
+    /// Processes one parser event inside [`DecodeSession::push_bytes`].
+    fn handle_event(
+        &mut self,
+        event: StreamEvent,
+        out: &mut Vec<DecodedFrame>,
+    ) -> Result<(), CoreError> {
+        let StreamEvent::Frame { seq, frame } = event else {
+            // Corruption totals are copied from the parser after the
+            // event loop; record loss is detected through sequence
+            // gaps.
+            return Ok(());
+        };
+        let resilient = self.parser.wire_version() == Some(STREAM_VERSION_RESILIENT);
+        match self.parser.tile_layout().cloned() {
+            Some(layout) => {
+                if self.delta.is_some() {
+                    return Err(CoreError::InvalidConfig(
+                        "delta mode is not supported for tiled streams (tiles are \
+                         recovered independently)"
+                            .into(),
+                    ));
+                }
+                if resilient {
+                    self.push_resilient_tile(seq, frame, &layout, out)?;
+                } else {
                     self.pending.push(frame);
                     if self.pending.len() == layout.tiles() {
                         let tiles = std::mem::take(&mut self.pending);
-                        out.push(self.decode_tiled(&tiles, &layout)?);
+                        let index = self.decoded;
+                        out.push(self.decode_tiled(&tiles, &layout, index)?);
                     }
                 }
-                None => out.push(self.decode(&frame)?),
+            }
+            None if resilient => {
+                if seq < self.next_seq {
+                    self.report.stale_records += 1;
+                    return Ok(());
+                }
+                if seq > self.next_seq {
+                    self.report.frames_lost += (seq - self.next_seq) as usize;
+                    if self.delta.is_some() {
+                        self.reanchor = true;
+                    }
+                }
+                self.next_seq = seq + 1;
+                out.push(self.decode_indexed(&frame, seq as usize)?);
+            }
+            None => out.push(self.decode(&frame)?),
+        }
+        Ok(())
+    }
+
+    /// Routes one resilient tiled record into its group slot, flushing
+    /// groups as they complete or as the stream moves past them.
+    fn push_resilient_tile(
+        &mut self,
+        seq: u64,
+        frame: CompressedFrame,
+        layout: &TileLayout,
+        out: &mut Vec<DecodedFrame>,
+    ) -> Result<(), CoreError> {
+        let tiles = layout.tiles();
+        let frame_idx = seq as usize / tiles;
+        let tile_idx = seq as usize % tiles;
+        if frame_idx < self.group_floor || self.group_idx.is_some_and(|g| frame_idx < g) {
+            self.report.stale_records += 1;
+            return Ok(());
+        }
+        if let Some(current) = self.group_idx {
+            if frame_idx > current {
+                // The stream moved on: stitch what we have.
+                if let Some(d) = self.flush_group(layout)? {
+                    out.push(d);
+                }
             }
         }
-        Ok(out)
+        if self.group_idx.is_none() {
+            // Frames between the floor and this record lost every tile.
+            self.report.frames_lost += frame_idx - self.group_floor;
+            self.group_floor = frame_idx;
+            self.group_idx = Some(frame_idx);
+            self.slots.clear();
+            self.slots.resize(tiles, None);
+        }
+        if self.slots[tile_idx].is_some() {
+            self.report.stale_records += 1;
+        } else {
+            self.slots[tile_idx] = Some(frame);
+            if self.slots.iter().all(Option::is_some) {
+                if let Some(d) = self.flush_group(layout)? {
+                    out.push(d);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the in-progress tile group: decodes it complete, stitches
+    /// it sparse per the erasure policy, or drops it (strict policy /
+    /// nothing survived). Updates the report either way.
+    fn flush_group(&mut self, layout: &TileLayout) -> Result<Option<DecodedFrame>, CoreError> {
+        let Some(frame_idx) = self.group_idx.take() else {
+            return Ok(None);
+        };
+        self.group_floor = frame_idx + 1;
+        let total = layout.tiles();
+        let present = self.slots.iter().flatten().count();
+        if present == 0 || (self.policy == ErasurePolicy::Strict && present < total) {
+            self.report.frames_lost += 1;
+            return Ok(None);
+        }
+        self.report.tiles_recovered += present;
+        self.report.tiles_erased += total - present;
+        if present == total {
+            let group: Vec<CompressedFrame> = self.slots.drain(..).flatten().collect();
+            return self.decode_tiled(&group, layout, frame_idx).map(Some);
+        }
+        self.decode_tiled_sparse(layout, frame_idx, total - present)
+            .map(Some)
     }
 
     /// Decodes one frame directly, bypassing the stream container (for
@@ -435,6 +738,7 @@ impl DecodeSession {
         &mut self,
         tiles: &[CompressedFrame],
         layout: &TileLayout,
+        index: usize,
     ) -> Result<DecodedFrame, CoreError> {
         self.prime(&tiles[0].header)?;
         let Some(decoder) = self.decoder.as_ref() else {
@@ -473,17 +777,107 @@ impl DecodeSession {
         }
         let stitched = merge_tiles(&code_tiles, layout);
         let mean_code = stitched.mean();
-        let index = self.decoded;
         self.decoded += 1;
+        self.report.frames_recovered += 1;
         Ok(DecodedFrame {
             index,
             is_key: true,
+            erased_tiles: 0,
+            reconstruction: Reconstruction::from_parts(stitched, mean_code, stats),
+        })
+    }
+
+    /// Decodes a *partial* tile group (resilient streams): surviving
+    /// tiles are recovered exactly as in [`DecodeSession::decode_tiled`]
+    /// and stitched sparse; erased regions are filled per the
+    /// [`ErasurePolicy`]. Bit-identical across thread counts for the
+    /// same surviving set.
+    fn decode_tiled_sparse(
+        &mut self,
+        layout: &TileLayout,
+        index: usize,
+        erased: usize,
+    ) -> Result<DecodedFrame, CoreError> {
+        let slots = std::mem::take(&mut self.slots);
+        let Some(first) = slots.iter().flatten().next() else {
+            return Err(CoreError::InvalidConfig(
+                "sparse tile group has no surviving tile".into(),
+            ));
+        };
+        self.prime(&first.header)?;
+        let Some(decoder) = self.decoder.as_ref() else {
+            return Err(CoreError::InvalidConfig(
+                "decode session has no primed decoder".into(),
+            ));
+        };
+        let recons: Vec<Option<Result<Reconstruction, CoreError>>> = if self.threads <= 1 {
+            let workspace = &mut self.workspace;
+            slots
+                .iter()
+                .map(|slot| {
+                    slot.as_ref()
+                        .map(|frame| decoder.reconstruct_with(frame, workspace))
+                })
+                .collect()
+        } else {
+            par_map(self.threads, &slots, |_, slot| {
+                slot.as_ref().map(|frame| {
+                    let mut workspace = SolverWorkspace::default();
+                    decoder.reconstruct_with(frame, &mut workspace)
+                })
+            })
+        };
+        let mut code_tiles: Vec<Option<Vec<f64>>> = Vec::with_capacity(recons.len());
+        let mut stats = SolveStats {
+            iterations: 0,
+            residual_norm: 0.0,
+            converged: true,
+        };
+        for recon in recons {
+            let Some(recon) = recon else {
+                code_tiles.push(None);
+                continue;
+            };
+            let recon = recon?;
+            stats.iterations += recon.stats().iterations;
+            stats.residual_norm = stats.residual_norm.hypot(recon.stats().residual_norm);
+            stats.converged &= recon.stats().converged;
+            code_tiles.push(Some(recon.code_image().as_slice().to_vec()));
+        }
+        let (mut stitched, uncovered) = merge_tiles_sparse(&code_tiles, layout);
+        if self.policy == ErasurePolicy::NeighborBlend {
+            fill_uncovered(&mut stitched, &uncovered);
+        }
+        let mean_code = stitched.mean();
+        self.decoded += 1;
+        self.report.frames_degraded += 1;
+        Ok(DecodedFrame {
+            index,
+            is_key: true,
+            erased_tiles: erased,
             reconstruction: Reconstruction::from_parts(stitched, mean_code, stats),
         })
     }
 
     fn decode(&mut self, frame: &CompressedFrame) -> Result<DecodedFrame, CoreError> {
+        let index = self.decoded;
+        self.decode_indexed(frame, index)
+    }
+
+    fn decode_indexed(
+        &mut self,
+        frame: &CompressedFrame,
+        index: usize,
+    ) -> Result<DecodedFrame, CoreError> {
         self.prime(&frame.header)?;
+        if std::mem::take(&mut self.reanchor) {
+            // A gap swallowed the frame the next delta would chain
+            // from: drop the chain and re-anchor with full recovery.
+            self.prev_samples = None;
+            self.prev_codes = None;
+            self.frames_since_key = 0;
+            self.report.reanchors += 1;
+        }
         let is_key = match (&self.delta, &self.prev_samples) {
             (Some(delta), Some(prev)) => {
                 if self.header.as_ref() != Some(&frame.header) || prev.len() != frame.samples.len()
@@ -516,11 +910,12 @@ impl DecodeSession {
             self.prev_samples = Some(frame.samples.clone());
             self.prev_codes = Some(reconstruction.code_image().clone());
         }
-        let index = self.decoded;
         self.decoded += 1;
+        self.report.frames_recovered += 1;
         Ok(DecodedFrame {
             index,
             is_key,
+            erased_tiles: 0,
             reconstruction,
         })
     }
@@ -847,5 +1242,138 @@ mod tests {
             dec.push_bytes(&bytes),
             Err(CoreError::MalformedFrame(_))
         ));
+    }
+
+    /// Byte span of resilient record `i` (its sync word excluded) for a
+    /// stream whose records all have the same payload size.
+    fn record_span(header_len: usize, rec_len: usize, i: usize) -> (usize, usize) {
+        let start = header_len + 4 * (i / crate::stream::SYNC_INTERVAL + 1) + i * rec_len;
+        (start, start + rec_len)
+    }
+
+    fn resilient_record_len(samples: usize, sample_bits: usize) -> usize {
+        crate::stream::RESILIENT_RECORD_PREFIX_BYTES + (samples * sample_bits).div_ceil(8) + 1
+    }
+
+    #[test]
+    fn clean_resilient_session_decodes_identical_to_compact() {
+        for tiled in [false, true] {
+            let im = if tiled {
+                tiled_imager(31)
+            } else {
+                imager(16, 31)
+            };
+            let (w, h) = if tiled { (40, 28) } else { (16, 16) };
+            let mut compact = EncodeSession::new(im.clone()).unwrap();
+            let mut resilient = EncodeSession::with_profile(im, WireProfile::Resilient).unwrap();
+            for i in 0..3 {
+                let scene = Scene::gaussian_blobs(2).render(w, h, i);
+                compact.capture(&scene).unwrap();
+                resilient.capture(&scene).unwrap();
+            }
+            assert_eq!(resilient.wire_version(), STREAM_VERSION_RESILIENT);
+            let a = DecodeSession::new()
+                .push_bytes(&compact.into_bytes())
+                .unwrap();
+            let mut dec = DecodeSession::new();
+            let mut b = dec.push_bytes(&resilient.into_bytes()).unwrap();
+            b.extend(dec.finish().unwrap());
+            assert_eq!(a, b, "tiled={tiled}: clean v3 must match v1/v2 decode");
+            let report = dec.report();
+            assert_eq!(report.frames_recovered, 3);
+            assert_eq!(report.frames_degraded + report.frames_lost, 0);
+            assert_eq!(report.corrupt_events, 0);
+            assert!((report.recovered_fraction() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erased_tile_degrades_gracefully_per_policy() {
+        let im = tiled_imager(77);
+        let layout = im.tile_layout().unwrap().clone();
+        let mut enc = EncodeSession::with_profile(im, WireProfile::Resilient).unwrap();
+        let frames = enc
+            .capture(&Scene::gaussian_blobs(3).render(40, 28, 5))
+            .unwrap();
+        let bytes = enc.into_bytes();
+        let rec_len = resilient_record_len(
+            frames[0].samples.len(),
+            frames[0].header.sample_bits as usize,
+        );
+        let (start, end) = record_span(crate::stream::RESILIENT_TILED_HEADER_BYTES, rec_len, 2);
+        // Damage tile record 2's payload: its CRC fails, the tile is
+        // erased, the other five stitch.
+        let mut dirty = bytes.clone();
+        dirty[start + 15] ^= 0x10;
+        assert!(end <= bytes.len());
+
+        for policy in [ErasurePolicy::NeighborBlend, ErasurePolicy::FlaggedZero] {
+            let mut dec = DecodeSession::new();
+            dec.erasure_policy(policy);
+            let mut out = dec.push_bytes(&dirty).unwrap();
+            out.extend(dec.finish().unwrap());
+            assert_eq!(out.len(), 1, "{policy:?}");
+            assert_eq!(out[0].erased_tiles, 1);
+            assert_eq!(out[0].index, 0);
+            let img = out[0].reconstruction.code_image();
+            assert_eq!((img.width(), img.height()), (40, 28));
+            assert!(img.as_slice().iter().all(|v| v.is_finite()));
+            let report = dec.report();
+            assert_eq!(report.frames_degraded, 1);
+            assert_eq!(report.tiles_erased, 1);
+            assert_eq!(report.tiles_recovered, layout.tiles() - 1);
+            assert_eq!(report.corrupt_events, 1);
+            assert!(report.bytes_skipped >= rec_len);
+        }
+
+        // Strict: the damaged frame is dropped, not stitched.
+        let mut dec = DecodeSession::new();
+        dec.erasure_policy(ErasurePolicy::Strict);
+        let mut out = dec.push_bytes(&dirty).unwrap();
+        out.extend(dec.finish().unwrap());
+        assert!(out.is_empty());
+        assert_eq!(dec.report().frames_lost, 1);
+    }
+
+    #[test]
+    fn delta_mode_reanchors_after_a_dropped_frame() {
+        let im = imager(24, 0xD17A);
+        let header = im.frame_header();
+        let scenes: Vec<ImageF64> = (0..5)
+            .map(|i| Scene::gaussian_blobs(2).render(24, 24, 40 + i as u64))
+            .collect();
+        let mut enc = EncodeSession::with_profile(im, WireProfile::Resilient).unwrap();
+        let mut captured = Vec::new();
+        for scene in &scenes {
+            captured.extend(enc.capture(scene).unwrap());
+        }
+        let bytes = enc.into_bytes();
+        let rec_len = resilient_record_len(captured[0].samples.len(), header.sample_bits as usize);
+        // Excise record 2 completely: a gap, not in-place corruption.
+        let (start, end) = record_span(crate::stream::RESILIENT_HEADER_BYTES, rec_len, 2);
+        let mut gapped = bytes[..start].to_vec();
+        gapped.extend_from_slice(&bytes[end..]);
+
+        let mut dec = DecodeSession::new();
+        dec.delta_mode(30, 0);
+        let out = dec.push_bytes(&gapped).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(
+            out.iter().map(|d| d.index).collect::<Vec<_>>(),
+            vec![0, 1, 3, 4],
+            "true stream positions survive the gap"
+        );
+        assert!(out[2].is_key, "first frame after the gap re-anchors");
+        assert!(!out[3].is_key, "chaining resumes after the re-anchor");
+        let report = dec.report();
+        assert_eq!(report.frames_lost, 1);
+        assert_eq!(report.reanchors, 1);
+        // The re-anchored frame is a *full* recovery: bit-identical to
+        // decoding record 3 fresh in its own session.
+        let fresh = DecodeSession::new().push_frame(&captured[3]).unwrap();
+        assert_eq!(
+            out[2].reconstruction, fresh.reconstruction,
+            "re-anchor must not chain across the gap"
+        );
     }
 }

@@ -42,6 +42,45 @@
 //! captured frame. Version-1 streams parse unchanged
 //! ([`StreamParser::tile_layout`] is simply `None` for them).
 //!
+//! # Resilient streams (version 3)
+//!
+//! Versions 1 and 2 assume a clean transport: one malformed byte
+//! poisons the parser forever (the *sticky* contract — appropriate when
+//! the bytes come from disk or a checksummed socket). A version-3
+//! stream instead assumes a lossy channel and spends a little wire
+//! overhead on **self-synchronization**:
+//!
+//! ```text
+//! ┌───────────────────────────┬──────┬───────────────────────────────┬───
+//! │ base header · flags · CRC │ SYNC │ record: marker · seq · count  │ …
+//! │ (version = 3; tile ext    │ (4 B,│         · prefix-CRC-8        │
+//! │  when flags bit 0 is set) │ every│         · payload             │
+//! │                           │ 8 th │         · payload-CRC-8       │
+//! │                           │ rec.)│                               │
+//! └───────────────────────────┴──────┴───────────────────────────────┴───
+//! ```
+//!
+//! * Every record prefix carries a **sequence number** and a CRC-8, so
+//!   a corrupted length can never stall or misframe the parser, and the
+//!   receiver always knows *which* records a gap swallowed.
+//! * Every payload carries its own CRC-8: a record that frames
+//!   correctly but fails the payload check is reported as corrupt (and
+//!   skipped) instead of being decoded into garbage.
+//! * A 4-byte **sync word** precedes every [`SYNC_INTERVAL`]-th record.
+//!   After corruption the parser scans forward to the next sync word
+//!   *or* the next record prefix that passes its CRC, emits a
+//!   structured [`StreamEvent::Corrupt`] with the number of bytes
+//!   skipped, and resumes decoding — corruption costs the records it
+//!   actually hit, not the stream.
+//!
+//! [`StreamParser::next_event`] surfaces the full event stream
+//! (frames with their sequence numbers, plus corruption reports);
+//! [`StreamParser::next_frame`] keeps the frames-only view and skips
+//! corrupt stretches transparently on version 3. Only stream-header
+//! damage is fatal for a version-3 stream (there is nothing to
+//! resynchronize *to* without a header); for versions 1 and 2 every
+//! parse error remains sticky — see [`StreamParser::error`].
+//!
 //! [`StreamWriter`] builds a stream incrementally; [`StreamParser`]
 //! consumes one from arbitrary byte chunks (network reads need not align
 //! with record boundaries). Both are the substrate of the session API
@@ -49,7 +88,7 @@
 //! [`DecodeSession`](crate::session::DecodeSession)).
 
 use crate::error::CoreError;
-use crate::frame::{BitReader, BitWriter, CompressedFrame, FrameHeader};
+use crate::frame::{crc8, BitReader, BitWriter, CompressedFrame, FrameHeader};
 use crate::strategy::StrategyKind;
 use tepics_imaging::tile::{BlendMode, FrameGeometry, TileLayout};
 
@@ -59,17 +98,62 @@ pub const STREAM_MAGIC: [u8; 4] = *b"TEPS";
 pub const STREAM_VERSION: u8 = 1;
 /// Container version of tiled streams (base header + tile extension).
 pub const STREAM_VERSION_TILED: u8 = 2;
+/// Container version of resilient streams (CRC-8-guarded records with
+/// sequence numbers and periodic sync markers; tiled or untiled via the
+/// header's flags byte).
+pub const STREAM_VERSION_RESILIENT: u8 = 3;
 /// Serialized size of the stream header.
 pub const STREAM_HEADER_BYTES: usize = 23;
 /// Serialized size of a tiled (version-2) stream header: the base
 /// header plus the 7-byte tile extension.
 pub const TILED_HEADER_BYTES: usize = STREAM_HEADER_BYTES + 7;
+/// Serialized size of an untiled resilient (version-3) header: the base
+/// header plus a flags byte and a CRC-8.
+pub const RESILIENT_HEADER_BYTES: usize = STREAM_HEADER_BYTES + 2;
+/// Serialized size of a tiled resilient header (flags bit 0 set): the
+/// untiled resilient header plus the 7-byte tile extension.
+pub const RESILIENT_TILED_HEADER_BYTES: usize = RESILIENT_HEADER_BYTES + 7;
 /// Serialized overhead of each frame record before its payload.
 pub const FRAME_RECORD_BYTES: usize = 5;
+/// Serialized prefix of a resilient frame record (marker, sequence
+/// number, sample count, prefix CRC-8); the payload CRC-8 adds one more
+/// byte after the payload.
+pub const RESILIENT_RECORD_PREFIX_BYTES: usize = 10;
+/// The resynchronization word of resilient streams, written before
+/// every [`SYNC_INTERVAL`]-th record. Chosen to collide with neither
+/// the stream magic nor the record marker.
+pub const SYNC_WORD: [u8; 4] = [0x5A, 0xC3, 0x96, 0x69];
+/// A sync word precedes every `SYNC_INTERVAL`-th record of a resilient
+/// stream (records whose sequence number is a multiple of this).
+pub const SYNC_INTERVAL: usize = 8;
 
 /// Marker byte opening each frame record (cheap resynchronization /
 /// corruption check).
 const FRAME_MARKER: u8 = 0xF5;
+
+/// Header flag bit: the resilient stream is tiled (tile extension
+/// present).
+const RESILIENT_FLAG_TILED: u8 = 0b1;
+
+/// How far ahead of the last accepted sequence number a resilient
+/// record may claim to be before the parser treats it as corruption
+/// (a lucky-CRC forgery or a wildly damaged prefix).
+const SEQ_WINDOW: u32 = 1 << 20;
+
+/// Which stream container an [`EncodeSession`](crate::session::EncodeSession)
+/// (or [`StreamWriter`]) speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireProfile {
+    /// Minimal overhead (versions 1/2): 5-byte records, no integrity
+    /// data. A corrupt byte poisons the whole stream — use on clean
+    /// transports.
+    #[default]
+    Compact,
+    /// Resilient (version 3): CRC-8-guarded, sequence-numbered records
+    /// with periodic sync markers. Corruption is detected, skipped, and
+    /// reported; decoding resumes at the next intact record.
+    Resilient,
+}
 
 /// Validates the header fields the container (and the decoder behind
 /// it) can represent: the decoder's shared checks plus the packer's
@@ -151,6 +235,7 @@ pub struct StreamWriter {
     buf: Vec<u8>,
     frames: usize,
     layout: Option<TileLayout>,
+    version: u8,
 }
 
 impl StreamWriter {
@@ -168,7 +253,81 @@ impl StreamWriter {
             buf: header_bytes(&header).to_vec(),
             frames: 0,
             layout: None,
+            version: STREAM_VERSION,
         })
+    }
+
+    /// Opens a resilient (version-3) untiled stream: every record is
+    /// CRC-8-guarded and sequence-numbered, and a [`SYNC_WORD`]
+    /// precedes every [`SYNC_INTERVAL`]-th record so a parser can
+    /// recover from corruption mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the header errors of [`StreamWriter::new`].
+    pub fn new_resilient(header: FrameHeader) -> Result<StreamWriter, CoreError> {
+        validate_header(&header)?;
+        let mut buf = header_bytes(&header).to_vec();
+        buf[4] = STREAM_VERSION_RESILIENT;
+        buf.push(0); // flags: untiled
+        buf.push(crc8(&buf));
+        Ok(StreamWriter {
+            header,
+            buf,
+            frames: 0,
+            layout: None,
+            version: STREAM_VERSION_RESILIENT,
+        })
+    }
+
+    /// Opens a resilient (version-3) **tiled** stream: the record
+    /// protection of [`StreamWriter::new_resilient`] plus the tile
+    /// extension of [`StreamWriter::new_tiled`]. Record sequence
+    /// numbers map to tiles as `seq = frame × layout.tiles() + tile`,
+    /// so a receiver can attribute every gap to specific tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the errors of [`StreamWriter::new_tiled`].
+    pub fn new_resilient_tiled(
+        header: FrameHeader,
+        layout: &TileLayout,
+    ) -> Result<StreamWriter, CoreError> {
+        let mut writer = StreamWriter::new_tiled(header, layout)?;
+        writer.buf[4] = STREAM_VERSION_RESILIENT;
+        // Rebuild the tail as flags + ext + CRC: new_tiled laid out
+        // [base 23 | ext 7]; the resilient layout is
+        // [base 23 | flags 1 | ext 7 | crc 1].
+        let ext: [u8; 7] = writer.buf[STREAM_HEADER_BYTES..STREAM_HEADER_BYTES + 7]
+            .try_into()
+            .map_err(|_| CoreError::InvalidConfig("tile extension layout".into()))?;
+        writer.buf.truncate(STREAM_HEADER_BYTES);
+        writer.buf.push(RESILIENT_FLAG_TILED);
+        writer.buf.extend_from_slice(&ext);
+        writer.buf.push(crc8(&writer.buf));
+        writer.version = STREAM_VERSION_RESILIENT;
+        Ok(writer)
+    }
+
+    /// Opens a stream for `profile`: [`WireProfile::Compact`] maps to
+    /// [`StreamWriter::new`]/[`new_tiled`](StreamWriter::new_tiled)
+    /// (version 1 or 2 by tiling), [`WireProfile::Resilient`] to the
+    /// version-3 constructors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the errors of the underlying constructor.
+    pub fn for_profile(
+        header: FrameHeader,
+        layout: Option<&TileLayout>,
+        profile: WireProfile,
+    ) -> Result<StreamWriter, CoreError> {
+        match (profile, layout) {
+            (WireProfile::Compact, None) => StreamWriter::new(header),
+            (WireProfile::Compact, Some(l)) => StreamWriter::new_tiled(header, l),
+            (WireProfile::Resilient, None) => StreamWriter::new_resilient(header),
+            (WireProfile::Resilient, Some(l)) => StreamWriter::new_resilient_tiled(header, l),
+        }
     }
 
     /// Opens a version-2 (tiled) stream: `header` describes one tile
@@ -214,12 +373,18 @@ impl StreamWriter {
             buf,
             frames: 0,
             layout: Some(layout.clone()),
+            version: STREAM_VERSION_TILED,
         })
     }
 
     /// The stream header every frame must match.
     pub fn header(&self) -> &FrameHeader {
         &self.header
+    }
+
+    /// The container version this writer emits (1, 2, or 3).
+    pub fn wire_version(&self) -> u8 {
+        self.version
     }
 
     /// The tile layout of a tiled (version-2) stream, `None` for
@@ -275,14 +440,35 @@ impl StreamWriter {
                 "sample {bad} does not fit in {bits} bits"
             )));
         }
-        self.buf.push(FRAME_MARKER);
-        self.buf
-            .extend_from_slice(&(samples.len() as u32).to_le_bytes());
-        let mut writer = BitWriter::new();
-        for &s in samples {
-            writer.write(s, bits);
+        if self.version == STREAM_VERSION_RESILIENT {
+            let seq = self.frames as u32; // wraps with the stream's 2³²-record horizon
+            if (seq as usize).is_multiple_of(SYNC_INTERVAL) {
+                self.buf.extend_from_slice(&SYNC_WORD);
+            }
+            let prefix_start = self.buf.len();
+            self.buf.push(FRAME_MARKER);
+            self.buf.extend_from_slice(&seq.to_le_bytes());
+            self.buf
+                .extend_from_slice(&(samples.len() as u32).to_le_bytes());
+            let prefix_crc = crc8(&self.buf[prefix_start..]);
+            self.buf.push(prefix_crc);
+            let mut writer = BitWriter::new();
+            for &s in samples {
+                writer.write(s, bits);
+            }
+            let payload = writer.finish();
+            self.buf.extend_from_slice(&payload);
+            self.buf.push(crc8(&payload));
+        } else {
+            self.buf.push(FRAME_MARKER);
+            self.buf
+                .extend_from_slice(&(samples.len() as u32).to_le_bytes());
+            let mut writer = BitWriter::new();
+            for &s in samples {
+                writer.write(s, bits);
+            }
+            self.buf.extend_from_slice(&writer.finish());
         }
-        self.buf.extend_from_slice(&writer.finish());
         self.frames += 1;
         Ok(())
     }
@@ -304,13 +490,48 @@ impl StreamWriter {
     }
 }
 
+/// One event out of a [`StreamParser`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A complete, integrity-checked frame record.
+    Frame {
+        /// The record's position in the stream. Versions 1/2 number
+        /// records implicitly (parse order); version 3 carries the
+        /// number on the wire, so gaps are visible as jumps.
+        seq: u64,
+        /// The decoded record.
+        frame: CompressedFrame,
+    },
+    /// A corrupt stretch of a resilient (version-3) stream was detected
+    /// and skipped; parsing resumes at the next intact record or sync
+    /// word. Versions 1/2 never emit this — they fail sticky instead.
+    Corrupt {
+        /// Bytes consumed without yielding a frame (damaged record
+        /// bytes plus any garbage scanned over).
+        bytes_skipped: usize,
+    },
+}
+
 /// Incremental parser consuming a stream from arbitrary byte chunks.
 ///
 /// Feed bytes with [`StreamParser::push_bytes`] as they arrive, then
-/// drain complete frames with [`StreamParser::next_frame`]. A parse
-/// error (bad magic, unknown strategy, out-of-range count…) is sticky:
-/// the stream is corrupt and every further call reports the same
-/// [`CoreError::MalformedFrame`].
+/// drain complete records with [`StreamParser::next_event`] (or the
+/// frames-only convenience [`StreamParser::next_frame`]).
+///
+/// # Error contract: sticky (v1/v2) vs resync (v3)
+///
+/// For version-1/2 streams a parse error (bad magic, unknown strategy,
+/// out-of-range count…) is **sticky**: the stream is corrupt and every
+/// further call reports the same [`CoreError::MalformedFrame`] —
+/// inspect it with [`StreamParser::error`] /
+/// [`StreamParser::is_malformed`].
+///
+/// A version-3 (resilient) stream only fails sticky on stream-*header*
+/// damage. Once the header has parsed, record-level corruption is
+/// reported as [`StreamEvent::Corrupt`] and the parser resynchronizes:
+/// it scans forward for the next [`SYNC_WORD`] or the next record
+/// prefix whose CRC-8 verifies, and resumes from there.
+/// [`StreamParser::next_frame`] skips the corrupt events transparently.
 #[derive(Debug, Clone, Default)]
 pub struct StreamParser {
     buf: Vec<u8>,
@@ -319,6 +540,20 @@ pub struct StreamParser {
     layout: Option<TileLayout>,
     frames: usize,
     poisoned: Option<CoreError>,
+    /// Container version (0 until the header has parsed).
+    version: u8,
+    /// Resilient mode: currently scanning for a resync point.
+    scanning: bool,
+    /// Resilient mode: bytes consumed since corruption was detected,
+    /// not yet reported in a [`StreamEvent::Corrupt`].
+    pending_skip: usize,
+    /// Resilient mode: lowest sequence number a record may carry and
+    /// still advance the stream (last accepted + 1).
+    seq_floor: u32,
+    /// Total bytes skipped over all corrupt stretches so far.
+    skipped_total: usize,
+    /// Total [`StreamEvent::Corrupt`] events emitted so far.
+    corrupt_events: usize,
 }
 
 impl StreamParser {
@@ -362,20 +597,73 @@ impl StreamParser {
         self.buf.len() - self.pos
     }
 
-    /// Parses the next complete frame, if the buffer holds one.
+    /// The sticky parse error, if the stream is poisoned. Version-1/2
+    /// streams poison on any parse error; version-3 streams only on
+    /// stream-header damage (see the type-level docs for the two
+    /// contracts).
+    pub fn error(&self) -> Option<&CoreError> {
+        self.poisoned.as_ref()
+    }
+
+    /// Whether the parser is poisoned — every further
+    /// [`next_frame`](StreamParser::next_frame) /
+    /// [`next_event`](StreamParser::next_event) call will return the
+    /// same error ([`StreamParser::error`]).
+    pub fn is_malformed(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Container version of the stream (once the header has parsed).
+    pub fn wire_version(&self) -> Option<u8> {
+        (self.version != 0).then_some(self.version)
+    }
+
+    /// Total bytes skipped over corrupt stretches so far (version-3
+    /// resynchronization; always 0 for versions 1/2).
+    pub fn bytes_skipped(&self) -> usize {
+        self.skipped_total
+    }
+
+    /// Number of [`StreamEvent::Corrupt`] events emitted so far.
+    pub fn corrupt_events(&self) -> usize {
+        self.corrupt_events
+    }
+
+    /// Parses the next complete frame, if the buffer holds one,
+    /// transparently skipping corrupt stretches of a resilient stream.
+    /// Use [`StreamParser::next_event`] to observe the skips.
     ///
     /// Returns `Ok(None)` when more bytes are needed.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::MalformedFrame`] on a corrupt stream; the
-    /// error is sticky.
+    /// Returns [`CoreError::MalformedFrame`] on a corrupt version-1/2
+    /// stream (sticky) or a version-3 stream whose *header* is corrupt.
     pub fn next_frame(&mut self) -> Result<Option<CompressedFrame>, CoreError> {
+        loop {
+            match self.next_event()? {
+                None => return Ok(None),
+                Some(StreamEvent::Frame { frame, .. }) => return Ok(Some(frame)),
+                Some(StreamEvent::Corrupt { .. }) => {}
+            }
+        }
+    }
+
+    /// Parses the next stream event: a frame record, or (version 3
+    /// only) a report of skipped corrupt bytes.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] under the sticky contract
+    /// (see the type-level docs).
+    pub fn next_event(&mut self) -> Result<Option<StreamEvent>, CoreError> {
         if let Some(e) = &self.poisoned {
             return Err(e.clone());
         }
-        match self.try_next() {
-            Ok(frame) => Ok(frame),
+        match self.advance() {
+            Ok(ev) => Ok(ev),
             Err(e) => {
                 self.poisoned = Some(e.clone());
                 Err(e)
@@ -383,65 +671,116 @@ impl StreamParser {
         }
     }
 
-    fn try_next(&mut self) -> Result<Option<CompressedFrame>, CoreError> {
-        let header = if let Some(h) = self.header {
-            h
-        } else {
-            if self.buffered_bytes() < STREAM_HEADER_BYTES {
-                return Ok(None);
-            }
-            if self.buf[self.pos..self.pos + 4] != STREAM_MAGIC {
-                return Err(CoreError::MalformedFrame("bad stream magic".into()));
-            }
-            let version = self.buf[self.pos + 4];
-            let header_len = match version {
-                STREAM_VERSION => STREAM_HEADER_BYTES,
-                STREAM_VERSION_TILED => TILED_HEADER_BYTES,
-                other => {
+    fn advance(&mut self) -> Result<Option<StreamEvent>, CoreError> {
+        if self.header.is_none() && !self.parse_header()? {
+            return Ok(None);
+        }
+        if self.version == STREAM_VERSION_RESILIENT {
+            return Ok(self.next_resilient());
+        }
+        let seq = self.frames as u64;
+        Ok(self
+            .try_next_compact()?
+            .map(|frame| StreamEvent::Frame { seq, frame }))
+    }
+
+    /// Parses the stream header once enough bytes are buffered.
+    /// `Ok(true)` = header parsed, `Ok(false)` = need more bytes.
+    fn parse_header(&mut self) -> Result<bool, CoreError> {
+        if self.buffered_bytes() < STREAM_HEADER_BYTES {
+            return Ok(false);
+        }
+        if self.buf[self.pos..self.pos + 4] != STREAM_MAGIC {
+            return Err(CoreError::MalformedFrame("bad stream magic".into()));
+        }
+        let version = self.buf[self.pos + 4];
+        let header_len = match version {
+            STREAM_VERSION => STREAM_HEADER_BYTES,
+            STREAM_VERSION_TILED => TILED_HEADER_BYTES,
+            STREAM_VERSION_RESILIENT => {
+                // Need the flags byte to know the header length.
+                if self.buffered_bytes() < STREAM_HEADER_BYTES + 1 {
+                    return Ok(false);
+                }
+                let flags = self.buf[self.pos + STREAM_HEADER_BYTES];
+                if flags & !RESILIENT_FLAG_TILED != 0 {
                     return Err(CoreError::MalformedFrame(format!(
-                        "unsupported stream version {other}"
+                        "unknown resilient header flags {flags:#04x}"
                     )));
                 }
-            };
-            if self.buffered_bytes() < header_len {
-                return Ok(None);
-            }
-            let b = &self.buf[self.pos..self.pos + header_len];
-            let header = FrameHeader {
-                rows: u16::from_le_bytes([b[5], b[6]]),
-                cols: u16::from_le_bytes([b[7], b[8]]),
-                code_bits: b[9],
-                sample_bits: b[10],
-                strategy: StrategyKind::from_wire([b[11], b[12], b[13], b[14]])?,
-                seed: u64::from_le_bytes([b[15], b[16], b[17], b[18], b[19], b[20], b[21], b[22]]),
-            };
-            validate_header(&header)?;
-            if version == STREAM_VERSION_TILED {
-                let frame_w = u16::from_le_bytes([b[23], b[24]]) as usize;
-                let frame_h = u16::from_le_bytes([b[25], b[26]]) as usize;
-                let overlap = u16::from_le_bytes([b[27], b[28]]) as usize;
-                let blend = blend_from_wire(b[29])?;
-                if frame_w == 0 || frame_h == 0 {
-                    return Err(CoreError::MalformedFrame(format!(
-                        "tiled stream frame {frame_w}×{frame_h} has a zero dimension"
-                    )));
+                if flags & RESILIENT_FLAG_TILED != 0 {
+                    RESILIENT_TILED_HEADER_BYTES
+                } else {
+                    RESILIENT_HEADER_BYTES
                 }
-                // The base header carries the tile geometry; the layout
-                // constructor re-validates tile-vs-frame consistency
-                // (tile within frame, overlap below tile).
-                let layout = TileLayout::with_tile_dims(
-                    FrameGeometry::new(frame_w, frame_h),
-                    header.cols as usize,
-                    header.rows as usize,
-                    overlap,
-                    blend,
-                )
-                .map_err(|e| CoreError::MalformedFrame(e.to_string()))?;
-                self.layout = Some(layout);
             }
-            self.header = Some(header);
-            self.pos += header_len;
-            header
+            other => {
+                return Err(CoreError::MalformedFrame(format!(
+                    "unsupported stream version {other}"
+                )));
+            }
+        };
+        if self.buffered_bytes() < header_len {
+            return Ok(false);
+        }
+        let b = &self.buf[self.pos..self.pos + header_len];
+        if version == STREAM_VERSION_RESILIENT && crc8(&b[..header_len - 1]) != b[header_len - 1] {
+            return Err(CoreError::MalformedFrame(
+                "resilient stream header fails its CRC".into(),
+            ));
+        }
+        let header = FrameHeader {
+            rows: u16::from_le_bytes([b[5], b[6]]),
+            cols: u16::from_le_bytes([b[7], b[8]]),
+            code_bits: b[9],
+            sample_bits: b[10],
+            strategy: StrategyKind::from_wire([b[11], b[12], b[13], b[14]])?,
+            seed: u64::from_le_bytes([b[15], b[16], b[17], b[18], b[19], b[20], b[21], b[22]]),
+        };
+        validate_header(&header)?;
+        // The tile extension sits right after the base header (v2) or
+        // after the flags byte (v3 tiled).
+        let ext_at = match version {
+            STREAM_VERSION_TILED => Some(STREAM_HEADER_BYTES),
+            STREAM_VERSION_RESILIENT if header_len == RESILIENT_TILED_HEADER_BYTES => {
+                Some(STREAM_HEADER_BYTES + 1)
+            }
+            _ => None,
+        };
+        if let Some(at) = ext_at {
+            let e = &b[at..at + 7];
+            let frame_w = u16::from_le_bytes([e[0], e[1]]) as usize;
+            let frame_h = u16::from_le_bytes([e[2], e[3]]) as usize;
+            let overlap = u16::from_le_bytes([e[4], e[5]]) as usize;
+            let blend = blend_from_wire(e[6])?;
+            if frame_w == 0 || frame_h == 0 {
+                return Err(CoreError::MalformedFrame(format!(
+                    "tiled stream frame {frame_w}×{frame_h} has a zero dimension"
+                )));
+            }
+            // The base header carries the tile geometry; the layout
+            // constructor re-validates tile-vs-frame consistency
+            // (tile within frame, overlap below tile).
+            let layout = TileLayout::with_tile_dims(
+                FrameGeometry::new(frame_w, frame_h),
+                header.cols as usize,
+                header.rows as usize,
+                overlap,
+                blend,
+            )
+            .map_err(|e| CoreError::MalformedFrame(e.to_string()))?;
+            self.layout = Some(layout);
+        }
+        self.header = Some(header);
+        self.version = version;
+        self.pos += header_len;
+        Ok(true)
+    }
+
+    /// The version-1/2 record parser (sticky contract).
+    fn try_next_compact(&mut self) -> Result<Option<CompressedFrame>, CoreError> {
+        let Some(header) = self.header else {
+            return Ok(None);
         };
         if self.buffered_bytes() < FRAME_RECORD_BYTES {
             return Ok(None);
@@ -481,6 +820,177 @@ impl StreamParser {
         self.frames += 1;
         Ok(Some(CompressedFrame { header, samples }))
     }
+
+    /// The version-3 record parser: never errors — corruption becomes
+    /// [`StreamEvent::Corrupt`] and the parser resynchronizes.
+    ///
+    /// Progress guarantee: every loop iteration either returns or
+    /// consumes at least one buffered byte, so a call always terminates
+    /// within `buffered_bytes()` iterations.
+    fn next_resilient(&mut self) -> Option<StreamEvent> {
+        let header = self.header?;
+        let max_count = header.rows as u64 * header.cols as u64;
+        loop {
+            if self.scanning {
+                match self.scan_for_resync(max_count) {
+                    ScanOutcome::NeedBytes => return None,
+                    ScanOutcome::Resynced => {
+                        self.scanning = false;
+                        let bytes_skipped = std::mem::take(&mut self.pending_skip);
+                        self.skipped_total += bytes_skipped;
+                        self.corrupt_events += 1;
+                        return Some(StreamEvent::Corrupt { bytes_skipped });
+                    }
+                }
+            }
+            let avail = self.buffered_bytes();
+            if avail == 0 {
+                return None;
+            }
+            let first = self.buf[self.pos];
+            if first == SYNC_WORD[0] {
+                // A sync word (or the corrupted start of one).
+                if avail < SYNC_WORD.len() {
+                    return None;
+                }
+                if self.buf[self.pos..self.pos + SYNC_WORD.len()] == SYNC_WORD {
+                    self.pos += SYNC_WORD.len();
+                    continue;
+                }
+                self.enter_scan();
+                continue;
+            }
+            if first != FRAME_MARKER {
+                self.enter_scan();
+                continue;
+            }
+            if avail < RESILIENT_RECORD_PREFIX_BYTES {
+                return None;
+            }
+            let b = &self.buf[self.pos..];
+            match validate_resilient_prefix(b, max_count, self.seq_floor) {
+                None => {
+                    self.enter_scan();
+                    continue;
+                }
+                Some((seq, count)) => {
+                    let payload_len =
+                        ((count * u64::from(header.sample_bits)).div_ceil(8)) as usize;
+                    let record_len = RESILIENT_RECORD_PREFIX_BYTES + payload_len + 1;
+                    if avail < record_len {
+                        return None;
+                    }
+                    let payload = &b[RESILIENT_RECORD_PREFIX_BYTES
+                        ..RESILIENT_RECORD_PREFIX_BYTES + payload_len];
+                    if crc8(payload) != b[RESILIENT_RECORD_PREFIX_BYTES + payload_len] {
+                        // Correctly framed but damaged payload: erase
+                        // exactly this record and move on.
+                        self.pos += record_len;
+                        self.skipped_total += record_len;
+                        self.corrupt_events += 1;
+                        self.seq_floor = self.seq_floor.max(seq.wrapping_add(1));
+                        return Some(StreamEvent::Corrupt {
+                            bytes_skipped: record_len,
+                        });
+                    }
+                    let mut reader = BitReader::new(payload);
+                    let samples = (0..count)
+                        .map(|_| reader.read(u32::from(header.sample_bits)))
+                        .collect();
+                    self.pos += record_len;
+                    self.frames += 1;
+                    self.seq_floor = self.seq_floor.max(seq.wrapping_add(1));
+                    return Some(StreamEvent::Frame {
+                        seq: u64::from(seq),
+                        frame: CompressedFrame { header, samples },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Enters scan mode, consuming the known-bad byte at `pos`.
+    fn enter_scan(&mut self) {
+        self.scanning = true;
+        self.pos += 1;
+        self.pending_skip += 1;
+    }
+
+    /// Scans forward for a resync point: the next [`SYNC_WORD`] or the
+    /// next record prefix whose CRC-8 (and count/sequence sanity)
+    /// verifies. Consumes everything conclusively garbage; keeps
+    /// inconclusive tails (partial sync words / prefixes) buffered for
+    /// the next call.
+    // tidy:alloc-free
+    fn scan_for_resync(&mut self, max_count: u64) -> ScanOutcome {
+        let mut i = self.pos;
+        loop {
+            let avail = self.buf.len() - i;
+            if avail == 0 {
+                break;
+            }
+            let first = self.buf[i];
+            if first == SYNC_WORD[0] {
+                if avail < SYNC_WORD.len() {
+                    break; // inconclusive: might be a partial sync word
+                }
+                if self.buf[i..i + SYNC_WORD.len()] == SYNC_WORD {
+                    self.pending_skip += i - self.pos;
+                    self.pos = i;
+                    return ScanOutcome::Resynced;
+                }
+            } else if first == FRAME_MARKER {
+                if avail < RESILIENT_RECORD_PREFIX_BYTES {
+                    break; // inconclusive: might be a partial prefix
+                }
+                if validate_resilient_prefix(&self.buf[i..], max_count, self.seq_floor).is_some() {
+                    self.pending_skip += i - self.pos;
+                    self.pos = i;
+                    return ScanOutcome::Resynced;
+                }
+            }
+            i += 1;
+        }
+        // Everything up to `i` is conclusively garbage.
+        self.pending_skip += i - self.pos;
+        self.pos = i;
+        ScanOutcome::NeedBytes
+    }
+}
+
+/// Result of one resync scan pass.
+enum ScanOutcome {
+    /// Found a plausible record or sync word at the current position.
+    Resynced,
+    /// Buffer exhausted (up to an inconclusive tail); wait for bytes.
+    NeedBytes,
+}
+
+/// Checks a resilient record prefix (`marker · seq · count · crc`):
+/// marker byte, CRC-8, count in `1..=max_count`, and sequence number
+/// within [`SEQ_WINDOW`] of the expected floor (guards against
+/// lucky-CRC forgeries mid-garbage). Returns `(seq, count)` when valid.
+///
+/// The slice must hold at least [`RESILIENT_RECORD_PREFIX_BYTES`].
+// tidy:alloc-free
+fn validate_resilient_prefix(b: &[u8], max_count: u64, seq_floor: u32) -> Option<(u32, u64)> {
+    if b[0] != FRAME_MARKER {
+        return None;
+    }
+    if crc8(&b[..RESILIENT_RECORD_PREFIX_BYTES - 1]) != b[RESILIENT_RECORD_PREFIX_BYTES - 1] {
+        return None;
+    }
+    let seq = u32::from_le_bytes([b[1], b[2], b[3], b[4]]);
+    let count = u64::from(u32::from_le_bytes([b[5], b[6], b[7], b[8]]));
+    if count == 0 || count > max_count {
+        return None;
+    }
+    // Accept replays (seq below the floor — the session discards them)
+    // but reject absurd forward jumps.
+    if seq > seq_floor.saturating_add(SEQ_WINDOW) {
+        return None;
+    }
+    Some((seq, count))
 }
 
 #[cfg(test)]
@@ -719,7 +1229,11 @@ mod tests {
         let r = corrupt(&|b| b[29] = 7);
         assert!(matches!(r, Err(CoreError::MalformedFrame(_))), "{r:?}");
         // Unknown version byte.
-        let r = corrupt(&|b| b[4] = 3);
+        let r = corrupt(&|b| b[4] = 9);
+        assert!(matches!(r, Err(CoreError::MalformedFrame(_))), "{r:?}");
+        // Version byte flipped to 3: reinterpreted as a resilient
+        // header whose flags byte/CRC cannot both verify.
+        let r = corrupt(&|b| b[4] = STREAM_VERSION_RESILIENT);
         assert!(matches!(r, Err(CoreError::MalformedFrame(_))), "{r:?}");
     }
 
@@ -749,5 +1263,192 @@ mod tests {
         assert!(parser.next_frame().unwrap().is_none());
         parser.push_bytes(&bytes[bytes.len() - 1..]);
         assert_eq!(parser.next_frame().unwrap().unwrap().samples, vec![1, 2, 3]);
+    }
+
+    // ──────────────────────── resilient (v3) ────────────────────────
+
+    fn resilient_bytes(n: usize, k: usize) -> (Vec<CompressedFrame>, Vec<u8>) {
+        let frames = frames(n, k);
+        let mut writer = StreamWriter::new_resilient(header()).unwrap();
+        for f in &frames {
+            writer.push_frame(f).unwrap();
+        }
+        (frames, writer.into_bytes())
+    }
+
+    #[test]
+    fn resilient_stream_roundtrips_with_sequence_numbers() {
+        let (frames, bytes) = resilient_bytes(20, 30);
+        assert_eq!(bytes[4], STREAM_VERSION_RESILIENT);
+        // Sync word right after the 25-byte header (record 0).
+        assert_eq!(
+            bytes[RESILIENT_HEADER_BYTES..RESILIENT_HEADER_BYTES + 4],
+            SYNC_WORD
+        );
+        let mut parser = StreamParser::new();
+        parser.push_bytes(&bytes);
+        for (i, f) in frames.iter().enumerate() {
+            match parser.next_event().unwrap().unwrap() {
+                StreamEvent::Frame { seq, frame } => {
+                    assert_eq!(seq, i as u64);
+                    assert_eq!(&frame, f, "frame {i}");
+                }
+                StreamEvent::Corrupt { .. } => panic!("clean stream reported corruption"),
+            }
+        }
+        assert!(parser.next_event().unwrap().is_none());
+        assert_eq!(parser.wire_version(), Some(STREAM_VERSION_RESILIENT));
+        assert_eq!(parser.bytes_skipped(), 0);
+        assert_eq!(parser.corrupt_events(), 0);
+        assert_eq!(parser.frames_parsed(), 20);
+    }
+
+    #[test]
+    fn resilient_clean_stream_decodes_identical_to_compact() {
+        let frames = frames(10, 44);
+        let mut compact = StreamWriter::new(header()).unwrap();
+        let mut resilient = StreamWriter::new_resilient(header()).unwrap();
+        for f in &frames {
+            compact.push_frame(f).unwrap();
+            resilient.push_frame(f).unwrap();
+        }
+        let decode = |bytes: &[u8]| {
+            let mut p = StreamParser::new();
+            p.push_bytes(bytes);
+            let mut out = Vec::new();
+            while let Some(f) = p.next_frame().unwrap() {
+                out.push(f);
+            }
+            out
+        };
+        assert_eq!(decode(compact.bytes()), decode(resilient.bytes()));
+    }
+
+    #[test]
+    fn resilient_tiled_roundtrips_layout() {
+        let layout = tiled_layout();
+        let mut writer = StreamWriter::new_resilient_tiled(tiled_header(), &layout).unwrap();
+        for t in 0..layout.tiles() {
+            writer.push_samples(&[t as u32 + 1, 9]).unwrap();
+        }
+        let bytes = writer.into_bytes();
+        assert_eq!(bytes[4], STREAM_VERSION_RESILIENT);
+        let mut parser = StreamParser::new();
+        parser.push_bytes(&bytes);
+        let first = parser.next_frame().unwrap().unwrap();
+        assert_eq!(first.samples, vec![1, 9]);
+        assert_eq!(parser.tile_layout(), Some(&layout));
+        for _ in 1..layout.tiles() {
+            parser.next_frame().unwrap().unwrap();
+        }
+        assert!(parser.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn resilient_parser_skips_corrupt_payload_and_resumes() {
+        let (frames, mut bytes) = resilient_bytes(12, 30);
+        // Flip a byte in the middle of record 5's payload: header 25 B,
+        // sync every 8 records, record = 10 B prefix + 60 B payload + 1.
+        let rec = |i: usize| RESILIENT_HEADER_BYTES + (i / SYNC_INTERVAL + 1) * 4 + i * 71;
+        bytes[rec(5) + 30] ^= 0x40;
+        let mut parser = StreamParser::new();
+        parser.push_bytes(&bytes);
+        let mut got = Vec::new();
+        let mut corrupt = 0;
+        while let Some(ev) = parser.next_event().unwrap() {
+            match ev {
+                StreamEvent::Frame { seq, frame } => got.push((seq, frame)),
+                StreamEvent::Corrupt { bytes_skipped } => {
+                    corrupt += 1;
+                    assert_eq!(bytes_skipped, 71, "exactly one record erased");
+                }
+            }
+        }
+        assert_eq!(corrupt, 1);
+        assert_eq!(got.len(), 11);
+        for (seq, frame) in got {
+            assert_ne!(seq, 5, "the damaged record must not decode");
+            assert_eq!(frame, frames[seq as usize]);
+        }
+        assert!(!parser.is_malformed());
+    }
+
+    #[test]
+    fn resilient_parser_resyncs_through_garbage_burst() {
+        let (frames, mut bytes) = resilient_bytes(20, 30);
+        // Obliterate a stretch starting in record 3's prefix: the parser
+        // must scan forward and pick decoding back up at a later record.
+        let start = RESILIENT_HEADER_BYTES + 4 + 3 * 71 + 2;
+        for b in &mut bytes[start..start + 150] {
+            *b = 0xAA;
+        }
+        let mut parser = StreamParser::new();
+        parser.push_bytes(&bytes);
+        let mut seqs = Vec::new();
+        let mut skipped = 0;
+        while let Some(ev) = parser.next_event().unwrap() {
+            match ev {
+                StreamEvent::Frame { seq, frame } => {
+                    assert_eq!(frame, frames[seq as usize]);
+                    seqs.push(seq);
+                }
+                StreamEvent::Corrupt { bytes_skipped } => skipped += bytes_skipped,
+            }
+        }
+        assert!(skipped >= 150, "at least the burst is reported skipped");
+        assert_eq!(parser.bytes_skipped(), skipped);
+        assert_eq!(seqs[..3], [0, 1, 2]);
+        // Everything after the burst must be recovered.
+        assert!(seqs.len() >= 14, "recovered only {seqs:?}");
+        assert_eq!(seqs.last(), Some(&19));
+    }
+
+    #[test]
+    fn resilient_header_damage_stays_sticky() {
+        let (_, mut bytes) = resilient_bytes(3, 10);
+        bytes[9] ^= 0xFF; // code_bits, guarded by the header CRC
+        let mut parser = StreamParser::new();
+        parser.push_bytes(&bytes);
+        assert!(matches!(
+            parser.next_event(),
+            Err(CoreError::MalformedFrame(_))
+        ));
+        assert!(parser.is_malformed());
+        assert!(parser.error().is_some());
+        // Sticky even after more (clean) bytes arrive.
+        let (_, clean) = resilient_bytes(3, 10);
+        parser.push_bytes(&clean);
+        assert!(parser.next_frame().is_err());
+    }
+
+    #[test]
+    fn resilient_parser_handles_byte_at_a_time_chunking() {
+        let (frames, bytes) = resilient_bytes(9, 25);
+        let mut parser = StreamParser::new();
+        let mut got = Vec::new();
+        for &b in &bytes {
+            parser.push_bytes(&[b]);
+            while let Some(ev) = parser.next_event().unwrap() {
+                if let StreamEvent::Frame { frame, .. } = ev {
+                    got.push(frame);
+                }
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn resilient_truncated_stream_yields_prefix_without_error() {
+        let (frames, bytes) = resilient_bytes(6, 30);
+        let mut parser = StreamParser::new();
+        parser.push_bytes(&bytes[..bytes.len() - 40]);
+        let mut got = 0;
+        while let Some(ev) = parser.next_event().unwrap() {
+            if matches!(ev, StreamEvent::Frame { .. }) {
+                got += 1;
+            }
+        }
+        assert_eq!(got, frames.len() - 1, "only the cut record is lost");
+        assert!(!parser.is_malformed());
     }
 }

@@ -457,6 +457,123 @@ pub fn merge_tiles(tiles: &[Vec<f64>], layout: &TileLayout) -> ImageF64 {
     ImageF64::from_vec(frame.width(), frame.height(), acc)
 }
 
+/// Stitches a frame from a *partial* tile set: erased tiles are `None`,
+/// and pixels covered by no surviving tile come back flagged in the
+/// returned mask (`true` = uncovered, value 0.0) for the caller to fill
+/// (see [`fill_uncovered`]).
+///
+/// Surviving tiles blend exactly as in [`merge_tiles`]: a fully present
+/// tile set stitches bit-identical to `merge_tiles`, and a pixel inside
+/// any surviving tile takes the weighted mean of the tiles that do
+/// cover it.
+///
+/// # Panics
+///
+/// Panics if the tile count or a present tile's length disagrees with
+/// `layout`.
+#[must_use]
+pub fn merge_tiles_sparse(
+    tiles: &[Option<Vec<f64>>],
+    layout: &TileLayout,
+) -> (ImageF64, Vec<bool>) {
+    assert_eq!(tiles.len(), layout.tiles(), "tile count mismatch");
+    let frame = layout.frame();
+    let weights = layout.tile_weights();
+    let mut acc = vec![0.0f64; frame.pixels()];
+    let mut wsum = vec![0.0f64; frame.pixels()];
+    for (tile, r) in tiles.iter().zip(layout.rects()) {
+        let Some(tile) = tile else { continue };
+        assert_eq!(tile.len(), layout.pixels_per_tile(), "tile size mismatch");
+        for dy in 0..r.h {
+            let row = (r.y + dy) * frame.width() + r.x;
+            let trow = dy * r.w;
+            for dx in 0..r.w {
+                let w = weights[trow + dx];
+                acc[row + dx] += w * tile[trow + dx];
+                wsum[row + dx] += w;
+            }
+        }
+    }
+    let mut uncovered = vec![false; frame.pixels()];
+    for ((a, &w), u) in acc.iter_mut().zip(&wsum).zip(uncovered.iter_mut()) {
+        if w > 0.0 {
+            *a /= w;
+        } else {
+            *u = true;
+        }
+    }
+    (
+        ImageF64::from_vec(frame.width(), frame.height(), acc),
+        uncovered,
+    )
+}
+
+/// Fills the `uncovered` pixels of `img` (the mask of
+/// [`merge_tiles_sparse`]) by deterministic inward diffusion: each pass
+/// assigns every still-unfilled pixel with at least one filled
+/// 4-neighbor the mean of those neighbors' *previous-pass* values
+/// (Jacobi sweeps, so the result is independent of traversal order).
+/// Passes repeat until every reachable pixel is filled.
+///
+/// A frame with no covered pixels at all has nothing to diffuse from
+/// and is left untouched (all zeros from the sparse stitch).
+///
+/// # Panics
+///
+/// Panics if the mask length differs from the image pixel count.
+pub fn fill_uncovered(img: &mut ImageF64, uncovered: &[bool]) {
+    assert_eq!(uncovered.len(), img.len(), "mask/image size mismatch");
+    if uncovered.iter().all(|&u| !u) || uncovered.iter().all(|&u| u) {
+        return;
+    }
+    let (w, h) = (img.width(), img.height());
+    let mut filled: Vec<bool> = uncovered.iter().map(|&u| !u).collect();
+    let mut remaining: usize = uncovered.iter().filter(|&&u| u).count();
+    while remaining > 0 {
+        let snapshot = img.as_slice().to_vec();
+        let frozen = filled.clone();
+        let mut progressed = false;
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                if frozen[i] {
+                    continue;
+                }
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                let mut visit = |j: usize| {
+                    if frozen[j] {
+                        sum += snapshot[j];
+                        n += 1;
+                    }
+                };
+                if x > 0 {
+                    visit(i - 1);
+                }
+                if x + 1 < w {
+                    visit(i + 1);
+                }
+                if y > 0 {
+                    visit(i - w);
+                }
+                if y + 1 < h {
+                    visit(i + w);
+                }
+                if n > 0 {
+                    img.set(x, y, sum / n as f64);
+                    filled[i] = true;
+                    remaining -= 1;
+                    progressed = true;
+                }
+            }
+        }
+        debug_assert!(progressed, "diffusion must reach every pixel");
+        if !progressed {
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,5 +698,75 @@ mod tests {
     fn merge_rejects_wrong_tile_count() {
         let layout = TileLayout::new(FrameGeometry::new(32, 32), &TileConfig::new(16)).unwrap();
         let _ = merge_tiles(&[vec![0.0; 256]], &layout);
+    }
+
+    #[test]
+    fn sparse_merge_with_all_tiles_matches_dense_merge() {
+        let img = Scene::gaussian_blobs(3).render(40, 28, 9);
+        let layout =
+            TileLayout::new(FrameGeometry::new(40, 28), &TileConfig::new(16).overlap(4)).unwrap();
+        let tiles = split_tiles(&img, &layout);
+        let dense = merge_tiles(&tiles, &layout);
+        let some: Vec<Option<Vec<f64>>> = tiles.into_iter().map(Some).collect();
+        let (sparse, uncovered) = merge_tiles_sparse(&some, &layout);
+        assert_eq!(sparse, dense, "full tile set must stitch identically");
+        assert!(uncovered.iter().all(|&u| !u));
+    }
+
+    #[test]
+    fn sparse_merge_flags_only_pixels_no_tile_covers() {
+        let img = Scene::natural_like().render(40, 28, 3);
+        let layout =
+            TileLayout::new(FrameGeometry::new(40, 28), &TileConfig::new(16).overlap(4)).unwrap();
+        let mut tiles: Vec<Option<Vec<f64>>> =
+            split_tiles(&img, &layout).into_iter().map(Some).collect();
+        tiles[0] = None;
+        let (stitched, uncovered) = merge_tiles_sparse(&tiles, &layout);
+        // Tile 0 spans x 0..16, y 0..16; its neighbors start at x=12 /
+        // y=12 (overlap 4), so exactly the pixels with x<12 && y<12 lose
+        // all coverage.
+        let mut flagged = 0;
+        for (x, y, v) in stitched.enumerate_pixels() {
+            let lost = x < 12 && y < 12;
+            assert_eq!(uncovered[y * 40 + x], lost, "({x},{y})");
+            if lost {
+                assert_eq!(v, 0.0);
+                flagged += 1;
+            }
+        }
+        assert_eq!(flagged, 12 * 12);
+    }
+
+    #[test]
+    fn fill_uncovered_diffuses_deterministically_from_the_boundary() {
+        let img = Scene::gaussian_blobs(2).render(32, 32, 4);
+        let layout = TileLayout::new(FrameGeometry::new(32, 32), &TileConfig::new(16)).unwrap();
+        let mut tiles: Vec<Option<Vec<f64>>> =
+            split_tiles(&img, &layout).into_iter().map(Some).collect();
+        tiles[3] = None; // bottom-right quadrant erased, no overlap
+        let (mut a, mask) = merge_tiles_sparse(&tiles, &layout);
+        fill_uncovered(&mut a, &mask);
+        // Every pixel filled, and values stay within the surviving range.
+        let (lo, hi) = (img.min_value(), img.max_value());
+        for (x, y, v) in a.enumerate_pixels() {
+            assert!(v.is_finite());
+            if x >= 16 && y >= 16 {
+                assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "({x},{y}) = {v}");
+            } else {
+                assert_eq!(v, img.get(x, y), "covered pixels untouched");
+            }
+        }
+        // Deterministic: a second run from the same inputs is identical.
+        let (mut b, mask2) = merge_tiles_sparse(&tiles, &layout);
+        fill_uncovered(&mut b, &mask2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fill_uncovered_leaves_fully_erased_frames_at_zero() {
+        let layout = TileLayout::new(FrameGeometry::new(16, 16), &TileConfig::new(16)).unwrap();
+        let (mut img, mask) = merge_tiles_sparse(&[None], &layout);
+        fill_uncovered(&mut img, &mask);
+        assert!(img.as_slice().iter().all(|&v| v == 0.0));
     }
 }

@@ -179,16 +179,14 @@ fn batch_stream_decoding_is_thread_count_invariant() {
             enc.into_bytes()
         })
         .collect();
-    let serial = BatchRunner::with_threads(1)
-        .decode_streams(&streams)
-        .unwrap();
-    let parallel = BatchRunner::with_threads(8)
-        .decode_streams(&streams)
-        .unwrap();
+    let serial = BatchRunner::with_threads(1).decode_streams(&streams);
+    let parallel = BatchRunner::with_threads(8).decode_streams(&streams);
     assert_eq!(serial, parallel);
+    assert_eq!(serial.failed_streams(), 0);
+    assert_eq!(serial.total_frames(), 10);
     // And the shared cache means one build for the whole batch.
     let runner = BatchRunner::with_threads(4);
-    runner.decode_streams(&streams).unwrap();
+    runner.decode_streams(&streams);
     assert_eq!(runner.cache().stats().misses, 1);
 }
 
