@@ -151,12 +151,13 @@ impl BlockCs {
         );
         let tiles = split_blocks(codes, self.block);
         let mut samples = Vec::with_capacity(tiles.len() * self.k_per_block());
+        let mut y = vec![0.0; self.k_per_block()];
         for (b, tile) in tiles.iter().enumerate() {
             let phi = self.block_measurement(b);
-            let y = {
+            {
                 use tepics_cs::LinearOperator;
-                phi.apply_vec(tile)
-            };
+                phi.apply(tile, &mut y);
+            }
             samples.extend(y.iter().map(|&v| v.round().max(0.0) as u32));
         }
         BlockFrame {
@@ -202,6 +203,8 @@ impl BlockCs {
         }
         let dict = ZeroMeanDictionary::new(Dct2dDictionary::new(self.block, self.block), 0);
         let mut tiles = Vec::with_capacity(n_blocks);
+        let mut pixels = vec![0.0; self.block * self.block];
+        let mut dict_scratch = Vec::new();
         for b in 0..n_blocks {
             let phi = self.block_measurement(b);
             let y: Vec<f64> = frame.samples[b * frame.k_per_block..(b + 1) * frame.k_per_block]
@@ -227,8 +230,13 @@ impl BlockCs {
                 .max_iter(300)
                 .solve(&a, &resid)?;
             let rec = debias(&a, &resid, &rec, frame.k_per_block / 2)?;
-            let v = dict.synthesize_vec(&rec.coefficients);
-            tiles.push(v.iter().map(|&vi| (mu + vi).clamp(0.0, 255.0)).collect());
+            dict.synthesize_with(&rec.coefficients, &mut pixels, &mut dict_scratch);
+            tiles.push(
+                pixels
+                    .iter()
+                    .map(|&vi| (mu + vi).clamp(0.0, 255.0))
+                    .collect(),
+            );
         }
         Ok(merge_blocks(&tiles, self.width, self.height, self.block))
     }

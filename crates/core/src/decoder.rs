@@ -31,7 +31,7 @@ use tepics_cs::dictionary::{
 };
 use tepics_cs::measurement::SelectionMeasurement;
 use tepics_cs::op;
-use tepics_cs::{ComposedOperator, XorMeasurement};
+use tepics_cs::{ComposedOperator, StagedDictionary, XorMeasurement};
 use tepics_imaging::ImageF64;
 use tepics_recovery::{Debias, SolveStats, Solver, SolverWorkspace};
 use tepics_sensor::{CodeTransfer, SensorConfig};
@@ -116,6 +116,14 @@ impl Dictionary for DictImpl {
             DictImpl::Dct(d) => d.analyze_with(x, alpha, scratch),
             DictImpl::Haar(d) => d.analyze_with(x, alpha, scratch),
             DictImpl::Id(d) => d.analyze_with(x, alpha, scratch),
+        }
+    }
+
+    fn row_staged(&self) -> Option<StagedDictionary<'_>> {
+        match self {
+            DictImpl::Dct(d) => d.row_staged(),
+            DictImpl::Haar(d) => d.row_staged(),
+            DictImpl::Id(d) => d.row_staged(),
         }
     }
 }
@@ -358,7 +366,8 @@ impl Decoder {
         // Stage 2: sparse recovery of the zero-mean component, through
         // the unified Solver trait (dynamic dispatch; the concrete
         // solver lives on this stack frame).
-        let a = ComposedOperator::new(phi.as_ref(), dict.as_ref());
+        let a = ComposedOperator::new(phi.as_ref(), dict.as_ref())
+            .with_scratch(workspace.take_composed());
         // Column-hungry solvers (OMP, CoSaMP) get the materialized Φ·Ψ
         // view. With a cache it is built once per key and served warm;
         // without one, the build (cols forward applies) would dominate a
@@ -412,15 +421,23 @@ impl Decoder {
         };
         let recovery = solver.solve_with(&a, &resid, workspace)?;
         let stats = recovery.stats.clone();
-        let v = dict.synthesize_vec(&recovery.coefficients);
+        // Final synthesis through the donated scratch, which is then
+        // returned to the workspace so the next frame's decode starts
+        // with every buffer already warm.
+        let mut donated = a.into_scratch();
+        let (pixels, dict_scratch) = donated.pixels_and_dict();
+        pixels.resize(dict.dim(), 0.0);
+        dict.synthesize_with(&recovery.coefficients, pixels, dict_scratch);
         let code_max = self.code_max;
         let codes = ImageF64::from_vec(
             self.cols,
             self.rows,
-            v.iter()
+            pixels
+                .iter()
                 .map(|&vi| (mean_code + vi).clamp(0.0, code_max))
                 .collect(),
         );
+        workspace.store_composed(donated);
         Ok(Reconstruction {
             codes,
             mean_code,

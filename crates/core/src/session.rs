@@ -945,11 +945,13 @@ impl DecodeSession {
             .cache
             .operator(&decoder.operator_key(frame.samples.len()))?;
         let dict = IdentityDictionary::new(prev_codes.len());
-        let a = ComposedOperator::new(phi.as_ref(), &dict);
+        let a =
+            ComposedOperator::new(phi.as_ref(), &dict).with_scratch(self.workspace.take_composed());
         let rec =
             Iht::new(delta.sparsity)
                 .max_iter(200)
                 .solve_with(&a, &dy, &mut self.workspace)?;
+        self.workspace.store_composed(a.into_scratch());
         let code_max = ((1u32 << frame.header.code_bits) - 1) as f64;
         let codes = ImageF64::from_vec(
             prev_codes.width(),

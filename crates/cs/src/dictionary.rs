@@ -9,6 +9,7 @@
 //! separately (from the known per-row selection counts) and recovers
 //! only the zero-mean component through Ψ — see `tepics-core`'s decoder.
 
+use crate::fused::{RowStagedDictionary, StagedDictionary};
 use tepics_imaging::{Dct2d, Haar2d};
 
 /// An orthonormal synthesis/analysis pair.
@@ -62,6 +63,16 @@ pub trait Dictionary {
         let mut a = vec![0.0; self.atoms()];
         self.analyze(x, &mut a);
         a
+    }
+
+    /// The row-staged view of this dictionary, when its separable
+    /// transform exposes an independent per-row pass (see
+    /// [`crate::fused`]). The composed operator uses it to fuse the
+    /// transform with a row-streamed measurement; the default is
+    /// `None`. [`ZeroMeanDictionary`] forwards its inner view with the
+    /// pinned atom attached.
+    fn row_staged(&self) -> Option<StagedDictionary<'_>> {
+        None
     }
 }
 
@@ -120,6 +131,40 @@ impl Dictionary for Dct2dDictionary {
     fn analyze_with(&self, x: &[f64], alpha: &mut [f64], scratch: &mut Vec<f64>) {
         self.dct.forward_with(x, alpha, scratch);
     }
+
+    fn row_staged(&self) -> Option<StagedDictionary<'_>> {
+        Some(StagedDictionary::new(self))
+    }
+}
+
+impl RowStagedDictionary for Dct2dDictionary {
+    fn accepts_grid(&self, width: usize, height: usize) -> bool {
+        self.dct.width() == width && self.dct.height() == height
+    }
+
+    // tidy:alloc-free
+    fn analyze_rows(&self, rows: &mut [f64], scratch: &mut Vec<f64>) {
+        self.dct.ensure_scratch(scratch);
+        self.dct.rows_pass(rows, scratch, true);
+    }
+
+    // tidy:alloc-free
+    fn analyze_finish(&self, buf: &mut [f64], scratch: &mut Vec<f64>) {
+        self.dct.ensure_scratch(scratch);
+        self.dct.cols_pass(buf, scratch, true);
+    }
+
+    // tidy:alloc-free
+    fn synthesize_begin(&self, coeffs: &mut [f64], scratch: &mut Vec<f64>) {
+        self.dct.ensure_scratch(scratch);
+        self.dct.cols_pass(coeffs, scratch, false);
+    }
+
+    // tidy:alloc-free
+    fn synthesize_rows(&self, rows: &mut [f64], scratch: &mut Vec<f64>) {
+        self.dct.ensure_scratch(scratch);
+        self.dct.rows_pass(rows, scratch, false);
+    }
 }
 
 /// 2-D Haar wavelet dictionary.
@@ -165,13 +210,49 @@ impl Dictionary for Haar2dDictionary {
     }
 
     fn synthesize(&self, alpha: &[f64], x: &mut [f64]) {
-        let out = self.haar.inverse(alpha);
-        x.copy_from_slice(&out);
+        self.haar.inverse_with(alpha, x, &mut Vec::new());
     }
 
     fn analyze(&self, x: &[f64], alpha: &mut [f64]) {
-        let out = self.haar.forward(x);
-        alpha.copy_from_slice(&out);
+        self.haar.forward_with(x, alpha, &mut Vec::new());
+    }
+
+    fn synthesize_with(&self, alpha: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
+        self.haar.inverse_with(alpha, x, scratch);
+    }
+
+    fn analyze_with(&self, x: &[f64], alpha: &mut [f64], scratch: &mut Vec<f64>) {
+        self.haar.forward_with(x, alpha, scratch);
+    }
+
+    fn row_staged(&self) -> Option<StagedDictionary<'_>> {
+        Some(StagedDictionary::new(self))
+    }
+}
+
+impl RowStagedDictionary for Haar2dDictionary {
+    fn accepts_grid(&self, width: usize, height: usize) -> bool {
+        self.haar.width() == width && self.haar.height() == height
+    }
+
+    // tidy:alloc-free
+    fn analyze_rows(&self, rows: &mut [f64], scratch: &mut Vec<f64>) {
+        self.haar.forward_rows_step(rows, scratch);
+    }
+
+    // tidy:alloc-free
+    fn analyze_finish(&self, buf: &mut [f64], scratch: &mut Vec<f64>) {
+        self.haar.forward_finish(buf, scratch);
+    }
+
+    // tidy:alloc-free
+    fn synthesize_begin(&self, coeffs: &mut [f64], scratch: &mut Vec<f64>) {
+        self.haar.inverse_begin(coeffs, scratch);
+    }
+
+    // tidy:alloc-free
+    fn synthesize_rows(&self, rows: &mut [f64], scratch: &mut Vec<f64>) {
+        self.haar.inverse_rows_step(rows, scratch);
     }
 }
 
@@ -212,6 +293,27 @@ impl Dictionary for IdentityDictionary {
         assert_eq!(x.len(), self.n, "length mismatch");
         alpha.copy_from_slice(x);
     }
+
+    fn row_staged(&self) -> Option<StagedDictionary<'_>> {
+        Some(StagedDictionary::new(self))
+    }
+}
+
+/// The identity transform stages trivially: every pass is a no-op, so
+/// the fused drivers stream measurement rows straight into (or out of)
+/// the coefficient buffer.
+impl RowStagedDictionary for IdentityDictionary {
+    fn accepts_grid(&self, width: usize, height: usize) -> bool {
+        width * height == self.n
+    }
+
+    fn analyze_rows(&self, _rows: &mut [f64], _scratch: &mut Vec<f64>) {}
+
+    fn analyze_finish(&self, _buf: &mut [f64], _scratch: &mut Vec<f64>) {}
+
+    fn synthesize_begin(&self, _coeffs: &mut [f64], _scratch: &mut Vec<f64>) {}
+
+    fn synthesize_rows(&self, _rows: &mut [f64], _scratch: &mut Vec<f64>) {}
 }
 
 /// Wrapper that pins one atom's coefficient to zero — used to exclude
@@ -287,6 +389,15 @@ impl<D: Dictionary> Dictionary for ZeroMeanDictionary<D> {
     fn analyze_with(&self, x: &[f64], alpha: &mut [f64], scratch: &mut Vec<f64>) {
         self.inner.analyze_with(x, alpha, scratch);
         alpha[self.pinned] = 0.0;
+    }
+
+    fn row_staged(&self) -> Option<StagedDictionary<'_>> {
+        // Forward the inner staging with the pin attached; a dictionary
+        // that already carries a pin (nested wrappers) refuses, falling
+        // back to the two-pass path.
+        self.inner
+            .row_staged()
+            .and_then(|staged| staged.with_pin(self.pinned))
     }
 }
 

@@ -20,6 +20,11 @@
 //!   decoder.
 //! * [`operator`] — composition `Φ ∘ Ψ` and the signed (±1) view of a
 //!   binary measurement.
+//! * [`fused`] — the one-pass `ΦᵀΨᵀ` / `ΨΦ` streaming kernels: a
+//!   row-streamed measurement protocol plus a row-staged dictionary
+//!   protocol, fused block-by-block so the intermediate pixel image
+//!   never round-trips through memory. [`ComposedOperator`] dispatches
+//!   to them automatically when both sides qualify.
 //! * [`coherence`] — mutual coherence and empirical RIP-constant
 //!   estimation, used by the `matrices` experiment to compare the CA
 //!   strategy against Bernoulli/LFSR/Hadamard.
@@ -46,6 +51,7 @@ pub mod coherence;
 pub mod colview;
 pub mod dictionary;
 pub mod eig;
+pub mod fused;
 pub mod mat;
 pub mod measurement;
 pub mod op;
@@ -53,7 +59,8 @@ pub mod operator;
 
 pub use colview::ColumnMatrix;
 pub use dictionary::{Dct2dDictionary, Dictionary, Haar2dDictionary, IdentityDictionary};
+pub use fused::{FusedScratch, RowStagedDictionary, RowStreamedOperator, StagedDictionary};
 pub use mat::DenseMatrix;
 pub use measurement::{BlockDiagonalMeasurement, DenseBinaryMeasurement, XorMeasurement};
 pub use op::LinearOperator;
-pub use operator::{ComposedOperator, SignedMeasurementOp};
+pub use operator::{ComposedOperator, ComposedScratch, SignedMeasurementOp};

@@ -36,28 +36,98 @@
 use std::cell::RefCell;
 
 use super::SelectionMeasurement;
+use crate::fused::{FusedScratch, RowStreamedOperator};
 use crate::op::LinearOperator;
 use tepics_ca::BitPatternSource;
-use tepics_util::BitVec;
+use tepics_util::{simd, BitVec};
 
 thread_local! {
-    /// Per-thread scratch for the factorized apply paths. Reused across
-    /// calls (resize on a warm vector never reallocates), so the solver
-    /// loop does no per-iteration heap allocation; thread-local keeps a
-    /// cached operator shareable across batch workers.
-    static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread scratch for the direct (non-composed) apply paths,
+    /// which route through the same streaming kernels as the fused
+    /// engine. Reused across calls (resize on a warm vector never
+    /// reallocates), so the solver loop does no per-iteration heap
+    /// allocation; thread-local keeps a cached operator shareable
+    /// across batch workers.
+    static SCRATCH: RefCell<FusedScratch> = const { RefCell::new(FusedScratch::new()) };
 }
 
 /// Subset sums of up to eight values: `table[mask] = Σ_{t∈mask} vals[t]`
 /// (missing values count as zero). `table.len() == 256`.
+///
+/// Built by doubling: each value extends the table by one vectorizable
+/// `dst = src + v` sweep over the prefix (9 contiguous passes instead of
+/// 255 data-dependent lookups). Sums therefore accumulate in ascending
+/// bit order, a reassociation of the old low-bit recurrence — covered by
+/// the ≤1e-10 equivalence bounds, and deterministic like everything
+/// else here.
+// tidy:alloc-free
 fn subset_sums(vals: &[f64], table: &mut [f64]) {
-    let mut v = [0.0f64; 8];
-    v[..vals.len()].copy_from_slice(vals);
     table[0] = 0.0;
-    for mask in 1usize..256 {
-        let lsb = mask & mask.wrapping_neg();
-        table[mask] = table[mask ^ lsb] + v[lsb.trailing_zeros() as usize];
+    let mut len = 1usize;
+    for &v in vals {
+        let (lo, hi) = table.split_at_mut(len);
+        for (dst, &src) in hi[..len].iter_mut().zip(lo.iter()) {
+            *dst = src + v;
+        }
+        len *= 2;
     }
+    // Short groups: masks with bits ≥ vals.len() sum the same subset
+    // (missing values are zero), so replicate the built prefix.
+    while len < table.len() {
+        let (lo, hi) = table.split_at_mut(len);
+        hi[..len].copy_from_slice(lo);
+        len *= 2;
+    }
+}
+
+/// Benchmark hook for the subset-sum table build (the adjoint's
+/// method-of-four-Russians kernel). Not part of the public API surface;
+/// exists so `tepics-bench` can time the real kernel in isolation.
+#[doc(hidden)]
+pub fn subset_sum_kernel(vals: &[f64], table: &mut [f64]) {
+    subset_sums(vals, table);
+}
+
+/// Four-accumulator gather-sum `Σ vals[idx[t]]` in index order.
+// tidy:alloc-free
+#[inline]
+fn gather4(vals: &[f64], idx: &[u32]) -> f64 {
+    let mut s = [0.0f64; 4];
+    let mut chunks = idx.chunks_exact(4);
+    for c in &mut chunks {
+        s[0] += vals[c[0] as usize];
+        s[1] += vals[c[1] as usize];
+        s[2] += vals[c[2] as usize];
+        s[3] += vals[c[3] as usize];
+    }
+    let mut acc = (s[0] + s[1]) + (s[2] + s[3]);
+    for &j in chunks.remainder() {
+        acc += vals[j as usize];
+    }
+    acc
+}
+
+/// Four-accumulator gather over per-group 256-entry subset tables:
+/// `Σ_g tables[g·256 + masks[g]]`.
+// tidy:alloc-free
+#[inline]
+fn table_gather4(tables: &[f64], masks: &[u8]) -> f64 {
+    let mut s = [0.0f64; 4];
+    let mut chunks = masks.chunks_exact(4);
+    let mut g = 0usize;
+    for c in &mut chunks {
+        s[0] += tables[g * 256 + c[0] as usize];
+        s[1] += tables[(g + 1) * 256 + c[1] as usize];
+        s[2] += tables[(g + 2) * 256 + c[2] as usize];
+        s[3] += tables[(g + 3) * 256 + c[3] as usize];
+        g += 4;
+    }
+    let mut acc = (s[0] + s[1]) + (s[2] + s[3]);
+    for &mask in chunks.remainder() {
+        acc += tables[g * 256 + mask as usize];
+        g += 1;
+    }
+    acc
 }
 
 /// XOR-structured binary measurement over an `rows_m × cols_n` pixel
@@ -311,110 +381,217 @@ impl XorMeasurement {
         (self.selected_rows(k).len(), self.selected_cols(k).len())
     }
 
-    /// Factorized forward application; `scratch` holds the row sums,
-    /// column sums, and (on the table path) the per-row subset tables.
+    /// The four row-selection mask bytes of image row `i` for a gang of
+    /// four measurement groups.
+    #[inline]
+    fn row_quad_masks(&self, quad: &[u32], i: usize) -> [u8; 4] {
+        let m = self.rows_m;
+        [
+            self.row_meas_masks[quad[0] as usize * m + i],
+            self.row_meas_masks[quad[1] as usize * m + i],
+            self.row_meas_masks[quad[2] as usize * m + i],
+            self.row_meas_masks[quad[3] as usize * m + i],
+        ]
+    }
+}
+
+/// One image row of the gang-of-four adjoint scatter:
+/// `x_j += Σ_g t_g[r_g & c_g[j]]` over the four ganged groups.
+// tidy:alloc-free
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn quad_row_sweep(
+    row: &mut [f64],
+    r: [u8; 4],
+    t0: &[f64],
+    t1: &[f64],
+    t2: &[f64],
+    t3: &[f64],
+    c0: &[u8],
+    c1: &[u8],
+    c2: &[u8],
+    c3: &[u8],
+) {
+    for (j, xv) in row.iter_mut().enumerate() {
+        let a = t0[(r[0] & c0[j]) as usize] + t1[(r[1] & c1[j]) as usize];
+        let b = t2[(r[2] & c2[j]) as usize] + t3[(r[3] & c3[j]) as usize];
+        *xv += a + b;
+    }
+}
+
+/// Streaming kernels (see [`crate::fused`]): `adjoint_begin` hoists the
+/// per-group subset-sum tables and broadcast vectors out of the row
+/// loop, after which any row block of the adjoint image
+/// `x_ij = P_i + Q_j − 2·Σ_k y_k r_ki c_kj` can be emitted
+/// independently; the forward direction mirrors it, accumulating the
+/// factorized contributions as pixel rows arrive and deferring the
+/// column-sum term to `apply_finish`. The direct
+/// [`LinearOperator::apply`]/[`LinearOperator::apply_adjoint`] entry
+/// points run these same kernels over a single full-height block, so
+/// fused and direct paths share one audited implementation.
+impl RowStreamedOperator for XorMeasurement {
+    fn image_rows(&self) -> usize {
+        self.rows_m
+    }
+
+    fn image_cols(&self) -> usize {
+        self.cols_n
+    }
+
     // tidy:alloc-free
-    fn apply_factorized(&self, x: &[f64], y: &mut [f64], scratch: &mut Vec<f64>) {
+    fn adjoint_begin(&self, y: &[f64], fs: &mut FusedScratch) {
+        assert_eq!(y.len(), self.rows(), "input length mismatch");
         let (m, n) = (self.rows_m, self.cols_n);
-        let col_groups = n.div_ceil(8);
-        let table_len = if self.apply_tables {
-            256 * col_groups
-        } else {
-            0
-        };
-        scratch.resize(m + n + table_len, 0.0);
-        let (row_sums, rest) = scratch.split_at_mut(m);
-        let (col_sums, tables) = rest.split_at_mut(n);
-        col_sums.fill(0.0);
-        for (r, row) in row_sums.iter_mut().zip(x.chunks_exact(n)) {
-            *r = row.iter().sum();
-            for (c, &v) in col_sums.iter_mut().zip(row) {
-                *c += v;
+        let meas_groups = self.patterns.len().div_ceil(8);
+        fs.tables.resize(meas_groups * 256, 0.0);
+        fs.p.clear();
+        fs.p.resize(m, 0.0);
+        fs.q.clear();
+        fs.q.resize(n, 0.0);
+        fs.active.clear();
+        let mut tmp = [0.0f64; 256];
+        for (g, ys) in y.chunks(8).enumerate() {
+            if ys.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            subset_sums(ys, &mut tmp);
+            let gammas = &self.col_meas_masks[g * n..(g + 1) * n];
+            for (qj, &gm) in fs.q.iter_mut().zip(gammas) {
+                *qj += tmp[gm as usize];
+            }
+            let rhos = &self.row_meas_masks[g * m..(g + 1) * m];
+            for (pi, &rho) in fs.p.iter_mut().zip(rhos) {
+                if rho != 0 {
+                    *pi += tmp[rho as usize];
+                }
+            }
+            // Stored premultiplied by −2 so the block scatter is a pure
+            // lookup-add.
+            let slot = fs.active.len() * 256;
+            for (dst, &v) in fs.tables[slot..slot + 256].iter_mut().zip(tmp.iter()) {
+                *dst = -2.0 * v;
+            }
+            fs.active.push(g as u32);
+        }
+    }
+
+    // tidy:alloc-free
+    fn adjoint_block(&self, i0: usize, i1: usize, block: &mut [f64], fs: &FusedScratch) {
+        let (m, n) = (self.rows_m, self.cols_n);
+        assert!(i0 <= i1 && i1 <= m, "row range out of bounds");
+        assert_eq!(block.len(), (i1 - i0) * n, "block length mismatch");
+        // Broadcast part first: x_ij starts at P_i + Q_j.
+        for (di, row) in block.chunks_exact_mut(n).enumerate() {
+            let pi = fs.p[i0 + di];
+            for (xv, &qj) in row.iter_mut().zip(fs.q.iter()) {
+                *xv = pi + qj;
             }
         }
-        // Column-sum part: y_k ← Σ_{j∈C_k} C_j.
-        for (k, yk) in y.iter_mut().enumerate() {
-            *yk = self
-                .selected_cols(k)
-                .iter()
-                .map(|&j| col_sums[j as usize])
-                .sum();
+        // Gang of four active measurement groups in the outer loop: the
+        // four 256-entry tables (8 KiB) and their column masks stay
+        // L1-resident across the entire row block, while the four
+        // independent lookups per pixel give the out-of-order core
+        // parallel loads. (Group-major order also makes the per-pixel
+        // accumulation order independent of the block split, so
+        // streamed decodes stay bit-identical to one-shot ones.)
+        let mut quads = fs.active.chunks_exact(4);
+        let mut slot = 0usize;
+        for quad in &mut quads {
+            let (t0, rest) = fs.tables[slot * 256..(slot + 4) * 256].split_at(256);
+            let (t1, rest) = rest.split_at(256);
+            let (t2, t3) = rest.split_at(256);
+            let c0 = &self.col_meas_masks[quad[0] as usize * n..quad[0] as usize * n + n];
+            let c1 = &self.col_meas_masks[quad[1] as usize * n..quad[1] as usize * n + n];
+            let c2 = &self.col_meas_masks[quad[2] as usize * n..quad[2] as usize * n + n];
+            let c3 = &self.col_meas_masks[quad[3] as usize * n..quad[3] as usize * n + n];
+            for (di, row) in block.chunks_exact_mut(n).enumerate() {
+                let r = self.row_quad_masks(quad, i0 + di);
+                if r != [0u8; 4] {
+                    quad_row_sweep(row, r, t0, t1, t2, t3, c0, c1, c2, c3);
+                }
+            }
+            slot += 4;
         }
+        for &g in quads.remainder() {
+            let g = g as usize;
+            let t = &fs.tables[slot * 256..slot * 256 + 256];
+            let gammas = &self.col_meas_masks[g * n..(g + 1) * n];
+            for (di, row) in block.chunks_exact_mut(n).enumerate() {
+                let rho = self.row_meas_masks[g * m + i0 + di];
+                if rho != 0 {
+                    for (xv, &gm) in row.iter_mut().zip(gammas) {
+                        *xv += t[(rho & gm) as usize];
+                    }
+                }
+            }
+            slot += 1;
+        }
+    }
+
+    // tidy:alloc-free
+    fn apply_begin(&self, y: &mut [f64], fs: &mut FusedScratch) {
+        assert_eq!(y.len(), self.rows(), "output length mismatch");
+        y.fill(0.0);
+        fs.colsums.clear();
+        fs.colsums.resize(self.cols_n, 0.0);
         if self.apply_tables {
-            // Row-major: build row i's subset tables once, then serve
-            // every measurement that selects row i with one lookup per
-            // column group.
-            for (i, row) in x.chunks_exact(n).enumerate() {
-                let meas = &self.meas_by_row
-                    [self.meas_by_row_off[i] as usize..self.meas_by_row_off[i + 1] as usize];
-                if meas.is_empty() {
-                    continue;
-                }
+            fs.row_tables.resize(256 * self.cols_n.div_ceil(8), 0.0);
+        }
+    }
+
+    // tidy:alloc-free
+    fn apply_block(
+        &self,
+        i0: usize,
+        i1: usize,
+        block: &[f64],
+        y: &mut [f64],
+        fs: &mut FusedScratch,
+    ) {
+        let (m, n) = (self.rows_m, self.cols_n);
+        assert!(i0 <= i1 && i1 <= m, "row range out of bounds");
+        assert_eq!(block.len(), (i1 - i0) * n, "block length mismatch");
+        let col_groups = n.div_ceil(8);
+        for (di, row) in block.chunks_exact(n).enumerate() {
+            let i = i0 + di;
+            for (c, &v) in fs.colsums.iter_mut().zip(row) {
+                *c += v;
+            }
+            let meas = &self.meas_by_row
+                [self.meas_by_row_off[i] as usize..self.meas_by_row_off[i + 1] as usize];
+            if meas.is_empty() {
+                continue;
+            }
+            let ri = simd::sum4(row);
+            if self.apply_tables {
+                // Build row i's subset tables once, then serve every
+                // measurement that selects row i with one lookup per
+                // column group.
                 for (g, vals) in row.chunks(8).enumerate() {
-                    subset_sums(vals, &mut tables[g * 256..(g + 1) * 256]);
+                    subset_sums(vals, &mut fs.row_tables[g * 256..(g + 1) * 256]);
                 }
-                let ri = row_sums[i];
                 for &k in meas {
                     let masks = &self.col_group_masks
                         [k as usize * col_groups..(k as usize + 1) * col_groups];
-                    let t: f64 = masks
-                        .iter()
-                        .enumerate()
-                        .map(|(g, &mask)| tables[g * 256 + mask as usize])
-                        .sum();
+                    let t = table_gather4(&fs.row_tables, masks);
                     y[k as usize] += ri - 2.0 * t;
                 }
-            }
-        } else {
-            // Direct gather over the precompiled index lists.
-            for (k, yk) in y.iter_mut().enumerate() {
-                let cols = self.selected_cols(k);
-                for &i in self.selected_rows(k) {
-                    let row = &x[i as usize * n..(i as usize + 1) * n];
-                    let t: f64 = cols.iter().map(|&j| row[j as usize]).sum();
-                    *yk += row_sums[i as usize] - 2.0 * t;
+            } else {
+                // Direct gather over the precompiled index lists.
+                for &k in meas {
+                    let t = gather4(row, self.selected_cols(k as usize));
+                    y[k as usize] += ri - 2.0 * t;
                 }
             }
         }
     }
 
-    /// Factorized adjoint: `x_ij = P_i + Q_j − 2·Σ_k y_k r_ki c_kj`,
-    /// with the cross term evaluated per group of eight measurements
-    /// through one subset-sum table of their `y` values.
     // tidy:alloc-free
-    fn adjoint_factorized(&self, y: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
-        let (m, n) = (self.rows_m, self.cols_n);
-        scratch.resize(256 + m + n, 0.0);
-        let (table, rest) = scratch.split_at_mut(256);
-        let (p, q) = rest.split_at_mut(m);
-        p.fill(0.0);
-        q.fill(0.0);
-        x.fill(0.0);
-        for (g, ys) in y.chunks(8).enumerate() {
-            if ys.iter().all(|&v| v == 0.0) {
-                continue;
-            }
-            subset_sums(ys, table);
-            let gammas = &self.col_meas_masks[g * n..(g + 1) * n];
-            for (qj, &gm) in q.iter_mut().zip(gammas) {
-                *qj += table[gm as usize];
-            }
-            let rhos = &self.row_meas_masks[g * m..(g + 1) * m];
-            for (i, &rho) in rhos.iter().enumerate() {
-                if rho == 0 {
-                    continue;
-                }
-                p[i] += table[rho as usize];
-                let row = &mut x[i * n..(i + 1) * n];
-                for (xv, &gm) in row.iter_mut().zip(gammas) {
-                    *xv -= 2.0 * table[(rho & gm) as usize];
-                }
-            }
-        }
-        for (row, &pi) in x.chunks_exact_mut(n).zip(p.iter()) {
-            for (xv, &qj) in row.iter_mut().zip(q.iter()) {
-                *xv += pi + qj;
-            }
+    fn apply_finish(&self, y: &mut [f64], fs: &mut FusedScratch) {
+        assert_eq!(y.len(), self.rows(), "output length mismatch");
+        // Column-sum part: y_k += Σ_{j∈C_k} C_j.
+        for (k, yk) in y.iter_mut().enumerate() {
+            *yk += gather4(&fs.colsums, self.selected_cols(k));
         }
     }
 }
@@ -432,14 +609,25 @@ impl LinearOperator for XorMeasurement {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols(), "input length mismatch");
         assert_eq!(y.len(), self.rows(), "output length mismatch");
-        SCRATCH.with_borrow_mut(|scratch| self.apply_factorized(x, y, scratch));
+        SCRATCH.with_borrow_mut(|fs| {
+            self.apply_begin(y, fs);
+            self.apply_block(0, self.rows_m, x, y, fs);
+            self.apply_finish(y, fs);
+        });
     }
 
     // tidy:alloc-free
     fn apply_adjoint(&self, y: &[f64], x: &mut [f64]) {
         assert_eq!(y.len(), self.rows(), "input length mismatch");
         assert_eq!(x.len(), self.cols(), "output length mismatch");
-        SCRATCH.with_borrow_mut(|scratch| self.adjoint_factorized(y, x, scratch));
+        SCRATCH.with_borrow_mut(|fs| {
+            self.adjoint_begin(y, fs);
+            self.adjoint_block(0, self.rows_m, x, fs);
+        });
+    }
+
+    fn row_streamed(&self) -> Option<&dyn RowStreamedOperator> {
+        Some(self)
     }
 
     fn column_into(&self, p: usize, out: &mut [f64]) {
@@ -625,6 +813,41 @@ mod tests {
     fn adjoint_identity_holds() {
         let m = sample(25);
         assert!(adjoint_mismatch(&m, 10, 3) < 1e-12);
+    }
+
+    #[test]
+    fn streamed_blocks_match_full_application_bitwise() {
+        // The fused engine's contract: feeding the kernels any ascending
+        // block partition reproduces the one-shot entry points exactly.
+        let m = sample(21);
+        let mut rng = SplitMix64::new(12);
+        let y: Vec<f64> = (0..21).map(|_| rng.next_gaussian()).collect();
+        let x: Vec<f64> = (0..120).map(|_| rng.next_f64() * 255.0).collect();
+        let full_adj = m.apply_adjoint_vec(&y);
+        let full_fwd = m.apply_vec(&x);
+        let mut fs = FusedScratch::new();
+        for step in [1usize, 3, 5, 12] {
+            let mut adj = vec![0.0; 120];
+            m.adjoint_begin(&y, &mut fs);
+            let mut i0 = 0;
+            while i0 < 12 {
+                let i1 = (i0 + step).min(12);
+                m.adjoint_block(i0, i1, &mut adj[i0 * 10..i1 * 10], &fs);
+                i0 = i1;
+            }
+            assert_eq!(full_adj, adj, "adjoint step {step}");
+
+            let mut fwd = vec![0.0; 21];
+            m.apply_begin(&mut fwd, &mut fs);
+            let mut i0 = 0;
+            while i0 < 12 {
+                let i1 = (i0 + step).min(12);
+                m.apply_block(i0, i1, &x[i0 * 10..i1 * 10], &mut fwd, &mut fs);
+                i0 = i1;
+            }
+            m.apply_finish(&mut fwd, &mut fs);
+            assert_eq!(full_fwd, fwd, "forward step {step}");
+        }
     }
 
     #[test]

@@ -80,6 +80,16 @@ pub trait LinearOperator {
     fn column_view(&self) -> Option<&crate::colview::ColumnMatrix> {
         None
     }
+
+    /// The row-streaming view of this operator, when it measures a 2-D
+    /// pixel grid and can produce/consume the image block-of-rows at a
+    /// time (see [`crate::fused`]).
+    /// [`ComposedOperator`](crate::ComposedOperator) uses it to fuse Φ
+    /// with the dictionary's row pass. The default is `None`;
+    /// [`XorMeasurement`](crate::XorMeasurement) overrides it.
+    fn row_streamed(&self) -> Option<&dyn crate::fused::RowStreamedOperator> {
+        None
+    }
 }
 
 /// Estimates the spectral norm `‖A‖₂` by power iteration on `AᵀA`.
@@ -110,11 +120,12 @@ pub fn operator_norm_est<A: LinearOperator + ?Sized>(a: &A, iters: usize, seed: 
     norm
 }
 
-/// Dot product.
+/// Dot product (four-lane kernel, deterministic reduction order — see
+/// [`tepics_util::simd`]).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    tepics_util::simd::dot4(a, b)
 }
 
 /// Euclidean norm.
@@ -123,13 +134,10 @@ pub fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x` (four-lane kernel; exactly the scalar loop's bits).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    tepics_util::simd::axpy4(alpha, x, y);
 }
 
 /// `x *= alpha`.

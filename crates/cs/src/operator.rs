@@ -11,16 +11,39 @@ use std::sync::Arc;
 
 use crate::colview::ColumnMatrix;
 use crate::dictionary::Dictionary;
+use crate::fused::{self, FusedScratch};
 use crate::op::LinearOperator;
 
 /// Reusable intermediate buffers of a [`ComposedOperator`]: the pixel
-/// vector between Ψ and Φ, the dictionary's own transform scratch, and
-/// a unit coefficient vector for column extraction.
+/// vector between Ψ and Φ, the dictionary's own transform scratch, a
+/// unit coefficient vector for column extraction, and the streaming
+/// measurement kernels' [`FusedScratch`].
+///
+/// Public so callers that build one composed operator per solve (the
+/// decoder) can donate the buffers across solves via
+/// [`ComposedOperator::with_scratch`]/[`ComposedOperator::into_scratch`]
+/// — warm decodes then perform no per-solve allocation at all.
 #[derive(Debug, Clone, Default)]
-struct ComposedScratch {
+pub struct ComposedScratch {
     pixels: Vec<f64>,
     dict: Vec<f64>,
     unit: Vec<f64>,
+    fused: FusedScratch,
+}
+
+impl ComposedScratch {
+    /// Empty buffers; they grow to the operator's sizes on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pixel-domain buffer and the dictionary transform scratch —
+    /// for callers that reuse the donation between solves (e.g. the
+    /// decoder's final synthesis).
+    pub fn pixels_and_dict(&mut self) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        (&mut self.pixels, &mut self.dict)
+    }
 }
 
 /// The product `A = Φ ∘ Ψ` of a measurement operator and a dictionary.
@@ -99,6 +122,35 @@ where
         self.columns = Some(view);
         self
     }
+
+    /// Seeds this operator with donated scratch buffers (typically taken
+    /// from a solver workspace), so a freshly built composition starts
+    /// warm instead of growing its buffers again.
+    #[must_use]
+    pub fn with_scratch(self, scratch: ComposedScratch) -> Self {
+        *self.scratch.borrow_mut() = scratch;
+        self
+    }
+
+    /// Returns the scratch buffers for donation to the next solve.
+    pub fn into_scratch(self) -> ComposedScratch {
+        self.scratch.into_inner()
+    }
+
+    /// The fused streaming pair for this composition, when the
+    /// measurement streams rows, the dictionary stages rows, and the
+    /// two agree on the pixel grid (see [`crate::fused`]).
+    fn fused_pair(&self) -> Option<(&dyn fused::RowStreamedOperator, fused::StagedDictionary<'_>)> {
+        if self.psi.dim() != self.psi.atoms() {
+            return None;
+        }
+        let stream = self.phi.row_streamed()?;
+        let staged = self.psi.row_staged()?;
+        if !staged.accepts_grid(stream.image_cols(), stream.image_rows()) {
+            return None;
+        }
+        Some((stream, staged))
+    }
 }
 
 impl<'a, M, D> LinearOperator for ComposedOperator<'a, M, D>
@@ -117,7 +169,16 @@ where
     // tidy:alloc-free
     fn apply(&self, alpha: &[f64], y: &mut [f64]) {
         let mut scratch = self.scratch.borrow_mut();
-        let ComposedScratch { pixels, dict, .. } = &mut *scratch;
+        let ComposedScratch {
+            pixels,
+            dict,
+            fused: fs,
+            ..
+        } = &mut *scratch;
+        if let Some((stream, staged)) = self.fused_pair() {
+            fused::fused_apply(stream, &staged, alpha, y, pixels, fs, dict);
+            return;
+        }
         pixels.resize(self.psi.dim(), 0.0);
         self.psi.synthesize_with(alpha, pixels, dict);
         self.phi.apply(pixels, y);
@@ -126,7 +187,16 @@ where
     // tidy:alloc-free
     fn apply_adjoint(&self, y: &[f64], alpha: &mut [f64]) {
         let mut scratch = self.scratch.borrow_mut();
-        let ComposedScratch { pixels, dict, .. } = &mut *scratch;
+        let ComposedScratch {
+            pixels,
+            dict,
+            fused: fs,
+            ..
+        } = &mut *scratch;
+        if let Some((stream, staged)) = self.fused_pair() {
+            fused::fused_adjoint(stream, &staged, y, alpha, fs, dict);
+            return;
+        }
         pixels.resize(self.psi.dim(), 0.0);
         self.phi.apply_adjoint(y, pixels);
         self.psi.analyze_with(pixels, alpha, dict);
@@ -140,7 +210,9 @@ where
             return;
         }
         let mut scratch = self.scratch.borrow_mut();
-        let ComposedScratch { pixels, dict, unit } = &mut *scratch;
+        let ComposedScratch {
+            pixels, dict, unit, ..
+        } = &mut *scratch;
         unit.clear();
         unit.resize(self.psi.atoms(), 0.0);
         unit[j] = 1.0;

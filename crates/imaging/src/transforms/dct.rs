@@ -51,11 +51,7 @@ fn lee_forward(x: &mut [f64], scratch: &mut [f64], tw: &[f64]) {
     let (t, rest) = tw.split_at(half);
     {
         let (a, b) = scratch.split_at_mut(half);
-        for i in 0..half {
-            let (p, q) = (x[i], x[n - 1 - i]);
-            a[i] = p + q;
-            b[i] = (p - q) * t[i];
-        }
+        tepics_util::simd::butterfly_split(x, t, a, b);
         let (xa, xb) = x.split_at_mut(half);
         lee_forward(a, xa, rest);
         lee_forward(b, xb, rest);
@@ -91,10 +87,95 @@ fn lee_inverse(v: &mut [f64], scratch: &mut [f64], tw: &[f64]) {
         lee_inverse(b, vb, rest);
     }
     let (a, b) = scratch.split_at(half);
+    tepics_util::simd::butterfly_merge(a, b, t, v);
+}
+
+/// [`lee_forward`] with whole `w`-length rows as elements: the column
+/// pass of a separable 2-D transform on a row-major block, evaluated as
+/// contiguous row-vector operations instead of per-column strided
+/// gathers. Performs, per column, exactly the scalar recursion's
+/// operations in the same order — results are bit-identical to applying
+/// [`lee_forward`] column by column. `scratch.len() >= x.len()`.
+// tidy:alloc-free
+fn lee_forward_rows(x: &mut [f64], scratch: &mut [f64], w: usize, tw: &[f64]) {
+    let h = x.len() / w;
+    if h == 1 {
+        return;
+    }
+    let half = h / 2;
+    let (t, rest) = tw.split_at(half);
+    {
+        let (a, b) = scratch.split_at_mut(half * w);
+        for i in 0..half {
+            let ti = t[i];
+            let (top_part, bottom_part) = x.split_at(half * w);
+            let top = &top_part[i * w..(i + 1) * w];
+            let bot = &bottom_part[(half - 1 - i) * w..(half - i) * w];
+            let ar = &mut a[i * w..(i + 1) * w];
+            let br = &mut b[i * w..(i + 1) * w];
+            for j in 0..w {
+                let (p, q) = (top[j], bot[j]);
+                ar[j] = p + q;
+                br[j] = (p - q) * ti;
+            }
+        }
+        let (xa, xb) = x.split_at_mut(half * w);
+        lee_forward_rows(a, xa, w, rest);
+        lee_forward_rows(b, xb, w, rest);
+    }
+    let (a, b) = scratch.split_at(half * w);
+    for i in 0..half - 1 {
+        x[2 * i * w..(2 * i + 1) * w].copy_from_slice(&a[i * w..(i + 1) * w]);
+        let dst = &mut x[(2 * i + 1) * w..(2 * i + 2) * w];
+        let b0 = &b[i * w..(i + 1) * w];
+        let b1 = &b[(i + 1) * w..(i + 2) * w];
+        for j in 0..w {
+            dst[j] = b0[j] + b1[j];
+        }
+    }
+    x[(h - 2) * w..(h - 1) * w].copy_from_slice(&a[(half - 1) * w..half * w]);
+    x[(h - 1) * w..h * w].copy_from_slice(&b[(half - 1) * w..half * w]);
+}
+
+/// Row-vector counterpart of [`lee_inverse`]; see [`lee_forward_rows`].
+// tidy:alloc-free
+fn lee_inverse_rows(v: &mut [f64], scratch: &mut [f64], w: usize, tw: &[f64]) {
+    let h = v.len() / w;
+    if h == 1 {
+        return;
+    }
+    let half = h / 2;
+    let (t, rest) = tw.split_at(half);
+    {
+        let (a, b) = scratch.split_at_mut(half * w);
+        a[..w].copy_from_slice(&v[..w]);
+        b[..w].copy_from_slice(&v[w..2 * w]);
+        for i in 1..half {
+            a[i * w..(i + 1) * w].copy_from_slice(&v[2 * i * w..(2 * i + 1) * w]);
+            let dst = &mut b[i * w..(i + 1) * w];
+            let lo = &v[(2 * i - 1) * w..2 * i * w];
+            let hi = &v[(2 * i + 1) * w..(2 * i + 2) * w];
+            for j in 0..w {
+                dst[j] = lo[j] + hi[j];
+            }
+        }
+        let (va, vb) = v.split_at_mut(half * w);
+        lee_inverse_rows(a, va, w, rest);
+        lee_inverse_rows(b, vb, w, rest);
+    }
+    let (a, b) = scratch.split_at(half * w);
+    let (vf, vk) = v.split_at_mut(half * w);
     for i in 0..half {
-        let y = b[i] * t[i];
-        v[i] = a[i] + y;
-        v[n - 1 - i] = a[i] - y;
+        let ti = t[i];
+        let ar = &a[i * w..(i + 1) * w];
+        let br = &b[i * w..(i + 1) * w];
+        let fr = &mut vf[i * w..(i + 1) * w];
+        let bk = &mut vk[(half - 1 - i) * w..(half - i) * w];
+        for j in 0..w {
+            let y = br[j] * ti;
+            fr[j] = ar[j] + y;
+            bk[j] = ar[j] - y;
+        }
     }
 }
 
@@ -233,7 +314,7 @@ impl Dct1d {
             Kind::Matrix { basis } => {
                 for (k, o) in scratch[..self.n].iter_mut().enumerate() {
                     let row = &basis[k * self.n..(k + 1) * self.n];
-                    *o = row.iter().zip(data.iter()).map(|(b, v)| b * v).sum();
+                    *o = tepics_util::simd::dot4(row, data);
                 }
                 data.copy_from_slice(&scratch[..self.n]);
             }
@@ -265,9 +346,7 @@ impl Dct1d {
                         continue;
                     }
                     let row = &basis[k * self.n..(k + 1) * self.n];
-                    for (o, b) in out.iter_mut().zip(row) {
-                        *o += ck * b;
-                    }
+                    tepics_util::simd::axpy4(ck, row, out);
                 }
                 data.copy_from_slice(&scratch[..self.n]);
             }
@@ -344,21 +423,95 @@ impl Dct2d {
     fn apply_with(&self, data: &[f64], out: &mut [f64], scratch: &mut Vec<f64>, forward: bool) {
         assert_eq!(data.len(), self.len(), "buffer length mismatch");
         assert_eq!(out.len(), self.len(), "output length mismatch");
-        let (w, h) = (self.width, self.height);
-        scratch.resize(h + w.max(h), 0.0);
-        let (col_buf, s) = scratch.split_at_mut(h);
-        // Rows, in place on the output buffer.
-        for (out_row, data_row) in out.chunks_exact_mut(w).zip(data.chunks_exact(w)) {
-            out_row.copy_from_slice(data_row);
+        out.copy_from_slice(data);
+        self.ensure_scratch(scratch);
+        self.rows_pass(out, scratch, forward);
+        self.cols_pass(out, scratch, forward);
+    }
+
+    /// Grows `scratch` to the layout the staged passes expect:
+    /// `[col_buf: height][1-D scratch: max(width, height)]`, or the
+    /// whole-buffer region the row-vector column recursion needs when
+    /// the column transform is on the fast path. Never shrinks, so one
+    /// scratch vector can serve several transform sizes.
+    // tidy:alloc-free
+    pub fn ensure_scratch(&self, scratch: &mut Vec<f64>) {
+        let mut need = self.height + self.width.max(self.height);
+        if self.col.is_fast() {
+            need = need.max(self.len());
+        }
+        if scratch.len() < need {
+            scratch.resize(need, 0.0);
+        }
+    }
+
+    /// One separable pass over whole rows, in place: each contiguous
+    /// `width`-length row in `rows` is transformed independently.
+    ///
+    /// `rows` may be any prefix of whole rows (a row *block*), which is
+    /// what lets the fused Φᵀ/Ψᵀ engine transform a block while it is
+    /// still cache-hot. `scratch` must have been sized by
+    /// [`Dct2d::ensure_scratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of `width()` or
+    /// `scratch` is too small.
+    // tidy:alloc-free
+    pub fn rows_pass(&self, rows: &mut [f64], scratch: &mut [f64], forward: bool) {
+        let w = self.width;
+        assert_eq!(rows.len() % w, 0, "row block must hold whole rows");
+        let s = &mut scratch[self.height..];
+        for row in rows.chunks_exact_mut(w) {
             if forward {
-                self.row.forward_in_place(out_row, s);
+                self.row.forward_in_place(row, s);
             } else {
-                self.row.inverse_in_place(out_row, s);
+                self.row.inverse_in_place(row, s);
             }
         }
-        // Columns, gathered through the transpose scratch.
+    }
+
+    /// One separable pass over all columns of a full `width`×`height`
+    /// buffer, in place, gathering each column through the transpose
+    /// region of `scratch` (sized by [`Dct2d::ensure_scratch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != len()` or `scratch` is too small.
+    // tidy:alloc-free
+    pub fn cols_pass(&self, buf: &mut [f64], scratch: &mut [f64], forward: bool) {
+        assert_eq!(buf.len(), self.len(), "buffer length mismatch");
+        let (w, h) = (self.width, self.height);
+        // Fast-path columns run the Lee recursion with whole rows as
+        // elements: every butterfly is a contiguous vector op, no
+        // strided per-column gather. Bit-identical to the gather path
+        // (same per-column operations in the same order).
+        if let Kind::Fast { twiddles } = &self.col.kind {
+            if scratch.len() >= w * h {
+                let s = &mut scratch[..w * h];
+                if forward {
+                    lee_forward_rows(buf, s, w, twiddles);
+                    for v in &mut buf[..w] {
+                        *v *= self.col.norm0;
+                    }
+                    for v in &mut buf[w..] {
+                        *v *= self.col.norm;
+                    }
+                } else {
+                    for v in &mut buf[..w] {
+                        *v *= self.col.norm0;
+                    }
+                    for v in &mut buf[w..] {
+                        *v *= self.col.norm;
+                    }
+                    lee_inverse_rows(buf, s, w, twiddles);
+                }
+                return;
+            }
+        }
+        let (col_buf, s) = scratch.split_at_mut(h);
         for x in 0..w {
-            for (c, row) in col_buf.iter_mut().zip(out.chunks_exact(w)) {
+            for (c, row) in col_buf.iter_mut().zip(buf.chunks_exact(w)) {
                 *c = row[x];
             }
             if forward {
@@ -366,7 +519,7 @@ impl Dct2d {
             } else {
                 self.col.inverse_in_place(col_buf, s);
             }
-            for (c, row) in col_buf.iter().zip(out.chunks_exact_mut(w)) {
+            for (c, row) in col_buf.iter().zip(buf.chunks_exact_mut(w)) {
                 row[x] = *c;
             }
         }
@@ -639,6 +792,27 @@ mod tests {
         let mut back = vec![0.0; 64];
         dct.inverse_with(&out, &mut back, &mut scratch);
         assert_eq!(back, dct.inverse(&out));
+    }
+
+    #[test]
+    fn row_vector_column_pass_matches_gather_path_bitwise() {
+        // The row-vector Lee recursion must perform, per column, exactly
+        // the scalar recursion's operations: giving cols_pass a scratch
+        // too small for the row-vector path forces the per-column gather
+        // fallback, and both must agree to the bit.
+        let dct = Dct2d::new(16, 16);
+        let img = Scene::natural_like().render(16, 16, 2);
+        for forward in [true, false] {
+            let mut fast = img.as_slice().to_vec();
+            let mut big = Vec::new();
+            dct.ensure_scratch(&mut big);
+            dct.cols_pass(&mut fast, &mut big, forward);
+
+            let mut gather = img.as_slice().to_vec();
+            let mut small = vec![0.0; 16 + 16];
+            dct.cols_pass(&mut gather, &mut small, forward);
+            assert_eq!(fast, gather, "forward={forward}");
+        }
     }
 
     #[test]

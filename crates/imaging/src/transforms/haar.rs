@@ -96,39 +96,190 @@ impl Haar2d {
     ///
     /// Panics if `data.len() != width*height`.
     pub fn forward(&self, data: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.len()];
+        let mut scratch = Vec::new();
+        self.forward_with(data, &mut out, &mut scratch);
+        out
+    }
+
+    /// Forward transform into a caller-provided buffer, reusing
+    /// `scratch` across calls — the allocation-free path the fused
+    /// solver kernels use. Results are bit-identical to
+    /// [`Haar2d::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` or `out.len()` differ from `len()`.
+    // tidy:alloc-free
+    pub fn forward_with(&self, data: &[f64], out: &mut [f64], scratch: &mut Vec<f64>) {
         assert_eq!(data.len(), self.len(), "buffer length mismatch");
-        let mut out = data.to_vec();
+        assert_eq!(out.len(), self.len(), "output length mismatch");
+        out.copy_from_slice(data);
+        self.forward_rows_step(out, scratch);
+        self.forward_finish(out, scratch);
+    }
+
+    /// Grows `scratch` to the single-line buffer the level steps need.
+    fn line_buf<'s>(&self, scratch: &'s mut Vec<f64>) -> &'s mut [f64] {
+        let side = self.width.max(self.height);
+        if scratch.len() < side {
+            scratch.resize(side, 0.0);
+        }
+        &mut scratch[..side]
+    }
+
+    /// One forward Haar row step at quadrant width `w` over `h` rows of
+    /// full-width row-major `data`.
+    fn fwd_rows(&self, data: &mut [f64], w: usize, h: usize, buf: &mut [f64]) {
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        let mut w = self.width;
-        let mut h = self.height;
-        for _ in 0..self.levels {
-            // Rows of the active quadrant.
-            let mut buf = vec![0.0; w.max(h)];
-            for y in 0..h {
-                for i in 0..w / 2 {
-                    let a = out[y * self.width + 2 * i];
-                    let b = out[y * self.width + 2 * i + 1];
-                    buf[i] = (a + b) * s;
-                    buf[w / 2 + i] = (a - b) * s;
-                }
-                out[y * self.width..y * self.width + w].copy_from_slice(&buf[..w]);
+        for y in 0..h {
+            let row = &mut data[y * self.width..y * self.width + w];
+            for i in 0..w / 2 {
+                let a = row[2 * i];
+                let b = row[2 * i + 1];
+                buf[i] = (a + b) * s;
+                buf[w / 2 + i] = (a - b) * s;
             }
-            // Columns of the active quadrant.
-            for x in 0..w {
-                for i in 0..h / 2 {
-                    let a = out[(2 * i) * self.width + x];
-                    let b = out[(2 * i + 1) * self.width + x];
-                    buf[i] = (a + b) * s;
-                    buf[h / 2 + i] = (a - b) * s;
-                }
-                for y in 0..h {
-                    out[y * self.width + x] = buf[y];
-                }
+            row.copy_from_slice(&buf[..w]);
+        }
+    }
+
+    /// One forward Haar column step on the `w`×`h` quadrant.
+    fn fwd_cols(&self, data: &mut [f64], w: usize, h: usize, buf: &mut [f64]) {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        for x in 0..w {
+            for i in 0..h / 2 {
+                let a = data[(2 * i) * self.width + x];
+                let b = data[(2 * i + 1) * self.width + x];
+                buf[i] = (a + b) * s;
+                buf[h / 2 + i] = (a - b) * s;
             }
+            for (y, &v) in buf[..h].iter().enumerate() {
+                data[y * self.width + x] = v;
+            }
+        }
+    }
+
+    /// One inverse Haar column step on the `w`×`h` quadrant.
+    fn inv_cols(&self, data: &mut [f64], w: usize, h: usize, buf: &mut [f64]) {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        for x in 0..w {
+            for i in 0..h / 2 {
+                let avg = data[i * self.width + x];
+                let diff = data[(h / 2 + i) * self.width + x];
+                buf[2 * i] = (avg + diff) * s;
+                buf[2 * i + 1] = (avg - diff) * s;
+            }
+            for (y, &v) in buf[..h].iter().enumerate() {
+                data[y * self.width + x] = v;
+            }
+        }
+    }
+
+    /// One inverse Haar row step at quadrant width `w` over `h` rows.
+    fn inv_rows(&self, data: &mut [f64], w: usize, h: usize, buf: &mut [f64]) {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        for y in 0..h {
+            let row = &mut data[y * self.width..y * self.width + w];
+            for i in 0..w / 2 {
+                let avg = row[i];
+                let diff = row[w / 2 + i];
+                buf[2 * i] = (avg + diff) * s;
+                buf[2 * i + 1] = (avg - diff) * s;
+            }
+            row.copy_from_slice(&buf[..w]);
+        }
+    }
+
+    /// The level-0 forward row step on a block of whole rows — the
+    /// independent per-row stage the fused solver kernels interleave
+    /// with measurement scatter. Composing this over the full buffer
+    /// followed by [`Haar2d::forward_finish`] is bit-identical to
+    /// [`Haar2d::forward_with`]. No-op when `levels == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the width.
+    // tidy:alloc-free
+    pub fn forward_rows_step(&self, rows: &mut [f64], scratch: &mut Vec<f64>) {
+        assert!(
+            rows.len().is_multiple_of(self.width),
+            "partial rows in block"
+        );
+        if self.levels == 0 {
+            return;
+        }
+        let h = rows.len() / self.width;
+        let buf = self.line_buf(scratch);
+        self.fwd_rows(rows, self.width, h, buf);
+    }
+
+    /// The remainder of the forward transform after
+    /// [`Haar2d::forward_rows_step`]: the level-0 column step plus all
+    /// deeper levels. Operates on the full buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != len()`.
+    // tidy:alloc-free
+    pub fn forward_finish(&self, buf: &mut [f64], scratch: &mut Vec<f64>) {
+        assert_eq!(buf.len(), self.len(), "buffer length mismatch");
+        if self.levels == 0 {
+            return;
+        }
+        let line = self.line_buf(scratch);
+        self.fwd_cols(buf, self.width, self.height, line);
+        let mut w = self.width / 2;
+        let mut h = self.height / 2;
+        for _ in 1..self.levels {
+            self.fwd_rows(buf, w, h, line);
+            self.fwd_cols(buf, w, h, line);
             w /= 2;
             h /= 2;
         }
-        out
+    }
+
+    /// The inverse counterpart of [`Haar2d::forward_finish`]: all deeper
+    /// levels plus the level-0 column step, leaving only the level-0 row
+    /// step for [`Haar2d::inverse_rows_step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != len()`.
+    // tidy:alloc-free
+    pub fn inverse_begin(&self, buf: &mut [f64], scratch: &mut Vec<f64>) {
+        assert_eq!(buf.len(), self.len(), "buffer length mismatch");
+        if self.levels == 0 {
+            return;
+        }
+        let line = self.line_buf(scratch);
+        for level in (1..self.levels).rev() {
+            let w = self.width >> level;
+            let h = self.height >> level;
+            self.inv_cols(buf, w, h, line);
+            self.inv_rows(buf, w, h, line);
+        }
+        self.inv_cols(buf, self.width, self.height, line);
+    }
+
+    /// The level-0 inverse row step on a block of whole rows; see
+    /// [`Haar2d::forward_rows_step`]. No-op when `levels == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the width.
+    // tidy:alloc-free
+    pub fn inverse_rows_step(&self, rows: &mut [f64], scratch: &mut Vec<f64>) {
+        assert!(
+            rows.len().is_multiple_of(self.width),
+            "partial rows in block"
+        );
+        if self.levels == 0 {
+            return;
+        }
+        let h = rows.len() / self.width;
+        let buf = self.line_buf(scratch);
+        self.inv_rows(rows, self.width, h, buf);
     }
 
     /// Inverse transform of a row-major coefficient buffer.
@@ -137,38 +288,26 @@ impl Haar2d {
     ///
     /// Panics if `coeffs.len() != width*height`.
     pub fn inverse(&self, coeffs: &[f64]) -> Vec<f64> {
-        assert_eq!(coeffs.len(), self.len(), "buffer length mismatch");
-        let mut out = coeffs.to_vec();
-        let s = std::f64::consts::FRAC_1_SQRT_2;
-        // Reconstruct from the deepest level outward.
-        for level in (0..self.levels).rev() {
-            let w = self.width >> level;
-            let h = self.height >> level;
-            let mut buf = vec![0.0; w.max(h)];
-            // Columns first (mirror of forward order).
-            for x in 0..w {
-                for i in 0..h / 2 {
-                    let avg = out[i * self.width + x];
-                    let diff = out[(h / 2 + i) * self.width + x];
-                    buf[2 * i] = (avg + diff) * s;
-                    buf[2 * i + 1] = (avg - diff) * s;
-                }
-                for y in 0..h {
-                    out[y * self.width + x] = buf[y];
-                }
-            }
-            // Rows.
-            for y in 0..h {
-                for i in 0..w / 2 {
-                    let avg = out[y * self.width + i];
-                    let diff = out[y * self.width + w / 2 + i];
-                    buf[2 * i] = (avg + diff) * s;
-                    buf[2 * i + 1] = (avg - diff) * s;
-                }
-                out[y * self.width..y * self.width + w].copy_from_slice(&buf[..w]);
-            }
-        }
+        let mut out = vec![0.0; self.len()];
+        let mut scratch = Vec::new();
+        self.inverse_with(coeffs, &mut out, &mut scratch);
         out
+    }
+
+    /// Inverse transform into a caller-provided buffer; see
+    /// [`Haar2d::forward_with`]. Results are bit-identical to
+    /// [`Haar2d::inverse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` or `out.len()` differ from `len()`.
+    // tidy:alloc-free
+    pub fn inverse_with(&self, coeffs: &[f64], out: &mut [f64], scratch: &mut Vec<f64>) {
+        assert_eq!(coeffs.len(), self.len(), "buffer length mismatch");
+        assert_eq!(out.len(), self.len(), "output length mismatch");
+        out.copy_from_slice(coeffs);
+        self.inverse_begin(out, scratch);
+        self.inverse_rows_step(out, scratch);
     }
 }
 
@@ -254,6 +393,37 @@ mod tests {
         assert_eq!(Haar2d::max_levels(64, 64), 6);
         assert_eq!(Haar2d::max_levels(12, 8), 2);
         assert_eq!(Haar2d::max_levels(7, 8), 0);
+    }
+
+    #[test]
+    fn staged_passes_compose_to_full_transform_bitwise() {
+        // The fused-engine contract: row step over arbitrary row blocks
+        // + finish/begin equals the one-shot transform exactly.
+        let haar = Haar2d::new(16, 8, 3);
+        let img = Scene::natural_like().render(16, 8, 5);
+        let mut scratch = Vec::new();
+        let full_fwd = haar.forward(img.as_slice());
+        let full_inv = haar.inverse(&full_fwd);
+        for step in [1usize, 3, 8] {
+            let mut staged = img.as_slice().to_vec();
+            let mut y = 0;
+            while y < 8 {
+                let y1 = (y + step).min(8);
+                haar.forward_rows_step(&mut staged[y * 16..y1 * 16], &mut scratch);
+                y = y1;
+            }
+            haar.forward_finish(&mut staged, &mut scratch);
+            assert_eq!(staged, full_fwd, "forward step {step}");
+
+            haar.inverse_begin(&mut staged, &mut scratch);
+            let mut y = 0;
+            while y < 8 {
+                let y1 = (y + step).min(8);
+                haar.inverse_rows_step(&mut staged[y * 16..y1 * 16], &mut scratch);
+                y = y1;
+            }
+            assert_eq!(staged, full_inv, "inverse step {step}");
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //!   [`debias`](crate::debias).
 
 use tepics_cs::chol::GrowingCholesky;
+use tepics_cs::ComposedScratch;
 
 /// Reusable buffers shared by every solver in the crate (see the module
 /// docs for the three buffer groups).
@@ -81,6 +82,8 @@ pub struct SolverWorkspace {
     pub(crate) lsq_q: Vec<f64>,
     pub(crate) restrict_in: Vec<f64>,
     pub(crate) restrict_out: Vec<f64>,
+    // Composed-operator donation (see `take_composed`).
+    pub(crate) composed: ComposedScratch,
 }
 
 impl SolverWorkspace {
@@ -109,6 +112,25 @@ impl SolverWorkspace {
             buf.clear();
             buf.resize(rows, 0.0);
         }
+    }
+
+    /// Takes the composed-operator scratch held by this workspace, for
+    /// donation to a freshly built
+    /// [`ComposedOperator`](tepics_cs::ComposedOperator) via
+    /// `with_scratch`. The decoder's per-frame pattern is
+    /// take → solve → [`store_composed`](SolverWorkspace::store_composed),
+    /// so the composition's pixel/dictionary/fused-kernel buffers stay
+    /// warm across frames even though the operator itself is rebuilt.
+    #[must_use]
+    pub fn take_composed(&mut self) -> ComposedScratch {
+        std::mem::take(&mut self.composed)
+    }
+
+    /// Returns a donation taken with
+    /// [`take_composed`](SolverWorkspace::take_composed) after the
+    /// solve, keeping the buffers for the next frame.
+    pub fn store_composed(&mut self, scratch: ComposedScratch) {
+        self.composed = scratch;
     }
 }
 

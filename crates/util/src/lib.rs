@@ -14,6 +14,8 @@
 //!   hardware accumulators of the sensor's Sample & Add stage.
 //! * [`parallel`] — a scoped-thread parallel map with deterministic,
 //!   input-ordered results, used by the batch capture engine.
+//! * [`simd`] — explicit-width chunked f64 kernels (`dot4`, `axpy4`,
+//!   `sum4`, Lee butterfly pairs) shared by every hot numeric loop.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@ pub mod bits;
 pub mod fixed;
 pub mod parallel;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use bits::BitVec;

@@ -139,6 +139,53 @@ fn warm_omp_iterations_allocate_nothing() {
     );
 }
 
+/// Warm *fused* FISTA decode iterations allocate nothing: a full
+/// decoder pass (XOR measurement × DC-pinned DCT, routed through the
+/// fused one-pass kernels with workspace-donated scratch) at doubled
+/// iteration budgets costs the identical number of allocations. Any
+/// per-iteration heap touch inside the fused apply/adjoint — table
+/// builds, row staging, dictionary scratch — would scale with the
+/// budget and break the equality.
+#[test]
+fn warm_fused_decode_iterations_allocate_nothing() {
+    let im = CompressiveImager::builder(16, 16)
+        .ratio(0.4)
+        .seed(0xF0_5D)
+        .fidelity(Fidelity::Functional)
+        .build()
+        .unwrap();
+    let scene = Scene::gaussian_blobs(2).render(16, 16, 3);
+    let frame = im.capture(&scene);
+    let mut ws = SolverWorkspace::new();
+    let decode = |iters: usize, ws: &mut SolverWorkspace| {
+        let mut dec = Decoder::for_frame(&frame).unwrap();
+        dec.algorithm(SolverKind::Fista {
+            lambda_ratio: 0.02,
+            max_iter: iters,
+            debias: false,
+        });
+        dec.reconstruct_with(&frame, ws).unwrap()
+    };
+    // Warm at the larger budget so every buffer reaches full size.
+    decode(100, &mut ws);
+    let (short, rec_short) = count_allocs(|| decode(50, &mut ws));
+    let (long, rec_long) = count_allocs(|| decode(100, &mut ws));
+    assert_eq!(
+        rec_short.stats().iterations,
+        50,
+        "short run must exhaust its budget"
+    );
+    assert_eq!(
+        rec_long.stats().iterations,
+        100,
+        "long run must exhaust its budget"
+    );
+    assert_eq!(
+        short, long,
+        "fused decode loop allocates: 50 iters cost {short}, 100 iters cost {long}"
+    );
+}
+
 /// The warm serial tiled-decode path reaches an allocation steady
 /// state: once the session's operator cache and workspaces are warm,
 /// consecutive decodes of the same stream cost the identical number of
