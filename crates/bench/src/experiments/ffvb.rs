@@ -12,7 +12,8 @@ use tepics_core::batch::BatchRunner;
 use tepics_core::pipeline::evaluate_with_cache;
 use tepics_core::prelude::*;
 use tepics_imaging::psnr;
-use tepics_util::parallel::{default_threads, par_map};
+use tepics_util::parallel::default_threads;
+use tepics_util::pool::WorkerPool;
 
 /// Runs the experiment.
 pub fn run() -> String {
@@ -52,15 +53,19 @@ pub fn run() -> String {
                 evaluate_with_cache(runner.cache(), &imager, |_| {}, &scene)
             })
             .expect("full-frame sweep pipeline");
-        // Block baseline on the same code images, fanned the same way.
-        let block_db = par_map(default_threads(), &ratios, |_, &r| {
-            let bcs = BlockCs::new(side, side, 8, r, 0xFFB).unwrap();
-            let bframe = bcs.capture(&codes);
-            match bcs.reconstruct(&bframe) {
-                Ok(rec) => psnr(&codes, &rec, 255.0),
-                Err(_) => f64::NAN,
-            }
-        });
+        // Block baseline on the same code images, fanned across the
+        // persistent pool (owned-capture closure: the pool's workers
+        // outlive this stack frame).
+        let block_codes = codes.clone();
+        let block_db =
+            WorkerPool::global().map(default_threads(), ratios.to_vec(), move |_, r: f64, _| {
+                let bcs = BlockCs::new(side, side, 8, r, 0xFFB).unwrap();
+                let bframe = bcs.capture(&block_codes);
+                match bcs.reconstruct(&bframe) {
+                    Ok(rec) => psnr(&block_codes, &rec, 255.0),
+                    Err(_) => f64::NAN,
+                }
+            });
         out.push_str(&section(&format!("Scene: {name}")));
         let mut t = Table::new(&["R", "full-frame PSNR (dB)", "block 8×8 PSNR (dB)", "winner"]);
         for ((&r, report), &block_db) in ratios.iter().zip(&full.reports).zip(&block_db) {

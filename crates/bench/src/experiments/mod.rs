@@ -19,5 +19,6 @@ pub mod resilience;
 pub mod solvers;
 pub mod table1;
 pub mod table2;
+pub mod throughput;
 pub mod tiled;
 pub mod warmup;

@@ -16,10 +16,12 @@
 //!   (each tile scored against its own ideal codes) and against a
 //!   monolithic single-frame decode of the same scene.
 //! * **Core scaling** at 512×512 (tile 64, overlap 8, 81 tiles): warm
-//!   stitched decodes at several thread counts, reporting tiles/sec and
-//!   the speedup curve, with every run checked bit-identical to the
-//!   single-thread decode. On a single-core host the curve is flat —
-//!   the numbers report whatever the machine actually delivers.
+//!   stitched decodes at several thread counts — through the persistent
+//!   decode pool — reporting tiles/sec and the speedup curve, with
+//!   every run checked bit-identical to the single-thread decode. The
+//!   JSON records the host's `available_parallelism`, and on a 1-core
+//!   host the speedup column is suppressed (`null` / "n/a") rather
+//!   than reporting a misleading flat curve.
 
 use std::time::Instant;
 
@@ -145,9 +147,17 @@ pub fn run() -> String {
     let tile = 64;
     let thread_counts = [1, 2, 4];
     let (points, tiles) = measure_scaling(side, tile, &thread_counts);
+    // Honesty guard: a speedup curve from a 1-core host is noise, not
+    // scaling — record the host's parallelism and flag the column so
+    // readers (and CI on small runners) don't mistake flat for broken.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let speedup_meaningful = host_parallelism > 1;
 
     // Machine-readable trail.
-    let mut json = String::from("{\n  \"schema\": 1,\n");
+    let mut json = String::from("{\n  \"schema\": 2,\n");
+    json.push_str(&format!(
+        "  \"host_parallelism\": {host_parallelism}, \"speedup_meaningful\": {speedup_meaningful},\n"
+    ));
     json.push_str(&format!(
         "  \"quality\": {{\"side\": 64, \"tile\": 32, \"overlap\": 8, \
          \"monolithic_db\": {:.3}, \"stitched_db\": {:.3}, \"per_tile_mean_db\": {:.3}, \
@@ -165,15 +175,23 @@ pub fn run() -> String {
         if i > 0 {
             json.push_str(", ");
         }
-        json.push_str(&format!(
-            "{{\"threads\": {}, \"seconds\": {:.3}, \"tiles_per_sec\": {:.2}, \
-             \"speedup\": {:.2}, \"bit_identical\": {}}}",
-            p.threads,
-            p.seconds,
-            p.tiles_per_sec,
-            base / p.seconds,
-            p.identical,
-        ));
+        if speedup_meaningful {
+            json.push_str(&format!(
+                "{{\"threads\": {}, \"seconds\": {:.3}, \"tiles_per_sec\": {:.2}, \
+                 \"speedup\": {:.2}, \"bit_identical\": {}}}",
+                p.threads,
+                p.seconds,
+                p.tiles_per_sec,
+                base / p.seconds,
+                p.identical,
+            ));
+        } else {
+            json.push_str(&format!(
+                "{{\"threads\": {}, \"seconds\": {:.3}, \"tiles_per_sec\": {:.2}, \
+                 \"speedup\": null, \"bit_identical\": {}}}",
+                p.threads, p.seconds, p.tiles_per_sec, p.identical,
+            ));
+        }
     }
     json.push_str("]}\n}\n");
     let json_written = std::fs::write(JSON_PATH, &json).is_ok();
@@ -215,7 +233,11 @@ pub fn run() -> String {
             p.threads.to_string(),
             format!("{:.2}", p.seconds),
             format!("{:.1}", p.tiles_per_sec),
-            format!("{:.2}×", base / p.seconds),
+            if speedup_meaningful {
+                format!("{:.2}×", base / p.seconds)
+            } else {
+                "n/a (1 core)".into()
+            },
             if p.identical {
                 "yes".into()
             } else {
@@ -224,12 +246,17 @@ pub fn run() -> String {
         ]);
     }
     out.push_str(&t.render());
-    out.push_str(&format!(
-        "\n(host has {} core(s); the speedup column reports what this\n\
-         machine actually delivers — tiles are independent, so the curve\n\
-         tracks available cores)\n",
-        std::thread::available_parallelism().map_or(1, usize::from),
-    ));
+    if speedup_meaningful {
+        out.push_str(&format!(
+            "\n(host has {host_parallelism} cores; tiles are independent, so the\n\
+             speedup curve tracks available cores)\n"
+        ));
+    } else {
+        out.push_str(
+            "\n(host has 1 core: the speedup column is suppressed — a flat curve\n\
+             here measures scheduling overhead, not scaling)\n",
+        );
+    }
     out.push_str(&format!(
         "\n{} {JSON_PATH}\n",
         if json_written {

@@ -169,6 +169,12 @@ pub fn registry() -> Vec<Experiment> {
             run: experiments::tiled::run,
         },
         Experiment {
+            id: "throughput",
+            tier: Tier::Full,
+            artifact: "(infrastructure) streaming decode throughput — pool vs spawn-per-call",
+            run: experiments::throughput::run,
+        },
+        Experiment {
             id: "resilience",
             tier: Tier::Fast,
             artifact: "(infrastructure) resilient wire v3 — corruption rate vs PSNR/recovery",

@@ -46,6 +46,7 @@ use crate::pipeline::{evaluate_with_cache, PipelineReport};
 use crate::session::{DecodeReport, DecodeSession, DecodedFrame, ErasurePolicy};
 use tepics_imaging::ImageF64;
 use tepics_util::parallel::{default_threads, par_map};
+use tepics_util::pool::WorkerPool;
 
 /// Fans independent capture→wire→reconstruct jobs across worker
 /// threads and aggregates their [`PipelineReport`]s.
@@ -141,6 +142,15 @@ impl BatchRunner {
     /// stream, all sharing the runner's operator cache. Results are in
     /// input order and bit-identical at any thread count.
     ///
+    /// Streams are scheduled on the process-wide persistent
+    /// [`WorkerPool`], and each stream's
+    /// session inherits the runner's thread count, so a batch of few
+    /// (even one) tiled streams still parallelizes over its inner
+    /// tiles. Oversubscription is impossible by construction: a stream
+    /// already running *on* a pool worker decodes its tiles serially on
+    /// that worker's warm workspace (the pool's nested-use guard)
+    /// rather than fanning out again.
+    ///
     /// Per-stream failures are **isolated**: a corrupt stream records
     /// its error (and whatever frames decoded before it) in its own
     /// [`StreamOutcome`] instead of aborting the batch, and the
@@ -158,9 +168,14 @@ impl BatchRunner {
         streams: &[impl AsRef<[u8]> + Sync],
         policy: ErasurePolicy,
     ) -> StreamBatchOutcome {
-        let outcomes = par_map(self.threads, streams, |_, bytes| {
-            let mut session = DecodeSession::with_cache(self.cache.clone());
-            session.erasure_policy(policy);
+        // The pool's owned-item API wants 'static jobs, so each stream's
+        // bytes are copied once up front — noise next to the decode.
+        let owned: Vec<Vec<u8>> = streams.iter().map(|s| s.as_ref().to_vec()).collect();
+        let cache = self.cache.clone();
+        let threads = self.threads;
+        let outcomes = WorkerPool::global().map(threads, owned, move |_, bytes, _| {
+            let mut session = DecodeSession::with_cache(cache.clone());
+            session.erasure_policy(policy).threads(threads);
             let mut frames = Vec::new();
             let mut error = None;
             match session.push_bytes(bytes.as_ref()) {

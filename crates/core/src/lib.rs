@@ -98,7 +98,9 @@ pub use error::CoreError;
 pub use faults::FaultInjector;
 pub use frame::{CompressedFrame, FrameHeader};
 pub use imager::{CompressiveImager, CompressiveImagerBuilder};
-pub use session::{DecodeReport, DecodeSession, DecodedFrame, EncodeSession, ErasurePolicy};
+pub use session::{
+    DecodeExecutor, DecodeReport, DecodeSession, DecodedFrame, EncodeSession, ErasurePolicy,
+};
 pub use solver::{RecoveryParams, SolverKind};
 pub use strategy::StrategyKind;
 pub use stream::{StreamEvent, WireProfile};
@@ -116,7 +118,7 @@ pub mod prelude {
     pub use crate::imager::CompressiveImager;
     pub use crate::pipeline::{evaluate, evaluate_with_cache, PipelineReport};
     pub use crate::session::{
-        DecodeReport, DecodeSession, DecodedFrame, EncodeSession, ErasurePolicy,
+        DecodeExecutor, DecodeReport, DecodeSession, DecodedFrame, EncodeSession, ErasurePolicy,
     };
     pub use crate::solver::{RecoveryParams, SolverKind};
     pub use crate::strategy::StrategyKind;

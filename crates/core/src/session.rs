@@ -33,6 +33,16 @@
 //! deterministic, so decoded frames are bit-identical at every thread
 //! count.
 //!
+//! Parallel tiled decodes run on the process-wide persistent
+//! [`WorkerPool`] by default ([`DecodeExecutor::Pooled`]): workers are
+//! spawned once, keep a warm per-geometry solver workspace each, and
+//! when a single [`DecodeSession::push_bytes`] call completes the tile
+//! groups of several frames, all their tiles fan out across the pool
+//! together — frames of one stream *pipeline* instead of decoding
+//! strictly one after another. [`DecodeSession::prewarm`] primes every
+//! executor up front so the steady state spawns no threads and
+//! allocates nothing.
+//!
 //! # Examples
 //!
 //! ```
@@ -71,11 +81,12 @@ use crate::stream::{
 };
 use tepics_cs::dictionary::IdentityDictionary;
 use tepics_cs::ComposedOperator;
-use tepics_imaging::tile::{fill_uncovered, merge_tiles, merge_tiles_sparse, TileLayout};
+use tepics_imaging::tile::{fill_uncovered, merge_tiles_sparse, TileLayout};
 use tepics_imaging::ImageF64;
 use tepics_recovery::{Iht, SolveStats, SolverWorkspace};
 use tepics_sensor::EventStats;
 use tepics_util::parallel::par_map;
+use tepics_util::pool::{self, WorkerPool};
 
 /// Capture-side session: scenes in, one contiguous wire stream out.
 #[derive(Debug, Clone)]
@@ -249,6 +260,29 @@ pub enum ErasurePolicy {
     NeighborBlend,
 }
 
+/// Which execution engine a [`DecodeSession`] uses for parallel tiled
+/// decodes (when [`DecodeSession::threads`] is above 1).
+///
+/// Both engines produce **bit-identical** output — tiles are solved
+/// from independent records and stitched in deterministic row-major
+/// order — so this knob only trades scheduling overhead, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodeExecutor {
+    /// The process-wide persistent [`WorkerPool`]: workers are spawned
+    /// once and parked between calls, and each keeps a warm
+    /// per-geometry [`SolverWorkspace`] in its sticky scratch, so the
+    /// warm steady state spawns no threads and allocates nothing.
+    /// When one [`DecodeSession::push_bytes`] call completes tile
+    /// groups of *several* frames, their tiles fan out across the pool
+    /// together (frame pipelining).
+    #[default]
+    Pooled,
+    /// Fresh scoped threads and fresh per-tile workspaces on every
+    /// tile group — the pre-pool behavior, kept as the A/B baseline
+    /// for the throughput benchmark.
+    SpawnPerCall,
+}
+
 /// Degradation accounting of one [`DecodeSession`].
 ///
 /// All counters are cumulative over the session's lifetime. On a clean
@@ -326,6 +360,72 @@ pub struct DecodedFrame {
     pub reconstruction: Reconstruction,
 }
 
+/// One complete (or partially erased) tile group buffered during an
+/// event loop, awaiting decode. `slots` is in row-major tile order;
+/// `None` marks an erased tile. Compact groups are always all-`Some`.
+#[derive(Debug)]
+struct GroupJob {
+    /// Stream position of the frame this group stitches into.
+    index: usize,
+    /// Tiles erased from the group (0 for a compact/complete group).
+    erased: usize,
+    /// The tile records, row-major.
+    slots: Vec<Option<CompressedFrame>>,
+}
+
+/// How a session executes the tiles of buffered groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TileRoute {
+    /// Sequentially on the caller, reusing the session workspace.
+    Serial,
+    /// Scoped spawn-per-call threads ([`DecodeExecutor::SpawnPerCall`]).
+    Spawn,
+    /// The persistent global [`WorkerPool`].
+    Pool,
+}
+
+/// Sticky-scratch slot key for a tile geometry: pool workers keep one
+/// warm [`SolverWorkspace`] per distinct tile size, shared by every
+/// session decoding that geometry.
+fn scratch_key(header: &FrameHeader) -> u64 {
+    (u64::from(header.rows) << 16) | u64::from(header.cols)
+}
+
+/// Stitches per-tile reconstructions (row-major, `None` = erased) into
+/// one frame, pooling the solver stats (summed iterations,
+/// root-sum-square residual of the disjoint tile systems). A fully
+/// present set stitches bit-identically to the dense merge
+/// ([`merge_tiles_sparse`] documents that contract), so complete and
+/// degraded groups share this one path.
+fn stitch_group(
+    recons: &[Option<Reconstruction>],
+    layout: &TileLayout,
+    policy: ErasurePolicy,
+) -> Reconstruction {
+    let mut code_tiles: Vec<Option<Vec<f64>>> = Vec::with_capacity(recons.len());
+    let mut stats = SolveStats {
+        iterations: 0,
+        residual_norm: 0.0,
+        converged: true,
+    };
+    for recon in recons {
+        let Some(recon) = recon else {
+            code_tiles.push(None);
+            continue;
+        };
+        stats.iterations += recon.stats().iterations;
+        stats.residual_norm = stats.residual_norm.hypot(recon.stats().residual_norm);
+        stats.converged &= recon.stats().converged;
+        code_tiles.push(Some(recon.code_image().as_slice().to_vec()));
+    }
+    let (mut stitched, uncovered) = merge_tiles_sparse(&code_tiles, layout);
+    if policy == ErasurePolicy::NeighborBlend && uncovered.iter().any(|&u| u) {
+        fill_uncovered(&mut stitched, &uncovered);
+    }
+    let mean_code = stitched.mean();
+    Reconstruction::from_parts(stitched, mean_code, stats)
+}
+
 /// Receiver-side session: wire bytes in, reconstructed frames out.
 ///
 /// Bytes may arrive in arbitrary chunks; each [`DecodeSession::push_bytes`]
@@ -345,7 +445,7 @@ pub struct DecodedFrame {
 pub struct DecodeSession {
     parser: StreamParser,
     cache: Arc<OperatorCache>,
-    decoder: Option<Decoder>,
+    decoder: Option<Arc<Decoder>>,
     dictionary: DictionaryKind,
     algorithm: SolverKind,
     delta: Option<DeltaMode>,
@@ -357,6 +457,8 @@ pub struct DecodeSession {
     decoded: usize,
     /// Worker threads for tiled decodes (0 and 1 both mean inline).
     threads: usize,
+    /// Execution engine for parallel tiled decodes.
+    executor: DecodeExecutor,
     /// Tile records of the frame currently being assembled (tiled
     /// streams buffer `layout.tiles()` records before decoding).
     pending: Vec<CompressedFrame>,
@@ -411,7 +513,7 @@ impl DecodeSession {
     pub fn dictionary(&mut self, kind: DictionaryKind) -> &mut Self {
         self.dictionary = kind;
         if let Some(d) = &mut self.decoder {
-            d.dictionary(kind);
+            Arc::make_mut(d).dictionary(kind);
         }
         self
     }
@@ -421,7 +523,7 @@ impl DecodeSession {
     pub fn algorithm(&mut self, algorithm: SolverKind) -> &mut Self {
         self.algorithm = algorithm;
         if let Some(d) = &mut self.decoder {
-            d.algorithm(algorithm);
+            Arc::make_mut(d).algorithm(algorithm);
         }
         self
     }
@@ -433,11 +535,22 @@ impl DecodeSession {
     }
 
     /// Sets the worker-thread count for tiled decodes (default inline).
-    /// Tiles of one frame are recovered concurrently and stitched in a
+    /// Tiles are recovered concurrently — on the calling thread plus up
+    /// to `threads − 1` persistent pool workers under the default
+    /// [`DecodeExecutor::Pooled`] engine — and stitched in a
     /// deterministic order, so the result is **bit-identical for every
     /// thread count**; untiled decodes are unaffected.
     pub fn threads(&mut self, threads: usize) -> &mut Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the execution engine for parallel tiled decodes (default
+    /// [`DecodeExecutor::Pooled`]). Results are bit-identical either
+    /// way; [`DecodeExecutor::SpawnPerCall`] exists as the throughput
+    /// benchmark's A/B baseline.
+    pub fn executor(&mut self, executor: DecodeExecutor) -> &mut Self {
+        self.executor = executor;
         self
     }
 
@@ -473,8 +586,8 @@ impl DecodeSession {
         let mut out = Vec::new();
         if self.parser.wire_version() == Some(STREAM_VERSION_RESILIENT) {
             if let Some(layout) = self.parser.tile_layout().cloned() {
-                if let Some(d) = self.flush_group(&layout)? {
-                    out.push(d);
+                if let Some(job) = self.flush_group(&layout) {
+                    self.decode_jobs(vec![job], &layout, &mut out)?;
                 }
             }
         }
@@ -519,23 +632,35 @@ impl DecodeSession {
     ///
     /// Returns [`CoreError::MalformedFrame`] for degenerate headers.
     pub fn prime(&mut self, header: &FrameHeader) -> Result<&mut Decoder, CoreError> {
+        self.ensure_primed(header)?;
+        self.decoder
+            .as_mut()
+            .map(Arc::make_mut)
+            .ok_or_else(|| CoreError::InvalidConfig("decode session failed to prime".into()))
+    }
+
+    /// Builds the decoder for `header` if none exists yet. The decode
+    /// paths use this instead of [`DecodeSession::prime`]: they only
+    /// read the decoder (through its `Arc`), and `Arc::make_mut` would
+    /// clone it whenever a drained pool ticket still holds a transient
+    /// reference — a timing-dependent allocation the warm steady state
+    /// must not have.
+    fn ensure_primed(&mut self, header: &FrameHeader) -> Result<(), CoreError> {
         if self.decoder.is_none() {
             let mut decoder = Decoder::for_header(header)?;
             decoder
                 .dictionary(self.dictionary)
                 .algorithm(self.algorithm)
                 .use_cache(self.cache.clone());
-            self.decoder = Some(decoder);
+            self.decoder = Some(Arc::new(decoder));
             self.header = Some(*header);
         }
-        self.decoder
-            .as_mut()
-            .ok_or_else(|| CoreError::InvalidConfig("decode session failed to prime".into()))
+        Ok(())
     }
 
     /// Direct access to the per-frame decoder, once primed.
     pub fn decoder_mut(&mut self) -> Option<&mut Decoder> {
-        self.decoder.as_mut()
+        self.decoder.as_mut().map(Arc::make_mut)
     }
 
     /// The session's sticky error, if one occurred: the parser's
@@ -569,20 +694,30 @@ impl DecodeSession {
         }
         self.parser.push_bytes(bytes);
         let mut out = Vec::new();
-        let err = loop {
+        let mut jobs = Vec::new();
+        let parse_err = loop {
             match self.parser.next_event() {
                 Ok(None) => break None,
                 Err(e) => break Some(e),
                 Ok(Some(event)) => {
-                    if let Err(e) = self.handle_event(event, &mut out) {
+                    if let Err(e) = self.handle_event(event, &mut out, &mut jobs) {
                         break Some(e);
                     }
                 }
             }
         };
+        // Tile groups completed by this chunk were buffered during the
+        // event loop and decode together here, so complete groups of
+        // *different frames* pipeline across the pool. A decode error
+        // outranks a parse error: its group sits earlier in the stream
+        // than wherever parsing stopped.
+        let decode_err = match self.parser.tile_layout().cloned() {
+            Some(layout) if !jobs.is_empty() => self.decode_jobs(jobs, &layout, &mut out).err(),
+            _ => None,
+        };
         self.report.corrupt_events = self.parser.corrupt_events();
         self.report.bytes_skipped = self.parser.bytes_skipped();
-        match err {
+        match decode_err.or(parse_err) {
             Some(e) if out.is_empty() => Err(e),
             Some(e) => {
                 self.deferred = Some(e);
@@ -592,11 +727,15 @@ impl DecodeSession {
         }
     }
 
-    /// Processes one parser event inside [`DecodeSession::push_bytes`].
+    /// Processes one parser event inside [`DecodeSession::push_bytes`]:
+    /// untiled frames decode (and land in `out`) immediately, while
+    /// completed tile groups are appended to `jobs` for the batched
+    /// decode after the event loop.
     fn handle_event(
         &mut self,
         event: StreamEvent,
         out: &mut Vec<DecodedFrame>,
+        jobs: &mut Vec<GroupJob>,
     ) -> Result<(), CoreError> {
         let StreamEvent::Frame { seq, frame } = event else {
             // Corruption totals are copied from the parser after the
@@ -615,13 +754,19 @@ impl DecodeSession {
                     ));
                 }
                 if resilient {
-                    self.push_resilient_tile(seq, frame, &layout, out)?;
+                    self.push_resilient_tile(seq, frame, &layout, jobs);
                 } else {
                     self.pending.push(frame);
                     if self.pending.len() == layout.tiles() {
                         let tiles = std::mem::take(&mut self.pending);
-                        let index = self.decoded;
-                        out.push(self.decode_tiled(&tiles, &layout, index)?);
+                        // Earlier jobs of this same push haven't bumped
+                        // `decoded` yet; account for them in the index.
+                        let index = self.decoded + jobs.len();
+                        jobs.push(GroupJob {
+                            index,
+                            erased: 0,
+                            slots: tiles.into_iter().map(Some).collect(),
+                        });
                     }
                 }
             }
@@ -645,27 +790,26 @@ impl DecodeSession {
     }
 
     /// Routes one resilient tiled record into its group slot, flushing
-    /// groups as they complete or as the stream moves past them.
+    /// groups (into `jobs`) as they complete or as the stream moves
+    /// past them.
     fn push_resilient_tile(
         &mut self,
         seq: u64,
         frame: CompressedFrame,
         layout: &TileLayout,
-        out: &mut Vec<DecodedFrame>,
-    ) -> Result<(), CoreError> {
+        jobs: &mut Vec<GroupJob>,
+    ) {
         let tiles = layout.tiles();
         let frame_idx = seq as usize / tiles;
         let tile_idx = seq as usize % tiles;
         if frame_idx < self.group_floor || self.group_idx.is_some_and(|g| frame_idx < g) {
             self.report.stale_records += 1;
-            return Ok(());
+            return;
         }
         if let Some(current) = self.group_idx {
             if frame_idx > current {
                 // The stream moved on: stitch what we have.
-                if let Some(d) = self.flush_group(layout)? {
-                    out.push(d);
-                }
+                jobs.extend(self.flush_group(layout));
             }
         }
         if self.group_idx.is_none() {
@@ -681,36 +825,31 @@ impl DecodeSession {
         } else {
             self.slots[tile_idx] = Some(frame);
             if self.slots.iter().all(Option::is_some) {
-                if let Some(d) = self.flush_group(layout)? {
-                    out.push(d);
-                }
+                jobs.extend(self.flush_group(layout));
             }
         }
-        Ok(())
     }
 
-    /// Closes the in-progress tile group: decodes it complete, stitches
-    /// it sparse per the erasure policy, or drops it (strict policy /
-    /// nothing survived). Updates the report either way.
-    fn flush_group(&mut self, layout: &TileLayout) -> Result<Option<DecodedFrame>, CoreError> {
-        let Some(frame_idx) = self.group_idx.take() else {
-            return Ok(None);
-        };
+    /// Closes the in-progress tile group into a decode job, or drops it
+    /// (strict policy / nothing survived), keeping the tile-level
+    /// report accounting here so counters reflect stream order even
+    /// though the solve happens later in [`DecodeSession::decode_jobs`].
+    fn flush_group(&mut self, layout: &TileLayout) -> Option<GroupJob> {
+        let frame_idx = self.group_idx.take()?;
         self.group_floor = frame_idx + 1;
         let total = layout.tiles();
         let present = self.slots.iter().flatten().count();
         if present == 0 || (self.policy == ErasurePolicy::Strict && present < total) {
             self.report.frames_lost += 1;
-            return Ok(None);
+            return None;
         }
         self.report.tiles_recovered += present;
         self.report.tiles_erased += total - present;
-        if present == total {
-            let group: Vec<CompressedFrame> = self.slots.drain(..).flatten().collect();
-            return self.decode_tiled(&group, layout, frame_idx).map(Some);
-        }
-        self.decode_tiled_sparse(layout, frame_idx, total - present)
-            .map(Some)
+        Some(GroupJob {
+            index: frame_idx,
+            erased: total - present,
+            slots: std::mem::take(&mut self.slots),
+        })
     }
 
     /// Decodes one frame directly, bypassing the stream container (for
@@ -727,90 +866,82 @@ impl DecodeSession {
         self.decode(frame)
     }
 
-    /// Decodes one complete tiled frame: every tile recovered
-    /// independently (in parallel across
-    /// [`threads`](DecodeSession::threads) workers), then stitched with
-    /// the layout's overlap blending. Recovery order never affects the
-    /// result — tiles are solved from independent records and merged in
-    /// deterministic row-major order — so the stitched frame is
-    /// bit-identical for every thread count.
-    fn decode_tiled(
-        &mut self,
-        tiles: &[CompressedFrame],
-        layout: &TileLayout,
-        index: usize,
-    ) -> Result<DecodedFrame, CoreError> {
-        self.prime(&tiles[0].header)?;
-        let Some(decoder) = self.decoder.as_ref() else {
-            return Err(CoreError::InvalidConfig(
-                "decode session has no primed decoder".into(),
-            ));
-        };
-        let recons: Vec<Result<Reconstruction, CoreError>> = if self.threads <= 1 {
-            // Inline: reuse the session workspace across tiles (the
-            // workspace never changes results, only allocations).
-            let workspace = &mut self.workspace;
-            tiles
-                .iter()
-                .map(|frame| decoder.reconstruct_with(frame, workspace))
-                .collect()
+    /// Picks the execution route for this session's tiled decodes.
+    /// Nested use — a session decoding *on* a pool worker, e.g. a
+    /// batch stream job — runs serially on the worker's own warm
+    /// workspace instead of re-entering the pool.
+    fn tile_route(&self) -> TileRoute {
+        if self.threads <= 1 {
+            TileRoute::Serial
+        } else if self.executor == DecodeExecutor::SpawnPerCall {
+            TileRoute::Spawn
+        } else if pool::is_worker_thread() {
+            TileRoute::Serial
         } else {
-            par_map(self.threads, tiles, |_, frame| {
-                let mut workspace = SolverWorkspace::default();
-                decoder.reconstruct_with(frame, &mut workspace)
-            })
-        };
-        let mut code_tiles = Vec::with_capacity(recons.len());
-        let mut stats = SolveStats {
-            iterations: 0,
-            residual_norm: 0.0,
-            converged: true,
-        };
-        for recon in recons {
-            let recon = recon?;
-            stats.iterations += recon.stats().iterations;
-            // Tiles solve disjoint systems; their concatenated residual
-            // has the root-sum-square norm.
-            stats.residual_norm = stats.residual_norm.hypot(recon.stats().residual_norm);
-            stats.converged &= recon.stats().converged;
-            code_tiles.push(recon.code_image().as_slice().to_vec());
+            TileRoute::Pool
         }
-        let stitched = merge_tiles(&code_tiles, layout);
-        let mean_code = stitched.mean();
-        self.decoded += 1;
-        self.report.frames_recovered += 1;
-        Ok(DecodedFrame {
-            index,
-            is_key: true,
-            erased_tiles: 0,
-            reconstruction: Reconstruction::from_parts(stitched, mean_code, stats),
-        })
     }
 
-    /// Decodes a *partial* tile group (resilient streams): surviving
-    /// tiles are recovered exactly as in [`DecodeSession::decode_tiled`]
-    /// and stitched sparse; erased regions are filled per the
-    /// [`ErasurePolicy`]. Bit-identical across thread counts for the
-    /// same surviving set.
-    fn decode_tiled_sparse(
+    /// Decodes buffered tile groups in stream order, appending the
+    /// stitched frames to `out`. On the pooled route the tiles of
+    /// *every* group fan out across the pool in one map — so a push
+    /// that completed several frames pipelines them — while stitching
+    /// and report accounting stay sequential in stream order, keeping
+    /// output and counters bit-identical to group-at-a-time decoding.
+    ///
+    /// On a tile decode error the frames stitched before it stay in
+    /// `out` (the caller defers the error per the push contract) and
+    /// later groups are dropped with the session's sticky error.
+    fn decode_jobs(
         &mut self,
+        jobs: Vec<GroupJob>,
         layout: &TileLayout,
-        index: usize,
-        erased: usize,
+        out: &mut Vec<DecodedFrame>,
+    ) -> Result<(), CoreError> {
+        let route = self.tile_route();
+        if route == TileRoute::Pool {
+            return self.decode_jobs_pooled(jobs, layout, out);
+        }
+        for job in jobs {
+            let decoded = self.decode_group(job, layout, route)?;
+            out.push(decoded);
+        }
+        Ok(())
+    }
+
+    /// Decodes one tile group on the serial or spawn-per-call route.
+    fn decode_group(
+        &mut self,
+        job: GroupJob,
+        layout: &TileLayout,
+        route: TileRoute,
     ) -> Result<DecodedFrame, CoreError> {
-        let slots = std::mem::take(&mut self.slots);
+        let GroupJob {
+            index,
+            erased,
+            slots,
+        } = job;
         let Some(first) = slots.iter().flatten().next() else {
             return Err(CoreError::InvalidConfig(
-                "sparse tile group has no surviving tile".into(),
+                "tile group has no surviving tile".into(),
             ));
         };
-        self.prime(&first.header)?;
-        let Some(decoder) = self.decoder.as_ref() else {
+        self.ensure_primed(&first.header)?;
+        let Some(decoder) = self.decoder.clone() else {
             return Err(CoreError::InvalidConfig(
                 "decode session has no primed decoder".into(),
             ));
         };
-        let recons: Vec<Option<Result<Reconstruction, CoreError>>> = if self.threads <= 1 {
+        let recons: Vec<Option<Result<Reconstruction, CoreError>>> = if route == TileRoute::Spawn {
+            par_map(self.threads, &slots, |_, slot| {
+                slot.as_ref().map(|frame| {
+                    let mut workspace = SolverWorkspace::default();
+                    decoder.reconstruct_with(frame, &mut workspace)
+                })
+            })
+        } else {
+            // Inline: reuse the session workspace across tiles (the
+            // workspace never changes results, only allocations).
             let workspace = &mut self.workspace;
             slots
                 .iter()
@@ -819,44 +950,124 @@ impl DecodeSession {
                         .map(|frame| decoder.reconstruct_with(frame, workspace))
                 })
                 .collect()
-        } else {
-            par_map(self.threads, &slots, |_, slot| {
-                slot.as_ref().map(|frame| {
-                    let mut workspace = SolverWorkspace::default();
-                    decoder.reconstruct_with(frame, &mut workspace)
-                })
-            })
         };
-        let mut code_tiles: Vec<Option<Vec<f64>>> = Vec::with_capacity(recons.len());
-        let mut stats = SolveStats {
-            iterations: 0,
-            residual_norm: 0.0,
-            converged: true,
-        };
+        let mut solved = Vec::with_capacity(recons.len());
         for recon in recons {
-            let Some(recon) = recon else {
-                code_tiles.push(None);
-                continue;
-            };
-            let recon = recon?;
-            stats.iterations += recon.stats().iterations;
-            stats.residual_norm = stats.residual_norm.hypot(recon.stats().residual_norm);
-            stats.converged &= recon.stats().converged;
-            code_tiles.push(Some(recon.code_image().as_slice().to_vec()));
+            solved.push(recon.transpose()?);
         }
-        let (mut stitched, uncovered) = merge_tiles_sparse(&code_tiles, layout);
-        if self.policy == ErasurePolicy::NeighborBlend {
-            fill_uncovered(&mut stitched, &uncovered);
+        Ok(self.emit_group(index, erased, &solved, layout))
+    }
+
+    /// Decodes tile groups on the persistent pool: all present tiles of
+    /// all groups flatten into one task list, so one map exploits both
+    /// tile- and frame-level parallelism; each executor solves on its
+    /// sticky per-geometry workspace (zero allocation once warm).
+    fn decode_jobs_pooled(
+        &mut self,
+        mut jobs: Vec<GroupJob>,
+        layout: &TileLayout,
+        out: &mut Vec<DecodedFrame>,
+    ) -> Result<(), CoreError> {
+        let Some(first) = jobs.iter().flat_map(|j| j.slots.iter().flatten()).next() else {
+            return Err(CoreError::InvalidConfig(
+                "tile group has no surviving tile".into(),
+            ));
+        };
+        let key = scratch_key(&first.header);
+        self.ensure_primed(&first.header)?;
+        let Some(decoder) = self.decoder.clone() else {
+            return Err(CoreError::InvalidConfig(
+                "decode session has no primed decoder".into(),
+            ));
+        };
+        let tiles_per = layout.tiles();
+        let mut items: Vec<(usize, CompressedFrame)> = Vec::new();
+        for (j, job) in jobs.iter_mut().enumerate() {
+            for (t, slot) in job.slots.iter_mut().enumerate() {
+                if let Some(frame) = slot.take() {
+                    items.push((j * tiles_per + t, frame));
+                }
+            }
         }
-        let mean_code = stitched.mean();
+        let solved = WorkerPool::global().map(self.threads, items, move |_, (slot, frame), s| {
+            let workspace = s.slot::<SolverWorkspace, _>(key, SolverWorkspace::default);
+            (slot, decoder.reconstruct_with(&frame, workspace))
+        });
+        let mut recons: Vec<Option<Result<Reconstruction, CoreError>>> = Vec::new();
+        recons.resize_with(jobs.len() * tiles_per, || None);
+        for (slot, result) in solved {
+            recons[slot] = Some(result);
+        }
+        for (j, job) in jobs.into_iter().enumerate() {
+            let mut group = Vec::with_capacity(tiles_per);
+            for recon in recons[j * tiles_per..(j + 1) * tiles_per]
+                .iter_mut()
+                .map(Option::take)
+            {
+                group.push(recon.transpose()?);
+            }
+            out.push(self.emit_group(job.index, job.erased, &group, layout));
+        }
+        Ok(())
+    }
+
+    /// Stitches one solved group and applies the frame-level
+    /// accounting, in stream order.
+    fn emit_group(
+        &mut self,
+        index: usize,
+        erased: usize,
+        recons: &[Option<Reconstruction>],
+        layout: &TileLayout,
+    ) -> DecodedFrame {
+        let reconstruction = stitch_group(recons, layout, self.policy);
         self.decoded += 1;
-        self.report.frames_degraded += 1;
-        Ok(DecodedFrame {
+        if erased == 0 {
+            self.report.frames_recovered += 1;
+        } else {
+            self.report.frames_degraded += 1;
+        }
+        DecodedFrame {
             index,
             is_key: true,
             erased_tiles: erased,
-            reconstruction: Reconstruction::from_parts(stitched, mean_code, stats),
-        })
+            reconstruction,
+        }
+    }
+
+    /// Warms the decode executors for `frame`'s geometry: primes the
+    /// decoder (operator-cache build) and runs one solve of `frame` on
+    /// every executor a pooled tiled decode would use — the calling
+    /// thread plus `threads − 1` distinct pool workers — so each
+    /// acquires its sticky per-geometry [`SolverWorkspace`]. After a
+    /// prewarm, steady-state pooled decodes of same-geometry streams
+    /// spawn no threads and allocate nothing.
+    ///
+    /// Serial (and nested / spawn-per-call) configurations warm the
+    /// session's own workspace instead. Solve failures while warming
+    /// are ignored — warming is best-effort and never changes results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedFrame`] for a degenerate header.
+    pub fn prewarm(&mut self, frame: &CompressedFrame) -> Result<(), CoreError> {
+        self.ensure_primed(&frame.header)?;
+        let Some(decoder) = self.decoder.clone() else {
+            return Err(CoreError::InvalidConfig(
+                "decode session has no primed decoder".into(),
+            ));
+        };
+        if self.tile_route() == TileRoute::Pool {
+            let key = scratch_key(&frame.header);
+            let frame = frame.clone();
+            WorkerPool::global().broadcast(self.threads, move |s| {
+                let workspace = s.slot::<SolverWorkspace, _>(key, SolverWorkspace::default);
+                let _ = decoder.reconstruct_with(&frame, workspace);
+            });
+        } else {
+            let _ = decoder.reconstruct_with(frame, &mut self.workspace);
+        }
+        Ok(())
     }
 
     fn decode(&mut self, frame: &CompressedFrame) -> Result<DecodedFrame, CoreError> {
@@ -869,7 +1080,7 @@ impl DecodeSession {
         frame: &CompressedFrame,
         index: usize,
     ) -> Result<DecodedFrame, CoreError> {
-        self.prime(&frame.header)?;
+        self.ensure_primed(&frame.header)?;
         if std::mem::take(&mut self.reanchor) {
             // A gap swallowed the frame the next delta would chain
             // from: drop the chain and re-anchor with full recovery.

@@ -14,6 +14,9 @@
 //!   hardware accumulators of the sensor's Sample & Add stage.
 //! * [`parallel`] — a scoped-thread parallel map with deterministic,
 //!   input-ordered results, used by the batch capture engine.
+//! * [`pool`] — a persistent worker pool with sticky per-worker scratch
+//!   slots and the same determinism contract; the streaming decode
+//!   paths run on it so the warm steady state spawns no threads.
 //! * [`simd`] — explicit-width chunked f64 kernels (`dot4`, `axpy4`,
 //!   `sum4`, Lee butterfly pairs) shared by every hot numeric loop.
 //!
@@ -35,6 +38,7 @@
 pub mod bits;
 pub mod fixed;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod simd;
 pub mod stats;

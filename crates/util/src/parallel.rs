@@ -17,7 +17,7 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Returns the number of worker threads to use by default: the
 /// machine's available parallelism, floored at 1.
@@ -26,6 +26,26 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// OS threads spawned by the TEPICS parallel primitives so far — every
+/// scoped [`par_map`] worker and every [`pool`](crate::pool) worker,
+/// process-wide and monotone.
+static THREAD_SPAWNS: AtomicU64 = AtomicU64::new(0);
+
+/// Total worker threads spawned by [`par_map`] and the
+/// [`pool`](crate::pool) since process start. Benchmarks diff this
+/// around a workload to prove the steady state spawns nothing (a warm
+/// pool decode's delta is 0; every `par_map` call's delta is its worker
+/// count).
+#[must_use]
+pub fn thread_spawn_count() -> u64 {
+    THREAD_SPAWNS.load(Ordering::Relaxed)
+}
+
+/// Records `n` worker spawns (shared with the persistent pool).
+pub(crate) fn record_spawns(n: u64) {
+    THREAD_SPAWNS.fetch_add(n, Ordering::Relaxed);
 }
 
 /// Maps `f` over `items` on up to `threads` worker threads, returning
@@ -54,12 +74,17 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    record_spawns(workers as u64);
     let next = AtomicUsize::new(0);
-    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    // Each worker claims ≥ items/workers items only when scheduling is
+    // perfectly even; reserve that much and let the rare uneven worker
+    // grow once or twice.
+    let per_worker = items.len().div_ceil(workers);
+    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut local: Vec<(usize, R)> = Vec::with_capacity(per_worker);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
@@ -76,17 +101,13 @@ where
             .collect()
     });
 
-    // Reassemble in input order.
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    for (i, r) in collected.drain(..).flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        // tidy:allow(panic: the atomic work counter hands every index to exactly one worker)
-        .map(|s| s.expect("every index claimed exactly once"))
-        .collect()
+    // Reassemble in input order directly: indices are a permutation of
+    // 0..n (each claimed exactly once), so a sort by index restores
+    // input order without the former `Vec<Option<R>>` staging pass and
+    // its per-item double move.
+    let mut flat: Vec<(usize, R)> = collected.into_iter().flatten().collect();
+    flat.sort_unstable_by_key(|&(i, _)| i);
+    flat.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
